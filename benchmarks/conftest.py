@@ -1,0 +1,34 @@
+"""Benchmark fixtures: shared binaries and prepared exercises."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import build_browser
+from repro.redteam import RedTeamExercise
+
+
+@pytest.fixture(scope="session")
+def browser():
+    return build_browser()
+
+
+@pytest.fixture(scope="session")
+def prepared_exercise(browser):
+    exercise = RedTeamExercise(binary=browser)
+    exercise.prepare()
+    return exercise
+
+
+def format_table(title: str, headers: list[str],
+                 rows: list[list[str]]) -> str:
+    """Plain-text table used by every bench to echo the reproduced data."""
+    widths = [max(len(str(row[i])) for row in [headers] + rows)
+              for i in range(len(headers))]
+    lines = [title,
+             "  ".join(str(h).ljust(w) for h, w in zip(headers, widths)),
+             "  ".join("-" * w for w in widths)]
+    for row in rows:
+        lines.append("  ".join(str(cell).ljust(width)
+                               for cell, width in zip(row, widths)))
+    return "\n".join(lines)

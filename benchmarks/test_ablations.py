@@ -1,0 +1,151 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+- §2.2.4 equal-variable suppression: claimed to cut inferred invariants
+  by ~2x.
+- §2.4.1 basic-block restriction for two-variable invariants: shrinks the
+  candidate set (and thus checking/evaluation work) without losing the
+  repairs that matter.
+- §4.4.4 Heap Guard contribution: Memory Firewall + Shadow Stack alone
+  patch the seven control-flow exploits; the heap-overflow exploits need
+  Heap Guard even to be detected.
+- pair-scope procedure vs block: the §2.2.2 full-procedure pair scope
+  costs far more learning work for the same usable repairs.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import format_table
+
+from repro.apps import learning_pages
+from repro.core.correlation import (
+    CorrelationConfig,
+    candidate_correlated_invariants,
+)
+from repro.dynamo import EnvironmentConfig, ManagedEnvironment, Outcome
+from repro.learning import LessThan, learn
+from repro.redteam import RedTeamExercise, all_exploits, exploit
+
+
+def test_dedup_ablation(benchmark, browser):
+    """Equal-variable suppression: invariant counts with and without."""
+
+    def run() -> tuple[int, int]:
+        with_dedup = learn(browser.stripped(), learning_pages(),
+                           deduplicate=True)
+        without = learn(browser.stripped(), learning_pages(),
+                        deduplicate=False)
+        return len(with_dedup.database), len(without.database)
+
+    deduped, full = benchmark.pedantic(run, rounds=1, iterations=1)
+    factor = full / deduped
+    print("\n" + format_table(
+        "Ablation: §2.2.4 equal-variable suppression",
+        ["Setting", "Invariants", "Reduction"],
+        [["with dedup", deduped, f"{factor:.2f}x"],
+         ["without dedup", full, "1.00x"],
+         ["paper claim", "-", "~2x"]]))
+    assert factor > 1.3, f"dedup saved too little: {factor:.2f}x"
+
+
+def test_block_restriction_ablation(benchmark, prepared_exercise):
+    """Candidate-set size with and without the §2.4.1 restriction, at
+    the int-overflow failure (a two-variable-invariant repair)."""
+    exercise = RedTeamExercise(binary=prepared_exercise.binary,
+                               expanded_learning=True)
+    learning = exercise.prepare()
+
+    environment = ManagedEnvironment(exercise.binary,
+                                     EnvironmentConfig.full())
+    failure = environment.run(exploit("int-overflow").page())
+    assert failure.outcome is Outcome.FAILURE
+
+    def candidates(block_restriction: bool) -> list:
+        return candidate_correlated_invariants(
+            learning.database, learning.procedures, failure.failure_pc,
+            call_sites=failure.call_sites,
+            config=CorrelationConfig(
+                block_restriction=block_restriction))
+
+    restricted = benchmark.pedantic(candidates, args=(True,),
+                                    rounds=1, iterations=1)
+    loose = candidates(False)
+    restricted_pairs = sum(1 for c in restricted
+                           if isinstance(c.invariant, LessThan))
+    loose_pairs = sum(1 for c in loose
+                      if isinstance(c.invariant, LessThan))
+    print("\n" + format_table(
+        "Ablation: §2.4.1 basic-block restriction (int-overflow failure)",
+        ["Setting", "Candidates", "Two-variable candidates"],
+        [["restricted", len(restricted), restricted_pairs],
+         ["unrestricted", len(loose), loose_pairs]]))
+    assert len(restricted) <= len(loose)
+    assert restricted_pairs <= loose_pairs
+    # The restriction must keep the repairing invariant available.
+    assert restricted_pairs >= 1
+
+
+def test_heap_guard_ablation(benchmark, browser):
+    """Which exploits are detectable/patchable with MF+SS only vs with
+    Heap Guard added (§4.4.4's observation)."""
+    config = EnvironmentConfig(memory_firewall=True, heap_guard=False,
+                               shadow_stack=True)
+
+    def run() -> dict[str, str]:
+        exercise = RedTeamExercise(binary=browser,
+                                   environment_config=config)
+        exercise.prepare()
+        outcomes: dict[str, str] = {}
+        for ex in all_exploits():
+            probe = ManagedEnvironment(browser.stripped(), config)
+            detected = probe.run(ex.page()).outcome is Outcome.FAILURE
+            if not detected:
+                outcomes[ex.defect_id] = "undetected"
+                continue
+            result = exercise.attack(ex, max_presentations=20)
+            outcomes[ex.defect_id] = ("patched" if result.patched
+                                      else "blocked")
+        return outcomes
+
+    outcomes = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [[defect_id, status] for defect_id, status
+            in sorted(outcomes.items())]
+    print("\n" + format_table(
+        "Ablation: Memory Firewall + Shadow Stack, no Heap Guard",
+        ["Defect", "Outcome"], rows))
+
+    control_flow = {"js-type-1", "js-type-2", "gc-collect", "mm-reuse-1",
+                    "mm-reuse-2", "neg-strlen", "neg-index"}
+    for defect_id in control_flow:
+        assert outcomes[defect_id] == "patched", defect_id
+    for defect_id in ("gif-sign", "int-overflow", "soft-hyphen"):
+        assert outcomes[defect_id] == "undetected", defect_id
+
+
+def test_pair_scope_ablation(benchmark, browser):
+    """Learning cost of full-procedure pair scope vs the block scope."""
+
+    def learn_with_scope(scope: str) -> tuple[float, int]:
+        started = time.perf_counter()
+        result = learn(browser.stripped(), learning_pages(),
+                       pair_scope=scope)
+        elapsed = time.perf_counter() - started
+        pairs = result.database.counts_by_kind().get("less-than", 0)
+        return elapsed, pairs
+
+    block_time, block_pairs = benchmark.pedantic(
+        learn_with_scope, args=("block",), rounds=1, iterations=1)
+    procedure_time, procedure_pairs = learn_with_scope("procedure")
+    none_time, none_pairs = learn_with_scope("none")
+
+    print("\n" + format_table(
+        "Ablation: two-variable inference scope",
+        ["Scope", "Learning time (s)", "Less-than invariants"],
+        [["none", f"{none_time:.3f}", none_pairs],
+         ["block (paper §2.4.1)", f"{block_time:.3f}", block_pairs],
+         ["procedure", f"{procedure_time:.3f}", procedure_pairs]]))
+    assert none_pairs == 0
+    assert block_pairs >= 1
+    assert procedure_pairs >= block_pairs
+    assert procedure_time > block_time

@@ -1,0 +1,108 @@
+"""§3: application community benches — amortized learning, protection
+without exposure, and parallel repair evaluation."""
+
+from __future__ import annotations
+
+from conftest import format_table
+
+from repro.apps import learning_pages
+from repro.community import CommunityManager
+from repro.dynamo import Outcome
+from repro.redteam import exploit
+
+
+def test_amortized_learning(benchmark, browser):
+    """Per-member learning load shrinks as the community grows, while
+    the merged model stays usable (invariant count in range)."""
+
+    def run() -> list[dict]:
+        rows = []
+        for members in (1, 2, 4, 8):
+            manager = CommunityManager(browser, members=members)
+            report = manager.learn_distributed(learning_pages())
+            rows.append({
+                "members": members,
+                "max_node_observations": max(
+                    report.per_node_observations),
+                "invariants": len(report.database),
+                "upload_bytes": report.upload_bytes,
+            })
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n" + format_table(
+        "Community: amortized parallel learning (§3.1)",
+        ["Members", "Max per-node observations", "Merged invariants",
+         "Upload bytes"],
+        [[row["members"], row["max_node_observations"],
+          row["invariants"], row["upload_bytes"]] for row in rows]))
+
+    # Per-member load decreases as the community grows.
+    assert rows[-1]["max_node_observations"] < \
+        rows[0]["max_node_observations"]
+    # The merged model stays in the same ballpark as centralised learning.
+    assert rows[-1]["invariants"] > 0.5 * rows[0]["invariants"]
+
+
+def test_protection_without_exposure(benchmark, browser):
+    """Attack two members until a patch lands; every member (including
+    the six never attacked) must then survive the exploit."""
+
+    def run() -> dict:
+        manager = CommunityManager(browser, members=8)
+        manager.learn_distributed(learning_pages())
+        manager.protect()
+        ex = exploit("gc-collect")
+        presentations = 0
+        # Round-robin naturally walks members; with 8 members and 4
+        # presentations, at most 4 members are ever exposed.
+        for _ in range(10):
+            presentations += 1
+            if manager.attack(ex.page()).outcome is Outcome.COMPLETED:
+                break
+        return {
+            "presentations": presentations,
+            "immune": manager.immune_members(ex.page()),
+            "members": len(manager.nodes),
+        }
+
+    outcome = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n" + format_table(
+        "Community: protection without exposure (§3)",
+        ["Metric", "Value"],
+        [["presentations to patch", outcome["presentations"]],
+         ["immune members", f"{outcome['immune']}/{outcome['members']}"],
+         ["members ever attacked", min(outcome["presentations"],
+                                       outcome["members"])]]))
+    assert outcome["presentations"] == 4
+    assert outcome["immune"] == outcome["members"]
+
+
+def test_parallel_repair_evaluation(benchmark, browser):
+    """§3.1 Faster Repair Evaluation: candidates evaluated on distinct
+    members in one wave vs three sequential evaluation runs."""
+
+    def run() -> dict:
+        manager = CommunityManager(browser, members=4)
+        manager.learn_distributed(learning_pages())
+        manager.protect()
+        ex = exploit("mm-reuse-1")
+        failure_pc = None
+        for _ in range(3):   # detect + two check runs
+            result = manager.attack(ex.page())
+            failure_pc = result.failure_pc or failure_pc
+        rounds = manager.evaluate_candidates_in_parallel(failure_pc,
+                                                         ex.page())
+        immune = manager.immune_members(ex.page())
+        return {"rounds": rounds, "immune": immune,
+                "members": len(manager.nodes)}
+
+    outcome = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n" + format_table(
+        "Community: parallel repair evaluation (§3.1), mm-reuse-1",
+        ["Metric", "Parallel (4 members)", "Sequential (1 machine)"],
+        [["evaluation rounds", outcome["rounds"], 3],
+         ["immune after", f"{outcome['immune']}/{outcome['members']}",
+          "1/1"]]))
+    assert outcome["rounds"] == 1
+    assert outcome["immune"] == outcome["members"]

@@ -1,0 +1,59 @@
+"""§4.3.6-7: repair-quality (autoimmune) and false-positive evaluations.
+
+- False positives: displaying the 57 legitimate evaluation pages under
+  full ClearView protection must generate no patches at all.
+- Repair quality: after applying all successful patches from the attack
+  phase, the patched browser must display every evaluation page
+  bit-identically to the unpatched browser.
+"""
+
+from __future__ import annotations
+
+from conftest import format_table
+
+from repro.dynamo import Outcome
+from repro.redteam import RedTeamExercise, all_exploits
+
+
+def test_false_positive_evaluation(benchmark, prepared_exercise):
+    sessions, comparison = benchmark.pedantic(
+        prepared_exercise.false_positive_test, rounds=1, iterations=1)
+    print("\n" + format_table(
+        "False positive evaluation (57 legitimate pages)",
+        ["Metric", "Measured", "Paper"],
+        [["patches generated", sessions, 0],
+         ["identical displays",
+          f"{comparison.identical}/{comparison.pages}", "57/57"]]))
+    assert sessions == 0
+    assert comparison.all_identical
+
+
+def test_autoimmune_evaluation(benchmark, prepared_exercise):
+    """Apply every successful patch from the full attack phase to one
+    browser, then replay the evaluation pages (§4.3.6's final check)."""
+
+    def run() -> tuple[int, object]:
+        clearview = prepared_exercise._clearview()
+        patched_exploits = 0
+        for exploit in all_exploits():
+            if exploit.defect.expected_presentations is None:
+                continue
+            if exploit.defect.needs_stack_procedures > 1 or \
+                    exploit.defect.needs_expanded_learning:
+                continue  # those run under reconfigured exercises
+            for _ in range(exploit.defect.expected_presentations):
+                result = clearview.run(exploit.page())
+            assert result.outcome is Outcome.COMPLETED, exploit.defect_id
+            patched_exploits += 1
+        comparison = prepared_exercise.verify_patched_displays(clearview)
+        return patched_exploits, comparison
+
+    patched, comparison = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n" + format_table(
+        "Autoimmune evaluation (all successful patches applied)",
+        ["Metric", "Measured", "Paper"],
+        [["patched exploits applied", patched, 7],
+         ["identical displays",
+          f"{comparison.identical}/{comparison.pages}", "57/57"]]))
+    assert patched == 7
+    assert comparison.all_identical, comparison.mismatches

@@ -1,0 +1,53 @@
+"""Table 1: exploit presentations before a protective patch.
+
+Regenerates the paper's Table 1 — for each exploit, the number of times
+the Red Team had to present it before ClearView created and applied a
+patch that protected against it.  Paper values are asserted exactly: the
+reproduction's presentation protocol matches the paper's accounting.
+"""
+
+from __future__ import annotations
+
+from conftest import format_table
+
+from repro.redteam import RedTeamExercise, all_exploits
+
+#: Paper Table 1 (presentations; None = no successful patch).
+PAPER_TABLE1 = {
+    "269095": 6, "285595": 4, "290162": 4, "295854": 5, "296134": 4,
+    "311710": 12, "312278": 4, "320182": 6, "325403": 4, "307259": None,
+}
+
+
+def run_table1(prepared: RedTeamExercise) -> dict[str, dict]:
+    rows = {}
+    for exploit in all_exploits():
+        exercise = prepared._for_defect(exploit)
+        result = exercise.attack(exploit, max_presentations=20)
+        rows[exploit.bugzilla] = {
+            "defect": exploit.defect_id,
+            "error_type": exploit.defect.error_type,
+            "presentations": result.survived_at,
+            "blocked": result.all_blocked,
+        }
+    return rows
+
+
+def test_table1(benchmark, prepared_exercise):
+    rows = benchmark.pedantic(run_table1, args=(prepared_exercise,),
+                              rounds=1, iterations=1)
+
+    table = format_table(
+        "Table 1: presentations before a protective patch",
+        ["Bugzilla", "Defect", "Error Type", "Measured", "Paper"],
+        [[bugzilla, data["defect"], data["error_type"],
+          data["presentations"] or "-", PAPER_TABLE1[bugzilla] or "-"]
+         for bugzilla, data in sorted(rows.items())])
+    print("\n" + table)
+
+    for bugzilla, expected in PAPER_TABLE1.items():
+        assert rows[bugzilla]["blocked"], f"{bugzilla}: attack not blocked"
+        assert rows[bugzilla]["presentations"] == expected, bugzilla
+    benchmark.extra_info["table1"] = {
+        bugzilla: data["presentations"]
+        for bugzilla, data in rows.items()}

@@ -1,0 +1,91 @@
+"""§4.3.4-5: multiple-variant attacks and simultaneous multiple exploits.
+
+- Variants: interleaving variants of one exploit must produce the same
+  patch after the same number of presentations as the single-variant
+  attack, and the patch must protect against every variant.
+- Simultaneous exploits: interleaving different exploits must keep the
+  per-failure bookkeeping separate and patch each after the same
+  cumulative number of presentations.
+"""
+
+from __future__ import annotations
+
+from conftest import format_table
+
+from repro.dynamo import Outcome
+from repro.redteam import exploit
+
+VARIANT_TARGETS = ["js-type-1", "gc-collect", "neg-strlen"]
+
+
+def test_multiple_variant_attacks(benchmark, prepared_exercise):
+    def run() -> dict[str, tuple]:
+        outcomes = {}
+        for defect_id in VARIANT_TARGETS:
+            ex = exploit(defect_id)
+            result = prepared_exercise.attack(ex, variants=[0, 1, 2],
+                                              max_presentations=12)
+            protected = all(
+                result.clearview.run(ex.page(v)).outcome is
+                Outcome.COMPLETED for v in range(3))
+            outcomes[defect_id] = (result.survived_at, protected)
+        return outcomes
+
+    outcomes = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n" + format_table(
+        "Multiple-variant attacks (variants interleaved)",
+        ["Defect", "Presentations", "Single-variant", "All variants "
+         "protected"],
+        [[defect_id, outcomes[defect_id][0],
+          exploit(defect_id).defect.expected_presentations,
+          outcomes[defect_id][1]] for defect_id in VARIANT_TARGETS]))
+    for defect_id in VARIANT_TARGETS:
+        expected = exploit(defect_id).defect.expected_presentations
+        assert outcomes[defect_id] == (expected, True), defect_id
+
+
+def test_simultaneous_multiple_exploits(benchmark, prepared_exercise):
+    pairs = [("js-type-1", "gc-collect"),
+             ("neg-strlen", "js-type-2"),
+             ("mm-reuse-1", "gc-collect")]
+
+    def run() -> list[dict]:
+        results = []
+        for first_id, second_id in pairs:
+            clearview = prepared_exercise._clearview()
+            survived = {first_id: None, second_id: None}
+            for wave in range(1, 12):
+                for defect_id in (first_id, second_id):
+                    if survived[defect_id] is not None:
+                        continue
+                    run_result = clearview.run(exploit(defect_id).page())
+                    if run_result.outcome is Outcome.COMPLETED:
+                        survived[defect_id] = wave
+                if all(value is not None for value in survived.values()):
+                    break
+            results.append({"pair": (first_id, second_id),
+                            "survived": survived,
+                            "sessions": len(clearview.sessions)})
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for entry in results:
+        first_id, second_id = entry["pair"]
+        rows.append([f"{first_id} + {second_id}",
+                     entry["survived"][first_id],
+                     entry["survived"][second_id],
+                     entry["sessions"]])
+    print("\n" + format_table(
+        "Simultaneous multiple exploits (interleaved waves)",
+        ["Pair", "First patched (wave)", "Second patched (wave)",
+         "Sessions"],
+        rows))
+
+    for entry in results:
+        first_id, second_id = entry["pair"]
+        # Same cumulative presentations as the single-exploit attacks.
+        assert entry["survived"][first_id] == \
+            exploit(first_id).defect.expected_presentations, entry
+        assert entry["survived"][second_id] == \
+            exploit(second_id).defect.expected_presentations, entry

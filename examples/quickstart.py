@@ -1,0 +1,122 @@
+"""Quickstart: protect an application, attack it, watch ClearView patch it.
+
+This walks the complete Figure 1 pipeline on a small program in about a
+minute of reading:
+
+1. assemble a vulnerable application (an unchecked function-pointer
+   dispatch, the classic code-injection vector);
+2. learn its normal behaviour from a few good inputs;
+3. attack it — Memory Firewall blocks the attack and ClearView starts
+   learning from the failure;
+4. after four presentations the application *survives* the attack.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.core import ClearView, report_all, summarize
+from repro.dynamo import EnvironmentConfig, ManagedEnvironment, Outcome
+from repro.learning import learn
+from repro.vm import assemble
+from repro.vm.memory import Memory
+
+# A tiny server loop: the first input word selects a request handler from
+# a function-pointer table. The defect: the handler index is never
+# bounds-checked, so a hostile input can make the dispatch jump through
+# attacker-controlled memory.
+VULNERABLE_APP = """
+.data
+input_len: .word 0
+input:     .space 64
+handlers:  .word handle_get, handle_put, handle_del
+.code
+main:
+    lea esi, [input]
+    load eax, [esi+0]       ; requested handler index (UNCHECKED)
+    lea edi, [handlers]
+    mov ebx, eax
+    mul ebx, 4
+    add edi, ebx
+    load edx, [edi+0]       ; function pointer
+    callr edx               ; dispatch
+    out eax
+    halt
+handle_get:
+    mov eax, 100
+    ret
+handle_put:
+    mov eax, 200
+    ret
+handle_del:
+    mov eax, 300
+    ret
+"""
+
+
+def request(index: int, extra: bytes = b"") -> bytes:
+    return struct.pack("<I", index) + extra + b"\x00" * 8
+
+
+def attack() -> bytes:
+    """A request whose huge index makes the table lookup wrap around and
+    read a "function pointer" out of the input buffer itself — which the
+    attacker filled with the address of their payload.
+
+    Address arithmetic (the attacker knows the layout; no ASLR): the
+    ``handlers`` table sits 64 bytes past the start of the input buffer,
+    so index -15 makes ``handlers + 4*index`` land on ``input + 4`` —
+    the first word of the request body, which the attacker set to the
+    address of the payload word that follows it.
+    """
+    payload_address = Memory.DATA_BASE + 4 + 8  # the 0x90909090 word
+    return request((1 << 32) - 15,
+                   struct.pack("<II", payload_address, 0x90909090))
+
+
+def main() -> None:
+    binary = assemble(VULNERABLE_APP)
+
+    # -- 1. verify the exploit works on the unprotected application ----
+    bare = ManagedEnvironment(binary.stripped(), EnvironmentConfig.bare())
+    result = bare.run(attack())
+    print(f"unprotected run:  {result.outcome.value}  ({result.detail})")
+    assert result.outcome is Outcome.COMPROMISED
+
+    # -- 2. learn normal behaviour --------------------------------------
+    print("\nlearning from normal requests ...")
+    learned = learn(binary, [request(0), request(1), request(2),
+                             request(0), request(1)])
+    print(f"  model: {len(learned.database)} invariants "
+          f"({learned.database.counts_by_kind()})")
+
+    # -- 3. protect and attack repeatedly -------------------------------
+    environment = ManagedEnvironment(binary.stripped(),
+                                     EnvironmentConfig.full())
+    clearview = ClearView(environment, learned.database,
+                          learned.procedures)
+
+    print("\npresenting the exploit until ClearView finds a patch:")
+    for presentation in range(1, 10):
+        result = clearview.run(attack())
+        print(f"  presentation {presentation}: {result.outcome.value}")
+        if result.outcome is Outcome.COMPLETED:
+            break
+
+    # -- 4. the patched application works, on attacks and legit input --
+    print("\n" + summarize(clearview))
+    for index, expected in ((0, 100), (1, 200), (2, 300)):
+        output = clearview.run(request(index)).output
+        assert output == [expected]
+    print("legitimate requests still answered correctly: "
+          "100 / 200 / 300")
+
+    print("\nmaintainer report:")
+    for report in report_all(clearview):
+        print(report.format())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,32 @@
+"""ClearView reproduction: automatically patching errors in deployed
+software (Perkins et al., SOSP 2009).
+
+Top-level convenience surface; the subpackages are the real API:
+
+- :mod:`repro.vm` — the MiniX86 stripped-binary substrate
+- :mod:`repro.dynamo` — managed execution, code cache, runtime patches
+- :mod:`repro.monitors` — Memory Firewall, Heap Guard, Shadow Stack
+- :mod:`repro.cfg` — procedure discovery and predominators
+- :mod:`repro.learning` — invariant inference (the Daikon analogue)
+- :mod:`repro.core` — correlation, repair generation/evaluation, the
+  ClearView manager
+- :mod:`repro.community` — application communities
+- :mod:`repro.apps` / :mod:`repro.redteam` — the WebBrowse target and
+  the Red Team exercise
+"""
+
+from repro.core.clearview import ClearView, ClearViewConfig
+from repro.dynamo.execution import (
+    EnvironmentConfig,
+    ManagedEnvironment,
+    Outcome,
+)
+from repro.learning.harness import learn
+from repro.vm.assembler import assemble
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ClearView", "ClearViewConfig", "EnvironmentConfig",
+    "ManagedEnvironment", "Outcome", "learn", "assemble", "__version__",
+]

@@ -1,0 +1,23 @@
+"""Target applications: the WebBrowse browser, pages, and defect roster."""
+
+from repro.apps.browser import (
+    GAP_ADDRESS,
+    WIDGET_COUNT,
+    build_browser,
+    input_address,
+)
+from repro.apps.manual_fixes import apply_fixes, build_fixed_browser
+from repro.apps.pages import (
+    PageBuilder,
+    evaluation_pages,
+    expanded_learning_pages,
+    learning_pages,
+)
+from repro.apps.vulnerabilities import DEFECTS, Defect, red_team_roster
+
+__all__ = [
+    "GAP_ADDRESS", "WIDGET_COUNT", "build_browser", "input_address",
+    "apply_fixes", "build_fixed_browser",
+    "PageBuilder", "evaluation_pages", "expanded_learning_pages",
+    "learning_pages", "DEFECTS", "Defect", "red_team_roster",
+]

@@ -1,0 +1,931 @@
+"""WebBrowse: the synthetic vulnerable browser (the Firefox 1.0.0 analogue).
+
+WebBrowse is a complete MiniX86 application: it parses a binary "page"
+format, dispatches tag handlers through a function-pointer table, runs a
+tiny embedded script interpreter with heap-allocated vtable objects, and
+renders everything to the output stream.  Ten defects are seeded in its
+code, each reproducing the *error mechanism* of one Red Team exploit from
+§4.3 of the paper (see ``repro/apps/vulnerabilities.py`` for the roster
+and ``repro/redteam/exploits.py`` for the attacks).
+
+Page format (see :mod:`repro.apps.pages`)::
+
+    [tag: 1 byte][length: 2 bytes LE][payload: length bytes] ... [tag 0]
+
+Script records (inside a SCRIPT tag payload) are 8 bytes each::
+
+    [op: 1 byte][slot: 1 byte][pad: 2 bytes][value: 4 bytes LE]
+
+Calling convention: arguments pushed right to left, caller cleans the
+stack, result in EAX, every procedure opens with ``enter`` and closes
+with ``leave``/``ret``.
+"""
+
+from __future__ import annotations
+
+from repro.vm.assembler import assemble
+from repro.vm.binary import Binary
+
+# Page tag numbers.
+TAG_END = 0
+TAG_TEXT = 1
+TAG_HEADING = 2
+TAG_SCRIPT = 3
+TAG_GIF = 4
+TAG_LINK = 5
+TAG_UNICODE = 6
+TAG_ARRAY = 7
+TAG_STRTEXT = 8
+
+# Script interpreter opcodes.
+OP_CREATE = 1        # slot <- new object(vt_table, field1=value)
+OP_CREATE_PTR = 2    # slot <- new object with field1 = &counter2
+OP_CREATE_RAW = 3    # slot <- new *uninitialised* object   (defect!)
+OP_FREE = 4          # free(slots[slot]), pointer retained  (defect!)
+OP_SET_RAW = 5       # slots[slot] <- value, no type check  (defect!)
+OP_SPRAY = 6         # slot <- new 16-byte block filled from payload
+OP_INVOKE_A = 7      # dispatch method 0 on slots[slot]  (show)
+OP_INVOKE_B = 8      # dispatch method 2 on slots[slot]  (store)
+OP_WIDGET_A = 9      # render_widget_a(slots[slot])      (method 1, tag)
+OP_WIDGET_B = 10     # render_widget_b(slots[slot])      (method 1, tag)
+OP_INVOKE_GC = 11    # dispatch method 0 on slots[slot]  (gc site)
+
+#: An address inside the unmapped guard region between code and data.
+#: Corrupted objects carry it in pointer fields so that repairs which
+#: blindly re-execute a method on a corrupted object crash (the mechanism
+#: behind the paper's "first patch did not correct the error" cases).
+GAP_ADDRESS = 0xF0000
+
+#: Number of widget objects created at startup (render targets for the
+#: out-of-bounds array defect).
+WIDGET_COUNT = 16
+
+#: The soft-hyphen byte in the LINK hostname encoding (defect 307259).
+SOFT_HYPHEN = 0xAD
+
+BROWSER_SOURCE = f"""
+; ===================================================================
+; WebBrowse -- synthetic browser for the ClearView reproduction
+; ===================================================================
+.equ GAP, {GAP_ADDRESS}
+.equ SOFT_HYPHEN, {SOFT_HYPHEN}
+
+.data
+input_len:  .word 0
+input:      .space 8192
+; widget_tbl sits directly after the input buffer: a negative index into
+; it reads attacker-controlled page bytes (the 311710 mechanism).
+widget_tbl: .space {WIDGET_COUNT * 4}
+obj_slots:  .space 64
+counter1:   .word 0
+counter2:   .word 0
+tagbuf:     .word tagstr
+tagstr:     .word 7777
+unibuf:     .space 64
+handlers:   .word 0, handle_text, handle_heading, handle_script
+            .word handle_gif, handle_link, handle_unicode, handle_array
+            .word handle_strtext
+vt_table:   .word method_show, method_tag, method_store
+
+.code
+main:
+    call init_widgets
+    call render_page
+    halt
+
+; -------------------------------------------------------------------
+; init_widgets: allocate the widget objects the array renderers use.
+; widget[i] = object(vt_table, field1 = 3*i + 5, field2 = &counter1)
+; -------------------------------------------------------------------
+init_widgets:
+    enter 0
+    mov esi, 0                 ; index
+iw_loop:
+    cmp esi, {WIDGET_COUNT}
+    jge iw_done
+    alloc eax, 16
+    lea ebx, [vt_table]
+    store [eax+0], ebx         ; vtable
+    mov ecx, esi
+    mul ecx, 3
+    add ecx, 5
+    store [eax+4], ecx         ; field1: value to render
+    lea ecx, [counter1]
+    store [eax+8], ecx         ; field2: stats counter pointer
+    mov ecx, 7
+    store [eax+12], ecx        ; type tag
+    lea edi, [widget_tbl]
+    mov ecx, esi
+    mul ecx, 4
+    add edi, ecx
+    store [edi+0], eax
+    add esi, 1
+    jmp iw_loop
+iw_done:
+    leave
+    ret
+
+; -------------------------------------------------------------------
+; render_page: walk the tag stream, dispatch handlers through the
+; function-pointer table (an indirect call per tag).
+; -------------------------------------------------------------------
+render_page:
+    enter 8                    ; [ebp-4] = cursor
+    lea esi, [input_len]
+    load ecx, [esi+0]          ; total input length
+    mov edx, 0                 ; cursor
+rp_loop:
+    mov eax, edx
+    add eax, 3
+    cmp eax, ecx
+    jg rp_done                 ; no room for a header
+    lea esi, [input]
+    add esi, edx
+    loadb ebx, [esi+0]         ; tag
+    cmp ebx, 0
+    je rp_done
+    cmp ebx, 8
+    jg rp_skip                 ; unknown tag: ignore
+    loadb eax, [esi+1]         ; length low byte
+    loadb edi, [esi+2]         ; length high byte
+    mul edi, 256
+    add eax, edi               ; payload length
+    store [ebp-4], edx         ; save cursor
+    store [ebp-8], eax         ; save payload length
+    push eax                   ; arg2: payload length
+    lea edi, [input]
+    add edi, edx
+    add edi, 3
+    push edi                   ; arg1: payload pointer
+    lea edi, [handlers]
+    mov esi, ebx
+    mul esi, 4
+    add edi, esi
+    load edx, [edi+0]          ; handler function pointer
+    callr edx                  ; DISPATCH (indirect call)
+    add esp, 8
+    load edx, [ebp-4]          ; restore cursor
+    load eax, [ebp-8]          ; restore payload length
+    lea esi, [input_len]
+    load ecx, [esi+0]
+    add edx, 3
+    add edx, eax
+    jmp rp_loop
+rp_skip:
+    out 64989                  ; render "unknown tag" marker (0xFDDD)
+    jmp rp_done
+rp_done:
+    leave
+    ret
+
+; -------------------------------------------------------------------
+; handle_text(p, len): render text -- output length and byte checksum.
+; -------------------------------------------------------------------
+handle_text:
+    enter 0
+    load esi, [ebp+8]          ; payload pointer
+    load ecx, [ebp+12]         ; payload length
+    mov ebx, 0                 ; checksum
+    mov edx, 0                 ; index
+ht_loop:
+    cmp edx, ecx
+    jge ht_done
+    loadb eax, [esi+0]
+    add ebx, eax
+    add esi, 1
+    add edx, 1
+    jmp ht_loop
+ht_done:
+    out ecx
+    out ebx
+    mov eax, 1
+    leave
+    ret
+
+; -------------------------------------------------------------------
+; handle_heading(p, len): render a heading -- decorated checksum.
+; -------------------------------------------------------------------
+handle_heading:
+    enter 0
+    load esi, [ebp+8]
+    load ecx, [ebp+12]
+    mov ebx, 0
+    mov edx, 0
+hh_loop:
+    cmp edx, ecx
+    jge hh_done
+    loadb eax, [esi+0]
+    mul eax, 2                 ; headings render "bold"
+    add ebx, eax
+    add esi, 1
+    add edx, 1
+    jmp hh_loop
+hh_done:
+    out 72                     ; 'H'
+    out ebx
+    mov eax, 1
+    leave
+    ret
+
+; -------------------------------------------------------------------
+; handle_script(p, len): the embedded script interpreter.
+; Records are 8 bytes: [op][slot][pad:2][value:4].
+; -------------------------------------------------------------------
+handle_script:
+    enter 16                   ; [ebp-4]=cursor [ebp-8]=p [ebp-12]=len
+    load eax, [ebp+8]
+    store [ebp-8], eax
+    load eax, [ebp+12]
+    store [ebp-12], eax
+    mov edx, 0
+    store [ebp-4], edx
+hs_loop:
+    load edx, [ebp-4]
+    load ecx, [ebp-12]
+    mov eax, edx
+    add eax, 8
+    cmp eax, ecx
+    jg hs_done
+    load esi, [ebp-8]
+    add esi, edx               ; esi -> record
+    loadb ebx, [esi+0]         ; op
+    loadb ecx, [esi+1]         ; slot
+    load edx, [esi+4]          ; value
+    ; resolve &obj_slots[slot]
+    lea edi, [obj_slots]
+    mul ecx, 4
+    add edi, ecx               ; edi -> slot cell
+    cmp ebx, {OP_CREATE}
+    je hs_create
+    cmp ebx, {OP_CREATE_PTR}
+    je hs_create_ptr
+    cmp ebx, {OP_CREATE_RAW}
+    je hs_create_raw
+    cmp ebx, {OP_FREE}
+    je hs_free
+    cmp ebx, {OP_SET_RAW}
+    je hs_set_raw
+    cmp ebx, {OP_SPRAY}
+    je hs_spray
+    cmp ebx, {OP_INVOKE_A}
+    je hs_invoke_a
+    cmp ebx, {OP_INVOKE_B}
+    je hs_invoke_b
+    cmp ebx, {OP_WIDGET_A}
+    je hs_widget_a
+    cmp ebx, {OP_WIDGET_B}
+    je hs_widget_b
+    cmp ebx, {OP_INVOKE_GC}
+    je hs_invoke_gc
+    jmp hs_next                ; unknown op: ignore
+hs_create:
+    push edx
+    push edi
+    call js_create
+    add esp, 8
+    jmp hs_next
+hs_create_ptr:
+    push edi
+    call js_create_ptr
+    add esp, 4
+    jmp hs_next
+hs_create_raw:
+    push edi
+    call js_create_raw
+    add esp, 4
+    jmp hs_next
+hs_free:
+    load eax, [edi+0]
+    free eax                   ; DEFECT gc-collect: slot keeps the pointer
+    jmp hs_next
+hs_set_raw:
+    store [edi+0], edx         ; DEFECT js-type: no type check on the value
+    jmp hs_next
+hs_spray:
+    push edx                   ; source address (attacker-computed)
+    push edi
+    call js_spray
+    add esp, 8
+    jmp hs_next
+hs_invoke_a:
+    load eax, [edi+0]
+    push eax
+    call invoke_slot_a
+    add esp, 4
+    jmp hs_next
+hs_invoke_b:
+    load eax, [edi+0]
+    push eax
+    call invoke_slot_b
+    add esp, 4
+    jmp hs_next
+hs_widget_a:
+    load eax, [edi+0]
+    push eax
+    call render_widget_a
+    add esp, 4
+    jmp hs_next
+hs_widget_b:
+    load eax, [edi+0]
+    push eax
+    call render_widget_b
+    add esp, 4
+    jmp hs_next
+hs_invoke_gc:
+    load eax, [edi+0]
+    push eax
+    call invoke_gc
+    add esp, 4
+    jmp hs_next
+hs_next:
+    load edx, [ebp-4]
+    add edx, 8
+    store [ebp-4], edx
+    jmp hs_loop
+hs_done:
+    mov eax, 1
+    leave
+    ret
+
+; -------------------------------------------------------------------
+; js_create(cell, value): cell <- new object, fully initialised.
+; -------------------------------------------------------------------
+js_create:
+    enter 0
+    alloc eax, 16
+    lea ebx, [vt_table]
+    store [eax+0], ebx
+    load ecx, [ebp+12]         ; value
+    store [eax+4], ecx         ; field1: small integer payload
+    lea ecx, [counter1]
+    store [eax+8], ecx         ; field2: counter pointer
+    mov ecx, 7
+    store [eax+12], ecx        ; type tag
+    load edi, [ebp+8]
+    store [edi+0], eax
+    leave
+    ret
+
+; -------------------------------------------------------------------
+; js_create_ptr(cell): cell <- new object whose field1 is a pointer
+; (the object class whose method_store writes through field1).
+; -------------------------------------------------------------------
+js_create_ptr:
+    enter 0
+    alloc eax, 16
+    lea ebx, [vt_table]
+    store [eax+0], ebx
+    lea ecx, [counter2]
+    store [eax+4], ecx         ; field1: pointer for method_store
+    lea ecx, [counter1]
+    store [eax+8], ecx
+    mov ecx, 9
+    store [eax+12], ecx
+    load edi, [ebp+8]
+    store [edi+0], eax
+    leave
+    ret
+
+; -------------------------------------------------------------------
+; js_create_raw(cell): DEFECT mm-reuse -- the allocation is not
+; initialised; recycled heap memory keeps its previous contents.
+; -------------------------------------------------------------------
+js_create_raw:
+    enter 0
+    alloc eax, 16
+    load edi, [ebp+8]
+    store [edi+0], eax         ; vtable/fields left as found in memory
+    leave
+    ret
+
+; -------------------------------------------------------------------
+; js_spray(cell, src): cell <- new 16-byte block filled from src.
+; -------------------------------------------------------------------
+js_spray:
+    enter 0
+    alloc eax, 16
+    load esi, [ebp+12]         ; source address
+    load ecx, [esi+0]
+    store [eax+0], ecx
+    load ecx, [esi+4]
+    store [eax+4], ecx
+    load ecx, [esi+8]
+    store [eax+8], ecx
+    load ecx, [esi+12]
+    store [eax+12], ecx
+    load edi, [ebp+8]
+    store [edi+0], eax
+    leave
+    ret
+
+; -------------------------------------------------------------------
+; invoke_slot_a(obj): dispatch method 0 (show) through the vtable.
+; DEFECT js-type-1 (290162 analogue): obj is trusted without a check.
+; -------------------------------------------------------------------
+invoke_slot_a:
+    enter 0
+    load ecx, [ebp+8]          ; object
+    load ebx, [ecx+0]          ; vtable
+    load edx, [ebx+0]          ; method 0
+    push ecx
+    callr edx                  ; << failure site A
+    add esp, 4
+    mov eax, 1
+    leave
+    ret
+
+; -------------------------------------------------------------------
+; invoke_slot_b(obj): dispatch method 2 (store) through the vtable.
+; DEFECT js-type-2 (295854 analogue).
+; -------------------------------------------------------------------
+invoke_slot_b:
+    enter 0
+    load ecx, [ebp+8]
+    load ebx, [ecx+0]
+    load edx, [ebx+8]          ; method 2
+    push ecx
+    callr edx                  ; << failure site B
+    add esp, 4
+    mov eax, 1
+    leave
+    ret
+
+; -------------------------------------------------------------------
+; invoke_gc(obj): dispatch method 0 at the garbage-collection-prone
+; site. DEFECT gc-collect (312278 analogue): obj may have been freed
+; and its memory recycled.
+; -------------------------------------------------------------------
+invoke_gc:
+    enter 0
+    load ecx, [ebp+8]
+    load ebx, [ecx+0]
+    load edx, [ebx+0]          ; method 0
+    push ecx
+    callr edx                  ; << failure site GC
+    add esp, 4
+    mov eax, 1
+    leave
+    ret
+
+; -------------------------------------------------------------------
+; render_widget_a(obj): dispatch method 1 (tag), then render through
+; the returned descriptor pointer. DEFECT mm-reuse-1 (269095): obj may
+; be an uninitialised re-allocation carrying attacker data.
+; The poisoned EAX models a dead return-value register: if the call is
+; skipped, the post-call dereference faults.
+; -------------------------------------------------------------------
+render_widget_a:
+    enter 0
+    mov eax, GAP               ; dead value in the return register
+    load ecx, [ebp+8]
+    load ebx, [ecx+0]
+    load edx, [ebx+4]          ; method 1
+    push ecx
+    callr edx                  ; << failure site WA
+    add esp, 4
+    load ebx, [eax+0]          ; descriptor -> string pointer
+    load ecx, [ebx+0]          ; string word
+    out ecx
+    mov eax, 1
+    leave
+    ret
+
+; -------------------------------------------------------------------
+; render_widget_b(obj): copy-paste of render_widget_a.
+; DEFECT mm-reuse-2 (320182 analogue).
+; -------------------------------------------------------------------
+render_widget_b:
+    enter 0
+    mov eax, GAP
+    load ecx, [ebp+8]
+    load ebx, [ecx+0]
+    load edx, [ebx+4]          ; method 1
+    push ecx
+    callr edx                  ; << failure site WB
+    add esp, 4
+    load ebx, [eax+0]
+    load ecx, [ebx+0]
+    out ecx
+    mov eax, 1
+    leave
+    ret
+
+; -------------------------------------------------------------------
+; The object methods (legitimate vtable entries).
+; -------------------------------------------------------------------
+method_show:
+    enter 0
+    load ecx, [ebp+8]
+    load ebx, [ecx+4]          ; field1: value
+    out ebx
+    mov eax, 1
+    leave
+    ret
+
+method_tag:
+    enter 0
+    load ecx, [ebp+8]
+    load ebx, [ecx+8]          ; field2: counter pointer
+    load edx, [ebx+0]
+    add edx, 1
+    store [ebx+0], edx         ; bump render counter
+    lea eax, [tagbuf]          ; return descriptor pointer
+    leave
+    ret
+
+method_store:
+    enter 0
+    load ecx, [ebp+8]
+    load ebx, [ecx+4]          ; field1: destination pointer
+    load edx, [ebx+0]
+    add edx, 1
+    store [ebx+0], edx
+    mov eax, 1
+    leave
+    ret
+
+; -------------------------------------------------------------------
+; handle_gif(p, len): decode a GIF-like image into a heap row buffer.
+; DEFECT gif-sign (285595 analogue): the extension offset extracted
+; from the file is used without a sign check. The out-of-bounds writes
+; happen one call down, in gif_write_row -- the correlated invariant
+; lives here, one procedure above the failure.
+; Payload: [count: 1 byte][pad: 1][offset: 4 bytes LE][pixels: words]
+; -------------------------------------------------------------------
+handle_gif:
+    enter 8
+    load esi, [ebp+8]
+    loadb ecx, [esi+0]         ; row word count (1..8 legitimate)
+    cmp ecx, 1
+    jl hg_bad
+    cmp ecx, 8
+    jg hg_bad
+    alloc eax, 64              ; row buffer (16 words)
+    store [ebp-4], eax
+    load ebx, [esi+2]          ; extension offset  << invariant: 0 <= ebx
+    mov edi, ebx
+    mul edi, 4
+    load eax, [ebp-4]
+    add eax, edi               ; row pointer = buf + offset*4
+    lea edx, [esi+8]           ; pixel source
+    push ecx                   ; arg3: count
+    push edx                   ; arg2: pixel source
+    push eax                   ; arg1: destination pointer
+    call gif_write_row
+    add esp, 12
+    load eax, [ebp-4]
+    load ebx, [eax+0]
+    out ebx                    ; render first pixel word
+    mov eax, 1
+    leave
+    ret
+hg_bad:
+    out 71                     ; 'G' -- malformed image marker
+    mov eax, 0
+    leave
+    ret
+
+; -------------------------------------------------------------------
+; gif_write_row(dst, src, count): copy pixel words. The failure (out
+; of bounds heap write) is detected here by Heap Guard.
+; -------------------------------------------------------------------
+gif_write_row:
+    enter 0
+    load edi, [ebp+8]          ; destination (pointer-classified)
+    load esi, [ebp+12]         ; source
+    load ecx, [ebp+16]         ; count
+    mov edx, 0
+gwr_loop:
+    cmp edx, ecx
+    jge gwr_done
+    load eax, [esi+0]
+    store [edi+0], eax         ; << failure site GIF (heap canary)
+    add esi, 4
+    add edi, 4
+    add edx, 1
+    jmp gwr_loop
+gwr_done:
+    mov eax, 1
+    leave
+    ret
+
+; -------------------------------------------------------------------
+; handle_link(p, len): render a hostname. DEFECT soft-hyphen (307259
+; analogue): the size computation skips soft hyphens but the copy
+; expands each soft hyphen to TWO bytes, so the buffer is undersized
+; whenever hyphens are present. The needed invariant (size >= visible
+; + 2*hyphens) is outside the learnable grammar.
+; Payload: NUL-terminated hostname bytes.
+; -------------------------------------------------------------------
+handle_link:
+    enter 12                   ; [ebp-4]=buf [ebp-8]=size [ebp-12]=written
+    load esi, [ebp+8]
+    mov ecx, 0                 ; visible character count (size)
+    mov edx, 0                 ; scan index
+hl_count:
+    mov eax, esi
+    add eax, edx
+    loadb ebx, [eax+0]
+    cmp ebx, 0
+    je hl_counted
+    cmp ebx, SOFT_HYPHEN
+    je hl_skip
+    add ecx, 1                 ; count visible characters
+hl_skip:
+    add edx, 1                 ; total scan index
+    jmp hl_count
+hl_counted:
+    cmp ecx, 1
+    jl hl_empty
+    alloc eax, ecx             ; buffer sized for visible chars only
+    store [ebp-4], eax
+    store [ebp-8], ecx
+    mov edi, eax
+    mov edx, 0                 ; source cursor
+    mov ecx, 0                 ; bytes written
+hl_copy:
+    mov eax, esi
+    add eax, edx
+    loadb ebx, [eax+0]
+    cmp ebx, 0
+    je hl_copied
+    ; disabled headroom assertion (dead computation kept by the
+    ; compiler): remaining = size - written
+    load eax, [ebp-8]
+    sub eax, ecx               ; << invariant: 1 <= remaining
+    cmp ebx, SOFT_HYPHEN
+    jne hl_plain
+    mov eax, 194               ; expand soft hyphen to 0xC2 0xAD
+    storeb [edi+0], eax        ; << failure site LINK (heap canary)
+    add edi, 1
+    add ecx, 1
+hl_plain:
+    storeb [edi+0], ebx        ; << also failure site LINK
+    add edi, 1
+    add ecx, 1
+    add edx, 1
+    jmp hl_copy
+hl_copied:
+    load eax, [ebp-4]
+    loadb ebx, [eax+0]
+    out ebx                    ; render first hostname byte
+    load ecx, [ebp-8]
+    out ecx                    ; and the visible size
+    mov eax, 1
+    leave
+    ret
+hl_empty:
+    out 76                     ; 'L' -- empty link marker
+    mov eax, 0
+    leave
+    ret
+
+; -------------------------------------------------------------------
+; handle_unicode(p, len): copy two-byte characters into a buffer.
+; DEFECT int-overflow (325403 analogue): on the growth path the new
+; buffer size is computed as grow*2+4, which wraps for huge grow
+; values, so the allocation is undersized and the copy overflows.
+; Payload: [chars: 4 bytes][grow: 4 bytes][data words ...]
+; -------------------------------------------------------------------
+handle_unicode:
+    enter 8
+    load esi, [ebp+8]
+    load ecx, [esi+0]          ; character count
+    cmp ecx, 16
+    jg hu_grow
+    ; small path: copy into the static buffer (always safe)
+    mov ebx, ecx
+    mul ebx, 2                 ; bytes to copy
+    lea edi, [unibuf]
+    lea edx, [esi+8]
+    mov eax, 0
+hu_small_loop:
+    cmp eax, ebx
+    jge hu_small_done
+    load esi, [edx+0]
+    store [edi+0], esi
+    add edx, 4
+    add edi, 4
+    add eax, 4
+    jmp hu_small_loop
+hu_small_done:
+    out 85                     ; 'U'
+    out ecx
+    mov eax, 1
+    leave
+    ret
+hu_grow:
+    ; growth path: each growth unit is a 4-byte slot plus a 64-byte
+    ; header. DEFECT: grow*4 wraps for huge grow requests, so the
+    ; allocation is undersized for the copy that follows.
+    load ebx, [esi+4]          ; grow request
+    cmp ebx, 0
+    je hu_bad                  ; reject zero growth
+    mul ebx, 4
+    add ebx, 64                ; alloc size  << invariant right side
+    alloc eax, ebx
+    store [ebp-4], eax
+    mov edx, ecx
+    mul edx, 2                 ; copy size   << invariant: copy <= alloc
+    mov edi, eax               ; destination
+    mov ecx, eax
+    add ecx, edx               ; end pointer = destination + copy size
+    lea esi, [esi+8]           ; character source
+    push ecx                   ; arg3: end pointer
+    push esi                   ; arg2: source
+    push edi                   ; arg1: destination
+    call uni_copy
+    add esp, 12
+    load eax, [ebp-4]
+    load ebx, [eax+0]
+    out 85
+    out ebx
+    mov eax, 1
+    leave
+    ret
+hu_bad:
+    out 85
+    out 0
+    mov eax, 0
+    leave
+    ret
+
+; -------------------------------------------------------------------
+; uni_copy(dst, src, end): word copy until dst reaches end. A library
+; style routine: every local quantity is a pointer, so learning infers
+; no enforceable invariants here (the model for the paper's unlearned
+; library memcpy) and correlation moves up to the caller.
+; -------------------------------------------------------------------
+uni_copy:
+    enter 0
+    load edi, [ebp+8]          ; destination
+    load esi, [ebp+12]         ; source
+    load ecx, [ebp+16]         ; end pointer
+uc_loop:
+    cmp edi, ecx
+    jae uc_done
+    load eax, [esi+0]
+    store [edi+0], eax         ; << failure site UNI (heap canary)
+    add esi, 4
+    add edi, 4
+    jmp uc_loop
+uc_done:
+    mov eax, 1
+    leave
+    ret
+
+; -------------------------------------------------------------------
+; handle_array(p, len): render a widget list entry through three
+; copy-pasted renderers. DEFECT neg-index (311710 analogue), present
+; identically in render_list_a, render_list_b, render_list_c.
+; Payload: [biased index: 4 bytes] (bias 1000)
+; -------------------------------------------------------------------
+handle_array:
+    enter 0
+    load esi, [ebp+8]
+    load ebx, [esi+0]          ; biased index
+    push ebx
+    call render_list_a
+    add esp, 4
+    load esi, [ebp+8]
+    load ebx, [esi+0]
+    push ebx
+    call render_list_b
+    add esp, 4
+    load esi, [ebp+8]
+    load ebx, [esi+0]
+    push ebx
+    call render_list_c
+    add esp, 4
+    mov eax, 1
+    leave
+    ret
+
+render_list_a:
+    enter 0
+    load ebx, [ebp+8]
+    sub ebx, 1000              ; un-bias  << invariant: 0 <= ebx
+    cmp ebx, {WIDGET_COUNT}
+    jge rla_done               ; upper bound checked; lower is NOT (defect)
+    lea esi, [widget_tbl]
+    mov edi, ebx
+    mul edi, 4
+    add esi, edi
+    load ecx, [esi+0]          ; widget object (may be attacker bytes)
+    load ebx, [ecx+0]          ; vtable
+    load edx, [ebx+0]          ; method 0
+    push ecx
+    callr edx                  ; << failure site LA
+    add esp, 4
+rla_done:
+    mov eax, 1
+    leave
+    ret
+
+render_list_b:
+    enter 0
+    load ebx, [ebp+8]
+    sub ebx, 1000
+    cmp ebx, {WIDGET_COUNT}
+    jge rlb_done
+    lea esi, [widget_tbl]
+    mov edi, ebx
+    mul edi, 4
+    add esi, edi
+    load ecx, [esi+0]
+    load ebx, [ecx+0]
+    load edx, [ebx+0]
+    push ecx
+    callr edx                  ; << failure site LB
+    add esp, 4
+rlb_done:
+    mov eax, 1
+    leave
+    ret
+
+render_list_c:
+    enter 0
+    load ebx, [ebp+8]
+    sub ebx, 1000
+    cmp ebx, {WIDGET_COUNT}
+    jge rlc_done
+    lea esi, [widget_tbl]
+    mov edi, ebx
+    mul edi, 4
+    add esi, edi
+    load ecx, [esi+0]
+    load ebx, [ecx+0]
+    load edx, [ebx+0]
+    push ecx
+    callr edx                  ; << failure site LC
+    add esp, 4
+rlc_done:
+    mov eax, 1
+    leave
+    ret
+
+; -------------------------------------------------------------------
+; handle_strtext(p, len): copy a length-prefixed string into a stack
+; buffer. DEFECT neg-strlen (296134 analogue): the computed copy
+; length can go negative; the unsigned loop bound then never stops
+; the copy, which smashes the saved frame and return address.
+; Payload: [declared length: 4 bytes][string bytes ... NUL]
+; -------------------------------------------------------------------
+handle_strtext:
+    enter 80                   ; 64-byte buffer + slack at [ebp-80]
+    load esi, [ebp+8]
+    load edx, [esi+0]          ; declared length
+    sub edx, 2                 ; copy length  << invariant: 1 <= edx
+    cmp edx, 64
+    jg hst_too_big             ; signed check passes for negatives (defect)
+    lea edi, [ebp-80]
+    lea esi, [esi+4]
+    mov ecx, 0                 ; index
+hst_copy:
+    cmp ecx, edx
+    jae hst_copied             ; UNSIGNED compare: -1 means "huge" (defect)
+    mov eax, esi
+    add eax, ecx
+    loadb ebx, [eax+0]
+    cmp ebx, 0
+    je hst_copied
+    mov eax, edi
+    add eax, ecx
+    storeb [eax+0], ebx        ; walks up over saved EBP / return address
+    add ecx, 1
+    jmp hst_copy
+hst_copied:
+    lea eax, [ebp-80]
+    loadb ebx, [eax+0]
+    out ebx                    ; render first character
+    out ecx                    ; and the copied length
+    mov eax, 1
+    leave
+    ret                        ; << failure site STR (smashed RA under MF)
+hst_too_big:
+    out 83                     ; 'S' -- oversized marker
+    mov eax, 0
+    leave
+    ret
+"""
+
+
+def build_browser() -> Binary:
+    """Assemble WebBrowse and return its binary image (with debug symbols;
+    call ``.stripped()`` for the artifact ClearView sees)."""
+    return assemble(BROWSER_SOURCE)
+
+
+#: Data-segment layout facts the exploit builders need (the attacker knows
+#: the address-space layout; there is no ASLR, as on the paper's Windows
+#: XP SP2 targets).
+INPUT_LEN_OFFSET = 0          # offset of input_len within .data
+INPUT_OFFSET = 4              # offset of the input buffer within .data
+INPUT_CAPACITY = 8192
+WIDGET_TBL_OFFSET = INPUT_OFFSET + INPUT_CAPACITY
+
+
+def input_address(offset_in_page: int) -> int:
+    """Absolute address of byte *offset_in_page* of the loaded page."""
+    from repro.vm.memory import Memory
+    return Memory.DATA_BASE + INPUT_OFFSET + offset_in_page

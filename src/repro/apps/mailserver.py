@@ -1,0 +1,428 @@
+"""MailServe: a second protected application (§4.5).
+
+The paper argues the Firefox results are "broadly representative of the
+results ClearView would deliver for other server applications".  This
+module provides that second data point: a mail-server-like program with
+a different input format, different code shapes, and two seeded defects
+of the classic server variety:
+
+- **subject-smash** — an unchecked header length lets a long subject
+  line overrun a stack buffer and the saved return address (detected by
+  Memory Firewall at the corrupted return);
+- **attach-overflow** — the attachment decoder trusts the header's
+  declared *decoded* size, so a lying header yields an undersized heap
+  buffer that the decode loop overruns (detected by Heap Guard).
+
+Message format::
+
+    [cmd: 1 byte][length: 2 bytes LE][payload] ... [cmd 0]
+
+Commands: 1 HELO, 2 MAIL FROM, 3 RCPT TO, 4 DATA, 5 SUBJECT, 6 ATTACH.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.vm.assembler import assemble
+from repro.vm.binary import Binary
+
+CMD_END = 0
+CMD_HELO = 1
+CMD_FROM = 2
+CMD_RCPT = 3
+CMD_DATA = 4
+CMD_SUBJECT = 5
+CMD_ATTACH = 6
+
+MAILSERVE_SOURCE = """
+; ===================================================================
+; MailServe -- a second ClearView-protected application
+; ===================================================================
+.data
+input_len:  .word 0
+input:      .space 8192
+mailboxes:  .word 0, 0, 0, 0, 0, 0, 0, 0
+cmdtable:   .word 0, do_helo, do_from, do_rcpt, do_data
+            .word do_subject, do_attach
+
+.code
+main:
+    call serve_message
+    halt
+
+; -------------------------------------------------------------------
+; serve_message: walk the command stream, dispatch through cmdtable.
+; -------------------------------------------------------------------
+serve_message:
+    enter 8
+    lea esi, [input_len]
+    load ecx, [esi+0]
+    mov edx, 0                 ; cursor
+sm_loop:
+    mov eax, edx
+    add eax, 3
+    cmp eax, ecx
+    jg sm_done
+    lea esi, [input]
+    add esi, edx
+    loadb ebx, [esi+0]         ; command
+    cmp ebx, 0
+    je sm_done
+    cmp ebx, 6
+    jg sm_skip
+    loadb eax, [esi+1]
+    loadb edi, [esi+2]
+    mul edi, 256
+    add eax, edi               ; payload length
+    store [ebp-4], edx
+    store [ebp-8], eax
+    push eax                   ; arg2: length
+    lea edi, [input]
+    add edi, edx
+    add edi, 3
+    push edi                   ; arg1: payload
+    lea edi, [cmdtable]
+    mov esi, ebx
+    mul esi, 4
+    add edi, esi
+    load edx, [edi+0]
+    callr edx                  ; command dispatch
+    add esp, 8
+    load edx, [ebp-4]
+    load eax, [ebp-8]
+    lea esi, [input_len]
+    load ecx, [esi+0]
+    add edx, 3
+    add edx, eax
+    jmp sm_loop
+sm_skip:
+    out 63                     ; '?'
+    jmp sm_done
+sm_done:
+    mov eax, 1
+    leave
+    ret
+
+; -------------------------------------------------------------------
+; do_helo(p, len): greet -- emit the client name checksum.
+; -------------------------------------------------------------------
+do_helo:
+    enter 0
+    load esi, [ebp+8]
+    load ecx, [ebp+12]
+    mov ebx, 0
+    mov edx, 0
+dh_loop:
+    cmp edx, ecx
+    jge dh_done
+    loadb eax, [esi+0]
+    add ebx, eax
+    add esi, 1
+    add edx, 1
+    jmp dh_loop
+dh_done:
+    out 220                    ; reply code
+    out ebx
+    mov eax, 1
+    leave
+    ret
+
+; -------------------------------------------------------------------
+; do_from(p, len): validate the sender address (must contain '@').
+; -------------------------------------------------------------------
+do_from:
+    enter 0
+    load esi, [ebp+8]
+    load ecx, [ebp+12]
+    mov edx, 0
+df_scan:
+    cmp edx, ecx
+    jge df_bad
+    loadb eax, [esi+0]
+    cmp eax, 64                ; '@'
+    je df_ok
+    add esi, 1
+    add edx, 1
+    jmp df_scan
+df_ok:
+    out 250
+    mov eax, 1
+    leave
+    ret
+df_bad:
+    out 53                     ; '5' -- reject
+    mov eax, 0
+    leave
+    ret
+
+; -------------------------------------------------------------------
+; do_rcpt(p, len): deliver to mailbox (first byte modulo table size).
+; -------------------------------------------------------------------
+do_rcpt:
+    enter 0
+    load esi, [ebp+8]
+    loadb eax, [esi+0]
+    and eax, 7                 ; mailbox index
+    lea edi, [mailboxes]
+    mov ebx, eax
+    mul ebx, 4
+    add edi, ebx
+    load ecx, [edi+0]
+    add ecx, 1
+    store [edi+0], ecx         ; bump the mailbox counter
+    out 251
+    out eax
+    mov eax, 1
+    leave
+    ret
+
+; -------------------------------------------------------------------
+; do_data(p, len): message body -- emit length and checksum.
+; -------------------------------------------------------------------
+do_data:
+    enter 0
+    load esi, [ebp+8]
+    load ecx, [ebp+12]
+    mov ebx, 0
+    mov edx, 0
+dd_loop:
+    cmp edx, ecx
+    jge dd_done
+    loadb eax, [esi+0]
+    add ebx, eax
+    add esi, 1
+    add edx, 1
+    jmp dd_loop
+dd_done:
+    out 354
+    out ecx
+    out ebx
+    mov eax, 1
+    leave
+    ret
+
+; -------------------------------------------------------------------
+; do_subject(p, len): copy the subject into a stack buffer. The header
+; declares the full field width; the text length is width minus the
+; 4-byte encoding envelope. DEFECT subject-smash: the subtraction can
+; go negative, and the copy loop's unsigned bound then never stops it.
+; Payload: [declared width: 2 bytes LE][subject bytes, NUL terminated]
+; -------------------------------------------------------------------
+do_subject:
+    enter 48                   ; 40-byte buffer + slack
+    load esi, [ebp+8]
+    loadb edx, [esi+0]
+    loadb eax, [esi+1]
+    mul eax, 256
+    add edx, eax               ; declared field width
+    sub edx, 4                 ; text length << invariant: 1 <= edx
+    cmp edx, 40
+    jg ds_too_big              ; signed check passes for negatives
+    lea edi, [ebp-48]
+    lea esi, [esi+2]
+    mov ecx, 0
+ds_copy:
+    cmp ecx, edx
+    jae ds_copied              ; UNSIGNED bound: -3 means "huge" (defect)
+    mov eax, esi
+    add eax, ecx
+    loadb ebx, [eax+0]
+    cmp ebx, 0
+    je ds_copied
+    mov eax, edi
+    add eax, ecx
+    storeb [eax+0], ebx        ; can walk over saved EBP / RA
+    add ecx, 1
+    jmp ds_copy
+ds_too_big:
+    out 52                     ; '4' -- temporary failure marker
+    mov eax, 0
+    leave
+    ret
+ds_copied:
+    lea eax, [ebp-48]
+    loadb ebx, [eax+0]
+    out 354
+    out ebx
+    out ecx
+    mov eax, 1
+    leave
+    ret                        ; << failure site SUBJ (smashed RA)
+
+; -------------------------------------------------------------------
+; do_attach(p, len): decode an attachment into a heap buffer.
+; DEFECT attach-overflow: the buffer is sized from the header's
+; declared decoded size, but the decode loop writes one word per
+; encoded word -- a lying header overruns the buffer.
+; Payload: [declared decoded size: 4 bytes][encoded words ...]
+; -------------------------------------------------------------------
+do_attach:
+    enter 8
+    load esi, [ebp+8]
+    load ebx, [esi+0]          ; declared decoded size
+    load ecx, [ebp+12]
+    sub ecx, 4                 ; encoded byte count << invariant: <= decl
+    alloc eax, ebx             ; buffer sized from the header (defect)
+    store [ebp-4], eax
+    mov edi, eax
+    mov edx, eax
+    add edx, ecx               ; end pointer = buffer + encoded bytes
+    lea esi, [esi+4]
+    push edx                   ; arg3: end pointer
+    push esi                   ; arg2: encoded source
+    push edi                   ; arg1: destination
+    call decode_words
+    add esp, 12
+    load eax, [ebp-4]
+    load ebx, [eax+0]
+    out 226
+    out ebx
+    mov eax, 1
+    leave
+    ret
+
+; -------------------------------------------------------------------
+; decode_words(dst, src, end): XOR-decode words until dst reaches end.
+; Library-style: every local quantity is a pointer, so learning infers
+; no enforceable invariants here and correlation climbs to the caller.
+; -------------------------------------------------------------------
+decode_words:
+    enter 0
+    load edi, [ebp+8]
+    load esi, [ebp+12]
+    load ecx, [ebp+16]
+dw_loop:
+    cmp edi, ecx
+    jae dw_done
+    load eax, [esi+0]
+    xor eax, 0x5A5A5A5A        ; "decode"
+    store [edi+0], eax         ; << failure site ATT (heap canary)
+    add esi, 4
+    add edi, 4
+    jmp dw_loop
+dw_done:
+    mov eax, 1
+    leave
+    ret
+"""
+
+
+def build_mailserver() -> Binary:
+    """Assemble MailServe (debug symbols included; strip for ClearView)."""
+    return assemble(MAILSERVE_SOURCE)
+
+
+class MessageBuilder:
+    """Composable builder for MailServe messages."""
+
+    def __init__(self):
+        self._chunks: list[bytes] = []
+
+    def _cmd(self, command: int, payload: bytes) -> "MessageBuilder":
+        self._chunks.append(bytes([command])
+                            + struct.pack("<H", len(payload)) + payload)
+        return self
+
+    def helo(self, name: str) -> "MessageBuilder":
+        return self._cmd(CMD_HELO, name.encode("latin-1"))
+
+    def mail_from(self, address: str) -> "MessageBuilder":
+        return self._cmd(CMD_FROM, address.encode("latin-1"))
+
+    def rcpt(self, address: str) -> "MessageBuilder":
+        return self._cmd(CMD_RCPT, address.encode("latin-1"))
+
+    def data(self, body: str) -> "MessageBuilder":
+        return self._cmd(CMD_DATA, body.encode("latin-1"))
+
+    def subject(self, text: bytes, declared: int | None = None
+                ) -> "MessageBuilder":
+        """Subject header: the declared field width is the text length
+        plus the 4-byte encoding envelope (the handler subtracts it)."""
+        declared = len(text) + 4 if declared is None else declared
+        return self._cmd(CMD_SUBJECT,
+                         struct.pack("<H", declared) + text + b"\x00")
+
+    def attach(self, encoded: bytes,
+               declared_size: int | None = None) -> "MessageBuilder":
+        declared_size = len(encoded) if declared_size is None \
+            else declared_size
+        return self._cmd(CMD_ATTACH,
+                         struct.pack("<I", declared_size) + encoded)
+
+    def build(self) -> bytes:
+        return b"".join(self._chunks) + b"\x00"
+
+
+def normal_messages() -> list[bytes]:
+    """A learning suite of legitimate mail sessions (varied enough to
+    kill one-of invariants on lengths and sizes)."""
+    messages = []
+    for index, (name, subject_len, body, attach_words, pad) in enumerate([
+            ("alpha", 1, "hi", 1, 0), ("bravo", 3, "hello there", 2, 4),
+            ("charlie", 5, "lorem ipsum", 3, 8),
+            ("delta", 7, "dolor", 4, 0),
+            ("echo", 9, "sit amet", 5, 12),
+            ("foxtrot", 11, "consectetur", 6, 4),
+            ("golf", 14, "adipiscing", 7, 16),
+            ("hotel", 17, "elit sed", 8, 8),
+            ("india", 21, "do eiusmod", 9, 20),
+            ("juliet", 26, "tempor", 10, 12)]):
+        builder = MessageBuilder()
+        builder.helo(name)
+        builder.mail_from(f"{name}@example.org")
+        builder.rcpt(f"user{index}@example.net")
+        builder.subject(bytes((65 + (i * 7 + index) % 26)
+                              for i in range(subject_len)))
+        builder.data(body)
+        # Attachments may declare a decoded size larger than the encoded
+        # body (buffers are padded to allocation granules), so the
+        # declared size and the encoded length vary independently.
+        encoded = bytes(range(32, 32 + 4 * attach_words))
+        builder.attach(encoded, declared_size=len(encoded) + pad)
+        messages.append(builder.build())
+    return messages
+
+
+def subject_smash_exploit() -> bytes:
+    """Overrun the 48-byte subject frame up over the return address.
+
+    The three low bytes of the payload address overwrite the return
+    address (the original high byte is zero); the copy's NUL terminator
+    stops after them.
+    """
+    from repro.apps.browser import input_address
+
+    builder = MessageBuilder()
+    builder.helo("mallory")
+    # Place a recognisable payload inside the message; its absolute
+    # address becomes the forged return target.
+    marker = b"\x90" * 12
+    offset = sum(len(chunk) for chunk in builder._chunks) + 3
+    payload_address = input_address(offset)
+    while 0 in ((payload_address & 0xFF),
+                (payload_address >> 8) & 0xFF,
+                (payload_address >> 16) & 0xFF):
+        builder.data("~")
+        offset = sum(len(chunk) for chunk in builder._chunks) + 3
+        payload_address = input_address(offset)
+    builder.data(marker.decode("latin-1"))
+    smash = (b"S" * 48 + b"BBBB"
+             + bytes([payload_address & 0xFF,
+                      (payload_address >> 8) & 0xFF,
+                      (payload_address >> 16) & 0xFF]))
+    # Declared width 1 makes the computed text length -3, which the
+    # unsigned copy bound treats as unbounded; the NUL terminator stops
+    # the copy just past the return address.
+    builder.subject(smash, declared=1)
+    return builder.build()
+
+
+def attach_overflow_exploit() -> bytes:
+    """Declare a tiny decoded size but ship a large encoded body."""
+    builder = MessageBuilder()
+    builder.helo("eve")
+    builder.mail_from("eve@evil.example")
+    builder.attach(bytes(range(64, 64 + 96)), declared_size=8)
+    return builder.build()

@@ -1,0 +1,245 @@
+"""Manual fixes for the seeded defects (§4.3.3).
+
+The paper compares ClearView's automatic patches with the maintainers'
+manual fixes for the same defects, observing that manual fixes "perform
+a consistency check close to the error, then skip the remaining part of
+the operation", while ClearView's repairs tend to execute more of the
+normal-case code.
+
+This module builds browser variants with *source-level* manual fixes
+applied — each fix mirrors the strategy §4.3.3 reports for the paper's
+corresponding exploit.  Tests use them to (a) prove every seeded defect
+is real (the fix makes the exploit harmless), and (b) contrast manual
+fixes' semantics with ClearView's patch semantics.
+"""
+
+from __future__ import annotations
+
+from repro.apps.browser import BROWSER_SOURCE
+from repro.vm.assembler import assemble
+from repro.vm.binary import Binary
+
+# Each fix is (defect-id, defective source fragment, fixed fragment).
+# Fragments are exact substrings of BROWSER_SOURCE, so applying a fix
+# fails loudly if the browser source drifts.
+
+_FIXES: dict[str, tuple[str, str]] = {}
+
+
+def _register(defect_id: str, old: str, new: str) -> None:
+    _FIXES[defect_id] = (old, new)
+
+
+# 290162 / 295854 analogues: "the manual fix checks the type of the
+# JavaScript object. If the check fails, the enclosing method simply
+# returns null."
+_register("js-type-1", """invoke_slot_a:
+    enter 0
+    load ecx, [ebp+8]          ; object
+    load ebx, [ecx+0]          ; vtable
+    load edx, [ebx+0]          ; method 0
+    push ecx
+    callr edx                  ; << failure site A
+    add esp, 4
+    mov eax, 1
+    leave
+    ret""", """invoke_slot_a:
+    enter 0
+    load ecx, [ebp+8]          ; object
+    load ebx, [ecx+0]          ; MANUAL FIX: check the object's class
+    lea eax, [vt_table]        ; (engine-internal vtable identity, which
+    cmp ebx, eax               ; a forged object cannot carry)
+    jne isa_badtype
+    load edx, [ebx+0]          ; method 0
+    push ecx
+    callr edx
+    add esp, 4
+    mov eax, 1
+    leave
+    ret
+isa_badtype:
+    mov eax, 0                 ; return null
+    leave
+    ret""")
+
+_register("js-type-2", """invoke_slot_b:
+    enter 0
+    load ecx, [ebp+8]
+    load ebx, [ecx+0]
+    load edx, [ebx+8]          ; method 2
+    push ecx
+    callr edx                  ; << failure site B
+    add esp, 4
+    mov eax, 1
+    leave
+    ret""", """invoke_slot_b:
+    enter 0
+    load ecx, [ebp+8]
+    load ebx, [ecx+0]          ; MANUAL FIX: check the object's class
+    lea eax, [vt_table]
+    cmp ebx, eax
+    jne isb_badtype
+    load edx, [ebx+8]          ; method 2
+    push ecx
+    callr edx
+    add esp, 4
+    mov eax, 1
+    leave
+    ret
+isb_badtype:
+    mov eax, 0
+    leave
+    ret""")
+
+# 312278 analogue: "the manual fix informs the garbage collector that it
+# holds a reference to the relevant object ... it does not collect the
+# object."  In WebBrowse terms: the premature free is not performed
+# while the slot still references the object.
+_register("gc-collect", """hs_free:
+    load eax, [edi+0]
+    free eax                   ; DEFECT gc-collect: slot keeps the pointer
+    jmp hs_next""", """hs_free:
+    nop                        ; MANUAL FIX: the live reference is known
+    jmp hs_next                ; to the collector; do not collect""")
+
+# 269095 / 320182 analogues: "the manual fix sets a flag that identifies
+# reallocated objects; subsequent code checks the flag to identify and
+# properly initialize any such reallocated objects."
+_register("mm-reuse", """js_create_raw:
+    enter 0
+    alloc eax, 16
+    load edi, [ebp+8]
+    store [edi+0], eax         ; vtable/fields left as found in memory
+    leave
+    ret""", """js_create_raw:
+    enter 0
+    alloc eax, 16
+    lea ebx, [vt_table]        ; MANUAL FIX: reinitialise recycled memory
+    store [eax+0], ebx
+    mov ecx, 0
+    store [eax+4], ecx
+    lea ecx, [counter1]
+    store [eax+8], ecx
+    mov ecx, 7
+    store [eax+12], ecx
+    load edi, [ebp+8]
+    store [edi+0], eax
+    leave
+    ret""")
+
+# 296134 analogue: "the manual fix adds a check for negative string
+# length. If the check fails, the enclosing method logs an error,
+# returns, and does not perform the copy."
+_register("neg-strlen", """    load edx, [esi+0]          ; declared length
+    sub edx, 2                 ; copy length  << invariant: 1 <= edx
+    cmp edx, 64
+    jg hst_too_big             ; signed check passes for negatives (defect)""",
+          """    load edx, [esi+0]          ; declared length
+    sub edx, 2                 ; copy length
+    cmp edx, 0                 ; MANUAL FIX: reject negative lengths
+    jl hst_too_big
+    cmp edx, 64
+    jg hst_too_big""")
+
+# 311710 analogue: "the manual fix corrects the conditional that caused
+# the application to compute the negative array index" — here, add the
+# missing lower-bound check in each copy-pasted renderer.
+for _suffix in ("a", "b", "c"):
+    _register(f"neg-index-{_suffix}", f"""render_list_{_suffix}:
+    enter 0
+    load ebx, [ebp+8]
+    sub ebx, 1000""", f"""render_list_{_suffix}:
+    enter 0
+    load ebx, [ebp+8]
+    sub ebx, 1000
+    cmp ebx, 0                 ; MANUAL FIX: reject negative indexes
+    jl rl{_suffix}_done""")
+
+# The fix needs a landing label; reuse each renderer's existing done
+# label by name (rla_done / rlb_done / rlc_done).
+for _suffix in ("a", "b", "c"):
+    old, new = _FIXES[f"neg-index-{_suffix}"]
+    _FIXES[f"neg-index-{_suffix}"] = (
+        old, new.replace(f"rl{_suffix}_done", f"rl{_suffix}_done"))
+
+# 285595 analogue: the paper's fix "removes the code containing the
+# defect" (the GIF extension). A behaviour-preserving variant: reject
+# images whose extension offset is negative.
+_register("gif-sign", """    load ebx, [esi+2]          ; extension offset  << invariant: 0 <= ebx
+    mov edi, ebx""", """    load ebx, [esi+2]          ; extension offset
+    cmp ebx, 0                 ; MANUAL FIX: check the extracted sign
+    jl hg_bad
+    mov edi, ebx""")
+
+# 325403 analogue: "the manual fix checks that the target array is large
+# enough to hold the data; if the check fails, the fix allocates a
+# larger target array."
+_register("int-overflow", """    mov edx, ecx
+    mul edx, 2                 ; copy size   << invariant: copy <= alloc
+    mov edi, eax               ; destination""", """    mov edx, ecx
+    mul edx, 2                 ; copy size
+    cmp edx, ebx               ; MANUAL FIX: target large enough?
+    jle hu_size_ok
+    mov ebx, edx
+    add ebx, 4
+    alloc eax, ebx             ; allocate a larger target and retry
+    store [ebp-4], eax
+hu_size_ok:
+    mov edi, eax               ; destination""")
+
+# 307259 analogue: size the buffer for the *encoded* hostname — each
+# soft hyphen costs two bytes.
+_register("soft-hyphen", """    cmp ebx, SOFT_HYPHEN
+    je hl_skip
+    add ecx, 1                 ; count visible characters
+hl_skip:
+    add edx, 1                 ; total scan index
+    jmp hl_count""", """    cmp ebx, SOFT_HYPHEN
+    jne hl_plainchar
+    add ecx, 2                 ; MANUAL FIX: hyphens encode as two bytes
+    jmp hl_counted_one
+hl_plainchar:
+    add ecx, 1                 ; count visible characters
+hl_counted_one:
+    add edx, 1                 ; total scan index
+    jmp hl_count""")
+
+#: Defect-id groups: applying a roster id applies every related fix.
+FIX_GROUPS: dict[str, list[str]] = {
+    "js-type-1": ["js-type-1"],
+    "js-type-2": ["js-type-2"],
+    "gc-collect": ["gc-collect"],
+    "mm-reuse-1": ["mm-reuse"],
+    "mm-reuse-2": ["mm-reuse"],
+    "neg-strlen": ["neg-strlen"],
+    "neg-index": ["neg-index-a", "neg-index-b", "neg-index-c"],
+    "gif-sign": ["gif-sign"],
+    "int-overflow": ["int-overflow"],
+    "soft-hyphen": ["soft-hyphen"],
+}
+
+
+def apply_fixes(source: str, defect_ids: list[str]) -> str:
+    """Return browser source with manual fixes for *defect_ids* applied."""
+    applied: set[str] = set()
+    for defect_id in defect_ids:
+        for fix_id in FIX_GROUPS[defect_id]:
+            if fix_id in applied:
+                continue
+            old, new = _FIXES[fix_id]
+            if old not in source:
+                raise ValueError(
+                    f"fix {fix_id!r} no longer matches the browser source")
+            source = source.replace(old, new)
+            applied.add(fix_id)
+    return source
+
+
+def build_fixed_browser(defect_ids: list[str] | None = None) -> Binary:
+    """Assemble WebBrowse with manual fixes applied.
+
+    ``defect_ids`` defaults to the full roster (every defect fixed).
+    """
+    if defect_ids is None:
+        defect_ids = list(FIX_GROUPS)
+    return assemble(apply_fixes(BROWSER_SOURCE, defect_ids))

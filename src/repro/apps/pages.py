@@ -1,0 +1,266 @@
+"""Web pages for WebBrowse: builder, learning suite, evaluation suite.
+
+Pages are the application's input (the paper's attack vector was web
+pages loaded by Firefox).  The binary format is::
+
+    [tag: 1 byte][length: 2 bytes LE][payload] ... [tag 0]
+
+The learning suite plays the role of the Blue Team's twelve learning
+pages (§4.2.2): legitimate pages that exercise the functionality related
+to the known vulnerabilities.  The evaluation suite plays the Red Team's
+57 legitimate evaluation pages: used for repair-quality comparison and
+false-positive testing.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.apps.browser import (
+    OP_CREATE,
+    OP_CREATE_PTR,
+    OP_CREATE_RAW,
+    OP_FREE,
+    OP_INVOKE_A,
+    OP_INVOKE_B,
+    OP_INVOKE_GC,
+    OP_SET_RAW,
+    OP_SPRAY,
+    OP_WIDGET_A,
+    OP_WIDGET_B,
+    TAG_ARRAY,
+    TAG_GIF,
+    TAG_HEADING,
+    TAG_LINK,
+    TAG_SCRIPT,
+    TAG_STRTEXT,
+    TAG_TEXT,
+    TAG_UNICODE,
+)
+
+
+class PageBuilder:
+    """Composable builder for WebBrowse pages."""
+
+    def __init__(self):
+        self._chunks: list[bytes] = []
+
+    # -- low-level ---------------------------------------------------------
+
+    def raw_tag(self, tag: int, payload: bytes) -> "PageBuilder":
+        if not 0 <= tag <= 255:
+            raise ValueError(f"tag out of range: {tag}")
+        if len(payload) > 0xFFFF:
+            raise ValueError("payload too long")
+        self._chunks.append(bytes([tag]) + struct.pack("<H", len(payload))
+                            + payload)
+        return self
+
+    def build(self) -> bytes:
+        """Final page bytes (terminated by the end tag)."""
+        return b"".join(self._chunks) + b"\x00"
+
+    @property
+    def size(self) -> int:
+        """Current size of the page, excluding the final end tag."""
+        return sum(len(chunk) for chunk in self._chunks)
+
+    # -- content tags -----------------------------------------------------
+
+    def text(self, content: str) -> "PageBuilder":
+        return self.raw_tag(TAG_TEXT, content.encode("latin-1"))
+
+    def heading(self, content: str) -> "PageBuilder":
+        return self.raw_tag(TAG_HEADING, content.encode("latin-1"))
+
+    def script(self, ops: list[tuple[int, int, int]]) -> "PageBuilder":
+        """A script tag; *ops* is a list of (op, slot, value) records."""
+        payload = b"".join(
+            struct.pack("<BBH", op, slot, 0) + struct.pack("<I", value)
+            for op, slot, value in ops)
+        return self.raw_tag(TAG_SCRIPT, payload)
+
+    def gif(self, count: int, offset: int,
+            pixels: list[int]) -> "PageBuilder":
+        """A GIF-like image: *count* row words at row *offset*."""
+        payload = struct.pack("<BB", count & 0xFF, 0)
+        payload += struct.pack("<i", offset)
+        payload += b"\x00\x00"  # align pixels to payload offset 8
+        payload += b"".join(struct.pack("<I", pixel & 0xFFFFFFFF)
+                            for pixel in pixels)
+        return self.raw_tag(TAG_GIF, payload)
+
+    def link(self, hostname: bytes) -> "PageBuilder":
+        """A link tag; *hostname* is raw bytes, NUL-terminated here."""
+        return self.raw_tag(TAG_LINK, hostname + b"\x00")
+
+    def unicode_text(self, chars: int, grow: int,
+                     data: bytes = b"") -> "PageBuilder":
+        payload = struct.pack("<I", chars) + struct.pack("<I",
+                                                         grow & 0xFFFFFFFF)
+        payload += data
+        return self.raw_tag(TAG_UNICODE, payload)
+
+    def array(self, biased_index: int) -> "PageBuilder":
+        return self.raw_tag(TAG_ARRAY, struct.pack("<I", biased_index))
+
+    def strtext(self, declared: int, content: bytes) -> "PageBuilder":
+        payload = struct.pack("<I", declared & 0xFFFFFFFF) + content + b"\x00"
+        return self.raw_tag(TAG_STRTEXT, payload)
+
+    def padding_to(self, offset: int, fill: bytes = b"Z") -> "PageBuilder":
+        """Pad with ignored TEXT tags so the next tag starts at *offset*."""
+        current = self.size
+        needed = offset - current - 3  # 3-byte header of the pad tag
+        if needed < 0:
+            raise ValueError(
+                f"page already {current} bytes; cannot pad to {offset}")
+        return self.raw_tag(TAG_TEXT, fill * needed)
+
+
+def _script_page(values: list[int]) -> bytes:
+    """A legitimate scripted page exercising all the object sites."""
+    ops: list[tuple[int, int, int]] = []
+    for index, value in enumerate(values):
+        slot = index % 8
+        ops.append((OP_CREATE, slot, value))
+        ops.append((OP_INVOKE_A, slot, 0))
+        ops.append((OP_WIDGET_A, slot, 0))
+        ops.append((OP_WIDGET_B, slot, 0))
+        ops.append((OP_INVOKE_GC, slot, 0))
+        ops.append((OP_CREATE_PTR, slot, 0))
+        ops.append((OP_INVOKE_B, slot, 0))
+    return PageBuilder().script(ops).build()
+
+
+def learning_pages() -> list[bytes]:
+    """The twelve-page learning suite (§4.2.2 analogue).
+
+    Deliberately varied so that: indices/lengths/sizes span >8 distinct
+    values (killing one-of invariants where the paper's repairs use
+    lower-bound/less-than instead), every vtable call site sees its one
+    legitimate target, and the UNICODE *growth* path is NOT exercised —
+    reproducing the insufficient-coverage condition behind exploit
+    325403 (§4.3.2).  ``expanded_learning_pages`` adds that coverage.
+    """
+    pages: list[bytes] = []
+
+    # Pages 1-3: scripted object workouts with varied field values.
+    pages.append(_script_page([10, 20, 30, 40]))
+    pages.append(_script_page([11, 22, 33]))
+    pages.append(_script_page([5, 15, 25, 35, 45]))
+
+    # Pages 4-5: GIF images covering the full legitimate range of row
+    # counts (1..8) and offsets (0..8).
+    builder = PageBuilder()
+    for count, offset in ((1, 0), (2, 1), (3, 2), (4, 3), (5, 4)):
+        builder.gif(count=count, offset=offset,
+                    pixels=[0x30 + offset] * 8)
+    pages.append(builder.build())
+    builder = PageBuilder()
+    for count, offset in ((6, 5), (7, 6), (8, 7), (8, 8), (4, 2)):
+        builder.gif(count=count, offset=offset,
+                    pixels=[0x50 + offset] * 8)
+    pages.append(builder.build())
+
+    # Pages 6-7: links with hostnames of many distinct lengths.
+    builder = PageBuilder()
+    for name in (b"a.io", b"ab.org", b"abc.com", b"abcd.net",
+                 b"abcde.edu", b"abcdef.gov"):
+        builder.link(name)
+    pages.append(builder.build())
+    builder = PageBuilder()
+    for name in (b"news.example.com", b"mail.example.org",
+                 b"wiki.example.net", b"cdn.example.io",
+                 b"m.example.gg"):
+        builder.link(name)
+    pages.append(builder.build())
+
+    # Page 8: unicode text, SMALL path only (chars <= 16; more than
+    # eight distinct counts, so no one-of survives on the count).
+    builder = PageBuilder()
+    for chars in (2, 3, 4, 6, 8, 10, 12, 14, 16):
+        builder.unicode_text(chars, grow=0,
+                             data=bytes(range(64, 64 + 2 * chars)))
+    pages.append(builder.build())
+
+    # Pages 9-10: widget arrays with indices 0..10 (biased by 1000).
+    builder = PageBuilder()
+    for index in (0, 1, 2, 3, 4, 5):
+        builder.array(1000 + index)
+    pages.append(builder.build())
+    builder = PageBuilder()
+    for index in (6, 7, 8, 9, 10, 3):
+        builder.array(1000 + index)
+    pages.append(builder.build())
+
+    # Pages 11-12: length-prefixed strings with many distinct lengths.
+    builder = PageBuilder()
+    for length in (1, 3, 5, 7, 9, 11):
+        builder.strtext(length + 2, b"q" * length)
+    pages.append(builder.build())
+    builder = PageBuilder()
+    for length in (2, 4, 6, 8, 10, 12):
+        builder.strtext(length + 2, b"r" * length)
+    builder.text("closing text").heading("closing heading")
+    pages.append(builder.build())
+
+    return pages
+
+
+def expanded_learning_pages() -> list[bytes]:
+    """The expanded suite that adds UNICODE growth-path coverage —
+    the §4.3.2 reconfiguration that lets ClearView patch the 325403
+    analogue."""
+    pages = learning_pages()
+    builder = PageBuilder()
+    for chars, grow in ((20, 16), (24, 24), (30, 40), (36, 60),
+                        (40, 100), (48, 200), (60, 400), (80, 700),
+                        (100, 1000)):
+        data = bytes((i % 23) + 65 for i in range(2 * chars))
+        builder.unicode_text(chars, grow, data)
+    pages.append(builder.build())
+    builder = PageBuilder()
+    for chars, grow in ((22, 18), (26, 30), (34, 55), (44, 150),
+                        (52, 320), (64, 512), (90, 880)):
+        data = bytes((i % 19) + 70 for i in range(2 * chars))
+        builder.unicode_text(chars, grow, data)
+    pages.append(builder.build())
+    return pages
+
+
+def evaluation_pages() -> list[bytes]:
+    """57 legitimate evaluation pages (the Red Team's suite analogue).
+
+    These exercise a broad range of browser functionality; they are used
+    to (a) verify patched output matches unpatched output bit for bit
+    and (b) confirm no false-positive patch generation.
+    """
+    pages: list[bytes] = []
+    for seed in range(57):
+        builder = PageBuilder()
+        builder.heading(f"Page {seed}")
+        builder.text("lorem ipsum " * ((seed % 5) + 1))
+        if seed % 3 == 0:
+            builder.gif(count=1 + (seed % 8), offset=seed % 9,
+                        pixels=[0x100 + seed] * 8)
+        if seed % 3 == 1:
+            builder.link(b"host%d.example.com" % (seed % 7))
+        if seed % 4 == 0:
+            builder.array(1000 + (seed % 11))
+        if seed % 4 == 2:
+            builder.strtext((seed % 13) + 3, b"s" * ((seed % 13) + 1))
+        if seed % 5 == 3:
+            builder.unicode_text((seed % 8) * 2 + 2, grow=0,
+                                 data=bytes(range(65, 65 + 32)))
+        if seed % 2 == 0:
+            slot = seed % 8
+            builder.script([
+                (OP_CREATE, slot, 100 + seed),
+                (OP_INVOKE_A, slot, 0),
+                (OP_WIDGET_A, slot, 0),
+                (OP_INVOKE_GC, slot, 0),
+            ])
+        builder.text(f"footer {seed}")
+        pages.append(builder.build())
+    return pages

@@ -1,0 +1,133 @@
+"""The defect roster: paper exploit -> WebBrowse defect mapping.
+
+Each entry documents one seeded defect, the paper exploit it reproduces,
+the error mechanism, the invariant ClearView should learn, the repair that
+should succeed, and any configuration the paper reports as required
+(§4.3.1-§4.3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Defect:
+    """One seeded defect and its expected ClearView outcome."""
+
+    defect_id: str
+    bugzilla: str                 # the paper exploit this reproduces
+    error_type: str               # Table 1 terminology
+    mechanism: str
+    expected_invariant: str
+    expected_repair: str
+    #: Expected exploit presentations before a protective patch (Table 1);
+    #: None when no patch is expected.
+    expected_presentations: int | None
+    #: True when Heap Guard must be enabled for detection (§4.4.4).
+    needs_heap_guard: bool = False
+    #: Correlation must search this many stack procedures (§4.3.2).
+    needs_stack_procedures: int = 1
+    #: True when only the expanded learning suite covers the invariant.
+    needs_expanded_learning: bool = False
+    #: False for the exploit ClearView cannot patch at all (307259).
+    patchable: bool = True
+
+
+DEFECTS: dict[str, Defect] = {defect.defect_id: defect for defect in [
+    Defect(
+        defect_id="js-type-1", bugzilla="290162",
+        error_type="Unchecked JavaScript Type",
+        mechanism="script stores an unchecked raw value as an object "
+                  "handle; method dispatch follows the attacker vtable",
+        expected_invariant="one-of at the dispatch call site",
+        expected_repair="call the known target (1st patch)",
+        expected_presentations=4),
+    Defect(
+        defect_id="js-type-2", bugzilla="295854",
+        error_type="Unchecked JavaScript Type",
+        mechanism="same family at the second dispatch site; the known "
+                  "method writes through a corrupted field, so "
+                  "re-invoking it crashes",
+        expected_invariant="one-of at the dispatch call site",
+        expected_repair="skip the call (2nd patch)",
+        expected_presentations=5),
+    Defect(
+        defect_id="gc-collect", bugzilla="312278",
+        error_type="Memory Management",
+        mechanism="object freed while still referenced; reallocated and "
+                  "attacker-filled before a stale dispatch",
+        expected_invariant="one-of at the dispatch call site",
+        expected_repair="call the known target (1st patch)",
+        expected_presentations=4),
+    Defect(
+        defect_id="mm-reuse-1", bugzilla="269095",
+        error_type="Memory Management",
+        mechanism="uninitialised reallocation inherits an attacker "
+                  "vtable; the call site's result is consumed after the "
+                  "call, so both state repairs crash",
+        expected_invariant="one-of at the dispatch call site",
+        expected_repair="return from the enclosing procedure (3rd patch)",
+        expected_presentations=6),
+    Defect(
+        defect_id="mm-reuse-2", bugzilla="320182",
+        error_type="Memory Management",
+        mechanism="copy-paste of mm-reuse-1 at a second renderer",
+        expected_invariant="one-of at the dispatch call site",
+        expected_repair="return from the enclosing procedure (3rd patch)",
+        expected_presentations=6),
+    Defect(
+        defect_id="neg-strlen", bugzilla="296134",
+        error_type="Stack Overflow",
+        mechanism="negative computed string length treated as unsigned "
+                  "by the copy loop; the copy smashes the saved return "
+                  "address",
+        expected_invariant="lower-bound on the computed length",
+        expected_repair="set the length to the bound (1st patch)",
+        expected_presentations=4),
+    Defect(
+        defect_id="neg-index", bugzilla="311710",
+        error_type="Out of Bounds Array Access",
+        mechanism="negative widget index reads an attacker pointer from "
+                  "below the table; three copy-pasted renderers share "
+                  "the defect and fail in sequence",
+        expected_invariant="lower-bound on the un-biased index",
+        expected_repair="set the index to zero (1st patch, three times)",
+        expected_presentations=12),
+    Defect(
+        defect_id="gif-sign", bugzilla="285595",
+        error_type="Heap Buffer Overflow",
+        mechanism="unchecked sign of the image extension offset; the "
+                  "out-of-bounds writes happen one call below the "
+                  "procedure holding the invariant",
+        expected_invariant="lower-bound on the extension offset (in the "
+                           "caller)",
+        expected_repair="set the offset to zero",
+        expected_presentations=4,
+        needs_heap_guard=True, needs_stack_procedures=2),
+    Defect(
+        defect_id="int-overflow", bugzilla="325403",
+        error_type="Heap Buffer Overflow",
+        mechanism="buffer growth size wraps in 32-bit arithmetic, so the "
+                  "allocation is undersized for the copy",
+        expected_invariant="less-than: copy size <= allocation size",
+        expected_repair="set the copy size to the allocation size",
+        expected_presentations=4,
+        needs_heap_guard=True, needs_expanded_learning=True),
+    Defect(
+        defect_id="soft-hyphen", bugzilla="307259",
+        error_type="Heap Buffer Overflow",
+        mechanism="buffer sized for visible characters while the copy "
+                  "expands soft hyphens to two bytes; the needed "
+                  "invariant (size >= visible + 2*hyphens) is outside "
+                  "the learnable grammar",
+        expected_invariant="(none expressible)",
+        expected_repair="(none; candidate repairs all fail)",
+        expected_presentations=None,
+        needs_heap_guard=True, patchable=False),
+]}
+
+
+def red_team_roster() -> list[Defect]:
+    """The ten defects, in Bugzilla-number order like Table 1."""
+    return sorted(DEFECTS.values(), key=lambda defect: defect.bugzilla)

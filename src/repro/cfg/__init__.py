@@ -1,0 +1,14 @@
+"""Control flow graphs, dominators, and dynamic procedure discovery."""
+
+from repro.cfg.discovery import (
+    DiscoveryPlugin,
+    ProcedureDatabase,
+    discover_all_reachable,
+)
+from repro.cfg.dominators import compute_dominators, strict_dominators
+from repro.cfg.graph import ProcedureCFG
+
+__all__ = [
+    "DiscoveryPlugin", "ProcedureDatabase", "discover_all_reachable",
+    "compute_dominators", "strict_dominators", "ProcedureCFG",
+]

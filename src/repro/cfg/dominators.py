@@ -1,0 +1,73 @@
+"""Dominator analysis over basic-block graphs.
+
+ClearView needs *predominators* (§2.2.2, footnote 1): instruction ``i``
+predominates ``j`` when every control-flow path to ``j`` first passes
+through ``i`` — so at ``j``, the values computed at ``i`` are guaranteed
+to be valid.  We compute block-level dominators with the classic iterative
+dataflow algorithm and lift the result to instructions (within a block,
+earlier instructions predominate later ones).
+"""
+
+from __future__ import annotations
+
+
+def compute_dominators(entry: int,
+                       successors: dict[int, list[int]]) -> dict[int, set[int]]:
+    """Block-level dominator sets.
+
+    Parameters
+    ----------
+    entry:
+        The entry node (dominates everything, including itself).
+    successors:
+        Adjacency: node -> successor nodes.  Every node reachable from
+        *entry* must appear as a key (possibly with an empty list).
+
+    Returns
+    -------
+    dict mapping each reachable node to the set of nodes that dominate it
+    (reflexive: every node dominates itself).
+    """
+    # Restrict to nodes reachable from the entry.
+    reachable: set[int] = set()
+    worklist = [entry]
+    while worklist:
+        node = worklist.pop()
+        if node in reachable:
+            continue
+        reachable.add(node)
+        worklist.extend(successors.get(node, []))
+
+    predecessors: dict[int, list[int]] = {node: [] for node in reachable}
+    for node in reachable:
+        for successor in successors.get(node, []):
+            if successor in reachable:
+                predecessors[successor].append(node)
+
+    dominators: dict[int, set[int]] = {
+        node: set(reachable) for node in reachable}
+    dominators[entry] = {entry}
+
+    changed = True
+    while changed:
+        changed = False
+        for node in reachable:
+            if node == entry:
+                continue
+            preds = predecessors[node]
+            if preds:
+                new = set.intersection(*(dominators[p] for p in preds))
+            else:
+                # Unreachable-through-predecessors artifacts keep only
+                # themselves plus the entry.
+                new = {entry}
+            new.add(node)
+            if new != dominators[node]:
+                dominators[node] = new
+                changed = True
+    return dominators
+
+
+def strict_dominators(dominators: dict[int, set[int]]) -> dict[int, set[int]]:
+    """Drop the reflexive element from each dominator set."""
+    return {node: doms - {node} for node, doms in dominators.items()}

@@ -1,0 +1,120 @@
+"""Procedure control flow graphs (§2.2.3).
+
+Nodes are basic blocks; edges represent intra-procedure control flow.
+Calls fall through (the callee belongs to a different procedure) and the
+graph ends at returns and unresolvable indirect jumps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cfg.dominators import compute_dominators
+from repro.dynamo.blocks import BasicBlock
+from repro.vm.isa import INSTRUCTION_SIZE
+
+
+@dataclass
+class ProcedureCFG:
+    """The control flow graph of one dynamically discovered procedure."""
+
+    entry: int
+    blocks: dict[int, BasicBlock] = field(default_factory=dict)
+    edges: dict[int, list[int]] = field(default_factory=dict)
+    _block_dominators: dict[int, set[int]] | None = None
+    _instruction_block: dict[int, int] | None = None
+
+    # -- construction -----------------------------------------------------
+
+    def add_block(self, block: BasicBlock) -> None:
+        self.blocks[block.start] = block
+        self.edges.setdefault(block.start, [])
+        self._invalidate()
+
+    def add_edge(self, source: int, target: int) -> None:
+        self.edges.setdefault(source, [])
+        if target not in self.edges[source]:
+            self.edges[source].append(target)
+        self._invalidate()
+
+    def _invalidate(self) -> None:
+        self._block_dominators = None
+        self._instruction_block = None
+
+    # -- queries ------------------------------------------------------------
+
+    def instruction_addresses(self) -> list[int]:
+        """All instruction addresses in this procedure, sorted."""
+        addresses: list[int] = []
+        for block in self.blocks.values():
+            addresses.extend(block.addresses())
+        return sorted(set(addresses))
+
+    def contains(self, pc: int) -> bool:
+        """True if instruction *pc* belongs to this procedure."""
+        return pc in self._instruction_map()
+
+    def block_of(self, pc: int) -> BasicBlock | None:
+        start = self._instruction_map().get(pc)
+        return self.blocks.get(start) if start is not None else None
+
+    def _instruction_map(self) -> dict[int, int]:
+        if self._instruction_block is None:
+            mapping: dict[int, int] = {}
+            for block in self.blocks.values():
+                for pc in block.addresses():
+                    mapping.setdefault(pc, block.start)
+            self._instruction_block = mapping
+        return self._instruction_block
+
+    def block_dominators(self) -> dict[int, set[int]]:
+        """Block-start -> set of dominating block-starts (reflexive)."""
+        if self._block_dominators is None:
+            self._block_dominators = compute_dominators(
+                self.entry,
+                {start: [t for t in targets if t in self.blocks]
+                 for start, targets in self.edges.items()})
+        return self._block_dominators
+
+    def predominators(self, pc: int) -> list[int]:
+        """Instruction addresses that predominate *pc*, in address order.
+
+        Includes *pc* itself (an instruction trivially "has executed" when
+        control is at it, and ClearView checks invariants *at* the failing
+        instruction too).
+        """
+        block = self.block_of(pc)
+        if block is None:
+            return []
+        result: list[int] = []
+        dominating_blocks = self.block_dominators().get(block.start, set())
+        for start in dominating_blocks:
+            dominating = self.blocks[start]
+            if start == block.start:
+                # Same block: instructions at or before pc.
+                result.extend(addr for addr in dominating.addresses()
+                              if addr <= pc)
+            else:
+                result.extend(dominating.addresses())
+        return sorted(set(result))
+
+    def predominates(self, i: int, j: int) -> bool:
+        """True if instruction *i* predominates instruction *j*."""
+        return i in self.predominators(j)
+
+    def exit_pcs(self) -> list[int]:
+        """Addresses of RET terminators (procedure exits)."""
+        from repro.vm.isa import Opcode
+        return [block.terminator_pc for block in self.blocks.values()
+                if block.terminator.opcode == Opcode.RET]
+
+    def __len__(self) -> int:
+        return len(self.blocks)
+
+    def describe(self) -> str:  # pragma: no cover - debugging aid
+        lines = [f"procedure @{self.entry:#x} "
+                 f"({len(self.blocks)} blocks)"]
+        for start in sorted(self.blocks):
+            targets = ", ".join(f"{t:#x}" for t in self.edges.get(start, []))
+            lines.append(f"  block {start:#x} -> [{targets}]")
+        return "\n".join(lines)

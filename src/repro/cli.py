@@ -1,0 +1,143 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``exercise``
+    Run the full Red Team exercise and print Table 1.
+``attack DEFECT``
+    Drive one exploit (e.g. ``attack gc-collect``) and print the
+    ClearView event log and maintainer report.
+``learn``
+    Run the learning suite and print invariant statistics.
+``list``
+    List the defect roster.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.apps import red_team_roster
+from repro.core import report_all
+from repro.redteam import RedTeamExercise, all_exploits, exploit
+
+
+def _cmd_list(_args) -> int:
+    print(f"{'defect':14s} {'bugzilla':9s} {'error type':28s} "
+          f"{'expected':9s} notes")
+    for defect in red_team_roster():
+        notes = []
+        if defect.needs_heap_guard:
+            notes.append("heap-guard")
+        if defect.needs_stack_procedures > 1:
+            notes.append(f"stack>={defect.needs_stack_procedures}")
+        if defect.needs_expanded_learning:
+            notes.append("expanded-learning")
+        if not defect.patchable:
+            notes.append("unpatchable")
+        expected = defect.expected_presentations or "-"
+        print(f"{defect.defect_id:14s} {defect.bugzilla:9s} "
+              f"{defect.error_type:28s} {str(expected):9s} "
+              f"{', '.join(notes)}")
+    return 0
+
+
+def _cmd_learn(args) -> int:
+    exercise = RedTeamExercise(expanded_learning=args.expanded)
+    result = exercise.prepare()
+    database = result.database
+    print(f"pages:        "
+          f"{len(result.runs)} ({result.excluded_runs} excluded)")
+    print(f"observations: {result.observations}")
+    print(f"procedures:   {len(result.procedures.procedures)}")
+    print(f"invariants:   {len(database)}")
+    for kind, count in sorted(database.counts_by_kind().items()):
+        print(f"  {kind:12s} {count}")
+    return 0
+
+
+def _cmd_attack(args) -> int:
+    try:
+        item = exploit(args.defect)
+    except KeyError:
+        print(f"unknown defect {args.defect!r}; try: "
+              + ", ".join(sorted(d.defect_id for d in red_team_roster())),
+              file=sys.stderr)
+        return 2
+    exercise = RedTeamExercise(
+        expanded_learning=item.defect.needs_expanded_learning,
+        stack_procedures=item.defect.needs_stack_procedures)
+    exercise.prepare()
+    result = exercise.attack(item, max_presentations=args.presentations)
+    print(f"presentations: {result.presentations}")
+    print(f"patched at:    {result.survived_at or '-'}")
+    print(f"all blocked:   {result.all_blocked}")
+    print("\nevents:")
+    for event in result.clearview.events:
+        print(f"  {event}")
+    print("\nmaintainer report:")
+    for report in report_all(result.clearview):
+        print(report.format())
+    return 0
+
+
+def _cmd_exercise(args) -> int:
+    exercise = RedTeamExercise()
+    exercise.prepare()
+    print(f"{'bugzilla':9s} {'defect':14s} {'presentations':14s} outcome")
+    failures = 0
+    for item in all_exploits():
+        per_defect = exercise._for_defect(item)
+        result = per_defect.attack(item,
+                                   max_presentations=args.presentations)
+        expected = item.defect.expected_presentations
+        ok = result.survived_at == expected
+        if not ok:
+            failures += 1
+        outcome = "patched" if result.patched else "blocked"
+        marker = "" if ok else "  << expected "f"{expected}"
+        print(f"{item.bugzilla:9s} {item.defect_id:14s} "
+              f"{str(result.survived_at or '-'):14s} {outcome}{marker}")
+    sessions, comparison = exercise.false_positive_test()
+    print(f"\nfalse positives: {sessions}; displays identical: "
+          f"{comparison.identical}/{comparison.pages}")
+    return 1 if failures else 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ClearView reproduction (SOSP 2009) command line")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("list", help="list the defect roster") \
+        .set_defaults(handler=_cmd_list)
+
+    learn_parser = commands.add_parser(
+        "learn", help="run the learning suite, print statistics")
+    learn_parser.add_argument("--expanded", action="store_true",
+                              help="use the expanded learning suite")
+    learn_parser.set_defaults(handler=_cmd_learn)
+
+    attack_parser = commands.add_parser(
+        "attack", help="drive one exploit against protected WebBrowse")
+    attack_parser.add_argument("defect", help="defect id, e.g. gc-collect")
+    attack_parser.add_argument("--presentations", type=int, default=20)
+    attack_parser.set_defaults(handler=_cmd_attack)
+
+    exercise_parser = commands.add_parser(
+        "exercise", help="run the full Red Team exercise (Table 1)")
+    exercise_parser.add_argument("--presentations", type=int, default=20)
+    exercise_parser.set_defaults(handler=_cmd_exercise)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

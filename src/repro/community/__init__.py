@@ -1,0 +1,21 @@
+"""Application communities: distributed learning and patch distribution."""
+
+from repro.community.manager import (
+    CommunityEnvironment,
+    CommunityManager,
+    DistributedLearningReport,
+)
+from repro.community.node import CommunityNode, NodeStats
+from repro.community.strategies import (
+    overlapping_assignments,
+    partition_random,
+    partition_round_robin,
+)
+from repro.community.transport import Message, MessageBus
+
+__all__ = [
+    "CommunityEnvironment", "CommunityManager",
+    "DistributedLearningReport", "CommunityNode", "NodeStats",
+    "overlapping_assignments", "partition_random",
+    "partition_round_robin", "Message", "MessageBus",
+]

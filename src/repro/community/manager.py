@@ -1,0 +1,302 @@
+"""The central ClearView manager for an application community (§3).
+
+Coordinates learning and repair across member machines:
+
+- **Amortized parallel learning** (§3.1): each member traces a subset of
+  procedures; the server merges uploaded invariant databases.
+- **Failure response** (§3.2): the ClearView core drives correlation and
+  repair, with patches pushed to *every* member through the management
+  console facade — members never exposed to an attack become immune
+  ("Protection Without Exposure").
+- **Parallel repair evaluation** (§3.1): candidate repairs can be farmed
+  out to different members and evaluated in one round.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cfg.discovery import DiscoveryPlugin, ProcedureDatabase
+from repro.community.node import CommunityNode
+from repro.community.strategies import (
+    overlapping_assignments,
+    partition_random,
+    partition_round_robin,
+)
+from repro.community.transport import MessageBus
+from repro.core.clearview import ClearView, ClearViewConfig, SessionState
+from repro.core.repair import build_repair_patch
+from repro.dynamo.execution import (
+    EnvironmentConfig,
+    ManagedEnvironment,
+    Outcome,
+    RunResult,
+)
+from repro.dynamo.patches import Patch
+from repro.learning.database import InvariantDatabase
+from repro.vm.binary import Binary
+
+_STRATEGIES = {
+    "round-robin": partition_round_robin,
+    "random": partition_random,
+    "overlapping": overlapping_assignments,
+}
+
+
+class CommunityEnvironment:
+    """Management-console facade: looks like one ManagedEnvironment to the
+    ClearView core, but fans patches out to every member and runs inputs
+    on members round-robin."""
+
+    def __init__(self, nodes: list[CommunityNode]):
+        if not nodes:
+            raise ValueError("a community needs at least one member")
+        self.nodes = nodes
+        self.patches: list[Patch] = []
+        self._next = 0
+
+    @property
+    def binary(self) -> Binary:
+        return self.nodes[0].binary
+
+    def run(self, payload: bytes) -> RunResult:
+        node = self.nodes[self._next % len(self.nodes)]
+        self._next += 1
+        return node.run(payload)
+
+    def run_on(self, index: int, payload: bytes) -> RunResult:
+        return self.nodes[index % len(self.nodes)].run(payload)
+
+    def install_patch(self, patch: Patch) -> None:
+        self.patches.append(patch)
+        for node in self.nodes:
+            node.apply_patch(patch)
+
+    def remove_patch(self, patch: Patch) -> None:
+        self.patches.remove(patch)
+        for node in self.nodes:
+            node.remove_patch(patch)
+
+    def clear_patches(self, predicate=None) -> int:
+        victims = [patch for patch in self.patches
+                   if predicate is None or predicate(patch)]
+        for patch in victims:
+            self.remove_patch(patch)
+        return len(victims)
+
+
+@dataclass
+class DistributedLearningReport:
+    """What distributed learning produced (for the §3.1 benches)."""
+
+    database: InvariantDatabase
+    procedures: ProcedureDatabase
+    per_node_observations: list[int] = field(default_factory=list)
+    full_observations: int = 0
+    upload_bytes: int = 0
+
+
+class CommunityManager:
+    """The centralized server coordinating a WebBrowse community."""
+
+    def __init__(self, binary: Binary, members: int = 4,
+                 config: EnvironmentConfig | None = None,
+                 bus: MessageBus | None = None):
+        self.binary = binary.stripped()
+        self.bus = bus or MessageBus()
+        self.config = config or EnvironmentConfig.full()
+        self.nodes = [CommunityNode(f"node-{index}", self.binary, self.bus,
+                                    self.config)
+                      for index in range(members)]
+        self.environment = CommunityEnvironment(self.nodes)
+        self.database: InvariantDatabase | None = None
+        self.procedures: ProcedureDatabase | None = None
+        self.clearview: ClearView | None = None
+
+    # ------------------------------------------------------------------
+    # Distributed learning (§3.1)
+    # ------------------------------------------------------------------
+
+    def discover_procedures(self, pages: list[bytes]) -> ProcedureDatabase:
+        """Scout pass: run the workload once with discovery (no tracing)
+        to enumerate the application's procedures."""
+        procedures = ProcedureDatabase(self.binary)
+        scout = ManagedEnvironment(self.binary, self.config)
+        scout.cache_plugins.append(DiscoveryPlugin(procedures))
+        for page in pages:
+            scout.run(page)
+        return procedures
+
+    def learn_distributed(self, pages: list[bytes],
+                          strategy: str = "round-robin",
+                          pair_scope: str = "block"
+                          ) -> DistributedLearningReport:
+        """Each member traces its assigned procedures over the workload;
+        the server merges the uploaded invariants."""
+        if strategy not in _STRATEGIES:
+            raise ValueError(f"unknown strategy {strategy!r}; "
+                             f"choose from {sorted(_STRATEGIES)}")
+        self.procedures = self.discover_procedures(pages)
+        assignments = _STRATEGIES[strategy](
+            self.procedures.entries(), len(self.nodes))
+
+        uploads: list[InvariantDatabase] = []
+        observations: list[int] = []
+        for node, assignment in zip(self.nodes, assignments):
+            node.enable_learning(traced_procedures=assignment,
+                                 pair_scope=pair_scope)
+            for page in pages:
+                node.run(page)
+            uploads.append(node.upload_invariants())
+            observations.append(node.stats.traced_observations)
+            node.disable_learning()
+
+        merged = uploads[0]
+        for upload in uploads[1:]:
+            merged = merged.merge(upload)
+        self.database = merged
+        upload_bytes = self.bus.bytes_by_kind().get("invariant-upload", 0)
+        return DistributedLearningReport(
+            database=merged, procedures=self.procedures,
+            per_node_observations=observations,
+            full_observations=sum(observations),
+            upload_bytes=upload_bytes)
+
+    def adopt_model(self, database: InvariantDatabase,
+                    procedures: ProcedureDatabase) -> None:
+        """Install a centrally learned model (e.g. from a single-machine
+        learning pass) instead of distributed learning."""
+        self.database = database
+        self.procedures = procedures
+
+    # ------------------------------------------------------------------
+    # Protection (§3.2)
+    # ------------------------------------------------------------------
+
+    def protect(self, config: ClearViewConfig | None = None) -> ClearView:
+        """Arm the community: the ClearView core over the console facade."""
+        if self.database is None or self.procedures is None:
+            raise RuntimeError("learn (or adopt a model) before protecting")
+        self.clearview = ClearView(self.environment,  # type: ignore[arg-type]
+                                   self.database, self.procedures, config)
+        return self.clearview
+
+    def attack(self, page: bytes) -> RunResult:
+        """Present an attack page to the community (round-robin member)."""
+        if self.clearview is None:
+            self.protect()
+        assert self.clearview is not None
+        return self.clearview.run(page)
+
+    def immune_members(self, page: bytes) -> int:
+        """How many members survive *page* right now — patched members
+        that were never attacked should all survive (Protection Without
+        Exposure)."""
+        survivors = 0
+        for node in self.nodes:
+            result = node.environment.run(page)
+            if result.outcome is Outcome.COMPLETED:
+                survivors += 1
+        return survivors
+
+    # ------------------------------------------------------------------
+    # Malicious-node mitigation (§5)
+    # ------------------------------------------------------------------
+
+    def validate_failure_report(self, payload: bytes,
+                                claimed_failure_pc: int) -> bool:
+        """§5 "Malicious Nodes": before acting on a member's failure
+        notification, reproduce the error on a trusted machine.  A
+        fabricated report (the input does not actually produce a failure
+        at the claimed location) is rejected."""
+        trusted = ManagedEnvironment(self.binary, self.config)
+        result = trusted.run(payload)
+        return (result.outcome is Outcome.FAILURE and
+                result.failure_pc == claimed_failure_pc)
+
+    def validate_patch_on_trusted_node(self, patches: list[Patch],
+                                       exploit_page: bytes,
+                                       sample_pages: list[bytes]) -> bool:
+        """Evaluate generated *patches* on a trusted node before
+        community-wide distribution: the exploit must no longer take
+        effect, and the sample legitimate pages must render exactly as
+        they do unpatched."""
+        reference = ManagedEnvironment(self.binary, self.config)
+        expected = [reference.run(page).output for page in sample_pages]
+
+        trusted = ManagedEnvironment(self.binary, self.config)
+        for patch in patches:
+            trusted.install_patch(patch)
+        attacked = trusted.run(exploit_page)
+        if attacked.outcome is not Outcome.COMPLETED:
+            return False
+        for page, outputs in zip(sample_pages, expected):
+            result = trusted.run(page)
+            if result.outcome is not Outcome.COMPLETED or \
+                    result.output != outputs:
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Parallel repair evaluation (§3.1)
+    # ------------------------------------------------------------------
+
+    def evaluate_candidates_in_parallel(self, failure_pc: int,
+                                        page: bytes) -> int:
+        """Evaluate the top candidate repairs for *failure_pc* on distinct
+        members in one round; returns the number of rounds used (1 if any
+        of the first len(nodes) candidates succeeds).
+
+        This models §3.1's "Faster Repair Evaluation": with N members the
+        community tries N candidate repairs per attack wave instead of 1.
+        """
+        assert self.clearview is not None
+        session = self.clearview.sessions.get(failure_pc)
+        if session is None or session.evaluator is None:
+            raise RuntimeError("no repair evaluation in progress for "
+                               f"{failure_pc:#x}")
+        # Take over from the sequential evaluator: withdraw whatever trial
+        # repair it had distributed before farming out the candidates.
+        for patch in list(session.current_patches):
+            self.environment.remove_patch(patch)
+        session.current_patches = []
+        session.current_repair = None
+        rounds = 0
+        ranking = session.evaluator.ranking()
+        cursor = 0
+        while cursor < len(ranking):
+            rounds += 1
+            wave = ranking[cursor:cursor + len(self.nodes)]
+            cursor += len(wave)
+            winner = None
+            for node, scored in zip(self.nodes, wave):
+                patches = build_repair_patch(
+                    self.binary, scored.candidate, session.failure_id,
+                    database=self.database)
+                for patch in patches:
+                    node.apply_patch(patch)
+                result = node.environment.run(page)
+                success = (result.outcome is Outcome.COMPLETED or
+                           (result.outcome is Outcome.FAILURE and
+                            result.failure_pc != failure_pc))
+                if success:
+                    session.evaluator.record_success(scored)
+                    winner = scored
+                else:
+                    session.evaluator.record_failure(scored)
+                for patch in patches:
+                    node.remove_patch(patch)
+            if winner is not None:
+                # Distribute the winner community-wide.
+                patches = build_repair_patch(
+                    self.binary, winner.candidate, session.failure_id,
+                    database=self.database)
+                self.environment.clear_patches(
+                    lambda patch: patch.failure_id == session.failure_id)
+                for patch in patches:
+                    self.environment.install_patch(patch)
+                session.current_repair = winner
+                session.current_patches = patches
+                session.state = SessionState.PATCHED
+                return rounds
+        return rounds

@@ -1,0 +1,112 @@
+"""A community member: one machine running the protected application.
+
+Each node wraps a managed environment (its running application), can
+learn locally over an assigned subset of procedures, and reports run
+outcomes to the central manager over the message bus — the Determina
+Node Manager role in §3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cfg.discovery import DiscoveryPlugin, ProcedureDatabase
+from repro.community.transport import MessageBus
+from repro.dynamo.execution import (
+    EnvironmentConfig,
+    ManagedEnvironment,
+    Outcome,
+    RunResult,
+)
+from repro.dynamo.patches import Patch
+from repro.learning.database import InvariantDatabase
+from repro.learning.inference import InferenceEngine
+from repro.learning.traces import TraceFrontEnd
+from repro.vm.binary import Binary
+
+
+@dataclass
+class NodeStats:
+    """Per-node accounting for the §3.1 benefit claims."""
+
+    runs: int = 0
+    traced_observations: int = 0
+    failures_reported: int = 0
+    patches_applied: int = 0
+
+
+class CommunityNode:
+    """One member machine."""
+
+    def __init__(self, name: str, binary: Binary, bus: MessageBus,
+                 config: EnvironmentConfig | None = None):
+        self.name = name
+        self.binary = binary.stripped()
+        self.bus = bus
+        self.environment = ManagedEnvironment(
+            self.binary, config or EnvironmentConfig.full())
+        self.stats = NodeStats()
+        self._front_end: TraceFrontEnd | None = None
+        self._engine: InferenceEngine | None = None
+        self._procedures: ProcedureDatabase | None = None
+
+    # -- learning ------------------------------------------------------------
+
+    def enable_learning(self, traced_procedures: set[int] | None = None,
+                        pair_scope: str = "block") -> None:
+        """Attach a local Daikon over *traced_procedures* (None = all)."""
+        self._procedures = ProcedureDatabase(self.binary)
+        self._engine = InferenceEngine(self._procedures,
+                                       pair_scope=pair_scope)
+        self._front_end = TraceFrontEnd(self._engine, self._procedures,
+                                        traced_procedures=traced_procedures)
+        self.environment.cache_plugins.append(
+            DiscoveryPlugin(self._procedures))
+        self.environment.extra_hooks.append(self._front_end)
+
+    def disable_learning(self) -> None:
+        if self._front_end is not None:
+            self.environment.extra_hooks.remove(self._front_end)
+            self._front_end = None
+
+    def upload_invariants(self) -> InvariantDatabase:
+        """Finalize local inference and upload the invariants (only the
+        invariants — never trace data, §3.1) to the central server."""
+        if self._engine is None:
+            raise RuntimeError(f"node {self.name} is not learning")
+        database = self._engine.finalize()
+        self.bus.send(self.name, "server", "invariant-upload",
+                      database.to_dict())
+        return database
+
+    @property
+    def procedures(self) -> ProcedureDatabase | None:
+        return self._procedures
+
+    # -- running -------------------------------------------------------------
+
+    def run(self, payload: bytes) -> RunResult:
+        """Run one input; report any failure to the central manager."""
+        result = self.environment.run(payload)
+        self.stats.runs += 1
+        if self._front_end is not None:
+            self.stats.traced_observations = self._front_end.traced
+        if result.outcome is Outcome.FAILURE:
+            self.stats.failures_reported += 1
+            self.bus.send(self.name, "server", "failure-notification", {
+                "failure_pc": result.failure_pc,
+                "monitor": result.monitor,
+                "call_stack": list(result.call_stack),
+                "call_sites": list(result.call_sites),
+            })
+        return result
+
+    # -- patch management ----------------------------------------------------
+
+    def apply_patch(self, patch: Patch) -> None:
+        """Apply a patch pushed by the Management Console."""
+        self.environment.install_patch(patch)
+        self.stats.patches_applied += 1
+
+    def remove_patch(self, patch: Patch) -> None:
+        self.environment.remove_patch(patch)

@@ -1,0 +1,50 @@
+"""Distributed learning strategies (§3.1).
+
+Each community member traces only part of the application, so no single
+member pays the full (~300x) learning overhead.  A strategy assigns each
+member a subset of procedures to trace; the central server merges the
+locally inferred invariants.
+"""
+
+from __future__ import annotations
+
+import random
+
+
+def partition_round_robin(procedures: list[int],
+                          members: int) -> list[set[int]]:
+    """Deterministic round-robin partition of procedure entries."""
+    if members < 1:
+        raise ValueError("need at least one member")
+    assignments: list[set[int]] = [set() for _ in range(members)]
+    for index, entry in enumerate(sorted(procedures)):
+        assignments[index % members].add(entry)
+    return assignments
+
+
+def partition_random(procedures: list[int], members: int,
+                     seed: int = 0) -> list[set[int]]:
+    """Random partition — the paper's "randomly chosen small part of
+    every running application" strategy, seeded for reproducibility."""
+    if members < 1:
+        raise ValueError("need at least one member")
+    rng = random.Random(seed)
+    assignments: list[set[int]] = [set() for _ in range(members)]
+    for entry in sorted(procedures):
+        assignments[rng.randrange(members)].add(entry)
+    return assignments
+
+
+def overlapping_assignments(procedures: list[int], members: int,
+                            redundancy: int = 2) -> list[set[int]]:
+    """Assign each procedure to *redundancy* members so the merged model
+    reflects more than one user's behaviour per procedure (improving
+    learning accuracy, §3's "Learning Accuracy" benefit)."""
+    if members < 1:
+        raise ValueError("need at least one member")
+    redundancy = min(redundancy, members)
+    assignments: list[set[int]] = [set() for _ in range(members)]
+    for index, entry in enumerate(sorted(procedures)):
+        for step in range(redundancy):
+            assignments[(index + step) % members].add(entry)
+    return assignments

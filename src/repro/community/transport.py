@@ -1,0 +1,64 @@
+"""Simulated secure transport between community members and the server.
+
+Models the Determina Node Manager <-> Management Console channel (SSL in
+the paper).  Messages are JSON-able dicts; the bus records every message
+with its approximate wire size, which lets benchmarks verify the §3.1
+claim that members upload *invariants*, never raw trace data.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Message:
+    """One transported message."""
+
+    sender: str
+    recipient: str
+    kind: str
+    payload: dict
+
+    def wire_size(self) -> int:
+        """Approximate serialized size in bytes."""
+        return len(json.dumps(self.payload, separators=(",", ":")))
+
+
+@dataclass
+class MessageBus:
+    """In-process message bus with delivery accounting."""
+
+    log: list[Message] = field(default_factory=list)
+    _subscribers: dict[str, list] = field(default_factory=dict)
+
+    def subscribe(self, name: str, handler) -> None:
+        """Register *handler* (callable(Message)) for messages to *name*."""
+        self._subscribers.setdefault(name, []).append(handler)
+
+    def send(self, sender: str, recipient: str, kind: str,
+             payload: dict) -> Message:
+        """Deliver a message synchronously; returns the logged record."""
+        message = Message(sender=sender, recipient=recipient, kind=kind,
+                          payload=payload)
+        self.log.append(message)
+        for handler in self._subscribers.get(recipient, ()):
+            handler(message)
+        return message
+
+    # -- accounting ---------------------------------------------------------
+
+    def bytes_by_kind(self) -> dict[str, int]:
+        """Total wire bytes per message kind."""
+        totals: dict[str, int] = {}
+        for message in self.log:
+            totals[message.kind] = (totals.get(message.kind, 0)
+                                    + message.wire_size())
+        return totals
+
+    def count_by_kind(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for message in self.log:
+            counts[message.kind] = counts.get(message.kind, 0) + 1
+        return counts

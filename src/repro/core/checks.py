@@ -1,0 +1,167 @@
+"""Invariant-check patches (§2.4.2).
+
+These patches do not repair anything: they observe.  Each execution of a
+check patch produces an observation — (failure, invariant, satisfied or
+violated) — which the correlation machinery aggregates into the
+highly/moderately/slightly/not-correlated classification.
+
+Single-variable invariants are checked at the variable's instruction.
+Two-variable invariants are checked at the *second* instruction to
+execute, with an auxiliary patch at the first instruction capturing the
+first variable's value for later retrieval.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dynamo.patches import Patch
+from repro.learning.invariants import Invariant, LessThan
+from repro.learning.variables import (
+    Variable,
+    read_variable_value,
+    slot_placement,
+)
+from repro.vm.cpu import CPU
+from repro.vm.isa import Instruction
+
+
+@dataclass
+class Observation:
+    """One invariant check execution."""
+
+    failure_id: str
+    invariant: Invariant
+    satisfied: bool
+
+
+class ObservationSink:
+    """Receives observations from check patches during a run.
+
+    The ClearView manager owns one sink; at run end it folds the buffered
+    sequence into its per-(failure, invariant) history.
+    """
+
+    def __init__(self):
+        self.buffer: list[Observation] = []
+
+    def record(self, observation: Observation) -> None:
+        self.buffer.append(observation)
+
+    def drain(self) -> list[Observation]:
+        drained, self.buffer = self.buffer, []
+        return drained
+
+
+@dataclass
+class ValueCapture:
+    """Shared cell carrying a first variable's value to a later check."""
+
+    value: int | None = None
+    fresh: bool = False
+
+
+@dataclass
+class CapturePatch(Patch):
+    """Auxiliary patch: store a variable's value for a later check (§2.4.2)."""
+
+    variable: Variable = field(default=Variable(0, "?"))
+    capture: ValueCapture = field(default_factory=ValueCapture)
+
+    def execute(self, cpu: CPU, instruction: Instruction) -> int | None:
+        value = read_variable_value(cpu, self.pc, instruction,
+                                    self.variable.slot, self.when)
+        if value is not None:
+            self.capture.value = value
+            self.capture.fresh = True
+        return None
+
+
+@dataclass
+class CheckPatch(Patch):
+    """Evaluate an invariant and emit an observation; never intervenes."""
+
+    invariant: Invariant = None  # type: ignore[assignment]
+    sink: ObservationSink = None  # type: ignore[assignment]
+    #: For two-variable invariants: the capture cell holding the first
+    #: variable's value.
+    capture: ValueCapture | None = None
+
+    def execute(self, cpu: CPU, instruction: Instruction) -> int | None:
+        values = self._gather(cpu, instruction)
+        if values is None:
+            return None
+        self.sink.record(Observation(
+            failure_id=self.failure_id,
+            invariant=self.invariant,
+            satisfied=self.invariant.holds(values)))
+        return None
+
+    def _gather(self, cpu: CPU,
+                instruction: Instruction) -> dict[Variable, int] | None:
+        values: dict[Variable, int] = {}
+        if isinstance(self.invariant, LessThan):
+            earlier, later = order_by_pc(self.invariant)
+            if self.capture is None or self.capture.value is None:
+                # The first variable has not executed yet this run; the
+                # invariant cannot be evaluated at this point.
+                return None
+            values[earlier] = self.capture.value
+            value = read_variable_value(cpu, self.pc, instruction,
+                                        later.slot, self.when)
+            if value is None:
+                return None
+            values[later] = value
+            return values
+        variable = self.invariant.variables()[0]
+        value = read_variable_value(cpu, self.pc, instruction,
+                                    variable.slot, self.when)
+        if value is None:
+            return None
+        values[variable] = value
+        return values
+
+
+def order_by_pc(invariant: LessThan) -> tuple[Variable, Variable]:
+    """(earlier, later) execution order of a two-variable invariant.
+
+    The check/enforcement point is the *later* instruction (§2.4.2); an
+    auxiliary capture runs at the earlier one.
+    """
+    left, right = invariant.variables()
+    if left.pc <= right.pc:
+        return left, right
+    return right, left
+
+
+def build_check_patches(invariant: Invariant, failure_id: str,
+                        sink: ObservationSink, decode) -> list[Patch]:
+    """Create the patch set that checks *invariant* (§2.4.2).
+
+    Returns one patch for single-variable invariants, two (capture +
+    check) for two-variable invariants.  ``decode`` maps a pc to its
+    :class:`~repro.vm.isa.Instruction` (normally
+    ``binary.decode_at``); it determines each patch's before/after
+    placement from the slot kind.
+    """
+    variables = invariant.variables()
+    if isinstance(invariant, LessThan):
+        capture = ValueCapture()
+        earlier, later = order_by_pc(invariant)
+        return [
+            CapturePatch(pc=earlier.pc, failure_id=failure_id,
+                         variable=earlier, capture=capture,
+                         when=slot_placement(decode(earlier.pc),
+                                             earlier.slot),
+                         description=f"capture {earlier}"),
+            CheckPatch(pc=later.pc, failure_id=failure_id,
+                       invariant=invariant, sink=sink, capture=capture,
+                       when=slot_placement(decode(later.pc), later.slot),
+                       description=f"check {invariant.pretty()}"),
+        ]
+    variable = variables[0]
+    return [CheckPatch(pc=variable.pc, failure_id=failure_id,
+                       invariant=invariant, sink=sink,
+                       when=slot_placement(decode(variable.pc),
+                                           variable.slot),
+                       description=f"check {invariant.pretty()}")]

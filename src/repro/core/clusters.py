@@ -1,0 +1,137 @@
+"""Cluster-based candidate invariant selection (§2.4.1).
+
+The paper's default candidate strategy walks the shadow call stack.  It
+also sketches an alternative for deployments without a shadow stack:
+"learn clusters of basic blocks that tend to execute together, then work
+with sets of invariants from clusters containing the basic block where
+the failure occurred."  This module implements that strategy: block
+co-execution statistics are gathered during learning, clustered by
+co-occurrence, and used at failure time to assemble a candidate set with
+no stack information at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cfg.discovery import ProcedureDatabase
+from repro.core.correlation import CandidateInvariant
+from repro.dynamo.blocks import BasicBlock
+from repro.dynamo.code_cache import CachePlugin, CodeCache
+from repro.learning.database import InvariantDatabase
+from repro.learning.invariants import SPOffset
+
+
+class BlockCoverageRecorder(CachePlugin):
+    """Records, per run, which basic blocks entered the code cache.
+
+    Attach to the learning environment's cache plugins and call
+    :meth:`end_run` after each input; block builds are a faithful proxy
+    for "executed at least once during this run" because every
+    per-instance cache starts cold.
+    """
+
+    def __init__(self):
+        self._current: set[int] = set()
+        self.runs: list[frozenset[int]] = []
+
+    def on_block_build(self, cache: CodeCache, block: BasicBlock) -> None:
+        self._current.add(block.start)
+
+    def end_run(self) -> None:
+        self.runs.append(frozenset(self._current))
+        self._current = set()
+
+
+@dataclass
+class BlockClusters:
+    """Co-execution clusters over basic blocks.
+
+    Two blocks belong to the same cluster when their run-occurrence
+    sets are identical-enough (Jaccard similarity above the threshold
+    against the cluster's seed block).  Single-linkage against seeds
+    keeps the construction simple and deterministic.
+    """
+
+    threshold: float = 0.99
+    clusters: list[set[int]] = field(default_factory=list)
+    _block_to_cluster: dict[int, int] = field(default_factory=dict)
+
+    @classmethod
+    def learn(cls, runs: list[frozenset[int]],
+              threshold: float = 0.99) -> "BlockClusters":
+        """Cluster blocks by which runs they appeared in."""
+        occurrence: dict[int, set[int]] = {}
+        for run_index, blocks in enumerate(runs):
+            for block in blocks:
+                occurrence.setdefault(block, set()).add(run_index)
+
+        result = cls(threshold=threshold)
+        seeds: list[tuple[int, set[int]]] = []
+        for block in sorted(occurrence):
+            block_runs = occurrence[block]
+            placed = False
+            for cluster_index, (_, seed_runs) in enumerate(seeds):
+                union = len(block_runs | seed_runs)
+                if union == 0:
+                    continue
+                jaccard = len(block_runs & seed_runs) / union
+                if jaccard >= threshold:
+                    result.clusters[cluster_index].add(block)
+                    result._block_to_cluster[block] = cluster_index
+                    placed = True
+                    break
+            if not placed:
+                seeds.append((block, block_runs))
+                result.clusters.append({block})
+                result._block_to_cluster[block] = len(seeds) - 1
+        return result
+
+    def cluster_of(self, block_start: int) -> set[int]:
+        """Blocks in the same cluster as *block_start* (empty if unknown)."""
+        index = self._block_to_cluster.get(block_start)
+        if index is None:
+            return set()
+        return set(self.clusters[index])
+
+    def __len__(self) -> int:
+        return len(self.clusters)
+
+
+def cluster_candidates(database: InvariantDatabase,
+                       procedures: ProcedureDatabase,
+                       clusters: BlockClusters,
+                       failure_pc: int) -> list[CandidateInvariant]:
+    """Candidate correlated invariants from the failure block's cluster.
+
+    No call-stack information is used: the candidate set is every
+    checkable invariant whose check instruction lies in a block that
+    co-executes with the failing block.
+    """
+    procedure = procedures.procedure_of(failure_pc)
+    if procedure is None:
+        return []
+    block = procedure.block_of(failure_pc)
+    if block is None:
+        return []
+    cluster = clusters.cluster_of(block.start)
+    if not cluster:
+        return []
+
+    candidates: list[CandidateInvariant] = []
+    for member_start in sorted(cluster):
+        member_procedure = procedures.procedure_of(member_start)
+        if member_procedure is None:
+            continue
+        member_block = member_procedure.block_of(member_start)
+        if member_block is None:
+            continue
+        for pc in member_block.addresses():
+            for invariant in database.invariants_at(pc):
+                if isinstance(invariant, SPOffset):
+                    continue
+                candidates.append(CandidateInvariant(
+                    invariant=invariant,
+                    stack_distance=0,
+                    procedure_entry=member_procedure.entry))
+    return candidates

@@ -1,0 +1,177 @@
+"""Correlated invariant identification (§2.4).
+
+Given a failure location (and, when available, the shadow call stack),
+select candidate invariants from the learned model, and — once invariant
+check observations have been collected over repeated attacks — classify
+each candidate as highly / moderately / slightly / not correlated with the
+failure (§2.4.3).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.cfg.discovery import ProcedureDatabase
+from repro.learning.database import InvariantDatabase
+from repro.learning.invariants import Invariant, LessThan, SPOffset
+
+
+class Correlation(enum.IntEnum):
+    """§2.4.3 classification, ordered strongest first."""
+
+    HIGHLY = 0
+    MODERATELY = 1
+    SLIGHTLY = 2
+    NOT = 3
+
+
+@dataclass
+class CandidateInvariant:
+    """A candidate correlated invariant plus where it came from."""
+
+    invariant: Invariant
+    #: 0 = the procedure containing the failure, 1 = its caller, ...
+    stack_distance: int
+    procedure_entry: int
+
+
+@dataclass
+class CorrelationConfig:
+    """Knobs for candidate selection.
+
+    ``stack_procedures`` is the Red Team configuration issue behind
+    exploit 285595: during the exercise only the lowest procedure on the
+    stack with invariants was considered (value 1); considering more
+    procedures (value >= 2) enables the successful patch.
+    ``block_restriction`` is the §2.4.1 optimization restricting
+    two-variable invariants to the failure instruction's basic block.
+    """
+
+    stack_procedures: int = 1
+    block_restriction: bool = True
+
+
+def candidate_correlated_invariants(
+        database: InvariantDatabase,
+        procedures: ProcedureDatabase,
+        failure_pc: int,
+        call_sites: tuple[int, ...] = (),
+        config: CorrelationConfig | None = None
+        ) -> list[CandidateInvariant]:
+    """Select candidate correlated invariants for a failure (§2.4.1).
+
+    For the procedure containing the failure, candidates are invariants at
+    predominators of the failure instruction.  For each caller on the
+    (shadow) stack, candidates are invariants at predominators of the call
+    site.  Only the first ``config.stack_procedures`` procedures that
+    yield any invariants are used.
+    """
+    config = config or CorrelationConfig()
+    # Innermost first: the failure pc, then the call sites walking out.
+    # call_sites is innermost-last, so reverse it.
+    points = [failure_pc] + [pc for pc in reversed(call_sites)]
+
+    candidates: list[CandidateInvariant] = []
+    procedures_used = 0
+    for distance, point in enumerate(points):
+        if procedures_used >= config.stack_procedures:
+            break
+        procedure = procedures.procedure_of(point)
+        if procedure is None:
+            continue
+        found = _candidates_in_procedure(
+            database, procedure, point, distance,
+            block_restriction=config.block_restriction)
+        if found:
+            candidates.extend(found)
+            procedures_used += 1
+    return candidates
+
+
+def _candidates_in_procedure(database: InvariantDatabase, procedure,
+                             point: int, distance: int,
+                             block_restriction: bool
+                             ) -> list[CandidateInvariant]:
+    block = procedure.block_of(point)
+    candidates: list[CandidateInvariant] = []
+    for pc in procedure.predominators(point):
+        for invariant in database.invariants_at(pc):
+            if isinstance(invariant, SPOffset):
+                continue  # structural, not checkable
+            if isinstance(invariant, LessThan) and block_restriction:
+                # §2.4.1: two-variable invariants only from the failure
+                # instruction's own basic block.
+                if block is None or not all(
+                        block.contains(variable.pc)
+                        for variable in invariant.variables()):
+                    continue
+            candidates.append(CandidateInvariant(
+                invariant=invariant, stack_distance=distance,
+                procedure_entry=procedure.entry))
+    return candidates
+
+
+@dataclass
+class ObservationHistory:
+    """Per-(failure, invariant) record of check observations (§2.4.2-3).
+
+    ``runs`` holds one boolean sequence per completed run in which the
+    invariant was checked at least once; ``failure_runs`` flags which of
+    those runs ended with the failure being detected again.
+    """
+
+    runs: list[list[bool]] = field(default_factory=list)
+    failure_runs: list[bool] = field(default_factory=list)
+
+    def add_run(self, sequence: list[bool], ended_in_failure: bool) -> None:
+        if sequence:
+            self.runs.append(sequence)
+            self.failure_runs.append(ended_in_failure)
+
+    def failure_sequences(self) -> list[list[bool]]:
+        return [sequence for sequence, failed
+                in zip(self.runs, self.failure_runs) if failed]
+
+
+def classify(history: ObservationHistory) -> Correlation:
+    """Classify one invariant against one failure per §2.4.3.
+
+    - **Highly**: on every failure run, violated at the last check and
+      satisfied at all earlier checks.
+    - **Moderately**: on every failure run violated at the last check,
+      and on at least one failure run also violated earlier.
+    - **Slightly**: violated at least once during at least one failure run.
+    - **Not**: never violated.
+    """
+    sequences = history.failure_sequences()
+    if not sequences:
+        return Correlation.NOT
+    violated_anywhere = any(not ok for sequence in sequences
+                            for ok in sequence)
+    if not violated_anywhere:
+        return Correlation.NOT
+    last_always_violated = all(not sequence[-1] for sequence in sequences)
+    if last_always_violated:
+        earlier_all_satisfied = all(all(sequence[:-1])
+                                    for sequence in sequences)
+        if earlier_all_satisfied:
+            return Correlation.HIGHLY
+        return Correlation.MODERATELY
+    return Correlation.SLIGHTLY
+
+
+def select_for_repair(
+        classified: dict[Invariant, Correlation]
+        ) -> tuple[list[Invariant], Correlation | None]:
+    """Pick the invariants to enforce (§2.5): highly correlated ones if any
+    exist, otherwise moderately correlated ones, otherwise nothing."""
+    highly = [invariant for invariant, rank in classified.items()
+              if rank is Correlation.HIGHLY]
+    if highly:
+        return highly, Correlation.HIGHLY
+    moderately = [invariant for invariant, rank in classified.items()
+                  if rank is Correlation.MODERATELY]
+    if moderately:
+        return moderately, Correlation.MODERATELY
+    return [], None

@@ -1,0 +1,88 @@
+"""Candidate repair evaluation (§2.6).
+
+ClearView continuously observes patched applications.  A repair succeeds
+on a run when the application neither crashes nor re-detects the repair's
+failure; it fails when the failure recurs or the application crashes.
+Scores follow the paper's formula ``(s - f) + b`` where ``b`` is a bonus
+granted while a repair has never failed, so the policy hunts for a repair
+that *always* works.  Ties break by the §2.6 static priority: earlier
+instructions first (lower stack distance, then lower address), then
+state-only repairs before control-flow repairs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.repair import CandidateRepair
+
+#: The never-failed bonus ``b``. Any positive value implements the paper's
+#: policy; 1 keeps scores small and readable.
+NEVER_FAILED_BONUS = 1
+
+
+@dataclass
+class ScoredRepair:
+    """A candidate repair with its evaluation record."""
+
+    candidate: CandidateRepair
+    successes: int = 0
+    failures: int = 0
+
+    @property
+    def score(self) -> int:
+        bonus = NEVER_FAILED_BONUS if self.failures == 0 else 0
+        return (self.successes - self.failures) + bonus
+
+    @property
+    def never_failed(self) -> bool:
+        return self.failures == 0
+
+    def sort_key(self) -> tuple:
+        # §2.6: "since the goal is to find a repair that always works,
+        # the scoring system is designed to reward repairs that are
+        # always successful. If a repair ever fails, the system
+        # continues to search for a more successful repair." The
+        # never-failed bonus is therefore a strict *tier*: any repair
+        # that has never failed ranks above every repair that has —
+        # regardless of how many ambient successes the failed repair
+        # accumulated while other traffic flowed. Within a tier, higher
+        # (s - f) first, then the static §2.6 priority.
+        return ((0 if self.never_failed else 1),
+                -(self.successes - self.failures)) + \
+            self.candidate.priority()
+
+
+class RepairEvaluator:
+    """Ranks candidate repairs and tracks their evaluation (§2.6)."""
+
+    def __init__(self, candidates: list[CandidateRepair]):
+        self.scored = [ScoredRepair(candidate=candidate)
+                       for candidate in candidates]
+        self.evaluations = 0
+
+    def __len__(self) -> int:
+        return len(self.scored)
+
+    def best(self) -> ScoredRepair | None:
+        """The repair to apply now: highest score, §2.6 tie-breaks."""
+        if not self.scored:
+            return None
+        return min(self.scored, key=ScoredRepair.sort_key)
+
+    def record_success(self, repair: ScoredRepair) -> None:
+        repair.successes += 1
+        self.evaluations += 1
+
+    def record_failure(self, repair: ScoredRepair) -> None:
+        repair.failures += 1
+        self.evaluations += 1
+
+    def ranking(self) -> list[ScoredRepair]:
+        """All repairs, best first."""
+        return sorted(self.scored, key=ScoredRepair.sort_key)
+
+    def counts(self) -> tuple[int, int]:
+        """(total successes, total failures) across all repairs."""
+        return (sum(repair.successes for repair in self.scored),
+                sum(repair.failures for repair in self.scored))

@@ -1,0 +1,346 @@
+"""Candidate repair generation (§2.5).
+
+Each repair enforces one correlated invariant: the patch first checks the
+invariant and, only if it is violated, changes register state or control
+flow to make it true.  The repair menu follows the paper exactly:
+
+*one-of* ``v in {c1..cn}`` (§2.5.1):
+  - ``v = ci`` for each observed value (state repair);
+  - if ``v`` is an indirect call target: *skip the call*;
+  - *return immediately from the enclosing procedure* (stack pointer
+    restored via the learned sp-offset invariant).
+
+*lower-bound* ``c <= v`` (§2.5.2): ``v = c``.
+
+*less-than* ``v1 <= v2`` (§2.5.3): ``v1 = v2`` or ``v2 = v1``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.dynamo.patches import Patch
+from repro.core.checks import ValueCapture, order_by_pc
+from repro.learning.database import InvariantDatabase
+from repro.learning.invariants import (
+    Invariant,
+    LessThan,
+    LowerBound,
+    OneOf,
+)
+from repro.learning.variables import (
+    Variable,
+    read_variable_value,
+    slot_placement,
+    writable_register,
+)
+from repro.monitors.shadow_stack import ShadowStack
+from repro.vm.binary import Binary
+from repro.vm.cpu import CPU
+from repro.vm.isa import (
+    INSTRUCTION_SIZE,
+    WORD_SIZE,
+    Instruction,
+    Opcode,
+    Register,
+)
+
+
+class RepairAction(enum.IntEnum):
+    """How a repair intervenes; the order is the §2.6 control-flow
+    tie-break rank (state changes before control flow changes)."""
+
+    SET_VALUE = 0
+    SKIP_CALL = 1
+    RETURN_FROM_PROCEDURE = 2
+
+
+@dataclass
+class RepairPatch(Patch):
+    """Base enforcement patch: check the invariant, intervene if violated.
+
+    Subclasses implement :meth:`enforce`.  ``fired`` counts how many times
+    the repair actually intervened (it is a no-op on normal executions, by
+    construction — the key to ClearView's low false-positive impact).
+    """
+
+    invariant: Invariant = None  # type: ignore[assignment]
+    action: RepairAction = RepairAction.SET_VALUE
+    capture: ValueCapture | None = None
+    fired: int = 0
+
+    def execute(self, cpu: CPU, instruction: Instruction) -> int | None:
+        values = self._current_values(cpu, instruction)
+        if values is None or self.invariant.holds(values):
+            return None
+        self.fired += 1
+        return self.enforce(cpu, instruction, values)
+
+    def enforce(self, cpu: CPU, instruction: Instruction,
+                values: dict[Variable, int]) -> int | None:
+        raise NotImplementedError
+
+    def _current_values(self, cpu: CPU, instruction: Instruction
+                        ) -> dict[Variable, int] | None:
+        variables = self.invariant.variables()
+        if isinstance(self.invariant, LessThan):
+            earlier, later = order_by_pc(self.invariant)
+            if self.capture is None or self.capture.value is None:
+                return None
+            later_value = read_variable_value(cpu, self.pc, instruction,
+                                              later.slot, self.when)
+            if later_value is None:
+                return None
+            return {earlier: self.capture.value, later: later_value}
+        value = read_variable_value(cpu, self.pc, instruction,
+                                    variables[0].slot, self.when)
+        if value is None:
+            return None
+        return {variables[0]: value}
+
+
+@dataclass
+class SetValueRepair(RepairPatch):
+    """``if !inv then var = value`` — write the variable's register."""
+
+    target_register: int = 0
+    value: int = 0
+
+    def enforce(self, cpu: CPU, instruction: Instruction,
+                values: dict[Variable, int]) -> int | None:
+        cpu.set_register(self.target_register, self.value)
+        return None
+
+
+@dataclass
+class SetFromVariableRepair(RepairPatch):
+    """``if !(v1 <= v2) then v_adjust = v_other`` for less-than repairs.
+
+    ``adjust_left`` selects which side is overwritten: True writes v1's
+    register with v2's value, False writes v2's register with v1's value.
+    """
+
+    target_register: int = 0
+    adjust_left: bool = True
+
+    def enforce(self, cpu: CPU, instruction: Instruction,
+                values: dict[Variable, int]) -> int | None:
+        left, right = self.invariant.variables()
+        source = values[right] if self.adjust_left else values[left]
+        cpu.set_register(self.target_register, source)
+        return None
+
+
+@dataclass
+class SkipCallRepair(RepairPatch):
+    """``if inv then call *v`` — i.e. skip the call when violated (§2.5.1).
+
+    Redirecting before the CALLR executes skips both the control transfer
+    and the return-address push; with the caller-cleans-stack convention
+    no further stack adjustment is needed.
+    """
+
+    def enforce(self, cpu: CPU, instruction: Instruction,
+                values: dict[Variable, int]) -> int | None:
+        return self.pc + INSTRUCTION_SIZE
+
+
+@dataclass
+class ReturnFromProcedureRepair(RepairPatch):
+    """``if !inv then return`` — unwind the enclosing procedure (§2.5.1).
+
+    The stack pointer is restored using the learned sp-offset invariant
+    (``sp_here = sp_entry + offset``); if none was learned, the shadow
+    stack's record of the entry stack pointer is used instead.  The
+    procedure's return value register (EAX) is zeroed, the conventional
+    "benign" result.
+    """
+
+    sp_offset: int | None = None
+
+    def enforce(self, cpu: CPU, instruction: Instruction,
+                values: dict[Variable, int]) -> int | None:
+        sp_entry = self._entry_sp(cpu)
+        if sp_entry is None:
+            return None  # Cannot unwind safely; decline to intervene.
+        return_address = cpu.memory.read_word(sp_entry)
+        # "Other cleanup" (§2.5.1): restore the caller's frame pointer.
+        # With the ENTER/LEAVE convention, the current frame pointer
+        # addresses the saved caller EBP.
+        ebp = cpu.registers[Register.EBP]
+        if ebp == sp_entry - WORD_SIZE:
+            # The procedure set up an ENTER frame: undo it.
+            cpu.set_register(Register.EBP, cpu.memory.read_word(ebp))
+        cpu.set_register(Register.ESP, sp_entry + WORD_SIZE)
+        cpu.set_register(Register.EAX, 0)
+        return return_address
+
+    def _entry_sp(self, cpu: CPU) -> int | None:
+        if self.sp_offset is not None:
+            return (cpu.registers[Register.ESP] - self.sp_offset) \
+                & 0xFFFFFFFF
+        for hook in cpu.hooks:
+            if isinstance(hook, ShadowStack):
+                frame = hook.current_frame()
+                if frame is not None:
+                    return frame.sp_at_entry
+        return None
+
+
+@dataclass
+class CandidateRepair:
+    """One candidate repair: the invariant, the strategy, and metadata the
+    evaluation policy (§2.6) ranks on."""
+
+    invariant: Invariant
+    action: RepairAction
+    #: Distance up the call stack from the failing procedure (0 = the
+    #: procedure containing the failure; §2.6's "lower on the call stack").
+    stack_distance: int = 0
+    #: Correlation class rank (0 = highly, 1 = moderately).
+    correlation_rank: int = 0
+    #: Disambiguates multiple same-action repairs (e.g. per one-of value).
+    variant: int = 0
+    #: Factory detail: the concrete enforcement value, if any.
+    value: int | None = None
+    description: str = ""
+
+    def priority(self) -> tuple:
+        """Static tie-break key (§2.6): earlier instructions first (lower
+        stack distance, then lower pc), then state-only repairs before
+        control-flow repairs."""
+        return (self.correlation_rank, self.stack_distance,
+                self.invariant.check_pc, int(self.action), self.variant)
+
+
+def generate_candidate_repairs(
+        binary: Binary, invariant: Invariant,
+        stack_distance: int = 0, correlation_rank: int = 0,
+        database: InvariantDatabase | None = None) -> list[CandidateRepair]:
+    """The §2.5 repair menu for one correlated invariant."""
+    candidates: list[CandidateRepair] = []
+
+    def add(action: RepairAction, variant: int = 0,
+            value: int | None = None, description: str = "") -> None:
+        candidates.append(CandidateRepair(
+            invariant=invariant, action=action,
+            stack_distance=stack_distance,
+            correlation_rank=correlation_rank, variant=variant,
+            value=value, description=description))
+
+    if isinstance(invariant, OneOf):
+        variable = invariant.variable
+        instruction = binary.decode_at(variable.pc)
+        register = writable_register(instruction, variable.slot)
+        if register is not None:
+            for index, value in enumerate(sorted(invariant.values)):
+                add(RepairAction.SET_VALUE, variant=index, value=value,
+                    description=f"if !({invariant.pretty()}) then "
+                                f"{variable} = {value}")
+        if instruction.opcode == Opcode.CALLR and variable.slot == "target":
+            add(RepairAction.SKIP_CALL,
+                description=f"skip call unless {invariant.pretty()}")
+        # Return-from-enclosing-procedure: usable for any invariant, but
+        # ClearView currently applies it only to one-of (§2.5.1).
+        add(RepairAction.RETURN_FROM_PROCEDURE,
+            description=f"return from procedure unless "
+                        f"{invariant.pretty()}")
+    elif isinstance(invariant, LowerBound):
+        variable = invariant.variable
+        instruction = binary.decode_at(variable.pc)
+        register = writable_register(instruction, variable.slot)
+        if register is not None:
+            add(RepairAction.SET_VALUE, value=invariant.bound,
+                description=f"if !({invariant.pretty()}) then "
+                            f"{variable} = {invariant.bound}")
+    elif isinstance(invariant, LessThan):
+        left, right = invariant.variables()
+        check_instruction = binary.decode_at(right.pc)
+        left_instruction = binary.decode_at(left.pc)
+        left_register = writable_register(left_instruction, left.slot)
+        right_register = writable_register(check_instruction, right.slot)
+        if left_register is not None:
+            add(RepairAction.SET_VALUE, variant=0,
+                description=f"if !({invariant.pretty()}) then "
+                            f"{left} = {right}")
+        if right_register is not None:
+            add(RepairAction.SET_VALUE, variant=1,
+                description=f"if !({invariant.pretty()}) then "
+                            f"{right} = {left}")
+    return candidates
+
+
+def build_repair_patch(binary: Binary, candidate: CandidateRepair,
+                       failure_id: str,
+                       database: InvariantDatabase | None = None,
+                       capture: ValueCapture | None = None
+                       ) -> list[Patch]:
+    """Compile a :class:`CandidateRepair` into executable patches.
+
+    For two-variable invariants the result includes the auxiliary capture
+    patch.  ``database`` supplies sp-offset invariants for return repairs.
+    """
+    invariant = candidate.invariant
+    pc = invariant.check_pc
+    instruction = binary.decode_at(pc)
+    patches: list[Patch] = []
+
+    if isinstance(invariant, LessThan):
+        from repro.core.checks import CapturePatch
+        left, right = invariant.variables()
+        earlier, later = order_by_pc(invariant)
+        capture = capture or ValueCapture()
+        patches.append(CapturePatch(
+            pc=earlier.pc, failure_id=failure_id, variable=earlier,
+            capture=capture,
+            when=slot_placement(binary.decode_at(earlier.pc), earlier.slot),
+            description=f"capture {earlier}"))
+        adjust_left = candidate.variant == 0
+        adjusted = left if adjust_left else right
+        register = writable_register(binary.decode_at(adjusted.pc),
+                                     adjusted.slot)
+        if register is None:
+            raise ValueError(
+                f"less-than repair target is not register-backed: "
+                f"{candidate.description}")
+        patches.append(SetFromVariableRepair(
+            pc=pc, failure_id=failure_id, invariant=invariant,
+            action=candidate.action, capture=capture,
+            target_register=register, adjust_left=adjust_left,
+            when=slot_placement(instruction, later.slot),
+            description=candidate.description))
+        return patches
+
+    variable = invariant.variables()[0]
+    when = slot_placement(instruction, variable.slot)
+    if candidate.action is RepairAction.SET_VALUE:
+        register = writable_register(instruction, variable.slot)
+        if register is None:
+            raise ValueError(
+                f"set-value repair target is not register-backed: "
+                f"{candidate.description}")
+        assert candidate.value is not None
+        patches.append(SetValueRepair(
+            pc=pc, failure_id=failure_id, invariant=invariant,
+            action=candidate.action, target_register=register,
+            value=candidate.value, when=when,
+            description=candidate.description))
+    elif candidate.action is RepairAction.SKIP_CALL:
+        patches.append(SkipCallRepair(
+            pc=pc, failure_id=failure_id, invariant=invariant,
+            action=candidate.action, when="before",
+            description=candidate.description))
+    elif candidate.action is RepairAction.RETURN_FROM_PROCEDURE:
+        sp_offset = None
+        if database is not None:
+            learned = database.sp_offset_at(pc)
+            if learned is not None:
+                sp_offset = learned.offset
+        patches.append(ReturnFromProcedureRepair(
+            pc=pc, failure_id=failure_id, invariant=invariant,
+            action=candidate.action, sp_offset=sp_offset, when=when,
+            description=candidate.description))
+    else:  # pragma: no cover - exhaustive
+        raise ValueError(f"unknown action {candidate.action}")
+    return patches

@@ -1,0 +1,137 @@
+"""Maintainer-facing correction reports.
+
+§1: "ClearView supports this activity by providing information about the
+failure, specifically the location where it detected the failure, the
+correlated invariants, the strategy that each candidate repair patch used
+to enforce the invariant, and information about the effectiveness of each
+patch."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.clearview import ClearView, FailureSession, SessionState
+from repro.core.correlation import Correlation
+
+
+@dataclass
+class RepairReport:
+    """Effectiveness record for one candidate repair."""
+
+    description: str
+    action: str
+    successes: int
+    failures: int
+    score: int
+    applied: bool
+
+
+@dataclass
+class FailureReport:
+    """Everything a maintainer gets about one failure."""
+
+    failure_id: str
+    failure_pc: int
+    monitor: str
+    state: str
+    presentations: int
+    correlated_invariants: list[tuple[str, str]] = field(default_factory=list)
+    repairs: list[RepairReport] = field(default_factory=list)
+    phase_seconds: dict[str, float] = field(default_factory=dict)
+    #: Disassembly around the failure location (when a binary was given).
+    listing: str = ""
+
+    def format(self) -> str:
+        lines = [f"Failure {self.failure_id} (state: {self.state}, "
+                 f"{self.presentations} presentations)"]
+        if self.listing:
+            lines.append("  Failure context:")
+            for row in self.listing.splitlines():
+                lines.append(f"    {row}")
+        if self.correlated_invariants:
+            lines.append("  Correlated invariants:")
+            for pretty, rank in self.correlated_invariants:
+                lines.append(f"    [{rank}] {pretty}")
+        if self.repairs:
+            lines.append("  Candidate repairs (best first):")
+            for repair in self.repairs:
+                marker = "*" if repair.applied else " "
+                lines.append(
+                    f"   {marker} score={repair.score:+d} "
+                    f"s={repair.successes} f={repair.failures} "
+                    f"[{repair.action}] {repair.description}")
+        lines.append("  Phase times (s): " + ", ".join(
+            f"{phase}={seconds:.3f}"
+            for phase, seconds in self.phase_seconds.items()))
+        return "\n".join(lines)
+
+
+def report_session(session: FailureSession,
+                   binary=None) -> FailureReport:
+    """Build the report for one failure session.
+
+    *binary* (optional) enables the disassembled failure-context
+    listing — pass the protected application's binary image.
+    """
+    listing = ""
+    if binary is not None:
+        from repro.vm.disasm import context_listing
+        listing = context_listing(binary, session.failure_pc)
+    correlated = [
+        (invariant.pretty(), rank.name.lower())
+        for invariant, rank in session.classification.items()
+        if rank in (Correlation.HIGHLY, Correlation.MODERATELY,
+                    Correlation.SLIGHTLY)]
+    repairs: list[RepairReport] = []
+    if session.evaluator is not None:
+        for scored in session.evaluator.ranking():
+            repairs.append(RepairReport(
+                description=scored.candidate.description,
+                action=scored.candidate.action.name.lower(),
+                successes=scored.successes,
+                failures=scored.failures,
+                score=scored.score,
+                applied=(scored is session.current_repair)))
+    times = session.times
+    return FailureReport(
+        failure_id=session.failure_id,
+        failure_pc=session.failure_pc,
+        monitor=session.monitor,
+        state=session.state.value,
+        presentations=session.presentations,
+        correlated_invariants=correlated,
+        repairs=repairs,
+        listing=listing,
+        phase_seconds={
+            "detect_run": times.detect_run,
+            "build_checks": times.build_checks,
+            "install_checks": times.install_checks,
+            "check_runs": times.check_runs,
+            "build_repairs": times.build_repairs,
+            "install_repairs": times.install_repairs,
+            "unsuccessful_repair_runs": times.unsuccessful_repair_runs,
+            "successful_repair_run": times.successful_repair_run,
+            "total": times.total(),
+        })
+
+
+def report_all(clearview: ClearView) -> list[FailureReport]:
+    """Reports for every failure ClearView has handled, by location."""
+    binary = clearview.environment.binary
+    return [report_session(session, binary=binary)
+            for _, session in sorted(clearview.sessions.items())]
+
+
+def summarize(clearview: ClearView) -> str:
+    """One-paragraph status: how many failures seen / patched / blocked."""
+    sessions = list(clearview.sessions.values())
+    patched = sum(1 for session in sessions
+                  if session.state is SessionState.PATCHED)
+    evaluating = sum(1 for session in sessions
+                     if session.state is SessionState.EVALUATING)
+    exhausted = sum(1 for session in sessions
+                    if session.state is SessionState.EXHAUSTED)
+    return (f"{len(sessions)} failure(s) observed: {patched} patched, "
+            f"{evaluating} under repair evaluation, {exhausted} blocked "
+            f"without a patch.")

@@ -1,0 +1,20 @@
+"""Managed program execution: code cache, patches, run classification."""
+
+from repro.dynamo.blocks import BasicBlock, BlockMap, decode_block
+from repro.dynamo.code_cache import BLOCK_BUILD_COST, CachePlugin, CodeCache
+from repro.dynamo.execution import (
+    MAX_INPUT_BYTES,
+    EnvironmentConfig,
+    ManagedEnvironment,
+    Outcome,
+    RunResult,
+)
+from repro.dynamo.patches import Patch, PatchManager
+
+__all__ = [
+    "BasicBlock", "BlockMap", "decode_block",
+    "BLOCK_BUILD_COST", "CachePlugin", "CodeCache",
+    "MAX_INPUT_BYTES", "EnvironmentConfig", "ManagedEnvironment",
+    "Outcome", "RunResult",
+    "Patch", "PatchManager",
+]

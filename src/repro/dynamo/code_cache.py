@@ -1,0 +1,136 @@
+"""The code cache: DynamoRIO-style managed block execution.
+
+All code conceptually executes out of the cache.  The first time control
+reaches an address that is not cached, the block is decoded ("built"),
+offered to every registered :class:`CachePlugin` for validation and
+transformation, and then cached.  Ejecting a block forces it to be rebuilt
+(and re-instrumented) the next time control reaches it — which is how
+patches take effect in a running application without a restart.
+
+The cache also charges a *warm-up cost* per block build, modelling the
+dominant cost the paper reports in Table 3's replay columns (20-30 s of
+cache warm-up per Firefox restart).  The cost is an instruction-count
+surrogate: deterministic, hardware-independent, and visible to the
+benchmark harness.
+"""
+
+from __future__ import annotations
+
+from repro.dynamo.blocks import BasicBlock, BlockMap
+from repro.vm.binary import Binary
+from repro.vm.cpu import CPU
+from repro.vm.hooks import ExecutionHook
+from repro.vm.isa import Instruction
+
+#: Synthetic work units charged per block build (cache warm-up model).
+BLOCK_BUILD_COST = 25
+
+
+class CachePlugin:
+    """Validation/transformation hook invoked as blocks enter the cache."""
+
+    def on_block_build(self, cache: "CodeCache",
+                       block: BasicBlock) -> None:
+        """Inspect or act on a block as it is inserted into the cache."""
+
+    def on_block_eject(self, cache: "CodeCache",
+                       block: BasicBlock) -> None:
+        """Called when a block is removed from the cache."""
+
+
+class CodeCache(ExecutionHook):
+    """Tracks cached blocks and drives plugins; attaches to a CPU as a hook.
+
+    Statistics:
+
+    - ``builds``: number of block constructions (cache misses), including
+      rebuilds after ejection.
+    - ``warmup_cost``: accumulated synthetic build cost.
+    """
+
+    def __init__(self, binary: Binary):
+        self.block_map = BlockMap(binary)
+        self._cached: set[int] = set()
+        self.plugins: list[CachePlugin] = []
+        self.builds = 0
+        self.ejections = 0
+        self.warmup_cost = 0
+        self.restored_blocks = 0
+
+    def add_plugin(self, plugin: CachePlugin) -> None:
+        self.plugins.append(plugin)
+
+    # -- cache operations -------------------------------------------------
+
+    def ensure_cached(self, start: int) -> BasicBlock:
+        """Return the cached block at *start*, building it if necessary."""
+        block = self.block_map.discover(start)
+        if start not in self._cached:
+            self._cached.add(start)
+            self.builds += 1
+            self.warmup_cost += BLOCK_BUILD_COST
+            for plugin in self.plugins:
+                plugin.on_block_build(self, block)
+        return block
+
+    def eject(self, start: int) -> bool:
+        """Remove the block starting at *start* from the cache."""
+        if start not in self._cached:
+            return False
+        self._cached.discard(start)
+        self.ejections += 1
+        block = self.block_map.get(start)
+        if block is not None:
+            for plugin in self.plugins:
+                plugin.on_block_eject(self, block)
+        return True
+
+    def eject_containing(self, pc: int) -> bool:
+        """Eject whichever cached block contains instruction *pc*."""
+        block = self.block_map.block_of(pc)
+        if block is None:
+            return False
+        return self.eject(block.start)
+
+    def is_cached(self, start: int) -> bool:
+        return start in self._cached
+
+    @property
+    def cached_block_count(self) -> int:
+        return len(self._cached)
+
+    # -- warm-up elimination (§4.4.5) ---------------------------------------
+
+    def snapshot(self) -> tuple[BlockMap, frozenset[int]]:
+        """Capture the cache state for reuse by a future instance.
+
+        §4.4.5: "It is possible to eliminate the cache warm up time by
+        saving the cache state from a previous run, then restoring this
+        state upon startup."
+        """
+        return (self.block_map, frozenset(self._cached))
+
+    def restore(self, snapshot: tuple[BlockMap, frozenset[int]]) -> None:
+        """Adopt a previous instance's cache state. Restored blocks do
+        not count as builds and incur no warm-up cost; plugins are not
+        re-run for them (their instrumentation decisions were captured in
+        the snapshot's block map)."""
+        block_map, cached = snapshot
+        self.block_map = block_map
+        self._cached = set(cached)
+        self.restored_blocks = len(cached)
+
+    # -- hook dispatch ------------------------------------------------------
+
+    def before_instruction(self, cpu: CPU, pc: int,
+                           instruction: Instruction) -> int | None:
+        block = self.block_map.block_of(pc)
+        if block is None:
+            # Control arrived at an address no discovered block covers:
+            # it is a new block head.
+            self.ensure_cached(pc)
+        elif pc == block.start and block.start not in self._cached:
+            # Known head whose block was ejected: rebuild (and re-run
+            # plugins, so fresh instrumentation/patches take effect).
+            self.ensure_cached(pc)
+        return None

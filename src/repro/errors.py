@@ -1,0 +1,87 @@
+"""Exception hierarchy shared across the ClearView reproduction.
+
+The taxonomy follows §2 of the paper: a *defect* lives in source, an *error*
+is incorrect behaviour at run time, a *failure* is an error detected by a
+ClearView monitor, and a *crash* is any other termination.  The exceptions
+here are the run-time signals the substrate raises; ClearView's components
+catch and classify them.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class AssemblerError(ReproError):
+    """Malformed assembly source."""
+
+    def __init__(self, message: str, line_number: int | None = None):
+        self.line_number = line_number
+        if line_number is not None:
+            message = f"line {line_number}: {message}"
+        super().__init__(message)
+
+
+class VMError(ReproError):
+    """Base class for machine-level execution errors."""
+
+    def __init__(self, message: str, pc: int | None = None):
+        self.pc = pc
+        if pc is not None:
+            message = f"[pc={pc:#x}] {message}"
+        super().__init__(message)
+
+
+class MemoryFault(VMError):
+    """Access outside mapped memory."""
+
+
+class InvalidInstruction(VMError):
+    """Decoded garbage, executed data, or an undefined opcode."""
+
+
+class DivisionByZero(VMError):
+    """DIV with a zero divisor."""
+
+
+class StackFault(VMError):
+    """Stack pointer escaped the stack segment."""
+
+
+class ExecutionLimitExceeded(VMError):
+    """The instruction budget was exhausted (runaway loop guard)."""
+
+
+class CodeInjectionExecuted(VMError):
+    """Control reached attacker-controlled non-code memory.
+
+    Raised only on *unprotected* runs; it is the substrate-level signal that
+    an exploit succeeded.  Under Memory Firewall the illegal transfer is
+    intercepted before this can happen and surfaces as a
+    :class:`MonitorDetection` instead.
+    """
+
+
+class MonitorDetection(VMError):
+    """A ClearView monitor detected a failure.
+
+    Carries the information the paper says a monitor must provide: the
+    failure location (program counter) and the monitor's name.  The shadow
+    stack snapshot is attached by the execution environment when available.
+    """
+
+    def __init__(self, message: str, pc: int, monitor: str,
+                 call_stack: tuple[int, ...] = ()):
+        super().__init__(message, pc=pc)
+        self.monitor = monitor
+        self.call_stack = call_stack
+
+
+class PatchError(ReproError):
+    """A patch could not be built, applied, or removed."""
+
+
+class CommunityError(ReproError):
+    """Application-community coordination failure."""

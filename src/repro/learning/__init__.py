@@ -1,0 +1,37 @@
+"""Invariant learning: the Daikon analogue plus the paper's extensions."""
+
+from repro.learning.database import InvariantDatabase
+from repro.learning.harness import LearningResult, learn
+from repro.learning.inference import InferenceEngine
+from repro.learning.invariants import (
+    ONE_OF_LIMIT,
+    Invariant,
+    LessThan,
+    LowerBound,
+    OneOf,
+    SPOffset,
+    invariant_from_dict,
+)
+from repro.learning.pointers import NON_POINTER_LIMIT, PointerClassifier
+from repro.learning.quarantine import (
+    QuarantineBuffer,
+    incorporate_with_quarantine,
+)
+from repro.learning.staged import StagedLearner
+from repro.learning.traces import TraceFrontEnd
+from repro.learning.variables import (
+    Variable,
+    is_call_target,
+    is_enforceable,
+    writable_register,
+)
+
+__all__ = [
+    "InvariantDatabase", "LearningResult", "learn", "InferenceEngine",
+    "ONE_OF_LIMIT", "Invariant", "LessThan", "LowerBound", "OneOf",
+    "SPOffset", "invariant_from_dict", "NON_POINTER_LIMIT",
+    "PointerClassifier", "QuarantineBuffer", "StagedLearner",
+    "TraceFrontEnd", "Variable", "incorporate_with_quarantine",
+    "is_call_target",
+    "is_enforceable", "writable_register",
+]

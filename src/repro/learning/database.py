@@ -1,0 +1,160 @@
+"""The invariant database.
+
+Holds the learned model of normal behaviour, indexed by the instruction at
+which each invariant is checked.  Databases merge (§3.1): community nodes
+learn locally and upload invariants — never raw traces — to the central
+server, whose database must end up describing behaviour true across *all*
+members.  Merge rules per kind:
+
+- *one-of*: union of the value sets (an invariant must allow every value
+  any member observed); dropped if the union exceeds the size limit;
+- *lower-bound*: the minimum of the bounds;
+- *less-than*: kept only if both members inferred it (a member that
+  observed the instruction but did not infer the pair falsified it);
+- *sp-offset*: kept only when offsets agree.
+
+Invariants at instructions only one member executed survive unchanged —
+absence of *coverage* is not falsification.
+"""
+
+from __future__ import annotations
+
+from repro.learning.invariants import (
+    Invariant,
+    LessThan,
+    LowerBound,
+    OneOf,
+    SPOffset,
+    invariant_from_dict,
+)
+from repro.learning.variables import Variable
+
+
+class InvariantDatabase:
+    """Learned invariants, indexed by their check instruction."""
+
+    def __init__(self):
+        self._by_pc: dict[int, list[Invariant]] = {}
+        #: How many samples each instruction address contributed. An
+        #: address with samples was *covered* by learning.
+        self._pc_samples: dict[int, int] = {}
+
+    # -- construction -----------------------------------------------------
+
+    def add(self, invariant: Invariant) -> None:
+        self._by_pc.setdefault(invariant.check_pc, []).append(invariant)
+
+    def record_samples(self, pc: int, samples: int) -> None:
+        self._pc_samples[pc] = self._pc_samples.get(pc, 0) + samples
+
+    # -- queries ------------------------------------------------------------
+
+    def invariants_at(self, pc: int) -> list[Invariant]:
+        """Invariants checked at instruction *pc*."""
+        return list(self._by_pc.get(pc, ()))
+
+    def all_invariants(self) -> list[Invariant]:
+        return [invariant for invariants in self._by_pc.values()
+                for invariant in invariants]
+
+    def covered_pcs(self) -> set[int]:
+        """Instruction addresses learning observed at least once."""
+        return set(self._pc_samples)
+
+    def samples_at(self, pc: int) -> int:
+        return self._pc_samples.get(pc, 0)
+
+    def __len__(self) -> int:
+        return sum(len(invariants) for invariants in self._by_pc.values())
+
+    def counts_by_kind(self) -> dict[str, int]:
+        """Invariant counts keyed by kind name (for reports/benches)."""
+        counts: dict[str, int] = {}
+        for invariant in self.all_invariants():
+            counts[invariant.kind] = counts.get(invariant.kind, 0) + 1
+        return counts
+
+    def sp_offset_at(self, pc: int) -> SPOffset | None:
+        """The sp-offset invariant at *pc*, if one was learned."""
+        for invariant in self._by_pc.get(pc, ()):
+            if isinstance(invariant, SPOffset):
+                return invariant
+        return None
+
+    # -- merging ------------------------------------------------------------
+
+    def merge(self, other: "InvariantDatabase") -> "InvariantDatabase":
+        """Combine two databases into one true across both (see module doc)."""
+        merged = InvariantDatabase()
+        pcs = set(self._by_pc) | set(other._by_pc)
+        for pc in pcs:
+            mine = self._by_pc.get(pc, [])
+            theirs = other._by_pc.get(pc, [])
+            covered_here = self.samples_at(pc) > 0
+            covered_there = other.samples_at(pc) > 0
+            if not (covered_here and covered_there):
+                # Only one side has coverage: its invariants stand.
+                for invariant in mine or theirs:
+                    merged.add(invariant)
+                continue
+            for invariant in self._merge_lists(mine, theirs):
+                merged.add(invariant)
+        for pc in set(self._pc_samples) | set(other._pc_samples):
+            merged.record_samples(
+                pc, self.samples_at(pc) + other.samples_at(pc))
+        return merged
+
+    @staticmethod
+    def _merge_lists(mine: list[Invariant],
+                     theirs: list[Invariant]) -> list[Invariant]:
+        def identity(invariant: Invariant):
+            if isinstance(invariant, OneOf):
+                return ("one-of", invariant.variable)
+            if isinstance(invariant, LowerBound):
+                return ("lower-bound", invariant.variable)
+            if isinstance(invariant, LessThan):
+                return ("less-than", invariant.left, invariant.right)
+            if isinstance(invariant, SPOffset):
+                return ("sp-offset", invariant.pc)
+            return ("other", id(invariant))
+
+        theirs_by_id = {identity(inv): inv for inv in theirs}
+        result: list[Invariant] = []
+        for invariant in mine:
+            partner = theirs_by_id.get(identity(invariant))
+            if partner is None:
+                # The other member covered this instruction but did not
+                # infer the invariant: it was falsified there. Drop it.
+                continue
+            if isinstance(invariant, OneOf):
+                combined = invariant.merged_with(partner)  # type: ignore
+                if combined is not None:
+                    result.append(combined)
+            elif isinstance(invariant, LowerBound):
+                result.append(invariant.merged_with(partner))  # type: ignore
+            elif isinstance(invariant, LessThan):
+                result.append(invariant.merged_with(partner))  # type: ignore
+            elif isinstance(invariant, SPOffset):
+                if invariant.offset == partner.offset:  # type: ignore
+                    result.append(invariant)
+        return result
+
+    # -- serialization ------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-able wire format (what community members upload)."""
+        return {
+            "invariants": [invariant.to_dict()
+                           for invariant in self.all_invariants()],
+            "samples": {str(pc): count
+                        for pc, count in self._pc_samples.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "InvariantDatabase":
+        database = cls()
+        for item in payload.get("invariants", ()):
+            database.add(invariant_from_dict(item))
+        for pc_text, count in payload.get("samples", {}).items():
+            database.record_samples(int(pc_text), count)
+        return database

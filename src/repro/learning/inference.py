@@ -1,0 +1,316 @@
+"""The invariant inference engine (the Daikon core analogue).
+
+The engine consumes per-instruction operand observations (produced by the
+trace front end) and incrementally maintains candidate invariants:
+
+- per-variable statistics drive *one-of* and *lower-bound* invariants;
+- per-pair statistics drive *less-than* invariants, with candidate pairs
+  scoped per §2.2.2 (variables computed at instructions that predominate
+  the target instruction, in the same procedure) and optionally restricted
+  to the same basic block (§2.4.1's optimization, the default);
+- per-instruction stack-pointer deltas drive *sp-offset* invariants;
+- the pointer classifier suppresses ordering invariants on pointers;
+- a value-sequence fingerprint implements the §2.2.4 equal-variable
+  suppression (reported to cut invariant counts by 2x).
+
+``finalize()`` produces an :class:`~repro.learning.database.InvariantDatabase`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cfg.discovery import ProcedureDatabase
+from repro.learning.database import InvariantDatabase
+from repro.learning.invariants import (
+    ONE_OF_LIMIT,
+    Invariant,
+    LessThan,
+    LowerBound,
+    OneOf,
+    SPOffset,
+)
+from repro.learning.pointers import PointerClassifier
+from repro.learning.variables import EXCLUDED_SLOTS, Variable
+from repro.vm.hooks import OperandObservation
+from repro.vm.isa import to_signed
+
+#: Multiplier/offset for the order-sensitive value-sequence fingerprint.
+_FNV_PRIME = 1099511628211
+_FNV_OFFSET = 14695981039346656037
+_FNV_MASK = (1 << 64) - 1
+
+
+@dataclass
+class _VariableStats:
+    """Running statistics for one variable."""
+
+    count: int = 0
+    minimum: int = 0
+    values: set[int] = field(default_factory=set)
+    one_of_alive: bool = True
+    fingerprint: int = _FNV_OFFSET
+
+    def update(self, value: int) -> None:
+        signed = to_signed(value)
+        if self.count == 0:
+            self.minimum = signed
+        else:
+            self.minimum = min(self.minimum, signed)
+        self.count += 1
+        if self.one_of_alive:
+            self.values.add(value)
+            if len(self.values) > ONE_OF_LIMIT:
+                self.one_of_alive = False
+                self.values.clear()
+        self.fingerprint = ((self.fingerprint ^ (value & _FNV_MASK))
+                            * _FNV_PRIME) & _FNV_MASK
+
+
+@dataclass
+class _PairStats:
+    """Running statistics for one ordered candidate pair (left <= right)."""
+
+    samples: int = 0
+    falsified: bool = False
+
+    def update(self, left: int, right: int) -> None:
+        if self.falsified:
+            return
+        if to_signed(left) > to_signed(right):
+            self.falsified = True
+        else:
+            self.samples += 1
+
+
+@dataclass
+class _SPStats:
+    """Stack-pointer delta tracking for one instruction."""
+
+    offset: int = 0
+    constant: bool = True
+    samples: int = 0
+
+    def update(self, delta: int) -> None:
+        if self.samples == 0:
+            self.offset = delta
+        elif self.offset != delta:
+            self.constant = False
+        self.samples += 1
+
+
+class InferenceEngine:
+    """Online invariant inference over operand observations.
+
+    Parameters
+    ----------
+    procedures:
+        The dynamically discovered procedure database; supplies the
+        predominance relation that scopes candidate pairs.
+    pair_scope:
+        ``"block"`` (default) restricts two-variable invariants to pairs
+        whose instructions share a basic block (the §2.4.1 optimization);
+        ``"procedure"`` allows any predominating instruction;
+        ``"none"`` disables two-variable inference entirely.
+    deduplicate:
+        Apply the §2.2.4 equal-variable suppression at finalize time.
+    """
+
+    def __init__(self, procedures: ProcedureDatabase,
+                 pair_scope: str = "block", deduplicate: bool = True):
+        if pair_scope not in ("block", "procedure", "none"):
+            raise ValueError(f"bad pair_scope {pair_scope!r}")
+        self.procedures = procedures
+        self.pair_scope = pair_scope
+        self.deduplicate = deduplicate
+        self.pointer_classifier = PointerClassifier()
+        self._variables: dict[Variable, _VariableStats] = {}
+        self._last_values: dict[Variable, int] = {}
+        self._pairs: dict[tuple[Variable, Variable], _PairStats] = {}
+        self._sp: dict[int, _SPStats] = {}
+        self._pc_samples: dict[int, int] = {}
+        #: Variables present at each pc (discovered from observations).
+        self._pc_variables: dict[int, list[Variable]] = {}
+        #: Cache of candidate partner pcs per target pc.
+        self._partner_cache: dict[int, list[int]] = {}
+        self.observations = 0
+
+    # ------------------------------------------------------------------
+    # Observation intake
+    # ------------------------------------------------------------------
+
+    def observe(self, observation: OperandObservation,
+                procedure_entry: int | None,
+                sp_entry: int | None) -> None:
+        """Digest one instruction execution's operand observation."""
+        self.observations += 1
+        pc = observation.pc
+        self._pc_samples[pc] = self._pc_samples.get(pc, 0) + 1
+
+        for slot, value in observation.slots.items():
+            if slot in EXCLUDED_SLOTS:
+                continue
+            variable = Variable(pc, slot)
+            stats = self._variables.get(variable)
+            if stats is None:
+                stats = _VariableStats()
+                self._variables[variable] = stats
+                self._pc_variables.setdefault(pc, []).append(variable)
+            stats.update(value)
+            self.pointer_classifier.observe(variable, value)
+            self._last_values[variable] = value
+
+        if observation.computed and self.pair_scope != "none":
+            self._update_pairs(pc, observation)
+
+        if sp_entry is not None and procedure_entry is not None:
+            esp = observation.slots.get("esp")
+            if esp is not None:
+                stats = self._sp.get(pc)
+                if stats is None:
+                    stats = _SPStats()
+                    self._sp[pc] = stats
+                stats.update(to_signed(esp - sp_entry))
+
+    def _update_pairs(self, pc: int,
+                      observation: OperandObservation) -> None:
+        """Update less-than candidates pairing earlier variables with the
+        variables this instruction computes."""
+        partners = self._partner_pcs(pc)
+        if not partners:
+            return
+        for slot in observation.computed:
+            value = observation.slots.get(slot)
+            if value is None:
+                continue
+            target = Variable(pc, slot)
+            for partner_pc in partners:
+                for other in self._pc_variables.get(partner_pc, ()):
+                    if other == target:
+                        continue
+                    other_value = self._last_values.get(other)
+                    if other_value is None:
+                        continue
+                    self._pair(other, target).update(other_value, value)
+                    self._pair(target, other).update(value, other_value)
+
+    def _pair(self, left: Variable, right: Variable) -> _PairStats:
+        key = (left, right)
+        stats = self._pairs.get(key)
+        if stats is None:
+            stats = _PairStats()
+            self._pairs[key] = stats
+        return stats
+
+    def _partner_pcs(self, pc: int) -> list[int]:
+        """Instruction addresses whose variables may pair with *pc*'s."""
+        cached = self._partner_cache.get(pc)
+        if cached is not None:
+            return cached
+        procedure = self.procedures.procedure_of(pc)
+        partners: list[int] = []
+        if procedure is not None:
+            if self.pair_scope == "block":
+                block = procedure.block_of(pc)
+                if block is not None:
+                    partners = [addr for addr in block.addresses()
+                                if addr < pc]
+            else:
+                partners = [addr for addr in procedure.predominators(pc)
+                            if addr < pc]
+        self._partner_cache[pc] = partners
+        return partners
+
+    # ------------------------------------------------------------------
+    # Finalization
+    # ------------------------------------------------------------------
+
+    def finalize(self) -> InvariantDatabase:
+        """Build the invariant database from accumulated statistics."""
+        duplicates = self._duplicate_variables() if self.deduplicate \
+            else set()
+        database = InvariantDatabase()
+
+        for variable, stats in self._variables.items():
+            if variable in duplicates or stats.count == 0:
+                continue
+            is_pointer = self.pointer_classifier.is_pointer(variable)
+            # One-of invariants on raw data pointers (heap/vtable
+            # addresses) are dropped: their value sets are an artifact of
+            # allocator layout, and enforcing them yields repairs the
+            # paper's system never tries. Indirect-transfer targets are
+            # code addresses and classify as non-pointers, so the §2.5.1
+            # call-site one-of invariants are unaffected.
+            if stats.one_of_alive and stats.values and not is_pointer:
+                database.add(OneOf(variable=variable,
+                                   values=frozenset(stats.values),
+                                   samples=stats.count))
+            if not is_pointer:
+                database.add(LowerBound(variable=variable,
+                                        bound=stats.minimum,
+                                        samples=stats.count))
+
+        for (left, right), stats in self._pairs.items():
+            if stats.falsified or stats.samples == 0:
+                continue
+            if left in duplicates or right in duplicates:
+                continue
+            if self.pointer_classifier.is_pointer(left) or \
+                    self.pointer_classifier.is_pointer(right):
+                continue
+            database.add(LessThan(left=left, right=right,
+                                  samples=stats.samples))
+
+        for pc, stats in self._sp.items():
+            if not stats.constant:
+                continue
+            procedure = self.procedures.procedure_of(pc)
+            if procedure is None:
+                continue
+            database.add(SPOffset(pc=pc, procedure=procedure.entry,
+                                  offset=stats.offset,
+                                  samples=stats.samples))
+
+        for pc, samples in self._pc_samples.items():
+            database.record_samples(pc, samples)
+        return database
+
+    def _duplicate_variables(self) -> set[Variable]:
+        """Variables whose full value sequence equals another variable's
+        in the same procedure (§2.2.4): keep one representative per group.
+
+        The representative is the earliest instruction's variable, except
+        that an indirect-transfer target wins over data-flow copies of
+        itself: the call-site variable supports the full §2.5.1 repair
+        menu (call a known target / skip the call / return), matching the
+        paper's account of one-of invariants "at the virtual function
+        call site"."""
+        groups: dict[tuple[int | None, int, int], list[Variable]] = {}
+        for variable, stats in self._variables.items():
+            procedure = self.procedures.procedure_of(variable.pc)
+            entry = procedure.entry if procedure is not None else None
+            key = (entry, stats.count, stats.fingerprint)
+            groups.setdefault(key, []).append(variable)
+        duplicates: set[Variable] = set()
+        for members in groups.values():
+            if len(members) <= 1:
+                continue
+            members.sort()
+            keeper = members[0]
+            for candidate in members:
+                if self._is_transfer_target(candidate):
+                    keeper = candidate
+                    break
+            duplicates.update(variable for variable in members
+                              if variable is not keeper)
+        return duplicates
+
+    def _is_transfer_target(self, variable: Variable) -> bool:
+        if variable.slot != "target":
+            return False
+        try:
+            instruction = self.procedures.binary.decode_at(variable.pc)
+        except Exception:
+            return False
+        from repro.vm.isa import Opcode
+        return instruction.opcode in (Opcode.CALLR, Opcode.JMPR)

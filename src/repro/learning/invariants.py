@@ -1,0 +1,216 @@
+"""Invariant templates: the model of normal behaviour.
+
+The paper's repair machinery uses exactly three invariant kinds (§2.5) —
+*one-of*, *lower-bound*, and *less-than* — plus the stack-pointer offset
+invariants of §2.2.4 that repairs use to fix up ESP.  Each invariant is a
+logical formula over :class:`~repro.learning.variables.Variable` values
+that held on every observed sample during learning.
+
+Values are 32-bit words; ordering comparisons are *signed* (the paper's
+lower-bound/less-than rationale is about negative lengths and indexes,
+which only make sense signed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.learning.variables import Variable
+from repro.vm.isa import to_signed
+
+#: Maximum distinct values a one-of invariant may hold before it is
+#: abandoned (Daikon's value-set size limit).
+ONE_OF_LIMIT = 8
+
+
+@dataclass(frozen=True)
+class Invariant:
+    """Base invariant. Subclasses are immutable value objects."""
+
+    #: Number of samples that confirmed this invariant during learning.
+    samples: int = 0
+
+    @property
+    def kind(self) -> str:
+        raise NotImplementedError
+
+    def variables(self) -> tuple[Variable, ...]:
+        """Variables mentioned, in check order (auxiliary first)."""
+        raise NotImplementedError
+
+    @property
+    def check_pc(self) -> int:
+        """The instruction where this invariant is checked/enforced: the
+        latest-to-execute of its variables' instructions (§2.5)."""
+        return self.variables()[-1].pc
+
+    def holds(self, values: dict[Variable, int]) -> bool:
+        """Evaluate on concrete *values* (missing variable -> False)."""
+        raise NotImplementedError
+
+    def to_dict(self) -> dict:
+        raise NotImplementedError
+
+    def pretty(self) -> str:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class OneOf(Invariant):
+    """``v in {c1, ..., cn}`` — all values the variable ever took (§2.5.1)."""
+
+    variable: Variable = field(default=Variable(0, "?"))
+    values: frozenset[int] = frozenset()
+
+    kind = "one-of"
+
+    def variables(self) -> tuple[Variable, ...]:
+        return (self.variable,)
+
+    def holds(self, values: dict[Variable, int]) -> bool:
+        value = values.get(self.variable)
+        return value is not None and value in self.values
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "variable": str(self.variable),
+                "values": sorted(self.values), "samples": self.samples}
+
+    def pretty(self) -> str:
+        options = ", ".join(str(v) for v in sorted(self.values))
+        return f"{self.variable} in {{{options}}}"
+
+    def merged_with(self, other: "OneOf") -> "OneOf | None":
+        """Union of value sets; None if the union exceeds the limit."""
+        union = self.values | other.values
+        if len(union) > ONE_OF_LIMIT:
+            return None
+        return OneOf(variable=self.variable, values=union,
+                     samples=self.samples + other.samples)
+
+
+@dataclass(frozen=True)
+class LowerBound(Invariant):
+    """``c <= v`` (signed), where c is the minimum observed value (§2.5.2)."""
+
+    variable: Variable = field(default=Variable(0, "?"))
+    bound: int = 0
+
+    kind = "lower-bound"
+
+    def variables(self) -> tuple[Variable, ...]:
+        return (self.variable,)
+
+    def holds(self, values: dict[Variable, int]) -> bool:
+        value = values.get(self.variable)
+        return value is not None and to_signed(value) >= self.bound
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "variable": str(self.variable),
+                "bound": self.bound, "samples": self.samples}
+
+    def pretty(self) -> str:
+        return f"{self.bound} <= {self.variable}"
+
+    def merged_with(self, other: "LowerBound") -> "LowerBound":
+        return LowerBound(variable=self.variable,
+                          bound=min(self.bound, other.bound),
+                          samples=self.samples + other.samples)
+
+
+@dataclass(frozen=True)
+class LessThan(Invariant):
+    """``v1 <= v2`` (signed), relating two variables (§2.5.3).
+
+    ``left`` executes at or before ``right``; the invariant is checked at
+    ``right``'s instruction with an auxiliary capture of ``left``.
+    """
+
+    left: Variable = field(default=Variable(0, "?"))
+    right: Variable = field(default=Variable(0, "?"))
+
+    kind = "less-than"
+
+    def variables(self) -> tuple[Variable, ...]:
+        return (self.left, self.right)
+
+    @property
+    def check_pc(self) -> int:
+        # Checked/enforced at the later-executing instruction (§2.4.2);
+        # either side may be the later one.
+        return max(self.left.pc, self.right.pc)
+
+    def holds(self, values: dict[Variable, int]) -> bool:
+        left = values.get(self.left)
+        right = values.get(self.right)
+        if left is None or right is None:
+            return False
+        return to_signed(left) <= to_signed(right)
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "left": str(self.left),
+                "right": str(self.right), "samples": self.samples}
+
+    def pretty(self) -> str:
+        return f"{self.left} <= {self.right}"
+
+    def merged_with(self, other: "LessThan") -> "LessThan":
+        return LessThan(left=self.left, right=self.right,
+                        samples=self.samples + other.samples)
+
+
+@dataclass(frozen=True)
+class SPOffset(Invariant):
+    """``sp_here = sp_entry + c`` — stack-pointer offset invariant (§2.2.4).
+
+    Not used to generate repairs directly; return-from-procedure repairs
+    consult it to restore ESP correctly.
+    """
+
+    pc: int = 0
+    procedure: int = 0
+    offset: int = 0
+
+    kind = "sp-offset"
+
+    def variables(self) -> tuple[Variable, ...]:
+        return (Variable(self.pc, "esp"),)
+
+    def holds(self, values: dict[Variable, int]) -> bool:
+        # SP offsets are structural facts, not runtime-checkable predicates
+        # in isolation (they need the entry SP); treat as vacuously true.
+        return True
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "pc": self.pc,
+                "procedure": self.procedure, "offset": self.offset,
+                "samples": self.samples}
+
+    def pretty(self) -> str:
+        sign = "+" if self.offset >= 0 else "-"
+        return (f"sp@{self.pc:#x} = sp@entry({self.procedure:#x}) "
+                f"{sign} {abs(self.offset)}")
+
+
+def invariant_from_dict(payload: dict) -> Invariant:
+    """Deserialize an invariant (community wire format)."""
+    kind = payload["kind"]
+    samples = payload.get("samples", 0)
+    if kind == "one-of":
+        return OneOf(variable=Variable.parse(payload["variable"]),
+                     values=frozenset(payload["values"]), samples=samples)
+    if kind == "lower-bound":
+        return LowerBound(variable=Variable.parse(payload["variable"]),
+                          bound=payload["bound"], samples=samples)
+    if kind == "less-than":
+        return LessThan(left=Variable.parse(payload["left"]),
+                        right=Variable.parse(payload["right"]),
+                        samples=samples)
+    if kind == "sp-offset":
+        return SPOffset(pc=payload["pc"], procedure=payload["procedure"],
+                        offset=payload["offset"], samples=samples)
+    raise ValueError(f"unknown invariant kind {kind!r}")
+
+
+def with_samples(invariant: Invariant, samples: int) -> Invariant:
+    """Copy *invariant* with an updated sample count."""
+    return replace(invariant, samples=samples)

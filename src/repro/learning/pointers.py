@@ -1,0 +1,40 @@
+"""Pointer classification (§2.2.4).
+
+Daikon was extended with a pointer heuristic: if a variable ever holds a
+negative value or a value between 1 and 100,000, it is *not* a pointer;
+otherwise it is presumed to be one.  Lower-bound and less-than inference
+is skipped for pointer variables, which cuts learning, checking, and
+evaluation time without losing useful repairs (orderings of raw pointers
+are meaningless for our repair strategies).
+"""
+
+from __future__ import annotations
+
+from repro.vm.isa import to_signed
+
+#: Values in [1, NON_POINTER_LIMIT] mark a variable as a non-pointer.
+NON_POINTER_LIMIT = 100_000
+
+
+class PointerClassifier:
+    """Tracks, per variable key, whether it can still be a pointer."""
+
+    def __init__(self):
+        self._not_pointer: set = set()
+        self._seen: set = set()
+
+    def observe(self, key, value: int) -> None:
+        """Record one observed *value* for the variable *key*."""
+        self._seen.add(key)
+        if key in self._not_pointer:
+            return
+        signed = to_signed(value)
+        if signed < 0 or 1 <= signed <= NON_POINTER_LIMIT:
+            self._not_pointer.add(key)
+
+    def is_pointer(self, key) -> bool:
+        """True if *key* was observed and never disqualified."""
+        return key in self._seen and key not in self._not_pointer
+
+    def is_not_pointer(self, key) -> bool:
+        return key in self._not_pointer

@@ -1,0 +1,88 @@
+"""Delayed invariant incorporation (§3.1).
+
+"It is also possible to apply more sophisticated strategies, for example
+delaying the incorporation of newly learned invariants for a period of
+time long enough to make any undesirable effects of the execution
+apparent.  Only after the period has expired with no observed
+undesirable effects would the system use the invariants to update the
+centralized invariant database."
+
+The :class:`QuarantineBuffer` implements that policy for a community
+server: uploaded databases sit in quarantine for a configurable number
+of clean ticks (a tick being whatever heartbeat the deployment uses —
+runs, minutes, upload rounds).  An undesirable event reported during the
+window discards every upload still in quarantine, on the theory that the
+executions that produced them may themselves have been erroneous.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.learning.database import InvariantDatabase
+
+
+@dataclass
+class _Pending:
+    database: InvariantDatabase
+    source: str
+    remaining_ticks: int
+
+
+@dataclass
+class QuarantineBuffer:
+    """Holds uploaded invariant databases until they age out clean.
+
+    Parameters
+    ----------
+    quarantine_ticks:
+        Clean ticks an upload must survive before release.
+    """
+
+    quarantine_ticks: int = 3
+    _pending: list[_Pending] = field(default_factory=list)
+    released: int = 0
+    discarded: int = 0
+
+    def submit(self, database: InvariantDatabase,
+               source: str = "") -> None:
+        """Accept an upload into quarantine."""
+        self._pending.append(_Pending(
+            database=database, source=source,
+            remaining_ticks=self.quarantine_ticks))
+
+    def tick(self) -> list[InvariantDatabase]:
+        """One clean heartbeat: age every pending upload and return the
+        databases whose quarantine expired (ready to merge centrally)."""
+        ready: list[InvariantDatabase] = []
+        keep: list[_Pending] = []
+        for pending in self._pending:
+            pending.remaining_ticks -= 1
+            if pending.remaining_ticks <= 0:
+                ready.append(pending.database)
+                self.released += 1
+            else:
+                keep.append(pending)
+        self._pending = keep
+        return ready
+
+    def report_undesirable_event(self) -> int:
+        """An error/failure surfaced during the window: discard every
+        upload still in quarantine. Returns the number discarded."""
+        discarded = len(self._pending)
+        self.discarded += discarded
+        self._pending = []
+        return discarded
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+
+def incorporate_with_quarantine(central: InvariantDatabase,
+                                buffer: QuarantineBuffer
+                                ) -> InvariantDatabase:
+    """Merge every upload the buffer has released into *central*."""
+    for database in buffer.tick():
+        central = central.merge(database)
+    return central

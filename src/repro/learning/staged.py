@@ -1,0 +1,119 @@
+"""Staged learning (§3.1).
+
+The alternative learning organisation the paper sketches: a cheap first
+phase records which inputs exercise which regions (procedures) of the
+application; learning proper happens only *in response to a failure*, by
+replaying the recorded inputs that exercise the procedures near the
+failure with tracing confined to those procedures.
+
+Trade-off, per the paper: responding to a failure takes longer (the
+model must be built on demand), but normal execution carries no learning
+overhead and no large invariant database needs to be maintained.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cfg.discovery import DiscoveryPlugin, ProcedureDatabase
+from repro.dynamo.execution import (
+    EnvironmentConfig,
+    ManagedEnvironment,
+    Outcome,
+)
+from repro.learning.database import InvariantDatabase
+from repro.learning.inference import InferenceEngine
+from repro.learning.traces import TraceFrontEnd
+from repro.vm.binary import Binary
+from repro.vm.cpu import CPU
+from repro.vm.hooks import ExecutionHook
+from repro.vm.isa import Instruction
+
+
+class _CoverageRecorder(ExecutionHook):
+    """Records which discovered procedures an input exercises."""
+
+    def __init__(self, procedures: ProcedureDatabase):
+        self.procedures = procedures
+        self.exercised: set[int] = set()
+        self._known_pcs: dict[int, int | None] = {}
+
+    def before_instruction(self, cpu: CPU, pc: int,
+                           instruction: Instruction) -> int | None:
+        entry = self._known_pcs.get(pc, -1)
+        if entry == -1:
+            procedure = self.procedures.procedure_of(pc)
+            entry = procedure.entry if procedure else None
+            self._known_pcs[pc] = entry
+        if entry is not None:
+            self.exercised.add(entry)
+        return None
+
+
+@dataclass
+class StagedLearner:
+    """Two-phase, failure-driven learning."""
+
+    binary: Binary
+    config: EnvironmentConfig = field(default_factory=EnvironmentConfig.full)
+    procedures: ProcedureDatabase = field(init=False)
+    #: input index -> procedure entries it exercises.
+    coverage: dict[int, set[int]] = field(default_factory=dict)
+    inputs: list[bytes] = field(default_factory=list)
+    pair_scope: str = "block"
+    #: Observation counts, for overhead comparisons.
+    phase1_observations: int = 0
+    phase2_observations: int = 0
+
+    def __post_init__(self):
+        self.binary = self.binary.stripped()
+        self.procedures = ProcedureDatabase(self.binary)
+
+    # -- phase 1: record inputs and the regions they exercise -----------
+
+    def record(self, inputs: list[bytes]) -> None:
+        """Run *inputs* with coverage recording only (no value tracing —
+        this is the cheap always-on phase)."""
+        environment = ManagedEnvironment(self.binary, self.config)
+        environment.cache_plugins.append(DiscoveryPlugin(self.procedures))
+        for payload in inputs:
+            recorder = _CoverageRecorder(self.procedures)
+            environment.extra_hooks = [recorder]
+            result = environment.run(payload)
+            if result.outcome is Outcome.COMPLETED:
+                index = len(self.inputs)
+                self.inputs.append(payload)
+                self.coverage[index] = recorder.exercised
+            self.phase1_observations += result.steps
+
+    # -- phase 2: respond to a failure -----------------------------------
+
+    def procedures_near(self, failure_pc: int,
+                        call_sites: tuple[int, ...] = ()) -> set[int]:
+        """The procedures the §2.4.1 candidate search will look at."""
+        nearby: set[int] = set()
+        for point in (failure_pc,) + tuple(call_sites):
+            procedure = self.procedures.procedure_of(point)
+            if procedure is not None:
+                nearby.add(procedure.entry)
+        return nearby
+
+    def learn_for_failure(self, failure_pc: int,
+                          call_sites: tuple[int, ...] = ()
+                          ) -> InvariantDatabase:
+        """Replay the recorded inputs that exercise procedures near the
+        failure, tracing only those procedures, and infer invariants."""
+        targets = self.procedures_near(failure_pc, call_sites)
+        replay = [self.inputs[index] for index, exercised
+                  in self.coverage.items() if exercised & targets]
+        engine = InferenceEngine(self.procedures,
+                                 pair_scope=self.pair_scope)
+        environment = ManagedEnvironment(self.binary, self.config)
+        environment.cache_plugins.append(DiscoveryPlugin(self.procedures))
+        front_end = TraceFrontEnd(engine, self.procedures,
+                                  traced_procedures=targets)
+        environment.extra_hooks.append(front_end)
+        for payload in replay:
+            environment.run(payload)
+        self.phase2_observations += engine.observations
+        return engine.finalize()

@@ -1,0 +1,84 @@
+"""The trace front end (the "Daikon x86 front end" analogue, §2.2.1).
+
+Attaches to a running application as an execution hook, asks the CPU for
+per-instruction operand observations, and feeds them to an
+:class:`~repro.learning.inference.InferenceEngine` online.  The front end
+also tracks procedure activations (its own lightweight call shadow) so the
+engine can compute stack-pointer offsets relative to procedure entry.
+
+Partial tracing (§3.1): a front end can be confined to a subset of
+procedures.  Observations from other procedures are skipped, which is how
+an application community distributes learning overhead across members.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cfg.discovery import ProcedureDatabase
+from repro.learning.inference import InferenceEngine
+from repro.vm.cpu import CPU
+from repro.vm.hooks import ExecutionHook, OperandObservation, TransferKind
+from repro.vm.isa import Register
+
+
+@dataclass
+class _Activation:
+    entry: int
+    sp_entry: int
+
+
+class TraceFrontEnd(ExecutionHook):
+    """Streams operand observations into an inference engine.
+
+    Parameters
+    ----------
+    engine:
+        The inference engine to feed.
+    procedures:
+        Procedure database used to attribute pcs to procedures.
+    traced_procedures:
+        If not None, only instructions belonging to these procedure
+        entries are traced (partial/distributed learning).
+    """
+
+    wants_operands = True
+
+    def __init__(self, engine: InferenceEngine,
+                 procedures: ProcedureDatabase,
+                 traced_procedures: set[int] | None = None):
+        self.engine = engine
+        self.procedures = procedures
+        self.traced_procedures = traced_procedures
+        self._activations: list[_Activation] = []
+        self.traced = 0
+        self.skipped = 0
+
+    # -- activation tracking ------------------------------------------------
+
+    def on_transfer(self, cpu: CPU, pc: int, kind: str,
+                    target: int) -> None:
+        if kind in (TransferKind.CALL, TransferKind.INDIRECT_CALL):
+            self._activations.append(_Activation(
+                entry=target, sp_entry=cpu.registers[Register.ESP]))
+
+    def on_return(self, cpu: CPU, pc: int, target: int) -> None:
+        if self._activations:
+            self._activations.pop()
+
+    # -- observation intake ---------------------------------------------------
+
+    def on_operands(self, cpu: CPU,
+                    observation: OperandObservation) -> None:
+        procedure = self.procedures.procedure_of(observation.pc)
+        entry = procedure.entry if procedure is not None else None
+        if self.traced_procedures is not None and \
+                entry not in self.traced_procedures:
+            self.skipped += 1
+            return
+        sp_entry = None
+        if self._activations and entry is not None and \
+                self._activations[-1].entry == entry:
+            sp_entry = self._activations[-1].sp_entry
+        self.traced += 1
+        self.engine.observe(observation, entry, sp_entry)

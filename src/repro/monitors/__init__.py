@@ -1,0 +1,9 @@
+"""ClearView monitors: failure detectors and the shadow stack."""
+
+from repro.monitors.base import Monitor
+from repro.monitors.heap_guard import HeapGuard
+from repro.monitors.memory_firewall import MemoryFirewall
+from repro.monitors.shadow_stack import ShadowFrame, ShadowStack
+
+__all__ = ["Monitor", "HeapGuard", "MemoryFirewall", "ShadowFrame",
+           "ShadowStack"]

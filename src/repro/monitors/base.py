@@ -1,0 +1,29 @@
+"""Monitor base class and shared definitions.
+
+A ClearView monitor (§2.3) classifies executions as normal or erroneous and,
+for erroneous executions, supplies a *failure location* — the program
+counter where the failure was detected.  Monitors must have no false
+positives; they terminate the application on detection by raising
+:class:`~repro.errors.MonitorDetection`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import MonitorDetection
+from repro.vm.cpu import CPU
+from repro.vm.hooks import ExecutionHook
+
+
+class Monitor(ExecutionHook):
+    """Base class for failure detectors."""
+
+    #: Human-readable monitor name, used in failure identification.
+    name = "monitor"
+
+    def __init__(self):
+        self.detections = 0
+
+    def detect(self, cpu: CPU, pc: int, message: str) -> None:
+        """Record a detection and terminate the application."""
+        self.detections += 1
+        raise MonitorDetection(message, pc=pc, monitor=self.name)

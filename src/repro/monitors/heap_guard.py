@@ -1,0 +1,50 @@
+"""Heap Guard: canary-based out-of-bounds write detection.
+
+Per §2.3: canary values are placed at the boundaries of allocated memory
+blocks (done by the allocator when canaries are enabled) and all heap
+writes are instrumented.  If a written location *contained* the canary
+value, that indicates either an out-of-bounds write or a legitimate
+previous in-bounds write of the canary pattern — the allocation map is
+searched to distinguish the two.  By design Heap Guard has no false
+positives; it can miss an out-of-bounds write that skips over the canary.
+"""
+
+from __future__ import annotations
+
+from repro.monitors.base import Monitor
+from repro.vm.cpu import CPU
+from repro.vm.heap import CANARY
+
+
+class HeapGuard(Monitor):
+    """Detects out-of-bounds heap writes via boundary canaries.
+
+    Requires the CPU's heap allocator to have been created with
+    ``guard_canaries=True`` (the managed environment arranges this).
+    """
+
+    name = "heap-guard"
+
+    def __init__(self):
+        super().__init__()
+        self.checks = 0
+        self.map_searches = 0
+        #: Dynamically toggleable (§2.3: Heap Guard can be enabled and
+        #: disabled as the application executes without perturbing it).
+        self.enabled = True
+
+    def on_store(self, cpu: CPU, pc: int, address: int, size: int,
+                 value: int, old_value: int) -> None:
+        if not self.enabled or not cpu.memory.in_heap(address):
+            return
+        self.checks += 1
+        if old_value != CANARY:
+            return
+        # The written location held the canary: either we just smashed a
+        # boundary canary, or the application legitimately overwrote its
+        # own earlier in-bounds write of the canary pattern.
+        self.map_searches += 1
+        block = cpu.heap.find_block(address)
+        if block is None:
+            self.detect(cpu, pc,
+                        f"out-of-bounds heap write at {address:#x}")

@@ -1,0 +1,15 @@
+"""Red Team exercise: exploits, attack driver, outcome scoring."""
+
+from repro.redteam.exercise import AttackResult, RedTeamExercise
+from repro.redteam.exploits import Exploit, all_exploits, exploit
+from repro.redteam.scoring import (
+    DisplayComparison,
+    compare_displays,
+    reference_outputs,
+)
+
+__all__ = [
+    "AttackResult", "RedTeamExercise", "Exploit", "all_exploits",
+    "exploit", "DisplayComparison", "compare_displays",
+    "reference_outputs",
+]

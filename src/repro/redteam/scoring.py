@@ -1,0 +1,62 @@
+"""Attack outcome judgments (§4.2.1 rules of engagement).
+
+- A *control flow attack* succeeds if it prevents the application from
+  successfully processing additional inputs — by redirecting control to
+  malicious code or by crashing the application.
+- A *false positive attack* succeeds if ClearView applies a patch in
+  response to a legitimate page.
+- An *induced autoimmune attack* succeeds if the patched application
+  behaves differently from the unpatched application on legitimate pages
+  (bit-identical displays required).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dynamo.execution import ManagedEnvironment, Outcome
+from repro.vm.binary import Binary
+
+
+@dataclass
+class DisplayComparison:
+    """Result of the bit-identical display check over legitimate pages."""
+
+    pages: int = 0
+    identical: int = 0
+    mismatches: list[int] = field(default_factory=list)
+
+    @property
+    def all_identical(self) -> bool:
+        return self.identical == self.pages
+
+
+def reference_outputs(binary: Binary,
+                      pages: list[bytes]) -> list[list[int]]:
+    """Render *pages* with a pristine unpatched browser (bare run)."""
+    from repro.dynamo.execution import EnvironmentConfig
+    environment = ManagedEnvironment(binary.stripped(),
+                                     EnvironmentConfig.bare())
+    outputs = []
+    for page in pages:
+        result = environment.run(page)
+        if result.outcome is not Outcome.COMPLETED:
+            raise AssertionError(
+                f"reference page did not render cleanly: {result.detail}")
+        outputs.append(result.output)
+    return outputs
+
+
+def compare_displays(environment: ManagedEnvironment, pages: list[bytes],
+                     reference: list[list[int]]) -> DisplayComparison:
+    """Render *pages* in (possibly patched) *environment* and compare
+    against the unpatched reference outputs, bit for bit."""
+    comparison = DisplayComparison(pages=len(pages))
+    for index, (page, expected) in enumerate(zip(pages, reference)):
+        result = environment.run(page)
+        if result.outcome is Outcome.COMPLETED and \
+                result.output == expected:
+            comparison.identical += 1
+        else:
+            comparison.mismatches.append(index)
+    return comparison

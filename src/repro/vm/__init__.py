@@ -1,0 +1,54 @@
+"""MiniX86 virtual machine: the stripped-binary substrate.
+
+Public surface::
+
+    from repro.vm import assemble, CPU, Binary, Register
+
+See :mod:`repro.vm.isa` for the instruction set and
+:mod:`repro.vm.assembler` for the assembly syntax.
+"""
+
+from repro.vm.assembler import ABSOLUTE_BASE, Assembler, assemble
+from repro.vm.binary import Binary, encode_instructions
+from repro.vm.cpu import CPU, DEFAULT_MAX_STEPS
+from repro.vm.disasm import context_listing, disassemble
+from repro.vm.heap import CANARY, Allocation, HeapAllocator
+from repro.vm.hooks import ExecutionHook, OperandObservation, TransferKind
+from repro.vm.isa import (
+    INSTRUCTION_SIZE,
+    WORD_SIZE,
+    Instruction,
+    Opcode,
+    OperandKind,
+    Register,
+    to_signed,
+    to_unsigned,
+)
+from repro.vm.memory import Memory
+
+__all__ = [
+    "ABSOLUTE_BASE",
+    "Assembler",
+    "assemble",
+    "Binary",
+    "encode_instructions",
+    "CPU",
+    "DEFAULT_MAX_STEPS",
+    "context_listing",
+    "disassemble",
+    "CANARY",
+    "Allocation",
+    "HeapAllocator",
+    "ExecutionHook",
+    "OperandObservation",
+    "TransferKind",
+    "INSTRUCTION_SIZE",
+    "WORD_SIZE",
+    "Instruction",
+    "Opcode",
+    "OperandKind",
+    "Register",
+    "to_signed",
+    "to_unsigned",
+    "Memory",
+]

@@ -1,0 +1,438 @@
+"""Two-pass assembler for MiniX86 assembly.
+
+Syntax overview (one statement per line; ``;`` starts a comment)::
+
+    .equ   NAME, expr          ; assemble-time constant
+    .data                      ; switch to the data segment
+    label: .word 1, 2, 3       ; initialised words
+    buf:   .space 64           ; zero-filled bytes
+    msg:   .asciz "hi"         ; NUL-terminated string
+    .code                      ; switch back to the code segment
+    main:
+        mov   eax, 5
+        load  ebx, [ebp+8]
+        store [esi+0], eax
+        lea   edi, [buf]       ; data labels are immediates/addresses
+        cmp   eax, ebx
+        jle   done
+        call  helper
+        callr edx              ; indirect call through a register
+    done:
+        halt
+
+Data labels resolve to absolute data-segment addresses (the assembler is
+told the data base, which equals the code size, so images are position
+dependent like a classic non-PIE executable).  Code labels resolve to
+instruction addresses.  The output is a :class:`~repro.vm.binary.Binary`
+whose symbol table is debug-only.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.errors import AssemblerError
+from repro.vm.binary import Binary, encode_instructions
+from repro.vm.isa import (
+    INSTRUCTION_SIZE,
+    REG_OR_IMM_OPCODES,
+    REGISTER_NAMES,
+    WORD_MASK,
+    WORD_SIZE,
+    Instruction,
+    Opcode,
+    OperandKind,
+    Register,
+)
+
+_LABEL_RE = re.compile(r"^([A-Za-z_][\w.$]*):\s*(.*)$")
+_MEM_RE = re.compile(
+    r"^\[\s*([A-Za-z_][\w.$]*)\s*(?:([+-])\s*([\w.$]+)\s*)?\]$")
+
+#: Mnemonics that take no operands.
+_NO_OPERAND = {"ret": Opcode.RET, "halt": Opcode.HALT, "nop": Opcode.NOP,
+               "leave": Opcode.LEAVE}
+
+#: Mnemonics taking a single register operand.
+_ONE_REG = {"pop": Opcode.POP, "free": Opcode.FREE,
+            "neg": Opcode.NEG, "not": Opcode.NOT,
+            "callr": Opcode.CALLR, "jmpr": Opcode.JMPR}
+
+#: Mnemonics taking reg, (reg|imm).
+_TWO_OPERAND = {
+    "mov": Opcode.MOV, "add": Opcode.ADD, "sub": Opcode.SUB,
+    "mul": Opcode.MUL, "div": Opcode.DIV, "and": Opcode.AND,
+    "or": Opcode.OR, "xor": Opcode.XOR, "shl": Opcode.SHL,
+    "shr": Opcode.SHR, "sar": Opcode.SAR, "cmp": Opcode.CMP,
+    "test": Opcode.TEST,
+}
+
+#: Direct-target control transfers.
+_JUMPS = {
+    "jmp": Opcode.JMP, "je": Opcode.JE, "jne": Opcode.JNE,
+    "jl": Opcode.JL, "jle": Opcode.JLE, "jg": Opcode.JG,
+    "jge": Opcode.JGE, "jb": Opcode.JB, "jae": Opcode.JAE,
+    "call": Opcode.CALL,
+}
+
+
+@dataclass
+class _Statement:
+    """One pending instruction with possibly-unresolved symbolic operands."""
+
+    mnemonic: str
+    operands: list[str]
+    line_number: int
+    source: str
+    address: int
+
+
+def _split_operands(text: str) -> list[str]:
+    """Split an operand list on commas that are outside brackets/quotes."""
+    operands: list[str] = []
+    depth = 0
+    current = ""
+    in_string = False
+    for char in text:
+        if in_string:
+            current += char
+            if char == '"':
+                in_string = False
+            continue
+        if char == '"':
+            in_string = True
+            current += char
+        elif char == "[":
+            depth += 1
+            current += char
+        elif char == "]":
+            depth -= 1
+            current += char
+        elif char == "," and depth == 0:
+            operands.append(current.strip())
+            current = ""
+        else:
+            current += char
+    if current.strip():
+        operands.append(current.strip())
+    return operands
+
+
+class Assembler:
+    """Two-pass assembler producing :class:`Binary` images."""
+
+    def __init__(self):
+        self._symbols: dict[str, int] = {}
+        self._constants: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def assemble(self, source: str) -> Binary:
+        """Assemble *source* into a binary image."""
+        statements, data_items, data_labels, entry = self._first_pass(source)
+        from repro.vm.memory import Memory
+        data_base = Memory.DATA_BASE
+
+        # Finalise data label addresses now that the base is known.
+        for name, offset in data_labels.items():
+            self._define(name, data_base + offset,
+                         kind="data label", line_number=None)
+
+        instructions = [self._resolve(stmt) for stmt in statements]
+        code = encode_instructions(instructions)
+        data = self._build_data(data_items)
+        listing = {stmt.address: stmt.source for stmt in statements}
+
+        entry_point = 0
+        if entry is not None:
+            entry_point = self._lookup(entry, line_number=None)
+        elif "main" in self._symbols:
+            entry_point = self._symbols["main"]
+
+        return Binary(code=code, data=data, entry_point=entry_point,
+                      symbols=dict(self._symbols), listing=listing)
+
+    # ------------------------------------------------------------------
+    # Pass 1: scan, collect labels, lay out data
+    # ------------------------------------------------------------------
+
+    def _first_pass(self, source: str):
+        statements: list[_Statement] = []
+        data_items: list[tuple[str, object]] = []
+        data_labels: dict[str, int] = {}
+        in_data = False
+        data_offset = 0
+        entry: str | None = None
+
+        for line_number, raw_line in enumerate(source.splitlines(), start=1):
+            line = raw_line.split(";", 1)[0].strip()
+            if not line:
+                continue
+
+            match = _LABEL_RE.match(line)
+            if match:
+                name, line = match.group(1), match.group(2).strip()
+                if in_data:
+                    if name in data_labels or name in self._symbols:
+                        raise AssemblerError(
+                            f"duplicate label {name!r}", line_number)
+                    data_labels[name] = data_offset
+                else:
+                    self._define(name, len(statements) * INSTRUCTION_SIZE,
+                                 kind="code label", line_number=line_number)
+                if not line:
+                    continue
+
+            if line.startswith("."):
+                directive, _, rest = line.partition(" ")
+                rest = rest.strip()
+                if directive == ".data":
+                    in_data = True
+                elif directive == ".code" or directive == ".text":
+                    in_data = False
+                elif directive == ".entry":
+                    entry = rest
+                elif directive == ".equ":
+                    parts = _split_operands(rest)
+                    if len(parts) != 2:
+                        raise AssemblerError(
+                            ".equ needs NAME, value", line_number)
+                    self._define(parts[0],
+                                 self._parse_int(parts[1], line_number),
+                                 kind="constant", line_number=line_number,
+                                 constant=True)
+                elif directive in (".word", ".space", ".asciz", ".byte"):
+                    if not in_data:
+                        raise AssemblerError(
+                            f"{directive} outside .data", line_number)
+                    size = self._layout_data(directive, rest, data_items,
+                                             line_number)
+                    data_offset += size
+                else:
+                    raise AssemblerError(
+                        f"unknown directive {directive!r}", line_number)
+                continue
+
+            if in_data:
+                raise AssemblerError(
+                    f"instruction {line!r} inside .data", line_number)
+
+            mnemonic, _, rest = line.partition(" ")
+            statements.append(_Statement(
+                mnemonic=mnemonic.lower(),
+                operands=_split_operands(rest),
+                line_number=line_number,
+                source=line,
+                address=len(statements) * INSTRUCTION_SIZE))
+
+        return statements, data_items, data_labels, entry
+
+    def _layout_data(self, directive: str, rest: str,
+                     data_items: list, line_number: int) -> int:
+        """Record a data item; return its size in bytes."""
+        if directive == ".word":
+            # Values may forward-reference labels (e.g. vtables of code
+            # addresses); resolve them after all labels are known.
+            values = [(part, line_number) for part in _split_operands(rest)]
+            data_items.append(("words", values))
+            return len(values) * WORD_SIZE
+        if directive == ".byte":
+            values = [self._parse_int(part, line_number)
+                      for part in _split_operands(rest)]
+            data_items.append(("bytes", values))
+            return len(values)
+        if directive == ".space":
+            size = self._parse_int(rest, line_number)
+            if size < 0:
+                raise AssemblerError(".space size must be >= 0", line_number)
+            data_items.append(("space", size))
+            return size
+        # .asciz
+        if not (rest.startswith('"') and rest.endswith('"')):
+            raise AssemblerError('.asciz needs a "quoted" string',
+                                 line_number)
+        text = rest[1:-1].encode("latin-1").decode("unicode_escape")
+        data_items.append(("string", text))
+        return len(text) + 1
+
+    def _build_data(self, data_items: list) -> bytes:
+        out = bytearray()
+        for kind, payload in data_items:
+            if kind == "words":
+                for text, line_number in payload:
+                    value = self._parse_int(text, line_number)
+                    out += (value & WORD_MASK).to_bytes(WORD_SIZE, "little")
+            elif kind == "bytes":
+                out += bytes(value & 0xFF for value in payload)
+            elif kind == "space":
+                out += bytes(payload)
+            else:  # string
+                out += payload.encode("latin-1") + b"\x00"
+        return bytes(out)
+
+    # ------------------------------------------------------------------
+    # Pass 2: resolve operands into Instructions
+    # ------------------------------------------------------------------
+
+    def _resolve(self, stmt: _Statement) -> Instruction:
+        mnemonic, operands = stmt.mnemonic, stmt.operands
+        line = stmt.line_number
+
+        def need(count: int) -> None:
+            if len(operands) != count:
+                raise AssemblerError(
+                    f"{mnemonic} expects {count} operand(s), "
+                    f"got {len(operands)}", line)
+
+        if mnemonic in _NO_OPERAND:
+            need(0)
+            return Instruction(_NO_OPERAND[mnemonic], source=stmt.source)
+
+        if mnemonic in _ONE_REG:
+            need(1)
+            return Instruction(_ONE_REG[mnemonic],
+                               a=self._register(operands[0], line),
+                               source=stmt.source)
+
+        if mnemonic in _TWO_OPERAND:
+            need(2)
+            opcode = _TWO_OPERAND[mnemonic]
+            dst = self._register(operands[0], line)
+            b, b_kind = self._reg_or_imm(operands[1], line)
+            return Instruction(opcode, a=dst, b=b, b_kind=b_kind,
+                               source=stmt.source)
+
+        if mnemonic in _JUMPS:
+            need(1)
+            target = self._value(operands[0], line)
+            return Instruction(_JUMPS[mnemonic], a=target,
+                               source=stmt.source)
+
+        if mnemonic in ("push", "out", "outb"):
+            need(1)
+            opcode = {"push": Opcode.PUSH, "out": Opcode.OUT,
+                      "outb": Opcode.OUTB}[mnemonic]
+            b, b_kind = self._reg_or_imm(operands[0], line)
+            return Instruction(opcode, b=b, b_kind=b_kind,
+                               source=stmt.source)
+
+        if mnemonic == "alloc":
+            need(2)
+            dst = self._register(operands[0], line)
+            if dst != Register.EAX:
+                raise AssemblerError("alloc result must go to eax", line)
+            b, b_kind = self._reg_or_imm(operands[1], line)
+            return Instruction(Opcode.ALLOC, a=dst, b=b, b_kind=b_kind,
+                               source=stmt.source)
+
+        if mnemonic in ("load", "lea", "loadb"):
+            need(2)
+            opcode = {"load": Opcode.LOAD, "lea": Opcode.LEA,
+                      "loadb": Opcode.LOADB}[mnemonic]
+            dst = self._register(operands[0], line)
+            base, disp = self._memory_operand(operands[1], line)
+            return Instruction(opcode, a=dst, b=base, c=disp,
+                               b_kind=OperandKind.REGISTER,
+                               source=stmt.source)
+
+        if mnemonic in ("store", "storeb"):
+            need(2)
+            opcode = Opcode.STORE if mnemonic == "store" else Opcode.STOREB
+            base, disp = self._memory_operand(operands[0], line)
+            src = self._register(operands[1], line)
+            return Instruction(opcode, a=base, b=src, c=disp,
+                               b_kind=OperandKind.REGISTER,
+                               source=stmt.source)
+
+        if mnemonic == "enter":
+            need(1)
+            frame = self._value(operands[0], line)
+            return Instruction(Opcode.ENTER, a=frame, source=stmt.source)
+
+        raise AssemblerError(f"unknown mnemonic {mnemonic!r}", line)
+
+    # ------------------------------------------------------------------
+    # Operand helpers
+    # ------------------------------------------------------------------
+
+    def _define(self, name: str, value: int, kind: str,
+                line_number: int | None, constant: bool = False) -> None:
+        table = self._constants if constant else self._symbols
+        if name in self._symbols or name in self._constants:
+            raise AssemblerError(f"duplicate {kind} {name!r}", line_number)
+        table[name] = value
+
+    def _lookup(self, name: str, line_number: int | None) -> int:
+        if name in self._constants:
+            return self._constants[name]
+        if name in self._symbols:
+            return self._symbols[name]
+        raise AssemblerError(f"undefined symbol {name!r}", line_number)
+
+    def _register(self, text: str, line_number: int) -> Register:
+        reg = REGISTER_NAMES.get(text.lower())
+        if reg is None:
+            raise AssemblerError(f"expected a register, got {text!r}",
+                                 line_number)
+        return reg
+
+    def _parse_int(self, text: str, line_number: int) -> int:
+        text = text.strip()
+        try:
+            return int(text, 0)
+        except ValueError:
+            return self._lookup(text, line_number)
+
+    def _value(self, text: str, line_number: int) -> int:
+        """An immediate: integer literal, constant, or label."""
+        return self._parse_int(text, line_number)
+
+    def _reg_or_imm(self, text: str,
+                    line_number: int) -> tuple[int, OperandKind]:
+        reg = REGISTER_NAMES.get(text.lower())
+        if reg is not None:
+            return int(reg), OperandKind.REGISTER
+        return (self._value(text, line_number) & WORD_MASK,
+                OperandKind.IMMEDIATE)
+
+    def _memory_operand(self, text: str,
+                        line_number: int) -> tuple[int, int]:
+        """Parse ``[reg]``, ``[reg+disp]``, ``[reg-disp]`` or ``[label]``.
+
+        ``[label]`` is sugar for absolute addressing: it uses a reserved
+        encoding with the base register field set to the sentinel value
+        ``len(Register)`` and the displacement holding the absolute address.
+        """
+        text = text.strip()
+        # Numeric absolute operand: [0x100014] (as the disassembler emits).
+        numeric = re.match(r"^\[\s*(-?(?:0x[0-9A-Fa-f]+|\d+))\s*\]$", text)
+        if numeric:
+            return ABSOLUTE_BASE, int(numeric.group(1), 0)
+        match = _MEM_RE.match(text)
+        if not match:
+            raise AssemblerError(f"bad memory operand {text!r}", line_number)
+        base_text, sign, disp_text = match.groups()
+        reg = REGISTER_NAMES.get(base_text.lower())
+        if reg is None:
+            # Absolute: [label] or [label+disp]
+            address = self._lookup(base_text, line_number)
+            disp = self._parse_int(disp_text, line_number) if disp_text else 0
+            if sign == "-":
+                disp = -disp
+            return ABSOLUTE_BASE, address + disp
+        disp = self._parse_int(disp_text, line_number) if disp_text else 0
+        if sign == "-":
+            disp = -disp
+        return int(reg), disp
+
+
+#: Sentinel base-register value meaning "absolute addressing".
+ABSOLUTE_BASE = len(Register)
+
+
+def assemble(source: str) -> Binary:
+    """Convenience wrapper: assemble *source* with a fresh assembler."""
+    return Assembler().assemble(source)

@@ -1,0 +1,72 @@
+"""Binary images: the "stripped executable" format of the reproduction.
+
+A :class:`Binary` is what the assembler emits and the loader consumes: a
+code image (encoded instructions), a data image (initialised globals), and
+an entry point.  A *stripped* binary carries nothing else.  The assembler
+also produces a debug symbol table, but it is kept strictly out of band —
+ClearView components never receive it (mirroring the paper's "no source
+code, no debugging information" constraint); only tests use it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import InvalidInstruction
+from repro.vm.isa import INSTRUCTION_SIZE, WORD_SIZE, Instruction
+
+
+@dataclass
+class Binary:
+    """A loadable program image."""
+
+    code: bytes
+    data: bytes
+    entry_point: int = 0
+    #: Debug-only symbol table (label -> address). Never consumed by
+    #: ClearView components; present for tests and error messages.
+    symbols: dict[str, int] = field(default_factory=dict)
+    #: Debug-only reverse map from instruction address to source text.
+    listing: dict[int, str] = field(default_factory=dict)
+
+    @property
+    def instruction_count(self) -> int:
+        return len(self.code) // INSTRUCTION_SIZE
+
+    def instruction_addresses(self) -> list[int]:
+        """All valid instruction addresses, in order."""
+        return list(range(0, len(self.code), INSTRUCTION_SIZE))
+
+    def decode_at(self, address: int) -> Instruction:
+        """Decode the instruction at *address* from the raw image."""
+        if address % INSTRUCTION_SIZE != 0 or not (
+                0 <= address < len(self.code)):
+            raise InvalidInstruction(
+                f"no instruction at {address:#x}", pc=address)
+        words = tuple(
+            int.from_bytes(self.code[offset:offset + WORD_SIZE], "little")
+            for offset in range(address, address + INSTRUCTION_SIZE,
+                                WORD_SIZE))
+        return Instruction.decode(words)  # type: ignore[arg-type]
+
+    def decode_all(self) -> dict[int, Instruction]:
+        """Decode the full image into an address -> instruction map."""
+        return {address: self.decode_at(address)
+                for address in self.instruction_addresses()}
+
+    def stripped(self) -> "Binary":
+        """Return a copy with all debug information removed.
+
+        This is the artifact ClearView actually operates on.
+        """
+        return Binary(code=self.code, data=self.data,
+                      entry_point=self.entry_point)
+
+
+def encode_instructions(instructions: list[Instruction]) -> bytes:
+    """Pack decoded instructions into a code image."""
+    out = bytearray()
+    for instruction in instructions:
+        for word in instruction.encode():
+            out += word.to_bytes(WORD_SIZE, "little")
+    return bytes(out)

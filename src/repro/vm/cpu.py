@@ -1,0 +1,505 @@
+"""The MiniX86 interpreter.
+
+The CPU executes a loaded :class:`~repro.vm.binary.Binary` image directly
+from memory.  All interesting behaviour — monitoring, tracing, patching —
+is layered on via :class:`~repro.vm.hooks.ExecutionHook` instances; the
+interpreter itself is policy-free.
+
+Attack semantics: a control transfer whose target lies outside the code
+segment raises :class:`~repro.errors.CodeInjectionExecuted` *at the
+transfer*.  On an unprotected machine this models the attacker's payload
+gaining control; with Memory Firewall attached, the monitor's
+``on_transfer`` hook fires first and converts the event into a clean
+:class:`~repro.errors.MonitorDetection` failure.
+"""
+
+from __future__ import annotations
+
+from repro.errors import (
+    CodeInjectionExecuted,
+    DivisionByZero,
+    ExecutionLimitExceeded,
+    InvalidInstruction,
+    MemoryFault,
+    StackFault,
+)
+from repro.vm.assembler import ABSOLUTE_BASE
+from repro.vm.binary import Binary
+from repro.vm.heap import HeapAllocator
+from repro.vm.hooks import ExecutionHook, OperandObservation, TransferKind
+from repro.vm.isa import (
+    INSTRUCTION_SIZE,
+    WORD_MASK,
+    WORD_SIZE,
+    Instruction,
+    Opcode,
+    OperandKind,
+    Register,
+    to_signed,
+)
+from repro.vm.memory import Memory
+
+#: Default instruction budget; generous for the workloads in this repo.
+DEFAULT_MAX_STEPS = 5_000_000
+
+
+class CPU:
+    """A MiniX86 machine instance: registers, memory, heap, hooks."""
+
+    def __init__(self, binary: Binary, memory: Memory | None = None,
+                 guard_canaries: bool = False,
+                 max_steps: int = DEFAULT_MAX_STEPS):
+        self.binary = binary
+        self.memory = memory or Memory(code_size=max(len(binary.code), 1))
+        self.memory.install_code(binary.code)
+        if binary.data:
+            self.memory.write_bytes(self.memory.data_base, binary.data)
+        self.heap = HeapAllocator(self.memory,
+                                  guard_canaries=guard_canaries)
+        self.registers = [0] * len(Register)
+        self.registers[Register.ESP] = self.memory.stack_top
+        self.pc = binary.entry_point
+        self.output: list[int] = []
+        self.halted = False
+        self.steps = 0
+        self.max_steps = max_steps
+        self.hooks: list[ExecutionHook] = []
+        self._operand_hooks: list[ExecutionHook] = []
+        #: Cache of decoded instructions, keyed by address. Invalidated
+        #: never: the code segment is immutable after load (patches live in
+        #: the dynamo layer, not here).
+        self._decoded: dict[int, Instruction] = binary.decode_all()
+
+    # ------------------------------------------------------------------
+    # Hook management
+    # ------------------------------------------------------------------
+
+    def add_hook(self, hook: ExecutionHook) -> None:
+        """Attach *hook*; operand-hungry hooks are tracked separately."""
+        self.hooks.append(hook)
+        if hook.wants_operands:
+            self._operand_hooks.append(hook)
+
+    def remove_hook(self, hook: ExecutionHook) -> None:
+        """Detach *hook*."""
+        self.hooks.remove(hook)
+        if hook in self._operand_hooks:
+            self._operand_hooks.remove(hook)
+
+    # ------------------------------------------------------------------
+    # Register / flag helpers
+    # ------------------------------------------------------------------
+
+    def get_register(self, reg: int) -> int:
+        return self.registers[reg]
+
+    def set_register(self, reg: int, value: int) -> None:
+        self.registers[reg] = value & WORD_MASK
+
+    def _set_flags(self, left: int, right: int) -> None:
+        self._flag_left = left & WORD_MASK
+        self._flag_right = right & WORD_MASK
+
+    _flag_left = 0
+    _flag_right = 0
+
+    def _condition(self, opcode: Opcode) -> bool:
+        left, right = self._flag_left, self._flag_right
+        sleft, sright = to_signed(left), to_signed(right)
+        if opcode == Opcode.JE:
+            return left == right
+        if opcode == Opcode.JNE:
+            return left != right
+        if opcode == Opcode.JL:
+            return sleft < sright
+        if opcode == Opcode.JLE:
+            return sleft <= sright
+        if opcode == Opcode.JG:
+            return sleft > sright
+        if opcode == Opcode.JGE:
+            return sleft >= sright
+        if opcode == Opcode.JB:
+            return left < right
+        if opcode == Opcode.JAE:
+            return left >= right
+        raise InvalidInstruction(f"not a condition: {opcode}", pc=self.pc)
+
+    # ------------------------------------------------------------------
+    # Memory helpers (stores funnel through one choke point for hooks)
+    # ------------------------------------------------------------------
+
+    def _effective_address(self, base: int, disp: int) -> int:
+        if base == ABSOLUTE_BASE:
+            return disp & WORD_MASK
+        return (self.registers[base] + disp) & WORD_MASK
+
+    def store_word(self, address: int, value: int, pc: int) -> None:
+        """Program-visible word store; notifies hooks (Heap Guard)."""
+        if self.hooks:
+            old_value = self.memory.read_word(address)
+        else:
+            old_value = 0
+        self.memory.write_word(address, value)
+        for hook in self.hooks:
+            hook.on_store(self, pc, address, WORD_SIZE,
+                          value & WORD_MASK, old_value)
+
+    def store_byte(self, address: int, value: int, pc: int) -> None:
+        """Program-visible byte store; notifies hooks.
+
+        The ``old_value`` delivered to hooks is the word containing the
+        byte (read at the aligned address), so Heap Guard's canary test
+        works for byte-granularity overruns too.
+        """
+        aligned = address & ~(WORD_SIZE - 1)
+        old_value = 0
+        if self.hooks and aligned + WORD_SIZE <= self.memory.stack_top:
+            try:
+                old_value = self.memory.read_word(aligned)
+            except MemoryFault:
+                old_value = 0
+        self.memory.write_byte(address, value)
+        for hook in self.hooks:
+            hook.on_store(self, pc, address, 1, value & 0xFF, old_value)
+
+    # ------------------------------------------------------------------
+    # Operand observation (the Daikon front end's raw data)
+    # ------------------------------------------------------------------
+
+    def observe_operands(self, pc: int,
+                         instruction: Instruction) -> OperandObservation:
+        """Build the trace record for *instruction* in the current state.
+
+        Slot names are stable per opcode, so (pc, slot) identifies a
+        Daikon variable.  ``computed`` marks the slot(s) this instruction
+        computes, per the §2.2.2 scoping rule.
+        """
+        op = instruction.opcode
+        regs = self.registers
+        slots: dict[str, int] = {}
+        computed: tuple[str, ...] = ()
+
+        if op in (Opcode.MOV, Opcode.ADD, Opcode.SUB, Opcode.MUL,
+                  Opcode.DIV, Opcode.AND, Opcode.OR, Opcode.XOR,
+                  Opcode.SHL, Opcode.SHR, Opcode.SAR):
+            if instruction.b_kind == OperandKind.REGISTER:
+                source = regs[instruction.b]
+            else:
+                source = instruction.b
+            slots["src"] = source
+            if op != Opcode.MOV:
+                # The ALU also *reads* the destination register.
+                slots["dst_in"] = regs[instruction.a]
+            # "dst" is the value the instruction computes — evaluated here
+            # (pure function of the pre-state) so trace records, checks,
+            # and enforcement all agree on its meaning.
+            slots["dst"] = self._alu_result(op, regs[instruction.a],
+                                            source)
+            computed = ("dst",)
+        elif op in (Opcode.NEG, Opcode.NOT):
+            slots["dst_in"] = regs[instruction.a]
+            if op == Opcode.NEG:
+                slots["dst"] = (-to_signed(regs[instruction.a])) & WORD_MASK
+            else:
+                slots["dst"] = (~regs[instruction.a]) & WORD_MASK
+            computed = ("dst",)
+        elif op in (Opcode.LOAD, Opcode.LOADB):
+            address = self._effective_address(instruction.b, instruction.c)
+            slots["addr"] = address
+            try:
+                if op == Opcode.LOAD:
+                    slots["value"] = self.memory.read_word(address)
+                else:
+                    slots["value"] = self.memory.read_byte(address)
+            except MemoryFault:
+                # The load is about to fault; the addr slot is still
+                # observable (and is what a correlated invariant needs).
+                pass
+            computed = ("value", "addr")
+        elif op == Opcode.LEA:
+            slots["addr"] = self._effective_address(instruction.b,
+                                                    instruction.c)
+            computed = ("addr",)
+        elif op in (Opcode.STORE, Opcode.STOREB):
+            address = self._effective_address(instruction.a, instruction.c)
+            slots["addr"] = address
+            slots["value"] = regs[instruction.b]
+            computed = ("addr", "value")
+        elif op in (Opcode.CMP, Opcode.TEST):
+            slots["left"] = regs[instruction.a]
+            if instruction.b_kind == OperandKind.REGISTER:
+                slots["right"] = regs[instruction.b]
+            else:
+                slots["right"] = instruction.b
+            computed = ("left",)
+        elif op == Opcode.PUSH:
+            if instruction.b_kind == OperandKind.REGISTER:
+                slots["value"] = regs[instruction.b]
+            else:
+                slots["value"] = instruction.b
+            computed = ("value",)
+        elif op == Opcode.POP:
+            esp = regs[Register.ESP]
+            if esp + WORD_SIZE <= self.memory.stack_top:
+                slots["value"] = self.memory.read_word(esp)
+                computed = ("value",)
+        elif op in (Opcode.CALLR, Opcode.JMPR):
+            slots["target"] = regs[instruction.a]
+            computed = ("target",)
+        elif op == Opcode.ALLOC:
+            if instruction.b_kind == OperandKind.REGISTER:
+                slots["size"] = regs[instruction.b]
+            else:
+                slots["size"] = instruction.b
+            computed = ("size",)
+        elif op == Opcode.FREE:
+            slots["value"] = regs[instruction.a]
+            computed = ("value",)
+        elif op in (Opcode.OUT, Opcode.OUTB):
+            if instruction.b_kind == OperandKind.REGISTER:
+                slots["value"] = regs[instruction.b]
+            else:
+                slots["value"] = instruction.b
+            computed = ("value",)
+        elif op == Opcode.RET:
+            esp = regs[Register.ESP]
+            if esp + WORD_SIZE <= self.memory.stack_top:
+                slots["target"] = self.memory.read_word(esp)
+        # Direct jumps/calls, ENTER, LEAVE, HALT, NOP: no data operands.
+
+        slots["esp"] = regs[Register.ESP]
+        return OperandObservation(pc=pc, slots=slots, computed=computed)
+
+    def _alu_result(self, op: Opcode, left: int, right: int) -> int:
+        """The value an ALU instruction will compute (pre-state function)."""
+        if op == Opcode.MOV:
+            return right & WORD_MASK
+        if op == Opcode.ADD:
+            return (left + right) & WORD_MASK
+        if op == Opcode.SUB:
+            return (left - right) & WORD_MASK
+        if op == Opcode.MUL:
+            return (left * right) & WORD_MASK
+        if op == Opcode.DIV:
+            return (left // right) & WORD_MASK if right else 0
+        if op == Opcode.AND:
+            return left & right
+        if op == Opcode.OR:
+            return left | right
+        if op == Opcode.XOR:
+            return left ^ right
+        if op == Opcode.SHL:
+            return (left << (right & 31)) & WORD_MASK
+        if op == Opcode.SHR:
+            return (left >> (right & 31)) & WORD_MASK
+        if op == Opcode.SAR:
+            return (to_signed(left) >> (right & 31)) & WORD_MASK
+        return left
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def fetch(self, pc: int) -> Instruction:
+        """Decode the instruction at *pc*, enforcing code-segment bounds."""
+        instruction = self._decoded.get(pc)
+        if instruction is None:
+            if not self.memory.in_code(pc):
+                raise CodeInjectionExecuted(
+                    "control reached non-code memory", pc=pc)
+            raise InvalidInstruction("misaligned or invalid pc", pc=pc)
+        return instruction
+
+    def step(self) -> None:
+        """Execute one instruction."""
+        if self.halted:
+            return
+        if self.steps >= self.max_steps:
+            raise ExecutionLimitExceeded(
+                f"exceeded {self.max_steps} steps", pc=self.pc)
+        self.steps += 1
+
+        pc = self.pc
+        instruction = self.fetch(pc)
+
+        redirect: int | None = None
+        for hook in self.hooks:
+            result = hook.before_instruction(self, pc, instruction)
+            if result is not None:
+                redirect = result
+        if self._operand_hooks:
+            observation = self.observe_operands(pc, instruction)
+            for hook in self._operand_hooks:
+                hook.on_operands(self, observation)
+        if redirect is not None:
+            # A patch redirected control; skip the original instruction.
+            # The target is validated like any dynamic transfer: a repair
+            # working from corrupted state (e.g. a smashed return
+            # address) must not become a code-injection vector.
+            self.pc = self._transfer(pc, TransferKind.PATCH, redirect)
+            return
+
+        self.pc = self._execute(pc, instruction)
+
+        for hook in self.hooks:
+            hook.after_instruction(self, pc, instruction)
+
+    def run(self, max_steps: int | None = None) -> None:
+        """Run until HALT (or an exception propagates)."""
+        if max_steps is not None:
+            self.max_steps = max_steps
+        while not self.halted:
+            self.step()
+
+    # ------------------------------------------------------------------
+    # Instruction semantics
+    # ------------------------------------------------------------------
+
+    def _operand_b(self, instruction: Instruction) -> int:
+        if instruction.b_kind == OperandKind.REGISTER:
+            return self.registers[instruction.b]
+        return instruction.b
+
+    def _transfer(self, pc: int, kind: str, target: int) -> int:
+        """Announce and validate a control transfer; return the target."""
+        for hook in self.hooks:
+            hook.on_transfer(self, pc, kind, target)
+        if not self.memory.in_code(target):
+            raise CodeInjectionExecuted(
+                f"{kind} to non-code address {target:#x}", pc=pc)
+        return target
+
+    def _push(self, value: int, pc: int) -> None:
+        esp = self.registers[Register.ESP] - WORD_SIZE
+        if esp < self.memory.stack_base:
+            raise StackFault("stack overflow", pc=pc)
+        self.registers[Register.ESP] = esp
+        # Pushes bypass on_store: the canary discipline applies to program
+        # data writes, not the machine's own stack engine.
+        self.memory.write_word(esp, value)
+
+    def _pop(self, pc: int) -> int:
+        esp = self.registers[Register.ESP]
+        if esp + WORD_SIZE > self.memory.stack_top:
+            raise StackFault("stack underflow", pc=pc)
+        value = self.memory.read_word(esp)
+        self.registers[Register.ESP] = esp + WORD_SIZE
+        return value
+
+    def _execute(self, pc: int, ins: Instruction) -> int:
+        """Apply *ins* and return the next pc."""
+        op = ins.opcode
+        regs = self.registers
+        next_pc = pc + INSTRUCTION_SIZE
+
+        if op == Opcode.MOV:
+            self.set_register(ins.a, self._operand_b(ins))
+        elif op == Opcode.LOAD:
+            address = self._effective_address(ins.b, ins.c)
+            self.set_register(ins.a, self.memory.read_word(address))
+        elif op == Opcode.LOADB:
+            address = self._effective_address(ins.b, ins.c)
+            self.set_register(ins.a, self.memory.read_byte(address))
+        elif op == Opcode.STORE:
+            address = self._effective_address(ins.a, ins.c)
+            self.store_word(address, regs[ins.b], pc)
+        elif op == Opcode.STOREB:
+            address = self._effective_address(ins.a, ins.c)
+            self.store_byte(address, regs[ins.b], pc)
+        elif op == Opcode.LEA:
+            self.set_register(ins.a, self._effective_address(ins.b, ins.c))
+        elif op == Opcode.ADD:
+            self.set_register(ins.a, regs[ins.a] + self._operand_b(ins))
+        elif op == Opcode.SUB:
+            self.set_register(ins.a, regs[ins.a] - self._operand_b(ins))
+        elif op == Opcode.MUL:
+            self.set_register(ins.a, regs[ins.a] * self._operand_b(ins))
+        elif op == Opcode.DIV:
+            divisor = self._operand_b(ins)
+            if divisor == 0:
+                raise DivisionByZero("division by zero", pc=pc)
+            self.set_register(ins.a, regs[ins.a] // divisor)
+        elif op == Opcode.AND:
+            self.set_register(ins.a, regs[ins.a] & self._operand_b(ins))
+        elif op == Opcode.OR:
+            self.set_register(ins.a, regs[ins.a] | self._operand_b(ins))
+        elif op == Opcode.XOR:
+            self.set_register(ins.a, regs[ins.a] ^ self._operand_b(ins))
+        elif op == Opcode.SHL:
+            self.set_register(ins.a,
+                              regs[ins.a] << (self._operand_b(ins) & 31))
+        elif op == Opcode.SHR:
+            self.set_register(ins.a,
+                              regs[ins.a] >> (self._operand_b(ins) & 31))
+        elif op == Opcode.SAR:
+            self.set_register(
+                ins.a, to_signed(regs[ins.a]) >> (self._operand_b(ins) & 31))
+        elif op == Opcode.NEG:
+            self.set_register(ins.a, -to_signed(regs[ins.a]))
+        elif op == Opcode.NOT:
+            self.set_register(ins.a, ~regs[ins.a])
+        elif op in (Opcode.CMP, Opcode.TEST):
+            left = regs[ins.a]
+            right = self._operand_b(ins)
+            if op == Opcode.TEST:
+                self._set_flags(left & right, 0)
+            else:
+                self._set_flags(left, right)
+        elif op == Opcode.JMP:
+            next_pc = self._transfer(pc, TransferKind.JUMP, ins.a)
+        elif op == Opcode.JMPR:
+            next_pc = self._transfer(pc, TransferKind.INDIRECT_JUMP,
+                                     regs[ins.a])
+        elif op.value in range(Opcode.JE, Opcode.JAE + 1) and \
+                op not in (Opcode.JMPR,):
+            if self._condition(op):
+                next_pc = self._transfer(pc, TransferKind.BRANCH, ins.a)
+        elif op == Opcode.PUSH:
+            self._push(self._operand_b(ins), pc)
+        elif op == Opcode.POP:
+            self.set_register(ins.a, self._pop(pc))
+        elif op == Opcode.CALL:
+            self._push(next_pc, pc)
+            next_pc = self._transfer(pc, TransferKind.CALL, ins.a)
+        elif op == Opcode.CALLR:
+            self._push(next_pc, pc)
+            next_pc = self._transfer(pc, TransferKind.INDIRECT_CALL,
+                                     regs[ins.a])
+        elif op == Opcode.RET:
+            target = self._pop(pc)
+            next_pc = self._transfer(pc, TransferKind.RETURN, target)
+            for hook in self.hooks:
+                hook.on_return(self, pc, target)
+        elif op == Opcode.ENTER:
+            self._push(regs[Register.EBP], pc)
+            regs[Register.EBP] = regs[Register.ESP]
+            esp = regs[Register.ESP] - ins.a
+            if esp < self.memory.stack_base:
+                raise StackFault("stack overflow in enter", pc=pc)
+            regs[Register.ESP] = esp
+        elif op == Opcode.LEAVE:
+            regs[Register.ESP] = regs[Register.EBP]
+            regs[Register.EBP] = self._pop(pc)
+        elif op == Opcode.ALLOC:
+            size = self._operand_b(ins)
+            address = self.heap.allocate(to_signed(size))
+            self.set_register(Register.EAX, address)
+            for hook in self.hooks:
+                hook.on_alloc(self, pc, address, size)
+        elif op == Opcode.FREE:
+            address = regs[ins.a]
+            self.heap.free(address)
+            for hook in self.hooks:
+                hook.on_free(self, pc, address)
+        elif op == Opcode.OUT:
+            self.output.append(self._operand_b(ins))
+        elif op == Opcode.OUTB:
+            self.output.append(self._operand_b(ins) & 0xFF)
+        elif op == Opcode.HALT:
+            self.halted = True
+        elif op == Opcode.NOP:
+            pass
+        else:  # pragma: no cover - all opcodes handled above
+            raise InvalidInstruction(f"unimplemented opcode {op}", pc=pc)
+
+        return next_pc

@@ -1,0 +1,119 @@
+"""Disassembler for stripped MiniX86 binaries.
+
+ClearView's maintainer reports point at instruction addresses in a
+binary with no symbols; a disassembler turns those addresses into
+something a human can read.  The output round-trips through the
+assembler for all operand shapes the assembler can express (labels are
+absent, so control-flow targets render as absolute addresses).
+"""
+
+from __future__ import annotations
+
+from repro.vm.assembler import ABSOLUTE_BASE
+from repro.vm.binary import Binary
+from repro.vm.isa import (
+    CONDITIONAL_JUMPS,
+    INSTRUCTION_SIZE,
+    Instruction,
+    Opcode,
+    OperandKind,
+    Register,
+    to_signed,
+)
+
+_REGISTER_NAMES = {int(register): register.name.lower()
+                   for register in Register}
+
+#: Opcode -> mnemonic for the straightforward cases.
+_MNEMONICS = {
+    Opcode.MOV: "mov", Opcode.ADD: "add", Opcode.SUB: "sub",
+    Opcode.MUL: "mul", Opcode.DIV: "div", Opcode.AND: "and",
+    Opcode.OR: "or", Opcode.XOR: "xor", Opcode.SHL: "shl",
+    Opcode.SHR: "shr", Opcode.SAR: "sar", Opcode.CMP: "cmp",
+    Opcode.TEST: "test", Opcode.NEG: "neg", Opcode.NOT: "not",
+    Opcode.JMP: "jmp", Opcode.JE: "je", Opcode.JNE: "jne",
+    Opcode.JL: "jl", Opcode.JLE: "jle", Opcode.JG: "jg",
+    Opcode.JGE: "jge", Opcode.JB: "jb", Opcode.JAE: "jae",
+    Opcode.JMPR: "jmpr", Opcode.PUSH: "push", Opcode.POP: "pop",
+    Opcode.CALL: "call", Opcode.CALLR: "callr", Opcode.RET: "ret",
+    Opcode.ENTER: "enter", Opcode.LEAVE: "leave", Opcode.ALLOC: "alloc",
+    Opcode.FREE: "free", Opcode.OUT: "out", Opcode.OUTB: "outb",
+    Opcode.HALT: "halt", Opcode.NOP: "nop", Opcode.LOAD: "load",
+    Opcode.LOADB: "loadb", Opcode.STORE: "store",
+    Opcode.STOREB: "storeb", Opcode.LEA: "lea",
+}
+
+
+def _register(index: int) -> str:
+    return _REGISTER_NAMES.get(index, f"r{index}")
+
+
+def _operand_b(instruction: Instruction) -> str:
+    if instruction.b_kind == OperandKind.REGISTER:
+        return _register(instruction.b)
+    value = instruction.b
+    return str(to_signed(value)) if value >= 0x80000000 else str(value)
+
+
+def _memory(base: int, disp: int) -> str:
+    disp = to_signed(disp)
+    if base == ABSOLUTE_BASE:
+        return f"[{disp:#x}]"
+    base_name = _register(base)
+    if disp == 0:
+        return f"[{base_name}+0]"
+    sign = "+" if disp >= 0 else "-"
+    return f"[{base_name}{sign}{abs(disp)}]"
+
+
+def disassemble_instruction(instruction: Instruction) -> str:
+    """Render one instruction as assembler-flavoured text."""
+    op = instruction.opcode
+    mnemonic = _MNEMONICS[op]
+
+    if op in (Opcode.RET, Opcode.LEAVE, Opcode.HALT, Opcode.NOP):
+        return mnemonic
+    if op in (Opcode.LOAD, Opcode.LOADB, Opcode.LEA):
+        return (f"{mnemonic} {_register(instruction.a)}, "
+                f"{_memory(instruction.b, instruction.c)}")
+    if op in (Opcode.STORE, Opcode.STOREB):
+        return (f"{mnemonic} {_memory(instruction.a, instruction.c)}, "
+                f"{_register(instruction.b)}")
+    if op in (Opcode.JMP, Opcode.CALL) or op in CONDITIONAL_JUMPS:
+        return f"{mnemonic} {instruction.a:#x}"
+    if op in (Opcode.JMPR, Opcode.CALLR, Opcode.POP, Opcode.FREE,
+              Opcode.NEG, Opcode.NOT):
+        return f"{mnemonic} {_register(instruction.a)}"
+    if op in (Opcode.PUSH, Opcode.OUT, Opcode.OUTB):
+        return f"{mnemonic} {_operand_b(instruction)}"
+    if op == Opcode.ENTER:
+        return f"{mnemonic} {instruction.a}"
+    if op == Opcode.ALLOC:
+        return f"{mnemonic} eax, {_operand_b(instruction)}"
+    # Two-operand ALU/compare family.
+    return (f"{mnemonic} {_register(instruction.a)}, "
+            f"{_operand_b(instruction)}")
+
+
+def disassemble(binary: Binary, start: int = 0,
+                end: int | None = None) -> list[tuple[int, str]]:
+    """Disassemble [start, end) into (address, text) pairs."""
+    if end is None:
+        end = len(binary.code)
+    lines: list[tuple[int, str]] = []
+    for pc in range(start, min(end, len(binary.code)), INSTRUCTION_SIZE):
+        lines.append((pc, disassemble_instruction(binary.decode_at(pc))))
+    return lines
+
+
+def context_listing(binary: Binary, pc: int, radius: int = 3) -> str:
+    """A failure-context listing: *radius* instructions around *pc*,
+    with the focus line marked. This is what maintainer reports embed."""
+    first = max(0, pc - radius * INSTRUCTION_SIZE)
+    last = min(len(binary.code),
+               pc + (radius + 1) * INSTRUCTION_SIZE)
+    lines = []
+    for address, text in disassemble(binary, first, last):
+        marker = ">>" if address == pc else "  "
+        lines.append(f"{marker} {address:#08x}  {text}")
+    return "\n".join(lines)

@@ -1,0 +1,130 @@
+"""Heap allocator with an allocation map, in the style the paper assumes.
+
+Heap Guard (§2.3) needs two things from the allocator: canary words at the
+boundaries of every allocated block, and an *allocation map* it can consult
+to decide whether a written address that contains the canary value is in
+fact inside some live block.  This allocator provides both, plus the reuse
+behaviour (freed blocks are recycled most-recently-freed-first, without
+zeroing) that the paper's memory-management exploits (269095, 312278,
+320182) depend on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import MemoryFault
+from repro.vm.isa import WORD_SIZE
+from repro.vm.memory import Memory
+
+#: The canary word Heap Guard plants around allocations. Chosen, as in real
+#: canary systems, to be an unlikely-but-possible data value.
+CANARY = 0xDEADBEEF
+
+
+@dataclass
+class Allocation:
+    """One live heap block: [address, address + size)."""
+
+    address: int
+    size: int
+
+    @property
+    def end(self) -> int:
+        return self.address + self.size
+
+
+class HeapAllocator:
+    """First-fit bump allocator with a free list and canary support.
+
+    Blocks are laid out as ``[canary][payload...][canary]`` when
+    ``guard_canaries`` is enabled; the payload address is what ``ALLOC``
+    returns.  Freed blocks keep their contents (no zeroing) and are reused
+    in most-recently-freed order when sizes match, which is exactly the
+    recycling behaviour that makes use-after-free exploits work.
+    """
+
+    def __init__(self, memory: Memory, guard_canaries: bool = False):
+        self.memory = memory
+        self.guard_canaries = guard_canaries
+        self._cursor = memory.heap_base
+        self._live: dict[int, Allocation] = {}
+        self._free: list[Allocation] = []
+        self.total_allocated = 0
+        self.total_freed = 0
+
+    # ------------------------------------------------------------------
+    # Allocation
+    # ------------------------------------------------------------------
+
+    def _round(self, size: int) -> int:
+        return max(WORD_SIZE, (size + WORD_SIZE - 1) & ~(WORD_SIZE - 1))
+
+    def allocate(self, size: int) -> int:
+        """Allocate *size* bytes; return the payload address.
+
+        The requested size is interpreted as unsigned, as ``malloc`` would —
+        a negative size arriving here has already wrapped to a huge number
+        and will simply fail with :class:`MemoryFault` (out of heap).
+        """
+        if size < 0:
+            raise MemoryFault(f"allocation size underflow: {size}")
+        payload = self._round(size)
+        overhead = 2 * WORD_SIZE if self.guard_canaries else 0
+
+        block = self._take_free(payload)
+        if block is None:
+            base = self._cursor
+            if base + payload + overhead > self.memory.heap_limit:
+                raise MemoryFault(
+                    f"out of heap memory allocating {size} bytes")
+            self._cursor = base + payload + overhead
+            address = base + (WORD_SIZE if self.guard_canaries else 0)
+            block = Allocation(address=address, size=payload)
+
+        if self.guard_canaries:
+            self.memory.write_word(block.address - WORD_SIZE, CANARY)
+            self.memory.write_word(block.end, CANARY)
+
+        self._live[block.address] = block
+        self.total_allocated += 1
+        return block.address
+
+    def _take_free(self, payload: int) -> Allocation | None:
+        """Pop the most recently freed block of exactly *payload* bytes."""
+        for index in range(len(self._free) - 1, -1, -1):
+            if self._free[index].size == payload:
+                return self._free.pop(index)
+        return None
+
+    def free(self, address: int) -> None:
+        """Release the block at *address*. Contents are left intact."""
+        block = self._live.pop(address, None)
+        if block is None:
+            raise MemoryFault(f"free of unallocated address {address:#x}")
+        self._free.append(block)
+        self.total_freed += 1
+
+    # ------------------------------------------------------------------
+    # Allocation map queries (Heap Guard's interface)
+    # ------------------------------------------------------------------
+
+    def find_block(self, address: int) -> Allocation | None:
+        """Return the live block containing *address*, or None.
+
+        This is the "allocation map" search of §2.3: Heap Guard calls it
+        when a write hits a canary value to distinguish an out-of-bounds
+        write from a legitimate in-bounds write of the canary pattern.
+        """
+        for block in self._live.values():
+            if block.address <= address < block.end:
+                return block
+        return None
+
+    def live_blocks(self) -> list[Allocation]:
+        """Snapshot of all currently live allocations."""
+        return list(self._live.values())
+
+    def is_live(self, address: int) -> bool:
+        """True if *address* is the payload start of a live block."""
+        return address in self._live

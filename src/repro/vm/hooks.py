@@ -1,0 +1,100 @@
+"""Execution hook interfaces for the MiniX86 CPU.
+
+Hooks are how every higher layer of the reproduction attaches to the raw
+machine — the code-cache engine, the monitors, the Daikon front end, and
+the invariant-check / repair patches all observe or intervene through this
+one interface, mirroring how Determina plugins attach to DynamoRIO.
+
+The CPU calls hooks in registration order.  A hook may:
+
+- raise (e.g. :class:`~repro.errors.MonitorDetection`) to stop the run;
+- mutate CPU state (registers/memory) in ``before_instruction`` — this is
+  how enforcement patches work;
+- return a replacement program counter from ``before_instruction`` to
+  redirect control (skip-call and return-from-procedure repairs).
+"""
+
+from __future__ import annotations
+
+import typing
+from dataclasses import dataclass, field
+
+from repro.vm.isa import Instruction
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.vm.cpu import CPU
+
+
+class TransferKind:
+    """Labels for control-transfer events (plain strings, cheap to compare)."""
+
+    JUMP = "jump"
+    BRANCH = "branch"
+    CALL = "call"
+    INDIRECT_CALL = "indirect_call"
+    INDIRECT_JUMP = "indirect_jump"
+    RETURN = "return"
+    #: A patch redirected control (skip-call / return repairs). The
+    #: redirect target may be derived from corrupt state (e.g. a smashed
+    #: return address), so monitors validate it like any indirect
+    #: transfer.
+    PATCH = "patch"
+
+
+@dataclass
+class OperandObservation:
+    """The trace record the Daikon x86 front end extracts per execution.
+
+    ``slots`` maps slot name (e.g. ``"target"``, ``"addr"``, ``"src"``) to
+    the observed 32-bit value.  ``computed`` names the slot(s) the
+    instruction itself computes — invariants at this instruction must
+    involve at least one of them (§2.2.2).
+    """
+
+    pc: int
+    slots: dict[str, int] = field(default_factory=dict)
+    computed: tuple[str, ...] = ()
+
+
+class ExecutionHook:
+    """Base class with no-op implementations of every event."""
+
+    #: Set True to make the CPU build :class:`OperandObservation` records
+    #: (which costs time — the paper's learning overhead) and deliver them
+    #: to :meth:`on_operands`.
+    wants_operands = False
+
+    def before_instruction(self, cpu: "CPU", pc: int,
+                           instruction: Instruction) -> int | None:
+        """Called before each instruction. Return a new pc to redirect."""
+        return None
+
+    def after_instruction(self, cpu: "CPU", pc: int,
+                          instruction: Instruction) -> None:
+        """Called after the instruction's effects are applied."""
+
+    def on_operands(self, cpu: "CPU",
+                    observation: OperandObservation) -> None:
+        """Receives the per-instruction trace record when enabled."""
+
+    def on_store(self, cpu: "CPU", pc: int, address: int, size: int,
+                 value: int, old_value: int) -> None:
+        """Called after every program data write.
+
+        *old_value* is the word that was at *address* before the write —
+        the datum Heap Guard's canary check needs.
+        """
+
+    def on_transfer(self, cpu: "CPU", pc: int, kind: str,
+                    target: int) -> None:
+        """Called before control moves to *target* (monitors veto here)."""
+
+    def on_return(self, cpu: "CPU", pc: int, target: int) -> None:
+        """Called when a RET pops *target* (after on_transfer)."""
+
+    def on_alloc(self, cpu: "CPU", pc: int, address: int,
+                 size: int) -> None:
+        """Called after a heap allocation."""
+
+    def on_free(self, cpu: "CPU", pc: int, address: int) -> None:
+        """Called after a heap free."""

@@ -1,0 +1,226 @@
+"""Instruction set architecture for the MiniX86 virtual machine.
+
+MiniX86 is a 32-bit register machine whose shape deliberately mirrors the
+subset of x86 that ClearView's algorithms care about: a small register file,
+byte-addressed flat memory, a downward-growing stack, condition flags set by
+``cmp``, direct and *indirect* calls (the vector for the paper's code
+injection attacks), and instructions that read operands and compute
+addresses — the raw material for the Daikon x86 front end.
+
+Instructions are encoded into 4 words each (opcode, a, b, c) so the binary
+image is genuinely "stripped": a loader sees only words, with no symbols or
+procedure boundaries.  Instruction addresses advance by
+:data:`INSTRUCTION_SIZE` bytes, like real machine code.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+#: Number of bytes occupied by one encoded instruction.
+INSTRUCTION_SIZE = 16
+
+#: Number of bytes in a machine word.
+WORD_SIZE = 4
+
+#: Modulus for 32-bit wraparound arithmetic.
+WORD_MODULUS = 1 << 32
+
+#: Mask for 32-bit values.
+WORD_MASK = WORD_MODULUS - 1
+
+
+class Register(enum.IntEnum):
+    """The MiniX86 register file.
+
+    ``ESP`` is the stack pointer and ``EBP`` the frame pointer, by
+    convention only — the hardware does not treat them specially except in
+    ``push``/``pop``/``call``/``ret``.
+    """
+
+    EAX = 0
+    EBX = 1
+    ECX = 2
+    EDX = 3
+    ESI = 4
+    EDI = 5
+    EBP = 6
+    ESP = 7
+
+    @classmethod
+    def parse(cls, name: str) -> "Register":
+        """Return the register named *name* (case-insensitive).
+
+        >>> Register.parse("eax")
+        <Register.EAX: 0>
+        """
+        try:
+            return cls[name.upper()]
+        except KeyError:
+            raise ValueError(f"unknown register: {name!r}") from None
+
+
+#: Registers that the assembler accepts, keyed by lower-case name.
+REGISTER_NAMES = {reg.name.lower(): reg for reg in Register}
+
+
+class Opcode(enum.IntEnum):
+    """MiniX86 opcodes.
+
+    The ALU group (``ADD`` .. ``SAR``) shares one operand shape:
+    destination register plus either a source register or an immediate.
+    """
+
+    # Data movement.
+    MOV = 1      # mov dst_reg, (src_reg | imm)
+    LOAD = 2     # load dst_reg, [base_reg + disp]       (32-bit word)
+    STORE = 3    # store [base_reg + disp], src_reg      (32-bit word)
+    LEA = 4      # lea dst_reg, [base_reg + disp]
+    LOADB = 5    # loadb dst_reg, [base_reg + disp]      (zero-extended byte)
+    STOREB = 6   # storeb [base_reg + disp], src_reg     (low byte)
+
+    # ALU.
+    ADD = 10
+    SUB = 11
+    MUL = 12
+    DIV = 13     # unsigned divide; traps on zero divisor
+    AND = 14
+    OR = 15
+    XOR = 16
+    SHL = 17
+    SHR = 18     # logical shift right
+    SAR = 19     # arithmetic shift right
+    NEG = 20     # two's complement negate (dst only)
+    NOT = 21     # bitwise not (dst only)
+
+    # Comparison and control flow.
+    CMP = 30     # cmp reg, (reg | imm) — sets flags
+    TEST = 31    # test reg, (reg | imm) — flags from AND
+    JMP = 32     # jmp addr
+    JE = 33
+    JNE = 34
+    JL = 35      # signed <
+    JLE = 36
+    JG = 37
+    JGE = 38
+    JB = 39      # unsigned <
+    JAE = 40     # unsigned >=
+    JMPR = 41    # jmp reg (indirect jump)
+
+    # Stack and procedures.
+    PUSH = 50
+    POP = 51
+    CALL = 52    # call addr
+    CALLR = 53   # call reg (indirect call — the attack vector)
+    RET = 54
+    ENTER = 55   # push ebp; mov ebp, esp; sub esp, imm
+    LEAVE = 56   # mov esp, ebp; pop ebp
+
+    # Runtime services (modelled as instructions, like int/syscall stubs).
+    ALLOC = 70   # eax = allocate(reg|imm) bytes
+    FREE = 71    # free(reg)
+    OUT = 72     # append value of reg to the output stream
+    OUTB = 73    # append low byte of reg to the output stream
+    HALT = 74    # stop the machine
+    NOP = 75
+
+
+#: Opcodes whose second operand may be a register or an immediate.
+REG_OR_IMM_OPCODES = frozenset({
+    Opcode.MOV, Opcode.ADD, Opcode.SUB, Opcode.MUL, Opcode.DIV,
+    Opcode.AND, Opcode.OR, Opcode.XOR, Opcode.SHL, Opcode.SHR, Opcode.SAR,
+    Opcode.CMP, Opcode.TEST, Opcode.ALLOC, Opcode.PUSH,
+    Opcode.OUT, Opcode.OUTB,
+})
+
+#: Conditional jump opcodes, in source order.
+CONDITIONAL_JUMPS = frozenset({
+    Opcode.JE, Opcode.JNE, Opcode.JL, Opcode.JLE,
+    Opcode.JG, Opcode.JGE, Opcode.JB, Opcode.JAE,
+})
+
+#: Opcodes that end a basic block.
+BLOCK_ENDERS = frozenset({
+    Opcode.JMP, Opcode.JMPR, Opcode.CALL, Opcode.CALLR, Opcode.RET,
+    Opcode.HALT,
+}) | CONDITIONAL_JUMPS
+
+#: Opcodes that transfer control somewhere not expressible statically.
+INDIRECT_TRANSFERS = frozenset({Opcode.JMPR, Opcode.CALLR})
+
+
+class OperandKind(enum.IntEnum):
+    """Discriminator for the polymorphic second operand."""
+
+    NONE = 0
+    REGISTER = 1
+    IMMEDIATE = 2
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One decoded MiniX86 instruction.
+
+    The field meanings depend on the opcode:
+
+    - ``MOV``/ALU/``CMP``: ``a`` is the destination register, ``b`` the
+      source register or immediate (see ``b_kind``).
+    - ``LOAD``/``LEA``: ``a`` = destination register, ``b`` = base register,
+      ``c`` = displacement.
+    - ``STORE``: ``a`` = base register, ``c`` = displacement, ``b`` = source
+      register.
+    - Jumps/``CALL``: ``a`` = target address (or register for indirect).
+    """
+
+    opcode: Opcode
+    a: int = 0
+    b: int = 0
+    c: int = 0
+    b_kind: OperandKind = OperandKind.NONE
+    #: Source line in the original assembly, for diagnostics only. Not part
+    #: of the encoded binary (a stripped image has no such data).
+    source: str = field(default="", compare=False)
+
+    def encode(self) -> tuple[int, int, int, int]:
+        """Encode into four words. ``b_kind`` is packed into the opcode word."""
+        word0 = (int(self.opcode) & 0xFFFF) | (int(self.b_kind) << 16)
+        return (word0, self.a & WORD_MASK, self.b & WORD_MASK, self.c & WORD_MASK)
+
+    @classmethod
+    def decode(cls, words: tuple[int, int, int, int]) -> "Instruction":
+        """Decode four words produced by :meth:`encode`."""
+        word0, a, b, c = words
+        opcode = Opcode(word0 & 0xFFFF)
+        b_kind = OperandKind((word0 >> 16) & 0xFF)
+        return cls(opcode=opcode, a=a, b=b, c=c, b_kind=b_kind)
+
+    def is_block_ender(self) -> bool:
+        """True if this instruction ends a basic block."""
+        return self.opcode in BLOCK_ENDERS
+
+    def is_conditional_jump(self) -> bool:
+        """True for the Jcc family."""
+        return self.opcode in CONDITIONAL_JUMPS
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        if self.source:
+            return self.source
+        return f"{self.opcode.name.lower()} a={self.a} b={self.b} c={self.c}"
+
+
+def to_signed(value: int) -> int:
+    """Interpret a 32-bit word as a signed integer.
+
+    >>> to_signed(0xFFFFFFFF)
+    -1
+    """
+    value &= WORD_MASK
+    if value >= WORD_MODULUS // 2:
+        return value - WORD_MODULUS
+    return value
+
+
+def to_unsigned(value: int) -> int:
+    """Wrap an integer into the 32-bit unsigned range."""
+    return value & WORD_MASK

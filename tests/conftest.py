@@ -1,0 +1,33 @@
+"""Shared fixtures: the browser binary and prepared exercises are
+session-scoped because they are deterministic and moderately expensive."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import build_browser
+from repro.redteam import RedTeamExercise
+
+
+@pytest.fixture(scope="session")
+def browser():
+    """The WebBrowse binary, with debug symbols (tests may peek)."""
+    return build_browser()
+
+
+@pytest.fixture(scope="session")
+def prepared_exercise(browser):
+    """A Red Team exercise with the default learning suite prepared."""
+    exercise = RedTeamExercise(binary=browser)
+    exercise.prepare()
+    return exercise
+
+
+@pytest.fixture(scope="session")
+def expanded_exercise(browser):
+    """Exercise with the expanded learning suite and deeper stack search
+    (the §4.3.2 reconfigurations)."""
+    exercise = RedTeamExercise(binary=browser, expanded_learning=True,
+                               stack_procedures=2)
+    exercise.prepare()
+    return exercise

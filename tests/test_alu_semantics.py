@@ -1,0 +1,160 @@
+"""Exhaustive ALU and flag semantics tests (the substrate the whole
+reproduction stands on), including differential checks against Python's
+own arithmetic."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.vm import CPU, Register, assemble
+from repro.vm.isa import WORD_MASK, to_signed
+
+_words = st.integers(min_value=0, max_value=WORD_MASK)
+
+
+def run_binop(op: str, left: int, right: int) -> int:
+    cpu = CPU(assemble(f"mov eax, {left}\n{op} eax, {right}\nhalt"))
+    cpu.run()
+    return cpu.registers[Register.EAX]
+
+
+class TestArithmeticIdentities:
+    @settings(max_examples=80)
+    @given(value=_words)
+    def test_add_zero_identity(self, value):
+        assert run_binop("add", value, 0) == value
+
+    @settings(max_examples=80)
+    @given(value=_words)
+    def test_sub_self_is_zero(self, value):
+        cpu = CPU(assemble(f"mov eax, {value}\nmov ebx, {value}\n"
+                           "sub eax, ebx\nhalt"))
+        cpu.run()
+        assert cpu.registers[Register.EAX] == 0
+
+    @settings(max_examples=80)
+    @given(value=_words)
+    def test_xor_self_is_zero(self, value):
+        cpu = CPU(assemble(f"mov eax, {value}\nmov ebx, {value}\n"
+                           "xor eax, ebx\nhalt"))
+        cpu.run()
+        assert cpu.registers[Register.EAX] == 0
+
+    @settings(max_examples=80)
+    @given(left=_words, right=_words)
+    def test_add_matches_python_mod_2_32(self, left, right):
+        assert run_binop("add", left, right) == (left + right) & WORD_MASK
+
+    @settings(max_examples=80)
+    @given(left=_words, right=_words)
+    def test_mul_matches_python_mod_2_32(self, left, right):
+        assert run_binop("mul", left, right) == (left * right) & WORD_MASK
+
+    @settings(max_examples=80)
+    @given(left=_words,
+           right=st.integers(min_value=1, max_value=WORD_MASK))
+    def test_div_is_unsigned_floor(self, left, right):
+        assert run_binop("div", left, right) == left // right
+
+    @settings(max_examples=60)
+    @given(value=_words, amount=st.integers(min_value=0, max_value=31))
+    def test_shl_shr_inverse_on_low_bits(self, value, amount):
+        shifted = run_binop("shl", value, amount)
+        back = run_binop("shr", shifted, amount)
+        mask = WORD_MASK >> amount
+        assert back == (value & mask)
+
+    @settings(max_examples=60)
+    @given(value=_words, amount=st.integers(min_value=0, max_value=31))
+    def test_sar_preserves_sign(self, value, amount):
+        result = run_binop("sar", value, amount)
+        assert to_signed(result) == to_signed(value) >> amount
+
+
+class TestComparisonSemantics:
+    @settings(max_examples=80)
+    @given(left=_words, right=_words)
+    def test_signed_comparisons_total_order(self, left, right):
+        cpu = CPU(assemble(f"""
+        mov eax, {left}
+        mov ebx, {right}
+        cmp eax, ebx
+        jl lt
+        je eq
+        out 3
+        halt
+        lt:
+        out 1
+        halt
+        eq:
+        out 2
+        halt
+        """))
+        cpu.run()
+        sleft, sright = to_signed(left), to_signed(right)
+        expected = 1 if sleft < sright else (2 if sleft == sright else 3)
+        assert cpu.output == [expected]
+
+    @settings(max_examples=80)
+    @given(left=_words, right=_words)
+    def test_unsigned_vs_signed_disagreement(self, left, right):
+        """jb (unsigned) and jl (signed) agree except when exactly one
+        operand has the sign bit set."""
+        def taken(jump):
+            cpu = CPU(assemble(f"""
+            mov eax, {left}
+            mov ebx, {right}
+            cmp eax, ebx
+            {jump} yes
+            out 0
+            halt
+            yes:
+            out 1
+            halt
+            """))
+            cpu.run()
+            return cpu.output == [1]
+
+        unsigned_lt = taken("jb")
+        signed_lt = taken("jl")
+        signs_differ = (left >> 31) != (right >> 31)
+        if signs_differ and left != right:
+            assert unsigned_lt != signed_lt
+        else:
+            assert unsigned_lt == signed_lt
+
+    def test_test_instruction_sets_zero_flag_semantics(self):
+        cpu = CPU(assemble("""
+        mov eax, 0xF0
+        test eax, 0x0F
+        je zero
+        out 1
+        halt
+        zero:
+        out 0
+        halt
+        """))
+        cpu.run()
+        assert cpu.output == [0]   # 0xF0 & 0x0F == 0
+
+    @pytest.mark.parametrize("left,right,expected", [
+        (0x80000000, 1, True),     # INT_MIN < 1 signed
+        (1, 0x80000000, False),
+        (0xFFFFFFFF, 0, True),     # -1 < 0 signed
+    ])
+    def test_signed_boundaries(self, left, right, expected):
+        cpu = CPU(assemble(f"""
+        mov eax, {left}
+        mov ebx, {right}
+        cmp eax, ebx
+        jl yes
+        out 0
+        halt
+        yes:
+        out 1
+        halt
+        """))
+        cpu.run()
+        assert (cpu.output == [1]) is expected

@@ -1,0 +1,198 @@
+"""Unit tests for the two-pass assembler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import AssemblerError
+from repro.vm.assembler import ABSOLUTE_BASE, assemble
+from repro.vm.isa import INSTRUCTION_SIZE, Opcode, OperandKind, Register
+from repro.vm.memory import Memory
+
+
+class TestBasics:
+    def test_empty_program(self):
+        binary = assemble("halt")
+        assert binary.instruction_count == 1
+        assert binary.decode_at(0).opcode == Opcode.HALT
+
+    def test_labels_resolve_to_addresses(self):
+        binary = assemble("""
+        main:
+            jmp target
+            nop
+        target:
+            halt
+        """)
+        assert binary.symbols["target"] == 2 * INSTRUCTION_SIZE
+        assert binary.decode_at(0).a == 2 * INSTRUCTION_SIZE
+
+    def test_entry_point_defaults_to_main(self):
+        binary = assemble("""
+        helper:
+            ret
+        main:
+            halt
+        """)
+        assert binary.entry_point == INSTRUCTION_SIZE
+
+    def test_explicit_entry_directive(self):
+        binary = assemble("""
+        .entry start
+        other:
+            ret
+        start:
+            halt
+        """)
+        assert binary.entry_point == INSTRUCTION_SIZE
+
+    def test_comments_ignored(self):
+        binary = assemble("nop ; this is a comment\n; full line\nhalt")
+        assert binary.instruction_count == 2
+
+    def test_equ_constants(self):
+        binary = assemble("""
+        .equ SIZE, 64
+        main:
+            mov eax, SIZE
+            halt
+        """)
+        instruction = binary.decode_at(0)
+        assert instruction.b == 64
+        assert instruction.b_kind == OperandKind.IMMEDIATE
+
+
+class TestOperands:
+    def test_register_operand(self):
+        instruction = assemble("mov eax, ebx\nhalt").decode_at(0)
+        assert instruction.b == Register.EBX
+        assert instruction.b_kind == OperandKind.REGISTER
+
+    def test_negative_immediate(self):
+        instruction = assemble("mov eax, -5\nhalt").decode_at(0)
+        assert instruction.b == 0xFFFFFFFB
+
+    def test_hex_immediate(self):
+        instruction = assemble("mov eax, 0xFF\nhalt").decode_at(0)
+        assert instruction.b == 0xFF
+
+    def test_memory_operand_with_displacement(self):
+        instruction = assemble("load eax, [ebp+8]\nhalt").decode_at(0)
+        assert instruction.b == Register.EBP
+        assert instruction.c == 8
+
+    def test_memory_operand_negative_displacement(self):
+        instruction = assemble("load eax, [ebp-12]\nhalt").decode_at(0)
+        assert instruction.c == -12 % (1 << 32) or instruction.c == -12
+
+    def test_absolute_memory_operand(self):
+        binary = assemble("""
+        .data
+        cell: .word 7
+        .code
+        main:
+            load eax, [cell]
+            halt
+        """)
+        instruction = binary.decode_at(0)
+        assert instruction.b == ABSOLUTE_BASE
+        assert instruction.c == Memory.DATA_BASE
+
+    def test_out_immediate_and_register(self):
+        binary = assemble("out 42\nout eax\nhalt")
+        assert binary.decode_at(0).b_kind == OperandKind.IMMEDIATE
+        assert binary.decode_at(16).b_kind == OperandKind.REGISTER
+
+
+class TestData:
+    def test_word_layout(self):
+        binary = assemble("""
+        .data
+        table: .word 1, 2, 3
+        .code
+        main:
+            halt
+        """)
+        assert binary.data == (b"\x01\x00\x00\x00\x02\x00\x00\x00"
+                               b"\x03\x00\x00\x00")
+
+    def test_space_is_zeroed(self):
+        binary = assemble(".data\nbuf: .space 8\n.code\nmain:\nhalt")
+        assert binary.data == bytes(8)
+
+    def test_asciz(self):
+        binary = assemble('.data\nmsg: .asciz "hi"\n.code\nmain:\nhalt')
+        assert binary.data == b"hi\x00"
+
+    def test_byte_directive(self):
+        binary = assemble(".data\nb: .byte 1, 255, 300\n.code\nmain:\nhalt")
+        assert binary.data == bytes([1, 255, 300 & 0xFF])
+
+    def test_data_labels_are_absolute(self):
+        binary = assemble("""
+        .data
+        first: .word 0
+        second: .word 0
+        .code
+        main:
+            lea eax, [second]
+            halt
+        """)
+        assert binary.symbols["second"] == Memory.DATA_BASE + 4
+
+    def test_forward_reference_in_word(self):
+        binary = assemble("""
+        .data
+        vtable: .word handler
+        .code
+        main:
+            halt
+        handler:
+            ret
+        """)
+        assert binary.data[:4] == (INSTRUCTION_SIZE).to_bytes(4, "little")
+
+
+class TestErrors:
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblerError, match="unknown mnemonic"):
+            assemble("frobnicate eax")
+
+    def test_duplicate_label(self):
+        with pytest.raises(AssemblerError, match="duplicate"):
+            assemble("dup:\nnop\ndup:\nhalt")
+
+    def test_undefined_symbol(self):
+        with pytest.raises(AssemblerError, match="undefined symbol"):
+            assemble("jmp nowhere")
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(AssemblerError, match="expects"):
+            assemble("mov eax")
+
+    def test_instruction_in_data_section(self):
+        with pytest.raises(AssemblerError, match="inside .data"):
+            assemble(".data\nmov eax, 1")
+
+    def test_bad_memory_operand(self):
+        with pytest.raises(AssemblerError, match="bad memory operand"):
+            assemble("load eax, [eax*2]")
+
+    def test_alloc_requires_eax(self):
+        with pytest.raises(AssemblerError, match="alloc result"):
+            assemble("alloc ebx, 16")
+
+    def test_reports_line_numbers(self):
+        with pytest.raises(AssemblerError) as excinfo:
+            assemble("nop\nnop\nbogus eax")
+        assert excinfo.value.line_number == 3
+
+
+class TestStripping:
+    def test_stripped_drops_symbols_and_listing(self):
+        binary = assemble("main:\nhalt")
+        stripped = binary.stripped()
+        assert stripped.symbols == {}
+        assert stripped.listing == {}
+        assert stripped.code == binary.code
+        assert stripped.entry_point == binary.entry_point

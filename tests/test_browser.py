@@ -1,0 +1,195 @@
+"""Tests for the WebBrowse application itself."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import (
+    DEFECTS,
+    PageBuilder,
+    build_browser,
+    evaluation_pages,
+    expanded_learning_pages,
+    learning_pages,
+    red_team_roster,
+)
+from repro.dynamo import EnvironmentConfig, ManagedEnvironment, Outcome
+
+
+@pytest.fixture(scope="module")
+def bare_env(browser):
+    return ManagedEnvironment(browser.stripped(), EnvironmentConfig.bare())
+
+
+@pytest.fixture(scope="module")
+def full_env(browser):
+    return ManagedEnvironment(browser.stripped(), EnvironmentConfig.full())
+
+
+class TestPageSuites:
+    def test_learning_suite_has_twelve_pages(self):
+        assert len(learning_pages()) == 12
+
+    def test_expanded_suite_extends_default(self):
+        default = learning_pages()
+        expanded = expanded_learning_pages()
+        assert expanded[:len(default)] == default
+        assert len(expanded) > len(default)
+
+    def test_evaluation_suite_has_57_pages(self):
+        assert len(evaluation_pages()) == 57
+
+    def test_all_learning_pages_render_cleanly(self, bare_env):
+        for index, page in enumerate(learning_pages()):
+            result = bare_env.run(page)
+            assert result.outcome is Outcome.COMPLETED, (index,
+                                                         result.detail)
+            assert result.output, index
+
+    def test_all_expanded_pages_render_cleanly(self, full_env):
+        for index, page in enumerate(expanded_learning_pages()):
+            result = full_env.run(page)
+            assert result.outcome is Outcome.COMPLETED, (index,
+                                                         result.detail)
+
+    def test_all_evaluation_pages_render_cleanly(self, full_env):
+        for index, page in enumerate(evaluation_pages()):
+            result = full_env.run(page)
+            assert result.outcome is Outcome.COMPLETED, (index,
+                                                         result.detail)
+
+    def test_rendering_is_deterministic(self, browser):
+        env1 = ManagedEnvironment(browser.stripped())
+        env2 = ManagedEnvironment(browser.stripped())
+        for page in learning_pages()[:4]:
+            assert env1.run(page).output == env2.run(page).output
+
+    def test_monitors_do_not_change_output(self, browser, bare_env):
+        """Protection transparency: bare and fully monitored runs render
+        the same bytes."""
+        protected = ManagedEnvironment(browser.stripped(),
+                                       EnvironmentConfig.full())
+        for page in learning_pages():
+            assert (bare_env.run(page).output ==
+                    protected.run(page).output)
+
+
+class TestPageBuilder:
+    def test_empty_page_is_just_terminator(self):
+        assert PageBuilder().build() == b"\x00"
+
+    def test_tag_wire_format(self):
+        page = PageBuilder().text("ab").build()
+        assert page == b"\x01\x02\x00ab\x00"
+
+    def test_padding_to_offset(self):
+        builder = PageBuilder().text("x")
+        builder.padding_to(32)
+        assert builder.size == 32
+
+    def test_padding_backwards_rejected(self):
+        builder = PageBuilder().text("x" * 50)
+        with pytest.raises(ValueError):
+            builder.padding_to(10)
+
+    def test_oversized_payload_rejected(self):
+        with pytest.raises(ValueError):
+            PageBuilder().raw_tag(1, b"x" * 70000)
+
+    def test_unknown_tag_renders_marker(self, bare_env):
+        page = PageBuilder().raw_tag(9, b"junk").build()
+        result = bare_env.run(page)
+        assert result.outcome is Outcome.COMPLETED
+        assert 64989 in result.output
+
+
+class TestHandlers:
+    def test_text_checksum(self, bare_env):
+        result = bare_env.run(PageBuilder().text("abc").build())
+        assert result.output == [3, ord("a") + ord("b") + ord("c")]
+
+    def test_heading_doubles(self, bare_env):
+        result = bare_env.run(PageBuilder().heading("a").build())
+        assert result.output == [72, 2 * ord("a")]
+
+    def test_gif_renders_first_pixel(self, bare_env):
+        page = PageBuilder().gif(count=2, offset=0,
+                                 pixels=[0x111, 0x222]).build()
+        result = bare_env.run(page)
+        assert result.output == [0x111]
+
+    def test_gif_bad_count_rejected(self, bare_env):
+        page = PageBuilder().gif(count=9, offset=0, pixels=[1] * 9).build()
+        result = bare_env.run(page)
+        assert result.output == [71]
+
+    def test_link_renders_first_byte_and_size(self, bare_env):
+        result = bare_env.run(PageBuilder().link(b"host.org").build())
+        assert result.output == [ord("h"), 8]
+
+    def test_unicode_small_path(self, bare_env):
+        page = PageBuilder().unicode_text(4, grow=0,
+                                          data=b"abcdefgh").build()
+        result = bare_env.run(page)
+        assert result.output == [85, 4]
+
+    def test_unicode_grow_path(self, full_env):
+        data = bytes(range(65, 65 + 40))
+        page = PageBuilder().unicode_text(20, grow=32, data=data).build()
+        result = full_env.run(page)
+        assert result.outcome is Outcome.COMPLETED
+        assert result.output[0] == 85
+
+    def test_array_renders_three_widgets(self, bare_env):
+        result = bare_env.run(PageBuilder().array(1002).build())
+        # widget[2].field1 = 3*2+5 = 11, rendered by all three renderers.
+        assert result.output == [11, 11, 11]
+
+    def test_strtext_copies(self, bare_env):
+        page = PageBuilder().strtext(declared=5, content=b"xyz").build()
+        result = bare_env.run(page)
+        assert result.output == [ord("x"), 3]
+
+    def test_script_object_lifecycle(self, bare_env):
+        from repro.apps.browser import (
+            OP_CREATE,
+            OP_INVOKE_A,
+            OP_INVOKE_GC,
+            OP_WIDGET_A,
+        )
+        page = PageBuilder().script([
+            (OP_CREATE, 0, 42),
+            (OP_INVOKE_A, 0, 0),     # method_show outputs 42
+            (OP_WIDGET_A, 0, 0),     # renders the tag descriptor
+            (OP_INVOKE_GC, 0, 0),    # outputs 42 again
+        ]).build()
+        result = bare_env.run(page)
+        assert result.output[0] == 42
+        assert result.output[-1] == 42
+
+
+class TestDefectRoster:
+    def test_ten_defects(self):
+        assert len(DEFECTS) == 10
+        assert len(red_team_roster()) == 10
+
+    def test_roster_sorted_by_bugzilla(self):
+        roster = red_team_roster()
+        assert [d.bugzilla for d in roster] == sorted(
+            d.bugzilla for d in roster)
+
+    def test_expected_presentations_match_table1(self):
+        table1 = {"269095": 6, "285595": 4, "290162": 4, "295854": 5,
+                  "296134": 4, "311710": 12, "312278": 4, "320182": 6,
+                  "325403": 4, "307259": None}
+        for defect in red_team_roster():
+            assert defect.expected_presentations == table1[defect.bugzilla]
+
+    def test_heap_guard_requirements(self):
+        needing = {d.bugzilla for d in DEFECTS.values()
+                   if d.needs_heap_guard}
+        assert needing == {"285595", "325403", "307259"}
+
+    def test_only_307259_unpatchable(self):
+        unpatchable = [d for d in DEFECTS.values() if not d.patchable]
+        assert [d.bugzilla for d in unpatchable] == ["307259"]

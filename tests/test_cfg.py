@@ -1,0 +1,188 @@
+"""Tests for CFG discovery and dominator analysis, including a property
+test comparing our dominators against networkx's on random graphs."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cfg import (
+    ProcedureDatabase,
+    compute_dominators,
+    discover_all_reachable,
+    strict_dominators,
+)
+from repro.vm import assemble
+from repro.vm.isa import INSTRUCTION_SIZE
+
+DIAMOND = """
+main:
+    mov eax, 1
+    cmp eax, 0
+    je left
+    mov ebx, 1
+    jmp join
+left:
+    mov ebx, 2
+    jmp join
+join:
+    out ebx
+    call callee
+    halt
+callee:
+    enter 0
+    mov eax, 3
+    leave
+    ret
+"""
+
+
+class TestDominators:
+    def test_linear_chain(self):
+        dominators = compute_dominators(0, {0: [1], 1: [2], 2: []})
+        assert dominators[2] == {0, 1, 2}
+
+    def test_diamond(self):
+        graph = {0: [1, 2], 1: [3], 2: [3], 3: []}
+        dominators = compute_dominators(0, graph)
+        assert dominators[3] == {0, 3}  # neither branch dominates the join
+
+    def test_loop(self):
+        graph = {0: [1], 1: [2, 3], 2: [1], 3: []}
+        dominators = compute_dominators(0, graph)
+        assert dominators[3] == {0, 1, 3}
+        assert dominators[2] == {0, 1, 2}
+
+    def test_unreachable_excluded(self):
+        dominators = compute_dominators(0, {0: [], 9: [0]})
+        assert 9 not in dominators
+
+    def test_strict_dominators(self):
+        dominators = compute_dominators(0, {0: [1], 1: []})
+        assert strict_dominators(dominators)[1] == {0}
+        assert strict_dominators(dominators)[0] == set()
+
+    @settings(max_examples=60, deadline=None)
+    @given(data=st.data(),
+           node_count=st.integers(min_value=2, max_value=12))
+    def test_matches_networkx(self, data, node_count):
+        """Property: our dominator sets agree with networkx's immediate
+        dominator tree on arbitrary rooted digraphs."""
+        nodes = list(range(node_count))
+        edges = data.draw(st.lists(
+            st.tuples(st.sampled_from(nodes), st.sampled_from(nodes)),
+            max_size=node_count * 3))
+        successors = {node: [] for node in nodes}
+        for source, target in edges:
+            if target not in successors[source]:
+                successors[source].append(target)
+        ours = compute_dominators(0, successors)
+
+        graph = nx.DiGraph()
+        graph.add_nodes_from(nodes)
+        graph.add_edges_from(edges)
+        idom = nx.immediate_dominators(graph, 0)
+        for node in ours:
+            # Walk the immediate-dominator chain up to the root (recent
+            # networkx omits the root's self-entry).
+            expected = {node}
+            walk = node
+            while walk != 0:
+                walk = idom.get(walk, 0)
+                expected.add(walk)
+            assert ours[node] == expected, f"node {node}"
+
+
+class TestProcedureDiscovery:
+    def test_discovers_procedure_blocks(self):
+        binary = assemble(DIAMOND)
+        database = discover_all_reachable(binary)
+        main = database.procedure_of(0)
+        assert main is not None
+        assert main.entry == 0
+        # entry, left, fallthrough, join, post-call continuation
+        assert len(main.blocks) >= 4
+
+    def test_callee_is_separate_procedure(self):
+        binary = assemble(DIAMOND)
+        database = discover_all_reachable(binary)
+        callee_entry = binary.symbols["callee"]
+        callee = database.procedure_of(callee_entry)
+        assert callee is not None
+        assert callee.entry == callee_entry
+        main = database.procedure_of(0)
+        assert not main.contains(callee_entry)
+
+    def test_observe_block_execution_is_idempotent(self):
+        binary = assemble(DIAMOND)
+        database = ProcedureDatabase(binary)
+        first = database.observe_block_execution(0)
+        assert first is not None
+        assert database.observe_block_execution(0) is None
+        assert database.observe_block_execution(INSTRUCTION_SIZE) is None
+
+    def test_predominators_straight_line(self):
+        binary = assemble(DIAMOND)
+        database = discover_all_reachable(binary)
+        main = database.procedure_of(0)
+        second = INSTRUCTION_SIZE
+        assert main.predominates(0, second)
+        assert not main.predominates(second, 0)
+
+    def test_branch_arms_do_not_predominate_join(self):
+        binary = assemble(DIAMOND)
+        database = discover_all_reachable(binary)
+        main = database.procedure_of(0)
+        join = binary.symbols["join"]
+        left_arm = binary.symbols["left"]
+        assert not main.predominates(left_arm, join)
+        assert main.predominates(0, join)
+
+    def test_predominators_include_self(self):
+        binary = assemble(DIAMOND)
+        database = discover_all_reachable(binary)
+        main = database.procedure_of(0)
+        assert 0 in main.predominators(0)
+
+    def test_exit_pcs(self):
+        binary = assemble(DIAMOND)
+        database = discover_all_reachable(binary)
+        callee = database.procedure_of(binary.symbols["callee"])
+        assert len(callee.exit_pcs()) == 1
+
+    def test_browser_procedures(self, browser):
+        """Discovery over the real application finds the expected named
+        procedures as distinct CFGs. Handlers are reached only through
+        the dispatch table (indirect calls), so they are given as roots —
+        dynamically they would be discovered on first execution."""
+        names = ("render_page", "handle_text", "handle_gif",
+                 "gif_write_row", "handle_strtext", "uni_copy",
+                 "render_list_a", "render_list_b", "render_list_c")
+        roots = [browser.entry_point] + [browser.symbols[name]
+                                         for name in names]
+        database = discover_all_reachable(browser, roots=roots)
+        for name in names:
+            entry = browser.symbols[name]
+            procedure = database.procedure_of(entry)
+            assert procedure is not None, name
+            assert procedure.entry == entry, name
+
+    def test_browser_dynamic_discovery_via_execution(self, browser):
+        """Running a page under the code cache discovers the handlers the
+        page exercises, with no roots supplied."""
+        from repro.apps.pages import PageBuilder
+        from repro.cfg import DiscoveryPlugin
+        from repro.dynamo import ManagedEnvironment
+
+        database = ProcedureDatabase(browser.stripped())
+        environment = ManagedEnvironment(browser.stripped())
+        environment.cache_plugins.append(DiscoveryPlugin(database))
+        page = PageBuilder().text("hello").gif(
+            count=2, offset=1, pixels=[7] * 8).build()
+        result = environment.run(page)
+        assert result.succeeded
+        for name in ("render_page", "handle_text", "handle_gif",
+                     "gif_write_row"):
+            assert database.procedure_of(browser.symbols[name]) is not None

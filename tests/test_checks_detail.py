@@ -1,0 +1,139 @@
+"""Detailed tests for check-patch mechanics: captures, placements, and
+two-variable evaluation order."""
+
+from __future__ import annotations
+
+import struct
+
+import pytest
+
+from repro.core.checks import (
+    ObservationSink,
+    ValueCapture,
+    build_check_patches,
+    order_by_pc,
+)
+from repro.dynamo import ManagedEnvironment, Outcome
+from repro.learning import LessThan, LowerBound, OneOf, Variable
+from repro.learning.variables import slot_placement
+from repro.vm import assemble
+
+PAIR_APP = """
+.data
+input_len: .word 0
+input: .space 64
+.code
+main:
+    lea esi, [input]
+    load eax, [esi+0]       ; A (earlier)
+    load ebx, [esi+4]       ; B (later)
+    out eax
+    out ebx
+    halt
+"""
+
+
+def page(a: int, b: int) -> bytes:
+    return struct.pack("<II", a, b) + b"\x00" * 8
+
+
+class TestOrderByPc:
+    def test_orders_regardless_of_semantic_direction(self):
+        early = Variable(0x10, "value")
+        late = Variable(0x20, "value")
+        assert order_by_pc(LessThan(left=early, right=late)) == \
+            (early, late)
+        assert order_by_pc(LessThan(left=late, right=early)) == \
+            (early, late)
+
+    def test_equal_pc_keeps_declaration_order(self):
+        left = Variable(0x10, "value")
+        right = Variable(0x10, "addr")
+        assert order_by_pc(LessThan(left=left, right=right)) == \
+            (left, right)
+
+
+class TestPlacements:
+    def test_load_value_checked_after(self):
+        binary = assemble(PAIR_APP)
+        invariant = LowerBound(variable=Variable(16, "value"), bound=0)
+        patches = build_check_patches(invariant, "f", ObservationSink(),
+                                      binary.decode_at)
+        assert patches[0].when == "after"
+
+    def test_call_target_checked_before(self, browser):
+        callr_pc = browser.symbols["invoke_slot_a"] + 5 * 16
+        invariant = OneOf(variable=Variable(callr_pc, "target"),
+                          values=frozenset({1}))
+        patches = build_check_patches(invariant, "f", ObservationSink(),
+                                      browser.decode_at)
+        assert patches[0].when == "before"
+
+    def test_placement_map_consistency(self, browser):
+        """slot_placement on every instruction/slot the browser's model
+        uses returns a valid placement."""
+        for pc, instruction in browser.decode_all().items():
+            for slot in ("dst", "src", "value", "target", "addr",
+                         "left", "right", "size", "dst_in"):
+                assert slot_placement(instruction, slot) in ("before",
+                                                             "after")
+
+
+class TestTwoVariableChecks:
+    def _checked(self, invariant, payloads):
+        binary = assemble(PAIR_APP)
+        sink = ObservationSink()
+        patches = build_check_patches(invariant, "f", sink,
+                                      binary.decode_at)
+        environment = ManagedEnvironment(binary)
+        for patch in patches:
+            environment.install_patch(patch)
+        results = []
+        for payload in payloads:
+            run = environment.run(payload)
+            assert run.outcome is Outcome.COMPLETED
+            results.append([obs.satisfied for obs in sink.drain()])
+        return results
+
+    def test_pair_checked_once_per_run(self):
+        invariant = LessThan(left=Variable(16, "value"),
+                             right=Variable(32, "value"))
+        results = self._checked(invariant, [page(1, 2), page(5, 3)])
+        assert results == [[True], [False]]
+
+    def test_reversed_pair_evaluates_semantics_not_order(self):
+        # B <= A, checked at B's (later) instruction.
+        invariant = LessThan(left=Variable(32, "value"),
+                             right=Variable(16, "value"))
+        results = self._checked(invariant, [page(5, 3), page(1, 2)])
+        assert results == [[True], [False]]
+
+    def test_capture_refreshes_between_runs(self):
+        """The capture cell carries run-local state; values from an
+        earlier run must not leak into the next run's evaluation."""
+        invariant = LessThan(left=Variable(16, "value"),
+                             right=Variable(32, "value"))
+        results = self._checked(
+            invariant, [page(100, 200), page(0, 50), page(60, 10)])
+        assert results == [[True], [True], [False]]
+
+
+class TestValueCapture:
+    def test_capture_records_freshness(self):
+        capture = ValueCapture()
+        assert capture.value is None
+        capture.value = 5
+        capture.fresh = True
+        assert capture.fresh
+
+
+class TestSamplesHelper:
+    def test_with_samples_copies(self):
+        from repro.learning.invariants import with_samples
+
+        original = LowerBound(variable=Variable(16, "dst"), bound=3,
+                              samples=1)
+        bumped = with_samples(original, 10)
+        assert bumped.samples == 10
+        assert bumped.bound == original.bound
+        assert original.samples == 1

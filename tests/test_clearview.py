@@ -1,0 +1,212 @@
+"""Tests for the ClearView manager state machine on a small synthetic
+application (the browser-scale flow is covered in test_redteam.py)."""
+
+from __future__ import annotations
+
+import struct
+
+import pytest
+
+from repro.core import ClearView, ClearViewConfig, SessionState, summarize
+from repro.core.correlation import Correlation, CorrelationConfig
+from repro.dynamo import EnvironmentConfig, ManagedEnvironment, Outcome
+from repro.learning import learn
+from repro.vm import assemble
+
+# A vtable-dispatch app with an unchecked handle: handle 0..2 selects a
+# function pointer; the defect accepts any handle word and a biased value
+# reads attacker-looking data from the input.
+TINY_APP = """
+.data
+input_len: .word 0
+input: .space 64
+vt: .word f0, f1, f2
+.code
+main:
+    lea esi, [input]
+    load eax, [esi+0]       ; handle word
+    lea edi, [vt]
+    mov ebx, eax
+    mul ebx, 4
+    add edi, ebx
+    load edx, [edi+0]       ; function pointer (no bounds check!)
+    callr edx
+    out eax
+    halt
+f0:
+    mov eax, 100
+    ret
+f1:
+    mov eax, 200
+    ret
+f2:
+    mov eax, 300
+    ret
+"""
+
+
+def page(handle: int, extra: bytes = b"") -> bytes:
+    return struct.pack("<I", handle) + extra + b"\x00" * 8
+
+
+@pytest.fixture()
+def protected():
+    binary = assemble(TINY_APP)
+    result = learn(binary, [page(0), page(1), page(2), page(0), page(1)])
+    environment = ManagedEnvironment(binary.stripped(),
+                                     EnvironmentConfig.full())
+    clearview = ClearView(environment, result.database, result.procedures,
+                          ClearViewConfig())
+    return binary, clearview
+
+
+def attack_page() -> bytes:
+    """Handle 5 reads past vt into... page data; craft the page so the
+    read lands on a pointer to the input buffer (injected code)."""
+    from repro.vm.memory import Memory
+    # vt is at data_base + 4 + 64; handle 17 reads vt + 68 = beyond data
+    # we control. Simpler: handle value whose vt slot falls back inside
+    # the input buffer is not constructible here, so use a huge handle
+    # that reads the input buffer *before* vt: handle -17 reads input.
+    evil_target = Memory.DATA_BASE + 4 + 8  # inside the input payload
+    return page((1 << 32) - 17, struct.pack("<II", evil_target, 0x9090))
+
+
+class TestFourPresentationProtocol:
+    def test_minimum_four_presentations(self, protected):
+        binary, clearview = protected
+        outcomes = []
+        for _ in range(6):
+            result = clearview.run(attack_page())
+            outcomes.append(result.outcome)
+            if result.outcome is Outcome.COMPLETED:
+                break
+        assert outcomes[-1] is Outcome.COMPLETED
+        assert len(outcomes) == 4
+        session = next(iter(clearview.sessions.values()))
+        assert session.state is SessionState.PATCHED
+
+    def test_checks_deployed_then_removed(self, protected):
+        binary, clearview = protected
+        clearview.run(attack_page())
+        session = next(iter(clearview.sessions.values()))
+        assert session.state is SessionState.CHECKING
+        assert clearview.environment.patches  # checks installed
+        clearview.run(attack_page())
+        clearview.run(attack_page())
+        # After the second check failure: checks gone, one repair applied.
+        assert session.check_patches == []
+        assert session.state is SessionState.EVALUATING
+        assert session.current_repair is not None
+
+    def test_correlated_invariants_classified(self, protected):
+        binary, clearview = protected
+        for _ in range(3):
+            clearview.run(attack_page())
+        session = next(iter(clearview.sessions.values()))
+        assert session.classification
+        assert session.selected_rank is Correlation.HIGHLY
+        violated = [rank for rank in session.classification.values()
+                    if rank is Correlation.HIGHLY]
+        assert violated
+
+    def test_normal_pages_never_open_sessions(self, protected):
+        binary, clearview = protected
+        for handle in (0, 1, 2, 1, 0):
+            result = clearview.run(page(handle))
+            assert result.outcome is Outcome.COMPLETED
+        assert clearview.sessions == {}
+        assert clearview.environment.patches == []
+
+    def test_patched_app_still_correct_on_normal_pages(self, protected):
+        binary, clearview = protected
+        for _ in range(4):
+            clearview.run(attack_page())
+        for handle, expected in ((0, 100), (1, 200), (2, 300)):
+            result = clearview.run(page(handle))
+            assert result.outcome is Outcome.COMPLETED
+            assert result.output == [expected]
+
+    def test_patch_survives_repeat_attacks(self, protected):
+        binary, clearview = protected
+        for _ in range(4):
+            clearview.run(attack_page())
+        session = next(iter(clearview.sessions.values()))
+        score_before = session.current_repair.score
+        for _ in range(3):
+            result = clearview.run(attack_page())
+            assert result.outcome is Outcome.COMPLETED
+        assert session.current_repair.score > score_before
+
+    def test_summarize(self, protected):
+        binary, clearview = protected
+        for _ in range(4):
+            clearview.run(attack_page())
+        text = summarize(clearview)
+        assert "1 failure(s)" in text
+        assert "1 patched" in text
+
+
+class TestRepairRotation:
+    def test_failed_repair_rotates_to_next(self, protected):
+        """Force the first repair to fail by marking it failed directly;
+        the next best must be applied."""
+        binary, clearview = protected
+        for _ in range(3):
+            clearview.run(attack_page())
+        session = next(iter(clearview.sessions.values()))
+        first = session.current_repair
+        # Simulate the applied repair failing its evaluation run.
+        clearview._repair_failed(session, elapsed=0.01)
+        assert session.current_repair is not first
+        assert first.failures == 1
+        assert session.state is SessionState.EVALUATING
+
+    def test_crash_counts_against_applied_repair(self, protected):
+        binary, clearview = protected
+        for _ in range(3):
+            clearview.run(attack_page())
+        session = next(iter(clearview.sessions.values()))
+        repair = session.current_repair
+        clearview._on_crash({session.failure_pc: repair}, elapsed=0.0)
+        assert repair.failures == 1
+
+    def test_proven_patch_demoted_on_recurrence(self, protected):
+        binary, clearview = protected
+        for _ in range(4):
+            clearview.run(attack_page())
+        session = next(iter(clearview.sessions.values()))
+        proven = session.current_repair
+        assert session.state is SessionState.PATCHED
+        # Failure at the same location while patched: demote and rotate.
+        from repro.dynamo.execution import RunResult
+        fake = RunResult(outcome=Outcome.FAILURE, output=[], steps=1,
+                         failure_pc=session.failure_pc, monitor="test")
+        clearview._on_failure(fake, {session.failure_pc: proven},
+                              elapsed=0.0)
+        assert proven.failures == 1
+        assert session.state is SessionState.EVALUATING
+
+
+class TestTimings:
+    def test_phase_times_recorded(self, protected):
+        binary, clearview = protected
+        for _ in range(4):
+            clearview.run(attack_page())
+        session = next(iter(clearview.sessions.values()))
+        times = session.times
+        assert times.detect_run > 0
+        assert times.build_checks > 0
+        assert times.install_checks >= 0
+        assert times.check_runs > 0
+        assert times.build_repairs > 0
+        assert times.successful_repair_run > 0
+        assert times.total() > 0
+
+    def test_check_counts_recorded(self, protected):
+        binary, clearview = protected
+        for _ in range(4):
+            clearview.run(attack_page())
+        session = next(iter(clearview.sessions.values()))
+        assert sum(session.checked_kind_counts) > 0
+        assert session.check_executions >= session.check_violations > 0

@@ -1,0 +1,48 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frob"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "gc-collect" in out
+        assert "unpatchable" in out
+
+    def test_learn(self, capsys):
+        assert main(["learn"]) == 0
+        out = capsys.readouterr().out
+        assert "invariants:" in out
+        assert "one-of" in out
+
+    def test_attack(self, capsys):
+        assert main(["attack", "gc-collect"]) == 0
+        out = capsys.readouterr().out
+        assert "patched at:    4" in out
+        assert "repair-succeeded" in out
+
+    def test_attack_unknown_defect(self, capsys):
+        assert main(["attack", "nope"]) == 2
+        assert "unknown defect" in capsys.readouterr().err
+
+    def test_attack_respects_presentation_budget(self, capsys):
+        assert main(["attack", "soft-hyphen",
+                     "--presentations", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "patched at:    -" in out
+        assert "all blocked:   True" in out

@@ -1,0 +1,105 @@
+"""Tests for the cluster-based candidate strategy (§2.4.1 alternative)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import learning_pages
+from repro.cfg.discovery import DiscoveryPlugin, ProcedureDatabase
+from repro.core.clusters import (
+    BlockClusters,
+    BlockCoverageRecorder,
+    cluster_candidates,
+)
+from repro.dynamo import EnvironmentConfig, ManagedEnvironment, Outcome
+from repro.learning import LowerBound, learn
+from repro.redteam import exploit
+
+
+class TestClustering:
+    def test_identical_occurrence_clusters_together(self):
+        runs = [frozenset({1, 2, 3}), frozenset({1, 2}),
+                frozenset({1, 2, 9})]
+        clusters = BlockClusters.learn(runs)
+        assert clusters.cluster_of(1) == clusters.cluster_of(2)
+        assert 1 in clusters.cluster_of(1)
+
+    def test_disjoint_blocks_separate(self):
+        runs = [frozenset({1}), frozenset({2})]
+        clusters = BlockClusters.learn(runs)
+        assert clusters.cluster_of(1) == {1}
+        assert clusters.cluster_of(2) == {2}
+
+    def test_threshold_controls_granularity(self):
+        # 3 appears in 2 of the 3 runs that 1 appears in.
+        runs = [frozenset({1, 3}), frozenset({1, 3}), frozenset({1})]
+        strict = BlockClusters.learn(runs, threshold=0.99)
+        loose = BlockClusters.learn(runs, threshold=0.5)
+        assert strict.cluster_of(1) == {1}
+        assert 3 in loose.cluster_of(1)
+
+    def test_unknown_block_empty(self):
+        clusters = BlockClusters.learn([frozenset({1})])
+        assert clusters.cluster_of(42) == set()
+
+
+@pytest.fixture(scope="module")
+def clustered_model(browser):
+    """Learn invariants and block clusters over the learning suite."""
+    learned = learn(browser.stripped(), learning_pages())
+
+    recorder = BlockCoverageRecorder()
+    procedures = ProcedureDatabase(browser.stripped())
+    environment = ManagedEnvironment(browser.stripped(),
+                                     EnvironmentConfig.full())
+    environment.cache_plugins.append(DiscoveryPlugin(procedures))
+    environment.cache_plugins.append(recorder)
+    for page in learning_pages():
+        environment.run(page)
+        recorder.end_run()
+    clusters = BlockClusters.learn(recorder.runs, threshold=0.8)
+    return learned, clusters
+
+
+class TestClusterCandidates:
+    def test_candidates_found_without_call_stack(self, clustered_model,
+                                                 browser):
+        """The strategy's point: for the gif failure (whose fixing
+        invariant lives in the *caller*), the cluster of co-executing
+        blocks reaches it with no shadow stack at all."""
+        learned, clusters = clustered_model
+        probe = ManagedEnvironment(browser.stripped(),
+                                   EnvironmentConfig.full())
+        failure = probe.run(exploit("gif-sign").page())
+        assert failure.outcome is Outcome.FAILURE
+
+        candidates = cluster_candidates(
+            learned.database, learned.procedures, clusters,
+            failure.failure_pc)
+        assert candidates
+        # The caller's offset lower-bound (the §4.3.2 repairing
+        # invariant) is reachable through the cluster.
+        offset_load = browser.symbols["handle_gif"] + 9 * 16
+        assert any(
+            isinstance(candidate.invariant, LowerBound) and
+            candidate.invariant.variable.pc == offset_load
+            for candidate in candidates), [
+                candidate.invariant.pretty() for candidate in candidates]
+
+    def test_cluster_sets_are_bounded(self, clustered_model, browser):
+        """Key feasibility constraint (§2.4.1): the candidate set must
+        stay small enough to check efficiently."""
+        learned, clusters = clustered_model
+        probe = ManagedEnvironment(browser.stripped(),
+                                   EnvironmentConfig.full())
+        failure = probe.run(exploit("gif-sign").page())
+        candidates = cluster_candidates(
+            learned.database, learned.procedures, clusters,
+            failure.failure_pc)
+        assert len(candidates) < 0.5 * len(learned.database)
+
+    def test_unknown_failure_location_yields_nothing(self,
+                                                     clustered_model):
+        learned, clusters = clustered_model
+        assert cluster_candidates(learned.database, learned.procedures,
+                                  clusters, 0xDEAD0) == []

@@ -1,0 +1,162 @@
+"""Edge cases in the application-community layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import build_browser, learning_pages
+from repro.community import CommunityManager
+from repro.community.manager import CommunityEnvironment
+from repro.community.node import CommunityNode
+from repro.community.transport import MessageBus
+from repro.dynamo import Outcome
+from repro.redteam import exploit
+
+
+class TestCommunityEnvironment:
+    def test_requires_members(self):
+        with pytest.raises(ValueError):
+            CommunityEnvironment([])
+
+    def test_round_robin_rotation(self, browser):
+        bus = MessageBus()
+        nodes = [CommunityNode(f"n{i}", browser, bus) for i in range(3)]
+        environment = CommunityEnvironment(nodes)
+        page = learning_pages()[0]
+        for _ in range(6):
+            environment.run(page)
+        assert [node.stats.runs for node in nodes] == [2, 2, 2]
+
+    def test_run_on_specific_member(self, browser):
+        bus = MessageBus()
+        nodes = [CommunityNode(f"n{i}", browser, bus) for i in range(3)]
+        environment = CommunityEnvironment(nodes)
+        environment.run_on(1, learning_pages()[0])
+        assert [node.stats.runs for node in nodes] == [0, 1, 0]
+
+    def test_patch_fanout_and_removal(self, browser):
+        from repro.dynamo.patches import Patch
+
+        class Marker(Patch):
+            def execute(self, cpu, instruction):
+                return None
+
+        bus = MessageBus()
+        nodes = [CommunityNode(f"n{i}", browser, bus) for i in range(2)]
+        environment = CommunityEnvironment(nodes)
+        patch = Marker(pc=0)
+        environment.install_patch(patch)
+        assert all(node.environment.patches == [patch] for node in nodes)
+        assert all(node.stats.patches_applied == 1 for node in nodes)
+        environment.remove_patch(patch)
+        assert all(node.environment.patches == [] for node in nodes)
+
+    def test_clear_patches_predicate(self, browser):
+        from repro.dynamo.patches import Patch
+
+        class Marker(Patch):
+            def execute(self, cpu, instruction):
+                return None
+
+        bus = MessageBus()
+        nodes = [CommunityNode("n0", browser, bus)]
+        environment = CommunityEnvironment(nodes)
+        keep = Marker(pc=0, failure_id="keep")
+        drop = Marker(pc=16, failure_id="drop")
+        environment.install_patch(keep)
+        environment.install_patch(drop)
+        removed = environment.clear_patches(
+            lambda patch: patch.failure_id == "drop")
+        assert removed == 1
+        assert environment.patches == [keep]
+
+
+class TestManagerLifecycle:
+    def test_protect_requires_model(self, browser):
+        manager = CommunityManager(browser, members=1)
+        with pytest.raises(RuntimeError, match="learn"):
+            manager.protect()
+
+    def test_adopt_external_model(self, browser):
+        from repro.learning import learn
+
+        learned = learn(browser.stripped(), learning_pages())
+        manager = CommunityManager(browser, members=2)
+        manager.adopt_model(learned.database, learned.procedures)
+        manager.protect()
+        outcomes = []
+        for _ in range(6):
+            result = manager.attack(exploit("gc-collect").page())
+            outcomes.append(result.outcome)
+            if result.outcome is Outcome.COMPLETED:
+                break
+        assert outcomes[-1] is Outcome.COMPLETED
+
+    def test_unknown_strategy_rejected(self, browser):
+        manager = CommunityManager(browser, members=2)
+        with pytest.raises(ValueError, match="unknown strategy"):
+            manager.learn_distributed(learning_pages()[:2],
+                                      strategy="psychic")
+
+    def test_parallel_eval_requires_session(self, browser):
+        manager = CommunityManager(browser, members=2)
+        manager.learn_distributed(learning_pages())
+        manager.protect()
+        with pytest.raises(RuntimeError, match="no repair evaluation"):
+            manager.evaluate_candidates_in_parallel(0x9999, b"")
+
+    def test_overlapping_strategy_end_to_end(self, browser):
+        manager = CommunityManager(browser, members=3)
+        report = manager.learn_distributed(learning_pages(),
+                                           strategy="overlapping")
+        assert len(report.database) > 0
+        manager.protect()
+        outcomes = []
+        for _ in range(6):
+            result = manager.attack(exploit("js-type-1").page())
+            outcomes.append(result.outcome)
+            if result.outcome is Outcome.COMPLETED:
+                break
+        assert outcomes[-1] is Outcome.COMPLETED
+
+    def test_single_member_community(self, browser):
+        """Degenerate community of one behaves like the single-machine
+        exercise."""
+        manager = CommunityManager(browser, members=1)
+        manager.learn_distributed(learning_pages())
+        manager.protect()
+        outcomes = []
+        for _ in range(6):
+            result = manager.attack(exploit("gc-collect").page())
+            outcomes.append(result.outcome)
+            if result.outcome is Outcome.COMPLETED:
+                break
+        assert len(outcomes) == 4
+
+
+class TestNodeAccounting:
+    def test_failure_notifications_per_node(self, browser):
+        bus = MessageBus()
+        node = CommunityNode("n0", browser, bus)
+        node.run(exploit("gc-collect").page())
+        assert node.stats.failures_reported == 1
+        notifications = [message for message in bus.log
+                         if message.kind == "failure-notification"]
+        assert len(notifications) == 1
+        assert notifications[0].payload["monitor"] == "memory-firewall"
+        assert notifications[0].payload["failure_pc"] > 0
+
+    def test_upload_requires_learning(self, browser):
+        node = CommunityNode("n0", browser, MessageBus())
+        with pytest.raises(RuntimeError, match="not learning"):
+            node.upload_invariants()
+
+    def test_disable_learning_stops_tracing(self, browser):
+        node = CommunityNode("n0", browser, MessageBus())
+        node.enable_learning()
+        node.run(learning_pages()[0])
+        traced = node.stats.traced_observations
+        assert traced > 0
+        node.disable_learning()
+        node.run(learning_pages()[1])
+        assert node.stats.traced_observations == traced

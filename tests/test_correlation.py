@@ -1,0 +1,196 @@
+"""Tests for correlated invariant identification and classification."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.correlation import (
+    Correlation,
+    CorrelationConfig,
+    ObservationHistory,
+    candidate_correlated_invariants,
+    classify,
+    select_for_repair,
+)
+from repro.learning import LessThan, LowerBound, OneOf, Variable, learn
+from repro.vm import assemble
+
+V1 = Variable(0x10, "dst")
+V2 = Variable(0x20, "value")
+
+
+def history(*runs: tuple[list[bool], bool]) -> ObservationHistory:
+    record = ObservationHistory()
+    for sequence, failed in runs:
+        record.add_run(sequence, failed)
+    return record
+
+
+class TestClassification:
+    """Table-driven tests of the §2.4.3 definitions."""
+
+    def test_highly_correlated(self):
+        record = history(([True, True, False], True),
+                         ([True, False], True))
+        assert classify(record) is Correlation.HIGHLY
+
+    def test_single_check_violated(self):
+        record = history(([False], True))
+        assert classify(record) is Correlation.HIGHLY
+
+    def test_moderately_correlated(self):
+        # Violated at the last check every time, but one run has an
+        # earlier violation too.
+        record = history(([True, False, False], True),
+                         ([True, False], True))
+        assert classify(record) is Correlation.MODERATELY
+
+    def test_slightly_correlated(self):
+        # A violation occurred, but some failure run ended satisfied.
+        record = history(([False, True], True),
+                         ([True, True], True))
+        assert classify(record) is Correlation.SLIGHTLY
+
+    def test_not_correlated_always_satisfied(self):
+        record = history(([True, True], True), ([True], True))
+        assert classify(record) is Correlation.NOT
+
+    def test_not_correlated_no_failure_runs(self):
+        # Violations during normal runs alone do not correlate.
+        record = history(([False, False], False))
+        assert classify(record) is Correlation.NOT
+
+    def test_normal_runs_ignored_for_failure_pattern(self):
+        record = history(([True, True], False),   # normal run
+                         ([True, False], True))   # failure run
+        assert classify(record) is Correlation.HIGHLY
+
+    def test_empty_history(self):
+        assert classify(ObservationHistory()) is Correlation.NOT
+
+
+class TestSelection:
+    def test_highly_preferred_over_moderately(self):
+        high = OneOf(variable=V1, values=frozenset({1}))
+        moderate = LowerBound(variable=V2, bound=0)
+        selected, rank = select_for_repair({
+            high: Correlation.HIGHLY,
+            moderate: Correlation.MODERATELY,
+        })
+        assert selected == [high]
+        assert rank is Correlation.HIGHLY
+
+    def test_moderately_used_when_no_highly(self):
+        moderate = LowerBound(variable=V2, bound=0)
+        selected, rank = select_for_repair({
+            moderate: Correlation.MODERATELY,
+            OneOf(variable=V1, values=frozenset({1})): Correlation.SLIGHTLY,
+        })
+        assert selected == [moderate]
+        assert rank is Correlation.MODERATELY
+
+    def test_slightly_never_selected(self):
+        selected, rank = select_for_repair({
+            OneOf(variable=V1, values=frozenset({1})): Correlation.SLIGHTLY,
+            LowerBound(variable=V2, bound=0): Correlation.NOT,
+        })
+        assert selected == []
+        assert rank is None
+
+
+CANDIDATE_APP = """
+.data
+input_len: .word 0
+input: .space 64
+.code
+main:
+    lea esi, [input]
+    load eax, [esi+0]      ; word A
+    load ebx, [esi+4]      ; word B
+    cmp eax, 0
+    je skip
+    mov ecx, eax
+    add ecx, ebx           ; in a different block from the loads
+skip:
+    out ebx
+    push eax
+    call helper
+    add esp, 4
+    halt
+helper:
+    enter 0
+    load edx, [ebp+8]
+    leave
+    ret
+"""
+
+
+class TestCandidateSelection:
+    @pytest.fixture()
+    def learned(self):
+        import struct
+        binary = assemble(CANDIDATE_APP)
+        pages = [struct.pack("<II", a, a + b) + b"\x00" * 8
+                 for a, b in ((1, 2), (3, 4), (5, 6))]
+        return binary, learn(binary, pages)
+
+    def test_candidates_only_from_predominators(self, learned):
+        binary, result = learned
+        # Failure at `out ebx` (after the join): the add in the branch arm
+        # does NOT predominate it; the loads do.
+        out_pc = binary.symbols["skip"]
+        candidates = candidate_correlated_invariants(
+            result.database, result.procedures, out_pc)
+        add_pc = binary.symbols["skip"] - 16
+        assert all(variable.pc != add_pc
+                   for candidate in candidates
+                   for variable in candidate.invariant.variables())
+        assert candidates, "loads should contribute candidates"
+
+    def test_block_restriction_on_pairs(self, learned):
+        binary, result = learned
+        out_pc = binary.symbols["skip"]
+        restricted = candidate_correlated_invariants(
+            result.database, result.procedures, out_pc,
+            config=CorrelationConfig(block_restriction=True))
+        loose = candidate_correlated_invariants(
+            result.database, result.procedures, out_pc,
+            config=CorrelationConfig(block_restriction=False))
+        restricted_pairs = [c for c in restricted
+                            if isinstance(c.invariant, LessThan)]
+        loose_pairs = [c for c in loose
+                       if isinstance(c.invariant, LessThan)]
+        # The loads' pair lives in the entry block, not out's block.
+        assert len(loose_pairs) >= len(restricted_pairs)
+        assert all(
+            c.invariant.check_pc // 16 for c in restricted_pairs)
+
+    def test_stack_walk_reaches_caller(self, learned):
+        binary, result = learned
+        helper_load = binary.symbols["helper"] + 16
+        call_site = binary.symbols["skip"] + 2 * 16
+        # One procedure: only helper's invariants.
+        one_level = candidate_correlated_invariants(
+            result.database, result.procedures, helper_load,
+            call_sites=(call_site,),
+            config=CorrelationConfig(stack_procedures=1))
+        # Two procedures: main's too.
+        two_levels = candidate_correlated_invariants(
+            result.database, result.procedures, helper_load,
+            call_sites=(call_site,),
+            config=CorrelationConfig(stack_procedures=2))
+        assert {c.stack_distance for c in one_level} == {0}
+        assert {c.stack_distance for c in two_levels} == {0, 1}
+
+    def test_procedure_without_invariants_skipped(self, learned):
+        """The 'lowest procedure on the stack WITH invariants' rule: a
+        frame contributing nothing does not consume the budget."""
+        binary, result = learned
+        # A pc outside any learned procedure yields nothing; with the
+        # call site as the next frame, main's invariants are used.
+        candidates = candidate_correlated_invariants(
+            result.database, result.procedures, 0x9990,
+            call_sites=(binary.symbols["skip"] + 2 * 16,),
+            config=CorrelationConfig(stack_procedures=1))
+        assert candidates
+        assert {c.stack_distance for c in candidates} == {1}

@@ -1,0 +1,324 @@
+"""Unit and property tests for the MiniX86 interpreter."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import (
+    CodeInjectionExecuted,
+    DivisionByZero,
+    ExecutionLimitExceeded,
+    StackFault,
+)
+from repro.vm import CPU, ExecutionHook, Register, assemble
+from repro.vm.isa import INSTRUCTION_SIZE, Opcode, to_signed
+
+
+def run(source: str, **kwargs) -> CPU:
+    cpu = CPU(assemble(source), **kwargs)
+    cpu.run()
+    return cpu
+
+
+class TestArithmetic:
+    def test_mov_add_sub(self):
+        cpu = run("mov eax, 10\nadd eax, 5\nsub eax, 3\nout eax\nhalt")
+        assert cpu.output == [12]
+
+    def test_mul_div(self):
+        cpu = run("mov eax, 6\nmul eax, 7\ndiv eax, 2\nout eax\nhalt")
+        assert cpu.output == [21]
+
+    def test_division_by_zero(self):
+        with pytest.raises(DivisionByZero):
+            run("mov eax, 1\nmov ebx, 0\ndiv eax, ebx\nhalt")
+
+    def test_wraparound(self):
+        cpu = run("mov eax, 0xFFFFFFFF\nadd eax, 2\nout eax\nhalt")
+        assert cpu.output == [1]
+
+    def test_bitwise(self):
+        cpu = run("""
+        mov eax, 0xF0
+        and eax, 0x3C
+        or eax, 1
+        xor eax, 0xFF
+        out eax
+        halt
+        """)
+        assert cpu.output == [(((0xF0 & 0x3C) | 1) ^ 0xFF)]
+
+    def test_shifts(self):
+        cpu = run("mov eax, 1\nshl eax, 4\nout eax\n"
+                  "mov ebx, 0x80000000\nsar ebx, 31\nout ebx\nhalt")
+        assert cpu.output == [16, 0xFFFFFFFF]
+
+    def test_neg_not(self):
+        cpu = run("mov eax, 5\nneg eax\nout eax\n"
+                  "mov ebx, 0\nnot ebx\nout ebx\nhalt")
+        assert cpu.output == [0xFFFFFFFB, 0xFFFFFFFF]
+
+
+class TestControlFlow:
+    @pytest.mark.parametrize("jump,left,right,taken", [
+        ("je", 5, 5, True), ("je", 5, 6, False),
+        ("jne", 5, 6, True), ("jl", -1, 0, True),
+        ("jl", 0, -1, False), ("jg", 3, 2, True),
+        ("jge", 2, 2, True), ("jle", 2, 3, True),
+        ("jb", 1, 2, True),
+        ("jb", 0xFFFFFFFF, 0, False),   # unsigned: huge is not below 0
+        ("jae", 0xFFFFFFFF, 0, True),
+    ])
+    def test_conditions(self, jump, left, right, taken):
+        cpu = run(f"""
+        mov eax, {left}
+        mov ebx, {right}
+        cmp eax, ebx
+        {jump} yes
+        out 0
+        halt
+        yes:
+        out 1
+        halt
+        """)
+        assert cpu.output == [1 if taken else 0]
+
+    def test_signed_vs_unsigned_negative(self):
+        """The neg-strlen defect mechanism: -1 passes a signed check but
+        acts as a huge unsigned bound."""
+        cpu = run("""
+        mov eax, -1
+        cmp eax, 64
+        jg big
+        out 100
+        halt
+        big:
+        out 200
+        halt
+        """)
+        assert cpu.output == [100]
+
+    def test_loop(self):
+        cpu = run("""
+        mov ecx, 0
+        mov eax, 0
+        top:
+        cmp ecx, 5
+        jge done
+        add eax, ecx
+        add ecx, 1
+        jmp top
+        done:
+        out eax
+        halt
+        """)
+        assert cpu.output == [10]
+
+
+class TestStackAndCalls:
+    def test_push_pop(self):
+        cpu = run("push 42\npop eax\nout eax\nhalt")
+        assert cpu.output == [42]
+
+    def test_call_ret(self):
+        cpu = run("""
+        main:
+            call double_it
+            out eax
+            halt
+        double_it:
+            mov eax, 21
+            mul eax, 2
+            ret
+        """)
+        assert cpu.output == [42]
+
+    def test_enter_leave_frame(self):
+        cpu = run("""
+        main:
+            mov eax, 7
+            push eax
+            call with_frame
+            add esp, 4
+            out eax
+            halt
+        with_frame:
+            enter 8
+            load ebx, [ebp+8]
+            mul ebx, 3
+            store [ebp-4], ebx
+            load eax, [ebp-4]
+            leave
+            ret
+        """)
+        assert cpu.output == [21]
+
+    def test_stack_overflow_detected(self):
+        with pytest.raises(StackFault):
+            run("top:\npush 1\njmp top", max_steps=200_000)
+
+    def test_stack_underflow_detected(self):
+        with pytest.raises(StackFault):
+            run("pop eax\nhalt")
+
+    def test_indirect_call(self):
+        cpu = run("""
+        main:
+            mov edx, target
+            callr edx
+            out eax
+            halt
+        target:
+            mov eax, 99
+            ret
+        """)
+        assert cpu.output == [99]
+
+
+class TestAttackSemantics:
+    def test_indirect_call_to_data_compromises(self):
+        with pytest.raises(CodeInjectionExecuted):
+            run("""
+            .data
+            buf: .word 0x90909090
+            .code
+            main:
+                lea edx, [buf]
+                callr edx
+                halt
+            """)
+
+    def test_return_to_data_compromises(self):
+        with pytest.raises(CodeInjectionExecuted):
+            run("""
+            .data
+            evil: .word 0
+            .code
+            main:
+                lea eax, [evil]
+                push eax
+                ret
+            """)
+
+    def test_execution_limit(self):
+        with pytest.raises(ExecutionLimitExceeded):
+            run("spin:\njmp spin", max_steps=1000)
+
+
+class TestHeapInstructions:
+    def test_alloc_free(self):
+        cpu = run("""
+        alloc eax, 32
+        mov ebx, 7
+        store [eax+0], ebx
+        load ecx, [eax+0]
+        out ecx
+        free eax
+        halt
+        """)
+        assert cpu.output == [7]
+
+    def test_loadb_storeb(self):
+        cpu = run("""
+        alloc eax, 8
+        mov ebx, 0x1FF
+        storeb [eax+0], ebx
+        loadb ecx, [eax+0]
+        out ecx
+        halt
+        """)
+        assert cpu.output == [0xFF]
+
+
+class TestHooks:
+    def test_before_hook_redirect_skips_instruction(self):
+        class Skipper(ExecutionHook):
+            def before_instruction(self, cpu, pc, instruction):
+                if instruction.opcode == Opcode.OUT and \
+                        instruction.b == 111:
+                    return pc + INSTRUCTION_SIZE
+                return None
+
+        cpu = CPU(assemble("out 111\nout 222\nhalt"))
+        cpu.add_hook(Skipper())
+        cpu.run()
+        assert cpu.output == [222]
+
+    def test_store_hook_sees_old_value(self):
+        seen = []
+
+        class Watcher(ExecutionHook):
+            def on_store(self, cpu, pc, address, size, value, old_value):
+                seen.append((value, old_value))
+
+        cpu = CPU(assemble("""
+        alloc eax, 8
+        mov ebx, 1
+        store [eax+0], ebx
+        mov ebx, 2
+        store [eax+0], ebx
+        halt
+        """))
+        cpu.add_hook(Watcher())
+        cpu.run()
+        assert seen == [(1, 0), (2, 1)]
+
+    def test_transfer_hook_order_and_kinds(self):
+        events = []
+
+        class Tracer(ExecutionHook):
+            def on_transfer(self, cpu, pc, kind, target):
+                events.append(kind)
+
+        cpu = CPU(assemble("""
+        main:
+            call helper
+            halt
+        helper:
+            ret
+        """))
+        cpu.add_hook(Tracer())
+        cpu.run()
+        assert events == ["call", "return"]
+
+
+class TestOperandObservation:
+    def test_alu_dst_is_computed_result(self):
+        """The trace record's dst slot must equal the value the register
+        holds after the instruction executes (consistency between the
+        learning observation and check/enforcement reads)."""
+        cpu = CPU(assemble("mov eax, 10\nsub eax, 3\nhalt"))
+        cpu.step()  # mov
+        instruction = cpu.fetch(cpu.pc)
+        observation = cpu.observe_operands(cpu.pc, instruction)
+        assert observation.slots["dst"] == 7
+        assert observation.slots["dst_in"] == 10
+        cpu.step()
+        assert cpu.registers[Register.EAX] == 7
+
+    @settings(max_examples=60)
+    @given(op=st.sampled_from(["add", "sub", "mul", "and", "or", "xor"]),
+           left=st.integers(min_value=0, max_value=0xFFFFFFFF),
+           right=st.integers(min_value=0, max_value=0xFFFFFFFF))
+    def test_observed_dst_matches_execution(self, op, left, right):
+        cpu = CPU(assemble(f"mov eax, {left}\n{op} eax, {right}\nhalt"))
+        cpu.step()
+        observation = cpu.observe_operands(cpu.pc, cpu.fetch(cpu.pc))
+        cpu.step()
+        assert observation.slots["dst"] == cpu.registers[Register.EAX]
+
+    def test_callr_target_slot(self):
+        cpu = CPU(assemble("""
+        main:
+            mov edx, f
+            callr edx
+            halt
+        f:
+            ret
+        """))
+        cpu.step()
+        observation = cpu.observe_operands(cpu.pc, cpu.fetch(cpu.pc))
+        assert observation.slots["target"] == cpu.binary.symbols["f"]
+        assert observation.computed == ("target",)

@@ -1,0 +1,216 @@
+"""Tests for the paper's optional/extension features:
+
+- adaptive monitoring policy (§2.3, §3.2)
+- staged, failure-driven learning (§3.1)
+- code-cache warm-up elimination (§4.4.5)
+- trusted-node validation against malicious members (§5)
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import learning_pages
+from repro.community import CommunityManager
+from repro.core.policies import AdaptivePolicyConfig, AdaptiveProtection
+from repro.dynamo import EnvironmentConfig, ManagedEnvironment, Outcome
+from repro.learning.staged import StagedLearner
+from repro.redteam import exploit
+
+
+class TestAdaptiveMonitoring:
+    def _protection(self, prepared_exercise, quiet=3):
+        clearview = prepared_exercise._clearview()
+        return AdaptiveProtection(
+            clearview, AdaptivePolicyConfig(quiet_runs_to_relax=quiet))
+
+    def test_starts_cheap(self, prepared_exercise):
+        protection = self._protection(prepared_exercise)
+        config = protection.clearview.environment.config
+        assert config.memory_firewall
+        assert not config.heap_guard
+        assert not config.shadow_stack
+
+    def test_escalates_on_failure(self, prepared_exercise):
+        protection = self._protection(prepared_exercise)
+        result = protection.run(exploit("js-type-1").page())
+        assert result.outcome is Outcome.FAILURE
+        assert protection.elevated
+        assert protection.escalations == 1
+
+    def test_patches_then_relaxes_after_quiet_streak(self,
+                                                     prepared_exercise):
+        protection = self._protection(prepared_exercise, quiet=3)
+        page = exploit("js-type-1").page()
+        for _ in range(4):
+            result = protection.run(page)
+        assert result.outcome is Outcome.COMPLETED
+        assert protection.elevated  # still elevated right after the patch
+        legit = learning_pages()[0]
+        for _ in range(3):
+            protection.run(legit)
+        assert not protection.elevated
+        assert protection.relaxations >= 1
+        # The patch still protects even in the cheap configuration.
+        assert protection.run(page).outcome is Outcome.COMPLETED
+
+    def test_normal_traffic_never_escalates(self, prepared_exercise):
+        protection = self._protection(prepared_exercise)
+        for page in learning_pages()[:5]:
+            assert protection.run(page).outcome is Outcome.COMPLETED
+        assert not protection.elevated
+        assert protection.escalations == 0
+
+
+class TestStagedLearning:
+    @pytest.fixture(scope="class")
+    def learner(self, browser):
+        staged = StagedLearner(browser)
+        staged.record(learning_pages())
+        return staged
+
+    def test_phase1_records_coverage(self, learner):
+        assert len(learner.inputs) == 12
+        assert all(exercised for exercised in learner.coverage.values())
+
+    def test_learns_targeted_model_on_failure(self, learner, browser):
+        probe = ManagedEnvironment(browser.stripped())
+        failure = probe.run(exploit("gc-collect").page())
+        assert failure.outcome is Outcome.FAILURE
+        database = learner.learn_for_failure(failure.failure_pc,
+                                             failure.call_sites)
+        assert len(database) > 0
+        # The targeted model is much smaller than the full model.
+        from repro.learning import learn
+        full = learn(browser.stripped(), learning_pages())
+        assert len(database) < 0.5 * len(full.database)
+
+    def test_staged_model_supports_a_patch(self, learner, browser):
+        """End to end: the failure-driven model is sufficient for
+        ClearView to patch the exploit that triggered it."""
+        from repro.core import ClearView
+
+        probe = ManagedEnvironment(browser.stripped())
+        failure = probe.run(exploit("gc-collect").page())
+        database = learner.learn_for_failure(failure.failure_pc,
+                                             failure.call_sites)
+        environment = ManagedEnvironment(browser.stripped(),
+                                         EnvironmentConfig.full())
+        clearview = ClearView(environment, database, learner.procedures)
+        outcomes = []
+        for _ in range(6):
+            result = clearview.run(exploit("gc-collect").page())
+            outcomes.append(result.outcome)
+            if result.outcome is Outcome.COMPLETED:
+                break
+        assert outcomes[-1] is Outcome.COMPLETED
+
+    def test_phase2_cost_below_full_learning(self, learner, browser):
+        """§3.1's advantage: targeted tracing processes far fewer
+        observations than always-on full learning."""
+        from repro.learning import learn
+
+        probe = ManagedEnvironment(browser.stripped())
+        failure = probe.run(exploit("gc-collect").page())
+        before = learner.phase2_observations
+        learner.learn_for_failure(failure.failure_pc, failure.call_sites)
+        staged_cost = learner.phase2_observations - before
+        full = learn(browser.stripped(), learning_pages())
+        assert staged_cost < 0.5 * full.observations
+
+
+class TestCacheReuse:
+    def test_snapshot_eliminates_warmup(self, browser):
+        config = EnvironmentConfig.full()
+        config.reuse_cache = True
+        environment = ManagedEnvironment(browser.stripped(), config)
+        page = learning_pages()[0]
+        first = environment.run(page)
+        second = environment.run(page)
+        assert second.stats["block_builds"] == 0
+        assert second.stats["warmup_cost"] == 0
+        assert first.stats["block_builds"] > 0
+        assert first.output == second.output
+
+    def test_without_reuse_every_run_warms_up(self, browser):
+        environment = ManagedEnvironment(browser.stripped(),
+                                         EnvironmentConfig.full())
+        page = learning_pages()[0]
+        first = environment.run(page)
+        second = environment.run(page)
+        assert second.stats["block_builds"] == first.stats["block_builds"]
+
+    def test_reused_cache_is_behaviour_neutral(self, browser):
+        config = EnvironmentConfig.full()
+        config.reuse_cache = True
+        reused = ManagedEnvironment(browser.stripped(), config)
+        fresh = ManagedEnvironment(browser.stripped(),
+                                   EnvironmentConfig.full())
+        for page in learning_pages()[:4]:
+            assert reused.run(page).output == fresh.run(page).output
+
+    def test_reused_cache_still_detects_attacks(self, browser):
+        config = EnvironmentConfig.full()
+        config.reuse_cache = True
+        environment = ManagedEnvironment(browser.stripped(), config)
+        environment.run(learning_pages()[0])
+        result = environment.run(exploit("js-type-1").page())
+        assert result.outcome is Outcome.FAILURE
+
+
+class TestTrustedNodeValidation:
+    @pytest.fixture(scope="class")
+    def community(self, browser):
+        manager = CommunityManager(browser, members=2)
+        manager.learn_distributed(learning_pages())
+        return manager
+
+    def test_genuine_failure_report_validates(self, community, browser):
+        probe = ManagedEnvironment(browser.stripped())
+        failure = probe.run(exploit("gc-collect").page())
+        assert community.validate_failure_report(
+            exploit("gc-collect").page(), failure.failure_pc)
+
+    def test_fabricated_report_rejected(self, community):
+        """A malicious member claims a legitimate page causes a failure
+        at some location: the trusted reproduction rejects it."""
+        assert not community.validate_failure_report(
+            learning_pages()[0], claimed_failure_pc=0x1000)
+
+    def test_wrong_location_rejected(self, community):
+        """The input fails, but not where the member claims."""
+        assert not community.validate_failure_report(
+            exploit("gc-collect").page(), claimed_failure_pc=0x4)
+
+    def test_good_patch_validates(self, community, browser):
+        from repro.redteam import RedTeamExercise
+
+        exercise = RedTeamExercise(binary=browser)
+        exercise.prepare()
+        result = exercise.attack(exploit("gc-collect"))
+        patches = result.sessions[0].current_patches
+        assert community.validate_patch_on_trusted_node(
+            patches, exploit("gc-collect").page(),
+            learning_pages()[:3])
+
+    def test_damaging_patch_rejected(self, community, browser):
+        """A 'patch' that clobbers normal behaviour fails trusted-node
+        validation even if it silences the exploit."""
+        from repro.dynamo.patches import Patch
+        from repro.vm.isa import INSTRUCTION_SIZE
+
+        class Sabotage(Patch):
+            def execute(self, cpu, instruction):
+                # Skip render_page's dispatch entirely.
+                return self.pc + INSTRUCTION_SIZE
+
+        dispatch_pc = None
+        from repro.vm.isa import Opcode
+        for pc, instruction in browser.decode_all().items():
+            if instruction.opcode is Opcode.CALLR:
+                dispatch_pc = pc
+                break
+        assert dispatch_pc is not None
+        bogus = Sabotage(pc=dispatch_pc)
+        assert not community.validate_patch_on_trusted_node(
+            [bogus], exploit("gc-collect").page(), learning_pages()[:3])

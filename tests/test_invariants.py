@@ -1,0 +1,188 @@
+"""Unit and property tests for invariant value objects and the database."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.learning import (
+    ONE_OF_LIMIT,
+    InvariantDatabase,
+    LessThan,
+    LowerBound,
+    OneOf,
+    SPOffset,
+    Variable,
+    invariant_from_dict,
+)
+
+V1 = Variable(0x10, "dst")
+V2 = Variable(0x20, "value")
+
+
+class TestVariable:
+    def test_str_parse_roundtrip(self):
+        assert Variable.parse(str(V1)) == V1
+
+    def test_ordering_by_pc(self):
+        assert V1 < V2
+
+    @given(pc=st.integers(min_value=0, max_value=0xFFFF),
+           slot=st.sampled_from(["dst", "src", "value", "target", "addr"]))
+    def test_parse_roundtrip_property(self, pc, slot):
+        variable = Variable(pc, slot)
+        assert Variable.parse(str(variable)) == variable
+
+
+class TestOneOf:
+    def test_holds(self):
+        invariant = OneOf(variable=V1, values=frozenset({1, 2, 3}))
+        assert invariant.holds({V1: 2})
+        assert not invariant.holds({V1: 4})
+        assert not invariant.holds({})
+
+    def test_check_pc(self):
+        assert OneOf(variable=V1, values=frozenset({1})).check_pc == V1.pc
+
+    def test_merge_unions_values(self):
+        left = OneOf(variable=V1, values=frozenset({1, 2}), samples=5)
+        right = OneOf(variable=V1, values=frozenset({2, 3}), samples=7)
+        merged = left.merged_with(right)
+        assert merged.values == {1, 2, 3}
+        assert merged.samples == 12
+
+    def test_merge_overflow_drops(self):
+        left = OneOf(variable=V1,
+                     values=frozenset(range(ONE_OF_LIMIT)))
+        right = OneOf(variable=V1, values=frozenset({100}))
+        assert left.merged_with(right) is None
+
+
+class TestLowerBound:
+    def test_holds_signed(self):
+        invariant = LowerBound(variable=V1, bound=0)
+        assert invariant.holds({V1: 5})
+        assert invariant.holds({V1: 0})
+        assert not invariant.holds({V1: 0xFFFFFFFF})  # -1 signed
+
+    def test_merge_takes_minimum(self):
+        left = LowerBound(variable=V1, bound=3)
+        right = LowerBound(variable=V1, bound=-2)
+        assert left.merged_with(right).bound == -2
+
+
+class TestLessThan:
+    def test_holds_signed(self):
+        invariant = LessThan(left=V1, right=V2)
+        assert invariant.holds({V1: 3, V2: 3})
+        assert invariant.holds({V1: 0xFFFFFFFF, V2: 0})  # -1 <= 0
+        assert not invariant.holds({V1: 1, V2: 0})
+        assert not invariant.holds({V1: 1})  # missing variable
+
+    def test_check_pc_is_later_instruction_either_order(self):
+        assert LessThan(left=V1, right=V2).check_pc == V2.pc
+        assert LessThan(left=V2, right=V1).check_pc == V2.pc
+
+
+class TestSerialization:
+    @pytest.mark.parametrize("invariant", [
+        OneOf(variable=V1, values=frozenset({1, 5}), samples=3),
+        LowerBound(variable=V1, bound=-7, samples=2),
+        LessThan(left=V1, right=V2, samples=9),
+        SPOffset(pc=0x30, procedure=0x10, offset=-8, samples=4),
+    ])
+    def test_roundtrip(self, invariant):
+        assert invariant_from_dict(invariant.to_dict()) == invariant
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            invariant_from_dict({"kind": "mystery"})
+
+    @given(values=st.frozensets(
+        st.integers(min_value=0, max_value=0xFFFFFFFF),
+        min_size=1, max_size=ONE_OF_LIMIT))
+    def test_one_of_roundtrip_property(self, values):
+        invariant = OneOf(variable=V1, values=values, samples=1)
+        assert invariant_from_dict(invariant.to_dict()) == invariant
+
+
+class TestDatabase:
+    def _db(self, *invariants, samples=None):
+        database = InvariantDatabase()
+        for invariant in invariants:
+            database.add(invariant)
+        for pc, count in (samples or {}).items():
+            database.record_samples(pc, count)
+        return database
+
+    def test_indexing_by_check_pc(self):
+        one_of = OneOf(variable=V1, values=frozenset({1}))
+        less = LessThan(left=V1, right=V2)
+        database = self._db(one_of, less)
+        assert database.invariants_at(V1.pc) == [one_of]
+        assert database.invariants_at(V2.pc) == [less]
+        assert len(database) == 2
+
+    def test_counts_by_kind(self):
+        database = self._db(OneOf(variable=V1, values=frozenset({1})),
+                            LowerBound(variable=V2, bound=0))
+        assert database.counts_by_kind() == {"one-of": 1,
+                                             "lower-bound": 1}
+
+    def test_merge_both_covered_intersects(self):
+        left = self._db(OneOf(variable=V1, values=frozenset({1})),
+                        LowerBound(variable=V1, bound=2),
+                        samples={V1.pc: 4})
+        right = self._db(LowerBound(variable=V1, bound=-1),
+                         samples={V1.pc: 6})
+        merged = left.merge(right)
+        # one-of absent on the right (falsified there): dropped.
+        kinds = merged.counts_by_kind()
+        assert kinds == {"lower-bound": 1}
+        bound = merged.invariants_at(V1.pc)[0]
+        assert bound.bound == -1
+        assert merged.samples_at(V1.pc) == 10
+
+    def test_merge_single_coverage_passes_through(self):
+        left = self._db(LowerBound(variable=V1, bound=3),
+                        samples={V1.pc: 2})
+        right = self._db(samples={V2.pc: 5})
+        merged = left.merge(right)
+        assert merged.invariants_at(V1.pc)[0].bound == 3
+
+    def test_merge_sp_offsets_must_agree(self):
+        agree_left = self._db(SPOffset(pc=1, procedure=0, offset=-8),
+                              samples={1: 1})
+        agree_right = self._db(SPOffset(pc=1, procedure=0, offset=-8),
+                               samples={1: 1})
+        differ = self._db(SPOffset(pc=1, procedure=0, offset=-12),
+                          samples={1: 1})
+        assert len(agree_left.merge(agree_right)) == 1
+        assert len(agree_left.merge(differ)) == 0
+
+    def test_merge_commutes_on_counts(self):
+        left = self._db(OneOf(variable=V1, values=frozenset({1, 2})),
+                        samples={V1.pc: 1})
+        right = self._db(OneOf(variable=V1, values=frozenset({2, 3})),
+                         samples={V1.pc: 1})
+        forward = left.merge(right)
+        backward = right.merge(left)
+        assert forward.counts_by_kind() == backward.counts_by_kind()
+        assert (forward.invariants_at(V1.pc)[0].values ==
+                backward.invariants_at(V1.pc)[0].values == {1, 2, 3})
+
+    def test_database_serialization_roundtrip(self):
+        database = self._db(
+            OneOf(variable=V1, values=frozenset({1}), samples=2),
+            LessThan(left=V1, right=V2, samples=3),
+            samples={V1.pc: 2, V2.pc: 3})
+        restored = InvariantDatabase.from_dict(database.to_dict())
+        assert restored.counts_by_kind() == database.counts_by_kind()
+        assert restored.samples_at(V1.pc) == 2
+
+    def test_sp_offset_lookup(self):
+        offset = SPOffset(pc=0x40, procedure=0, offset=-4)
+        database = self._db(offset, samples={0x40: 1})
+        assert database.sp_offset_at(0x40) == offset
+        assert database.sp_offset_at(0x50) is None

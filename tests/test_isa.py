@@ -1,0 +1,94 @@
+"""Unit tests for the MiniX86 instruction set definitions."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.vm.isa import (
+    BLOCK_ENDERS,
+    CONDITIONAL_JUMPS,
+    INSTRUCTION_SIZE,
+    WORD_MASK,
+    Instruction,
+    Opcode,
+    OperandKind,
+    Register,
+    to_signed,
+    to_unsigned,
+)
+
+
+class TestRegister:
+    def test_parse_case_insensitive(self):
+        assert Register.parse("EAX") is Register.EAX
+        assert Register.parse("esp") is Register.ESP
+
+    def test_parse_unknown(self):
+        with pytest.raises(ValueError):
+            Register.parse("rax")
+
+    def test_register_count(self):
+        assert len(Register) == 8
+
+
+class TestEncoding:
+    def test_roundtrip_simple(self):
+        instruction = Instruction(Opcode.MOV, a=Register.EAX, b=42,
+                                  b_kind=OperandKind.IMMEDIATE)
+        assert Instruction.decode(instruction.encode()) == instruction
+
+    def test_source_not_encoded(self):
+        instruction = Instruction(Opcode.NOP, source="nop ; hi")
+        decoded = Instruction.decode(instruction.encode())
+        assert decoded.source == ""
+        assert decoded == instruction  # source excluded from equality
+
+    @given(
+        opcode=st.sampled_from(sorted(Opcode)),
+        a=st.integers(min_value=0, max_value=WORD_MASK),
+        b=st.integers(min_value=0, max_value=WORD_MASK),
+        c=st.integers(min_value=0, max_value=WORD_MASK),
+        b_kind=st.sampled_from(sorted(OperandKind)),
+    )
+    def test_roundtrip_property(self, opcode, a, b, c, b_kind):
+        instruction = Instruction(opcode, a=a, b=b, c=c, b_kind=b_kind)
+        assert Instruction.decode(instruction.encode()) == instruction
+
+    def test_instruction_size_covers_four_words(self):
+        assert INSTRUCTION_SIZE == 16
+
+
+class TestClassification:
+    def test_conditionals_are_block_enders(self):
+        assert CONDITIONAL_JUMPS <= BLOCK_ENDERS
+
+    def test_block_enders(self):
+        for opcode in (Opcode.JMP, Opcode.CALL, Opcode.CALLR, Opcode.RET,
+                       Opcode.HALT, Opcode.JE):
+            assert Instruction(opcode).is_block_ender()
+        for opcode in (Opcode.MOV, Opcode.ADD, Opcode.LOAD, Opcode.PUSH):
+            assert not Instruction(opcode).is_block_ender()
+
+    def test_is_conditional(self):
+        assert Instruction(Opcode.JLE).is_conditional_jump()
+        assert not Instruction(Opcode.JMP).is_conditional_jump()
+
+
+class TestSignedness:
+    @pytest.mark.parametrize("value,expected", [
+        (0, 0), (1, 1), (0x7FFFFFFF, 0x7FFFFFFF),
+        (0x80000000, -0x80000000), (0xFFFFFFFF, -1),
+        (0xFFFFFFFE, -2),
+    ])
+    def test_to_signed(self, value, expected):
+        assert to_signed(value) == expected
+
+    @given(st.integers(min_value=-(2 ** 31), max_value=2 ** 31 - 1))
+    def test_signed_unsigned_roundtrip(self, value):
+        assert to_signed(to_unsigned(value)) == value
+
+    @given(st.integers())
+    def test_to_unsigned_range(self, value):
+        assert 0 <= to_unsigned(value) <= WORD_MASK

@@ -1,0 +1,127 @@
+"""MailServe: the §4.5 generality check — ClearView protecting a second
+application with no browser-specific tuning."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.mailserver import (
+    MessageBuilder,
+    attach_overflow_exploit,
+    build_mailserver,
+    normal_messages,
+    subject_smash_exploit,
+)
+from repro.core import ClearView
+from repro.dynamo import EnvironmentConfig, ManagedEnvironment, Outcome
+from repro.learning import learn
+
+
+@pytest.fixture(scope="module")
+def mailserver():
+    return build_mailserver()
+
+
+@pytest.fixture(scope="module")
+def mail_model(mailserver):
+    result = learn(mailserver.stripped(), normal_messages())
+    assert result.excluded_runs == 0
+    return result
+
+
+class TestNormalOperation:
+    def test_messages_processed(self, mailserver):
+        environment = ManagedEnvironment(mailserver.stripped(),
+                                         EnvironmentConfig.full())
+        for index, message in enumerate(normal_messages()):
+            result = environment.run(message)
+            assert result.outcome is Outcome.COMPLETED, (index,
+                                                         result.detail)
+            assert 220 in result.output     # HELO reply
+            assert 250 in result.output     # FROM accepted
+
+    def test_rcpt_updates_mailboxes(self, mailserver):
+        environment = ManagedEnvironment(mailserver.stripped())
+        message = MessageBuilder().rcpt("a@x").build()
+        result = environment.run(message)
+        assert 251 in result.output
+
+    def test_rejects_bad_sender(self, mailserver):
+        environment = ManagedEnvironment(mailserver.stripped())
+        message = MessageBuilder().mail_from("no-at-sign").build()
+        result = environment.run(message)
+        assert 53 in result.output
+
+    def test_learning_builds_model(self, mail_model):
+        kinds = mail_model.database.counts_by_kind()
+        assert kinds.get("one-of", 0) > 0
+        assert kinds.get("lower-bound", 0) > 0
+
+
+class TestExploits:
+    def test_subject_smash_compromises_bare(self, mailserver):
+        environment = ManagedEnvironment(mailserver.stripped(),
+                                         EnvironmentConfig.bare())
+        result = environment.run(subject_smash_exploit())
+        assert result.outcome is Outcome.COMPROMISED, result.detail
+
+    def test_subject_smash_detected(self, mailserver):
+        environment = ManagedEnvironment(mailserver.stripped(),
+                                         EnvironmentConfig.full())
+        result = environment.run(subject_smash_exploit())
+        assert result.outcome is Outcome.FAILURE
+        assert result.monitor == "memory-firewall"
+
+    def test_attach_overflow_detected_by_heap_guard(self, mailserver):
+        environment = ManagedEnvironment(mailserver.stripped(),
+                                         EnvironmentConfig.full())
+        result = environment.run(attach_overflow_exploit())
+        assert result.outcome is Outcome.FAILURE
+        assert result.monitor == "heap-guard"
+
+
+class TestClearViewProtection:
+    def _protect(self, mailserver, mail_model) -> ClearView:
+        environment = ManagedEnvironment(mailserver.stripped(),
+                                         EnvironmentConfig.full())
+        return ClearView(environment, mail_model.database,
+                         mail_model.procedures)
+
+    def test_subject_smash_patched_in_four(self, mailserver, mail_model):
+        clearview = self._protect(mailserver, mail_model)
+        outcomes = []
+        for _ in range(8):
+            result = clearview.run(subject_smash_exploit())
+            outcomes.append(result.outcome)
+            if result.outcome is Outcome.COMPLETED:
+                break
+        assert outcomes[-1] is Outcome.COMPLETED
+        assert len(outcomes) == 4
+
+    def test_attach_overflow_patched(self, mailserver, mail_model):
+        clearview = self._protect(mailserver, mail_model)
+        outcomes = []
+        for _ in range(10):
+            result = clearview.run(attach_overflow_exploit())
+            outcomes.append(result.outcome)
+            if result.outcome is Outcome.COMPLETED:
+                break
+        assert outcomes[-1] is Outcome.COMPLETED
+
+    def test_patched_server_still_serves(self, mailserver, mail_model):
+        clearview = self._protect(mailserver, mail_model)
+        for _ in range(4):
+            clearview.run(subject_smash_exploit())
+        reference = ManagedEnvironment(mailserver.stripped(),
+                                       EnvironmentConfig.bare())
+        for message in normal_messages():
+            patched = clearview.run(message)
+            assert patched.outcome is Outcome.COMPLETED
+            assert patched.output == reference.run(message).output
+
+    def test_no_false_positives_on_mail_traffic(self, mailserver,
+                                                mail_model):
+        clearview = self._protect(mailserver, mail_model)
+        for message in normal_messages():
+            assert clearview.run(message).outcome is Outcome.COMPLETED
+        assert clearview.sessions == {}

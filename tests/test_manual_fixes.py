@@ -1,0 +1,123 @@
+"""Tests for the §4.3.3 manual fixes.
+
+Two purposes: prove each seeded defect is real (its manual fix
+neutralises the exploit), and reproduce the paper's observation that
+manual fixes abort the current operation while ClearView's repairs
+execute more of the normal-case code.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import learning_pages
+from repro.apps.manual_fixes import (
+    FIX_GROUPS,
+    apply_fixes,
+    build_fixed_browser,
+)
+from repro.apps.browser import BROWSER_SOURCE
+from repro.dynamo import EnvironmentConfig, ManagedEnvironment, Outcome
+from repro.redteam import exploit
+
+#: Defects whose manual fix preserves legitimate-page behaviour
+#: bit for bit. (soft-hyphen's fix changes sizing for hyphenated
+#: hostnames, which no legitimate page uses, so it is included.)
+BEHAVIOUR_PRESERVING = sorted(FIX_GROUPS)
+
+
+@pytest.fixture(scope="module")
+def fully_fixed():
+    return build_fixed_browser()
+
+
+class TestFixApplication:
+    def test_all_fixes_match_current_source(self):
+        apply_fixes(BROWSER_SOURCE, list(FIX_GROUPS))  # must not raise
+
+    def test_unknown_defect_rejected(self):
+        with pytest.raises(KeyError):
+            apply_fixes(BROWSER_SOURCE, ["not-a-defect"])
+
+    def test_stale_fix_detected(self):
+        with pytest.raises(ValueError, match="no longer matches"):
+            apply_fixes("nothing here", ["gc-collect"])
+
+    def test_fixed_browser_assembles(self, fully_fixed):
+        assert fully_fixed.instruction_count > 0
+
+
+@pytest.mark.parametrize("defect_id", sorted(FIX_GROUPS))
+class TestFixesNeutraliseExploits:
+    def test_exploit_harmless_on_fixed_browser(self, defect_id,
+                                               fully_fixed):
+        """Under full monitoring, the fixed browser processes the attack
+        page without any failure — the defect is gone."""
+        environment = ManagedEnvironment(fully_fixed.stripped(),
+                                         EnvironmentConfig.full())
+        result = environment.run(exploit(defect_id).page())
+        assert result.outcome is Outcome.COMPLETED, (defect_id,
+                                                     result.detail)
+
+    def test_exploit_cannot_compromise_fixed_bare(self, defect_id,
+                                                  fully_fixed):
+        """Even with no protection at all, the exploit cannot run
+        injected code on the fixed browser."""
+        environment = ManagedEnvironment(fully_fixed.stripped(),
+                                         EnvironmentConfig.bare())
+        result = environment.run(exploit(defect_id).page())
+        assert result.outcome is not Outcome.COMPROMISED, defect_id
+
+    def test_single_fix_suffices(self, defect_id):
+        """Fixing only this defect neutralises this exploit (the fixes
+        are independent)."""
+        binary = build_fixed_browser([defect_id])
+        environment = ManagedEnvironment(binary.stripped(),
+                                         EnvironmentConfig.full())
+        result = environment.run(exploit(defect_id).page())
+        assert result.outcome is Outcome.COMPLETED, (defect_id,
+                                                     result.detail)
+
+
+class TestBehaviourPreservation:
+    def test_legit_pages_render_identically(self, browser, fully_fixed):
+        """Manual fixes must not change legitimate behaviour."""
+        original = ManagedEnvironment(browser.stripped(),
+                                      EnvironmentConfig.bare())
+        fixed = ManagedEnvironment(fully_fixed.stripped(),
+                                   EnvironmentConfig.bare())
+        for index, page in enumerate(learning_pages()):
+            assert (original.run(page).output ==
+                    fixed.run(page).output), f"page {index}"
+
+    def test_other_exploits_still_work_with_single_fix(self, browser):
+        """Fixing one defect leaves the others exploitable — each fix is
+        specific, like the paper's per-Bugzilla patches."""
+        binary = build_fixed_browser(["gc-collect"])
+        environment = ManagedEnvironment(binary.stripped(),
+                                         EnvironmentConfig.full())
+        result = environment.run(exploit("js-type-1").page())
+        assert result.outcome is Outcome.FAILURE
+
+
+class TestManualVsClearViewSemantics:
+    def test_manual_fix_aborts_clearview_continues(self, browser,
+                                                   fully_fixed,
+                                                   prepared_exercise):
+        """§4.3.3: for the type-confusion defect, the manual fix returns
+        null (no method output at all), while ClearView's repair invokes
+        the known target — executing more of the normal-case code."""
+        attack_page = exploit("js-type-1").page()
+
+        fixed = ManagedEnvironment(fully_fixed.stripped(),
+                                   EnvironmentConfig.full())
+        fixed_output = fixed.run(attack_page).output
+
+        result = prepared_exercise.attack(exploit("js-type-1"))
+        assert result.patched
+        patched_output = result.clearview.run(attack_page).output
+
+        # The ClearView-patched browser produced method output (the
+        # known target ran, rendering the fake object's field); the
+        # manually fixed browser skipped the dispatch entirely.
+        assert len(patched_output) > len(fixed_output)

@@ -1,0 +1,151 @@
+"""Patch-safety tests: repairs must never become attack vectors.
+
+Covers the TransferKind.PATCH validation path: a repair that redirects
+control using attacker-corrupted state (e.g. a return-from-procedure
+repair reading a smashed return address) is intercepted by Memory
+Firewall exactly like any illegal indirect transfer.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.mailserver import (
+    build_mailserver,
+    normal_messages,
+    subject_smash_exploit,
+)
+from repro.core.repair import ReturnFromProcedureRepair
+from repro.dynamo import EnvironmentConfig, ManagedEnvironment, Outcome
+from repro.learning import OneOf, Variable
+from repro.monitors import MemoryFirewall
+from repro.vm import CPU, assemble
+from repro.vm.hooks import TransferKind
+
+
+class TestPatchRedirectValidation:
+    def test_return_repair_on_smashed_stack_is_contained(self):
+        """A return repair at the corrupted RET reads the smashed return
+        address; Memory Firewall must convert the redirect into a clean
+        failure, never a compromise."""
+        binary = build_mailserver().stripped()
+        environment = ManagedEnvironment(binary,
+                                         EnvironmentConfig.full())
+        probe = environment.run(subject_smash_exploit())
+        assert probe.outcome is Outcome.FAILURE
+        ret_pc = probe.failure_pc
+
+        # Hand-build the dangerous repair: return-from-procedure at the
+        # RET, guarded by a one-of that the attack violates.
+        invariant = OneOf(variable=Variable(ret_pc, "target"),
+                          values=frozenset({0x10}))
+        repair = ReturnFromProcedureRepair(
+            pc=ret_pc, failure_id="f@test", invariant=invariant,
+            description="dangerous return repair")
+        environment.install_patch(repair)
+        result = environment.run(subject_smash_exploit())
+        assert result.outcome is Outcome.FAILURE   # contained
+        assert result.monitor == "memory-firewall"
+
+    def test_patch_kind_validated_by_firewall(self):
+        firewall = MemoryFirewall()
+        cpu = CPU(assemble("main:\nnop\nhalt"))
+        cpu.add_hook(firewall)
+        from repro.errors import MonitorDetection
+        with pytest.raises(MonitorDetection):
+            firewall.on_transfer(cpu, 0, TransferKind.PATCH, 0x500000)
+
+    def test_legitimate_patch_redirect_passes(self):
+        firewall = MemoryFirewall()
+        cpu = CPU(assemble("main:\nnop\nhalt"))
+        cpu.add_hook(firewall)
+        firewall.on_transfer(cpu, 0, TransferKind.PATCH, 16)  # no raise
+        assert firewall.detections == 0
+
+    def test_unprotected_patch_redirect_still_raises(self):
+        """Without Memory Firewall the CPU itself refuses to follow a
+        patch redirect into non-code memory (raising the compromise
+        signal rather than executing data)."""
+        from repro.dynamo.patches import Patch, PatchManager
+        from repro.errors import CodeInjectionExecuted
+
+        class EvilRedirect(Patch):
+            def execute(self, cpu, instruction):
+                return 0x100004
+
+        binary = assemble("""
+        .data
+        input_len: .word 0
+        input: .space 16
+        .code
+        main:
+            nop
+            halt
+        """)
+        manager = PatchManager()
+        manager.apply(EvilRedirect(pc=0))
+        cpu = CPU(binary)
+        cpu.add_hook(manager)
+        with pytest.raises(CodeInjectionExecuted):
+            cpu.run()
+
+
+class TestRepairStateDiscipline:
+    def test_repair_fired_counter(self, browser):
+        """Repairs count their interventions; normal traffic leaves the
+        counter untouched (the no-false-positive property at patch
+        granularity)."""
+        from repro.apps import learning_pages
+        from repro.learning import learn
+        from repro.redteam import RedTeamExercise, exploit
+
+        exercise = RedTeamExercise(binary=browser)
+        exercise.prepare()
+        result = exercise.attack(exploit("gc-collect"))
+        repair_patch = result.sessions[0].current_patches[-1]
+        fired_after_attack = repair_patch.fired
+        assert fired_after_attack >= 1
+        for page in learning_pages()[:4]:
+            result.clearview.run(page)
+        assert repair_patch.fired == fired_after_attack
+
+    def test_shadow_stack_resyncs_after_return_repair(self, browser):
+        """The shadow stack pops the unwound frame on a PATCH transfer,
+        so later failures in the same run still see a correct stack."""
+        from repro.redteam import RedTeamExercise, exploit
+
+        exercise = RedTeamExercise(binary=browser)
+        exercise.prepare()
+        result = exercise.attack(exploit("mm-reuse-1"))
+        assert result.patched  # return repair in place
+        # Run the attack again; the patched run must unwind cleanly and
+        # the rest of the page must render.
+        run = result.clearview.run(exploit("mm-reuse-1").page())
+        assert run.outcome is Outcome.COMPLETED
+
+    def test_mail_and_browser_patches_coexist(self, browser):
+        """Patch state is per-environment: protecting two applications
+        in one process never cross-contaminates."""
+        from repro.core import ClearView
+        from repro.learning import learn
+
+        mail = build_mailserver()
+        mail_model = learn(mail.stripped(), normal_messages())
+        mail_env = ManagedEnvironment(mail.stripped(),
+                                      EnvironmentConfig.full())
+        mail_cv = ClearView(mail_env, mail_model.database,
+                            mail_model.procedures)
+        for _ in range(4):
+            mail_result = mail_cv.run(subject_smash_exploit())
+        assert mail_result.outcome is Outcome.COMPLETED
+
+        from repro.apps import learning_pages
+        from repro.redteam import RedTeamExercise, exploit
+        exercise = RedTeamExercise(binary=browser)
+        exercise.prepare()
+        browser_result = exercise.attack(exploit("gc-collect"))
+        assert browser_result.patched
+        # Both remain functional afterwards.
+        assert mail_cv.run(normal_messages()[0]).succeeded
+        assert browser_result.clearview.run(
+            learning_pages()[0]).succeeded

@@ -1,0 +1,252 @@
+"""Cross-cutting property-based tests on the core data structures and
+whole-pipeline invariants."""
+
+from __future__ import annotations
+
+import struct
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.learning import (
+    InvariantDatabase,
+    LessThan,
+    LowerBound,
+    OneOf,
+    Variable,
+    invariant_from_dict,
+)
+from repro.vm import CPU, Register, assemble
+from repro.vm.binary import encode_instructions
+from repro.vm.isa import Instruction, Opcode, OperandKind
+
+# ---------------------------------------------------------------------------
+# Invariant database merge algebra
+# ---------------------------------------------------------------------------
+
+_variables = st.builds(
+    Variable,
+    pc=st.integers(min_value=0, max_value=0x200).map(lambda n: n * 16),
+    slot=st.sampled_from(["dst", "value", "target"]))
+
+_one_ofs = st.builds(
+    lambda variable, values, samples: OneOf(
+        variable=variable, values=frozenset(values), samples=samples),
+    variable=_variables,
+    values=st.sets(st.integers(min_value=0, max_value=50), min_size=1,
+                   max_size=6),
+    samples=st.integers(min_value=1, max_value=9))
+
+_lower_bounds = st.builds(
+    lambda variable, bound, samples: LowerBound(
+        variable=variable, bound=bound, samples=samples),
+    variable=_variables,
+    bound=st.integers(min_value=-100, max_value=100),
+    samples=st.integers(min_value=1, max_value=9))
+
+
+def _database(invariants) -> InvariantDatabase:
+    database = InvariantDatabase()
+    seen_identity = set()
+    for invariant in invariants:
+        if isinstance(invariant, OneOf):
+            key = ("o", invariant.variable)
+        else:
+            key = ("l", invariant.variable)
+        if key in seen_identity:
+            continue
+        seen_identity.add(key)
+        database.add(invariant)
+        database.record_samples(invariant.check_pc, invariant.samples)
+    return database
+
+
+_databases = st.lists(st.one_of(_one_ofs, _lower_bounds),
+                      max_size=10).map(_database)
+
+
+class TestMergeAlgebra:
+    @settings(max_examples=80)
+    @given(left=_databases, right=_databases)
+    def test_merge_result_weaker_than_both(self, left, right):
+        """Soundness: every merged invariant is implied by (at least as
+        weak as) the corresponding invariant on each covered side."""
+        merged = left.merge(right)
+        for invariant in merged.all_invariants():
+            for side in (left, right):
+                for local in side.invariants_at(invariant.check_pc):
+                    if type(local) is not type(invariant):
+                        continue
+                    if isinstance(invariant, OneOf) and \
+                            local.variable == invariant.variable:
+                        assert local.values <= invariant.values
+                    if isinstance(invariant, LowerBound) and \
+                            local.variable == invariant.variable:
+                        assert invariant.bound <= local.bound
+
+    @settings(max_examples=60)
+    @given(left=_databases, right=_databases)
+    def test_merge_commutative_on_content(self, left, right):
+        forward = left.merge(right)
+        backward = right.merge(left)
+        def canon(database):
+            return sorted(
+                (sorted(item.to_dict().items(), key=str))
+                for item in database.all_invariants())
+        assert canon(forward) == canon(backward)
+
+    @settings(max_examples=40)
+    @given(database=_databases)
+    def test_merge_idempotent_on_invariant_sets(self, database):
+        merged = database.merge(database)
+        assert {type(i).__name__ for i in merged.all_invariants()} <= \
+            {type(i).__name__ for i in database.all_invariants()} | set()
+        # Identical content merges to identical invariants (value sets
+        # and bounds unchanged).
+        def identity_map(db):
+            return {(type(i).__name__, i.variables()): i
+                    for i in db.all_invariants()}
+        before, after = identity_map(database), identity_map(merged)
+        for key, invariant in after.items():
+            original = before[key]
+            if isinstance(invariant, OneOf):
+                assert invariant.values == original.values
+            if isinstance(invariant, LowerBound):
+                assert invariant.bound == original.bound
+
+    @settings(max_examples=40)
+    @given(database=_databases)
+    def test_serialization_roundtrip(self, database):
+        restored = InvariantDatabase.from_dict(database.to_dict())
+        assert len(restored) == len(database)
+        for invariant in database.all_invariants():
+            assert invariant_from_dict(invariant.to_dict()) == invariant
+
+
+# ---------------------------------------------------------------------------
+# Random straight-line program: observation/execution agreement
+# ---------------------------------------------------------------------------
+
+_ALU_OPS = ["mov", "add", "sub", "mul", "and", "or", "xor"]
+_REGS = ["eax", "ebx", "ecx", "edx", "esi", "edi"]
+
+
+@st.composite
+def straight_line_program(draw):
+    lines = []
+    for register in _REGS:
+        lines.append(f"mov {register}, "
+                     f"{draw(st.integers(0, 0xFFFF))}")
+    count = draw(st.integers(min_value=1, max_value=12))
+    for _ in range(count):
+        op = draw(st.sampled_from(_ALU_OPS))
+        dst = draw(st.sampled_from(_REGS))
+        if draw(st.booleans()):
+            src = draw(st.sampled_from(_REGS))
+        else:
+            src = str(draw(st.integers(0, 0xFFFFFFFF)))
+        lines.append(f"{op} {dst}, {src}")
+    lines.append("halt")
+    return "\n".join(lines)
+
+
+class TestObservationAgreement:
+    @settings(max_examples=60, deadline=None)
+    @given(source=straight_line_program())
+    def test_observed_dst_always_matches_post_state(self, source):
+        """For every instruction of a random ALU program, the trace
+        record's computed 'dst' equals the register's actual value after
+        the instruction executes (the invariant the checks/repairs
+        placement relies on)."""
+        cpu = CPU(assemble(source))
+        while not cpu.halted:
+            pc = cpu.pc
+            instruction = cpu.fetch(pc)
+            if instruction.opcode == Opcode.HALT:
+                break
+            observation = cpu.observe_operands(pc, instruction)
+            cpu.step()
+            if "dst" in observation.slots:
+                assert observation.slots["dst"] == \
+                    cpu.registers[instruction.a]
+
+
+# ---------------------------------------------------------------------------
+# Binary image round trips
+# ---------------------------------------------------------------------------
+
+class TestBinaryRoundTrip:
+    @settings(max_examples=60)
+    @given(data=st.data(),
+           count=st.integers(min_value=1, max_value=20))
+    def test_encode_decode_image(self, data, count):
+        instructions = []
+        for _ in range(count):
+            instructions.append(Instruction(
+                opcode=data.draw(st.sampled_from(sorted(Opcode))),
+                a=data.draw(st.integers(0, 7)),
+                b=data.draw(st.integers(0, 0xFFFFFFFF)),
+                c=data.draw(st.integers(0, 0xFFFFFFFF)),
+                b_kind=data.draw(st.sampled_from(sorted(OperandKind)))))
+        image = encode_instructions(instructions)
+        from repro.vm.binary import Binary
+        binary = Binary(code=image, data=b"")
+        assert binary.instruction_count == count
+        for index, instruction in enumerate(instructions):
+            assert binary.decode_at(index * 16) == instruction
+
+
+# ---------------------------------------------------------------------------
+# End-to-end repair soundness on the clamp program
+# ---------------------------------------------------------------------------
+
+CLAMP = """
+.data
+input_len: .word 0
+input: .space 64
+table: .word 11, 22, 33, 44, 55, 66, 77, 88
+.code
+main:
+    lea esi, [input]
+    load eax, [esi+0]
+    sub eax, 100           ; un-bias
+    lea edi, [table]
+    mov ebx, eax
+    mul ebx, 4
+    add edi, ebx
+    load ecx, [edi+0]
+    out ecx
+    halt
+"""
+
+
+class TestRepairSoundness:
+    @settings(max_examples=40, deadline=None)
+    @given(index=st.integers(min_value=-3, max_value=7))
+    def test_clamp_repair_never_reads_out_of_bounds(self, index):
+        """With the lower-bound repair installed, any (possibly hostile)
+        index yields an in-bounds table read, and in-range indexes are
+        untouched."""
+        from repro.core.repair import (
+            build_repair_patch,
+            generate_candidate_repairs,
+        )
+        from repro.dynamo import ManagedEnvironment, Outcome
+        from repro.learning import LowerBound, Variable
+
+        binary = assemble(CLAMP)
+        invariant = LowerBound(variable=Variable(2 * 16, "dst"), bound=0)
+        candidate = generate_candidate_repairs(binary, invariant)[0]
+        patches = build_repair_patch(binary, candidate, "f@prop")
+        environment = ManagedEnvironment(binary)
+        for patch in patches:
+            environment.install_patch(patch)
+
+        table = [11, 22, 33, 44, 55, 66, 77, 88]
+        result = environment.run(struct.pack("<I", 100 + index)
+                                 + b"\x00" * 8)
+        assert result.outcome is Outcome.COMPLETED
+        if 0 <= index < 8:
+            assert result.output == [table[index]]   # untouched
+        else:
+            assert result.output == [table[0]]       # clamped

@@ -1,0 +1,71 @@
+"""Tests for delayed invariant incorporation (§3.1 quarantine)."""
+
+from __future__ import annotations
+
+from repro.learning import InvariantDatabase, LowerBound, Variable
+from repro.learning.quarantine import (
+    QuarantineBuffer,
+    incorporate_with_quarantine,
+)
+
+
+def _database(bound: int) -> InvariantDatabase:
+    database = InvariantDatabase()
+    database.add(LowerBound(variable=Variable(0x10, "dst"), bound=bound,
+                            samples=1))
+    database.record_samples(0x10, 1)
+    return database
+
+
+class TestQuarantine:
+    def test_release_after_clean_window(self):
+        buffer = QuarantineBuffer(quarantine_ticks=2)
+        buffer.submit(_database(5), source="node-1")
+        assert buffer.tick() == []
+        ready = buffer.tick()
+        assert len(ready) == 1
+        assert buffer.released == 1
+        assert buffer.pending_count == 0
+
+    def test_undesirable_event_discards_pending(self):
+        buffer = QuarantineBuffer(quarantine_ticks=3)
+        buffer.submit(_database(5))
+        buffer.submit(_database(7))
+        buffer.tick()
+        assert buffer.report_undesirable_event() == 2
+        assert buffer.discarded == 2
+        assert buffer.tick() == []
+
+    def test_staggered_submissions_age_independently(self):
+        buffer = QuarantineBuffer(quarantine_ticks=2)
+        buffer.submit(_database(1), source="early")
+        buffer.tick()
+        buffer.submit(_database(2), source="late")
+        first = buffer.tick()
+        assert len(first) == 1   # only the early upload matured
+        second = buffer.tick()
+        assert len(second) == 1
+
+    def test_incorporate_merges_released(self):
+        buffer = QuarantineBuffer(quarantine_ticks=1)
+        central = _database(5)
+        buffer.submit(_database(3))     # weaker bound
+        central = incorporate_with_quarantine(central, buffer)
+        bound = central.invariants_at(0x10)[0]
+        assert bound.bound == 3         # min of 5 and 3 after merge
+
+    def test_incorporate_with_nothing_ready(self):
+        buffer = QuarantineBuffer(quarantine_ticks=5)
+        central = _database(5)
+        buffer.submit(_database(3))
+        merged = incorporate_with_quarantine(central, buffer)
+        assert merged.invariants_at(0x10)[0].bound == 5
+
+    def test_event_then_resubmission_recovers(self):
+        """After a discard, fresh clean uploads flow through normally —
+        the mechanism quarantines data, not sources."""
+        buffer = QuarantineBuffer(quarantine_ticks=1)
+        buffer.submit(_database(9))
+        buffer.report_undesirable_event()
+        buffer.submit(_database(9))
+        assert len(buffer.tick()) == 1

@@ -1,0 +1,156 @@
+"""Integration tests: the full Red Team exercise (§4).
+
+The complete Table 1 sweep lives in the benchmark harness; here a
+representative subset keeps the suite fast while covering every exercise
+phase and both §4.3.2 reconfiguration stories.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import SessionState
+from repro.core.repair import RepairAction
+from repro.dynamo import Outcome
+from repro.redteam import RedTeamExercise, exploit
+
+
+class TestSingleVariantAttacks:
+    @pytest.mark.parametrize("defect_id,expected", [
+        ("js-type-1", 4),
+        ("gc-collect", 4),
+        ("neg-strlen", 4),
+        ("js-type-2", 5),
+        ("mm-reuse-1", 6),
+    ])
+    def test_presentations_match_table1(self, prepared_exercise,
+                                        defect_id, expected):
+        result = prepared_exercise.attack(exploit(defect_id),
+                                          max_presentations=10)
+        assert result.all_blocked
+        assert result.survived_at == expected
+
+    def test_neg_index_three_sequential_defects(self, prepared_exercise):
+        """311710: three copy-pasted defects patched in sequence, four
+        presentations each."""
+        result = prepared_exercise.attack(exploit("neg-index"),
+                                          max_presentations=16)
+        assert result.survived_at == 12
+        assert len(result.sessions) == 3
+        assert all(session.state is SessionState.PATCHED
+                   for session in result.sessions)
+
+    def test_mm_reuse_third_patch_is_return(self, prepared_exercise):
+        """269095: the successful patch is return-from-procedure, after
+        a call-known-target patch and a skip-call patch both failed."""
+        result = prepared_exercise.attack(exploit("mm-reuse-1"),
+                                          max_presentations=10)
+        session = result.sessions[0]
+        assert session.current_repair.candidate.action is \
+            RepairAction.RETURN_FROM_PROCEDURE
+        assert session.unsuccessful_runs == 2
+
+    def test_js_type_2_second_patch_is_skip_call(self, prepared_exercise):
+        result = prepared_exercise.attack(exploit("js-type-2"),
+                                          max_presentations=10)
+        session = result.sessions[0]
+        assert session.current_repair.candidate.action is \
+            RepairAction.SKIP_CALL
+        assert session.unsuccessful_runs == 1
+
+    def test_attacks_blocked_even_without_patch(self, prepared_exercise):
+        result = prepared_exercise.attack(exploit("soft-hyphen"),
+                                          max_presentations=8)
+        assert result.all_blocked
+        assert not result.compromised
+        assert result.survived_at is None
+
+
+class TestReconfigurations:
+    def test_gif_sign_needs_deeper_stack(self, prepared_exercise,
+                                         expanded_exercise):
+        """285595: unpatchable with the Red Team's one-procedure
+        correlation config; patched with two."""
+        restricted = prepared_exercise.attack(exploit("gif-sign"),
+                                              max_presentations=8)
+        assert restricted.survived_at is None
+        assert restricted.all_blocked
+        reconfigured = expanded_exercise.attack(exploit("gif-sign"),
+                                                max_presentations=8)
+        assert reconfigured.survived_at == 4
+
+    def test_int_overflow_needs_expanded_learning(self, prepared_exercise,
+                                                  expanded_exercise):
+        """325403: the default suite lacks growth-path coverage."""
+        restricted = prepared_exercise.attack(exploit("int-overflow"),
+                                              max_presentations=8)
+        assert restricted.survived_at is None
+        reconfigured = expanded_exercise.attack(exploit("int-overflow"),
+                                                max_presentations=8)
+        assert reconfigured.survived_at == 4
+
+    def test_int_overflow_repair_clamps_copy_size(self, expanded_exercise):
+        result = expanded_exercise.attack(exploit("int-overflow"),
+                                          max_presentations=8)
+        session = result.sessions[0]
+        from repro.learning import LessThan
+        assert isinstance(session.current_repair.candidate.invariant,
+                          LessThan)
+
+
+class TestMultipleVariants:
+    def test_interleaved_variants_same_patch_same_count(
+            self, prepared_exercise):
+        """§4.3.4: interleaving exploit variants changes nothing — same
+        patch after the same number of presentations."""
+        result = prepared_exercise.attack(exploit("gc-collect"),
+                                          variants=[0, 1, 2],
+                                          max_presentations=10)
+        assert result.survived_at == 4
+        # And the patch covers all variants afterwards.
+        clearview = result.clearview
+        for variant in range(3):
+            run = clearview.run(exploit("gc-collect").page(variant))
+            assert run.outcome is Outcome.COMPLETED, variant
+
+
+class TestSimultaneousExploits:
+    def test_interleaved_exploits_kept_separate(self, prepared_exercise):
+        """§4.3.5: different defects attacked concurrently; per-failure
+        bookkeeping stays separate and both get patched after the same
+        cumulative number of presentations."""
+        clearview = prepared_exercise._clearview()
+        first = exploit("js-type-1")
+        second = exploit("gc-collect")
+        survived = {"js-type-1": None, "gc-collect": None}
+        for round_number in range(1, 9):
+            for ex in (first, second):
+                if survived[ex.defect_id] is not None:
+                    continue
+                result = clearview.run(ex.page())
+                if result.outcome is Outcome.COMPLETED:
+                    survived[ex.defect_id] = round_number
+        assert survived == {"js-type-1": 4, "gc-collect": 4}
+        assert len(clearview.sessions) == 2
+        assert all(session.state is SessionState.PATCHED
+                   for session in clearview.sessions.values())
+
+
+class TestRepairQualityAndFalsePositives:
+    def test_patched_browser_displays_identically(self, prepared_exercise):
+        """§4.3.6: bit-identical displays on the 57 evaluation pages."""
+        result = prepared_exercise.attack(exploit("js-type-1"))
+        comparison = prepared_exercise.verify_patched_displays(
+            result.clearview)
+        assert comparison.all_identical
+
+    def test_no_false_positives(self, prepared_exercise):
+        """§4.3.7: legitimate pages trigger no ClearView response."""
+        sessions, comparison = prepared_exercise.false_positive_test()
+        assert sessions == 0
+        assert comparison.all_identical
+
+    def test_all_patches_scoped_to_their_failure(self, prepared_exercise):
+        result = prepared_exercise.attack(exploit("neg-strlen"))
+        for patch in result.clearview.environment.patches:
+            assert patch.failure_id.startswith("memory-firewall@")

@@ -1,0 +1,63 @@
+"""Tests for the maintainer-facing correction reports (§1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import report_all, report_session, summarize
+from repro.redteam import exploit
+
+
+@pytest.fixture(scope="module")
+def patched_clearview(prepared_exercise):
+    result = prepared_exercise.attack(exploit("mm-reuse-1"),
+                                      max_presentations=10)
+    assert result.patched
+    return result.clearview
+
+
+class TestFailureReport:
+    def test_report_carries_failure_location(self, patched_clearview):
+        reports = report_all(patched_clearview)
+        assert len(reports) == 1
+        report = reports[0]
+        assert report.failure_pc > 0
+        assert report.monitor == "memory-firewall"
+        assert report.state == "patched"
+
+    def test_report_lists_correlated_invariants(self, patched_clearview):
+        report = report_all(patched_clearview)[0]
+        assert report.correlated_invariants
+        assert any(rank == "highly"
+                   for _, rank in report.correlated_invariants)
+
+    def test_report_lists_repair_effectiveness(self, patched_clearview):
+        report = report_all(patched_clearview)[0]
+        assert len(report.repairs) == 3  # set / skip / return
+        applied = [repair for repair in report.repairs if repair.applied]
+        assert len(applied) == 1
+        assert applied[0].action == "return_from_procedure"
+        assert applied[0].successes >= 1
+        failed = [repair for repair in report.repairs
+                  if repair.failures > 0]
+        assert len(failed) == 2
+
+    def test_report_phase_times(self, patched_clearview):
+        report = report_all(patched_clearview)[0]
+        assert report.phase_seconds["total"] > 0
+        assert report.phase_seconds["check_runs"] > 0
+
+    def test_format_is_readable(self, patched_clearview):
+        text = report_all(patched_clearview)[0].format()
+        assert "Correlated invariants" in text
+        assert "Candidate repairs" in text
+        assert "*" in text  # the applied-repair marker
+
+    def test_summarize_counts(self, patched_clearview):
+        assert "1 patched" in summarize(patched_clearview)
+
+    def test_report_session_direct(self, patched_clearview):
+        session = next(iter(patched_clearview.sessions.values()))
+        report = report_session(session)
+        assert report.failure_id == session.failure_id
+        assert report.presentations == session.presentations

@@ -1,0 +1,68 @@
+"""Soak test: one ClearView instance surviving a long mixed workload.
+
+The deployment story (§1) is continuous operation: legitimate traffic
+interleaved with repeated attacks on multiple defects, patches layering
+up over time, and never a false positive or behaviour change. This test
+runs that story for a few hundred runs on a single manager instance.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.apps import evaluation_pages, learning_pages
+from repro.core import SessionState
+from repro.dynamo import Outcome
+from repro.redteam import exploit
+
+ATTACKS = ["js-type-1", "gc-collect", "neg-strlen", "mm-reuse-1",
+           "js-type-2"]
+
+
+@pytest.mark.slow
+def test_mixed_workload_soak(prepared_exercise, browser):
+    clearview = prepared_exercise._clearview()
+    rng = random.Random(20090211)   # SOSP 2009 submission era
+    legit = evaluation_pages()
+    reference = {}
+    from repro.dynamo import EnvironmentConfig, ManagedEnvironment
+    ref_env = ManagedEnvironment(browser.stripped(),
+                                 EnvironmentConfig.bare())
+    for index, page in enumerate(legit):
+        reference[index] = ref_env.run(page).output
+
+    compromises = 0
+    wrong_outputs = 0
+    attack_survivals = {defect_id: 0 for defect_id in ATTACKS}
+    for round_number in range(300):
+        if rng.random() < 0.25:
+            defect_id = rng.choice(ATTACKS)
+            result = clearview.run(exploit(defect_id).page())
+            if result.outcome is Outcome.COMPROMISED:
+                compromises += 1
+            elif result.outcome is Outcome.COMPLETED:
+                attack_survivals[defect_id] += 1
+        else:
+            index = rng.randrange(len(legit))
+            result = clearview.run(legit[index])
+            if result.outcome is not Outcome.COMPLETED or \
+                    result.output != reference[index]:
+                wrong_outputs += 1
+
+    # No attack ever ran injected code; no legitimate page ever broke.
+    assert compromises == 0
+    assert wrong_outputs == 0
+    # Every attacked defect ended up patched and surviving.
+    for defect_id, survivals in attack_survivals.items():
+        assert survivals > 0, f"{defect_id} never survived"
+    patched = [session for session in clearview.sessions.values()
+               if session.state is SessionState.PATCHED]
+    assert len(patched) == len(ATTACKS)
+    # Patch scores kept climbing (continuous evaluation, §2.6).
+    for session in patched:
+        assert session.current_repair.successes >= 2
+    # The learning pages still render, too.
+    for page in learning_pages():
+        assert clearview.run(page).outcome is Outcome.COMPLETED
