@@ -1,0 +1,104 @@
+"""Perf-trajectory entry point: measure the kernel, append to the log.
+
+Runs the :mod:`perf_kernel` harness and appends one record per
+configuration to ``BENCH_kernel.json`` at the repo root, so the file
+accumulates a per-commit performance history (a Perun-style performance
+version log)::
+
+    {"commit": "...", "timestamp": "...", "config_label": "bare",
+     "instructions_per_sec": ..., "steps": ...}
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src python benchmarks/run_bench.py            # full run
+    PYTHONPATH=src python benchmarks/run_bench.py --quick    # smoke mode
+    PYTHONPATH=src python benchmarks/run_bench.py --dry-run  # no write
+
+``--quick`` trims the workload to a few pages and one repeat — cheap
+enough for the tier-1 flow — and by default does *not* write to the
+trajectory file (quick numbers are noisy; pass ``--write`` to force).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import subprocess
+import sys
+from datetime import datetime, timezone
+
+if __package__ in (None, ""):
+    # Allow `python benchmarks/run_bench.py` without install.
+    sys.path.insert(0, str(pathlib.Path(__file__).parent))
+from perf_kernel import run_kernel_bench  # noqa: E402
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+TRAJECTORY = REPO_ROOT / "BENCH_kernel.json"
+
+
+def current_commit() -> str:
+    """The current git commit hash, or "unknown" outside a checkout."""
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "HEAD"], cwd=REPO_ROOT, check=True,
+            capture_output=True, text=True).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def load_trajectory(path: pathlib.Path = TRAJECTORY) -> list[dict]:
+    """The accumulated perf records (empty if the log does not exist)."""
+    if not path.exists():
+        return []
+    text = path.read_text().strip()
+    if not text:
+        return []
+    return json.loads(text)
+
+
+def append_records(records: list[dict],
+                   path: pathlib.Path = TRAJECTORY) -> None:
+    """Append *records* to the trajectory file (a JSON array)."""
+    trajectory = load_trajectory(path)
+    trajectory.extend(records)
+    path.write_text(json.dumps(trajectory, indent=2) + "\n")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Measure kernel instructions/sec and append to "
+                    "BENCH_kernel.json")
+    parser.add_argument("--quick", action="store_true",
+                        help="smoke mode: few pages, one repeat, "
+                             "no write unless --write")
+    parser.add_argument("--write", action="store_true",
+                        help="write to the trajectory file even in "
+                             "--quick mode")
+    parser.add_argument("--dry-run", action="store_true",
+                        help="measure and print, never write")
+    args = parser.parse_args(argv)
+
+    commit = current_commit()
+    timestamp = datetime.now(timezone.utc).isoformat(timespec="seconds")
+    records = []
+    for bench in run_kernel_bench(quick=args.quick):
+        record = {"commit": commit, "timestamp": timestamp,
+                  "quick": args.quick}
+        record.update(bench.as_dict())
+        records.append(record)
+        print(f"{record['config_label']:>10}: "
+              f"{record['instructions_per_sec']:>12,.1f} instr/sec "
+              f"({record['steps']} steps in {record['seconds']:.3f}s)")
+
+    should_write = not args.dry_run and (not args.quick or args.write)
+    if should_write:
+        append_records(records)
+        print(f"appended {len(records)} records to {TRAJECTORY}")
+    else:
+        print("(not written to the trajectory file)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

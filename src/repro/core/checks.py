@@ -9,6 +9,12 @@ Single-variable invariants are checked at the variable's instruction.
 Two-variable invariants are checked at the *second* instruction to
 execute, with an auxiliary patch at the first instruction capturing the
 first variable's value for later retrieval.
+
+Check patches dispatch through the patch manager's pc-anchored routing:
+deploying checks for a failure perturbs only the anchored instructions,
+and withdrawing them after classification (§2.4.3) returns the
+application to anchor-free execution — the reproduction's analogue of
+the paper's "temporarily increased overhead during repair search".
 """
 
 from __future__ import annotations

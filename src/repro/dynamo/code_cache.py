@@ -20,7 +20,7 @@ from repro.dynamo.blocks import BasicBlock, BlockMap
 from repro.vm.binary import Binary
 from repro.vm.cpu import CPU
 from repro.vm.hooks import ExecutionHook
-from repro.vm.isa import Instruction
+from repro.vm.isa import CONDITIONAL_JUMPS, INSTRUCTION_SIZE, Instruction
 
 #: Synthetic work units charged per block build (cache warm-up model).
 BLOCK_BUILD_COST = 25
@@ -41,12 +41,23 @@ class CachePlugin:
 class CodeCache(ExecutionHook):
     """Tracks cached blocks and drives plugins; attaches to a CPU as a hook.
 
+    Cache maintenance is *event routed* rather than per-instruction: the
+    cache subscribes to ``on_transfer`` (every transfer target is a block
+    entry) and anchors a ``before_instruction`` probe at each known block
+    start (to catch ejected blocks reached by fall-through) and at each
+    conditional branch's fall-through frontier (to catch straight-line
+    execution entering undiscovered territory).  Inside a cached block,
+    execution proceeds with no cache involvement at all — the
+    DynamoRIO-style "executing out of the cache" fast case.
+
     Statistics:
 
     - ``builds``: number of block constructions (cache misses), including
       rebuilds after ejection.
     - ``warmup_cost``: accumulated synthetic build cost.
     """
+
+    pc_anchored = True
 
     def __init__(self, binary: Binary):
         self.block_map = BlockMap(binary)
@@ -56,9 +67,47 @@ class CodeCache(ExecutionHook):
         self.ejections = 0
         self.warmup_cost = 0
         self.restored_blocks = 0
+        self._bus = None
+        self._anchored: set[int] = set()
 
     def add_plugin(self, plugin: CachePlugin) -> None:
         self.plugins.append(plugin)
+
+    # -- bus wiring -------------------------------------------------------
+
+    def bus_attached(self, bus) -> None:
+        self._bus = bus
+        self._anchored = set()
+        self._anchor_all()
+
+    def bus_detached(self, bus) -> None:
+        for pc in self._anchored:
+            bus.unanchor(self, pc, "before")
+        self._anchored = set()
+        self._bus = None
+
+    def _anchor_all(self) -> None:
+        """(Re-)anchor the entry point and every known block."""
+        self._anchor_pc(self.block_map.binary.entry_point)
+        for block in self.block_map.blocks.values():
+            self._anchor_block(block)
+
+    def _anchor_pc(self, pc: int) -> None:
+        if self._bus is not None and pc not in self._anchored:
+            self._anchored.add(pc)
+            self._bus.anchor(self, pc, "before")
+
+    def _anchor_block(self, block: BasicBlock) -> None:
+        """Anchor *block*'s start and, if it can fall through into
+        undiscovered code, its fall-through frontier."""
+        self._anchor_pc(block.start)
+        if block.truncated:
+            return  # falls through into an existing (anchored) block
+        if block.terminator.opcode in CONDITIONAL_JUMPS:
+            frontier = block.end
+            if frontier < len(self.block_map.binary.code) and \
+                    self.block_map.block_of(frontier) is None:
+                self._anchor_pc(frontier)
 
     # -- cache operations -------------------------------------------------
 
@@ -71,6 +120,7 @@ class CodeCache(ExecutionHook):
             self.warmup_cost += BLOCK_BUILD_COST
             for plugin in self.plugins:
                 plugin.on_block_build(self, block)
+        self._anchor_block(block)
         return block
 
     def eject(self, start: int) -> bool:
@@ -119,11 +169,14 @@ class CodeCache(ExecutionHook):
         self.block_map = block_map
         self._cached = set(cached)
         self.restored_blocks = len(cached)
+        if self._bus is not None:
+            self._anchor_all()
 
     # -- hook dispatch ------------------------------------------------------
 
     def before_instruction(self, cpu: CPU, pc: int,
                            instruction: Instruction) -> int | None:
+        """Anchored probe: fires only at block starts and frontiers."""
         block = self.block_map.block_of(pc)
         if block is None:
             # Control arrived at an address no discovered block covers:
@@ -134,3 +187,19 @@ class CodeCache(ExecutionHook):
             # plugins, so fresh instrumentation/patches take effect).
             self.ensure_cached(pc)
         return None
+
+    def on_transfer(self, cpu: CPU, pc: int, kind: str,
+                    target: int) -> None:
+        """Every control transfer enters a block; cache it on arrival.
+
+        Guarded by the same validity condition Memory Firewall enforces:
+        a target outside the code segment (or misaligned) is about to
+        fault, so it must not be decoded into the block map.
+        """
+        block = self.block_map.block_of(target)
+        if block is None:
+            if cpu.memory.in_code(target) and \
+                    target % INSTRUCTION_SIZE == 0:
+                self.ensure_cached(target)
+        elif target == block.start and target not in self._cached:
+            self.ensure_cached(target)

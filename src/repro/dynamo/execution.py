@@ -182,9 +182,14 @@ class ManagedEnvironment:
         patch_manager = PatchManager(code_cache)
         shadow_stack = ShadowStack() if self.config.shadow_stack else None
 
-        # Hook order matters: the code cache first (block discovery), then
-        # monitors (they may veto transfers), then patches (they act on
-        # application state), then any extra instrumentation.
+        # Registration order fixes intra-event dispatch order: the code
+        # cache first (block discovery at transfers), then monitors (they
+        # may veto transfers), then patches (they act on application
+        # state), then any extra instrumentation.  The bus routes each
+        # hook to just the events it subscribes to, so a fully protected
+        # instance still runs the kernel's no-granular-subscriber fast
+        # path: the cache and the patch manager are pc-anchored, and the
+        # monitors ride the transfer/store events.
         cpu.add_hook(code_cache)
         if self.config.memory_firewall:
             cpu.add_hook(MemoryFirewall())

@@ -8,10 +8,13 @@ and auxiliary value-capture patches (store a first variable's value for a
 later two-variable check, §2.4.2).
 
 The :class:`PatchManager` is the Determina patch-management analogue: it
-applies and removes patches to and from a *running* CPU without restarts,
-by registering itself as an execution hook and dispatching per-address.
-Applying or removing a patch ejects the owning block from the code cache,
-mirroring how Determina re-materialises patched blocks.
+applies and removes patches to and from a *running* CPU without restarts.
+It is a *pc-anchored* execution hook: instead of being consulted before
+and after every instruction, it registers each patched address on the
+:class:`~repro.vm.hooks.HookBus`, so patch dispatch is O(1) at anchor pcs
+and completely free everywhere else.  Applying or removing a patch ejects
+the owning block from the code cache, mirroring how Determina
+re-materialises patched blocks.
 """
 
 from __future__ import annotations
@@ -63,26 +66,56 @@ class PatchManager(ExecutionHook):
 
     One manager is attached per CPU (per application instance).  Multiple
     patches may target the same address; they run in application order.
+
+    The manager keeps the bus routing tables in sync with its patch set:
+    the first patch at an address anchors it, removing the last one
+    releases the anchor.  Patches applied before the manager is attached
+    to a CPU are anchored at attach time.
     """
+
+    pc_anchored = True
 
     def __init__(self, code_cache: "CodeCache | None" = None):
         self._by_pc: dict[int, list[Patch]] = {}
         self._after_by_pc: dict[int, list[Patch]] = {}
         self._applied: dict[int, Patch] = {}
         self.code_cache = code_cache
+        self._bus = None
         #: Count of patch executions, for overhead accounting.
         self.executions = 0
+
+    # -- bus wiring -----------------------------------------------------
+
+    def bus_attached(self, bus) -> None:
+        self._bus = bus
+        for pc in self._by_pc:
+            bus.anchor(self, pc, "before")
+        for pc in self._after_by_pc:
+            bus.anchor(self, pc, "after")
+
+    def bus_detached(self, bus) -> None:
+        for pc in self._by_pc:
+            bus.unanchor(self, pc, "before")
+        for pc in self._after_by_pc:
+            bus.unanchor(self, pc, "after")
+        self._bus = None
 
     # -- management api -------------------------------------------------
 
     def _table(self, patch: Patch) -> dict[int, list[Patch]]:
         return self._after_by_pc if patch.when == "after" else self._by_pc
 
+    def _when(self, patch: Patch) -> str:
+        return "after" if patch.when == "after" else "before"
+
     def apply(self, patch: Patch) -> None:
         """Install *patch* into the running application."""
         if patch.patch_id in self._applied:
             raise PatchError(f"patch {patch.patch_id} is already applied")
-        self._table(patch).setdefault(patch.pc, []).append(patch)
+        sites = self._table(patch).setdefault(patch.pc, [])
+        if not sites and self._bus is not None:
+            self._bus.anchor(self, patch.pc, self._when(patch))
+        sites.append(patch)
         self._applied[patch.patch_id] = patch
         self._eject(patch.pc)
 
@@ -95,6 +128,8 @@ class PatchManager(ExecutionHook):
         table[patch.pc].remove(patch)
         if not table[patch.pc]:
             del table[patch.pc]
+            if self._bus is not None:
+                self._bus.unanchor(self, patch.pc, self._when(patch))
         self._eject(patch.pc)
 
     def remove_all(self, predicate=None) -> int:

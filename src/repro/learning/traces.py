@@ -31,6 +31,12 @@ class _Activation:
 class TraceFrontEnd(ExecutionHook):
     """Streams operand observations into an inference engine.
 
+    Subscribes to ``on_operands`` (via ``wants_operands``, which also
+    tells the CPU to build the observation records — the paper's
+    learning overhead), plus ``on_transfer``/``on_return`` for its
+    activation shadow.  Attaching a front end is what forces the kernel
+    off its fast path: operand observation is inherently per-instruction.
+
     Parameters
     ----------
     engine:

@@ -5,6 +5,12 @@ for erroneous executions, supplies a *failure location* — the program
 counter where the failure was detected.  Monitors must have no false
 positives; they terminate the application on detection by raising
 :class:`~repro.errors.MonitorDetection`.
+
+Monitors are subscription-routed hooks: each subclass overrides only the
+events it needs (Memory Firewall ``on_transfer``, Heap Guard
+``on_store``), so the CPU consults a monitor exactly when its event
+occurs — the Table 2 overhead of a configuration is the sum of its
+subscriptions, not a per-instruction tax.
 """
 
 from __future__ import annotations

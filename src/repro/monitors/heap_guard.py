@@ -21,6 +21,8 @@ class HeapGuard(Monitor):
 
     Requires the CPU's heap allocator to have been created with
     ``guard_canaries=True`` (the managed environment arranges this).
+    Subscribes to ``on_store`` only; its cost (and the old-value read
+    the CPU performs to feed it) is paid exclusively at program writes.
     """
 
     name = "heap-guard"

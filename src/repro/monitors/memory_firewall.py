@@ -37,6 +37,10 @@ _VALIDATED_KINDS = frozenset({
 class MemoryFirewall(Monitor):
     """Detects illegal control flow transfers.
 
+    Subscribes to ``on_transfer`` only — exactly the event set program
+    shepherding instruments, so enabling the firewall leaves
+    straight-line execution untouched.
+
     Zero false positives by construction: any target that is a legitimate
     instruction address in the code segment passes.  (The paper's stronger
     policy — restricting targets to previously observed entry points — is

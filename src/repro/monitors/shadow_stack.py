@@ -30,7 +30,11 @@ class ShadowFrame:
 
 
 class ShadowStack(ExecutionHook):
-    """Maintains the shadow call stack; not a failure detector itself."""
+    """Maintains the shadow call stack; not a failure detector itself.
+
+    Subscribes to ``on_transfer`` (call frames, patch unwinds) and
+    ``on_return`` only — straight-line execution never consults it.
+    """
 
     def __init__(self):
         self.frames: list[ShadowFrame] = []

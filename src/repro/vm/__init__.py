@@ -13,7 +13,12 @@ from repro.vm.binary import Binary, encode_instructions
 from repro.vm.cpu import CPU, DEFAULT_MAX_STEPS
 from repro.vm.disasm import context_listing, disassemble
 from repro.vm.heap import CANARY, Allocation, HeapAllocator
-from repro.vm.hooks import ExecutionHook, OperandObservation, TransferKind
+from repro.vm.hooks import (
+    ExecutionHook,
+    HookBus,
+    OperandObservation,
+    TransferKind,
+)
 from repro.vm.isa import (
     INSTRUCTION_SIZE,
     WORD_SIZE,
@@ -40,6 +45,7 @@ __all__ = [
     "Allocation",
     "HeapAllocator",
     "ExecutionHook",
+    "HookBus",
     "OperandObservation",
     "TransferKind",
     "INSTRUCTION_SIZE",

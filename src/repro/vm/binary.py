@@ -28,6 +28,16 @@ class Binary:
     symbols: dict[str, int] = field(default_factory=dict)
     #: Debug-only reverse map from instruction address to source text.
     listing: dict[int, str] = field(default_factory=dict)
+    #: Memoised full-image decode (the image is immutable, every CPU
+    #: launched on this binary shares one decoded view). Excluded from
+    #: comparison/repr: it is derived state, not part of the image.
+    _decoded_cache: "dict[int, Instruction] | None" = field(
+        default=None, init=False, repr=False, compare=False)
+    #: Opaque slot for the interpreter's threaded-code view of the
+    #: image (populated and read by :mod:`repro.vm.cpu`; kept here so
+    #: it is shared across CPUs like the decode cache).
+    _threaded_cache: "dict | None" = field(
+        default=None, init=False, repr=False, compare=False)
 
     @property
     def instruction_count(self) -> int:
@@ -50,9 +60,16 @@ class Binary:
         return Instruction.decode(words)  # type: ignore[arg-type]
 
     def decode_all(self) -> dict[int, Instruction]:
-        """Decode the full image into an address -> instruction map."""
-        return {address: self.decode_at(address)
-                for address in self.instruction_addresses()}
+        """Decode the full image into an address -> instruction map.
+
+        The map is computed once and shared (instructions are frozen);
+        callers must treat it as read-only.
+        """
+        if self._decoded_cache is None:
+            self._decoded_cache = {address: self.decode_at(address)
+                                   for address in
+                                   self.instruction_addresses()}
+        return self._decoded_cache
 
     def stripped(self) -> "Binary":
         """Return a copy with all debug information removed.

@@ -2,8 +2,19 @@
 
 The CPU executes a loaded :class:`~repro.vm.binary.Binary` image directly
 from memory.  All interesting behaviour — monitoring, tracing, patching —
-is layered on via :class:`~repro.vm.hooks.ExecutionHook` instances; the
-interpreter itself is policy-free.
+is layered on via :class:`~repro.vm.hooks.ExecutionHook` instances routed
+through a :class:`~repro.vm.hooks.HookBus`; the interpreter itself is
+policy-free.
+
+Execution is table driven: each opcode indexes ``_DISPATCH`` to its
+handler, and events reach only their subscribers.  When nothing
+subscribes to the per-instruction events (``before_instruction``,
+``after_instruction``, operand observation), :meth:`CPU.run` drops into a
+fast inner loop that skips event dispatch entirely and probes only the
+pc-anchored routing tables (where patches and the code cache live), so a
+fully monitored run and a bare run execute bit-identically — the monitors
+still see every store and transfer — while the bare run pays none of the
+hook plumbing.
 
 Attack semantics: a control transfer whose target lies outside the code
 segment raises :class:`~repro.errors.CodeInjectionExecuted` *at the
@@ -26,7 +37,12 @@ from repro.errors import (
 from repro.vm.assembler import ABSOLUTE_BASE
 from repro.vm.binary import Binary
 from repro.vm.heap import HeapAllocator
-from repro.vm.hooks import ExecutionHook, OperandObservation, TransferKind
+from repro.vm.hooks import (
+    ExecutionHook,
+    HookBus,
+    OperandObservation,
+    TransferKind,
+)
 from repro.vm.isa import (
     INSTRUCTION_SIZE,
     WORD_MASK,
@@ -42,9 +58,12 @@ from repro.vm.memory import Memory
 #: Default instruction budget; generous for the workloads in this repo.
 DEFAULT_MAX_STEPS = 5_000_000
 
+#: Hoisted for the hot operand-resolution comparisons in the handlers.
+_REG = OperandKind.REGISTER
+
 
 class CPU:
-    """A MiniX86 machine instance: registers, memory, heap, hooks."""
+    """A MiniX86 machine instance: registers, memory, heap, hook bus."""
 
     def __init__(self, binary: Binary, memory: Memory | None = None,
                  guard_canaries: bool = False,
@@ -63,28 +82,49 @@ class CPU:
         self.halted = False
         self.steps = 0
         self.max_steps = max_steps
-        self.hooks: list[ExecutionHook] = []
-        self._operand_hooks: list[ExecutionHook] = []
+        bus = HookBus()
+        self.bus = bus
+        # The bus mutates its dispatch lists and routing dicts in place,
+        # so the CPU aliases them once and iterates without indirection.
+        # ``hooks`` doubles as the registration-order view callers
+        # (e.g. the repair layer) inspect.
+        self.hooks = bus.hooks
+        self._operand_hooks = bus.operands
+        self._before = bus.before
+        self._after = bus.after
+        self._stores = bus.store
+        self._transfers = bus.transfer
+        self._returns = bus.ret
+        self._allocs = bus.alloc
+        self._frees = bus.free
+        self._before_pc = bus.before_pc
+        self._after_pc = bus.after_pc
         #: Cache of decoded instructions, keyed by address. Invalidated
         #: never: the code segment is immutable after load (patches live in
         #: the dynamo layer, not here).
         self._decoded: dict[int, Instruction] = binary.decode_all()
+        #: Threaded-code view of the image: pc -> (handler, instruction),
+        #: so the fast loop resolves fetch and dispatch in one probe.
+        #: Derived purely from the (immutable) image, so it is built once
+        #: per binary and shared by every CPU launched on it.
+        code = binary._threaded_cache
+        if code is None:
+            code = {pc: (_DISPATCH[ins.opcode], ins)
+                    for pc, ins in self._decoded.items()}
+            binary._threaded_cache = code
+        self._code: dict[int, tuple] = code
 
     # ------------------------------------------------------------------
     # Hook management
     # ------------------------------------------------------------------
 
     def add_hook(self, hook: ExecutionHook) -> None:
-        """Attach *hook*; operand-hungry hooks are tracked separately."""
-        self.hooks.append(hook)
-        if hook.wants_operands:
-            self._operand_hooks.append(hook)
+        """Attach *hook*; the bus routes it to the events it overrides."""
+        self.bus.subscribe(hook)
 
     def remove_hook(self, hook: ExecutionHook) -> None:
-        """Detach *hook*."""
-        self.hooks.remove(hook)
-        if hook in self._operand_hooks:
-            self._operand_hooks.remove(hook)
+        """Detach *hook* from every event."""
+        self.bus.unsubscribe(hook)
 
     # ------------------------------------------------------------------
     # Register / flag helpers
@@ -105,11 +145,16 @@ class CPU:
 
     def _condition(self, opcode: Opcode) -> bool:
         left, right = self._flag_left, self._flag_right
-        sleft, sright = to_signed(left), to_signed(right)
+        # Unsigned comparisons first: they need no sign conversion.
         if opcode == Opcode.JE:
             return left == right
         if opcode == Opcode.JNE:
             return left != right
+        if opcode == Opcode.JB:
+            return left < right
+        if opcode == Opcode.JAE:
+            return left >= right
+        sleft, sright = to_signed(left), to_signed(right)
         if opcode == Opcode.JL:
             return sleft < sright
         if opcode == Opcode.JLE:
@@ -118,10 +163,6 @@ class CPU:
             return sleft > sright
         if opcode == Opcode.JGE:
             return sleft >= sright
-        if opcode == Opcode.JB:
-            return left < right
-        if opcode == Opcode.JAE:
-            return left >= right
         raise InvalidInstruction(f"not a condition: {opcode}", pc=self.pc)
 
     # ------------------------------------------------------------------
@@ -134,32 +175,37 @@ class CPU:
         return (self.registers[base] + disp) & WORD_MASK
 
     def store_word(self, address: int, value: int, pc: int) -> None:
-        """Program-visible word store; notifies hooks (Heap Guard)."""
-        if self.hooks:
+        """Program-visible word store; notifies subscribers (Heap Guard)."""
+        subscribers = self._stores
+        if subscribers:
             old_value = self.memory.read_word(address)
+            self.memory.write_word(address, value)
+            for hook in tuple(subscribers):
+                hook.on_store(self, pc, address, WORD_SIZE,
+                              value & WORD_MASK, old_value)
         else:
-            old_value = 0
-        self.memory.write_word(address, value)
-        for hook in self.hooks:
-            hook.on_store(self, pc, address, WORD_SIZE,
-                          value & WORD_MASK, old_value)
+            self.memory.write_word(address, value)
 
     def store_byte(self, address: int, value: int, pc: int) -> None:
-        """Program-visible byte store; notifies hooks.
+        """Program-visible byte store; notifies subscribers.
 
         The ``old_value`` delivered to hooks is the word containing the
         byte (read at the aligned address), so Heap Guard's canary test
         works for byte-granularity overruns too.
         """
+        subscribers = self._stores
+        if not subscribers:
+            self.memory.write_byte(address, value)
+            return
         aligned = address & ~(WORD_SIZE - 1)
         old_value = 0
-        if self.hooks and aligned + WORD_SIZE <= self.memory.stack_top:
+        if aligned + WORD_SIZE <= self.memory.stack_top:
             try:
                 old_value = self.memory.read_word(aligned)
             except MemoryFault:
                 old_value = 0
         self.memory.write_byte(address, value)
-        for hook in self.hooks:
+        for hook in tuple(subscribers):
             hook.on_store(self, pc, address, 1, value & 0xFF, old_value)
 
     # ------------------------------------------------------------------
@@ -311,7 +357,7 @@ class CPU:
         return instruction
 
     def step(self) -> None:
-        """Execute one instruction."""
+        """Execute one instruction with full event dispatch."""
         if self.halted:
             return
         if self.steps >= self.max_steps:
@@ -322,14 +368,24 @@ class CPU:
         pc = self.pc
         instruction = self.fetch(pc)
 
+        # Dispatch iterates snapshots: a hook may subscribe/unsubscribe
+        # (or apply/remove patches) from inside its callback without
+        # perturbing this instruction's remaining deliveries.
         redirect: int | None = None
-        for hook in self.hooks:
+        before = self._before
+        anchored = self._before_pc.get(pc)
+        if anchored is not None:
+            subscribers = self.bus.ordered(before + anchored) \
+                if before else tuple(anchored)
+        else:
+            subscribers = tuple(before)
+        for hook in subscribers:
             result = hook.before_instruction(self, pc, instruction)
             if result is not None:
                 redirect = result
         if self._operand_hooks:
             observation = self.observe_operands(pc, instruction)
-            for hook in self._operand_hooks:
+            for hook in tuple(self._operand_hooks):
                 hook.on_operands(self, observation)
         if redirect is not None:
             # A patch redirected control; skip the original instruction.
@@ -339,20 +395,105 @@ class CPU:
             self.pc = self._transfer(pc, TransferKind.PATCH, redirect)
             return
 
-        self.pc = self._execute(pc, instruction)
+        self.pc = _DISPATCH[instruction.opcode](self, pc, instruction)
 
-        for hook in self.hooks:
+        after = self._after
+        anchored = self._after_pc.get(pc)
+        if anchored is not None:
+            subscribers = self.bus.ordered(after + anchored) \
+                if after else tuple(anchored)
+        else:
+            subscribers = tuple(after)
+        for hook in subscribers:
             hook.after_instruction(self, pc, instruction)
 
     def run(self, max_steps: int | None = None) -> None:
-        """Run until HALT (or an exception propagates)."""
+        """Run until HALT (or an exception propagates).
+
+        Chooses between two loops per dispatch configuration: the full
+        :meth:`step` loop whenever any hook subscribes to a granular
+        per-instruction event, and :meth:`_run_unhooked` otherwise.  The
+        bus version gates both, so subscribing or unsubscribing mid-run
+        (adaptive policies, staged learning) switches loops at the next
+        instruction boundary.
+        """
         if max_steps is not None:
             self.max_steps = max_steps
+        bus = self.bus
         while not self.halted:
-            self.step()
+            version = bus.version
+            if bus.before or bus.after or bus.operands:
+                step = self.step
+                while not self.halted and bus.version == version:
+                    step()
+            else:
+                self._run_unhooked()
+
+    def _run_unhooked(self) -> None:
+        """Fast inner loop: no granular subscribers, anchors only.
+
+        Returns when the machine halts, or when the bus version moves
+        (a subscription change may require the full loop).  Anchored
+        before/after routing is honoured via one dict probe per
+        instruction; store/transfer/alloc events still reach their
+        subscribers through the opcode handlers, so monitors see exactly
+        what they would in the full loop.
+
+        ``pc`` and ``steps`` live in locals for speed and are
+        synchronised back to the CPU at anchored dispatch points and on
+        every exit (including exceptions), so outcome classification and
+        ``interrupted_pc`` match the full loop exactly.  Subscribers that
+        need per-instruction CPU state beyond their event arguments
+        should subscribe to a granular event instead.
+        """
+        bus = self.bus
+        version = bus.version
+        code_get = self._code.get
+        before_pc_get = self._before_pc.get
+        after_pc = self._after_pc
+        max_steps = self.max_steps
+        steps = self.steps
+        pc = self.pc
+        try:
+            while not self.halted and bus.version == version:
+                if steps >= max_steps:
+                    raise ExecutionLimitExceeded(
+                        f"exceeded {max_steps} steps", pc=pc)
+                steps += 1
+                entry = code_get(pc)
+                if entry is None:
+                    self.fetch(pc)  # raises the precise fault for this pc
+                handler, instruction = entry
+                anchored = before_pc_get(pc)
+                if anchored is not None:
+                    self.steps = steps
+                    self.pc = pc
+                    redirect = None
+                    for hook in tuple(anchored):
+                        result = hook.before_instruction(self, pc,
+                                                         instruction)
+                        if result is not None:
+                            redirect = result
+                    if redirect is not None:
+                        pc = self._transfer(pc, TransferKind.PATCH,
+                                            redirect)
+                        continue
+                here = pc
+                pc = handler(self, here, instruction)
+                if after_pc:
+                    anchored = after_pc.get(here)
+                    if anchored is not None:
+                        self.steps = steps
+                        self.pc = pc
+                        for hook in tuple(anchored):
+                            hook.after_instruction(self, here, instruction)
+                        pc = self.pc  # an after-patch may have redirected
+        finally:
+            self.steps = steps
+            self.pc = pc
 
     # ------------------------------------------------------------------
-    # Instruction semantics
+    # Instruction semantics (one handler per opcode; see _DISPATCH)
     # ------------------------------------------------------------------
 
     def _operand_b(self, instruction: Instruction) -> int:
@@ -362,8 +503,10 @@ class CPU:
 
     def _transfer(self, pc: int, kind: str, target: int) -> int:
         """Announce and validate a control transfer; return the target."""
-        for hook in self.hooks:
-            hook.on_transfer(self, pc, kind, target)
+        subscribers = self._transfers
+        if subscribers:
+            for hook in tuple(subscribers):
+                hook.on_transfer(self, pc, kind, target)
         if not self.memory.in_code(target):
             raise CodeInjectionExecuted(
                 f"{kind} to non-code address {target:#x}", pc=pc)
@@ -386,120 +529,275 @@ class CPU:
         self.registers[Register.ESP] = esp + WORD_SIZE
         return value
 
-    def _execute(self, pc: int, ins: Instruction) -> int:
-        """Apply *ins* and return the next pc."""
-        op = ins.opcode
+    def _op_mov(self, pc: int, ins: Instruction) -> int:
         regs = self.registers
-        next_pc = pc + INSTRUCTION_SIZE
+        regs[ins.a] = (regs[ins.b] if ins.b_kind == _REG
+                       else ins.b) & WORD_MASK
+        return pc + INSTRUCTION_SIZE
 
-        if op == Opcode.MOV:
-            self.set_register(ins.a, self._operand_b(ins))
-        elif op == Opcode.LOAD:
-            address = self._effective_address(ins.b, ins.c)
-            self.set_register(ins.a, self.memory.read_word(address))
-        elif op == Opcode.LOADB:
-            address = self._effective_address(ins.b, ins.c)
-            self.set_register(ins.a, self.memory.read_byte(address))
-        elif op == Opcode.STORE:
-            address = self._effective_address(ins.a, ins.c)
-            self.store_word(address, regs[ins.b], pc)
-        elif op == Opcode.STOREB:
-            address = self._effective_address(ins.a, ins.c)
-            self.store_byte(address, regs[ins.b], pc)
-        elif op == Opcode.LEA:
-            self.set_register(ins.a, self._effective_address(ins.b, ins.c))
-        elif op == Opcode.ADD:
-            self.set_register(ins.a, regs[ins.a] + self._operand_b(ins))
-        elif op == Opcode.SUB:
-            self.set_register(ins.a, regs[ins.a] - self._operand_b(ins))
-        elif op == Opcode.MUL:
-            self.set_register(ins.a, regs[ins.a] * self._operand_b(ins))
-        elif op == Opcode.DIV:
-            divisor = self._operand_b(ins)
-            if divisor == 0:
-                raise DivisionByZero("division by zero", pc=pc)
-            self.set_register(ins.a, regs[ins.a] // divisor)
-        elif op == Opcode.AND:
-            self.set_register(ins.a, regs[ins.a] & self._operand_b(ins))
-        elif op == Opcode.OR:
-            self.set_register(ins.a, regs[ins.a] | self._operand_b(ins))
-        elif op == Opcode.XOR:
-            self.set_register(ins.a, regs[ins.a] ^ self._operand_b(ins))
-        elif op == Opcode.SHL:
-            self.set_register(ins.a,
-                              regs[ins.a] << (self._operand_b(ins) & 31))
-        elif op == Opcode.SHR:
-            self.set_register(ins.a,
-                              regs[ins.a] >> (self._operand_b(ins) & 31))
-        elif op == Opcode.SAR:
-            self.set_register(
-                ins.a, to_signed(regs[ins.a]) >> (self._operand_b(ins) & 31))
-        elif op == Opcode.NEG:
-            self.set_register(ins.a, -to_signed(regs[ins.a]))
-        elif op == Opcode.NOT:
-            self.set_register(ins.a, ~regs[ins.a])
-        elif op in (Opcode.CMP, Opcode.TEST):
-            left = regs[ins.a]
-            right = self._operand_b(ins)
-            if op == Opcode.TEST:
-                self._set_flags(left & right, 0)
-            else:
-                self._set_flags(left, right)
-        elif op == Opcode.JMP:
-            next_pc = self._transfer(pc, TransferKind.JUMP, ins.a)
-        elif op == Opcode.JMPR:
-            next_pc = self._transfer(pc, TransferKind.INDIRECT_JUMP,
-                                     regs[ins.a])
-        elif op.value in range(Opcode.JE, Opcode.JAE + 1) and \
-                op not in (Opcode.JMPR,):
-            if self._condition(op):
-                next_pc = self._transfer(pc, TransferKind.BRANCH, ins.a)
-        elif op == Opcode.PUSH:
-            self._push(self._operand_b(ins), pc)
-        elif op == Opcode.POP:
-            self.set_register(ins.a, self._pop(pc))
-        elif op == Opcode.CALL:
-            self._push(next_pc, pc)
-            next_pc = self._transfer(pc, TransferKind.CALL, ins.a)
-        elif op == Opcode.CALLR:
-            self._push(next_pc, pc)
-            next_pc = self._transfer(pc, TransferKind.INDIRECT_CALL,
-                                     regs[ins.a])
-        elif op == Opcode.RET:
-            target = self._pop(pc)
-            next_pc = self._transfer(pc, TransferKind.RETURN, target)
-            for hook in self.hooks:
+    def _op_load(self, pc: int, ins: Instruction) -> int:
+        base = ins.b
+        address = (ins.c if base == ABSOLUTE_BASE
+                   else self.registers[base] + ins.c) & WORD_MASK
+        self.registers[ins.a] = self.memory.read_word(address)
+        return pc + INSTRUCTION_SIZE
+
+    def _op_loadb(self, pc: int, ins: Instruction) -> int:
+        base = ins.b
+        address = (ins.c if base == ABSOLUTE_BASE
+                   else self.registers[base] + ins.c) & WORD_MASK
+        self.registers[ins.a] = self.memory.read_byte(address)
+        return pc + INSTRUCTION_SIZE
+
+    def _op_store(self, pc: int, ins: Instruction) -> int:
+        base = ins.a
+        address = (ins.c if base == ABSOLUTE_BASE
+                   else self.registers[base] + ins.c) & WORD_MASK
+        self.store_word(address, self.registers[ins.b], pc)
+        return pc + INSTRUCTION_SIZE
+
+    def _op_storeb(self, pc: int, ins: Instruction) -> int:
+        base = ins.a
+        address = (ins.c if base == ABSOLUTE_BASE
+                   else self.registers[base] + ins.c) & WORD_MASK
+        self.store_byte(address, self.registers[ins.b], pc)
+        return pc + INSTRUCTION_SIZE
+
+    def _op_lea(self, pc: int, ins: Instruction) -> int:
+        base = ins.b
+        self.registers[ins.a] = (
+            ins.c if base == ABSOLUTE_BASE
+            else self.registers[base] + ins.c) & WORD_MASK
+        return pc + INSTRUCTION_SIZE
+
+    def _op_add(self, pc: int, ins: Instruction) -> int:
+        regs = self.registers
+        regs[ins.a] = (regs[ins.a] + (regs[ins.b] if ins.b_kind == _REG
+                                      else ins.b)) & WORD_MASK
+        return pc + INSTRUCTION_SIZE
+
+    def _op_sub(self, pc: int, ins: Instruction) -> int:
+        regs = self.registers
+        regs[ins.a] = (regs[ins.a] - (regs[ins.b] if ins.b_kind == _REG
+                                      else ins.b)) & WORD_MASK
+        return pc + INSTRUCTION_SIZE
+
+    def _op_mul(self, pc: int, ins: Instruction) -> int:
+        regs = self.registers
+        regs[ins.a] = (regs[ins.a] * (regs[ins.b] if ins.b_kind == _REG
+                                      else ins.b)) & WORD_MASK
+        return pc + INSTRUCTION_SIZE
+
+    def _op_div(self, pc: int, ins: Instruction) -> int:
+        divisor = self._operand_b(ins)
+        if divisor == 0:
+            raise DivisionByZero("division by zero", pc=pc)
+        self.set_register(ins.a, self.registers[ins.a] // divisor)
+        return pc + INSTRUCTION_SIZE
+
+    def _op_and(self, pc: int, ins: Instruction) -> int:
+        regs = self.registers
+        regs[ins.a] = (regs[ins.a] & (regs[ins.b] if ins.b_kind == _REG
+                                      else ins.b)) & WORD_MASK
+        return pc + INSTRUCTION_SIZE
+
+    def _op_or(self, pc: int, ins: Instruction) -> int:
+        regs = self.registers
+        regs[ins.a] = (regs[ins.a] | (regs[ins.b] if ins.b_kind == _REG
+                                      else ins.b)) & WORD_MASK
+        return pc + INSTRUCTION_SIZE
+
+    def _op_xor(self, pc: int, ins: Instruction) -> int:
+        regs = self.registers
+        regs[ins.a] = (regs[ins.a] ^ (regs[ins.b] if ins.b_kind == _REG
+                                      else ins.b)) & WORD_MASK
+        return pc + INSTRUCTION_SIZE
+
+    def _op_shl(self, pc: int, ins: Instruction) -> int:
+        regs = self.registers
+        regs[ins.a] = (regs[ins.a] << ((regs[ins.b] if ins.b_kind == _REG
+                                        else ins.b) & 31)) & WORD_MASK
+        return pc + INSTRUCTION_SIZE
+
+    def _op_shr(self, pc: int, ins: Instruction) -> int:
+        regs = self.registers
+        regs[ins.a] = (regs[ins.a] >> ((regs[ins.b] if ins.b_kind == _REG
+                                        else ins.b) & 31)) & WORD_MASK
+        return pc + INSTRUCTION_SIZE
+
+    def _op_sar(self, pc: int, ins: Instruction) -> int:
+        self.set_register(
+            ins.a, to_signed(self.registers[ins.a])
+            >> (self._operand_b(ins) & 31))
+        return pc + INSTRUCTION_SIZE
+
+    def _op_neg(self, pc: int, ins: Instruction) -> int:
+        self.set_register(ins.a, -to_signed(self.registers[ins.a]))
+        return pc + INSTRUCTION_SIZE
+
+    def _op_not(self, pc: int, ins: Instruction) -> int:
+        self.set_register(ins.a, ~self.registers[ins.a])
+        return pc + INSTRUCTION_SIZE
+
+    def _op_cmp(self, pc: int, ins: Instruction) -> int:
+        regs = self.registers
+        self._flag_left = regs[ins.a]
+        self._flag_right = (regs[ins.b] if ins.b_kind == _REG
+                            else ins.b) & WORD_MASK
+        return pc + INSTRUCTION_SIZE
+
+    def _op_test(self, pc: int, ins: Instruction) -> int:
+        regs = self.registers
+        self._flag_left = regs[ins.a] & (
+            regs[ins.b] if ins.b_kind == _REG else ins.b) & WORD_MASK
+        self._flag_right = 0
+        return pc + INSTRUCTION_SIZE
+
+    def _op_jmp(self, pc: int, ins: Instruction) -> int:
+        return self._transfer(pc, TransferKind.JUMP, ins.a)
+
+    def _op_jmpr(self, pc: int, ins: Instruction) -> int:
+        return self._transfer(pc, TransferKind.INDIRECT_JUMP,
+                              self.registers[ins.a])
+
+    def _op_jcc(self, pc: int, ins: Instruction) -> int:
+        if self._condition(ins.opcode):
+            return self._transfer(pc, TransferKind.BRANCH, ins.a)
+        return pc + INSTRUCTION_SIZE
+
+    def _op_push(self, pc: int, ins: Instruction) -> int:
+        regs = self.registers
+        self._push(regs[ins.b] if ins.b_kind == _REG else ins.b, pc)
+        return pc + INSTRUCTION_SIZE
+
+    def _op_pop(self, pc: int, ins: Instruction) -> int:
+        self.registers[ins.a] = self._pop(pc)
+        return pc + INSTRUCTION_SIZE
+
+    def _op_call(self, pc: int, ins: Instruction) -> int:
+        self._push(pc + INSTRUCTION_SIZE, pc)
+        return self._transfer(pc, TransferKind.CALL, ins.a)
+
+    def _op_callr(self, pc: int, ins: Instruction) -> int:
+        self._push(pc + INSTRUCTION_SIZE, pc)
+        return self._transfer(pc, TransferKind.INDIRECT_CALL,
+                              self.registers[ins.a])
+
+    def _op_ret(self, pc: int, ins: Instruction) -> int:
+        target = self._pop(pc)
+        next_pc = self._transfer(pc, TransferKind.RETURN, target)
+        subscribers = self._returns
+        if subscribers:
+            for hook in tuple(subscribers):
                 hook.on_return(self, pc, target)
-        elif op == Opcode.ENTER:
-            self._push(regs[Register.EBP], pc)
-            regs[Register.EBP] = regs[Register.ESP]
-            esp = regs[Register.ESP] - ins.a
-            if esp < self.memory.stack_base:
-                raise StackFault("stack overflow in enter", pc=pc)
-            regs[Register.ESP] = esp
-        elif op == Opcode.LEAVE:
-            regs[Register.ESP] = regs[Register.EBP]
-            regs[Register.EBP] = self._pop(pc)
-        elif op == Opcode.ALLOC:
-            size = self._operand_b(ins)
-            address = self.heap.allocate(to_signed(size))
-            self.set_register(Register.EAX, address)
-            for hook in self.hooks:
-                hook.on_alloc(self, pc, address, size)
-        elif op == Opcode.FREE:
-            address = regs[ins.a]
-            self.heap.free(address)
-            for hook in self.hooks:
-                hook.on_free(self, pc, address)
-        elif op == Opcode.OUT:
-            self.output.append(self._operand_b(ins))
-        elif op == Opcode.OUTB:
-            self.output.append(self._operand_b(ins) & 0xFF)
-        elif op == Opcode.HALT:
-            self.halted = True
-        elif op == Opcode.NOP:
-            pass
-        else:  # pragma: no cover - all opcodes handled above
-            raise InvalidInstruction(f"unimplemented opcode {op}", pc=pc)
-
         return next_pc
+
+    def _op_enter(self, pc: int, ins: Instruction) -> int:
+        regs = self.registers
+        self._push(regs[Register.EBP], pc)
+        regs[Register.EBP] = regs[Register.ESP]
+        esp = regs[Register.ESP] - ins.a
+        if esp < self.memory.stack_base:
+            raise StackFault("stack overflow in enter", pc=pc)
+        regs[Register.ESP] = esp
+        return pc + INSTRUCTION_SIZE
+
+    def _op_leave(self, pc: int, ins: Instruction) -> int:
+        regs = self.registers
+        regs[Register.ESP] = regs[Register.EBP]
+        regs[Register.EBP] = self._pop(pc)
+        return pc + INSTRUCTION_SIZE
+
+    def _op_alloc(self, pc: int, ins: Instruction) -> int:
+        size = self._operand_b(ins)
+        address = self.heap.allocate(to_signed(size))
+        self.set_register(Register.EAX, address)
+        subscribers = self._allocs
+        if subscribers:
+            for hook in tuple(subscribers):
+                hook.on_alloc(self, pc, address, size)
+        return pc + INSTRUCTION_SIZE
+
+    def _op_free(self, pc: int, ins: Instruction) -> int:
+        address = self.registers[ins.a]
+        self.heap.free(address)
+        subscribers = self._frees
+        if subscribers:
+            for hook in tuple(subscribers):
+                hook.on_free(self, pc, address)
+        return pc + INSTRUCTION_SIZE
+
+    def _op_out(self, pc: int, ins: Instruction) -> int:
+        self.output.append(self._operand_b(ins))
+        return pc + INSTRUCTION_SIZE
+
+    def _op_outb(self, pc: int, ins: Instruction) -> int:
+        self.output.append(self._operand_b(ins) & 0xFF)
+        return pc + INSTRUCTION_SIZE
+
+    def _op_halt(self, pc: int, ins: Instruction) -> int:
+        self.halted = True
+        return pc + INSTRUCTION_SIZE
+
+    def _op_nop(self, pc: int, ins: Instruction) -> int:
+        return pc + INSTRUCTION_SIZE
+
+    def _op_invalid(self, pc: int,
+                    ins: Instruction) -> int:  # pragma: no cover
+        raise InvalidInstruction(f"unimplemented opcode {ins.opcode}",
+                                 pc=pc)
+
+
+_HANDLERS = {
+    Opcode.MOV: CPU._op_mov,
+    Opcode.LOAD: CPU._op_load,
+    Opcode.LOADB: CPU._op_loadb,
+    Opcode.STORE: CPU._op_store,
+    Opcode.STOREB: CPU._op_storeb,
+    Opcode.LEA: CPU._op_lea,
+    Opcode.ADD: CPU._op_add,
+    Opcode.SUB: CPU._op_sub,
+    Opcode.MUL: CPU._op_mul,
+    Opcode.DIV: CPU._op_div,
+    Opcode.AND: CPU._op_and,
+    Opcode.OR: CPU._op_or,
+    Opcode.XOR: CPU._op_xor,
+    Opcode.SHL: CPU._op_shl,
+    Opcode.SHR: CPU._op_shr,
+    Opcode.SAR: CPU._op_sar,
+    Opcode.NEG: CPU._op_neg,
+    Opcode.NOT: CPU._op_not,
+    Opcode.CMP: CPU._op_cmp,
+    Opcode.TEST: CPU._op_test,
+    Opcode.JMP: CPU._op_jmp,
+    Opcode.JMPR: CPU._op_jmpr,
+    Opcode.JE: CPU._op_jcc,
+    Opcode.JNE: CPU._op_jcc,
+    Opcode.JL: CPU._op_jcc,
+    Opcode.JLE: CPU._op_jcc,
+    Opcode.JG: CPU._op_jcc,
+    Opcode.JGE: CPU._op_jcc,
+    Opcode.JB: CPU._op_jcc,
+    Opcode.JAE: CPU._op_jcc,
+    Opcode.PUSH: CPU._op_push,
+    Opcode.POP: CPU._op_pop,
+    Opcode.CALL: CPU._op_call,
+    Opcode.CALLR: CPU._op_callr,
+    Opcode.RET: CPU._op_ret,
+    Opcode.ENTER: CPU._op_enter,
+    Opcode.LEAVE: CPU._op_leave,
+    Opcode.ALLOC: CPU._op_alloc,
+    Opcode.FREE: CPU._op_free,
+    Opcode.OUT: CPU._op_out,
+    Opcode.OUTB: CPU._op_outb,
+    Opcode.HALT: CPU._op_halt,
+    Opcode.NOP: CPU._op_nop,
+}
+
+#: Opcode-indexed dispatch table. Entries for gaps in the opcode space
+#: raise InvalidInstruction (unreachable via fetch, which only yields
+#: successfully decoded instructions).
+_DISPATCH = [CPU._op_invalid] * (max(Opcode) + 1)
+for _opcode, _handler in _HANDLERS.items():
+    _DISPATCH[_opcode] = _handler
+del _opcode, _handler

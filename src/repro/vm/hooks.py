@@ -1,17 +1,32 @@
-"""Execution hook interfaces for the MiniX86 CPU.
+"""Execution hook interfaces and the event-routing bus.
 
 Hooks are how every higher layer of the reproduction attaches to the raw
 machine — the code-cache engine, the monitors, the Daikon front end, and
 the invariant-check / repair patches all observe or intervene through this
 one interface, mirroring how Determina plugins attach to DynamoRIO.
 
-The CPU calls hooks in registration order.  A hook may:
+Dispatch is *subscription based*: when a hook is registered, the
+:class:`HookBus` inspects which :class:`ExecutionHook` methods the hook
+actually overrides and adds it only to those events' dispatch lists.  The
+CPU then pays per event only for the hooks that care about it — Memory
+Firewall is called only at control transfers, Heap Guard only at stores,
+and an event with no subscribers costs nothing per step.
+
+Hooks fire in registration order within each event.  A hook may:
 
 - raise (e.g. :class:`~repro.errors.MonitorDetection`) to stop the run;
 - mutate CPU state (registers/memory) in ``before_instruction`` — this is
   how enforcement patches work;
 - return a replacement program counter from ``before_instruction`` to
   redirect control (skip-call and return-from-procedure repairs).
+
+Two hook families (the patch manager and the code cache) only care about
+``before_instruction``/``after_instruction`` at a handful of *anchor*
+addresses.  Such hooks set :attr:`ExecutionHook.pc_anchored` and register
+those addresses on the bus explicitly (:meth:`HookBus.anchor`); the CPU
+routes per-instruction events to them with one dict probe instead of an
+unconditional call, which is what makes the no-subscriber fast path
+possible at all.
 """
 
 from __future__ import annotations
@@ -57,12 +72,30 @@ class OperandObservation:
 
 
 class ExecutionHook:
-    """Base class with no-op implementations of every event."""
+    """Base class with no-op implementations of every event.
+
+    Subscriptions are inferred: a subclass receives exactly the events
+    whose methods it overrides.  Overriding nothing (and leaving
+    ``wants_operands`` False) makes registration free at run time.
+    """
 
     #: Set True to make the CPU build :class:`OperandObservation` records
     #: (which costs time — the paper's learning overhead) and deliver them
     #: to :meth:`on_operands`.
     wants_operands = False
+
+    #: Set True for hooks whose ``before_instruction``/``after_instruction``
+    #: interest is confined to specific addresses.  Anchored hooks are kept
+    #: out of the global per-instruction dispatch lists; instead the bus
+    #: calls :meth:`bus_attached` so the hook can :meth:`HookBus.anchor`
+    #: its addresses (and keep them in sync as they change).
+    pc_anchored = False
+
+    def bus_attached(self, bus: "HookBus") -> None:
+        """Called when a ``pc_anchored`` hook is subscribed to *bus*."""
+
+    def bus_detached(self, bus: "HookBus") -> None:
+        """Called when a ``pc_anchored`` hook is unsubscribed from *bus*."""
 
     def before_instruction(self, cpu: "CPU", pc: int,
                            instruction: Instruction) -> int | None:
@@ -98,3 +131,129 @@ class ExecutionHook:
 
     def on_free(self, cpu: "CPU", pc: int, address: int) -> None:
         """Called after a heap free."""
+
+
+#: (method name, HookBus list attribute) for every routed event.  The
+#: ``on_operands`` event is intentionally absent: its subscription is
+#: governed by :attr:`ExecutionHook.wants_operands`, not by overriding,
+#: because building the observation is the expensive part and the CPU
+#: must know whether to build it at all.
+_EVENT_ROUTES = (
+    ("before_instruction", "before"),
+    ("after_instruction", "after"),
+    ("on_store", "store"),
+    ("on_transfer", "transfer"),
+    ("on_return", "ret"),
+    ("on_alloc", "alloc"),
+    ("on_free", "free"),
+)
+
+
+class HookBus:
+    """Subscription-based event router between a CPU and its hooks.
+
+    The bus owns one dispatch list per event; list *objects* are stable
+    for the lifetime of the bus (they are mutated in place), so the CPU
+    may alias them directly and iterate without indirection.  ``version``
+    increments on every subscribe/unsubscribe — the CPU's inner run loops
+    cache the dispatch configuration and re-validate against it, so hooks
+    added or removed mid-run take effect on the next instruction.
+
+    ``before_pc``/``after_pc`` route the per-instruction events for
+    anchored hooks: pc -> subscriber list.  Anchor changes do not bump
+    ``version`` because both run loops consult the (stable) dicts live.
+    """
+
+    def __init__(self):
+        self.hooks: list[ExecutionHook] = []
+        self.version = 0
+        self.before: list[ExecutionHook] = []
+        self.after: list[ExecutionHook] = []
+        self.operands: list[ExecutionHook] = []
+        self.store: list[ExecutionHook] = []
+        self.transfer: list[ExecutionHook] = []
+        self.ret: list[ExecutionHook] = []
+        self.alloc: list[ExecutionHook] = []
+        self.free: list[ExecutionHook] = []
+        self.before_pc: dict[int, list[ExecutionHook]] = {}
+        self.after_pc: dict[int, list[ExecutionHook]] = {}
+
+    # -- registration ---------------------------------------------------
+
+    def subscribe(self, hook: ExecutionHook) -> None:
+        """Register *hook*, routing it to the events it overrides."""
+        self.hooks.append(hook)
+        base = ExecutionHook
+        cls = type(hook)
+        for method, event in _EVENT_ROUTES:
+            if hook.pc_anchored and event in ("before", "after"):
+                continue  # routed per-pc via anchor()
+            if getattr(cls, method) is not getattr(base, method):
+                getattr(self, event).append(hook)
+        if hook.wants_operands:
+            self.operands.append(hook)
+        self.version += 1
+        if hook.pc_anchored:
+            hook.bus_attached(self)
+
+    def unsubscribe(self, hook: ExecutionHook) -> None:
+        """Remove *hook* from every event it subscribes to."""
+        self.hooks.remove(hook)
+        for _, event in _EVENT_ROUTES:
+            subscribers = getattr(self, event)
+            if hook in subscribers:
+                subscribers.remove(hook)
+        if hook in self.operands:
+            self.operands.remove(hook)
+        if hook.pc_anchored:
+            hook.bus_detached(self)
+        # Defensive sweep: drop any anchors the hook left behind.
+        for table in (self.before_pc, self.after_pc):
+            for pc in [pc for pc, subs in table.items() if hook in subs]:
+                table[pc].remove(hook)
+                if not table[pc]:
+                    del table[pc]
+        self.version += 1
+
+    # -- pc anchoring ---------------------------------------------------
+
+    def anchor(self, hook: ExecutionHook, pc: int,
+               when: str = "before") -> None:
+        """Route the *when*-instruction event at *pc* to *hook*.
+
+        Co-anchored hooks at one pc are kept in registration order, so
+        dispatching an anchored list alone (no merge with the global
+        list) still matches what a single flat hook list would do.
+        """
+        table = self.after_pc if when == "after" else self.before_pc
+        subscribers = table.setdefault(pc, [])
+        subscribers.append(hook)
+        if len(subscribers) > 1:
+            hooks = self.hooks
+            subscribers.sort(
+                key=lambda sub: hooks.index(sub) if sub in hooks
+                else len(hooks))
+
+    def unanchor(self, hook: ExecutionHook, pc: int,
+                 when: str = "before") -> None:
+        """Stop routing the *when*-instruction event at *pc* to *hook*."""
+        table = self.after_pc if when == "after" else self.before_pc
+        subscribers = table.get(pc)
+        if subscribers is not None and hook in subscribers:
+            subscribers.remove(hook)
+            if not subscribers:
+                del table[pc]
+
+    def ordered(self, subscribers: list[ExecutionHook]
+                ) -> list[ExecutionHook]:
+        """Sort *subscribers* into registration order.
+
+        Used when global and anchored subscribers meet at one pc — the
+        merged call order must match what a single flat hook list would
+        have produced.  Hooks anchored without being subscribed (which
+        :meth:`anchor` tolerates) sort last.
+        """
+        hooks = self.hooks
+        return sorted(subscribers,
+                      key=lambda sub: hooks.index(sub) if sub in hooks
+                      else len(hooks))
