@@ -118,6 +118,50 @@ def run_kernel_bench(quick: bool = False,
             for label in labels]
 
 
-if __name__ == "__main__":  # pragma: no cover - manual invocation aid
+def profile_config(label: str, top: int = 20) -> None:
+    """Profile one configuration on the full workload and print the
+    *top* cumulative-time functions — so perf PRs can quote where the
+    time went (``python benchmarks/perf_kernel.py --profile learning``).
+    """
+    import cProfile
+    import pstats
+
+    binary = build_browser().stripped()
+    pages = evaluation_pages()
+    CPU(binary)  # warm shared decode/threaded caches outside the profile
+    environment = _build_environment(binary, label)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    for page in pages:
+        result = environment.run(page)
+        if not result.succeeded:
+            raise RuntimeError(
+                f"workload page failed under {label}: {result.detail}")
+    profiler.disable()
+    stats = pstats.Stats(profiler).sort_stats("cumulative")
+    print(f"# top {top} functions by cumulative time, config={label}")
+    stats.print_stats(top)
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="Measure (or profile) kernel instructions/sec")
+    parser.add_argument("--profile", metavar="LABEL", choices=CONFIG_LABELS,
+                        help="cProfile the given configuration and print "
+                             "the top cumulative-time functions instead "
+                             "of measuring throughput")
+    parser.add_argument("--top", type=int, default=20,
+                        help="how many functions --profile prints")
+    args = parser.parse_args(argv)
+    if args.profile:
+        profile_config(args.profile, top=args.top)
+        return 0
     for record in run_kernel_bench():
         print(record.as_dict())
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - manual invocation aid
+    raise SystemExit(main())

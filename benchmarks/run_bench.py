@@ -17,6 +17,13 @@ Usage (from the repo root)::
 ``--quick`` trims the workload to a few pages and one repeat — cheap
 enough for the tier-1 flow — and by default does *not* write to the
 trajectory file (quick numbers are noisy; pass ``--write`` to force).
+
+``--check`` is the CI perf gate: it measures the bare configuration on
+the *full* workload (fewer repeats, so it stays cheap; the quick
+workload is too warm-up-dominated to compare against full-run records)
+and fails — exit status 1 — if throughput regressed more than
+:data:`REGRESSION_TOLERANCE` against the last committed full bare
+record.  It never writes to the trajectory file.
 """
 
 from __future__ import annotations
@@ -31,10 +38,13 @@ from datetime import datetime, timezone
 if __package__ in (None, ""):
     # Allow `python benchmarks/run_bench.py` without install.
     sys.path.insert(0, str(pathlib.Path(__file__).parent))
-from perf_kernel import run_kernel_bench  # noqa: E402
+from perf_kernel import measure_config, run_kernel_bench  # noqa: E402
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 TRAJECTORY = REPO_ROOT / "BENCH_kernel.json"
+
+#: --check fails when bare throughput drops below (1 - this) x record.
+REGRESSION_TOLERANCE = 0.20
 
 
 def current_commit() -> str:
@@ -65,6 +75,45 @@ def append_records(records: list[dict],
     path.write_text(json.dumps(trajectory, indent=2) + "\n")
 
 
+def last_full_record(config_label: str = "bare") -> dict | None:
+    """The most recent non-quick trajectory record for *config_label*."""
+    for record in reversed(load_trajectory()):
+        if record.get("config_label") == config_label and \
+                not record.get("quick"):
+            return record
+    return None
+
+
+def check_regression() -> int:
+    """The CI perf gate: fail on >20% bare-throughput regression."""
+    record = last_full_record("bare")
+    if record is None:
+        print("perf gate: no committed full bare record; nothing to "
+              "compare against (pass)")
+        return 0
+    from repro.apps import build_browser, evaluation_pages
+    from repro.vm.cpu import CPU
+
+    binary = build_browser().stripped()
+    CPU(binary)  # warm the shared caches outside the timed region
+    # repeats=3 matches the methodology of the records we compare
+    # against (best-of-3 absorbs scheduler noise on loaded runners).
+    measured = measure_config(binary, "bare", evaluation_pages(),
+                              repeats=3)
+    floor = record["instructions_per_sec"] * (1 - REGRESSION_TOLERANCE)
+    verdict = "OK" if measured.instructions_per_sec >= floor else "FAIL"
+    print(f"perf gate [{verdict}]: bare "
+          f"{measured.instructions_per_sec:,.0f} instr/sec vs recorded "
+          f"{record['instructions_per_sec']:,.0f} "
+          f"(commit {record['commit'][:12]}, floor {floor:,.0f})")
+    if verdict == "FAIL":
+        print(f"perf gate: regression exceeds "
+              f"{REGRESSION_TOLERANCE:.0%}; if intentional, append a "
+              f"fresh record via `python benchmarks/run_bench.py`")
+        return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         description="Measure kernel instructions/sec and append to "
@@ -77,7 +126,14 @@ def main(argv: list[str] | None = None) -> int:
                              "--quick mode")
     parser.add_argument("--dry-run", action="store_true",
                         help="measure and print, never write")
+    parser.add_argument("--check", action="store_true",
+                        help="CI perf gate: fail (exit 1) on >20%% "
+                             "bare-config regression vs the last "
+                             "committed record; never writes")
     args = parser.parse_args(argv)
+
+    if args.check:
+        return check_regression()
 
     commit = current_commit()
     timestamp = datetime.now(timezone.utc).isoformat(timespec="seconds")

@@ -31,6 +31,11 @@ class ProcedureDatabase:
         self.procedures: dict[int, ProcedureCFG] = {}
         self._instruction_to_procedure: dict[int, int] = {}
         self.fission_events = 0
+        #: Bumped on every discovery. pc -> procedure attributions are
+        #: append-only (an attributed pc never changes owner), so caches
+        #: keyed on them stay valid while the version holds; the trace
+        #: front end and the CPU's observation filter revalidate on it.
+        self.version = 0
 
     # -- queries -----------------------------------------------------------
 
@@ -102,6 +107,7 @@ class ProcedureDatabase:
         self.procedures[entry] = cfg
         for pc in cfg.instruction_addresses():
             self._instruction_to_procedure.setdefault(pc, entry)
+        self.version += 1
         return cfg
 
 

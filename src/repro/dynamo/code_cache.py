@@ -79,12 +79,27 @@ class CodeCache(ExecutionHook):
         self._bus = bus
         self._anchored = set()
         self._anchor_all()
+        self._install_all()
 
     def bus_detached(self, bus) -> None:
         for pc in self._anchored:
             bus.unanchor(self, pc, "before")
+        for start in self._cached:
+            block = self.block_map.get(start)
+            if block is not None:
+                bus.remove_block(block.instructions)
         self._anchored = set()
         self._bus = None
+
+    def _install_all(self) -> None:
+        """Register every cached block's instructions for superblock
+        compilation (the CPU compiles pre-bound runs from them)."""
+        if self._bus is None:
+            return
+        for start in self._cached:
+            block = self.block_map.get(start)
+            if block is not None:
+                self._bus.install_block(block.instructions)
 
     def _anchor_all(self) -> None:
         """(Re-)anchor the entry point and every known block."""
@@ -112,7 +127,12 @@ class CodeCache(ExecutionHook):
     # -- cache operations -------------------------------------------------
 
     def ensure_cached(self, start: int) -> BasicBlock:
-        """Return the cached block at *start*, building it if necessary."""
+        """Return the cached block at *start*, building it if necessary.
+
+        Materialised blocks are registered on the bus
+        (:meth:`~repro.vm.hooks.HookBus.install_block`), which is what
+        lets the CPU compile them into pre-bound superblock runs.
+        """
         block = self.block_map.discover(start)
         if start not in self._cached:
             self._cached.add(start)
@@ -120,11 +140,23 @@ class CodeCache(ExecutionHook):
             self.warmup_cost += BLOCK_BUILD_COST
             for plugin in self.plugins:
                 plugin.on_block_build(self, block)
+            if self._bus is not None:
+                self._bus.install_block(block.instructions)
         self._anchor_block(block)
         return block
 
     def eject(self, start: int) -> bool:
-        """Remove the block starting at *start* from the cache."""
+        """Remove the block starting at *start* from the cache.
+
+        The block's bus registration is deliberately left in place: the
+        registered instructions are immutable decodings of immutable
+        code, so any superblock run compiled from them stays valid.  The
+        re-materialisation obligations ride elsewhere — the anchored
+        probe at the block head rebuilds (and re-instruments) the block
+        on next entry, and the patch anchor that triggered the ejection
+        bumped ``anchor_version``, which recompiles the affected runs
+        split at the new anchor.
+        """
         if start not in self._cached:
             return False
         self._cached.discard(start)
@@ -171,6 +203,7 @@ class CodeCache(ExecutionHook):
         self.restored_blocks = len(cached)
         if self._bus is not None:
             self._anchor_all()
+            self._install_all()
 
     # -- hook dispatch ------------------------------------------------------
 

@@ -41,11 +41,15 @@ def learn(binary: Binary, payloads: list[bytes],
           config: EnvironmentConfig | None = None,
           pair_scope: str = "block",
           deduplicate: bool = True,
-          traced_procedures: set[int] | None = None) -> LearningResult:
+          traced_procedures: set[int] | None = None,
+          batched: bool = True) -> LearningResult:
     """Learn a model of *binary*'s normal behaviour from *payloads*.
 
     Each payload is one "normal execution" (e.g. one web page load).
     Runs that do not complete normally are counted in ``excluded_runs``.
+    ``batched`` selects the kernel-level batched observation path (the
+    default) or the per-instruction callback path; both produce the same
+    database.
     """
     stripped = binary.stripped()
     procedures = ProcedureDatabase(stripped)
@@ -55,7 +59,8 @@ def learn(binary: Binary, payloads: list[bytes],
                                      config or EnvironmentConfig.full())
     environment.cache_plugins.append(DiscoveryPlugin(procedures))
     front_end = TraceFrontEnd(engine, procedures,
-                              traced_procedures=traced_procedures)
+                              traced_procedures=traced_procedures,
+                              batched=batched)
     environment.extra_hooks.append(front_end)
 
     runs: list[RunResult] = []

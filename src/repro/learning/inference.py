@@ -13,6 +13,21 @@ trace front end) and incrementally maintains candidate invariants:
 - a value-sequence fingerprint implements the §2.2.4 equal-variable
   suppression (reported to cut invariant counts by 2x).
 
+The engine has two intake paths with identical semantics:
+
+- :meth:`InferenceEngine.observe` digests one dict-shaped
+  :class:`~repro.vm.hooks.OperandObservation` — the original
+  per-instruction callback path;
+- :meth:`InferenceEngine.observe_record` digests one flat raw snapshot
+  (:mod:`repro.vm.observe` record) through a per-pc *compiled plan* that
+  pre-binds every statistics object the record touches — no Variable
+  construction, no hashing, no dict probes on the hot path.  Plans are
+  invalidated (and lazily recompiled) whenever a new variable appears
+  anywhere, since new variables join existing pcs' candidate-pair sets;
+  records whose conditional-slot presence pattern deviates from the plan
+  fall back to :meth:`observe`, which keeps both paths exactly
+  state-equal.
+
 ``finalize()`` produces an :class:`~repro.learning.database.InvariantDatabase`.
 """
 
@@ -30,10 +45,11 @@ from repro.learning.invariants import (
     OneOf,
     SPOffset,
 )
-from repro.learning.pointers import PointerClassifier
+from repro.learning.pointers import PointerClassifier, disqualifies_pointer
 from repro.learning.variables import EXCLUDED_SLOTS, Variable
 from repro.vm.hooks import OperandObservation
 from repro.vm.isa import to_signed
+from repro.vm.observe import observation_from_record, operand_layout
 
 #: Multiplier/offset for the order-sensitive value-sequence fingerprint.
 _FNV_PRIME = 1099511628211
@@ -50,6 +66,13 @@ class _VariableStats:
     values: set[int] = field(default_factory=set)
     one_of_alive: bool = True
     fingerprint: int = _FNV_OFFSET
+    #: Most recent observed value, unsigned and signed — the datum
+    #: candidate pairs read for the partner side.
+    last: int | None = None
+    last_signed: int = 0
+    #: Fast-path mirror of ``PointerClassifier._not_pointer`` membership
+    #: (the canonical set still drives :meth:`finalize`).
+    not_pointer: bool = False
 
     def update(self, value: int) -> None:
         signed = to_signed(value)
@@ -65,6 +88,30 @@ class _VariableStats:
                 self.values.clear()
         self.fingerprint = ((self.fingerprint ^ (value & _FNV_MASK))
                             * _FNV_PRIME) & _FNV_MASK
+        self.last = value
+        self.last_signed = signed
+
+
+class _PcPlan:
+    """Compiled digest for one instruction address.
+
+    ``slot_entries``/``pair_groups`` pre-bind the statistics objects a
+    record at this pc updates; ``required``/``absent`` encode the
+    conditional-slot presence pattern the plan was compiled for (records
+    deviating from it take the dict-path fallback).  Indices are record
+    positions (``record[0]`` is the pc, ``record[-1]`` the esp).
+    """
+
+    __slots__ = ("epoch", "slot_entries", "pair_groups", "required",
+                 "absent")
+
+    def __init__(self, epoch, slot_entries, pair_groups, required,
+                 absent):
+        self.epoch = epoch
+        self.slot_entries = slot_entries
+        self.pair_groups = pair_groups
+        self.required = required
+        self.absent = absent
 
 
 @dataclass
@@ -125,7 +172,6 @@ class InferenceEngine:
         self.deduplicate = deduplicate
         self.pointer_classifier = PointerClassifier()
         self._variables: dict[Variable, _VariableStats] = {}
-        self._last_values: dict[Variable, int] = {}
         self._pairs: dict[tuple[Variable, Variable], _PairStats] = {}
         self._sp: dict[int, _SPStats] = {}
         self._pc_samples: dict[int, int] = {}
@@ -133,6 +179,12 @@ class InferenceEngine:
         self._pc_variables: dict[int, list[Variable]] = {}
         #: Cache of candidate partner pcs per target pc.
         self._partner_cache: dict[int, list[int]] = {}
+        #: Compiled per-pc digest plans for the batched intake path.
+        self._plans: dict[int, _PcPlan] = {}
+        #: Bumped whenever a new variable materialises anywhere: new
+        #: variables join existing pcs' candidate-pair sets, so every
+        #: plan pairing against them must recompile.
+        self._epoch = 0
         self.observations = 0
 
     # ------------------------------------------------------------------
@@ -156,9 +208,9 @@ class InferenceEngine:
                 stats = _VariableStats()
                 self._variables[variable] = stats
                 self._pc_variables.setdefault(pc, []).append(variable)
+                self._epoch += 1
             stats.update(value)
             self.pointer_classifier.observe(variable, value)
-            self._last_values[variable] = value
 
         if observation.computed and self.pair_scope != "none":
             self._update_pairs(pc, observation)
@@ -188,7 +240,7 @@ class InferenceEngine:
                 for other in self._pc_variables.get(partner_pc, ()):
                     if other == target:
                         continue
-                    other_value = self._last_values.get(other)
+                    other_value = self._variables[other].last
                     if other_value is None:
                         continue
                     self._pair(other, target).update(other_value, value)
@@ -220,6 +272,153 @@ class InferenceEngine:
                             if addr < pc]
         self._partner_cache[pc] = partners
         return partners
+
+    # ------------------------------------------------------------------
+    # Batched observation intake (compiled per-pc plans)
+    # ------------------------------------------------------------------
+
+    def observe_record(self, record: tuple,
+                       procedure_entry: int | None,
+                       sp_entry: int | None) -> None:
+        """Digest one raw operand snapshot — :meth:`observe`'s compiled
+        twin, state-equal by construction (and pinned by tests)."""
+        pc = record[0]
+        plan = self._plans.get(pc)
+        if plan is None or plan.epoch != self._epoch:
+            plan = self._compile_plan(pc, record)
+            self._plans[pc] = plan
+        for index in plan.required:
+            if record[index] is None:
+                return self._observe_fallback(record, procedure_entry,
+                                              sp_entry)
+        for index in plan.absent:
+            if record[index] is not None:
+                return self._observe_fallback(record, procedure_entry,
+                                              sp_entry)
+        self.observations += 1
+        samples = self._pc_samples
+        samples[pc] = samples.get(pc, 0) + 1
+
+        classifier = self.pointer_classifier
+        for index, variable, stats in plan.slot_entries:
+            value = record[index]
+            signed = value - 0x100000000 if value >= 0x80000000 else value
+            if stats.count == 0:
+                stats.minimum = signed
+            elif signed < stats.minimum:
+                stats.minimum = signed
+            stats.count += 1
+            if stats.one_of_alive:
+                values = stats.values
+                values.add(value)
+                if len(values) > ONE_OF_LIMIT:
+                    stats.one_of_alive = False
+                    values.clear()
+            stats.fingerprint = ((stats.fingerprint ^ value)
+                                 * _FNV_PRIME) & _FNV_MASK
+            if not stats.not_pointer and disqualifies_pointer(signed):
+                stats.not_pointer = True
+                classifier.disqualify(variable)
+            stats.last = value
+            stats.last_signed = signed
+
+        for index, entries in plan.pair_groups:
+            value = record[index]
+            signed = value - 0x100000000 if value >= 0x80000000 else value
+            for other_stats, forward, reverse in entries:
+                other_signed = other_stats.last_signed
+                if not forward.falsified:
+                    if other_signed > signed:
+                        forward.falsified = True
+                    else:
+                        forward.samples += 1
+                if not reverse.falsified:
+                    if signed > other_signed:
+                        reverse.falsified = True
+                    else:
+                        reverse.samples += 1
+
+        if sp_entry is not None and procedure_entry is not None:
+            sp_stats = self._sp.get(pc)
+            if sp_stats is None:
+                sp_stats = _SPStats()
+                self._sp[pc] = sp_stats
+            delta = (record[-1] - sp_entry) & 0xFFFFFFFF
+            if delta >= 0x80000000:
+                delta -= 0x100000000
+            if sp_stats.samples == 0:
+                sp_stats.offset = delta
+            elif sp_stats.offset != delta:
+                sp_stats.constant = False
+            sp_stats.samples += 1
+
+    def _compile_plan(self, pc: int, record: tuple) -> _PcPlan:
+        """Bind the statistics objects records at *pc* update.
+
+        Variables materialise here exactly as they would on a first
+        legacy observation (same creation, same classifier seeding); the
+        triggering record is digested through the fresh plan right after,
+        so statistics timing matches the dict path.
+        """
+        instruction = self.procedures.binary.decode_at(pc)
+        names, computed = operand_layout(instruction)
+        variables = self._variables
+        slot_entries = []
+        absent = []
+        for position, name in enumerate(names):
+            index = position + 1
+            variable = Variable(pc, name)
+            stats = variables.get(variable)
+            if stats is None:
+                if record[index] is None:
+                    # Conditional slot not (yet) exhibited: no variable.
+                    absent.append(index)
+                    continue
+                stats = _VariableStats()
+                variables[variable] = stats
+                self._pc_variables.setdefault(pc, []).append(variable)
+                self._epoch += 1
+                self.pointer_classifier.mark_seen(variable)
+            slot_entries.append((index, variable, stats))
+
+        pair_groups = []
+        if computed and self.pair_scope != "none":
+            partners = self._partner_pcs(pc)
+            if partners:
+                name_to_index = {name: position + 1
+                                 for position, name in enumerate(names)}
+                pc_variables = self._pc_variables
+                for slot in computed:
+                    target = Variable(pc, slot)
+                    if variables.get(target) is None:
+                        continue
+                    entries = []
+                    for partner_pc in partners:
+                        for other in pc_variables.get(partner_pc, ()):
+                            if other == target:
+                                continue
+                            entries.append((variables[other],
+                                            self._pair(other, target),
+                                            self._pair(target, other)))
+                    if entries:
+                        pair_groups.append((name_to_index[slot],
+                                            tuple(entries)))
+
+        return _PcPlan(epoch=self._epoch,
+                       slot_entries=tuple(slot_entries),
+                       pair_groups=tuple(pair_groups),
+                       required=tuple(entry[0] for entry in slot_entries),
+                       absent=tuple(absent))
+
+    def _observe_fallback(self, record: tuple,
+                          procedure_entry: int | None,
+                          sp_entry: int | None) -> None:
+        """Dict-path digestion for records off the compiled plan (a
+        conditional slot appeared or vanished); any new variable bumps
+        the epoch, recompiling the plan for the next record."""
+        instruction = self.procedures.binary.decode_at(record[0])
+        observation = observation_from_record(instruction, record)
+        self.observe(observation, procedure_entry, sp_entry)
 
     # ------------------------------------------------------------------
     # Finalization

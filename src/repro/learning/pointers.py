@@ -16,6 +16,14 @@ from repro.vm.isa import to_signed
 NON_POINTER_LIMIT = 100_000
 
 
+def disqualifies_pointer(signed: int) -> bool:
+    """The paper's heuristic on one *signed* value: True when observing
+    it proves the variable is not a pointer.  Single source of the rule
+    — both the per-observation classifier and the inference engine's
+    compiled digest path apply exactly this predicate."""
+    return signed < 0 or 1 <= signed <= NON_POINTER_LIMIT
+
+
 class PointerClassifier:
     """Tracks, per variable key, whether it can still be a pointer."""
 
@@ -28,9 +36,18 @@ class PointerClassifier:
         self._seen.add(key)
         if key in self._not_pointer:
             return
-        signed = to_signed(value)
-        if signed < 0 or 1 <= signed <= NON_POINTER_LIMIT:
+        if disqualifies_pointer(to_signed(value)):
             self._not_pointer.add(key)
+
+    def mark_seen(self, key) -> None:
+        """Register *key* as observed without a value (batch-path
+        variable creation; values arrive via :meth:`disqualify`)."""
+        self._seen.add(key)
+
+    def disqualify(self, key) -> None:
+        """Record that *key* exhibited a non-pointer value (the caller
+        applied :func:`disqualifies_pointer`)."""
+        self._not_pointer.add(key)
 
     def is_pointer(self, key) -> bool:
         """True if *key* was observed and never disqualified."""

@@ -1,14 +1,30 @@
 """The trace front end (the "Daikon x86 front end" analogue, §2.2.1).
 
-Attaches to a running application as an execution hook, asks the CPU for
-per-instruction operand observations, and feeds them to an
-:class:`~repro.learning.inference.InferenceEngine` online.  The front end
-also tracks procedure activations (its own lightweight call shadow) so the
-engine can compute stack-pointer offsets relative to procedure entry.
+Attaches to a running application as an execution hook and feeds operand
+observations to an :class:`~repro.learning.inference.InferenceEngine`
+online.  The front end also tracks procedure activations (its own
+lightweight call shadow) so the engine can compute stack-pointer offsets
+relative to procedure entry.
+
+Two intake modes, identical in what the engine learns:
+
+- **batched** (the default): the front end subscribes as a
+  ``lazy_operands`` hook.  The CPU snapshots raw operand tuples through
+  compiled extractors (:mod:`repro.vm.observe`), buffers them per block,
+  and delivers them in bulk at control transfers — before activation
+  shadows update, so every record digests under the activation it
+  executed in.  The front end's :meth:`observes` filter confines
+  extraction to the traced procedures *at the kernel level*: an
+  untraced instruction costs nothing at all, not even a skipped
+  callback.
+- **legacy** (``batched=False``): per-instruction ``on_operands``
+  callbacks over dict-shaped observations — the original path, kept as
+  the semantic reference (the equality tests pin the two against each
+  other).
 
 Partial tracing (§3.1): a front end can be confined to a subset of
-procedures.  Observations from other procedures are skipped, which is how
-an application community distributes learning overhead across members.
+procedures, which is how an application community distributes learning
+overhead across members.
 """
 
 from __future__ import annotations
@@ -21,6 +37,8 @@ from repro.vm.cpu import CPU
 from repro.vm.hooks import ExecutionHook, OperandObservation, TransferKind
 from repro.vm.isa import Register
 
+_UNSET = object()
+
 
 @dataclass
 class _Activation:
@@ -31,12 +49,6 @@ class _Activation:
 class TraceFrontEnd(ExecutionHook):
     """Streams operand observations into an inference engine.
 
-    Subscribes to ``on_operands`` (via ``wants_operands``, which also
-    tells the CPU to build the observation records — the paper's
-    learning overhead), plus ``on_transfer``/``on_return`` for its
-    activation shadow.  Attaching a front end is what forces the kernel
-    off its fast path: operand observation is inherently per-instruction.
-
     Parameters
     ----------
     engine:
@@ -46,19 +58,29 @@ class TraceFrontEnd(ExecutionHook):
     traced_procedures:
         If not None, only instructions belonging to these procedure
         entries are traced (partial/distributed learning).
+    batched:
+        Use the batched kernel-level observation path (default); pass
+        False for the per-instruction callback path.
     """
-
-    wants_operands = True
 
     def __init__(self, engine: InferenceEngine,
                  procedures: ProcedureDatabase,
-                 traced_procedures: set[int] | None = None):
+                 traced_procedures: set[int] | None = None,
+                 batched: bool = True):
         self.engine = engine
         self.procedures = procedures
         self.traced_procedures = traced_procedures
+        self.batched = batched
+        if batched:
+            self.lazy_operands = True
+        else:
+            self.wants_operands = True
         self._activations: list[_Activation] = []
         self.traced = 0
         self.skipped = 0
+        #: pc -> procedure entry (or None), valid per database version.
+        self._entry_cache: dict[int, int | None] = {}
+        self._entry_cache_version = -1
 
     # -- activation tracking ------------------------------------------------
 
@@ -72,7 +94,58 @@ class TraceFrontEnd(ExecutionHook):
         if self._activations:
             self._activations.pop()
 
+    # -- kernel-level observation filter --------------------------------------
+
+    def observes(self, pc: int) -> bool:
+        """Partial tracing at the CPU: snapshot only traced procedures."""
+        if self.traced_procedures is None:
+            return True
+        procedure = self.procedures.procedure_of(pc)
+        return procedure is not None and \
+            procedure.entry in self.traced_procedures
+
+    def observation_epoch(self) -> int:
+        if self.traced_procedures is None:
+            return 0
+        return self.procedures.version
+
     # -- observation intake ---------------------------------------------------
+
+    def _entry_of(self, pc: int) -> int | None:
+        entry = self._entry_cache.get(pc, _UNSET)
+        if entry is _UNSET:
+            procedure = self.procedures.procedure_of(pc)
+            entry = procedure.entry if procedure is not None else None
+            self._entry_cache[pc] = entry
+        return entry
+
+    def on_operand_batch(self, cpu: CPU, records: list[tuple]) -> None:
+        """Digest one buffered block of raw snapshots, in order.
+
+        Activations only change at control transfers and the CPU flushes
+        before dispatching them, so the whole batch shares one (fixed)
+        activation context.
+        """
+        procedures = self.procedures
+        if procedures.version != self._entry_cache_version:
+            # Discovery may have attributed previously unknown pcs.
+            self._entry_cache.clear()
+            self._entry_cache_version = procedures.version
+        activations = self._activations
+        top = activations[-1] if activations else None
+        top_entry = top.entry if top is not None else None
+        traced = self.traced_procedures
+        entry_of = self._entry_of
+        observe_record = self.engine.observe_record
+        for record in records:
+            entry = entry_of(record[0])
+            if traced is not None and entry not in traced:
+                self.skipped += 1
+                continue
+            sp_entry = top.sp_entry if (entry is not None and
+                                        top_entry == entry) else None
+            self.traced += 1
+            observe_record(record, entry, sp_entry)
 
     def on_operands(self, cpu: CPU,
                     observation: OperandObservation) -> None:

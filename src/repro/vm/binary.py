@@ -38,6 +38,12 @@ class Binary:
     #: it is shared across CPUs like the decode cache).
     _threaded_cache: "dict | None" = field(
         default=None, init=False, repr=False, compare=False)
+    #: Opaque slot for compiled superblock runs, keyed by
+    #: ``(entry pc, instruction count)`` — which fully determines a run
+    #: over an immutable image.  Shared across CPUs so each distinct
+    #: run shape is compiled once per process, not once per launch.
+    _run_cache: "dict | None" = field(
+        default=None, init=False, repr=False, compare=False)
 
     @property
     def instruction_count(self) -> int:
@@ -49,6 +55,11 @@ class Binary:
 
     def decode_at(self, address: int) -> Instruction:
         """Decode the instruction at *address* from the raw image."""
+        cached = self._decoded_cache
+        if cached is not None:
+            instruction = cached.get(address)
+            if instruction is not None:
+                return instruction
         if address % INSTRUCTION_SIZE != 0 or not (
                 0 <= address < len(self.code)):
             raise InvalidInstruction(

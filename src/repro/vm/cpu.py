@@ -16,6 +16,25 @@ fully monitored run and a bare run execute bit-identically — the monitors
 still see every store and transfer — while the bare run pays none of the
 hook plumbing.
 
+On top of the threaded-code table sits the *superblock engine*: once the
+code cache registers a materialised basic block on the bus, the CPU
+compiles it into a flat pre-bound run of ``(handler, pc, instruction)``
+triples — with maximal straight-line ALU/MOV stretches fused into
+superinstruction closures over pre-bound operands — and executes the
+whole run without re-entering the fetch/dispatch loop.  Runs split at
+patch anchors (the per-instruction loop survives exactly there) and at
+event-bearing instructions (stores, heap service), whose subscribers may
+legally change the dispatch configuration mid-block; any anchor or block
+change bumps ``HookBus.anchor_version`` and invalidates every compiled
+run, mirroring how Determina re-materialises patched fragments.
+
+Learning mode has its own loop, :meth:`CPU._run_observed`: instead of
+building a dict-shaped observation per instruction it appends compiled
+raw snapshots (:mod:`repro.vm.observe`) to a ring buffer flushed at
+control transfers, and only for the pcs its ``lazy_operands`` subscribers
+actually trace — so observation cost is confined to traced procedures at
+the kernel level, not the front end.
+
 Attack semantics: a control transfer whose target lies outside the code
 segment raises :class:`~repro.errors.CodeInjectionExecuted` *at the
 transfer*.  On an unprotected machine this models the attacker's payload
@@ -54,12 +73,29 @@ from repro.vm.isa import (
     to_signed,
 )
 from repro.vm.memory import Memory
+from repro.vm.observe import build_extractor
 
 #: Default instruction budget; generous for the workloads in this repo.
 DEFAULT_MAX_STEPS = 5_000_000
 
 #: Hoisted for the hot operand-resolution comparisons in the handlers.
 _REG = OperandKind.REGISTER
+
+#: Flush the lazy-observation ring buffer when it reaches this size even
+#: if no control transfer has occurred (long fall-through chains).
+_OBS_FLUSH_LIMIT = 512
+
+#: Missing-key sentinel for caches whose values may be None.
+_UNSET = object()
+
+#: Opcodes whose handlers dispatch hook events mid-block (stores, heap
+#: service).  A subscriber may change the bus configuration from such an
+#: event, so compiled runs end a segment after each of them and re-check
+#: the bus versions at the boundary.  Control transfers need no entry
+#: here: they are block enders, hence always a run's final instruction.
+_SEGMENT_BARRIERS = frozenset({
+    Opcode.STORE, Opcode.STOREB, Opcode.ALLOC, Opcode.FREE,
+})
 
 
 class CPU:
@@ -113,6 +149,20 @@ class CPU:
                     for pc, ins in self._decoded.items()}
             binary._threaded_cache = code
         self._code: dict[int, tuple] = code
+        self._lazy = bus.lazy_operands
+        #: Superblock state: entry pc -> compiled run (False = not
+        #: runnable from that pc), valid while ``bus.anchor_version``
+        #: matches the recorded value.  The observed variants carry the
+        #: lazy-observation epoch as a second validity dimension.
+        self._compiled: dict[int, tuple | bool] = {}
+        self._compiled_version = bus.anchor_version
+        self._compiled_obs: dict[int, tuple | bool] = {}
+        self._compiled_obs_version = bus.anchor_version
+        #: pc -> compiled snapshot closure (None = filtered out).
+        self._extractors: dict[int, object] = {}
+        self._obs_epoch: object = None
+        #: Ring buffer of raw operand snapshots awaiting batch delivery.
+        self._obs_buffer: list[tuple] = []
 
     # ------------------------------------------------------------------
     # Hook management
@@ -120,11 +170,24 @@ class CPU:
 
     def add_hook(self, hook: ExecutionHook) -> None:
         """Attach *hook*; the bus routes it to the events it overrides."""
+        if hook.lazy_operands and self._obs_buffer:
+            # Drain records buffered before this hook subscribed: it
+            # must only ever see instructions executed after attach.
+            self._flush_observations()
         self.bus.subscribe(hook)
+        if hook.lazy_operands:
+            self._extractors.clear()
+            self._compiled_obs.clear()
 
     def remove_hook(self, hook: ExecutionHook) -> None:
         """Detach *hook* from every event."""
+        if hook.lazy_operands and self._obs_buffer:
+            # Deliver what the hook already observed before it detaches.
+            self._flush_observations()
         self.bus.unsubscribe(hook)
+        if hook.lazy_operands:
+            self._extractors.clear()
+            self._compiled_obs.clear()
 
     # ------------------------------------------------------------------
     # Register / flag helpers
@@ -387,6 +450,15 @@ class CPU:
             observation = self.observe_operands(pc, instruction)
             for hook in tuple(self._operand_hooks):
                 hook.on_operands(self, observation)
+        if self._lazy:
+            epoch = self._lazy_epoch()
+            if epoch != self._obs_epoch:
+                self._extractors.clear()
+                self._compiled_obs.clear()
+                self._obs_epoch = epoch
+            extractor = self._extractor_for(pc, instruction)
+            if extractor is not None:
+                self._obs_buffer.append(extractor())
         if redirect is not None:
             # A patch redirected control; skip the original instruction.
             # The target is validated like any dynamic transfer: a repair
@@ -410,24 +482,31 @@ class CPU:
     def run(self, max_steps: int | None = None) -> None:
         """Run until HALT (or an exception propagates).
 
-        Chooses between two loops per dispatch configuration: the full
+        Chooses between three loops per dispatch configuration: the full
         :meth:`step` loop whenever any hook subscribes to a granular
-        per-instruction event, and :meth:`_run_unhooked` otherwise.  The
-        bus version gates both, so subscribing or unsubscribing mid-run
-        (adaptive policies, staged learning) switches loops at the next
-        instruction boundary.
+        per-instruction event, :meth:`_run_observed` when only batched
+        operand observation is wanted, and :meth:`_run_unhooked`
+        otherwise.  The bus version gates all three, so subscribing or
+        unsubscribing mid-run (adaptive policies, staged learning)
+        switches loops at the next instruction boundary.
         """
         if max_steps is not None:
             self.max_steps = max_steps
         bus = self.bus
-        while not self.halted:
-            version = bus.version
-            if bus.before or bus.after or bus.operands:
-                step = self.step
-                while not self.halted and bus.version == version:
-                    step()
-            else:
-                self._run_unhooked()
+        try:
+            while not self.halted:
+                version = bus.version
+                if bus.before or bus.after or bus.operands:
+                    step = self.step
+                    while not self.halted and bus.version == version:
+                        step()
+                elif bus.lazy_operands:
+                    self._run_observed()
+                else:
+                    self._run_unhooked()
+        finally:
+            if self._obs_buffer:
+                self._flush_observations()
 
     def _run_unhooked(self) -> None:
         """Fast inner loop: no granular subscribers, anchors only.
@@ -445,12 +524,23 @@ class CPU:
         ``interrupted_pc`` match the full loop exactly.  Subscribers that
         need per-instruction CPU state beyond their event arguments
         should subscribe to a granular event instead.
+
+        Where the code cache has registered a block, the loop executes
+        the compiled superblock run instead of stepping: every
+        instruction from the current pc to the block end (or the first
+        anchored pc) retires through pre-bound handlers, with the step
+        budget checked once for the whole run and segment boundaries
+        re-validating the bus versions.  A run is entered only while no
+        anchor splits it and the budget covers it entirely; otherwise
+        this loop's per-instruction path preserves exact semantics.
         """
         bus = self.bus
         version = bus.version
         code_get = self._code.get
         before_pc_get = self._before_pc.get
         after_pc = self._after_pc
+        compiled = self._compiled
+        compiled_get = compiled.get
         max_steps = self.max_steps
         steps = self.steps
         pc = self.pc
@@ -478,6 +568,146 @@ class CPU:
                         pc = self._transfer(pc, TransferKind.PATCH,
                                             redirect)
                         continue
+                anchor_version = bus.anchor_version
+                if anchor_version != self._compiled_version:
+                    # An anchor or block changed (patch install/remove,
+                    # block discovery/ejection): every compiled run may
+                    # now be split differently. Recompile lazily.
+                    compiled.clear()
+                    self._compiled_version = anchor_version
+                run = compiled_get(pc)
+                if run is None:
+                    run = self._compile_run(pc) or False
+                    compiled[pc] = run
+                if run is not False and bus.version == version and \
+                        steps - 1 + run[1] <= max_steps:
+                    entry_pc = pc
+                    done = 0
+                    try:
+                        for seg_ops, seg_count in run[0]:
+                            for op, ins_pc, ins in seg_ops:
+                                pc = op(self, ins_pc, ins)
+                            done += seg_count
+                            if bus.version != version or \
+                                    bus.anchor_version != anchor_version:
+                                break
+                    except BaseException:
+                        # Straight-line contiguity: at the moment a
+                        # handler raises, ``pc`` equals the faulting
+                        # instruction's address.
+                        steps += (pc - entry_pc) // INSTRUCTION_SIZE
+                        raise
+                    steps += done - 1
+                    continue
+                here = pc
+                pc = handler(self, here, instruction)
+                if after_pc:
+                    anchored = after_pc.get(here)
+                    if anchored is not None:
+                        self.steps = steps
+                        self.pc = pc
+                        for hook in tuple(anchored):
+                            hook.after_instruction(self, here, instruction)
+                        pc = self.pc  # an after-patch may have redirected
+        finally:
+            self.steps = steps
+            self.pc = pc
+
+    def _run_observed(self) -> None:
+        """Batched-observation loop: lazy operand subscribers only.
+
+        Structurally :meth:`_run_unhooked` plus snapshot extraction: per
+        traced instruction a compiled extractor appends one raw record to
+        the ring buffer, which :meth:`_transfer` flushes to the
+        ``lazy_operands`` subscribers before any transfer hook runs (and
+        :meth:`run` flushes on exit).  Superblock runs carry an extractor
+        per op, so even learning mode escapes the fetch/dispatch loop
+        inside cached blocks; fusion is skipped here because extraction
+        is inherently per-instruction.
+        """
+        bus = self.bus
+        version = bus.version
+        code_get = self._code.get
+        before_pc_get = self._before_pc.get
+        after_pc = self._after_pc
+        compiled = self._compiled_obs
+        buffer = self._obs_buffer
+        buffer_append = buffer.append
+        max_steps = self.max_steps
+        steps = self.steps
+        pc = self.pc
+        try:
+            while not self.halted and bus.version == version:
+                if steps >= max_steps:
+                    raise ExecutionLimitExceeded(
+                        f"exceeded {max_steps} steps", pc=pc)
+                steps += 1
+                if len(buffer) >= _OBS_FLUSH_LIMIT:
+                    self.steps = steps
+                    self.pc = pc
+                    self._flush_observations()
+                entry = code_get(pc)
+                if entry is None:
+                    self.fetch(pc)  # raises the precise fault for this pc
+                handler, instruction = entry
+                anchored = before_pc_get(pc)
+                redirect = None
+                if anchored is not None:
+                    self.steps = steps
+                    self.pc = pc
+                    for hook in tuple(anchored):
+                        result = hook.before_instruction(self, pc,
+                                                         instruction)
+                        if result is not None:
+                            redirect = result
+                # Procedure discovery (riding the cache's probes and
+                # transfers) changes which pcs are traced; re-validate
+                # the memoised filter decisions each iteration.
+                epoch = self._lazy_epoch()
+                if epoch != self._obs_epoch:
+                    self._extractors.clear()
+                    compiled.clear()
+                    self._obs_epoch = epoch
+                if redirect is not None:
+                    # Mirror step(): the skipped instruction is still
+                    # observed in its pre-redirect state.
+                    extractor = self._extractor_for(pc, instruction)
+                    if extractor is not None:
+                        buffer_append(extractor())
+                    pc = self._transfer(pc, TransferKind.PATCH,
+                                        redirect)
+                    continue
+                anchor_version = bus.anchor_version
+                if anchor_version != self._compiled_obs_version:
+                    compiled.clear()
+                    self._compiled_obs_version = anchor_version
+                run = compiled.get(pc)
+                if run is None:
+                    run = self._compile_obs_run(pc) or False
+                    compiled[pc] = run
+                if run is not False and bus.version == version and \
+                        steps - 1 + run[1] <= max_steps:
+                    entry_pc = pc
+                    done = 0
+                    try:
+                        for seg_ops, seg_count in run[0]:
+                            for extractor, op, ins_pc, ins in seg_ops:
+                                if extractor is not None:
+                                    buffer_append(extractor())
+                                pc = op(self, ins_pc, ins)
+                            done += seg_count
+                            if bus.version != version or \
+                                    bus.anchor_version != anchor_version \
+                                    or self._lazy_epoch() != epoch:
+                                break
+                    except BaseException:
+                        steps += (pc - entry_pc) // INSTRUCTION_SIZE
+                        raise
+                    steps += done - 1
+                    continue
+                extractor = self._extractor_for(pc, instruction)
+                if extractor is not None:
+                    buffer_append(extractor())
                 here = pc
                 pc = handler(self, here, instruction)
                 if after_pc:
@@ -493,6 +723,106 @@ class CPU:
             self.pc = pc
 
     # ------------------------------------------------------------------
+    # Superblock compilation (per-CPU; see the module-level helpers)
+    # ------------------------------------------------------------------
+
+    def _take_run(self, entry_pc: int) -> list | None:
+        """The ``(pc, instruction)`` stretch a run from *entry_pc* may
+        cover: from the registered block position to the block end or the
+        first anchored pc, whichever comes first.  None when no block is
+        registered, the stretch is trivially short, or the entry itself
+        carries an after-anchor (its event must fire per instruction)."""
+        located = self.bus.blocks.get(entry_pc)
+        if located is None:
+            return None
+        items, index = located
+        before_pc = self._before_pc
+        after_pc = self._after_pc
+        if entry_pc in after_pc:
+            return None
+        take = []
+        for position in range(index, len(items)):
+            ins_pc, instruction = items[position]
+            if position != index and (ins_pc in before_pc or
+                                      ins_pc in after_pc):
+                break  # a patch or probe splits the block here
+            take.append((ins_pc, instruction))
+        if len(take) < 2:
+            return None
+        return take
+
+    def _compile_run(self, entry_pc: int) -> tuple | None:
+        """Compile ``(segments, instruction count)`` for the fast loop.
+
+        Runs bind only instruction constants (never CPU state), so the
+        compiled form is shared per binary via ``Binary._run_cache``,
+        keyed by ``(entry pc, length)`` — over an immutable image that
+        pair fully determines the instruction stretch, its barrier
+        segmentation, and its fusion.
+        """
+        take = self._take_run(entry_pc)
+        if take is None:
+            return None
+        shared = self.binary._run_cache
+        if shared is None:
+            shared = self.binary._run_cache = {}
+        key = (entry_pc, len(take))
+        run = shared.get(key)
+        if run is None:
+            segments = tuple((_compile_ops(segment), len(segment))
+                             for segment in _split_segments(take))
+            run = (segments, len(take))
+            shared[key] = run
+        return run
+
+    def _compile_obs_run(self, entry_pc: int) -> tuple | None:
+        """Compile an observed run: each op carries its extractor."""
+        take = self._take_run(entry_pc)
+        if take is None:
+            return None
+        segments = []
+        for segment in _split_segments(take):
+            ops = tuple((self._extractor_for(ins_pc, instruction),
+                         _DISPATCH[instruction.opcode], ins_pc,
+                         instruction)
+                        for ins_pc, instruction in segment)
+            segments.append((ops, len(segment)))
+        return (tuple(segments), len(take))
+
+    # ------------------------------------------------------------------
+    # Lazy operand observation plumbing
+    # ------------------------------------------------------------------
+
+    def _extractor_for(self, pc: int, instruction: Instruction):
+        """The memoised snapshot closure for *pc* (None = filtered)."""
+        cache = self._extractors
+        extractor = cache.get(pc, _UNSET)
+        if extractor is _UNSET:
+            wanted = any(hook.observes(pc)
+                         for hook in self.bus.lazy_operands)
+            extractor = build_extractor(self, pc, instruction) \
+                if wanted else None
+            cache[pc] = extractor
+        return extractor
+
+    def _lazy_epoch(self) -> int:
+        """Combined filter epoch of the lazy operand subscribers."""
+        lazy = self._lazy
+        if len(lazy) == 1:
+            return lazy[0].observation_epoch()
+        return sum(hook.observation_epoch() for hook in lazy)
+
+    def _flush_observations(self) -> None:
+        """Deliver and clear the buffered snapshots, in order."""
+        buffer = self._obs_buffer
+        if not buffer:
+            return
+        records = buffer[:]
+        del buffer[:]
+        for hook in tuple(self.bus.lazy_operands):
+            hook.on_operand_batch(self, records)
+
+    # ------------------------------------------------------------------
     # Instruction semantics (one handler per opcode; see _DISPATCH)
     # ------------------------------------------------------------------
 
@@ -503,6 +833,11 @@ class CPU:
 
     def _transfer(self, pc: int, kind: str, target: int) -> int:
         """Announce and validate a control transfer; return the target."""
+        if self._obs_buffer:
+            # Deliver buffered snapshots before any transfer subscriber
+            # runs: activation shadows update in on_transfer, so every
+            # record still digests under the activation it executed in.
+            self._flush_observations()
         subscribers = self._transfers
         if subscribers:
             for hook in tuple(subscribers):
@@ -801,3 +1136,317 @@ _DISPATCH = [CPU._op_invalid] * (max(Opcode) + 1)
 for _opcode, _handler in _HANDLERS.items():
     _DISPATCH[_opcode] = _handler
 del _opcode, _handler
+
+
+# ----------------------------------------------------------------------
+# Superblock compilation: fused superinstructions and pre-bound runs
+# ----------------------------------------------------------------------
+#
+# A *micro-op* is a closure over one instruction's constants with the
+# signature ``micro(cpu, regs)``; it must be non-raising (which excludes
+# DIV and everything touching memory) and must not dispatch hook events,
+# so a fused stretch of micro-ops needs no per-instruction bookkeeping at
+# all.  ``_fuse`` packs a stretch into one superinstruction with the
+# ordinary handler signature, so compiled runs stay homogeneous.
+
+_MASK = WORD_MASK
+
+
+def _micro_mov(ins):
+    a = ins.a
+    if ins.b_kind == _REG:
+        b = ins.b
+
+        def micro(cpu, regs):
+            regs[a] = regs[b]
+    else:
+        value = ins.b & _MASK
+
+        def micro(cpu, regs):
+            regs[a] = value
+    return micro
+
+
+def _micro_add(ins):
+    a = ins.a
+    if ins.b_kind == _REG:
+        b = ins.b
+
+        def micro(cpu, regs):
+            regs[a] = (regs[a] + regs[b]) & _MASK
+    else:
+        b = ins.b
+
+        def micro(cpu, regs):
+            regs[a] = (regs[a] + b) & _MASK
+    return micro
+
+
+def _micro_sub(ins):
+    a = ins.a
+    if ins.b_kind == _REG:
+        b = ins.b
+
+        def micro(cpu, regs):
+            regs[a] = (regs[a] - regs[b]) & _MASK
+    else:
+        b = ins.b
+
+        def micro(cpu, regs):
+            regs[a] = (regs[a] - b) & _MASK
+    return micro
+
+
+def _micro_mul(ins):
+    a = ins.a
+    if ins.b_kind == _REG:
+        b = ins.b
+
+        def micro(cpu, regs):
+            regs[a] = (regs[a] * regs[b]) & _MASK
+    else:
+        b = ins.b
+
+        def micro(cpu, regs):
+            regs[a] = (regs[a] * b) & _MASK
+    return micro
+
+
+def _micro_and(ins):
+    a = ins.a
+    if ins.b_kind == _REG:
+        b = ins.b
+
+        def micro(cpu, regs):
+            regs[a] = regs[a] & regs[b]
+    else:
+        b = ins.b & _MASK
+
+        def micro(cpu, regs):
+            regs[a] = regs[a] & b
+    return micro
+
+
+def _micro_or(ins):
+    a = ins.a
+    if ins.b_kind == _REG:
+        b = ins.b
+
+        def micro(cpu, regs):
+            regs[a] = regs[a] | regs[b]
+    else:
+        b = ins.b & _MASK
+
+        def micro(cpu, regs):
+            regs[a] = regs[a] | b
+    return micro
+
+
+def _micro_xor(ins):
+    a = ins.a
+    if ins.b_kind == _REG:
+        b = ins.b
+
+        def micro(cpu, regs):
+            regs[a] = regs[a] ^ regs[b]
+    else:
+        b = ins.b & _MASK
+
+        def micro(cpu, regs):
+            regs[a] = regs[a] ^ b
+    return micro
+
+
+def _micro_shl(ins):
+    a = ins.a
+    if ins.b_kind == _REG:
+        b = ins.b
+
+        def micro(cpu, regs):
+            regs[a] = (regs[a] << (regs[b] & 31)) & _MASK
+    else:
+        shift = ins.b & 31
+
+        def micro(cpu, regs):
+            regs[a] = (regs[a] << shift) & _MASK
+    return micro
+
+
+def _micro_shr(ins):
+    a = ins.a
+    if ins.b_kind == _REG:
+        b = ins.b
+
+        def micro(cpu, regs):
+            regs[a] = regs[a] >> (regs[b] & 31)
+    else:
+        shift = ins.b & 31
+
+        def micro(cpu, regs):
+            regs[a] = regs[a] >> shift
+    return micro
+
+
+def _micro_sar(ins):
+    a = ins.a
+    signed = to_signed
+    if ins.b_kind == _REG:
+        b = ins.b
+
+        def micro(cpu, regs):
+            regs[a] = (signed(regs[a]) >> (regs[b] & 31)) & _MASK
+    else:
+        shift = ins.b & 31
+
+        def micro(cpu, regs):
+            regs[a] = (signed(regs[a]) >> shift) & _MASK
+    return micro
+
+
+def _micro_neg(ins):
+    a = ins.a
+
+    def micro(cpu, regs):
+        regs[a] = -regs[a] & _MASK
+    return micro
+
+
+def _micro_not(ins):
+    a = ins.a
+
+    def micro(cpu, regs):
+        regs[a] = ~regs[a] & _MASK
+    return micro
+
+
+def _micro_cmp(ins):
+    a = ins.a
+    if ins.b_kind == _REG:
+        b = ins.b
+
+        def micro(cpu, regs):
+            cpu._flag_left = regs[a]
+            cpu._flag_right = regs[b]
+    else:
+        right = ins.b & _MASK
+
+        def micro(cpu, regs):
+            cpu._flag_left = regs[a]
+            cpu._flag_right = right
+    return micro
+
+
+def _micro_test(ins):
+    a = ins.a
+    if ins.b_kind == _REG:
+        b = ins.b
+
+        def micro(cpu, regs):
+            cpu._flag_left = regs[a] & regs[b]
+            cpu._flag_right = 0
+    else:
+        b = ins.b & _MASK
+
+        def micro(cpu, regs):
+            cpu._flag_left = regs[a] & b
+            cpu._flag_right = 0
+    return micro
+
+
+def _micro_lea(ins):
+    a = ins.a
+    base = ins.b
+    if base == ABSOLUTE_BASE:
+        value = ins.c & _MASK
+
+        def micro(cpu, regs):
+            regs[a] = value
+    else:
+        disp = ins.c
+
+        def micro(cpu, regs):
+            regs[a] = (regs[base] + disp) & _MASK
+    return micro
+
+
+_MICRO_MAKERS = {
+    Opcode.MOV: _micro_mov,
+    Opcode.ADD: _micro_add,
+    Opcode.SUB: _micro_sub,
+    Opcode.MUL: _micro_mul,
+    Opcode.AND: _micro_and,
+    Opcode.OR: _micro_or,
+    Opcode.XOR: _micro_xor,
+    Opcode.SHL: _micro_shl,
+    Opcode.SHR: _micro_shr,
+    Opcode.SAR: _micro_sar,
+    Opcode.NEG: _micro_neg,
+    Opcode.NOT: _micro_not,
+    Opcode.CMP: _micro_cmp,
+    Opcode.TEST: _micro_test,
+    Opcode.LEA: _micro_lea,
+}
+
+#: Instruction -> micro-op (or None when not fusable).  Keyed by the
+#: frozen Instruction value, so identical instructions across blocks,
+#: CPUs, and binaries share one compiled closure.
+_MICRO_CACHE: dict[Instruction, object] = {}
+
+
+def _micro_for(instruction: Instruction):
+    """The memoised micro-op for *instruction*, or None if unfusable."""
+    micro = _MICRO_CACHE.get(instruction, _UNSET)
+    if micro is _UNSET:
+        maker = _MICRO_MAKERS.get(instruction.opcode)
+        micro = maker(instruction) if maker is not None else None
+        _MICRO_CACHE[instruction] = micro
+    return micro
+
+
+def _fuse(micros: tuple):
+    """Pack consecutive micro-ops into one superinstruction handler."""
+    advance = len(micros) * INSTRUCTION_SIZE
+
+    def superinstruction(cpu, pc, _ins):
+        regs = cpu.registers
+        for micro in micros:
+            micro(cpu, regs)
+        return pc + advance
+    return superinstruction
+
+
+def _split_segments(items: list) -> list[list]:
+    """Split a run's ``(pc, instruction)`` list after each barrier op."""
+    segments: list[list] = [[]]
+    for item in items:
+        segments[-1].append(item)
+        if item[1].opcode in _SEGMENT_BARRIERS:
+            segments.append([])
+    if not segments[-1]:
+        segments.pop()
+    return segments
+
+
+def _compile_ops(segment: list) -> tuple:
+    """Pre-bind one segment into ``(handler, pc, instruction)`` triples,
+    fusing maximal stretches of two or more micro-ops."""
+    ops: list = []
+    fusable: list = []
+
+    def close_stretch():
+        if len(fusable) >= 2:
+            micros = tuple(_MICRO_CACHE[ins] for _, ins in fusable)
+            ops.append((_fuse(micros), fusable[0][0], None))
+        else:
+            for ins_pc, ins in fusable:
+                ops.append((_DISPATCH[ins.opcode], ins_pc, ins))
+        del fusable[:]
+
+    for ins_pc, ins in segment:
+        if _micro_for(ins) is not None:
+            fusable.append((ins_pc, ins))
+        else:
+            close_stretch()
+            ops.append((_DISPATCH[ins.opcode], ins_pc, ins))
+    close_stretch()
+    return tuple(ops)

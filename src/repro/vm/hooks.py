@@ -84,6 +84,21 @@ class ExecutionHook:
     #: to :meth:`on_operands`.
     wants_operands = False
 
+    #: Set True to receive *batched* raw operand snapshots instead of
+    #: per-instruction :class:`OperandObservation` records: the CPU
+    #: appends one flat tuple per traced instruction to a ring buffer and
+    #: delivers it via :meth:`on_operand_batch` at control transfers (and
+    #: at run exit).  Batched observation confines its cost to the pcs
+    #: :meth:`observes` admits — the CPU never builds a snapshot for a
+    #: pc every lazy subscriber filters out — which is what makes
+    #: partial tracing cheap at the kernel level rather than the
+    #: front-end level.  Note the filter is a *union* across lazy
+    #: subscribers: the batch is delivered whole to every one of them,
+    #: so a hook sharing a CPU with differently-filtered peers must
+    #: still re-filter inside :meth:`on_operand_batch` (as the trace
+    #: front end does).
+    lazy_operands = False
+
     #: Set True for hooks whose ``before_instruction``/``after_instruction``
     #: interest is confined to specific addresses.  Anchored hooks are kept
     #: out of the global per-instruction dispatch lists; instead the bus
@@ -109,6 +124,29 @@ class ExecutionHook:
     def on_operands(self, cpu: "CPU",
                     observation: OperandObservation) -> None:
         """Receives the per-instruction trace record when enabled."""
+
+    def observes(self, pc: int) -> bool:
+        """Whether a ``lazy_operands`` hook wants snapshots at *pc*.
+
+        The CPU consults this once per pc (memoised) when compiling its
+        observation plan; return False for instructions outside the
+        traced procedures and the kernel skips them entirely.
+        """
+        return True
+
+    def observation_epoch(self) -> int:
+        """Monotonic counter invalidating memoised :meth:`observes`
+        answers.  Bump it (e.g. when procedure discovery grows) and the
+        CPU re-asks; return a constant when answers never change."""
+        return 0
+
+    def on_operand_batch(self, cpu: "CPU", records: list[tuple]) -> None:
+        """Receives buffered raw operand snapshots, in execution order.
+
+        Each record is ``(pc, value..., esp)`` laid out per
+        :func:`repro.vm.observe.operand_layout`; absent conditional slots
+        (a faulting load, an empty stack) carry ``None``.
+        """
 
     def on_store(self, cpu: "CPU", pc: int, address: int, size: int,
                  value: int, old_value: int) -> None:
@@ -161,15 +199,30 @@ class HookBus:
 
     ``before_pc``/``after_pc`` route the per-instruction events for
     anchored hooks: pc -> subscriber list.  Anchor changes do not bump
-    ``version`` because both run loops consult the (stable) dicts live.
+    ``version`` (both run loops consult the stable dicts live) but they
+    do bump ``anchor_version``, which invalidates the CPU's compiled
+    superblock runs — a run is only valid while no anchor splits it.
+
+    ``blocks`` is the superblock substrate: the code cache registers each
+    materialised basic block's ``(pc, instruction)`` list here
+    (:meth:`install_block`), keyed by every instruction address it
+    covers, and the CPU compiles cached blocks into pre-bound runs from
+    it.  Registrations outlive cache ejection on purpose — the entries
+    are immutable decodings of immutable code, so a run compiled from
+    them is always valid machine code; rebuild-and-re-instrument
+    obligations ride the block head's anchor, and the anchor change that
+    accompanies a patch is what splits the recompiled run.  Blocks are
+    withdrawn (:meth:`remove_block`) only when the owning cache detaches.
     """
 
     def __init__(self):
         self.hooks: list[ExecutionHook] = []
         self.version = 0
+        self.anchor_version = 0
         self.before: list[ExecutionHook] = []
         self.after: list[ExecutionHook] = []
         self.operands: list[ExecutionHook] = []
+        self.lazy_operands: list[ExecutionHook] = []
         self.store: list[ExecutionHook] = []
         self.transfer: list[ExecutionHook] = []
         self.ret: list[ExecutionHook] = []
@@ -177,6 +230,9 @@ class HookBus:
         self.free: list[ExecutionHook] = []
         self.before_pc: dict[int, list[ExecutionHook]] = {}
         self.after_pc: dict[int, list[ExecutionHook]] = {}
+        #: instruction pc -> (block items, index of pc within them), where
+        #: items is the owning cached block's [(pc, Instruction), ...].
+        self.blocks: dict[int, tuple[list, int]] = {}
 
     # -- registration ---------------------------------------------------
 
@@ -192,6 +248,8 @@ class HookBus:
                 getattr(self, event).append(hook)
         if hook.wants_operands:
             self.operands.append(hook)
+        if hook.lazy_operands:
+            self.lazy_operands.append(hook)
         self.version += 1
         if hook.pc_anchored:
             hook.bus_attached(self)
@@ -205,6 +263,8 @@ class HookBus:
                 subscribers.remove(hook)
         if hook in self.operands:
             self.operands.remove(hook)
+        if hook in self.lazy_operands:
+            self.lazy_operands.remove(hook)
         if hook.pc_anchored:
             hook.bus_detached(self)
         # Defensive sweep: drop any anchors the hook left behind.
@@ -233,6 +293,7 @@ class HookBus:
             subscribers.sort(
                 key=lambda sub: hooks.index(sub) if sub in hooks
                 else len(hooks))
+        self.anchor_version += 1
 
     def unanchor(self, hook: ExecutionHook, pc: int,
                  when: str = "before") -> None:
@@ -243,6 +304,43 @@ class HookBus:
             subscribers.remove(hook)
             if not subscribers:
                 del table[pc]
+            self.anchor_version += 1
+
+    # -- superblock substrate -------------------------------------------
+
+    def install_block(self, items: list) -> None:
+        """Register a materialised block's ``[(pc, instruction), ...]``.
+
+        Every instruction address maps to (items, index), so the CPU can
+        compile a pre-bound run starting anywhere in the block — which is
+        how a block split by a patch anchor resumes as a tail run after
+        the anchored instruction.  Overlapping blocks (a later-discovered
+        head inside an earlier block's tail) simply overwrite: both views
+        decode the same immutable image, so either is valid.
+
+        Installation does not bump ``anchor_version``: a compiled run is
+        a pure function of the immutable image and the anchor tables, so
+        registering (or withdrawing) a compilation *source* cannot
+        invalidate one — only anchor changes can.  Every new block's
+        head is anchored by the code cache anyway, which refreshes the
+        CPU's negative compile cache at exactly the right moment.
+        """
+        blocks = self.blocks
+        for index, (pc, _) in enumerate(items):
+            blocks[pc] = (items, index)
+
+    def remove_block(self, items: list) -> None:
+        """Withdraw a block registered via :meth:`install_block`.
+
+        Only entries still owned by *items* are dropped, so ejecting a
+        block whose tail was overwritten by an overlapping block leaves
+        the overwriter's entries intact.
+        """
+        blocks = self.blocks
+        for pc, _ in items:
+            entry = blocks.get(pc)
+            if entry is not None and entry[0] is items:
+                del blocks[pc]
 
     def ordered(self, subscribers: list[ExecutionHook]
                 ) -> list[ExecutionHook]:

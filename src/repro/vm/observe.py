@@ -1,0 +1,263 @@
+"""Compiled operand extraction: the raw feed for batched learning.
+
+:meth:`repro.vm.cpu.CPU.observe_operands` builds a dict-shaped
+:class:`~repro.vm.hooks.OperandObservation` per instruction — convenient,
+but far too slow to pay on every instruction of a learning run.  This
+module is its compiled twin: :func:`operand_layout` names the slots an
+opcode observes (a pure function of the decoded instruction), and
+:func:`build_extractor` compiles, per (cpu, pc), a closure that snapshots
+exactly those values into one flat tuple ``(pc, value..., esp)`` with all
+instruction constants pre-bound.
+
+The two representations are interconvertible:
+:func:`observation_from_record` rebuilds the dict form from a record, and
+``tests/test_lazy_observation.py`` pins extractor output against
+``observe_operands`` across every opcode, so the batched learning path
+and the per-instruction path observe byte-identical data.
+
+Conditional slots (a faulting load's ``value``, ``value``/``target`` on
+an empty stack) carry ``None`` in the record, mirroring their absence
+from the dict form.
+"""
+
+from __future__ import annotations
+
+from repro.errors import MemoryFault
+from repro.vm.assembler import ABSOLUTE_BASE
+from repro.vm.hooks import OperandObservation
+from repro.vm.isa import (
+    WORD_MASK,
+    WORD_SIZE,
+    Instruction,
+    Opcode,
+    OperandKind,
+    Register,
+    to_signed,
+)
+
+_ESP = int(Register.ESP)
+_REG = OperandKind.REGISTER
+
+#: Binary ALU opcodes sharing the (src, dst_in, dst) observation shape.
+_BINARY_ALU = (Opcode.ADD, Opcode.SUB, Opcode.MUL, Opcode.DIV,
+               Opcode.AND, Opcode.OR, Opcode.XOR,
+               Opcode.SHL, Opcode.SHR, Opcode.SAR)
+
+#: The value a binary ALU instruction computes (pre-state function);
+#: mirrors ``CPU._alu_result`` exactly.
+_ALU_FUNCS = {
+    Opcode.ADD: lambda left, right: (left + right) & WORD_MASK,
+    Opcode.SUB: lambda left, right: (left - right) & WORD_MASK,
+    Opcode.MUL: lambda left, right: (left * right) & WORD_MASK,
+    Opcode.DIV: lambda left, right:
+        (left // right) & WORD_MASK if right else 0,
+    Opcode.AND: lambda left, right: left & right,
+    Opcode.OR: lambda left, right: left | right,
+    Opcode.XOR: lambda left, right: left ^ right,
+    Opcode.SHL: lambda left, right: (left << (right & 31)) & WORD_MASK,
+    Opcode.SHR: lambda left, right: (left >> (right & 31)) & WORD_MASK,
+    Opcode.SAR: lambda left, right:
+        (to_signed(left) >> (right & 31)) & WORD_MASK,
+}
+
+
+def operand_layout(
+        instruction: Instruction) -> tuple[tuple[str, ...],
+                                           tuple[str, ...]]:
+    """(slot names, computed slots) for *instruction*, in record order.
+
+    The names exclude the trailing ``esp`` slot, which every record
+    carries last.  ``computed`` follows the §2.2.2 scoping rule — for
+    POP it applies only when the conditional ``value`` slot is present.
+    """
+    op = instruction.opcode
+    if op == Opcode.MOV:
+        return ("src", "dst"), ("dst",)
+    if op in _BINARY_ALU:
+        return ("src", "dst_in", "dst"), ("dst",)
+    if op in (Opcode.NEG, Opcode.NOT):
+        return ("dst_in", "dst"), ("dst",)
+    if op in (Opcode.LOAD, Opcode.LOADB):
+        return ("addr", "value"), ("value", "addr")
+    if op == Opcode.LEA:
+        return ("addr",), ("addr",)
+    if op in (Opcode.STORE, Opcode.STOREB):
+        return ("addr", "value"), ("addr", "value")
+    if op in (Opcode.CMP, Opcode.TEST):
+        return ("left", "right"), ("left",)
+    if op == Opcode.PUSH:
+        return ("value",), ("value",)
+    if op == Opcode.POP:
+        return ("value",), ("value",)
+    if op in (Opcode.CALLR, Opcode.JMPR):
+        return ("target",), ("target",)
+    if op == Opcode.ALLOC:
+        return ("size",), ("size",)
+    if op == Opcode.FREE:
+        return ("value",), ("value",)
+    if op in (Opcode.OUT, Opcode.OUTB):
+        return ("value",), ("value",)
+    if op == Opcode.RET:
+        return ("target",), ()
+    return (), ()
+
+
+def observation_from_record(instruction: Instruction,
+                            record: tuple) -> OperandObservation:
+    """Rebuild the dict-shaped observation an extractor record encodes."""
+    names, computed = operand_layout(instruction)
+    slots = {name: value
+             for name, value in zip(names, record[1:])
+             if value is not None}
+    if instruction.opcode == Opcode.POP and "value" not in slots:
+        computed = ()
+    slots["esp"] = record[-1]
+    return OperandObservation(pc=record[0], slots=slots,
+                              computed=computed)
+
+
+def build_extractor(cpu, pc: int, instruction: Instruction):
+    """Compile a zero-argument snapshot closure for (cpu, pc).
+
+    The closure reads the current machine state and returns
+    ``(pc, value..., esp)`` per :func:`operand_layout`; it never raises
+    (conditional slots degrade to ``None``, like ``observe_operands``).
+    """
+    regs = cpu.registers
+    memory = cpu.memory
+    op = instruction.opcode
+    a = instruction.a
+    b = instruction.b
+    c = instruction.c
+    b_is_reg = instruction.b_kind == _REG
+
+    if op == Opcode.MOV:
+        if b_is_reg:
+            def extract():
+                value = regs[b]
+                return (pc, value, value, regs[_ESP])
+        else:
+            src = b
+            dst = b & WORD_MASK
+
+            def extract():
+                return (pc, src, dst, regs[_ESP])
+        return extract
+
+    if op in _BINARY_ALU:
+        alu = _ALU_FUNCS[op]
+        if b_is_reg:
+            def extract():
+                left = regs[a]
+                right = regs[b]
+                return (pc, right, left, alu(left, right), regs[_ESP])
+        else:
+            def extract():
+                left = regs[a]
+                return (pc, b, left, alu(left, b), regs[_ESP])
+        return extract
+
+    if op in (Opcode.NEG, Opcode.NOT):
+        if op == Opcode.NEG:
+            def extract():
+                value = regs[a]
+                return (pc, value, -value & WORD_MASK, regs[_ESP])
+        else:
+            def extract():
+                value = regs[a]
+                return (pc, value, ~value & WORD_MASK, regs[_ESP])
+        return extract
+
+    if op in (Opcode.LOAD, Opcode.LOADB):
+        read = memory.read_word if op == Opcode.LOAD else memory.read_byte
+        if b == ABSOLUTE_BASE:
+            address = c & WORD_MASK
+
+            def extract():
+                try:
+                    value = read(address)
+                except MemoryFault:
+                    value = None
+                return (pc, address, value, regs[_ESP])
+        else:
+            def extract():
+                address = (regs[b] + c) & WORD_MASK
+                try:
+                    value = read(address)
+                except MemoryFault:
+                    value = None
+                return (pc, address, value, regs[_ESP])
+        return extract
+
+    if op == Opcode.LEA:
+        if b == ABSOLUTE_BASE:
+            address = c & WORD_MASK
+
+            def extract():
+                return (pc, address, regs[_ESP])
+        else:
+            def extract():
+                return (pc, (regs[b] + c) & WORD_MASK, regs[_ESP])
+        return extract
+
+    if op in (Opcode.STORE, Opcode.STOREB):
+        if a == ABSOLUTE_BASE:
+            address = c & WORD_MASK
+
+            def extract():
+                return (pc, address, regs[b], regs[_ESP])
+        else:
+            def extract():
+                return (pc, (regs[a] + c) & WORD_MASK, regs[b],
+                        regs[_ESP])
+        return extract
+
+    if op in (Opcode.CMP, Opcode.TEST):
+        if b_is_reg:
+            def extract():
+                return (pc, regs[a], regs[b], regs[_ESP])
+        else:
+            def extract():
+                return (pc, regs[a], b, regs[_ESP])
+        return extract
+
+    if op in (Opcode.PUSH, Opcode.ALLOC, Opcode.OUT, Opcode.OUTB):
+        if b_is_reg:
+            def extract():
+                return (pc, regs[b], regs[_ESP])
+        else:
+            def extract():
+                return (pc, b, regs[_ESP])
+        return extract
+
+    if op == Opcode.POP:
+        stack_top = memory.stack_top
+        read_word = memory.read_word
+
+        def extract():
+            esp = regs[_ESP]
+            if esp + WORD_SIZE <= stack_top:
+                return (pc, read_word(esp), esp)
+            return (pc, None, esp)
+        return extract
+
+    if op in (Opcode.CALLR, Opcode.JMPR, Opcode.FREE):
+        def extract():
+            return (pc, regs[a], regs[_ESP])
+        return extract
+
+    if op == Opcode.RET:
+        stack_top = memory.stack_top
+        read_word = memory.read_word
+
+        def extract():
+            esp = regs[_ESP]
+            if esp + WORD_SIZE <= stack_top:
+                return (pc, read_word(esp), esp)
+            return (pc, None, esp)
+        return extract
+
+    # Direct jumps/calls, ENTER, LEAVE, HALT, NOP: esp only.
+    def extract():
+        return (pc, regs[_ESP])
+    return extract

@@ -8,6 +8,7 @@ equivalence regression over the real workload.
 
 from __future__ import annotations
 
+import os
 import pathlib
 import subprocess
 import sys
@@ -316,5 +317,28 @@ class TestBenchSmoke:
         assert completed.returncode == 0, completed.stderr
         assert "bare" in completed.stdout
         assert "not written" in completed.stdout
+        after = trajectory.read_text() if trajectory.exists() else None
+        assert before == after
+
+    @pytest.mark.skipif(
+        bool(os.environ.get("SKIP_PERF_GATE")),
+        reason="perf gate compares against records from the CI machine; "
+               "set SKIP_PERF_GATE=1 on unrelated hardware")
+    def test_run_bench_check_gate(self):
+        """The CI perf gate: the current tree must hold the committed
+        bare-config throughput within the regression tolerance, and the
+        gate must never touch the trajectory file."""
+        repo_root = pathlib.Path(__file__).resolve().parent.parent
+        bench = repo_root / "benchmarks" / "run_bench.py"
+        trajectory = repo_root / "BENCH_kernel.json"
+        before = trajectory.read_text() if trajectory.exists() else None
+        env = {"PYTHONPATH": str(repo_root / "src")}
+        completed = subprocess.run(
+            [sys.executable, str(bench), "--check"],
+            cwd=repo_root, env=env, capture_output=True, text=True,
+            timeout=300)
+        assert completed.returncode == 0, \
+            completed.stdout + completed.stderr
+        assert "perf gate" in completed.stdout
         after = trajectory.read_text() if trajectory.exists() else None
         assert before == after

@@ -1,0 +1,309 @@
+"""Tests for the superblock execution engine.
+
+Covers the invariants the pre-bound run compiler must uphold: bit-exact
+equivalence with the per-instruction loop under mid-run patch
+install/remove (run splitting and recompilation), mid-run subscription
+changes from store hooks (segment barriers), exact step-budget
+semantics, and fused ALU/MOV superinstruction behaviour.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dynamo import EnvironmentConfig, ManagedEnvironment, Outcome
+from repro.dynamo.code_cache import CodeCache
+from repro.dynamo.patches import Patch, PatchManager
+from repro.errors import ExecutionLimitExceeded
+from repro.vm import CPU, assemble
+from repro.vm.cpu import _SEGMENT_BARRIERS  # noqa: F401  (api sanity)
+from repro.vm.hooks import ExecutionHook
+from repro.vm.isa import INSTRUCTION_SIZE, Register
+
+
+LOOP_PROGRAM = """
+main:
+    mov eax, 0
+    mov ecx, 10
+loop:
+    add eax, 1
+    add eax, 2
+    add eax, 3
+    mov ebx, eax
+    out ebx
+    sub ecx, 1
+    cmp ecx, 0
+    jne loop
+    halt
+"""
+
+
+class _NoOpBefore(ExecutionHook):
+    """Forces the full step loop without changing any behaviour."""
+
+    def before_instruction(self, cpu, pc, instruction):
+        return None
+
+
+class _AddConstant(Patch):
+    """Enforcement-style patch: adds a fixed amount to EAX."""
+
+    amount: int = 100
+
+    def execute(self, cpu, instruction):
+        cpu.set_register(Register.EAX,
+                         cpu.get_register(Register.EAX) + self.amount)
+        return None
+
+
+class _MidRunPatcher(Patch):
+    """Patch that installs/removes another patch at fixed iterations.
+
+    Sits at the loop head; on its Nth execution it applies *payload* at
+    a pc inside the (already compiled) loop block, and on its Mth it
+    removes it again — exercising run invalidation, split, and re-merge
+    while the block is hot.
+    """
+
+    manager: PatchManager = None
+    payload: Patch = None
+    install_at: int = 3
+    remove_at: int = 7
+
+    def __init__(self, **kwargs):
+        super().__init__(**kwargs)
+        self.fired = 0
+
+    def execute(self, cpu, instruction):
+        self.fired += 1
+        if self.fired == self.install_at:
+            self.manager.apply(self.payload)
+        elif self.fired == self.remove_at:
+            self.manager.remove(self.payload)
+        return None
+
+
+def _machine_state(cpu):
+    return (list(cpu.registers), list(cpu.output), cpu.steps, cpu.pc,
+            cpu.halted)
+
+
+def _run_loop_program(slow: bool, with_cache: bool = True):
+    binary = assemble(LOOP_PROGRAM)
+    cpu = CPU(binary)
+    cache = CodeCache(binary) if with_cache else None
+    if cache is not None:
+        cpu.add_hook(cache)
+    manager = PatchManager(cache)
+    cpu.add_hook(manager)
+    loop_pc = binary.symbols["loop"]
+    inside_pc = loop_pc + 2 * INSTRUCTION_SIZE  # the `add eax, 3`
+    payload = _AddConstant(pc=inside_pc)
+    driver = _MidRunPatcher(pc=loop_pc)
+    driver.manager = manager
+    driver.payload = payload
+    manager.apply(driver)
+    if slow:
+        cpu.add_hook(_NoOpBefore())
+    cpu.run()
+    return cpu
+
+
+class TestMidRunPatchSplitting:
+    def test_install_and_remove_mid_run_bit_identical(self):
+        """A patch installed at a pc inside a hot compiled block must
+        split the run before the next entry (and re-merge on removal):
+        fast-path outcomes match the per-instruction loop exactly."""
+        fast = _run_loop_program(slow=False)
+        slow = _run_loop_program(slow=True)
+        assert _machine_state(fast) == _machine_state(slow)
+        # Sanity: the payload actually fired while installed (iterations
+        # 3..6 add 100 each before removal on iteration 7).
+        base = _run_loop_program(slow=False, with_cache=True)
+        assert fast.output == base.output
+
+    def test_patch_mid_block_takes_effect_immediately(self):
+        """The iteration after installation must already see the patch
+        — a stale unsplit run would skip it."""
+        cpu = _run_loop_program(slow=False)
+        slow_outputs = _run_loop_program(slow=True).output
+        # Iterations emit eax after +6 per loop (+100 while patched).
+        assert cpu.output == slow_outputs
+        deltas = [b - a for a, b in zip(cpu.output, cpu.output[1:])]
+        assert 106 in deltas  # the patched iterations are visible
+        assert 6 in deltas    # and the unpatched ones too
+
+    def test_patch_install_bumps_anchor_version(self):
+        binary = assemble(LOOP_PROGRAM)
+        cpu = CPU(binary)
+        manager = PatchManager()
+        cpu.add_hook(manager)
+        before = cpu.bus.anchor_version
+        patch = _AddConstant(pc=INSTRUCTION_SIZE)
+        manager.apply(patch)
+        assert cpu.bus.anchor_version > before
+        mid = cpu.bus.anchor_version
+        manager.remove(patch)
+        assert cpu.bus.anchor_version > mid
+
+
+class _SubscribeOnStore(ExecutionHook):
+    """Subscribes a recorder the first time a store hits *address*."""
+
+    def __init__(self, address, recorder):
+        self.address = address
+        self.recorder = recorder
+        self.armed = True
+
+    def on_store(self, cpu, pc, address, size, value, old_value):
+        if self.armed and address == self.address:
+            self.armed = False
+            cpu.add_hook(self.recorder)
+
+
+class _Recorder(ExecutionHook):
+    def __init__(self):
+        self.seen = []
+
+    def before_instruction(self, cpu, pc, instruction):
+        self.seen.append(pc)
+        return None
+
+
+STORE_PROGRAM = """
+main:
+    mov ecx, 3
+    lea edx, [0x100800]
+loop:
+    mov eax, ecx
+    add eax, 10
+    store [edx+0], eax
+    add eax, 1
+    add eax, 2
+    out eax
+    sub ecx, 1
+    cmp ecx, 0
+    jne loop
+    halt
+"""
+
+
+class TestSegmentBarriers:
+    def test_subscribe_from_store_hook_mid_block(self):
+        """A store subscriber adding a granular hook mid-block: the run
+        must yield at the store barrier so the new hook sees the very
+        next instruction, exactly like the per-instruction loop."""
+        def build(slow):
+            binary = assemble(STORE_PROGRAM)
+            cpu = CPU(binary)
+            cache = CodeCache(binary)
+            cpu.add_hook(cache)
+            recorder = _Recorder()
+            cpu.add_hook(_SubscribeOnStore(
+                0x100800, recorder))
+            if slow:
+                cpu.add_hook(_NoOpBefore())
+            cpu.run()
+            return cpu, recorder
+
+        # Warm the compiled runs with one full pass first, then compare.
+        fast, fast_recorder = build(slow=False)
+        slow, slow_recorder = build(slow=True)
+        assert fast.output == slow.output
+        assert fast.steps == slow.steps
+        assert fast_recorder.seen == slow_recorder.seen
+        binary = assemble(STORE_PROGRAM)
+        store_pc = binary.symbols["loop"] + 2 * INSTRUCTION_SIZE
+        # The recorder's first event is the instruction after the store.
+        assert fast_recorder.seen[0] == store_pc + INSTRUCTION_SIZE
+
+
+class TestStepBudget:
+    @pytest.mark.parametrize("budget", range(3, 20))
+    def test_limit_hits_exact_instruction(self, budget):
+        """Exhausting max_steps mid-block must interrupt at the same
+        instruction (same pc, same steps) as the per-instruction loop;
+        a run is only entered when the budget covers it entirely."""
+        def run_with(slow):
+            binary = assemble(LOOP_PROGRAM)
+            cpu = CPU(binary)
+            cpu.add_hook(CodeCache(binary))
+            if slow:
+                cpu.add_hook(_NoOpBefore())
+            with pytest.raises(ExecutionLimitExceeded):
+                cpu.run(max_steps=budget)
+            return cpu
+
+        fast = run_with(slow=False)
+        slow = run_with(slow=True)
+        assert _machine_state(fast) == _machine_state(slow)
+
+
+FUSION_PROGRAM = """
+main:
+    mov eax, 7
+    mov ebx, 3
+    add eax, ebx
+    sub eax, 1
+    mul eax, 2
+    and eax, 0xFFFF
+    or eax, 0x10000
+    xor eax, 0x5
+    shl eax, 1
+    shr eax, 1
+    neg eax
+    neg eax
+    not ebx
+    not ebx
+    lea ecx, [0x2000]
+    cmp eax, ebx
+    out eax
+    out ebx
+    out ecx
+    halt
+"""
+
+
+class TestFusion:
+    def test_fused_run_matches_step_loop(self):
+        binary = assemble(FUSION_PROGRAM)
+        fast = CPU(binary)
+        fast.add_hook(CodeCache(binary))
+        fast.run()
+        slow = CPU(binary)
+        slow.add_hook(_NoOpBefore())
+        slow.run()
+        assert fast.output == slow.output
+        assert fast.registers == slow.registers
+        assert fast.steps == slow.steps
+
+    def test_straight_line_block_is_compiled(self):
+        binary = assemble(FUSION_PROGRAM)
+        cpu = CPU(binary)
+        cpu.add_hook(CodeCache(binary))
+        cpu.run()
+        # The entry block was registered and compiled into a run whose
+        # segments cover every instruction of the block.
+        assert 0 in cpu.bus.blocks
+        run = cpu._compiled.get(binary.entry_point)
+        assert run not in (None, False)
+        segments, count = run
+        assert count == sum(seg_count for _, seg_count in segments)
+        assert count >= 2
+
+    def test_workload_equivalence_with_protection(self, browser):
+        """The real workload, full protection stack, fast vs slow —
+        superblocks must not change a single observable."""
+        from repro.apps import evaluation_pages
+        binary = browser.stripped()
+        pages = evaluation_pages()[:6]
+        fast = ManagedEnvironment(binary, EnvironmentConfig.full())
+        slow = ManagedEnvironment(binary, EnvironmentConfig.full())
+        slow.extra_hooks.append(_NoOpBefore())
+        for page in pages:
+            fast_result = fast.run(page)
+            slow_result = slow.run(page)
+            assert fast_result.outcome is Outcome.COMPLETED
+            assert fast_result.output == slow_result.output
+            assert fast_result.steps == slow_result.steps
+            assert fast_result.stats == slow_result.stats
