@@ -96,10 +96,9 @@ def check_regression() -> int:
 
     binary = build_browser().stripped()
     CPU(binary)  # warm the shared caches outside the timed region
-    # repeats=3 matches the methodology of the records we compare
-    # against (best-of-3 absorbs scheduler noise on loaded runners).
+    # Same best-of-5 methodology as the records we compare against.
     measured = measure_config(binary, "bare", evaluation_pages(),
-                              repeats=3)
+                              repeats=5)
     floor = record["instructions_per_sec"] * (1 - REGRESSION_TOLERANCE)
     verdict = "OK" if measured.instructions_per_sec >= floor else "FAIL"
     print(f"perf gate [{verdict}]: bare "

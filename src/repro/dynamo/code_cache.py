@@ -84,10 +84,11 @@ class CodeCache(ExecutionHook):
     def bus_detached(self, bus) -> None:
         for pc in self._anchored:
             bus.unanchor(self, pc, "before")
-        for start in self._cached:
-            block = self.block_map.get(start)
-            if block is not None:
-                bus.remove_block(block.instructions)
+        # Withdraw every block this cache ever registered — including
+        # ejected ones, whose registrations deliberately outlive the
+        # ejection (see eject()).
+        for block in self.block_map.blocks.values():
+            bus.remove_block(block.instructions)
         self._anchored = set()
         self._bus = None
 
@@ -103,7 +104,8 @@ class CodeCache(ExecutionHook):
 
     def _anchor_all(self) -> None:
         """(Re-)anchor the entry point and every known block."""
-        self._anchor_pc(self.block_map.binary.entry_point)
+        if self.block_map.binary.entry_point not in self._cached:
+            self._anchor_pc(self.block_map.binary.entry_point)
         for block in self.block_map.blocks.values():
             self._anchor_block(block)
 
@@ -112,12 +114,25 @@ class CodeCache(ExecutionHook):
             self._anchored.add(pc)
             self._bus.anchor(self, pc, "before")
 
+    def _unanchor_pc(self, pc: int) -> None:
+        if self._bus is not None and pc in self._anchored:
+            self._anchored.discard(pc)
+            self._bus.unanchor(self, pc, "before")
+
     def _anchor_block(self, block: BasicBlock) -> None:
-        """Anchor *block*'s start and, if it can fall through into
-        undiscovered code, its fall-through frontier."""
-        self._anchor_pc(block.start)
+        """Anchor *block*'s start while it needs a probe and, if it can
+        fall through into undiscovered code, its fall-through frontier.
+
+        A *live* cached block's head carries no anchor at all — the
+        probe would be a no-op by construction, and an unanchored head
+        lets the kernel enter the block's superblock run with nothing
+        but dict misses on its path.  Ejection re-anchors the head
+        (see :meth:`eject`), restoring the rebuild probe.
+        """
+        if block.start not in self._cached:
+            self._anchor_pc(block.start)
         if block.truncated:
-            return  # falls through into an existing (anchored) block
+            return  # falls through into an existing block
         if block.terminator.opcode in CONDITIONAL_JUMPS:
             frontier = block.end
             if frontier < len(self.block_map.binary.code) and \
@@ -142,6 +157,9 @@ class CodeCache(ExecutionHook):
                 plugin.on_block_build(self, block)
             if self._bus is not None:
                 self._bus.install_block(block.instructions)
+            # The head needs no probe while the block is live (a
+            # frontier anchor from a predecessor may point here too).
+            self._unanchor_pc(start)
         self._anchor_block(block)
         return block
 
@@ -161,6 +179,8 @@ class CodeCache(ExecutionHook):
             return False
         self._cached.discard(start)
         self.ejections += 1
+        # Restore the rebuild probe the live block did not need.
+        self._anchor_pc(start)
         block = self.block_map.get(start)
         if block is not None:
             for plugin in self.plugins:
@@ -210,6 +230,9 @@ class CodeCache(ExecutionHook):
     def before_instruction(self, cpu: CPU, pc: int,
                            instruction: Instruction) -> int | None:
         """Anchored probe: fires only at block starts and frontiers."""
+        if pc in self._cached:
+            # Hot case: entering a live cached block; nothing to do.
+            return None
         block = self.block_map.block_of(pc)
         if block is None:
             # Control arrived at an address no discovered block covers:
@@ -229,6 +252,9 @@ class CodeCache(ExecutionHook):
         a target outside the code segment (or misaligned) is about to
         fault, so it must not be decoded into the block map.
         """
+        if target in self._cached:
+            # Hot case: transfer into a live cached block.
+            return
         block = self.block_map.block_of(target)
         if block is None:
             if cpu.memory.in_code(target) and \
