@@ -1,14 +1,28 @@
 """§3: application community benches — amortized learning, protection
-without exposure, and parallel repair evaluation."""
+without exposure, parallel repair evaluation, and the process-sharded
+transport's wall-clock speedup."""
 
 from __future__ import annotations
 
+import json
+import os
+import time
+
+import pytest
 from conftest import format_table
 
 from repro.apps import learning_pages
 from repro.community import CommunityManager
-from repro.dynamo import Outcome
+from repro.dynamo import EnvironmentConfig, Outcome
 from repro.redteam import exploit
+
+#: The >1.5x sharding speedup is a multi-core claim: with 8 workers
+#: time-slicing few cores the parallel win cannot materialize, so the
+#: assertion only arms where the hardware can show it — and honours the
+#: repo's SKIP_PERF_GATE escape for contended runners, like the kernel
+#: perf gate does.
+MULTI_CORE = ((os.cpu_count() or 1) >= 4
+              and not os.environ.get("SKIP_PERF_GATE"))
 
 
 def test_amortized_learning(benchmark, browser):
@@ -44,31 +58,35 @@ def test_amortized_learning(benchmark, browser):
     assert rows[-1]["invariants"] > 0.5 * rows[0]["invariants"]
 
 
-def test_protection_without_exposure(benchmark, browser):
+@pytest.mark.parametrize("transport", ["in-process", "process"])
+def test_protection_without_exposure(benchmark, browser, transport):
     """Attack two members until a patch lands; every member (including
-    the six never attacked) must then survive the exploit."""
+    the six never attacked) must then survive the exploit — identically
+    on both transports."""
 
     def run() -> dict:
-        manager = CommunityManager(browser, members=8)
-        manager.learn_distributed(learning_pages())
-        manager.protect()
-        ex = exploit("gc-collect")
-        presentations = 0
-        # Round-robin naturally walks members; with 8 members and 4
-        # presentations, at most 4 members are ever exposed.
-        for _ in range(10):
-            presentations += 1
-            if manager.attack(ex.page()).outcome is Outcome.COMPLETED:
-                break
-        return {
-            "presentations": presentations,
-            "immune": manager.immune_members(ex.page()),
-            "members": len(manager.nodes),
-        }
+        with CommunityManager(browser, members=8,
+                              transport=transport) as manager:
+            manager.learn_distributed(learning_pages())
+            manager.protect()
+            ex = exploit("gc-collect")
+            presentations = 0
+            # Round-robin naturally walks members; with 8 members and 4
+            # presentations, at most 4 members are ever exposed.
+            for _ in range(10):
+                presentations += 1
+                if manager.attack(ex.page()).outcome is \
+                        Outcome.COMPLETED:
+                    break
+            return {
+                "presentations": presentations,
+                "immune": manager.immune_members(ex.page()),
+                "members": len(manager.members),
+            }
 
     outcome = benchmark.pedantic(run, rounds=1, iterations=1)
     print("\n" + format_table(
-        "Community: protection without exposure (§3)",
+        f"Community: protection without exposure (§3, {transport})",
         ["Metric", "Value"],
         [["presentations to patch", outcome["presentations"]],
          ["immune members", f"{outcome['immune']}/{outcome['members']}"],
@@ -76,6 +94,60 @@ def test_protection_without_exposure(benchmark, browser):
                                        outcome["members"])]]))
     assert outcome["presentations"] == 4
     assert outcome["immune"] == outcome["members"]
+
+
+def test_transport_sharding_speedup(benchmark, browser):
+    """The tentpole claim: 8-member distributed learning dispatched to
+    one OS process per member finishes faster than the single-process
+    simulation on multi-core hardware, produces the bit-identical merged
+    database, and pays a bounded wire-byte cost.
+
+    ``reuse_cache`` models long-lived community members (§4.4.5): each
+    member's block discovery is paid once, not once per page, so worker
+    warm-up does not dominate the measured shard time.
+    """
+    pages = learning_pages()
+
+    def learn_with(transport: str) -> dict:
+        config = EnvironmentConfig(reuse_cache=True)
+        with CommunityManager(browser, members=8, config=config,
+                              transport=transport) as manager:
+            started = time.perf_counter()
+            report = manager.learn_distributed(pages)
+            elapsed = time.perf_counter() - started
+            wire_bytes = manager.bus.bytes_by_kind()
+            return {
+                "transport": transport,
+                "seconds": elapsed,
+                "invariants": len(report.database),
+                "fingerprint": json.dumps(report.database.to_dict(),
+                                          separators=(",", ":")),
+                "upload_bytes": wire_bytes.get("invariant-upload", 0),
+                "total_wire_bytes": sum(wire_bytes.values()),
+            }
+
+    rows = benchmark.pedantic(
+        lambda: [learn_with("in-process"), learn_with("process")],
+        rounds=1, iterations=1)
+    in_process, sharded = rows
+    speedup = in_process["seconds"] / sharded["seconds"]
+    print("\n" + format_table(
+        f"Community: process sharding, 8-member distributed learning "
+        f"({os.cpu_count()} cores)",
+        ["Transport", "Wall-clock (s)", "Invariants", "Upload bytes",
+         "Total wire bytes"],
+        [[row["transport"], f"{row['seconds']:.3f}", row["invariants"],
+          row["upload_bytes"], row["total_wire_bytes"]]
+         for row in rows]
+        + [["speedup", f"{speedup:.2f}x", "", "", ""]]))
+
+    # Differential guarantee first: sharding changes the clock, never
+    # the model.
+    assert in_process["fingerprint"] == sharded["fingerprint"]
+    assert in_process["upload_bytes"] == sharded["upload_bytes"]
+    if MULTI_CORE:
+        assert speedup > 1.5, \
+            f"sharded learning only {speedup:.2f}x faster"
 
 
 def test_parallel_repair_evaluation(benchmark, browser):
@@ -95,7 +167,7 @@ def test_parallel_repair_evaluation(benchmark, browser):
                                                          ex.page())
         immune = manager.immune_members(ex.page())
         return {"rounds": rounds, "immune": immune,
-                "members": len(manager.nodes)}
+                "members": len(manager.members)}
 
     outcome = benchmark.pedantic(run, rounds=1, iterations=1)
     print("\n" + format_table(

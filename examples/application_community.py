@@ -6,10 +6,17 @@ members are attacked, ClearView generates a patch and the management
 console pushes it to everyone: the other six become immune to an attack
 they have never seen.
 
-Run:  python examples/application_community.py
+With ``--transport process`` every member runs in its own OS process
+(the Determina node-manager split made real): invariants, patches, and
+run results cross genuine pipes as JSON, and learning shards execute in
+parallel across cores.
+
+Run:  python examples/application_community.py [--transport process]
 """
 
 from __future__ import annotations
+
+import argparse
 
 from repro.apps import build_browser, learning_pages
 from repro.community import CommunityManager
@@ -18,54 +25,66 @@ from repro.redteam import exploit
 
 
 def main() -> None:
-    print("standing up a community of 8 machines ...")
-    manager = CommunityManager(build_browser(), members=8)
+    parser = argparse.ArgumentParser(
+        description="Application community walkthrough (§3)")
+    parser.add_argument(
+        "--transport", choices=("in-process", "process"),
+        default="in-process",
+        help="simulate members in-process (default) or shard them "
+             "across one OS process per member")
+    args = parser.parse_args()
 
-    print("distributed learning (round-robin procedure assignment):")
-    report = manager.learn_distributed(learning_pages())
-    for node, observations in zip(manager.nodes,
-                                  report.per_node_observations):
-        bar = "#" * max(1, observations // 400)
-        print(f"  {node.name}: {observations:6d} observations {bar}")
-    print(f"  merged model: {len(report.database)} invariants; "
-          f"uploads totalled {report.upload_bytes} bytes "
-          f"(invariants only — never raw traces)")
+    print(f"standing up a community of 8 machines "
+          f"({args.transport} transport) ...")
+    with CommunityManager(build_browser(), members=8,
+                          transport=args.transport) as manager:
+        print("distributed learning (round-robin procedure assignment):")
+        report = manager.learn_distributed(learning_pages())
+        for member, observations in zip(manager.members,
+                                        report.per_node_observations):
+            bar = "#" * max(1, observations // 400)
+            print(f"  {member.name}: {observations:6d} observations {bar}")
+        print(f"  merged model: {len(report.database)} invariants; "
+              f"uploads totalled {report.upload_bytes} bytes "
+              f"(invariants only — never raw traces)")
 
-    manager.protect()
-    attack = exploit("gc-collect")
+        manager.protect()
+        attack = exploit("gc-collect")
 
-    print("\nattacking the community (round-robin member exposure):")
-    for presentation in range(1, 10):
-        result = manager.attack(attack.page())
-        exposed = manager.nodes[(presentation - 1) % len(manager.nodes)]
-        print(f"  presentation {presentation} -> {exposed.name}: "
-              f"{result.outcome.value}")
-        if result.outcome is Outcome.COMPLETED:
-            break
+        print("\nattacking the community (round-robin member exposure):")
+        for presentation in range(1, 10):
+            result = manager.attack(attack.page())
+            exposed = manager.members[(presentation - 1)
+                                      % len(manager.members)]
+            print(f"  presentation {presentation} -> {exposed.name}: "
+                  f"{result.outcome.value}")
+            if result.outcome is Outcome.COMPLETED:
+                break
 
-    immune = manager.immune_members(attack.page())
-    print(f"\nimmunity check: {immune}/{len(manager.nodes)} members "
-          f"survive the exploit")
-    attacked = min(presentation, len(manager.nodes))
-    print(f"members ever exposed to the attack: {attacked}; "
-          f"members immune without exposure: "
-          f"{len(manager.nodes) - attacked}")
+        immune = manager.immune_members(attack.page())
+        print(f"\nimmunity check: {immune}/{len(manager.members)} members "
+              f"survive the exploit")
+        attacked = min(presentation, len(manager.members))
+        print(f"members ever exposed to the attack: {attacked}; "
+              f"members immune without exposure: "
+              f"{len(manager.members) - attacked}")
 
     print("\nparallel repair evaluation (a fresh community, mm-reuse-1):")
-    parallel = CommunityManager(build_browser(), members=4)
-    parallel.learn_distributed(learning_pages())
-    parallel.protect()
-    nasty = exploit("mm-reuse-1")
-    failure_pc = None
-    for _ in range(3):
-        result = parallel.attack(nasty.page())
-        failure_pc = result.failure_pc or failure_pc
-    rounds = parallel.evaluate_candidates_in_parallel(failure_pc,
-                                                      nasty.page())
-    print(f"  3 candidate repairs evaluated on distinct members in "
-          f"{rounds} round (a single machine needs 3 sequential runs)")
-    print(f"  immune members: "
-          f"{parallel.immune_members(nasty.page())}/4")
+    with CommunityManager(build_browser(), members=4,
+                          transport=args.transport) as parallel:
+        parallel.learn_distributed(learning_pages())
+        parallel.protect()
+        nasty = exploit("mm-reuse-1")
+        failure_pc = None
+        for _ in range(3):
+            result = parallel.attack(nasty.page())
+            failure_pc = result.failure_pc or failure_pc
+        rounds = parallel.evaluate_candidates_in_parallel(failure_pc,
+                                                          nasty.page())
+        print(f"  3 candidate repairs evaluated on distinct members in "
+              f"{rounds} round (a single machine needs 3 sequential runs)")
+        print(f"  immune members: "
+              f"{parallel.immune_members(nasty.page())}/4")
 
 
 if __name__ == "__main__":

@@ -10,6 +10,10 @@ Commands
     ClearView event log and maintainer report.
 ``learn``
     Run the learning suite and print invariant statistics.
+``community``
+    Stand up an application community (in-process or process-sharded),
+    learn distributed, drive one exploit, and report immunity and wire
+    accounting.
 ``list``
     List the defect roster.
 """
@@ -83,6 +87,54 @@ def _cmd_attack(args) -> int:
     return 0
 
 
+def _cmd_community(args) -> int:
+    from repro.apps import build_browser, learning_pages
+    from repro.community import CommunityManager
+    from repro.dynamo import Outcome
+
+    try:
+        item = exploit(args.defect)
+    except KeyError:
+        print(f"unknown defect {args.defect!r}; try: "
+              + ", ".join(sorted(d.defect_id for d in red_team_roster())),
+              file=sys.stderr)
+        return 2
+    pages = learning_pages()
+    with CommunityManager(build_browser(), members=args.members,
+                          transport=args.transport) as manager:
+        report = manager.learn_distributed(pages,
+                                           strategy=args.strategy)
+        print(f"transport:        {args.transport} "
+              f"({args.members} members)")
+        print(f"merged invariants: {len(report.database)}")
+        print(f"max member load:   "
+              f"{max(report.per_node_observations)} observations "
+              f"(full: {report.full_observations})")
+        print(f"upload bytes:      {report.upload_bytes} "
+              f"(invariants only, never traces)")
+        manager.protect()
+        presentations = 0
+        outcome = None
+        for _ in range(args.presentations):
+            presentations += 1
+            outcome = manager.attack(item.page()).outcome
+            if outcome is Outcome.COMPLETED:
+                break
+        immune = manager.immune_members(item.page())
+        alive = len(manager.environment.alive_members())
+        print(f"presentations:     {presentations} "
+              f"(last outcome: {outcome.value if outcome else '-'})")
+        print(f"immune members:    {immune}/{alive}")
+        for dropped in manager.dropped_members:
+            print(f"dropped member:    {dropped.name} "
+                  f"({dropped.reason} during {dropped.op})")
+        print("wire bytes by kind:")
+        for kind, total in sorted(manager.bus.bytes_by_kind().items()):
+            print(f"  {kind:24s} {total}")
+        return 0 if (outcome is Outcome.COMPLETED and immune == alive) \
+            else 1
+
+
 def _cmd_exercise(args) -> int:
     exercise = RedTeamExercise()
     exercise.prepare()
@@ -131,6 +183,26 @@ def build_parser() -> argparse.ArgumentParser:
         "exercise", help="run the full Red Team exercise (Table 1)")
     exercise_parser.add_argument("--presentations", type=int, default=20)
     exercise_parser.set_defaults(handler=_cmd_exercise)
+
+    community_parser = commands.add_parser(
+        "community",
+        help="drive an application community (§3) against one exploit")
+    community_parser.add_argument("defect", nargs="?", default="gc-collect",
+                                  help="defect id (default gc-collect)")
+    community_parser.add_argument(
+        "--members", type=int, default=8,
+        help="community size (default 8)")
+    community_parser.add_argument(
+        "--transport", choices=("in-process", "process"),
+        default="in-process",
+        help="member substrate: simulated in-process or one OS process "
+             "per member")
+    community_parser.add_argument(
+        "--strategy", choices=("round-robin", "random", "overlapping"),
+        default="round-robin",
+        help="procedure-shard assignment strategy (§3.1)")
+    community_parser.add_argument("--presentations", type=int, default=10)
+    community_parser.set_defaults(handler=_cmd_community)
     return parser
 
 

@@ -5,7 +5,13 @@ from repro.community.manager import (
     CommunityManager,
     DistributedLearningReport,
 )
+from repro.community.members import LocalMember, MemberFailure
 from repro.community.node import CommunityNode, NodeStats
+from repro.community.sharding import (
+    DroppedMember,
+    ProcessMember,
+    ProcessTransport,
+)
 from repro.community.strategies import (
     overlapping_assignments,
     partition_random,
@@ -16,6 +22,7 @@ from repro.community.transport import Message, MessageBus
 __all__ = [
     "CommunityEnvironment", "CommunityManager",
     "DistributedLearningReport", "CommunityNode", "NodeStats",
-    "overlapping_assignments", "partition_random",
+    "LocalMember", "MemberFailure", "DroppedMember", "ProcessMember",
+    "ProcessTransport", "overlapping_assignments", "partition_random",
     "partition_round_robin", "Message", "MessageBus",
 ]

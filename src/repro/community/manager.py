@@ -10,6 +10,13 @@ Coordinates learning and repair across member machines:
   ("Protection Without Exposure").
 - **Parallel repair evaluation** (§3.1): candidate repairs can be farmed
   out to different members and evaluated in one round.
+
+The manager is transport-generic: every member interaction goes through
+a handle (:mod:`repro.community.members`), so the same code drives the
+in-process simulation (``transport="in-process"``, the default) and real
+per-member worker processes (``transport="process"``,
+:mod:`repro.community.sharding`).  Members a transport drops mid-episode
+are excluded and their outstanding work re-sharded across the survivors.
 """
 
 from __future__ import annotations
@@ -17,7 +24,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.cfg.discovery import DiscoveryPlugin, ProcedureDatabase
+from repro.community.members import LocalMember, MemberFailure
 from repro.community.node import CommunityNode
+from repro.community.sharding import ProcessTransport
 from repro.community.strategies import (
     overlapping_assignments,
     partition_random,
@@ -33,6 +42,7 @@ from repro.dynamo.execution import (
     RunResult,
 )
 from repro.dynamo.patches import Patch
+from repro.errors import CommunityError
 from repro.learning.database import InvariantDatabase
 from repro.vm.binary import Binary
 
@@ -46,36 +56,69 @@ _STRATEGIES = {
 class CommunityEnvironment:
     """Management-console facade: looks like one ManagedEnvironment to the
     ClearView core, but fans patches out to every member and runs inputs
-    on members round-robin."""
+    on members round-robin.
 
-    def __init__(self, nodes: list[CommunityNode]):
-        if not nodes:
+    Accepts member handles (or bare :class:`CommunityNode` instances,
+    which are wrapped in :class:`LocalMember`).  Members that fail
+    mid-command are dropped transparently: runs fail over to the next
+    live member, and patch fan-out skips the casualty."""
+
+    def __init__(self, members: list):
+        if not members:
             raise ValueError("a community needs at least one member")
-        self.nodes = nodes
+        self.members = [member if not isinstance(member, CommunityNode)
+                        else LocalMember(member)
+                        for member in members]
         self.patches: list[Patch] = []
         self._next = 0
 
     @property
     def binary(self) -> Binary:
-        return self.nodes[0].binary
+        return self.members[0].binary
+
+    def alive_members(self) -> list:
+        return [member for member in self.members if member.alive]
 
     def run(self, payload: bytes) -> RunResult:
-        node = self.nodes[self._next % len(self.nodes)]
-        self._next += 1
-        return node.run(payload)
+        for _ in range(len(self.members)):
+            member = self.members[self._next % len(self.members)]
+            self._next += 1
+            if not member.alive:
+                continue
+            try:
+                return member.run(payload)
+            except MemberFailure:
+                continue  # dropped mid-run; fail over to the next member
+        raise CommunityError("no live members left to run the input")
 
     def run_on(self, index: int, payload: bytes) -> RunResult:
-        return self.nodes[index % len(self.nodes)].run(payload)
+        member = self.members[index % len(self.members)]
+        if not member.alive:
+            raise CommunityError(
+                f"member {member.name} has been dropped")
+        return member.run(payload)
 
     def install_patch(self, patch: Patch) -> None:
+        if not self.alive_members():
+            raise CommunityError("no live members left to patch")
         self.patches.append(patch)
-        for node in self.nodes:
-            node.apply_patch(patch)
+        for member in self.alive_members():
+            try:
+                member.install_patch(patch)
+            except MemberFailure:
+                continue
+        if not self.alive_members():
+            # Every member died during fan-out: the patch reached no one.
+            self.patches.remove(patch)
+            raise CommunityError("no live members left to patch")
 
     def remove_patch(self, patch: Patch) -> None:
         self.patches.remove(patch)
-        for node in self.nodes:
-            node.remove_patch(patch)
+        for member in self.alive_members():
+            try:
+                member.remove_patch(patch)
+            except MemberFailure:
+                continue
 
     def clear_patches(self, predicate=None) -> int:
         victims = [patch for patch in self.patches
@@ -94,24 +137,96 @@ class DistributedLearningReport:
     per_node_observations: list[int] = field(default_factory=list)
     full_observations: int = 0
     upload_bytes: int = 0
+    #: Members that failed mid-learning and had their shards redistributed.
+    dropped_members: list[str] = field(default_factory=list)
 
 
 class CommunityManager:
-    """The centralized server coordinating a WebBrowse community."""
+    """The centralized server coordinating a WebBrowse community.
+
+    ``transport`` selects the community substrate:
+
+    - ``"in-process"`` (default): members simulated in this process on a
+      :class:`MessageBus` — cheap, single-core.
+    - ``"process"``: one OS process per member via
+      :class:`ProcessTransport` — real serialization, real parallelism.
+    - any :class:`MessageBus` or :class:`ProcessTransport` instance, for
+      callers managing transport lifetime themselves.
+
+    Process transports own worker processes: call :meth:`close` (or use
+    the manager as a context manager) when done.
+    """
 
     def __init__(self, binary: Binary, members: int = 4,
                  config: EnvironmentConfig | None = None,
-                 bus: MessageBus | None = None):
+                 transport: "str | MessageBus | ProcessTransport | None"
+                 = None,
+                 worker_timeout: float | None = None):
         self.binary = binary.stripped()
-        self.bus = bus or MessageBus()
         self.config = config or EnvironmentConfig.full()
-        self.nodes = [CommunityNode(f"node-{index}", self.binary, self.bus,
-                                    self.config)
-                      for index in range(members)]
-        self.environment = CommunityEnvironment(self.nodes)
+        if transport is None:
+            transport = "in-process"
+        #: The manager owns (and closes) transports it constructs;
+        #: caller-provided instances manage their own lifetime.
+        self._owns_transport = isinstance(transport, str)
+        if worker_timeout is not None and transport != "process":
+            raise ValueError(
+                "worker_timeout only applies to transport='process'; "
+                "configure a transport instance directly otherwise")
+        if isinstance(transport, str):
+            if transport == "in-process":
+                transport = MessageBus()
+            elif transport == "process":
+                # worker_timeout is the caller's hang-detection budget
+                # for *every* command, learning shards included;
+                # construct a ProcessTransport directly to tune the two
+                # timeouts independently.
+                transport = ProcessTransport(
+                    **({"timeout": worker_timeout,
+                        "learn_timeout": worker_timeout}
+                       if worker_timeout is not None else {}))
+            else:
+                raise ValueError(
+                    f"unknown transport {transport!r}; choose "
+                    f"'in-process' or 'process'")
+        self.transport = transport
+        #: Accounting alias: both transports expose the MessageBus API.
+        self.bus = transport
+
+        names = [f"node-{index}" for index in range(members)]
+        if isinstance(transport, ProcessTransport):
+            self.nodes: list[CommunityNode] = []
+            self.members = transport.spawn(self.binary, self.config, names)
+        else:
+            self.nodes = [CommunityNode(name, self.binary, transport,
+                                        self.config) for name in names]
+            self.members = [LocalMember(node) for node in self.nodes]
+        self.environment = CommunityEnvironment(self.members)
         self.database: InvariantDatabase | None = None
         self.procedures: ProcedureDatabase | None = None
         self.clearview: ClearView | None = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def dropped_members(self) -> list:
+        """Members the transport dropped (process transport only)."""
+        return list(getattr(self.transport, "dropped", ()))
+
+    def close(self) -> None:
+        """Tear down transport resources (worker processes) — only for
+        transports this manager constructed; caller-provided instances
+        are left running for the caller to close."""
+        if self._owns_transport:
+            self.transport.close()
+
+    def __enter__(self) -> "CommunityManager":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # Distributed learning (§3.1)
@@ -132,35 +247,79 @@ class CommunityManager:
                           pair_scope: str = "block"
                           ) -> DistributedLearningReport:
         """Each member traces its assigned procedures over the workload;
-        the server merges the uploaded invariants."""
+        the server merges the uploaded invariants.
+
+        The scatter/gather shape is what the process transport
+        parallelizes: every member's shard is dispatched before any
+        result is collected.  Uploads merge in dispatch order — member
+        order, then re-shard rounds — so the merged database is
+        deterministic regardless of worker completion order.  A member
+        that fails mid-shard is dropped and its procedures are re-sharded
+        round-robin across the survivors.
+        """
         if strategy not in _STRATEGIES:
             raise ValueError(f"unknown strategy {strategy!r}; "
                              f"choose from {sorted(_STRATEGIES)}")
         self.procedures = self.discover_procedures(pages)
+        learners = self.environment.alive_members()
+        if not learners:
+            raise CommunityError(
+                "every member failed during distributed learning")
         assignments = _STRATEGIES[strategy](
-            self.procedures.entries(), len(self.nodes))
+            self.procedures.entries(), len(learners))
 
         uploads: list[InvariantDatabase] = []
-        observations: list[int] = []
-        for node, assignment in zip(self.nodes, assignments):
-            node.enable_learning(traced_procedures=assignment,
-                                 pair_scope=pair_scope)
-            for page in pages:
-                node.run(page)
-            uploads.append(node.upload_invariants())
-            observations.append(node.stats.traced_observations)
-            node.disable_learning()
+        observations = {member.name: 0 for member in self.members}
+        dropped: list[str] = []
+        wave = list(zip(learners, assignments))
+        while wave:
+            started = []
+            orphaned: list[int] = []
+            for member, assignment in wave:
+                try:
+                    member.start_learn_shard(pages, assignment, pair_scope)
+                except MemberFailure as failure:
+                    dropped.append(failure.member)
+                    orphaned.extend(sorted(assignment))
+                    continue
+                started.append((member, assignment))
+            for member, assignment in started:
+                try:
+                    database, traced = member.finish_learn_shard()
+                except MemberFailure as failure:
+                    dropped.append(failure.member)
+                    orphaned.extend(sorted(assignment))
+                    continue
+                uploads.append(database)
+                observations[member.name] += traced
+            if not orphaned:
+                break
+            survivors = self.environment.alive_members()
+            if not survivors:
+                raise CommunityError(
+                    "every member failed during distributed learning")
+            redistributed = partition_round_robin(orphaned, len(survivors))
+            wave = [(member, shard)
+                    for member, shard in zip(survivors, redistributed)
+                    if shard]
 
+        if not uploads:
+            # Possible only when every member died holding an *empty*
+            # shard (nothing orphaned to re-distribute).
+            raise CommunityError(
+                "every member failed during distributed learning")
         merged = uploads[0]
         for upload in uploads[1:]:
             merged = merged.merge(upload)
         self.database = merged
         upload_bytes = self.bus.bytes_by_kind().get("invariant-upload", 0)
+        per_node = [observations[member.name] for member in self.members]
         return DistributedLearningReport(
             database=merged, procedures=self.procedures,
-            per_node_observations=observations,
-            full_observations=sum(observations),
-            upload_bytes=upload_bytes)
+            per_node_observations=per_node,
+            full_observations=sum(per_node),
+            upload_bytes=upload_bytes,
+            dropped_members=dropped)
 
     def adopt_model(self, database: InvariantDatabase,
                     procedures: ProcedureDatabase) -> None:
@@ -193,8 +352,11 @@ class CommunityManager:
         that were never attacked should all survive (Protection Without
         Exposure)."""
         survivors = 0
-        for node in self.nodes:
-            result = node.environment.run(page)
+        for member in self.environment.alive_members():
+            try:
+                result = member.probe(page)
+            except MemberFailure:
+                continue
             if result.outcome is Outcome.COMPLETED:
                 survivors += 1
         return survivors
@@ -245,10 +407,14 @@ class CommunityManager:
                                         page: bytes) -> int:
         """Evaluate the top candidate repairs for *failure_pc* on distinct
         members in one round; returns the number of rounds used (1 if any
-        of the first len(nodes) candidates succeeds).
+        of the first len(members) candidates succeeds).
 
         This models §3.1's "Faster Repair Evaluation": with N members the
         community tries N candidate repairs per attack wave instead of 1.
+        On the process transport the wave is dispatched to every member
+        before any verdict is collected, so candidates genuinely run
+        concurrently.  A member that fails mid-trial is dropped and its
+        candidate returns to the front of the queue.
         """
         assert self.clearview is not None
         session = self.clearview.sessions.get(failure_pc)
@@ -262,30 +428,48 @@ class CommunityManager:
         session.current_patches = []
         session.current_repair = None
         rounds = 0
-        ranking = session.evaluator.ranking()
-        cursor = 0
-        while cursor < len(ranking):
+        queue = list(session.evaluator.ranking())
+        while queue:
+            members = self.environment.alive_members()
+            if not members:
+                raise CommunityError(
+                    "no live members left to evaluate repairs")
+            wave, queue = queue[:len(members)], queue[len(members):]
             rounds += 1
-            wave = ranking[cursor:cursor + len(self.nodes)]
-            cursor += len(wave)
-            winner = None
-            for node, scored in zip(self.nodes, wave):
+            trials = []
+            failed = []  # dispatch + gather casualties (any order)
+            for member, scored in zip(members, wave):
                 patches = build_repair_patch(
                     self.binary, scored.candidate, session.failure_id,
                     database=self.database)
-                for patch in patches:
-                    node.apply_patch(patch)
-                result = node.environment.run(page)
+                try:
+                    member.start_evaluate_candidate(patches, page)
+                except MemberFailure:
+                    failed.append(scored)
+                    continue
+                trials.append((member, scored))
+            winner = None
+            for member, scored in trials:
+                try:
+                    result = member.finish_evaluate_candidate()
+                except MemberFailure:
+                    failed.append(scored)
+                    continue
                 success = (result.outcome is Outcome.COMPLETED or
                            (result.outcome is Outcome.FAILURE and
                             result.failure_pc != failure_pc))
                 if success:
                     session.evaluator.record_success(scored)
-                    winner = scored
+                    if winner is None:
+                        # Waves iterate best-ranked-first; deploy the
+                        # best success, as the sequential evaluator
+                        # would (§2.6 ranking).
+                        winner = scored
                 else:
                     session.evaluator.record_failure(scored)
-                for patch in patches:
-                    node.remove_patch(patch)
+            # Requeue casualties in their original ranking (wave) order.
+            queue[:0] = [scored for scored in wave
+                         if any(scored is victim for victim in failed)]
             if winner is not None:
                 # Distribute the winner community-wide.
                 patches = build_repair_patch(

@@ -1,0 +1,136 @@
+"""Member handles: the manager's transport-generic view of one machine.
+
+The :class:`~repro.community.manager.CommunityManager` never talks to a
+member's execution environment directly any more — it drives a *handle*
+exposing the node-manager command set (learn a shard, run an input,
+install or remove a patch, evaluate a candidate repair).  Two handle
+families implement it:
+
+- :class:`LocalMember` wraps an in-process
+  :class:`~repro.community.node.CommunityNode` and calls it directly —
+  the original single-process simulation, byte-for-byte.
+- :class:`~repro.community.sharding.ProcessMember` proxies the same
+  commands over a pipe to a worker process.
+
+Every command is split into ``start_*`` / ``finish_*`` halves so the
+manager can scatter a command to many members before gathering any
+result: on the process transport the workers genuinely overlap, while a
+local member simply executes during ``start_*`` — preserving the exact
+sequential semantics the in-process community always had.
+"""
+
+from __future__ import annotations
+
+from repro.community.node import CommunityNode, NodeStats
+from repro.dynamo.execution import RunResult
+from repro.dynamo.patches import Patch
+from repro.errors import CommunityError
+from repro.learning.database import InvariantDatabase
+from repro.vm.binary import Binary
+
+
+class MemberFailure(CommunityError):
+    """A member could not complete a command and has been dropped.
+
+    ``reason`` is one of ``"crash"`` (worker process died), ``"hang"``
+    (no reply within the transport timeout), ``"malformed"`` (reply was
+    not decodable protocol), or ``"error"`` (worker reported a command
+    failure).
+    """
+
+    def __init__(self, member: str, reason: str, detail: str = ""):
+        self.member = member
+        self.reason = reason
+        self.detail = detail
+        message = f"member {member} dropped ({reason})"
+        if detail:
+            message = f"{message}: {detail}"
+        super().__init__(message)
+
+
+def patch_summary(patch: Patch) -> dict:
+    """Transport-independent description of one applied patch.
+
+    Both handle families report applied patches in this shape, so the
+    differential suite can assert the sharded community distributed
+    exactly the patch set the in-process one did.
+    """
+    return {
+        "type": type(patch).__name__,
+        "pc": patch.pc,
+        "when": patch.when,
+        "failure_id": patch.failure_id,
+        "description": patch.description,
+    }
+
+
+class LocalMember:
+    """Handle over an in-process :class:`CommunityNode`."""
+
+    def __init__(self, node: CommunityNode):
+        self.node = node
+        self.alive = True
+        self._learned: tuple[InvariantDatabase, int] | None = None
+        self._evaluated: RunResult | None = None
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+    @property
+    def binary(self) -> Binary:
+        return self.node.binary
+
+    # -- learning ------------------------------------------------------
+
+    def start_learn_shard(self, pages: list[bytes],
+                          procedures: set[int] | None,
+                          pair_scope: str) -> None:
+        self._learned = self.node.learn_shard(pages, procedures,
+                                              pair_scope)
+
+    def finish_learn_shard(self) -> tuple[InvariantDatabase, int]:
+        assert self._learned is not None, "no learn shard in flight"
+        learned, self._learned = self._learned, None
+        return learned
+
+    # -- running -------------------------------------------------------
+
+    def run(self, payload: bytes) -> RunResult:
+        """One protected run; failures are reported to the server."""
+        return self.node.run(payload)
+
+    def probe(self, payload: bytes) -> RunResult:
+        """One run *without* failure reporting (immunity sweeps)."""
+        return self.node.environment.run(payload)
+
+    # -- patch management ----------------------------------------------
+
+    def install_patch(self, patch: Patch) -> None:
+        self.node.apply_patch(patch)
+
+    def remove_patch(self, patch: Patch) -> None:
+        self.node.remove_patch(patch)
+
+    def applied_patches(self) -> list[dict]:
+        return [patch_summary(patch)
+                for patch in self.node.environment.patches]
+
+    # -- repair evaluation ---------------------------------------------
+
+    def start_evaluate_candidate(self, patches: list[Patch],
+                                 payload: bytes) -> None:
+        self._evaluated = self.node.evaluate_candidate(patches, payload)
+
+    def finish_evaluate_candidate(self) -> RunResult:
+        assert self._evaluated is not None, "no evaluation in flight"
+        result, self._evaluated = self._evaluated, None
+        return result
+
+    # -- bookkeeping ---------------------------------------------------
+
+    def stats(self) -> NodeStats:
+        return self.node.stats
+
+    def shutdown(self) -> None:
+        """Nothing to tear down for an in-process member."""

@@ -49,6 +49,7 @@ class CommunityNode:
         self._front_end: TraceFrontEnd | None = None
         self._engine: InferenceEngine | None = None
         self._procedures: ProcedureDatabase | None = None
+        self._discovery: DiscoveryPlugin | None = None
 
     # -- learning ------------------------------------------------------------
 
@@ -60,14 +61,49 @@ class CommunityNode:
                                        pair_scope=pair_scope)
         self._front_end = TraceFrontEnd(self._engine, self._procedures,
                                         traced_procedures=traced_procedures)
-        self.environment.cache_plugins.append(
-            DiscoveryPlugin(self._procedures))
+        self._discovery = DiscoveryPlugin(self._procedures)
+        self.environment.cache_plugins.append(self._discovery)
         self.environment.extra_hooks.append(self._front_end)
 
     def disable_learning(self) -> None:
         if self._front_end is not None:
             self.environment.extra_hooks.remove(self._front_end)
             self._front_end = None
+        if self._discovery is not None:
+            # Detach the discovery plugin too, so a member re-assigned a
+            # second learning shard does not stack stale plugins.
+            self.environment.cache_plugins.remove(self._discovery)
+            self._discovery = None
+
+    def learn_shard(self, pages: list[bytes],
+                    traced_procedures: set[int] | None,
+                    pair_scope: str) -> tuple[InvariantDatabase, int]:
+        """One complete learning shard: trace *traced_procedures* over
+        *pages*, upload, and detach.  Both transports run exactly this
+        sequence (the local handle directly, the worker in its command
+        loop), so the two cannot drift apart."""
+        self.enable_learning(traced_procedures=traced_procedures,
+                             pair_scope=pair_scope)
+        for page in pages:
+            self.run(page)
+        database = self.upload_invariants()
+        observations = self.stats.traced_observations
+        self.disable_learning()
+        return database, observations
+
+    def evaluate_candidate(self, patches: list[Patch],
+                           payload: bytes) -> RunResult:
+        """Trial-run one candidate repair: apply its patches, run the
+        input once (without failure reporting — the server judges the
+        verdict), and withdraw them.  Both transports run exactly this
+        sequence, so the two cannot drift apart."""
+        for patch in patches:
+            self.apply_patch(patch)
+        try:
+            return self.environment.run(payload)
+        finally:
+            for patch in patches:
+                self.remove_patch(patch)
 
     def upload_invariants(self) -> InvariantDatabase:
         """Finalize local inference and upload the invariants (only the

@@ -2,8 +2,20 @@
 
 Models the Determina Node Manager <-> Management Console channel (SSL in
 the paper).  Messages are JSON-able dicts; the bus records every message
-with its approximate wire size, which lets benchmarks verify the §3.1
-claim that members upload *invariants*, never raw trace data.
+with its wire size, which lets benchmarks verify the §3.1 claim that
+members upload *invariants*, never raw trace data.
+
+Two transports share this accounting API:
+
+- :class:`MessageBus` — the in-process bus; members are simulated in the
+  server's process and handlers run synchronously.
+- :class:`~repro.community.sharding.ProcessTransport` — each member runs
+  in its own OS process; commands and replies cross real pipes as
+  canonical JSON and are logged here with their actual encoded size.
+
+Delivery is by value on both: ``send`` round-trips the payload through
+the wire codec, so an in-process subscriber can never observe a
+sender-side mutation that a process-sharded member would not see.
 """
 
 from __future__ import annotations
@@ -20,10 +32,20 @@ class Message:
     recipient: str
     kind: str
     payload: dict
+    #: Cached encoded size; the bus fills this at send time (it already
+    #: serializes for the by-value copy) so accounting sweeps over large
+    #: logs do not re-serialize every payload.
+    encoded_size: int | None = field(default=None, compare=False,
+                                     repr=False)
 
     def wire_size(self) -> int:
-        """Approximate serialized size in bytes."""
-        return len(json.dumps(self.payload, separators=(",", ":")))
+        """Serialized size in bytes — exactly what the process transport
+        writes to a worker pipe for this payload."""
+        if self.encoded_size is None:
+            self.encoded_size = len(
+                json.dumps(self.payload, separators=(",", ":"))
+                .encode("utf-8"))
+        return self.encoded_size
 
 
 @dataclass
@@ -39,13 +61,33 @@ class MessageBus:
 
     def send(self, sender: str, recipient: str, kind: str,
              payload: dict) -> Message:
-        """Deliver a message synchronously; returns the logged record."""
-        message = Message(sender=sender, recipient=recipient, kind=kind,
-                          payload=payload)
+        """Deliver a message synchronously; returns the logged record.
+
+        The payload is round-tripped through the wire encoding at send
+        time: recipients (and the log) hold an independent copy, so later
+        sender-side mutations are invisible — the same by-value semantics
+        a real serialized channel has.
+        """
+        encoded = json.dumps(payload, separators=(",", ":"))
+        return self.deliver(Message(
+            sender=sender, recipient=recipient, kind=kind,
+            payload=json.loads(encoded),
+            encoded_size=len(encoded.encode("utf-8"))))
+
+    def deliver(self, message: Message) -> Message:
+        """Log and dispatch an already-materialized message.
+
+        For callers whose payload is *already* an independent copy (the
+        process transport logs payloads freshly decoded off a pipe):
+        skips the defensive re-serialization ``send`` performs.
+        """
         self.log.append(message)
-        for handler in self._subscribers.get(recipient, ()):
+        for handler in self._subscribers.get(message.recipient, ()):
             handler(message)
         return message
+
+    def close(self) -> None:
+        """Nothing to tear down for the in-process bus."""
 
     # -- accounting ---------------------------------------------------------
 

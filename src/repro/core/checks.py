@@ -19,6 +19,8 @@ the paper's "temporarily increased overhead during repair search".
 
 from __future__ import annotations
 
+import itertools
+import os
 from dataclasses import dataclass, field
 
 from repro.dynamo.patches import Patch
@@ -59,12 +61,29 @@ class ObservationSink:
         return drained
 
 
+_capture_ids = itertools.count(1)
+
+
+def _next_capture_id() -> str:
+    # Pid-qualified so ids minted in different processes can never collide
+    # inside a worker's capture registry.
+    return f"{os.getpid()}-{next(_capture_ids)}"
+
+
 @dataclass
 class ValueCapture:
-    """Shared cell carrying a first variable's value to a later check."""
+    """Shared cell carrying a first variable's value to a later check.
+
+    The ``capture_id`` is the cell's wire identity: patches serialized for
+    a process-sharded member reference their capture cell by id, and the
+    worker re-links every patch naming the same id to one local cell —
+    preserving the capture/check sharing that in-process execution gets
+    from plain object identity.
+    """
 
     value: int | None = None
     fresh: bool = False
+    capture_id: str = field(default_factory=_next_capture_id, compare=False)
 
 
 @dataclass
