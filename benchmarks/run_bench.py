@@ -19,10 +19,10 @@ enough for the tier-1 flow — and by default does *not* write to the
 trajectory file (quick numbers are noisy; pass ``--write`` to force).
 
 ``--check`` is the CI perf gate: it measures the gated configurations
-(``bare`` and ``learning`` — best-of-5 run-to-run variance on both is
-~1%, see ``perf_kernel.measure_config``) on the *full* workload (the
-quick workload is too warm-up-dominated to compare against full-run
-records) and fails — exit status 1 — if throughput regressed more than
+(``bare``, ``learning``, and ``warm`` — best-of-5 run-to-run variance,
+see ``perf_kernel.measure_config``) on the *full* workload (the quick
+workload is too warm-up-dominated to compare against full-run records)
+and fails — exit status 1 — if throughput regressed more than
 :data:`REGRESSION_TOLERANCE` against the last committed full record for
 that configuration.  It never writes to the trajectory file.  The
 tier-1 wrapper honours ``SKIP_PERF_GATE=1`` for hardware unrelated to
@@ -41,7 +41,11 @@ from datetime import datetime, timezone
 if __package__ in (None, ""):
     # Allow `python benchmarks/run_bench.py` without install.
     sys.path.insert(0, str(pathlib.Path(__file__).parent))
-from perf_kernel import measure_config, run_kernel_bench  # noqa: E402
+from perf_kernel import (  # noqa: E402
+    measure_config,
+    run_kernel_bench,
+    short_run_pages,
+)
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 TRAJECTORY = REPO_ROOT / "BENCH_kernel.json"
@@ -50,10 +54,11 @@ TRAJECTORY = REPO_ROOT / "BENCH_kernel.json"
 REGRESSION_TOLERANCE = 0.20
 
 #: Configurations the CI gate holds to the trajectory.  ``learning``
-#: joined once its best-of-5 variance was characterised (~1%); the
-#: remaining config (MF+HG+SS) tracks bare closely enough that gating
-#: it separately would only double the gate's cost.
-GATED_CONFIGS = ("bare", "learning")
+#: joined once its best-of-5 variance was characterised (~1%);
+#: ``warm`` joined with the snapshot tier so warm-start regressions
+#: fail loudly.  The remaining config (MF+HG+SS) tracks bare closely
+#: enough that gating it separately would only add cost.
+GATED_CONFIGS = ("bare", "learning", "warm")
 
 
 def current_commit() -> str:
@@ -112,9 +117,11 @@ def check_regression() -> int:
             print(f"perf gate: no committed full {label} record; "
                   f"skipping that config (pass)")
             continue
-        # Same best-of-5 methodology as the records we compare against.
-        measured = measure_config(binary, label, evaluation_pages(),
-                                  repeats=5)
+        # Same workload and best-of-5 methodology as the records we
+        # compare against (the warm config runs its short-run slice).
+        pages = short_run_pages() if label == "warm" \
+            else evaluation_pages()
+        measured = measure_config(binary, label, pages, repeats=5)
         floor = record["instructions_per_sec"] * \
             (1 - REGRESSION_TOLERANCE)
         verdict = "OK" if measured.instructions_per_sec >= floor \
@@ -166,6 +173,13 @@ def main(argv: list[str] | None = None) -> int:
         print(f"{record['config_label']:>10}: "
               f"{record['instructions_per_sec']:>12,.1f} instr/sec "
               f"({record['steps']} steps in {record['seconds']:.3f}s)")
+    rates = {record["config_label"]: record["instructions_per_sec"]
+             for record in records}
+    if rates.get("cold-short") and rates.get("warm"):
+        print(f"  warm/cold-short: "
+              f"{rates['warm'] / rates['cold-short']:.2f}x "
+              f"(§4.4.5 snapshot warm-start vs cold launches, "
+              f"short-run workload)")
 
     should_write = not args.dry_run and (not args.quick or args.write)
     if should_write:

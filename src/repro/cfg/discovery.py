@@ -125,6 +125,14 @@ class DiscoveryPlugin(CachePlugin):
     def on_block_build(self, cache: CodeCache, block: BasicBlock) -> None:
         self.database.observe_block_execution(block.start)
 
+    def on_block_restore(self, cache: CodeCache,
+                         block: BasicBlock) -> None:
+        # A restored cache replays its blocks in discovery order;
+        # observing them keeps the procedure database identical to the
+        # one a cold sequence of builds would have produced (the
+        # observation is idempotent for already-known blocks).
+        self.database.observe_block_execution(block.start)
+
 
 def discover_all_reachable(binary: Binary,
                            roots: list[int] | None = None

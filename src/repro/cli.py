@@ -13,7 +13,13 @@ Commands
 ``community``
     Stand up an application community (in-process or process-sharded),
     learn distributed, drive one exploit, and report immunity and wire
-    accounting.
+    accounting.  ``--snapshot FILE`` warm-starts every member from a
+    persistent cache snapshot (creating it first if absent).
+``snapshot``
+    Save or inspect a persistent code-cache snapshot (§4.4.5
+    save/restore): ``snapshot save cache.json`` warms the WebBrowse
+    cache over the evaluation workload and writes it; ``snapshot info
+    cache.json`` prints its metadata and compatibility.
 ``list``
     List the defect roster.
 """
@@ -87,10 +93,33 @@ def _cmd_attack(args) -> int:
     return 0
 
 
+def _warm_snapshot(path: str, binary, pages: list[bytes]) -> None:
+    """Create the §4.4.5 snapshot at *path* by warming a scout
+    environment over *pages* (no-op when the file already exists)."""
+    import os
+
+    from repro.dynamo import (
+        EnvironmentConfig,
+        ManagedEnvironment,
+        save_snapshot,
+    )
+
+    if os.path.exists(path):
+        return
+    config = EnvironmentConfig.full()
+    config.reuse_cache = True
+    scout = ManagedEnvironment(binary, config)
+    for page in pages:
+        scout.run(page)
+    size = save_snapshot(path, scout.last_code_cache)
+    print(f"snapshot:          wrote {path} ({size} bytes, "
+          f"{scout.last_code_cache.cached_block_count} blocks)")
+
+
 def _cmd_community(args) -> int:
     from repro.apps import build_browser, learning_pages
     from repro.community import CommunityManager
-    from repro.dynamo import Outcome
+    from repro.dynamo import EnvironmentConfig, Outcome
 
     try:
         item = exploit(args.defect)
@@ -100,7 +129,15 @@ def _cmd_community(args) -> int:
               file=sys.stderr)
         return 2
     pages = learning_pages()
-    with CommunityManager(build_browser(), members=args.members,
+    binary = build_browser()
+    config = None
+    if args.snapshot:
+        _warm_snapshot(args.snapshot, binary.stripped(), pages)
+        config = EnvironmentConfig.full()
+        config.load_snapshot = args.snapshot
+        print(f"snapshot:          members warm-start from "
+              f"{args.snapshot}")
+    with CommunityManager(binary, members=args.members, config=config,
                           transport=args.transport) as manager:
         report = manager.learn_distributed(pages,
                                            strategy=args.strategy)
@@ -133,6 +170,50 @@ def _cmd_community(args) -> int:
             print(f"  {kind:24s} {total}")
         return 0 if (outcome is Outcome.COMPLETED and immune == alive) \
             else 1
+
+
+def _cmd_snapshot(args) -> int:
+    from repro.apps import build_browser, evaluation_pages
+    from repro.dynamo import (
+        EnvironmentConfig,
+        ManagedEnvironment,
+        save_snapshot,
+    )
+    from repro.dynamo.snapshot import read_snapshot, snapshot_from_dict
+    from repro.errors import SnapshotError
+
+    binary = build_browser().stripped()
+    if args.action == "save":
+        config = EnvironmentConfig.full()
+        config.reuse_cache = True
+        environment = ManagedEnvironment(binary, config)
+        for page in evaluation_pages():
+            environment.run(page)
+        cache = environment.last_code_cache
+        size = save_snapshot(args.file, cache)
+        print(f"wrote {args.file}: {size} bytes, "
+              f"{cache.cached_block_count} cached blocks, "
+              f"{len(cache.block_map.blocks)} discovered")
+        return 0
+    try:
+        payload = read_snapshot(args.file)
+    except SnapshotError as error:
+        print(f"unreadable snapshot: {error}", file=sys.stderr)
+        return 1
+    print(f"schema:      {payload.get('schema')}")
+    print(f"engine:      {payload.get('engine')}")
+    print(f"binary:      {str(payload.get('binary'))[:16]}…")
+    print(f"blocks:      {len(payload.get('blocks', []))} "
+          f"({len(payload.get('cached', []))} cached)")
+    print(f"trace paths: "
+          f"{sum(1 for p in payload.get('trace_paths', {}).values() if p)}")
+    try:
+        snapshot_from_dict(payload, binary)
+    except SnapshotError as error:
+        print(f"compatible:  no ({error})")
+        return 1
+    print("compatible:  yes (current WebBrowse build)")
+    return 0
 
 
 def _cmd_exercise(args) -> int:
@@ -201,8 +282,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--strategy", choices=("round-robin", "random", "overlapping"),
         default="round-robin",
         help="procedure-shard assignment strategy (§3.1)")
+    community_parser.add_argument(
+        "--snapshot", metavar="FILE", default=None,
+        help="persistent cache snapshot members warm-start from "
+             "(created by warming a scout environment if absent)")
     community_parser.add_argument("--presentations", type=int, default=10)
     community_parser.set_defaults(handler=_cmd_community)
+
+    snapshot_parser = commands.add_parser(
+        "snapshot",
+        help="save or inspect a persistent code-cache snapshot (§4.4.5)")
+    snapshot_parser.add_argument("action", choices=("save", "info"),
+                                 help="save: warm the WebBrowse cache "
+                                      "and write it; info: print "
+                                      "snapshot metadata")
+    snapshot_parser.add_argument("file", help="snapshot path")
+    snapshot_parser.set_defaults(handler=_cmd_snapshot)
     return parser
 
 

@@ -65,16 +65,41 @@ class PatchLedger:
     Workers execute *copies* of every patch; the ledger maps a patch id
     back to the server's original so that observation events and fired
     counters land where the ClearView core reads them.
+
+    Entries are *refcounted* per patch id: a patch fanned out to N
+    members registers N times, and the canonical object stays resolvable
+    while any member still holds it — removing it from one member (or
+    dropping that member) must not orphan the others' observation
+    events.  The entry is freed when the last holder lets go, so the
+    ledger stays bounded across arbitrarily many patch episodes.
     """
 
     def __init__(self):
         self._by_id: dict[int, Patch] = {}
+        self._refs: dict[int, int] = {}
 
     def register(self, patch: Patch) -> None:
-        self._by_id[patch.patch_id] = patch
+        patch_id = patch.patch_id
+        self._by_id[patch_id] = patch
+        self._refs[patch_id] = self._refs.get(patch_id, 0) + 1
 
     def unregister(self, patch: Patch) -> None:
-        self._by_id.pop(patch.patch_id, None)
+        self.release(patch.patch_id)
+
+    def release(self, patch_id: int) -> None:
+        """Drop one holder's reference; free the entry at zero."""
+        refs = self._refs.get(patch_id)
+        if refs is None:
+            return
+        if refs > 1:
+            self._refs[patch_id] = refs - 1
+        else:
+            del self._refs[patch_id]
+            self._by_id.pop(patch_id, None)
+
+    def live_entries(self) -> int:
+        """How many canonical patches the ledger currently retains."""
+        return len(self._by_id)
 
     def fold_observation(self, patch_id: int, satisfied: bool) -> None:
         patch = self._by_id.get(patch_id)
@@ -132,10 +157,38 @@ class _WorkerState:
         #: an ephemeral registry per command, so repair waves that mint
         #: fresh capture ids every round cannot grow this.
         self.captures: dict[str, object] = {}
+        #: Per-capture-id refcounts over ``captures``: a capture/check
+        #: pair installed as two commands shares one cell while either
+        #: is live; removing the last holder frees the cell, so worker
+        #: registries stay bounded across many patch episodes.
+        self.capture_refs: dict[str, int] = {}
         self.events: list = []
         self.fault: dict | None = None
         self.last_database: dict | None = None
         self.bus_cursor = 0
+
+    def retain_capture(self, patch: Patch) -> None:
+        """Count an installed patch's hold on its capture cell."""
+        capture = getattr(patch, "capture", None)
+        if capture is not None:
+            capture_id = capture.capture_id
+            self.capture_refs[capture_id] = \
+                self.capture_refs.get(capture_id, 0) + 1
+
+    def release_capture(self, patch: Patch) -> None:
+        """Drop a removed patch's hold; free the cell at zero."""
+        capture = getattr(patch, "capture", None)
+        if capture is None:
+            return
+        capture_id = capture.capture_id
+        refs = self.capture_refs.get(capture_id)
+        if refs is None:
+            return
+        if refs > 1:
+            self.capture_refs[capture_id] = refs - 1
+        else:
+            del self.capture_refs[capture_id]
+            self.captures.pop(capture_id, None)
 
 
 def _decode_patch(state: _WorkerState, payload: dict,
@@ -184,6 +237,7 @@ def _worker_main(conn: "Connection", name: str, binary: Binary,
             patch = _decode_patch(state, request["patch"])
             node.apply_patch(patch)
             state.installed[patch.patch_id] = patch
+            state.retain_capture(patch)
             return {"ok": True}
         if op == "remove-patch":
             patch = state.installed.pop(request["patch_id"], None)
@@ -194,6 +248,7 @@ def _worker_main(conn: "Connection", name: str, binary: Binary,
             # No delta can be pending: fired only moves during run-style
             # commands, whose own replies already drained it.
             state.reported_fired.pop(patch.patch_id, None)
+            state.release_capture(patch)
             return {"ok": True}
         if op == "evaluate-candidate":
             trial_captures: dict[str, object] = {}
@@ -217,6 +272,14 @@ def _worker_main(conn: "Connection", name: str, binary: Binary,
                 "failures_reported": stats.failures_reported,
                 "patches_applied": stats.patches_applied,
             }}
+        if op == "debug-state":
+            # Test/console introspection: the registry footprint the
+            # refcounting satellites bound.
+            return {"ok": True,
+                    "capture_cells": sorted(state.captures),
+                    "capture_refs": {key: value for key, value
+                                     in sorted(state.capture_refs.items())},
+                    "installed_patches": sorted(state.installed)}
         if op == "inject-fault":
             state.fault = {"mode": request["mode"],
                            "op": request.get("at", "*"),
@@ -308,6 +371,10 @@ class ProcessMember:
         self.alive = True
         self._pending: str | None = None
         self._trial_patches: list[Patch] = []
+        #: Patch ids this member's installs registered on the ledger;
+        #: dropping the member releases them, so a casualty holding
+        #: patches cannot pin ledger entries forever.
+        self._ledger_ids: list[int] = []
 
     # -- low-level protocol --------------------------------------------
 
@@ -403,6 +470,12 @@ class ProcessMember:
     def _drop(self, reason: str, op: str, detail: str) -> None:
         self.alive = False
         self._pending = None
+        # Release this casualty's holds on the canonical patch ledger;
+        # survivors holding the same patches keep the entries live.
+        ledger = self._transport.ledger
+        for patch_id in self._ledger_ids:
+            ledger.release(patch_id)
+        self._ledger_ids = []
         self._transport.dropped.append(
             DroppedMember(name=self.name, reason=reason, op=op,
                           detail=detail))
@@ -468,10 +541,13 @@ class ProcessMember:
 
     def install_patch(self, patch: Patch) -> None:
         self._transport.ledger.register(patch)
+        self._ledger_ids.append(patch.patch_id)
         self.call("install-patch", patch=wire.patch_to_dict(patch))
 
     def remove_patch(self, patch: Patch) -> None:
         self.call("remove-patch", patch_id=patch.patch_id)
+        if patch.patch_id in self._ledger_ids:
+            self._ledger_ids.remove(patch.patch_id)
         self._transport.ledger.unregister(patch)
 
     def applied_patches(self) -> list[dict]:

@@ -10,6 +10,12 @@ from repro.dynamo.execution import (
     RunResult,
 )
 from repro.dynamo.patches import Patch, PatchManager
+from repro.dynamo.snapshot import (
+    ENGINE_VERSION,
+    SCHEMA_VERSION,
+    load_snapshot,
+    save_snapshot,
+)
 
 __all__ = [
     "BasicBlock", "BlockMap", "decode_block",
@@ -17,4 +23,5 @@ __all__ = [
     "MAX_INPUT_BYTES", "EnvironmentConfig", "ManagedEnvironment",
     "Outcome", "RunResult",
     "Patch", "PatchManager",
+    "ENGINE_VERSION", "SCHEMA_VERSION", "load_snapshot", "save_snapshot",
 ]

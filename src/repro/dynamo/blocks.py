@@ -123,6 +123,11 @@ class BlockMap:
         self.binary = binary
         self.blocks: dict[int, BasicBlock] = {}
         self._instruction_to_block: dict[int, int] = {}
+        #: Memoised attach-time tables (see CodeCache._install_all /
+        #: _anchor_all): (block count, cached set, payload) tuples,
+        #: rebuilt whenever the keyed state moves.
+        self._install_template: tuple | None = None
+        self._anchor_template: tuple | None = None
 
     def __contains__(self, start: int) -> bool:
         return start in self.blocks
@@ -134,16 +139,45 @@ class BlockMap:
         return self.blocks.get(start)
 
     def discover(self, start: int) -> BasicBlock:
-        """Return the block at *start*, decoding it on first request."""
+        """Return the block at *start*, decoding it on first request.
+
+        Decoded blocks are shared per binary: successive instances
+        replaying the same workload discover blocks in the same order
+        with the same truncations, so after the first instance the
+        per-launch decode cost collapses to a validation walk.  A cached
+        block is reused only when this map's current stop set would
+        reproduce it exactly; otherwise it is re-decoded (and the shared
+        slot converges on the workload-typical variant).
+        """
         block = self.blocks.get(start)
         if block is None:
-            block = decode_block(self.binary, start,
-                                 stop_before=frozenset(self.blocks))
+            block = self._decode_shared(start)
             self.blocks[start] = block
             for pc in block.addresses():
                 # First discovery wins; overlapping tails keep their
                 # original owner, which is adequate for lookup purposes.
                 self._instruction_to_block.setdefault(pc, start)
+        return block
+
+    def _decode_shared(self, start: int) -> BasicBlock:
+        """The block at *start* under this map's stops, via the shared
+        per-binary cache.  Cached blocks are treated as immutable."""
+        shared = self.binary._block_cache
+        if shared is None:
+            shared = self.binary._block_cache = {}
+        cached = shared.get(start)
+        if cached is not None:
+            # Reusable iff a fresh decode under the current stops would
+            # reproduce it: no stop lands on an interior instruction,
+            # and a truncated block's cut point is still a stop.
+            stops = self.blocks
+            if not any(pc != start and pc in stops
+                       for pc, _ in cached.instructions) and \
+                    (not cached.truncated or cached.end in stops):
+                return cached
+        block = decode_block(self.binary, start,
+                             stop_before=frozenset(self.blocks))
+        shared[start] = block
         return block
 
     def block_of(self, pc: int) -> BasicBlock | None:

@@ -37,6 +37,17 @@ class CachePlugin:
                        block: BasicBlock) -> None:
         """Called when a block is removed from the cache."""
 
+    def on_block_restore(self, cache: "CodeCache",
+                         block: BasicBlock) -> None:
+        """Called for each block adopted from a snapshot, in the
+        original discovery order.
+
+        Restores replay this instead of :meth:`on_block_build` —
+        restored blocks are not rebuilds (no warm-up cost) but plugins
+        tracking what the cache has *seen* (procedure discovery) still
+        need the sequence.
+        """
+
 
 class CodeCache(ExecutionHook):
     """Tracks cached blocks and drives plugins; attaches to a CPU as a hook.
@@ -94,20 +105,62 @@ class CodeCache(ExecutionHook):
 
     def _install_all(self) -> None:
         """Register every cached block's instructions for superblock
-        compilation (the CPU compiles pre-bound runs from them)."""
+        compilation (the CPU compiles pre-bound runs from them).
+
+        The merged per-pc table is memoised on the block map (restored
+        instances re-attach the same state every launch), so repeat
+        launches pay one dict update instead of a per-block loop — a
+        measurable share of §4.4.5 warm-start latency.
+        """
         if self._bus is None:
             return
-        for start in self._cached:
-            block = self.block_map.get(start)
-            if block is not None:
-                self._bus.install_block(block.instructions)
+        block_map = self.block_map
+        template = block_map._install_template
+        if template is None or template[0] != len(block_map.blocks) or \
+                template[1] != self._cached:
+            entries: dict = {}
+            for start in self._cached:
+                block = block_map.get(start)
+                if block is not None:
+                    items = block.instructions
+                    for index, (pc, _) in enumerate(items):
+                        entries[pc] = (items, index)
+            template = (len(block_map.blocks), set(self._cached),
+                        entries)
+            block_map._install_template = template
+        self._bus.adopt_blocks(template[2])
 
     def _anchor_all(self) -> None:
-        """(Re-)anchor the entry point and every known block."""
-        if self.block_map.binary.entry_point not in self._cached:
-            self._anchor_pc(self.block_map.binary.entry_point)
-        for block in self.block_map.blocks.values():
-            self._anchor_block(block)
+        """(Re-)anchor the entry point and every known block.
+
+        Like :meth:`_install_all`, the pc list is memoised on the block
+        map keyed by the (blocks, cached) state it was derived from.
+        """
+        block_map = self.block_map
+        template = block_map._anchor_template
+        if template is None or template[0] != len(block_map.blocks) or \
+                template[1] != self._cached:
+            pcs: list[int] = []
+            cached = self._cached
+            entry_point = block_map.binary.entry_point
+            if entry_point not in cached:
+                pcs.append(entry_point)
+            code_len = len(block_map.binary.code)
+            for block in block_map.blocks.values():
+                if block.start not in cached:
+                    pcs.append(block.start)
+                if block.truncated:
+                    continue
+                if block.terminator.opcode in CONDITIONAL_JUMPS:
+                    frontier = block.end
+                    if frontier < code_len and \
+                            block_map.block_of(frontier) is None:
+                        pcs.append(frontier)
+            template = (len(block_map.blocks), set(cached),
+                        tuple(dict.fromkeys(pcs)))
+            block_map._anchor_template = template
+        for pc in template[2]:
+            self._anchor_pc(pc)
 
     def _anchor_pc(self, pc: int) -> None:
         if self._bus is not None and pc not in self._anchored:
@@ -214,13 +267,19 @@ class CodeCache(ExecutionHook):
 
     def restore(self, snapshot: tuple[BlockMap, frozenset[int]]) -> None:
         """Adopt a previous instance's cache state. Restored blocks do
-        not count as builds and incur no warm-up cost; plugins are not
-        re-run for them (their instrumentation decisions were captured in
-        the snapshot's block map)."""
+        not count as builds and incur no warm-up cost; plugins receive
+        :meth:`CachePlugin.on_block_restore` for each block in the
+        original discovery order, so order-sensitive consumers
+        (procedure discovery) end up in the same state a cold sequence
+        of builds would have produced."""
         block_map, cached = snapshot
         self.block_map = block_map
         self._cached = set(cached)
         self.restored_blocks = len(cached)
+        if self.plugins:
+            for block in block_map.blocks.values():
+                for plugin in self.plugins:
+                    plugin.on_block_restore(self, block)
         if self._bus is not None:
             self._anchor_all()
             self._install_all()

@@ -89,6 +89,15 @@ class EnvironmentConfig:
     #: §4.4.5 warm-up elimination: carry the code-cache state across
     #: launched instances instead of rebuilding it per run.
     reuse_cache: bool = False
+    #: Path to a persistent cache snapshot (:mod:`repro.dynamo.snapshot`)
+    #: every launched instance warm-starts from.  Loaded once per
+    #: environment and validated against the binary digest and engine
+    #: version; a stale file raises
+    #: :class:`~repro.errors.SnapshotError` at launch.
+    load_snapshot: str | None = None
+    #: Path the environment writes its cache state to after each run —
+    #: the §4.4.5 "save" half; pair with ``load_snapshot`` elsewhere.
+    save_snapshot: str | None = None
 
     @classmethod
     def bare(cls) -> "EnvironmentConfig":
@@ -175,10 +184,20 @@ class ManagedEnvironment:
                   max_steps=self.config.max_steps)
 
         code_cache = CodeCache(self.binary)
-        if self.config.reuse_cache and self._cache_snapshot is not None:
-            code_cache.restore(self._cache_snapshot)
         for plugin in self.cache_plugins:
             code_cache.add_plugin(plugin)
+        snapshot = self._cache_snapshot
+        if snapshot is None and self.config.load_snapshot:
+            # §4.4.5 restore: one disk read per environment; every
+            # launched instance adopts the saved state.  Validation
+            # (digest/engine/schema) raises SnapshotError here rather
+            # than silently running cold.
+            from repro.dynamo.snapshot import load_snapshot
+            snapshot = load_snapshot(self.config.load_snapshot,
+                                     self.binary)
+            self._cache_snapshot = snapshot
+        if snapshot is not None:
+            code_cache.restore(snapshot)
         patch_manager = PatchManager(code_cache)
         shadow_stack = ShadowStack() if self.config.shadow_stack else None
 
@@ -241,6 +260,9 @@ class ManagedEnvironment:
         cache = self.last_code_cache
         if self.config.reuse_cache and cache is not None:
             self._cache_snapshot = cache.snapshot()
+        if self.config.save_snapshot and cache is not None:
+            from repro.dynamo.snapshot import save_snapshot
+            save_snapshot(self.config.save_snapshot, cache, self.binary)
         stats = {
             "steps": cpu.steps,
             "block_builds": cache.builds if cache else 0,

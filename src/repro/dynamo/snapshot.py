@@ -1,0 +1,174 @@
+"""Persistent code-cache snapshots: §4.4.5 warm-start on disk.
+
+"It is possible to eliminate the cache warm up time by saving the cache
+state from a previous run, then restoring this state upon startup."
+:meth:`~repro.dynamo.code_cache.CodeCache.snapshot` already carries that
+state *within* a process (the ``reuse_cache`` knob); this module gives it
+a durable form, so a freshly forked community worker — or tomorrow's
+deployment — starts with the block map, the cached set, and the trace
+tier's heat already in place instead of re-decoding the binary.
+
+The format is canonical JSON (the same discipline as
+:mod:`repro.community.wire`, plus sorted keys so equal states produce
+byte-equal files), versioned three ways:
+
+- ``schema``: the file layout; a reader rejects layouts it does not
+  speak (:data:`SCHEMA_VERSION`).
+- ``engine``: the execution-kernel generation the state was captured
+  under (:data:`ENGINE_VERSION`); block/trace semantics may change
+  across kernel rewrites, and a snapshot must never outlive them.
+- ``binary``: the SHA-256 content digest of the image the state
+  describes; a snapshot is meaningless against any other image.
+
+Any mismatch raises :class:`~repro.errors.SnapshotError` — stale
+snapshots are rejected, never misloaded.  Blocks are stored as
+``[start, instruction count, truncated]`` and re-decoded from the
+binary on load (the image is the authority; the snapshot only says
+*which* blocks exist and in what discovery order), so a snapshot stays
+small and can never smuggle foreign code into the cache.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.dynamo.blocks import BasicBlock, BlockMap
+from repro.errors import InvalidInstruction, SnapshotError
+from repro.vm.binary import Binary
+from repro.vm.isa import INSTRUCTION_SIZE
+
+#: File-layout version; bump on incompatible format changes.
+SCHEMA_VERSION = 1
+
+#: Execution-kernel generation; bump when block or trace semantics
+#: change in ways that invalidate captured state.
+ENGINE_VERSION = "superblock-trace-1"
+
+
+def snapshot_to_dict(cache, binary: Binary | None = None) -> dict:
+    """Serialise *cache* (a :class:`CodeCache`) plus the binary's trace
+    heat into the versioned snapshot payload."""
+    if binary is None:
+        binary = cache.block_map.binary
+    block_map = cache.block_map
+    blocks = [[block.start, len(block.instructions),
+               bool(block.truncated)]
+              for block in block_map.blocks.values()]
+    profile = binary._trace_profile or {}
+    paths = binary._trace_paths or {}
+    return {
+        "schema": SCHEMA_VERSION,
+        "engine": ENGINE_VERSION,
+        "binary": binary.content_digest(),
+        "blocks": blocks,
+        "cached": sorted(cache._cached),
+        "trace_profile": {str(pc): count
+                          for pc, count in sorted(profile.items())},
+        "trace_paths": {str(pc): (list(path) if path else False)
+                        for pc, path in sorted(paths.items())},
+    }
+
+
+def snapshot_from_dict(payload: dict, binary: Binary
+                       ) -> tuple[BlockMap, frozenset[int]]:
+    """Validate *payload* against *binary* and rebuild the cache state.
+
+    Returns the ``(block map, cached set)`` pair
+    :meth:`CodeCache.restore` accepts.  Also seeds the binary's shared
+    trace profile and paths (without overwriting heat the process has
+    already accumulated), so the trace tier warm-starts too.
+    """
+    try:
+        schema = payload["schema"]
+        engine = payload["engine"]
+        digest = payload["binary"]
+        blocks = payload["blocks"]
+        cached = payload["cached"]
+        profile = payload["trace_profile"]
+        paths = payload["trace_paths"]
+    except (TypeError, KeyError) as error:
+        raise SnapshotError(f"snapshot is missing field {error}") \
+            from error
+    if schema != SCHEMA_VERSION:
+        raise SnapshotError(
+            f"snapshot schema {schema!r} is not the supported "
+            f"{SCHEMA_VERSION!r}")
+    if engine != ENGINE_VERSION:
+        raise SnapshotError(
+            f"snapshot was captured under engine {engine!r}; this "
+            f"kernel is {ENGINE_VERSION!r}")
+    if digest != binary.content_digest():
+        raise SnapshotError(
+            "snapshot was captured from a different binary "
+            f"(digest {digest[:12]}… vs {binary.content_digest()[:12]}…)")
+
+    block_map = BlockMap(binary)
+    try:
+        for start, count, truncated in blocks:
+            instructions = [
+                (pc, binary.decode_at(pc))
+                for pc in range(start, start + count * INSTRUCTION_SIZE,
+                                INSTRUCTION_SIZE)]
+            block = BasicBlock(start=start, instructions=instructions,
+                               truncated=bool(truncated))
+            block_map.blocks[start] = block
+            for pc, _ in instructions:
+                block_map._instruction_to_block.setdefault(pc, start)
+        cached_set = frozenset(int(start) for start in cached)
+        if binary._trace_profile is None:
+            binary._trace_profile = {}
+        if binary._trace_paths is None:
+            binary._trace_paths = {}
+        for pc, heat in profile.items():
+            binary._trace_profile.setdefault(int(pc), int(heat))
+        for pc, path in paths.items():
+            binary._trace_paths.setdefault(
+                int(pc), tuple(path) if path else False)
+    except (TypeError, ValueError, KeyError,
+            InvalidInstruction) as error:
+        # InvalidInstruction covers a digest-valid file whose block
+        # entries point outside (or misalign within) the image — still
+        # a snapshot problem, never a crash.
+        raise SnapshotError(f"malformed snapshot content: {error}") \
+            from error
+    unknown = cached_set - set(block_map.blocks)
+    if unknown:
+        raise SnapshotError(
+            f"snapshot marks unknown blocks as cached: {sorted(unknown)[:4]}")
+    return block_map, cached_set
+
+
+def encode_snapshot(cache, binary: Binary | None = None) -> bytes:
+    """Canonical snapshot bytes (sorted keys, no whitespace)."""
+    return json.dumps(snapshot_to_dict(cache, binary), sort_keys=True,
+                      separators=(",", ":")).encode("utf-8")
+
+
+def save_snapshot(path, cache, binary: Binary | None = None) -> int:
+    """Write *cache*'s state to *path*; returns the byte count."""
+    data = encode_snapshot(cache, binary)
+    pathlib.Path(path).write_bytes(data)
+    return len(data)
+
+
+def read_snapshot(path) -> dict:
+    """The raw (unvalidated) snapshot payload at *path*."""
+    try:
+        raw = pathlib.Path(path).read_bytes()
+    except OSError as error:
+        raise SnapshotError(f"cannot read snapshot: {error}") from error
+    try:
+        payload = json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise SnapshotError(f"snapshot is not valid JSON: {error}") \
+            from error
+    if not isinstance(payload, dict):
+        raise SnapshotError("snapshot payload is not an object")
+    return payload
+
+
+def load_snapshot(path, binary: Binary
+                  ) -> tuple[BlockMap, frozenset[int]]:
+    """Read, validate, and rebuild the snapshot at *path*."""
+    return snapshot_from_dict(read_snapshot(path), binary)

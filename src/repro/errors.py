@@ -83,5 +83,14 @@ class PatchError(ReproError):
     """A patch could not be built, applied, or removed."""
 
 
+class SnapshotError(ReproError):
+    """A persistent code-cache snapshot was rejected.
+
+    Raised when a snapshot file is unreadable, carries an unsupported
+    schema or engine version, or was taken from a different binary —
+    stale snapshots are always rejected, never misloaded.
+    """
+
+
 class CommunityError(ReproError):
     """Application-community coordination failure."""

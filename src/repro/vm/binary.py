@@ -10,6 +10,7 @@ code, no debugging information" constraint); only tests use it.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 
 from repro.errors import InvalidInstruction
@@ -39,10 +40,41 @@ class Binary:
     _threaded_cache: "dict | None" = field(
         default=None, init=False, repr=False, compare=False)
     #: Opaque slot for compiled superblock runs, keyed by
-    #: ``(entry pc, instruction count)`` — which fully determines a run
-    #: over an immutable image.  Shared across CPUs so each distinct
-    #: run shape is compiled once per process, not once per launch.
+    #: ``(entry pc, instruction count, barrier elision)`` — which fully
+    #: determines a run over an immutable image.  Shared across CPUs so
+    #: each distinct run shape is compiled once per process, not once
+    #: per launch.
     _run_cache: "dict | None" = field(
+        default=None, init=False, repr=False, compare=False)
+    #: Opaque slot for decoded basic blocks, shared by every BlockMap on
+    #: this image (populated and validated by
+    #: :meth:`repro.dynamo.blocks.BlockMap.discover`).
+    _block_cache: "dict | None" = field(
+        default=None, init=False, repr=False, compare=False)
+    #: Opaque slot for the shared run/trace tables, keyed by the
+    #: barrier-elision premise: {elide: (runs, traces)}.  Compiled
+    #: entries are anchor-blind pure shapes over the immutable image;
+    #: each CPU excludes the ones its own anchors poison (see
+    #: ``CPU._refresh_generation``), so a freshly launched instance
+    #: inherits everything earlier instances compiled.
+    _shared_tables: "dict | None" = field(
+        default=None, init=False, repr=False, compare=False)
+    #: Span indexes for poisoning: pc -> set of run entries / trace
+    #: heads whose compiled span covers that pc.
+    _run_spans: "dict | None" = field(
+        default=None, init=False, repr=False, compare=False)
+    _trace_spans: "dict | None" = field(
+        default=None, init=False, repr=False, compare=False)
+    #: Trace-tier profile shared by every CPU on this image: entry pc ->
+    #: completed-run count.  Heat survives CPU teardown, so a freshly
+    #: launched instance inherits which heads are hot.
+    _trace_profile: "dict | None" = field(
+        default=None, init=False, repr=False, compare=False)
+    #: Recorded trace paths: head pc -> tuple of member entry pcs (or
+    #: False for heads a recording refused).  Paths are *observations*
+    #: of hot control flow, not compiled code — each CPU instantiates
+    #: them against its own anchor state (see ``CPU._build_trace``).
+    _trace_paths: "dict | None" = field(
         default=None, init=False, repr=False, compare=False)
 
     @property
@@ -81,6 +113,20 @@ class Binary:
                                    for address in
                                    self.instruction_addresses()}
         return self._decoded_cache
+
+    def content_digest(self) -> str:
+        """SHA-256 over the image content (code, data, entry point).
+
+        The identity persistent cache snapshots are keyed by: two Binary
+        objects with equal digests decode to the same instruction stream,
+        so a snapshot taken on one is valid for the other.
+        """
+        digest = hashlib.sha256()
+        digest.update(len(self.code).to_bytes(8, "little"))
+        digest.update(self.code)
+        digest.update(self.data)
+        digest.update(self.entry_point.to_bytes(8, "little"))
+        return digest.hexdigest()
 
     def stripped(self) -> "Binary":
         """Return a copy with all debug information removed.

@@ -28,6 +28,28 @@ legally change the dispatch configuration mid-block; any anchor or block
 change bumps ``HookBus.anchor_version`` and invalidates every compiled
 run, mirroring how Determina re-materialises patched fragments.
 
+Above the block runs sits the *trace tier* (DynamoRIO traces): completed
+block runs feed an edge profile shared per binary, and once a head
+crosses :data:`TRACE_THRESHOLD` the next executed chain of runs is
+recorded as a trace path.  A trace executes its member runs back to back
+with a one-compare guard at each boundary — the transfer handler already
+computed the real target, so chaining costs a comparison, not a
+dispatch — and a trace (or a self-looping run) whose final target is its
+own head re-enters itself without returning to the outer loop at all, so
+hot loops retire entirely inside one compiled structure.  Divergence
+(the guard fails) falls back to the outer loop at the exact boundary
+instruction.  Trace validity rides the same ``anchor_version`` as block
+runs; the recorded *paths* are anchor-independent observations and are
+re-instantiated per CPU against its own anchor state.
+
+Orthogonally, when no subscriber listens to store/alloc/free events
+(Heap Guard detached — the paper's "bare" deployment), the segment
+barriers those opcodes normally impose are *elided*: nothing can mutate
+the dispatch configuration mid-block, so whole blocks (and whole
+traces) compile into single segments with no per-segment re-validation.
+Attaching such a subscriber flips the elision premise; every compiled
+run is discarded and lazily recompiled with barriers restored.
+
 Learning mode has its own loop, :meth:`CPU._run_observed`: instead of
 building a dict-shaped observation per instruction it appends compiled
 raw snapshots (:mod:`repro.vm.observe`) to a ring buffer flushed at
@@ -97,6 +119,16 @@ _SEGMENT_BARRIERS = frozenset({
     Opcode.STORE, Opcode.STOREB, Opcode.ALLOC, Opcode.FREE,
 })
 
+#: Completed-run count at which a head becomes hot and the next executed
+#: chain of runs is recorded as a trace path.  The profile is shared per
+#: binary, so short-lived instances (fresh CPUs per request) still heat
+#: traces across launches.
+TRACE_THRESHOLD = 16
+
+#: Maximum member runs in one trace (DynamoRIO-style cap; recording
+#: finalises with whatever it has when the chain reaches this length).
+TRACE_MAX_BLOCKS = 12
+
 
 class CPU:
     """A MiniX86 machine instance: registers, memory, heap, hook bus."""
@@ -150,14 +182,43 @@ class CPU:
             binary._threaded_cache = code
         self._code: dict[int, tuple] = code
         self._lazy = bus.lazy_operands
-        #: Superblock state: entry pc -> compiled run (False = not
-        #: runnable from that pc), valid while ``bus.anchor_version``
-        #: matches the recorded value.  The observed variants carry the
-        #: lazy-observation epoch as a second validity dimension.
-        self._compiled: dict[int, tuple | bool] = {}
+        #: Superblock state: ``_compiled`` (entry pc -> pre-bound run)
+        #: and ``_traces`` (entry pc -> trace run) alias the per-binary
+        #: shared tables — compiled entries are anchor-blind pure
+        #: shapes over the immutable image, shared by every CPU on it.
+        #: Anchors are honoured per CPU through the generation caches
+        #: below (see :meth:`_refresh_generation`), re-derived whenever
+        #: ``bus.anchor_version`` moves.  The observed variants stay
+        #: per-CPU (their extractors close over CPU state) and carry
+        #: the lazy-observation epoch as a second validity dimension.
+        self._elide_barriers = False
+        self._compiled: dict[int, tuple] = {}
+        self._traces: dict[int, tuple] = {}
+        self._bind_tables()
         self._compiled_version = bus.anchor_version
         self._compiled_obs: dict[int, tuple | bool] = {}
         self._compiled_obs_version = bus.anchor_version
+        #: Per-CPU negative caches (pc known uncompilable / untraceable
+        #: in the current anchor generation); unlike the positive
+        #: tables these depend on this CPU's block registrations, so
+        #: they are never shared and are dropped every generation.
+        self._negative: set[int] = set()
+        self._no_trace: set[int] = set()
+        #: Per-CPU poison sets: run entries / trace heads from the
+        #: shared tables that this CPU's anchors forbid entering this
+        #: generation (an anchored pc lies inside their span).
+        self._poison_runs: set[int] = set()
+        self._poison_traces: set[int] = set()
+        if binary._trace_profile is None:
+            binary._trace_profile = {}
+        if binary._trace_paths is None:
+            binary._trace_paths = {}
+        self._shared_profile: dict[int, int] = binary._trace_profile
+        self._shared_paths: dict = binary._trace_paths
+        #: Active trace recording: (head pc, [member entry pcs]).
+        self._trace_recording: tuple | None = None
+        #: Instructions retired inside trace runs (coverage accounting).
+        self.trace_retired = 0
         #: pc -> compiled snapshot closure (None = filtered out).
         self._extractors: dict[int, object] = {}
         self._obs_epoch: object = None
@@ -205,6 +266,12 @@ class CPU:
 
     _flag_left = 0
     _flag_right = 0
+
+    #: Set by a guarded fused superinstruction when a micro-op faults:
+    #: the faulting instruction's pc (the closure spans several
+    #: instructions, so the run executor cannot infer it).  Consumed —
+    #: and cleared — by the executor's exception accounting.
+    _fault_pc: int | None = None
 
     def _condition(self, opcode: Opcode) -> bool:
         left, right = self._flag_left, self._flag_right
@@ -533,14 +600,35 @@ class CPU:
         re-validating the bus versions.  A run is entered only while no
         anchor splits it and the budget covers it entirely; otherwise
         this loop's per-instruction path preserves exact semantics.
+
+        Trace runs execute the same way, with a guard comparison at each
+        member boundary (divergence exits at exactly that boundary), and
+        any run whose final transfer lands back on its own unanchored
+        entry re-enters itself directly — provided the budget covers a
+        whole further pass and no version moved — so hot loops cycle
+        without touching this loop's bookkeeping at all.
         """
         bus = self.bus
         version = bus.version
         code_get = self._code.get
         before_pc_get = self._before_pc.get
         after_pc = self._after_pc
+        elide = not (bus.store or bus.alloc or bus.free)
+        if elide != self._elide_barriers:
+            # The elision premise changed (a store/heap subscriber
+            # attached or detached): swap to the tables compiled under
+            # the new premise.
+            self._elide_barriers = elide
+            self._trace_recording = None
+            self._bind_tables()
+            self._refresh_generation()
         compiled = self._compiled
         compiled_get = compiled.get
+        traces_get = self._traces.get
+        negative = self._negative
+        no_trace = self._no_trace
+        poison_runs = self._poison_runs
+        poison_traces = self._poison_traces
         max_steps = self.max_steps
         steps = self.steps
         pc = self.pc
@@ -571,33 +659,78 @@ class CPU:
                 anchor_version = bus.anchor_version
                 if anchor_version != self._compiled_version:
                     # An anchor or block changed (patch install/remove,
-                    # block discovery/ejection): every compiled run may
-                    # now be split differently. Recompile lazily.
-                    compiled.clear()
+                    # block discovery/ejection): re-derive which shared
+                    # entries the new anchor set poisons, and retry the
+                    # negative verdicts new registrations may have
+                    # overtaken.
+                    self._refresh_generation()
+                    self._trace_recording = None
                     self._compiled_version = anchor_version
-                run = compiled_get(pc)
-                if run is None:
-                    run = self._compile_run(pc) or False
-                    compiled[pc] = run
-                if run is not False and bus.version == version and \
+                run = traces_get(pc)
+                if run is None and pc not in no_trace:
+                    run = self._adopt_trace(pc)
+                if run is not None and pc not in poison_traces:
+                    is_trace = True
+                else:
+                    is_trace = False
+                    run = compiled_get(pc)
+                    if run is None:
+                        if pc not in negative:
+                            run = self._compile_run(pc)
+                            if run is None:
+                                negative.add(pc)
+                            else:
+                                compiled[pc] = run
+                    if run is not None and pc in poison_runs:
+                        run = None
+                if run is not None and bus.version == version and \
                         steps - 1 + run[1] <= max_steps:
                     entry_pc = pc
                     done = 0
+                    can_loop = anchored is None
                     try:
-                        for seg_ops, seg_count in run[0]:
-                            for op, ins_pc, ins in seg_ops:
-                                pc = op(self, ins_pc, ins)
-                            done += seg_count
-                            if bus.version != version or \
-                                    bus.anchor_version != anchor_version:
-                                break
+                        while True:
+                            for seg_ops, seg_count, guard in run[0]:
+                                if guard is not None and pc != guard:
+                                    break  # trace diverged at a boundary
+                                for op, ins_pc, ins in seg_ops:
+                                    pc = op(self, ins_pc, ins)
+                                done += seg_count
+                                if bus.version != version or \
+                                        bus.anchor_version != \
+                                        anchor_version:
+                                    break
+                            else:
+                                if can_loop and pc == entry_pc and \
+                                        not self.halted and \
+                                        bus.version == version and \
+                                        bus.anchor_version == \
+                                        anchor_version and \
+                                        steps - 1 + done + run[1] \
+                                        <= max_steps:
+                                    continue  # cycle inside the run
+                            break
                     except BaseException:
-                        # Straight-line contiguity: at the moment a
-                        # handler raises, ``pc`` equals the faulting
-                        # instruction's address.
-                        steps += (pc - entry_pc) // INSTRUCTION_SIZE
+                        # Straight-line contiguity per segment: at the
+                        # moment a handler raises, ``ins_pc`` is the
+                        # faulting instruction and ``seg_ops[0][1]`` its
+                        # segment's first address.  A guarded fused
+                        # closure pins the exact pc instead (its span
+                        # covers several instructions).
+                        fault_pc = self._fault_pc
+                        if fault_pc is not None:
+                            self._fault_pc = None
+                            pc = fault_pc
+                        else:
+                            fault_pc = ins_pc
+                        steps += done + \
+                            (fault_pc - seg_ops[0][1]) // INSTRUCTION_SIZE
                         raise
                     steps += done - 1
+                    if is_trace:
+                        self.trace_retired += done
+                    elif done == run[1]:
+                        self._profile_edge(entry_pc, pc)
                     continue
                 here = pc
                 pc = handler(self, here, instruction)
@@ -728,10 +861,24 @@ class CPU:
 
     def _take_run(self, entry_pc: int) -> list | None:
         """The ``(pc, instruction)`` stretch a run from *entry_pc* may
-        cover: from the registered block position to the block end or the
-        first anchored pc, whichever comes first.  None when no block is
-        registered, the stretch is trivially short, or the entry itself
-        carries an after-anchor (its event must fire per instruction)."""
+        cover: from the registered block position to the block end.
+        Anchors are deliberately ignored — compiled runs are shared
+        anchor-blind shapes; each CPU's anchors exclude affected
+        entries through the poison sets instead.  None when no block is
+        registered or the stretch is trivially short."""
+        located = self.bus.blocks.get(entry_pc)
+        if located is None:
+            return None
+        items, index = located
+        take = items[index:] if index else list(items)
+        if len(take) < 2:
+            return None
+        return take
+
+    def _take_run_anchored(self, entry_pc: int) -> list | None:
+        """Anchor-aware take for the *observed* (per-CPU) runs: stops at
+        the first anchored pc, and refuses an entry whose own
+        after-event must fire per instruction."""
         located = self.bus.blocks.get(entry_pc)
         if located is None:
             return None
@@ -751,14 +898,32 @@ class CPU:
             return None
         return take
 
+    def _span_anchored(self, entry_pc: int, end: int) -> bool:
+        """Does one of this CPU's anchors land inside ``[entry, end)``
+        (run-entry before-anchors exempt — the outer loop dispatches
+        them before entering)?  Used at compile/build time; afterwards
+        the generation poison sets keep the answer fresh."""
+        for anchored_pc in self._before_pc:
+            if entry_pc < anchored_pc < end:
+                return True
+        for anchored_pc in self._after_pc:
+            if entry_pc <= anchored_pc < end:
+                return True
+        return False
+
     def _compile_run(self, entry_pc: int) -> tuple | None:
         """Compile ``(segments, instruction count)`` for the fast loop.
 
-        Runs bind only instruction constants (never CPU state), so the
-        compiled form is shared per binary via ``Binary._run_cache``,
-        keyed by ``(entry pc, length)`` — over an immutable image that
-        pair fully determines the instruction stretch, its barrier
-        segmentation, and its fusion.
+        Each segment is ``(ops, count, guard)`` with ``guard`` always
+        None for a plain block run (trace segments carry their expected
+        entry pc there).  Runs bind only instruction constants (never
+        CPU state) and ignore anchors, so the compiled form is shared
+        per binary via ``Binary._run_cache``, keyed by ``(entry pc,
+        length, elision)`` — over an immutable image that triple fully
+        determines the instruction stretch, its barrier segmentation,
+        and its fusion.  Compilation registers the run's span in the
+        poison index and, when one of this CPU's *current* anchors
+        already lands inside it, poisons it locally right away.
         """
         take = self._take_run(entry_pc)
         if take is None:
@@ -766,28 +931,230 @@ class CPU:
         shared = self.binary._run_cache
         if shared is None:
             shared = self.binary._run_cache = {}
-        key = (entry_pc, len(take))
+        elide = self._elide_barriers
+        key = (entry_pc, len(take), elide)
         run = shared.get(key)
         if run is None:
-            segments = tuple((_compile_ops(segment), len(segment))
-                             for segment in _split_segments(take))
+            barriers = frozenset() if elide else _SEGMENT_BARRIERS
+            makers = _MICRO_MAKERS_ELIDED if elide else _MICRO_MAKERS
+            segments = tuple(
+                (_compile_ops(segment, makers), len(segment), None)
+                for segment in _split_segments(take, barriers))
             run = (segments, len(take))
             shared[key] = run
+            spans = self.binary._run_spans
+            if spans is None:
+                spans = self.binary._run_spans = {}
+            for ins_pc, _ in take:
+                owners = spans.get(ins_pc)
+                if owners is None:
+                    spans[ins_pc] = {entry_pc}
+                else:
+                    owners.add(entry_pc)
+        end = entry_pc + run[1] * INSTRUCTION_SIZE
+        if (self._before_pc or self._after_pc) and \
+                self._span_anchored(entry_pc, end):
+            self._poison_runs.add(entry_pc)
         return run
 
     def _compile_obs_run(self, entry_pc: int) -> tuple | None:
         """Compile an observed run: each op carries its extractor."""
-        take = self._take_run(entry_pc)
+        take = self._take_run_anchored(entry_pc)
         if take is None:
             return None
         segments = []
-        for segment in _split_segments(take):
+        for segment in _split_segments(take, _SEGMENT_BARRIERS):
             ops = tuple((self._extractor_for(ins_pc, instruction),
                          _DISPATCH[instruction.opcode], ins_pc,
                          instruction)
                         for ins_pc, instruction in segment)
             segments.append((ops, len(segment)))
         return (tuple(segments), len(take))
+
+    def _bind_tables(self) -> None:
+        """Alias ``_compiled``/``_traces`` to the shared tables of the
+        current barrier-elision premise.
+
+        A compiled run is a pure function of the immutable image and
+        the elision premise — it is anchor-*blind* — so two shared
+        tables per binary cover every CPU ever launched on it: a fresh
+        per-request instance inherits every run and trace an earlier
+        instance compiled.  Each CPU honours its own anchors separately
+        through the poison sets :meth:`_refresh_generation` derives.
+        """
+        tables = self.binary._shared_tables
+        if tables is None:
+            tables = self.binary._shared_tables = {
+                False: ({}, {}), True: ({}, {})}
+        self._compiled, self._traces = tables[self._elide_barriers]
+
+    def _refresh_generation(self) -> None:
+        """Recompute the per-CPU view of the shared tables after an
+        anchor generation change.
+
+        Negative verdicts depend on this CPU's block registrations, so
+        they are simply dropped and re-derived (the bump
+        :meth:`HookBus.install_block` issues when registrations grow
+        funnels through here too).  Anchors are honoured by *poisoning*:
+        the per-binary span indexes name every run/trace whose compiled
+        span covers an anchored pc, and poisoned entries fall back to
+        per-instruction dispatch — which is exactly where anchored
+        events fire.  A before-anchor at a run's own entry needs no
+        poison (the outer loop dispatches it before entering the run);
+        every other anchored pc inside a span does.
+        """
+        self._negative.clear()
+        self._no_trace.clear()
+        poison_runs = self._poison_runs
+        poison_traces = self._poison_traces
+        poison_runs.clear()
+        poison_traces.clear()
+        run_spans = self.binary._run_spans or {}
+        trace_spans = self.binary._trace_spans or {}
+        if not run_spans and not trace_spans:
+            return
+        for table, entry_exempt in ((self._before_pc, True),
+                                    (self._after_pc, False)):
+            for anchored_pc in table:
+                for entry in run_spans.get(anchored_pc, ()):
+                    if not entry_exempt or entry != anchored_pc:
+                        poison_runs.add(entry)
+                for head in trace_spans.get(anchored_pc, ()):
+                    if not entry_exempt or head != anchored_pc:
+                        poison_traces.add(head)
+
+    # ------------------------------------------------------------------
+    # Trace tier: edge profiling, path recording, trace instantiation
+    # ------------------------------------------------------------------
+
+    def _run_for(self, pc: int) -> tuple | None:
+        """The compiled run at *pc* through the positive/negative
+        caches (None when uncompilable this generation)."""
+        run = self._compiled.get(pc)
+        if run is None and pc not in self._negative:
+            run = self._compile_run(pc)
+            if run is None:
+                self._negative.add(pc)
+            else:
+                self._compiled[pc] = run
+        return run
+
+    def _trace_member(self, pc: int) -> bool:
+        """Can a trace chain through the run at *pc*?  Needs a compiled
+        run covering everything from *pc* to its block's end (so the
+        run ends in the transfer whose target the next guard compares
+        against).  Anchors are not consulted — trace shapes are
+        anchor-blind like runs; poisoning excludes them per CPU."""
+        run = self._run_for(pc)
+        if run is None:
+            return False
+        located = self.bus.blocks.get(pc)
+        if located is None:
+            return False
+        items, index = located
+        return run[1] == len(items) - index
+
+    def _profile_edge(self, entry_pc: int, next_pc: int) -> None:
+        """Account one completed block run; drive trace recording.
+
+        Called from the fast loop whenever a plain run retires whole.
+        Heat accumulates in the per-binary profile; once a head crosses
+        :data:`TRACE_THRESHOLD` the chain of runs executed next is
+        recorded and published as that head's trace path (``False``
+        when recording refused, which also stops profiling the head).
+        """
+        paths = self._shared_paths
+        recording = self._trace_recording
+        if recording is not None:
+            head, chain = recording
+            if chain[-1] != entry_pc:
+                # The chain broke (per-instruction territory, another
+                # trace, a fault path); drop the recording — the head
+                # stays hot and recording re-arms on its next run.
+                self._trace_recording = None
+            elif next_pc == head or next_pc in chain or \
+                    len(chain) >= TRACE_MAX_BLOCKS or \
+                    not self._trace_member(next_pc):
+                # Loop closed, chain re-entered itself, cap reached, or
+                # the next run is ineligible: publish what we have (a
+                # chain is born with two members, so it is always a
+                # valid path).
+                self._trace_recording = None
+                paths[head] = tuple(chain)
+                self._no_trace.discard(head)
+                return
+            else:
+                chain.append(next_pc)
+                return
+        if entry_pc in paths:
+            return
+        profile = self._shared_profile
+        count = profile.get(entry_pc, 0) + 1
+        profile[entry_pc] = count
+        if count < TRACE_THRESHOLD or not self._trace_member(entry_pc):
+            return
+        if next_pc == entry_pc:
+            # Self-looping run: the executor's loop-back already cycles
+            # it in place; a one-member trace would add nothing.
+            paths[entry_pc] = False
+        elif self._trace_member(next_pc):
+            self._trace_recording = (entry_pc, [entry_pc, next_pc])
+            self._no_trace.discard(entry_pc)
+
+    def _adopt_trace(self, pc: int) -> tuple | None:
+        """Instantiate the shared trace path at *pc* against this CPU's
+        anchor state; negative-caches None when absent or invalid."""
+        path = self._shared_paths.get(pc)
+        trace = self._build_trace(path) if path else None
+        if trace is None:
+            self._no_trace.add(pc)
+        else:
+            self._traces[pc] = trace
+        return trace
+
+    def _build_trace(self, path: tuple) -> tuple | None:
+        """Stitch the member runs of *path* into one guarded trace run.
+
+        Every member after the head contributes its first segment with
+        a guard equal to its entry pc — the preceding transfer handler
+        already computed the real target, so following the trace costs
+        one comparison per boundary.  The built trace registers its
+        member spans in the poison index and is poisoned locally right
+        away if one of this CPU's current anchors lands inside it.
+        """
+        head = path[0]
+        segments: list = []
+        bounds: list[tuple[int, int]] = []
+        total = 0
+        for position, entry in enumerate(path):
+            if not self._trace_member(entry):
+                return None
+            seg_list, count = self._compiled[entry]
+            if position:
+                first = seg_list[0]
+                segments.append((first[0], first[1], entry))
+                segments.extend(seg_list[1:])
+            else:
+                segments.extend(seg_list)
+            bounds.append((entry, entry + count * INSTRUCTION_SIZE))
+            total += count
+        spans = self.binary._trace_spans
+        if spans is None:
+            spans = self.binary._trace_spans = {}
+        for entry, end in bounds:
+            for ins_pc in range(entry, end, INSTRUCTION_SIZE):
+                owners = spans.get(ins_pc)
+                if owners is None:
+                    spans[ins_pc] = {head}
+                else:
+                    owners.add(head)
+        if self._before_pc or self._after_pc:
+            for position, (entry, end) in enumerate(bounds):
+                if self._span_anchored(entry, end) or \
+                        (position and entry in self._before_pc):
+                    self._poison_traces.add(head)
+                    break
+        return (tuple(segments), total)
 
     # ------------------------------------------------------------------
     # Lazy operand observation plumbing
@@ -840,9 +1207,17 @@ class CPU:
             self._flush_observations()
         subscribers = self._transfers
         if subscribers:
-            for hook in tuple(subscribers):
-                hook.on_transfer(self, pc, kind, target)
-        if not self.memory.in_code(target):
+            if len(subscribers) == 1:
+                # The common deployment (code cache alone, or one
+                # monitor) skips the defensive snapshot copy; the
+                # single subscriber is resolved before the call, so it
+                # may unsubscribe itself safely.
+                subscribers[0].on_transfer(self, pc, kind, target)
+            else:
+                for hook in tuple(subscribers):
+                    hook.on_transfer(self, pc, kind, target)
+        memory = self.memory
+        if not memory.code_base <= target < memory.code_limit:
             raise CodeInjectionExecuted(
                 f"{kind} to non-code address {target:#x}", pc=pc)
         return target
@@ -1000,6 +1375,50 @@ class CPU:
             return self._transfer(pc, TransferKind.BRANCH, ins.a)
         return pc + INSTRUCTION_SIZE
 
+    # Conditional jumps are block terminators — unfusable by nature —
+    # so each gets a dedicated handler with its comparison inlined
+    # rather than paying a _condition() call per branch.
+
+    def _op_je(self, pc: int, ins: Instruction) -> int:
+        if self._flag_left == self._flag_right:
+            return self._transfer(pc, TransferKind.BRANCH, ins.a)
+        return pc + INSTRUCTION_SIZE
+
+    def _op_jne(self, pc: int, ins: Instruction) -> int:
+        if self._flag_left != self._flag_right:
+            return self._transfer(pc, TransferKind.BRANCH, ins.a)
+        return pc + INSTRUCTION_SIZE
+
+    def _op_jb(self, pc: int, ins: Instruction) -> int:
+        if self._flag_left < self._flag_right:
+            return self._transfer(pc, TransferKind.BRANCH, ins.a)
+        return pc + INSTRUCTION_SIZE
+
+    def _op_jae(self, pc: int, ins: Instruction) -> int:
+        if self._flag_left >= self._flag_right:
+            return self._transfer(pc, TransferKind.BRANCH, ins.a)
+        return pc + INSTRUCTION_SIZE
+
+    def _op_jl(self, pc: int, ins: Instruction) -> int:
+        if to_signed(self._flag_left) < to_signed(self._flag_right):
+            return self._transfer(pc, TransferKind.BRANCH, ins.a)
+        return pc + INSTRUCTION_SIZE
+
+    def _op_jle(self, pc: int, ins: Instruction) -> int:
+        if to_signed(self._flag_left) <= to_signed(self._flag_right):
+            return self._transfer(pc, TransferKind.BRANCH, ins.a)
+        return pc + INSTRUCTION_SIZE
+
+    def _op_jg(self, pc: int, ins: Instruction) -> int:
+        if to_signed(self._flag_left) > to_signed(self._flag_right):
+            return self._transfer(pc, TransferKind.BRANCH, ins.a)
+        return pc + INSTRUCTION_SIZE
+
+    def _op_jge(self, pc: int, ins: Instruction) -> int:
+        if to_signed(self._flag_left) >= to_signed(self._flag_right):
+            return self._transfer(pc, TransferKind.BRANCH, ins.a)
+        return pc + INSTRUCTION_SIZE
+
     def _op_push(self, pc: int, ins: Instruction) -> int:
         regs = self.registers
         self._push(regs[ins.b] if ins.b_kind == _REG else ins.b, pc)
@@ -1106,14 +1525,14 @@ _HANDLERS = {
     Opcode.TEST: CPU._op_test,
     Opcode.JMP: CPU._op_jmp,
     Opcode.JMPR: CPU._op_jmpr,
-    Opcode.JE: CPU._op_jcc,
-    Opcode.JNE: CPU._op_jcc,
-    Opcode.JL: CPU._op_jcc,
-    Opcode.JLE: CPU._op_jcc,
-    Opcode.JG: CPU._op_jcc,
-    Opcode.JGE: CPU._op_jcc,
-    Opcode.JB: CPU._op_jcc,
-    Opcode.JAE: CPU._op_jcc,
+    Opcode.JE: CPU._op_je,
+    Opcode.JNE: CPU._op_jne,
+    Opcode.JL: CPU._op_jl,
+    Opcode.JLE: CPU._op_jle,
+    Opcode.JG: CPU._op_jg,
+    Opcode.JGE: CPU._op_jge,
+    Opcode.JB: CPU._op_jb,
+    Opcode.JAE: CPU._op_jae,
     Opcode.PUSH: CPU._op_push,
     Opcode.POP: CPU._op_pop,
     Opcode.CALL: CPU._op_call,
@@ -1143,13 +1562,23 @@ del _opcode, _handler
 # ----------------------------------------------------------------------
 #
 # A *micro-op* is a closure over one instruction's constants with the
-# signature ``micro(cpu, regs)``; it must be non-raising (which excludes
-# DIV and everything touching memory) and must not dispatch hook events,
-# so a fused stretch of micro-ops needs no per-instruction bookkeeping at
+# signature ``micro(cpu, regs)``; it must not dispatch hook events, so a
+# fused stretch of micro-ops needs no per-instruction bookkeeping at
 # all.  ``_fuse`` packs a stretch into one superinstruction with the
 # ordinary handler signature, so compiled runs stay homogeneous.
+#
+# Micro-ops come in two families.  The ALU/MOV family is *non-raising*
+# and fuses unconditionally.  The memory/stack family (loads, pushes,
+# pops, frame ops, DIV — and stores, when the barrier-elision premise
+# holds) may fault; stretches containing any of them fuse into a
+# *guarded* superinstruction that counts retired micro-ops and pins the
+# faulting pc on the CPU (``_fault_pc``), which the run executor uses
+# to keep step accounting and ``interrupted_pc`` bit-identical to the
+# per-instruction loop.
 
 _MASK = WORD_MASK
+_ESP_ = int(Register.ESP)
+_EBP_ = int(Register.EBP)
 
 
 def _micro_mov(ins):
@@ -1369,6 +1798,177 @@ def _micro_lea(ins):
     return micro
 
 
+def _micro_load(ins):
+    a = ins.a
+    base = ins.b
+    if base == ABSOLUTE_BASE:
+        address = ins.c & _MASK
+
+        def micro(cpu, regs):
+            regs[a] = cpu.memory.read_word(address)
+    else:
+        disp = ins.c
+
+        def micro(cpu, regs):
+            regs[a] = cpu.memory.read_word((regs[base] + disp) & _MASK)
+    return micro
+
+
+def _micro_loadb(ins):
+    a = ins.a
+    base = ins.b
+    if base == ABSOLUTE_BASE:
+        address = ins.c & _MASK
+
+        def micro(cpu, regs):
+            regs[a] = cpu.memory.read_byte(address)
+    else:
+        disp = ins.c
+
+        def micro(cpu, regs):
+            regs[a] = cpu.memory.read_byte((regs[base] + disp) & _MASK)
+    return micro
+
+
+def _micro_store(ins):
+    base = ins.a
+    src = ins.b
+    if base == ABSOLUTE_BASE:
+        address = ins.c & _MASK
+
+        def micro(cpu, regs):
+            cpu.memory.write_word(address, regs[src])
+    else:
+        disp = ins.c
+
+        def micro(cpu, regs):
+            cpu.memory.write_word((regs[base] + disp) & _MASK,
+                                  regs[src])
+    return micro
+
+
+def _micro_storeb(ins):
+    base = ins.a
+    src = ins.b
+    if base == ABSOLUTE_BASE:
+        address = ins.c & _MASK
+
+        def micro(cpu, regs):
+            cpu.memory.write_byte(address, regs[src])
+    else:
+        disp = ins.c
+
+        def micro(cpu, regs):
+            cpu.memory.write_byte((regs[base] + disp) & _MASK,
+                                  regs[src])
+    return micro
+
+
+def _micro_out(ins):
+    b = ins.b
+    if ins.b_kind == _REG:
+        def micro(cpu, regs):
+            cpu.output.append(regs[b])
+    else:
+        def micro(cpu, regs):
+            cpu.output.append(b)
+    return micro
+
+
+def _micro_outb(ins):
+    b = ins.b
+    if ins.b_kind == _REG:
+        def micro(cpu, regs):
+            cpu.output.append(regs[b] & 0xFF)
+    else:
+        value = b & 0xFF
+
+        def micro(cpu, regs):
+            cpu.output.append(value)
+    return micro
+
+
+def _micro_push(ins, pc):
+    b = ins.b
+    if ins.b_kind == _REG:
+        def micro(cpu, regs):
+            esp = regs[_ESP_] - WORD_SIZE
+            if esp < cpu.memory.stack_base:
+                raise StackFault("stack overflow", pc=pc)
+            regs[_ESP_] = esp
+            cpu.memory.write_word(esp, regs[b])
+    else:
+        def micro(cpu, regs):
+            esp = regs[_ESP_] - WORD_SIZE
+            if esp < cpu.memory.stack_base:
+                raise StackFault("stack overflow", pc=pc)
+            regs[_ESP_] = esp
+            cpu.memory.write_word(esp, b)
+    return micro
+
+
+def _micro_pop(ins, pc):
+    a = ins.a
+
+    def micro(cpu, regs):
+        esp = regs[_ESP_]
+        memory = cpu.memory
+        if esp + WORD_SIZE > memory.stack_top:
+            raise StackFault("stack underflow", pc=pc)
+        regs[a] = memory.read_word(esp)
+        regs[_ESP_] = esp + WORD_SIZE
+    return micro
+
+
+def _micro_enter(ins, pc):
+    frame = ins.a
+
+    def micro(cpu, regs):
+        memory = cpu.memory
+        esp = regs[_ESP_] - WORD_SIZE
+        if esp < memory.stack_base:
+            raise StackFault("stack overflow", pc=pc)
+        regs[_ESP_] = esp
+        memory.write_word(esp, regs[_EBP_])
+        regs[_EBP_] = esp
+        esp -= frame
+        if esp < memory.stack_base:
+            raise StackFault("stack overflow in enter", pc=pc)
+        regs[_ESP_] = esp
+    return micro
+
+
+def _micro_leave(ins, pc):
+    def micro(cpu, regs):
+        memory = cpu.memory
+        esp = regs[_EBP_]
+        regs[_ESP_] = esp
+        if esp + WORD_SIZE > memory.stack_top:
+            raise StackFault("stack underflow", pc=pc)
+        regs[_EBP_] = memory.read_word(esp)
+        regs[_ESP_] = esp + WORD_SIZE
+    return micro
+
+
+def _micro_div(ins, pc):
+    a = ins.a
+    b = ins.b
+    if ins.b_kind == _REG:
+        def micro(cpu, regs):
+            divisor = regs[b]
+            if divisor == 0:
+                raise DivisionByZero("division by zero", pc=pc)
+            regs[a] = (regs[a] // divisor) & _MASK
+    else:
+        def micro(cpu, regs):
+            if b == 0:
+                raise DivisionByZero("division by zero", pc=pc)
+            regs[a] = (regs[a] // b) & _MASK
+    return micro
+
+
+#: Always-fusable micro-ops (no hook events; faults carry the same
+#: message/pc the plain handler would raise).
 _MICRO_MAKERS = {
     Opcode.MOV: _micro_mov,
     Opcode.ADD: _micro_add,
@@ -1385,26 +1985,63 @@ _MICRO_MAKERS = {
     Opcode.CMP: _micro_cmp,
     Opcode.TEST: _micro_test,
     Opcode.LEA: _micro_lea,
+    Opcode.LOAD: _micro_load,
+    Opcode.LOADB: _micro_loadb,
+    Opcode.OUT: _micro_out,
+    Opcode.OUTB: _micro_outb,
+    Opcode.PUSH: _micro_push,
+    Opcode.POP: _micro_pop,
+    Opcode.ENTER: _micro_enter,
+    Opcode.LEAVE: _micro_leave,
+    Opcode.DIV: _micro_div,
 }
 
-#: Instruction -> micro-op (or None when not fusable).  Keyed by the
-#: frozen Instruction value, so identical instructions across blocks,
-#: CPUs, and binaries share one compiled closure.
+#: Additionally fusable when the barrier-elision premise holds (no
+#: store subscriber): the store handlers dispatch no events, so whole
+#: loop bodies collapse into one guarded closure.
+_MICRO_MAKERS_ELIDED = dict(_MICRO_MAKERS)
+_MICRO_MAKERS_ELIDED[Opcode.STORE] = _micro_store
+_MICRO_MAKERS_ELIDED[Opcode.STOREB] = _micro_storeb
+
+#: Micro-ops whose makers bind the instruction's pc (their faults must
+#: carry the exact message the plain handler raises).
+_PC_BOUND_MICROS = frozenset({
+    Opcode.PUSH, Opcode.POP, Opcode.ENTER, Opcode.LEAVE, Opcode.DIV,
+})
+
+#: Micro-ops that may raise; a fused stretch containing one compiles
+#: into the guarded superinstruction flavour.
+_RAISING_MICROS = frozenset({
+    Opcode.LOAD, Opcode.LOADB, Opcode.STORE, Opcode.STOREB,
+    Opcode.PUSH, Opcode.POP, Opcode.ENTER, Opcode.LEAVE, Opcode.DIV,
+})
+
+#: Instruction -> micro-op, for the pc-independent makers only: those
+#: closures are shared across pcs, blocks, CPUs, and binaries.
+#: pc-bound micro-ops are deliberately NOT memoised here — they are
+#: constructed per compiled run and live exactly as long as the
+#: binary's run cache holds that run, so a process assembling many
+#: binaries never accumulates dead (instruction, pc) closures.
 _MICRO_CACHE: dict[Instruction, object] = {}
 
 
-def _micro_for(instruction: Instruction):
-    """The memoised micro-op for *instruction*, or None if unfusable."""
-    micro = _MICRO_CACHE.get(instruction, _UNSET)
-    if micro is _UNSET:
-        maker = _MICRO_MAKERS.get(instruction.opcode)
-        micro = maker(instruction) if maker is not None else None
-        _MICRO_CACHE[instruction] = micro
+def _micro_for(ins_pc: int, instruction: Instruction, makers: dict):
+    """The micro-op for *instruction*, or None if unfusable under
+    *makers* (the elision-mode maker table)."""
+    opcode = instruction.opcode
+    maker = makers.get(opcode)
+    if maker is None:
+        return None
+    if opcode in _PC_BOUND_MICROS:
+        return maker(instruction, ins_pc)
+    micro = _MICRO_CACHE.get(instruction)
+    if micro is None:
+        micro = _MICRO_CACHE[instruction] = maker(instruction)
     return micro
 
 
 def _fuse(micros: tuple):
-    """Pack consecutive micro-ops into one superinstruction handler."""
+    """Pack consecutive non-raising micro-ops into one handler."""
     advance = len(micros) * INSTRUCTION_SIZE
 
     def superinstruction(cpu, pc, _ins):
@@ -1415,36 +2052,69 @@ def _fuse(micros: tuple):
     return superinstruction
 
 
-def _split_segments(items: list) -> list[list]:
-    """Split a run's ``(pc, instruction)`` list after each barrier op."""
+def _fuse_guarded(micros: tuple):
+    """Guarded flavour for stretches whose micro-ops may fault: count
+    retired micro-ops and pin the faulting pc on the CPU so the run
+    executor's accounting stays exact."""
+    advance = len(micros) * INSTRUCTION_SIZE
+
+    def superinstruction(cpu, pc, _ins):
+        regs = cpu.registers
+        index = 0
+        try:
+            for micro in micros:
+                micro(cpu, regs)
+                index += 1
+        except BaseException:
+            cpu._fault_pc = pc + index * INSTRUCTION_SIZE
+            raise
+        return pc + advance
+    return superinstruction
+
+
+def _split_segments(items: list, barriers: frozenset) -> list[list]:
+    """Split a run's ``(pc, instruction)`` list after each barrier op.
+
+    *barriers* is empty when the caller has proven no subscriber can be
+    reached from the barrier opcodes (store/heap elision), collapsing
+    the run into one segment.
+    """
     segments: list[list] = [[]]
     for item in items:
         segments[-1].append(item)
-        if item[1].opcode in _SEGMENT_BARRIERS:
+        if item[1].opcode in barriers:
             segments.append([])
     if not segments[-1]:
         segments.pop()
     return segments
 
 
-def _compile_ops(segment: list) -> tuple:
+def _compile_ops(segment: list, makers: dict) -> tuple:
     """Pre-bind one segment into ``(handler, pc, instruction)`` triples,
-    fusing maximal stretches of two or more micro-ops."""
+    fusing maximal stretches of two or more micro-ops.  A stretch with
+    any raising micro-op compiles into the guarded superinstruction
+    flavour; pure ALU/MOV stretches keep the unguarded fast one."""
     ops: list = []
     fusable: list = []
 
     def close_stretch():
         if len(fusable) >= 2:
-            micros = tuple(_MICRO_CACHE[ins] for _, ins in fusable)
-            ops.append((_fuse(micros), fusable[0][0], None))
+            micros = tuple(micro for _, _, micro in fusable)
+            if any(ins.opcode in _RAISING_MICROS
+                   for _, ins, _ in fusable):
+                handler = _fuse_guarded(micros)
+            else:
+                handler = _fuse(micros)
+            ops.append((handler, fusable[0][0], None))
         else:
-            for ins_pc, ins in fusable:
+            for ins_pc, ins, _ in fusable:
                 ops.append((_DISPATCH[ins.opcode], ins_pc, ins))
         del fusable[:]
 
     for ins_pc, ins in segment:
-        if _micro_for(ins) is not None:
-            fusable.append((ins_pc, ins))
+        micro = _micro_for(ins_pc, ins, makers)
+        if micro is not None:
+            fusable.append((ins_pc, ins, micro))
         else:
             close_stretch()
             ops.append((_DISPATCH[ins.opcode], ins_pc, ins))

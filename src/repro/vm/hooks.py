@@ -233,6 +233,9 @@ class HookBus:
         #: instruction pc -> (block items, index of pc within them), where
         #: items is the owning cached block's [(pc, Instruction), ...].
         self.blocks: dict[int, tuple[list, int]] = {}
+        #: True while ``blocks`` aliases a table adopted from a shared
+        #: template (warm-started caches): the first mutation copies it.
+        self._blocks_shared = False
 
     # -- registration ---------------------------------------------------
 
@@ -318,16 +321,41 @@ class HookBus:
         head inside an earlier block's tail) simply overwrite: both views
         decode the same immutable image, so either is valid.
 
-        Installation does not bump ``anchor_version``: a compiled run is
-        a pure function of the immutable image and the anchor tables, so
-        registering (or withdrawing) a compilation *source* cannot
-        invalidate one — only anchor changes can.  Every new block's
-        head is anchored by the code cache anyway, which refreshes the
-        CPU's negative compile cache at exactly the right moment.
+        Installation cannot invalidate a compiled run — runs are pure
+        functions of the immutable image and the anchor tables — but it
+        *can* overtake a negative compile verdict (a pc that had no
+        registered block now has one), so it bumps ``anchor_version``:
+        the CPU drops its per-generation negative caches and retries,
+        while the positive tables survive under their unchanged
+        dispatch-state fingerprint.
         """
         blocks = self.blocks
+        if self._blocks_shared:
+            blocks = self.blocks = dict(blocks)
+            self._blocks_shared = False
         for index, (pc, _) in enumerate(items):
             blocks[pc] = (items, index)
+        self.anchor_version += 1
+
+    def adopt_blocks(self, table: dict) -> None:
+        """Adopt a prebuilt registration table (a restored cache's
+        merged block index), copy-on-write.
+
+        A warm-started instance that discovers nothing new shares the
+        template for its whole life — the common §4.4.5 case — and the
+        first genuine (un)registration copies it.  Bumps
+        ``anchor_version`` like the installs it replaces.
+        """
+        if self.blocks:
+            blocks = self.blocks
+            if self._blocks_shared:
+                blocks = self.blocks = dict(blocks)
+                self._blocks_shared = False
+            blocks.update(table)
+        else:
+            self.blocks = table
+            self._blocks_shared = True
+        self.anchor_version += 1
 
     def remove_block(self, items: list) -> None:
         """Withdraw a block registered via :meth:`install_block`.
@@ -337,6 +365,9 @@ class HookBus:
         the overwriter's entries intact.
         """
         blocks = self.blocks
+        if self._blocks_shared:
+            blocks = self.blocks = dict(blocks)
+            self._blocks_shared = False
         for pc, _ in items:
             entry = blocks.get(pc)
             if entry is not None and entry[0] is items:

@@ -46,3 +46,34 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "patched at:    -" in out
         assert "all blocked:   True" in out
+
+
+class TestSnapshotCommand:
+    def test_save_then_info_roundtrip(self, capsys, tmp_path):
+        path = tmp_path / "cache.json"
+        assert main(["snapshot", "save", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "cached blocks" in out
+        assert path.exists()
+
+        assert main(["snapshot", "info", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "schema:      1" in out
+        assert "compatible:  yes" in out
+
+    def test_info_rejects_stale_engine(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "cache.json"
+        assert main(["snapshot", "save", str(path)]) == 0
+        capsys.readouterr()
+        payload = json.loads(path.read_text())
+        payload["engine"] = "ancient-kernel-0"
+        path.write_text(json.dumps(payload))
+        assert main(["snapshot", "info", str(path)]) == 1
+        assert "compatible:  no" in capsys.readouterr().out
+
+    def test_info_unreadable_file(self, capsys, tmp_path):
+        assert main(["snapshot", "info",
+                     str(tmp_path / "missing.json")]) == 1
+        assert "unreadable snapshot" in capsys.readouterr().err

@@ -393,3 +393,130 @@ class TestFaultInjection:
         manager.close()
         manager.close()
         assert_no_orphans(manager)
+
+
+def _capture_check_pair():
+    """A capture/check pair sharing one ValueCapture cell, as the
+    two-variable checks of §2.4.2 distribute them."""
+    from repro.core.checks import (
+        CapturePatch,
+        CheckPatch,
+        ObservationSink,
+        ValueCapture,
+    )
+    from repro.learning.invariants import LessThan
+    from repro.learning.variables import Variable
+
+    left = Variable(0, "esp")
+    right = Variable(8, "esp")
+    cell = ValueCapture()
+    capture = CapturePatch(pc=0, variable=left, capture=cell,
+                           failure_id="refcount-test")
+    check = CheckPatch(pc=8, invariant=LessThan(left=left, right=right),
+                       sink=ObservationSink(), capture=cell,
+                       failure_id="refcount-test")
+    return capture, check
+
+
+class TestRegistryRefcounting:
+    """The ROADMAP robustness debt: worker capture registries and the
+    server PatchLedger must not retain state for removed patches — a
+    pair installed as two commands keeps sharing one cell while either
+    is live, and the last removal frees it."""
+
+    def test_worker_capture_cell_shared_then_freed(self, make_manager):
+        manager = make_manager(members=1, transport="process")
+        member = manager.members[0]
+        capture, check = _capture_check_pair()
+
+        member.install_patch(capture)
+        member.install_patch(check)
+        state = member.call("debug-state")
+        assert len(state["capture_cells"]) == 1
+        cell_id = state["capture_cells"][0]
+        assert state["capture_refs"][cell_id] == 2
+
+        # Removing one holder keeps the shared cell alive.
+        member.remove_patch(capture)
+        state = member.call("debug-state")
+        assert state["capture_cells"] == [cell_id]
+        assert state["capture_refs"][cell_id] == 1
+
+        # Removing the last holder frees it.
+        member.remove_patch(check)
+        state = member.call("debug-state")
+        assert state["capture_cells"] == []
+        assert state["capture_refs"] == {}
+        assert state["installed_patches"] == []
+
+        # A reinstall mints a fresh cell rather than resurrecting one.
+        member.install_patch(capture)
+        state = member.call("debug-state")
+        assert state["capture_cells"] == [cell_id]
+        assert state["capture_refs"][cell_id] == 1
+        member.remove_patch(capture)
+        manager.close()
+        assert_no_orphans(manager)
+
+    def test_episode_leaves_worker_registries_empty(self, make_manager):
+        """After a full attack/repair episode is unwound, no capture
+        cells or installed patches linger in any worker."""
+        manager = make_manager(members=2, transport="process")
+        run_learning(manager)
+        manager.protect()
+        attack = exploit("gc-collect")
+        for _ in range(6):
+            if manager.attack(attack.page()).outcome is \
+                    Outcome.COMPLETED:
+                break
+        assert manager.environment.patches
+        for patch in list(manager.environment.patches):
+            manager.environment.remove_patch(patch)
+        for member in manager.members:
+            state = member.call("debug-state")
+            assert state["capture_cells"] == []
+            assert state["capture_refs"] == {}
+            assert state["installed_patches"] == []
+        assert manager.transport.ledger.live_entries() == 0
+        manager.close()
+        assert_no_orphans(manager)
+
+    def test_ledger_refcounts_across_members(self, make_manager):
+        manager = make_manager(members=2, transport="process")
+        ledger = manager.transport.ledger
+        capture, check = _capture_check_pair()
+        first, second = manager.members
+
+        first.install_patch(check)
+        second.install_patch(check)
+        assert ledger.live_entries() == 1
+
+        # One member letting go keeps the canonical entry resolvable
+        # (the other member's observation events still need it).
+        first.remove_patch(check)
+        assert ledger.live_entries() == 1
+        second.remove_patch(check)
+        assert ledger.live_entries() == 0
+        manager.close()
+        assert_no_orphans(manager)
+
+    def test_dropped_member_releases_ledger_holds(self, make_manager):
+        manager = make_manager(members=2, transport="process")
+        ledger = manager.transport.ledger
+        capture, check = _capture_check_pair()
+        first, second = manager.members
+
+        first.install_patch(check)
+        second.install_patch(check)
+        assert ledger.live_entries() == 1
+
+        first.inject_fault("crash", at="probe")
+        with pytest.raises(MemberFailure):
+            first.probe(learning_pages()[0])
+        # The casualty's hold is released; the survivor's keeps the
+        # entry live until it too removes the patch.
+        assert ledger.live_entries() == 1
+        second.remove_patch(check)
+        assert ledger.live_entries() == 0
+        manager.close()
+        assert_no_orphans(manager)

@@ -288,7 +288,9 @@ class TestFusion:
         run = cpu._compiled.get(binary.entry_point)
         assert run not in (None, False)
         segments, count = run
-        assert count == sum(seg_count for _, seg_count in segments)
+        assert count == sum(seg_count for _, seg_count, _ in segments)
+        # Plain block runs carry no trace guards.
+        assert all(guard is None for _, _, guard in segments)
         assert count >= 2
 
     def test_workload_equivalence_with_protection(self, browser):
@@ -307,3 +309,198 @@ class TestFusion:
             assert fast_result.output == slow_result.output
             assert fast_result.steps == slow_result.steps
             assert fast_result.stats == slow_result.stats
+
+
+# A hot loop whose body spans four blocks (call, callee, return
+# continuation with a store, loop-back branch): the canonical shape the
+# trace tier stitches into one guarded trace run.
+TRACE_PROGRAM = """
+main:
+    mov eax, 0
+    mov ecx, 40
+    lea edx, [0x100800]
+loop:
+    push eax
+    call bump
+    pop ebx
+    store [edx+0], eax
+    sub ecx, 1
+    cmp ecx, 0
+    jne loop
+    out eax
+    halt
+bump:
+    add eax, 2
+    ret
+"""
+
+
+def _trace_cpu(program: str, slow: bool, extra_hooks=()) -> CPU:
+    binary = assemble(program)
+    cpu = CPU(binary)
+    cpu.add_hook(CodeCache(binary))
+    for hook in extra_hooks:
+        cpu.add_hook(hook)
+    if slow:
+        cpu.add_hook(_NoOpBefore())
+    cpu.run()
+    return cpu
+
+
+class TestTraceTier:
+    def test_trace_forms_and_matches_step_loop(self):
+        """The hot call/store loop must record a trace path, retire
+        instructions inside trace runs, and stay bit-identical to the
+        per-instruction loop."""
+        fast = _trace_cpu(TRACE_PROGRAM, slow=False)
+        slow = _trace_cpu(TRACE_PROGRAM, slow=True)
+        assert _machine_state(fast) == _machine_state(slow)
+        paths = [path for path in fast.binary._trace_paths.values()
+                 if path]
+        assert paths, "no trace path recorded for the hot loop"
+        assert any(len(path) >= 2 for path in paths)
+        assert fast.trace_retired > 0
+
+    def test_fresh_cpu_inherits_traces(self):
+        """A second CPU on the same binary adopts the recorded traces
+        immediately (shared tables) and still matches the step loop."""
+        binary = assemble(TRACE_PROGRAM)
+        first = CPU(binary)
+        first.add_hook(CodeCache(binary))
+        first.run()
+        second = CPU(binary)
+        second.add_hook(CodeCache(binary))
+        second.run()
+        slow = CPU(binary)
+        slow.add_hook(CodeCache(binary))
+        slow.add_hook(_NoOpBefore())
+        slow.run()
+        assert _machine_state(second) == _machine_state(slow)
+        # The inherited trace engages from the first loop iterations.
+        assert second.trace_retired >= first.trace_retired
+
+    def test_patch_install_remove_while_trace_hot(self):
+        """A patch landing inside a member of a hot trace must poison
+        it immediately: execution stays bit-identical to the
+        per-instruction loop across install and remove."""
+        def run(slow: bool) -> CPU:
+            binary = assemble(TRACE_PROGRAM)
+            cpu = CPU(binary)
+            cache = CodeCache(binary)
+            cpu.add_hook(cache)
+            manager = PatchManager(cache)
+            cpu.add_hook(manager)
+            loop_pc = binary.symbols["loop"]
+            store_pc = loop_pc + 3 * INSTRUCTION_SIZE  # the store
+            payload = _AddConstant(pc=store_pc)
+            driver = _MidRunPatcher(pc=loop_pc)
+            driver.manager = manager
+            driver.payload = payload
+            driver.install_at = 24   # well past TRACE_THRESHOLD
+            driver.remove_at = 33
+            manager.apply(driver)
+            if slow:
+                cpu.add_hook(_NoOpBefore())
+            cpu.run()
+            return cpu
+
+        fast = run(slow=False)
+        slow = run(slow=True)
+        assert _machine_state(fast) == _machine_state(slow)
+        # The trace was hot before the patch landed (threshold < 24).
+        assert fast.trace_retired > 0
+
+    def test_monitor_attach_mid_run_restores_barriers(self):
+        """With no store subscriber the hot loop runs with barriers
+        elided; a store subscriber attached mid-run (from a transfer
+        hook) must flip the premise and see every subsequent store,
+        exactly like the per-instruction loop."""
+        class _AttachRecorderOnTransfer(ExecutionHook):
+            def __init__(self, recorder, after):
+                self.recorder = recorder
+                self.remaining = after
+
+            def on_transfer(self, cpu, pc, kind, target):
+                if self.remaining is not None:
+                    self.remaining -= 1
+                    if self.remaining <= 0:
+                        self.remaining = None
+                        cpu.add_hook(self.recorder)
+
+        class _StoreRecorder(ExecutionHook):
+            def __init__(self):
+                self.seen = []
+
+            def on_store(self, cpu, pc, address, size, value,
+                         old_value):
+                self.seen.append((pc, address, value))
+
+        def run(slow: bool):
+            recorder = _StoreRecorder()
+            attacher = _AttachRecorderOnTransfer(recorder, after=70)
+            cpu = _trace_cpu(TRACE_PROGRAM, slow=slow,
+                             extra_hooks=(attacher,))
+            return cpu, recorder
+
+        fast, fast_recorder = run(slow=False)
+        slow, slow_recorder = run(slow=True)
+        assert _machine_state(fast) == _machine_state(slow)
+        assert fast_recorder.seen == slow_recorder.seen
+        assert fast_recorder.seen  # the attach happened mid-loop
+
+
+FAULTING_STORE_PROGRAM = """
+main:
+    mov ecx, 64
+    lea edx, [0x100800]
+loop:
+    mov eax, ecx
+    add eax, 5
+    store [edx+0], eax
+    add edx, 0x4000
+    sub ecx, 1
+    cmp ecx, 0
+    jne loop
+    halt
+"""
+
+FAULTING_DIV_PROGRAM = """
+main:
+    mov eax, 1000
+    mov ebx, 24
+loop:
+    add eax, 7
+    div eax, ebx
+    add eax, 50
+    sub ebx, 1
+    cmp ebx, -100
+    jne loop
+    halt
+"""
+
+
+class TestFusedFaultPrecision:
+    """Memory/stack/DIV micro-ops fuse into guarded closures; a fault
+    inside one must surface with the exact pc, step count, and message
+    of the per-instruction loop."""
+
+    @pytest.mark.parametrize("program", [FAULTING_STORE_PROGRAM,
+                                         FAULTING_DIV_PROGRAM])
+    def test_fault_inside_fused_stretch_is_exact(self, program):
+        def run(slow: bool):
+            binary = assemble(program)
+            cpu = CPU(binary)
+            cpu.add_hook(CodeCache(binary))
+            if slow:
+                cpu.add_hook(_NoOpBefore())
+            try:
+                cpu.run()
+            except Exception as error:  # noqa: BLE001 - compared below
+                return cpu, type(error).__name__, str(error)
+            return cpu, None, ""
+
+        fast, fast_kind, fast_detail = run(slow=False)
+        slow, slow_kind, slow_detail = run(slow=True)
+        assert fast_kind is not None, "program should fault"
+        assert (fast_kind, fast_detail) == (slow_kind, slow_detail)
+        assert _machine_state(fast) == _machine_state(slow)
