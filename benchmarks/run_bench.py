@@ -51,7 +51,12 @@ REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 TRAJECTORY = REPO_ROOT / "BENCH_kernel.json"
 
 #: --check fails when a gated config drops below (1 - this) x record.
-REGRESSION_TOLERANCE = 0.20
+#: Widened from 0.20 once the dev runner's wall-clock was characterised
+#: as swinging ~25% between minutes (thermal/neighbour phases): the
+#: gate must catch real kernel regressions, not the machine's mood.
+#: Genuine perf work should quote same-sitting interleaved A/B runs,
+#: not record-vs-record deltas (see ROADMAP, perf discipline).
+REGRESSION_TOLERANCE = 0.30
 
 #: Configurations the CI gate holds to the trajectory.  ``learning``
 #: joined once its best-of-5 variance was characterised (~1%);
