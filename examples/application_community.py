@@ -28,10 +28,11 @@ def main() -> None:
     parser = argparse.ArgumentParser(
         description="Application community walkthrough (§3)")
     parser.add_argument(
-        "--transport", choices=("in-process", "process"),
+        "--transport", choices=("in-process", "process", "socket"),
         default="in-process",
-        help="simulate members in-process (default) or shard them "
-             "across one OS process per member")
+        help="simulate members in-process (default), shard them "
+             "across one OS process per member, or run them over the "
+             "multi-host socket wire protocol")
     args = parser.parse_args()
 
     print(f"standing up a community of 8 machines "

@@ -11,10 +11,17 @@ Commands
 ``learn``
     Run the learning suite and print invariant statistics.
 ``community``
-    Stand up an application community (in-process or process-sharded),
-    learn distributed, drive one exploit, and report immunity and wire
-    accounting.  ``--snapshot FILE`` warm-starts every member from a
-    persistent cache snapshot (creating it first if absent).
+    Stand up an application community (in-process, process-sharded, or
+    socket members with optional TLS), learn distributed, drive one
+    exploit, and report immunity and wire accounting.  ``--snapshot
+    FILE`` warm-starts every member from a persistent cache snapshot
+    (creating it first if absent).  ``--transport socket`` runs members
+    over the multi-host wire protocol; add ``--listen HOST:PORT`` to
+    wait for externally launched members instead of spawning loopback
+    workers, and start those members elsewhere with ``community
+    --connect HOST:PORT [--name NAME]``.  ``--tls-cert``/``--tls-key``
+    wrap every member channel in TLS (the paper's SSL channel); members
+    pin the server certificate via ``--tls-ca``.
 ``snapshot``
     Save or inspect a persistent code-cache snapshot (§4.4.5
     save/restore): ``snapshot save cache.json`` warms the WebBrowse
@@ -116,11 +123,48 @@ def _warm_snapshot(path: str, binary, pages: list[bytes]) -> None:
           f"{scout.last_code_cache.cached_block_count} blocks)")
 
 
+def _parse_endpoint(value: str) -> tuple[str, int]:
+    host, _, port = value.rpartition(":")
+    try:
+        return host or "127.0.0.1", int(port)
+    except ValueError:
+        raise SystemExit(f"bad endpoint {value!r}; expected HOST:PORT")
+
+
+def _cmd_member(args) -> int:
+    """``community --connect``: run one member against a remote manager."""
+    import os
+
+    from repro.apps import build_browser
+    from repro.community import run_member
+    from repro.dynamo import EnvironmentConfig
+    from repro.errors import CommunityError
+
+    host, port = _parse_endpoint(args.connect)
+    name = args.name or f"member-{os.getpid()}"
+    config = None
+    if args.snapshot:
+        config = EnvironmentConfig.full()
+        config.load_snapshot = args.snapshot
+    binary = build_browser().stripped()
+    print(f"member {name}: connecting to {host}:{port}"
+          f"{' (TLS)' if args.tls_ca else ''} ...")
+    try:
+        run_member(host, port, name, binary, config, cafile=args.tls_ca)
+    except CommunityError as error:
+        print(f"member {name}: {error}", file=sys.stderr)
+        return 1
+    print(f"member {name}: shut down by the manager")
+    return 0
+
+
 def _cmd_community(args) -> int:
     from repro.apps import build_browser, learning_pages
-    from repro.community import CommunityManager
+    from repro.community import CommunityManager, SocketTransport
     from repro.dynamo import EnvironmentConfig, Outcome
 
+    if args.connect:
+        return _cmd_member(args)
     try:
         item = exploit(args.defect)
     except KeyError:
@@ -137,39 +181,71 @@ def _cmd_community(args) -> int:
         config.load_snapshot = args.snapshot
         print(f"snapshot:          members warm-start from "
               f"{args.snapshot}")
-    with CommunityManager(binary, members=args.members, config=config,
-                          transport=args.transport) as manager:
-        report = manager.learn_distributed(pages,
-                                           strategy=args.strategy)
-        print(f"transport:        {args.transport} "
-              f"({args.members} members)")
-        print(f"merged invariants: {len(report.database)}")
-        print(f"max member load:   "
-              f"{max(report.per_node_observations)} observations "
-              f"(full: {report.full_observations})")
-        print(f"upload bytes:      {report.upload_bytes} "
-              f"(invariants only, never traces)")
-        manager.protect()
-        presentations = 0
-        outcome = None
-        for _ in range(args.presentations):
-            presentations += 1
-            outcome = manager.attack(item.page()).outcome
-            if outcome is Outcome.COMPLETED:
-                break
-        immune = manager.immune_members(item.page())
-        alive = len(manager.environment.alive_members())
-        print(f"presentations:     {presentations} "
-              f"(last outcome: {outcome.value if outcome else '-'})")
-        print(f"immune members:    {immune}/{alive}")
-        for dropped in manager.dropped_members:
-            print(f"dropped member:    {dropped.name} "
-                  f"({dropped.reason} during {dropped.op})")
-        print("wire bytes by kind:")
-        for kind, total in sorted(manager.bus.bytes_by_kind().items()):
-            print(f"  {kind:24s} {total}")
-        return 0 if (outcome is Outcome.COMPLETED and immune == alive) \
-            else 1
+    transport = args.transport
+    if args.listen or args.tls_cert:
+        if args.transport != "socket":
+            print("--listen/--tls-cert require --transport socket",
+                  file=sys.stderr)
+            return 2
+        options = {"certfile": args.tls_cert, "keyfile": args.tls_key}
+        if args.listen:
+            host, port = _parse_endpoint(args.listen)
+            transport = SocketTransport(host=host, port=port,
+                                        accept_external=True,
+                                        spawn_timeout=args.join_timeout,
+                                        **options)
+        else:
+            transport = SocketTransport(**options)
+        bound = transport.listen()
+        print(f"listening:         {bound[0]}:{bound[1]}"
+              f"{' (TLS)' if args.tls_cert else ''}"
+              + (f" — waiting up to {args.join_timeout:.0f}s for "
+                 f"{args.members} members (community --connect)"
+                 if args.listen else ""))
+    try:
+        with CommunityManager(binary, members=args.members, config=config,
+                              transport=transport) as manager:
+            report = manager.learn_distributed(pages,
+                                               strategy=args.strategy)
+            print(f"transport:        {args.transport} "
+                  f"({args.members} members)")
+            print(f"merged invariants: {len(report.database)}")
+            print(f"max member load:   "
+                  f"{max(report.per_node_observations)} observations "
+                  f"(full: {report.full_observations})")
+            print(f"upload bytes:      {report.upload_bytes} "
+                  f"(invariants only, never traces)")
+            manager.protect()
+            presentations = 0
+            outcome = None
+            for _ in range(args.presentations):
+                presentations += 1
+                outcome = manager.attack(item.page()).outcome
+                if outcome is Outcome.COMPLETED:
+                    break
+            immune = manager.immune_members(item.page())
+            alive = len(manager.environment.alive_members())
+            print(f"presentations:     {presentations} "
+                  f"(last outcome: {outcome.value if outcome else '-'})")
+            print(f"immune members:    {immune}/{alive}")
+            for dropped in manager.dropped_members:
+                print(f"dropped member:    {dropped.name} "
+                      f"({dropped.reason} during {dropped.op})")
+            print("wire bytes by kind:")
+            for kind, total in \
+                    sorted(manager.bus.bytes_by_kind().items()):
+                print(f"  {kind:24s} {total}")
+            on_wire = getattr(manager.bus, "wire_bytes_total", None)
+            if on_wire is not None:
+                print(f"channel bytes:     {on_wire()} (frames on the "
+                      f"wire, length prefixes included)")
+            return 0 if (outcome is Outcome.COMPLETED and immune == alive) \
+                else 1
+    finally:
+        # Transports the CLI constructed itself (listen/TLS modes) are
+        # caller-owned: the manager will not close them.
+        if not isinstance(transport, str):
+            transport.close()
 
 
 def _cmd_snapshot(args) -> int:
@@ -274,10 +350,37 @@ def build_parser() -> argparse.ArgumentParser:
         "--members", type=int, default=8,
         help="community size (default 8)")
     community_parser.add_argument(
-        "--transport", choices=("in-process", "process"),
+        "--transport", choices=("in-process", "process", "socket"),
         default="in-process",
-        help="member substrate: simulated in-process or one OS process "
-             "per member")
+        help="member substrate: simulated in-process, one OS process "
+             "per member over a socketpair, or socket members speaking "
+             "the multi-host wire protocol")
+    community_parser.add_argument(
+        "--listen", metavar="HOST:PORT", default=None,
+        help="with --transport socket: wait for externally launched "
+             "members (community --connect) instead of spawning "
+             "loopback workers")
+    community_parser.add_argument(
+        "--connect", metavar="HOST:PORT", default=None,
+        help="run as one community member: connect to a listening "
+             "manager and serve commands until shut down")
+    community_parser.add_argument(
+        "--name", default=None,
+        help="member name announced to the manager (with --connect)")
+    community_parser.add_argument(
+        "--join-timeout", type=float, default=120.0,
+        help="with --listen: seconds to wait for members to dial in")
+    community_parser.add_argument(
+        "--tls-cert", metavar="FILE", default=None,
+        help="server certificate: wrap every member channel in TLS "
+             "(the paper's Node Manager SSL channel)")
+    community_parser.add_argument(
+        "--tls-key", metavar="FILE", default=None,
+        help="private key for --tls-cert")
+    community_parser.add_argument(
+        "--tls-ca", metavar="FILE", default=None,
+        help="with --connect: trust root (the server certificate) to "
+             "verify the manager against")
     community_parser.add_argument(
         "--strategy", choices=("round-robin", "random", "overlapping"),
         default="round-robin",

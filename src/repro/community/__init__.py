@@ -7,11 +7,17 @@ from repro.community.manager import (
 )
 from repro.community.members import LocalMember, MemberFailure
 from repro.community.node import CommunityNode, NodeStats
-from repro.community.sharding import (
+from repro.community.remote import (
+    ChannelMember,
+    ChannelTransport,
     DroppedMember,
-    ProcessMember,
-    ProcessTransport,
+    FramedChannel,
+    PatchLedger,
+    SocketTransport,
+    connect_member,
+    run_member,
 )
+from repro.community.sharding import ProcessMember, ProcessTransport
 from repro.community.strategies import (
     overlapping_assignments,
     partition_random,
@@ -22,7 +28,9 @@ from repro.community.transport import Message, MessageBus
 __all__ = [
     "CommunityEnvironment", "CommunityManager",
     "DistributedLearningReport", "CommunityNode", "NodeStats",
-    "LocalMember", "MemberFailure", "DroppedMember", "ProcessMember",
-    "ProcessTransport", "overlapping_assignments", "partition_random",
+    "LocalMember", "MemberFailure", "DroppedMember", "ChannelMember",
+    "ChannelTransport", "FramedChannel", "PatchLedger", "ProcessMember",
+    "ProcessTransport", "SocketTransport", "connect_member", "run_member",
+    "overlapping_assignments", "partition_random",
     "partition_round_robin", "Message", "MessageBus",
 ]

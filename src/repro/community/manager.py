@@ -13,10 +13,19 @@ Coordinates learning and repair across member machines:
 
 The manager is transport-generic: every member interaction goes through
 a handle (:mod:`repro.community.members`), so the same code drives the
-in-process simulation (``transport="in-process"``, the default) and real
+in-process simulation (``transport="in-process"``, the default), real
 per-member worker processes (``transport="process"``,
-:mod:`repro.community.sharding`).  Members a transport drops mid-episode
+:mod:`repro.community.sharding`), and multi-host socket members with
+optional TLS (``transport="socket"``,
+:mod:`repro.community.remote`).  Members a transport drops mid-episode
 are excluded and their outstanding work re-sharded across the survivors.
+
+Scatter/gather on the channel transports is genuinely asynchronous: the
+transport keeps pumping every member's channel while the server absorbs
+replies in deterministic dispatch order, so the manager's merge and
+correlation work on early repliers overlaps the stragglers'
+still-running commands — without perturbing any observable ordering the
+differential suite pins.
 """
 
 from __future__ import annotations
@@ -26,6 +35,7 @@ from dataclasses import dataclass, field
 from repro.cfg.discovery import DiscoveryPlugin, ProcedureDatabase
 from repro.community.members import LocalMember, MemberFailure
 from repro.community.node import CommunityNode
+from repro.community.remote import SocketTransport
 from repro.community.sharding import ProcessTransport
 from repro.community.strategies import (
     overlapping_assignments,
@@ -127,6 +137,97 @@ class CommunityEnvironment:
             self.remove_patch(patch)
         return len(victims)
 
+    def probe_wave(self, payload: bytes) -> list[RunResult]:
+        """Probe every live member with *payload* in one wave.
+
+        On the channel transports the probes are dispatched to every
+        member before any result is gathered, so they genuinely run
+        concurrently; members that fail mid-probe are dropped and
+        simply missing from the returned results.
+        """
+        started = []
+        for member in self.alive_members():
+            try:
+                member.start_probe(payload)
+            except MemberFailure:
+                continue
+            started.append(member)
+        results = []
+        for member in started:
+            try:
+                results.append(member.finish_probe())
+            except MemberFailure:
+                continue
+        return results
+
+    def probe_many(self, payloads: list[bytes]) -> list["RunResult"]:
+        """Probe a batch of inputs across the community, pipelined.
+
+        Payloads are assigned round-robin; each channel member keeps up
+        to its pipeline depth of probes in flight, and the server
+        collects replies as the pipelines drain — so member compute,
+        wire transfer, and the server's own processing all overlap.  A
+        member that fails mid-batch has its outstanding payloads
+        redistributed across the survivors.  Results come back in
+        payload order.
+        """
+        members = self.alive_members()
+        if not members:
+            raise CommunityError("no live members left to probe")
+        if not hasattr(members[0], "has_capacity"):
+            # In-process members execute synchronously; the round-robin
+            # assignment below would produce the same results slower.
+            return [members[index % len(members)].probe(payload)
+                    for index, payload in enumerate(payloads)]
+        results: list[RunResult | None] = [None] * len(payloads)
+        queues = {member.name: [] for member in members}
+        inflight = {member.name: [] for member in members}
+        for index in range(len(payloads)):
+            queues[members[index % len(members)].name].append(index)
+        orphaned: list[int] = []
+        while True:
+            live = [member for member in members if member.alive]
+            if not live:
+                raise CommunityError("no live members left to probe")
+            if orphaned:
+                # Re-shard a casualty's outstanding probes round-robin.
+                for offset, index in enumerate(sorted(orphaned)):
+                    queues[live[offset % len(live)].name].append(index)
+                orphaned = []
+            busy = False
+            for member in live:
+                queue, flight = queues[member.name], inflight[member.name]
+                while queue and member.has_capacity():
+                    index = queue.pop(0)
+                    try:
+                        member.start_probe(payloads[index])
+                    except MemberFailure:
+                        orphaned.append(index)
+                        orphaned.extend(queue)
+                        orphaned.extend(flight)
+                        queue.clear()
+                        flight.clear()
+                        break
+                    flight.append(index)
+                busy = busy or bool(queue) or bool(flight)
+            if not busy and not orphaned:
+                break
+            for member in live:
+                flight = inflight[member.name]
+                if not flight or not member.alive:
+                    continue
+                index = flight.pop(0)
+                try:
+                    results[index] = member.finish_probe()
+                except MemberFailure:
+                    orphaned.append(index)
+                    orphaned.extend(flight)
+                    orphaned.extend(queues[member.name])
+                    flight.clear()
+                    queues[member.name].clear()
+        assert all(result is not None for result in results)
+        return results  # type: ignore[return-value]
+
 
 @dataclass
 class DistributedLearningReport:
@@ -150,17 +251,25 @@ class CommunityManager:
       :class:`MessageBus` — cheap, single-core.
     - ``"process"``: one OS process per member via
       :class:`ProcessTransport` — real serialization, real parallelism.
-    - any :class:`MessageBus` or :class:`ProcessTransport` instance, for
-      callers managing transport lifetime themselves.
+    - ``"socket"``: one OS process per member dialing a loopback TCP
+      listener via :class:`SocketTransport` — the multi-host wire
+      protocol (construct a :class:`SocketTransport` directly for TLS
+      or externally launched members).
+    - any :class:`MessageBus`, :class:`ProcessTransport`, or
+      :class:`SocketTransport` instance, for callers managing transport
+      lifetime themselves.
 
-    Process transports own worker processes: call :meth:`close` (or use
+    Channel transports own worker processes: call :meth:`close` (or use
     the manager as a context manager) when done.
     """
 
+    _TRANSPORTS = {"in-process": MessageBus, "process": ProcessTransport,
+                   "socket": SocketTransport}
+
     def __init__(self, binary: Binary, members: int = 4,
                  config: EnvironmentConfig | None = None,
-                 transport: "str | MessageBus | ProcessTransport | None"
-                 = None,
+                 transport: "str | MessageBus | ProcessTransport | "
+                            "SocketTransport | None" = None,
                  worker_timeout: float | None = None):
         self.binary = binary.stripped()
         self.config = config or EnvironmentConfig.full()
@@ -169,32 +278,35 @@ class CommunityManager:
         #: The manager owns (and closes) transports it constructs;
         #: caller-provided instances manage their own lifetime.
         self._owns_transport = isinstance(transport, str)
-        if worker_timeout is not None and transport != "process":
+        if worker_timeout is not None and \
+                transport not in ("process", "socket"):
             raise ValueError(
-                "worker_timeout only applies to transport='process'; "
-                "configure a transport instance directly otherwise")
+                "worker_timeout only applies to transport='process' or "
+                "'socket'; configure a transport instance directly "
+                "otherwise")
         if isinstance(transport, str):
-            if transport == "in-process":
+            factory = self._TRANSPORTS.get(transport)
+            if factory is None:
+                raise ValueError(
+                    f"unknown transport {transport!r}; choose "
+                    f"'in-process', 'process', or 'socket'")
+            if factory is MessageBus:
                 transport = MessageBus()
-            elif transport == "process":
+            else:
                 # worker_timeout is the caller's hang-detection budget
                 # for *every* command, learning shards included;
-                # construct a ProcessTransport directly to tune the two
-                # timeouts independently.
-                transport = ProcessTransport(
+                # construct a transport instance directly to tune the
+                # per-op deadline table independently.
+                transport = factory(
                     **({"timeout": worker_timeout,
                         "learn_timeout": worker_timeout}
                        if worker_timeout is not None else {}))
-            else:
-                raise ValueError(
-                    f"unknown transport {transport!r}; choose "
-                    f"'in-process' or 'process'")
         self.transport = transport
-        #: Accounting alias: both transports expose the MessageBus API.
+        #: Accounting alias: every transport exposes the MessageBus API.
         self.bus = transport
 
         names = [f"node-{index}" for index in range(members)]
-        if isinstance(transport, ProcessTransport):
+        if hasattr(transport, "spawn"):
             self.nodes: list[CommunityNode] = []
             self.members = transport.spawn(self.binary, self.config, names)
         else:
@@ -249,13 +361,16 @@ class CommunityManager:
         """Each member traces its assigned procedures over the workload;
         the server merges the uploaded invariants.
 
-        The scatter/gather shape is what the process transport
-        parallelizes: every member's shard is dispatched before any
-        result is collected.  Uploads merge in dispatch order — member
-        order, then re-shard rounds — so the merged database is
-        deterministic regardless of worker completion order.  A member
-        that fails mid-shard is dropped and its procedures are re-sharded
-        round-robin across the survivors.
+        The scatter/gather shape is what the channel transports
+        parallelize: every member's shard is dispatched before any
+        result is collected, and each upload is merged *as it is
+        absorbed* — while the remaining members' shards are still
+        running, their replies streaming into channel buffers under the
+        transport's reply multiplexer.  Uploads merge in dispatch
+        order — member order, then re-shard rounds — so the merged
+        database is deterministic regardless of worker completion
+        order.  A member that fails mid-shard is dropped and its
+        procedures are re-sharded round-robin across the survivors.
         """
         if strategy not in _STRATEGIES:
             raise ValueError(f"unknown strategy {strategy!r}; "
@@ -268,7 +383,7 @@ class CommunityManager:
         assignments = _STRATEGIES[strategy](
             self.procedures.entries(), len(learners))
 
-        uploads: list[InvariantDatabase] = []
+        merged: InvariantDatabase | None = None
         observations = {member.name: 0 for member in self.members}
         dropped: list[str] = []
         wave = list(zip(learners, assignments))
@@ -290,7 +405,11 @@ class CommunityManager:
                     dropped.append(failure.member)
                     orphaned.extend(sorted(assignment))
                     continue
-                uploads.append(database)
+                # The server's correlation work: merging this upload
+                # overlaps the later members' shards, which are still
+                # executing (their replies buffer as they arrive).
+                merged = database if merged is None \
+                    else merged.merge(database)
                 observations[member.name] += traced
             if not orphaned:
                 break
@@ -303,14 +422,11 @@ class CommunityManager:
                     for member, shard in zip(survivors, redistributed)
                     if shard]
 
-        if not uploads:
+        if merged is None:
             # Possible only when every member died holding an *empty*
             # shard (nothing orphaned to re-distribute).
             raise CommunityError(
                 "every member failed during distributed learning")
-        merged = uploads[0]
-        for upload in uploads[1:]:
-            merged = merged.merge(upload)
         self.database = merged
         upload_bytes = self.bus.bytes_by_kind().get("invariant-upload", 0)
         per_node = [observations[member.name] for member in self.members]
@@ -350,16 +466,10 @@ class CommunityManager:
     def immune_members(self, page: bytes) -> int:
         """How many members survive *page* right now — patched members
         that were never attacked should all survive (Protection Without
-        Exposure)."""
-        survivors = 0
-        for member in self.environment.alive_members():
-            try:
-                result = member.probe(page)
-            except MemberFailure:
-                continue
-            if result.outcome is Outcome.COMPLETED:
-                survivors += 1
-        return survivors
+        Exposure).  The probes go out as one concurrent wave on the
+        channel transports."""
+        return sum(1 for result in self.environment.probe_wave(page)
+                   if result.outcome is Outcome.COMPLETED)
 
     # ------------------------------------------------------------------
     # Malicious-node mitigation (§5)

@@ -9,13 +9,17 @@ families implement it:
 - :class:`LocalMember` wraps an in-process
   :class:`~repro.community.node.CommunityNode` and calls it directly —
   the original single-process simulation, byte-for-byte.
-- :class:`~repro.community.sharding.ProcessMember` proxies the same
-  commands over a pipe to a worker process.
+- :class:`~repro.community.remote.ChannelMember` proxies the same
+  commands over a deadline-framed channel to a worker process — an
+  anonymous socketpair (:class:`~repro.community.sharding.ProcessMember`)
+  or a TCP/TLS connection
+  (:class:`~repro.community.remote.SocketTransport`).
 
 Every command is split into ``start_*`` / ``finish_*`` halves so the
 manager can scatter a command to many members before gathering any
-result: on the process transport the workers genuinely overlap, while a
-local member simply executes during ``start_*`` — preserving the exact
+result: on the channel transports the workers genuinely overlap (and
+each accepts a bounded pipeline of in-flight commands), while a local
+member simply executes during ``start_*`` — preserving the exact
 sequential semantics the in-process community always had.
 """
 
@@ -32,10 +36,13 @@ from repro.vm.binary import Binary
 class MemberFailure(CommunityError):
     """A member could not complete a command and has been dropped.
 
-    ``reason`` is one of ``"crash"`` (worker process died), ``"hang"``
-    (no reply within the transport timeout), ``"malformed"`` (reply was
-    not decodable protocol), or ``"error"`` (worker reported a command
-    failure).
+    ``reason`` is one of ``"crash"`` (worker process died or its
+    channel closed), ``"hang"`` (no reply within the per-op deadline,
+    or a reply frame that failed to complete within the frame
+    deadline — the wedged-mid-write case), ``"malformed"`` (reply was
+    not decodable protocol), ``"handshake"`` (a socket member never
+    established its — possibly TLS — channel), or ``"error"`` (worker
+    reported a command failure).
     """
 
     def __init__(self, member: str, reason: str, detail: str = ""):
@@ -72,6 +79,7 @@ class LocalMember:
         self.alive = True
         self._learned: tuple[InvariantDatabase, int] | None = None
         self._evaluated: RunResult | None = None
+        self._probed: RunResult | None = None
 
     @property
     def name(self) -> str:
@@ -103,6 +111,14 @@ class LocalMember:
     def probe(self, payload: bytes) -> RunResult:
         """One run *without* failure reporting (immunity sweeps)."""
         return self.node.environment.run(payload)
+
+    def start_probe(self, payload: bytes) -> None:
+        self._probed = self.probe(payload)
+
+    def finish_probe(self) -> RunResult:
+        assert self._probed is not None, "no probe in flight"
+        result, self._probed = self._probed, None
+        return result
 
     # -- patch management ----------------------------------------------
 

@@ -1,0 +1,1472 @@
+"""Deadline-framed member channels: pipes, sockets, and TLS (§3).
+
+ClearView's community runs each application under a Determina Node
+Manager that talks to the Management Console over an encrypted SSL
+channel.  This module is that channel made explicit:
+
+- :class:`FramedChannel` carries length-prefixed frames over any stream
+  socket (anonymous socketpairs for same-host workers, TCP — optionally
+  TLS-wrapped — for multi-host members).  Reads are *deadline-framed*:
+  once the first byte of a frame arrives, the complete frame must land
+  within :attr:`FramedChannel.frame_deadline` seconds.  That bounds
+  time-to-complete-message, not just time-to-first-byte, so a worker
+  wedged *mid-write* (SIGSTOPped after a partial reply) or trickling a
+  frame slow-loris style is detected and dropped as ``hang`` instead of
+  stalling the server forever in a blocking read.
+- :class:`ChannelMember` is the transport-generic server-side proxy for
+  one worker.  It replaces the old one-``_pending``-slot protocol with a
+  bounded *pipeline* of in-flight commands per worker, and its waits are
+  multiplexed by the owning transport: while the server blocks on one
+  member's reply it keeps pumping every other member's channel, so the
+  manager's correlation/merge work overlaps in-flight member runs.
+- :class:`ChannelTransport` is the shared transport base (bus-compatible
+  accounting, canonical :class:`PatchLedger`, per-op deadline table,
+  worker-pool lifecycle); :class:`SocketTransport` implements it over
+  TCP with optional TLS, either spawning loopback worker processes or
+  accepting externally launched members (``python -m repro community
+  --connect HOST:PORT``).
+- :func:`serve_channel` is the worker-side command loop both the pipe
+  and socket transports run — one implementation, so the two transports
+  cannot drift apart.
+
+Failure policy: a worker that crashes (EOF), hangs (no reply within the
+per-op deadline, or a frame that fails to complete within the frame
+deadline), fails its TLS handshake, or replies with undecodable protocol
+is terminated, recorded in :attr:`ChannelTransport.dropped`, and
+excluded from further dispatch; the manager re-shards its outstanding
+work across the survivors.  Spawned workers are daemonic, terminate is
+escalated to SIGKILL (a SIGSTOPped worker ignores SIGTERM until
+continued), and :meth:`ChannelTransport.close` is idempotent, so no code
+path leaves orphan processes behind.
+
+Accounting: every frame that crosses a channel is logged with its true
+on-wire size (``Message.frame_size``, length prefix included).  A reply
+frame's bytes are attributed exactly once — replayed piggyback bus
+entries under their own kind, the remainder under ``reply:<op>`` — so
+on a fault-free episode :meth:`ChannelTransport.channel_bytes_by_kind`
+totals sum to the bytes that actually crossed the channels
+(:meth:`wire_bytes_total`).  A dropped member's final garbage or
+partial frame was received but never decoded into a log record, so
+faulted episodes reconcile only up to the casualties' dying bytes.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import select
+import signal
+import socket
+import struct
+import time
+import typing
+from collections import deque
+from dataclasses import dataclass
+
+from repro.community import wire
+from repro.community.members import MemberFailure, patch_summary
+from repro.community.transport import Message, MessageBus
+from repro.core.checks import CheckPatch, Observation
+from repro.dynamo.execution import EnvironmentConfig, RunResult
+from repro.dynamo.patches import Patch
+from repro.errors import CommunityError
+from repro.vm.binary import Binary
+
+try:  # pragma: no cover - stdlib, but gate for minimal builds
+    import ssl
+except ImportError:  # pragma: no cover
+    ssl = None  # type: ignore[assignment]
+
+#: Non-fatal "try again later" signals from the (possibly TLS) socket.
+_WANT_READ: tuple = (ssl.SSLWantReadError,) if ssl else ()
+_WANT_WRITE: tuple = (ssl.SSLWantWriteError,) if ssl else ()
+
+#: Exit code a worker uses for an injected crash (distinguishable from
+#: interpreter faults in test diagnostics).
+_INJECTED_CRASH_EXIT = 37
+
+#: Frame header: 4-byte big-endian payload length.
+_HEADER = struct.Struct(">I")
+
+#: Refuse frames larger than this (a corrupt header must not allocate
+#: gigabytes before the decode layer can reject the member).
+MAX_FRAME_PAYLOAD = 1 << 30
+
+
+class ChannelError(CommunityError):
+    """Base for channel-level failures."""
+
+
+class ChannelClosed(ChannelError):
+    """The peer closed the connection.
+
+    ``mid_frame`` is True when the EOF landed inside a partially
+    received frame (a disconnect-mid-frame, not a clean shutdown).
+    """
+
+    def __init__(self, detail: str = "peer closed the channel",
+                 mid_frame: bool = False):
+        super().__init__(detail)
+        self.mid_frame = mid_frame
+
+
+class ChannelTimeout(ChannelError):
+    """A read deadline expired.
+
+    ``mid_frame`` distinguishes a frame that *started* but stopped
+    making progress toward completion (the wedged-mid-write / slow-loris
+    case) from a reply that never began at all.
+    """
+
+    def __init__(self, detail: str, mid_frame: bool = False):
+        super().__init__(detail)
+        self.mid_frame = mid_frame
+
+
+def _monotonic() -> float:
+    return time.monotonic()
+
+
+class FramedChannel:
+    """Length-prefixed frames over a stream socket, with read deadlines.
+
+    The socket is switched to non-blocking mode; all waiting happens in
+    explicit ``select`` calls so a caller can multiplex many channels
+    (see :meth:`ChannelTransport._await_reply`).  Incoming bytes are
+    pumped into an internal buffer and parsed incrementally; complete
+    frames queue up, which is what allows a bounded *pipeline* of
+    in-flight commands per worker.
+
+    Deadline protocol: :meth:`recv_frame` waits up to ``timeout``
+    seconds for a frame to *start* (first byte), and once any bytes of
+    the current frame are buffered the complete frame must land within
+    :attr:`frame_deadline` seconds of its first byte — partial frames
+    that fail to complete in time raise :class:`ChannelTimeout` with
+    ``mid_frame=True``.  TLS sockets are supported transparently
+    (``ssl.SSLWantReadError`` is treated as "no data yet" and the SSL
+    layer's internal buffer is drained before every wait).
+    """
+
+    def __init__(self, sock: socket.socket, frame_deadline: float = 30.0):
+        sock.setblocking(False)
+        self._sock = sock
+        self.frame_deadline = frame_deadline
+        self._buffer = bytearray()
+        self._frames: deque[bytes] = deque()
+        self._frame_started: float | None = None
+        self._eof = False
+        self.closed = False
+        #: On-wire byte counters (length prefixes included) for the
+        #: accounting invariant per-kind totals are checked against.
+        self.sent_bytes = 0
+        self.received_bytes = 0
+
+    def fileno(self) -> int:
+        return self._sock.fileno()
+
+    # -- receive side --------------------------------------------------
+
+    def _parse(self) -> None:
+        """Lift every complete frame out of the byte buffer."""
+        while True:
+            if len(self._buffer) < _HEADER.size:
+                break
+            (length,) = _HEADER.unpack_from(self._buffer)
+            if length > MAX_FRAME_PAYLOAD:
+                raise ChannelError(f"oversized frame ({length} bytes)")
+            if len(self._buffer) < _HEADER.size + length:
+                break
+            frame = bytes(self._buffer[_HEADER.size:_HEADER.size + length])
+            del self._buffer[:_HEADER.size + length]
+            self._frames.append(frame)
+        # The partial-frame clock: arms when unparsed bytes linger,
+        # clears the moment the buffer sits on a frame boundary.
+        if self._buffer:
+            if self._frame_started is None:
+                self._frame_started = _monotonic()
+        else:
+            self._frame_started = None
+
+    def pump(self) -> bool:
+        """Drain whatever the socket has ready into the frame queue
+        without blocking; returns True if any bytes arrived."""
+        if self.closed:
+            return False
+        progressed = False
+        while True:
+            try:
+                chunk = self._sock.recv(65536)
+            except (BlockingIOError, InterruptedError, *_WANT_READ):
+                break
+            except OSError:
+                # A dead connection is an EOF, not an exception: bytes
+                # already received this call still get parsed below, so
+                # a complete reply that crossed the wire just before
+                # the reset is surfaced rather than discarded.
+                self._eof = True
+                break
+            if chunk == b"":
+                self._eof = True
+                break
+            self._buffer.extend(chunk)
+            self.received_bytes += len(chunk)
+            progressed = True
+        if progressed:
+            self._parse()
+        return progressed
+
+    def has_frame(self) -> bool:
+        return bool(self._frames)
+
+    def pop_frame(self) -> bytes:
+        return self._frames.popleft()
+
+    @property
+    def at_eof(self) -> bool:
+        return self._eof
+
+    def partial_frame_deadline(self) -> float | None:
+        """Absolute monotonic deadline of the in-flight partial frame
+        (None when the buffer sits on a frame boundary)."""
+        if self._frame_started is None:
+            return None
+        return self._frame_started + self.frame_deadline
+
+    def _wait_readable(self, timeout: float) -> bool:
+        if ssl is not None and isinstance(self._sock, ssl.SSLSocket) and \
+                self._sock.pending():
+            return True
+        try:
+            readable, _, _ = select.select([self._sock], [], [],
+                                           max(0.0, timeout))
+        except (OSError, ValueError) as error:
+            raise ChannelClosed(f"channel wait failed: {error}",
+                                mid_frame=bool(self._buffer)) from error
+        return bool(readable)
+
+    def recv_frame(self, timeout: float | None = None) -> bytes:
+        """Wait for one complete frame.
+
+        ``timeout`` bounds time-to-first-byte (None = wait forever for a
+        frame to start); :attr:`frame_deadline` bounds first byte to
+        complete frame.  Raises :class:`ChannelTimeout` on either
+        deadline, :class:`ChannelClosed` on EOF.
+        """
+        start = _monotonic()
+        while True:
+            self.pump()
+            if self._frames:
+                return self._frames.popleft()
+            if self._eof:
+                raise ChannelClosed(mid_frame=bool(self._buffer))
+            now = _monotonic()
+            frame_deadline = self.partial_frame_deadline()
+            if frame_deadline is not None and now >= frame_deadline:
+                raise ChannelTimeout(
+                    f"frame stalled mid-receive ({len(self._buffer)} bytes "
+                    f"buffered, no complete frame within "
+                    f"{self.frame_deadline:.1f}s)", mid_frame=True)
+            waits = []
+            if frame_deadline is not None:
+                waits.append(frame_deadline - now)
+            if timeout is not None and frame_deadline is None:
+                remaining = timeout - (now - start)
+                if remaining <= 0:
+                    raise ChannelTimeout(
+                        f"no reply within {timeout:.1f}s")
+                waits.append(remaining)
+            self._wait_readable(min(waits) if waits else 1.0)
+
+    # -- send side -----------------------------------------------------
+
+    def send_frame(self, payload: bytes,
+                   timeout: float | None = None) -> int:
+        """Write one frame; returns its on-wire size (header included)."""
+        frame = _HEADER.pack(len(payload)) + payload
+        self.send_raw(frame, timeout)
+        return len(frame)
+
+    def send_raw(self, data: bytes, timeout: float | None = None) -> None:
+        """Write raw bytes (test hooks use this for partial frames)."""
+        view = memoryview(data)
+        start = _monotonic()
+        while view:
+            try:
+                sent = self._sock.send(view)
+            except (BlockingIOError, InterruptedError, *_WANT_WRITE):
+                sent = 0
+            except OSError as error:
+                raise ChannelClosed(
+                    f"channel write failed: {error}") from error
+            if sent:
+                self.sent_bytes += sent
+                view = view[sent:]
+                continue
+            if timeout is not None and _monotonic() - start > timeout:
+                raise ChannelTimeout(
+                    f"peer stopped reading ({len(view)} bytes unsent "
+                    f"after {timeout:.1f}s)")
+            try:
+                select.select([], [self._sock], [], 0.05)
+            except (OSError, ValueError) as error:
+                raise ChannelClosed(
+                    f"channel wait failed: {error}") from error
+
+    def close(self) -> None:
+        if self.closed:
+            return
+        self.closed = True
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover - teardown races
+            pass
+
+
+class PatchLedger:
+    """Canonical-object registry for patches distributed to workers.
+
+    Workers execute *copies* of every patch; the ledger maps a patch id
+    back to the server's original so that observation events and fired
+    counters land where the ClearView core reads them.
+
+    Entries are *refcounted* per patch id: a patch fanned out to N
+    members registers N times, and the canonical object stays resolvable
+    while any member still holds it — removing it from one member (or
+    dropping that member) must not orphan the others' observation
+    events.  The entry is freed when the last holder lets go, so the
+    ledger stays bounded across arbitrarily many patch episodes.
+    """
+
+    def __init__(self):
+        self._by_id: dict[int, Patch] = {}
+        self._refs: dict[int, int] = {}
+
+    def register(self, patch: Patch) -> None:
+        patch_id = patch.patch_id
+        self._by_id[patch_id] = patch
+        self._refs[patch_id] = self._refs.get(patch_id, 0) + 1
+
+    def unregister(self, patch: Patch) -> None:
+        self.release(patch.patch_id)
+
+    def release(self, patch_id: int) -> None:
+        """Drop one holder's reference; free the entry at zero."""
+        refs = self._refs.get(patch_id)
+        if refs is None:
+            return
+        if refs > 1:
+            self._refs[patch_id] = refs - 1
+        else:
+            del self._refs[patch_id]
+            self._by_id.pop(patch_id, None)
+
+    def live_entries(self) -> int:
+        """How many canonical patches the ledger currently retains."""
+        return len(self._by_id)
+
+    def fold_observation(self, patch_id: int, satisfied: bool) -> None:
+        patch = self._by_id.get(patch_id)
+        if isinstance(patch, CheckPatch) and patch.sink is not None:
+            patch.sink.record(Observation(
+                failure_id=patch.failure_id, invariant=patch.invariant,
+                satisfied=satisfied))
+
+    def fold_fired(self, patch_id: int, delta: int) -> None:
+        patch = self._by_id.get(patch_id)
+        if patch is not None and hasattr(patch, "fired"):
+            patch.fired += delta
+
+
+@dataclass
+class DroppedMember:
+    """One member the transport gave up on."""
+
+    name: str
+    reason: str
+    op: str
+    detail: str = ""
+
+
+# ---------------------------------------------------------------------------
+# Worker side
+# ---------------------------------------------------------------------------
+
+class _ObservationTap:
+    """Worker-local stand-in for the server's ObservationSink.
+
+    Streams ``[patch_id, satisfied]`` events, in execution order, into
+    the shared per-command event list the reply carries back.
+    """
+
+    def __init__(self, events: list, patch_id: int):
+        self._events = events
+        self._patch_id = patch_id
+
+    def record(self, observation: Observation) -> None:
+        self._events.append([self._patch_id, bool(observation.satisfied)])
+
+
+class _WorkerState:
+    """Everything a worker tracks beside its CommunityNode."""
+
+    def __init__(self):
+        #: Live patches by id (install-patch .. remove-patch window).
+        self.installed: dict[int, Patch] = {}
+        #: This command's trial patches (already withdrawn from the
+        #: node), still owed a fired-delta report in the postlude.
+        self.trial_patches: list[Patch] = []
+        self.reported_fired: dict[int, int] = {}
+        #: Capture registry for *installed* patches; trial patches use
+        #: an ephemeral registry per command, so repair waves that mint
+        #: fresh capture ids every round cannot grow this.
+        self.captures: dict[str, object] = {}
+        #: Per-capture-id refcounts over ``captures``: a capture/check
+        #: pair installed as two commands shares one cell while either
+        #: is live; removing the last holder frees the cell, so worker
+        #: registries stay bounded across many patch episodes.
+        self.capture_refs: dict[str, int] = {}
+        self.events: list = []
+        self.fault: dict | None = None
+        self.last_database: dict | None = None
+        self.bus_cursor = 0
+
+    def retain_capture(self, patch: Patch) -> None:
+        """Count an installed patch's hold on its capture cell."""
+        capture = getattr(patch, "capture", None)
+        if capture is not None:
+            capture_id = capture.capture_id
+            self.capture_refs[capture_id] = \
+                self.capture_refs.get(capture_id, 0) + 1
+
+    def release_capture(self, patch: Patch) -> None:
+        """Drop a removed patch's hold; free the cell at zero."""
+        capture = getattr(patch, "capture", None)
+        if capture is None:
+            return
+        capture_id = capture.capture_id
+        refs = self.capture_refs.get(capture_id)
+        if refs is None:
+            return
+        if refs > 1:
+            self.capture_refs[capture_id] = refs - 1
+        else:
+            del self.capture_refs[capture_id]
+            self.captures.pop(capture_id, None)
+
+
+def _decode_patch(state: _WorkerState, payload: dict,
+                  captures: dict | None = None) -> Patch:
+    patch = wire.patch_from_dict(
+        payload, state.captures if captures is None else captures,
+        sink=_ObservationTap(state.events, payload["patch_id"]))
+    # A re-decoded patch id (remove + reinstall of the same server-side
+    # patch) starts from fired=0 again; reset its reporting watermark or
+    # the next postlude would fold a spurious negative delta into the
+    # canonical counter.
+    state.reported_fired[patch.patch_id] = 0
+    return patch
+
+
+def _send_faulted_reply(channel: FramedChannel, mode: str,
+                        encoded: bytes, interval: float) -> None:
+    """Deliver *encoded* the way the armed wire fault dictates.
+
+    ``stall-mid-write`` writes half the frame then SIGSTOPs the worker —
+    the exact wedged-mid-write scenario the deadline framing exists to
+    catch.  ``slow-loris`` trickles the frame in chunks slower than any
+    sane frame deadline.  ``disconnect-mid-frame`` writes half the frame
+    and drops the connection.
+    """
+    frame = _HEADER.pack(len(encoded)) + encoded
+    half = max(_HEADER.size + 1, len(frame) // 2)
+    if mode == "stall-mid-write":
+        channel.send_raw(frame[:half])
+        os.kill(os.getpid(), signal.SIGSTOP)
+        # Only reached if somebody SIGCONTs the worker; never finish the
+        # frame — the server must already have dropped this member.
+        time.sleep(3600)
+    elif mode == "slow-loris":
+        step = max(1, len(frame) // 64)
+        for offset in range(0, len(frame), step):
+            channel.send_raw(frame[offset:offset + step])
+            time.sleep(interval)
+    elif mode == "disconnect-mid-frame":
+        channel.send_raw(frame[:half])
+        channel.close()
+        os._exit(_INJECTED_CRASH_EXIT)
+
+
+def serve_channel(channel: FramedChannel, name: str, binary: Binary,
+                  config: EnvironmentConfig | None) -> None:
+    """The command loop of one community member process.
+
+    Channel-generic: the process transport runs it over an anonymous
+    socketpair, the socket transport over a (possibly TLS) TCP
+    connection — one loop, so the transports cannot drift apart.
+    """
+    # Import here: under the fork start method the child inherits the
+    # parent's modules anyway, but a spawn fallback must import fresh.
+    from repro.community.node import CommunityNode
+
+    bus = MessageBus()
+    node = CommunityNode(name, binary, bus, config)
+    state = _WorkerState()
+
+    def handle(request: dict) -> dict:
+        op = request["op"]
+        if op == "ping":
+            return {"ok": True, "pid": os.getpid()}
+        if op == "learn-shard":
+            procedures = request["procedures"]
+            database, observations = node.learn_shard(
+                [bytes.fromhex(page) for page in request["pages"]],
+                None if procedures is None else set(procedures),
+                request["pair_scope"])
+            state.last_database = database.to_dict()
+            return {"ok": True, "observations": observations}
+        if op == "run":
+            result = node.run(bytes.fromhex(request["payload"]))
+            return {"ok": True, "result": wire.run_result_to_dict(result)}
+        if op == "probe":
+            result = node.environment.run(bytes.fromhex(request["payload"]))
+            return {"ok": True, "result": wire.run_result_to_dict(result)}
+        if op == "install-patch":
+            patch = _decode_patch(state, request["patch"])
+            node.apply_patch(patch)
+            state.installed[patch.patch_id] = patch
+            state.retain_capture(patch)
+            return {"ok": True}
+        if op == "remove-patch":
+            patch = state.installed.pop(request["patch_id"], None)
+            if patch is None:
+                return {"ok": False,
+                        "error": f"patch {request['patch_id']} not applied"}
+            node.remove_patch(patch)
+            # No delta can be pending: fired only moves during run-style
+            # commands, whose own replies already drained it.
+            state.reported_fired.pop(patch.patch_id, None)
+            state.release_capture(patch)
+            return {"ok": True}
+        if op == "evaluate-candidate":
+            trial_captures: dict[str, object] = {}
+            patches = [_decode_patch(state, payload, trial_captures)
+                       for payload in request["patches"]]
+            state.trial_patches = patches
+            result = node.evaluate_candidate(
+                patches, bytes.fromhex(request["payload"]))
+            return {"ok": True, "result": wire.run_result_to_dict(result)}
+        if op == "applied-patches":
+            return {"ok": True,
+                    "patches": [patch_summary(patch)
+                                for patch in node.environment.patches]}
+        if op == "report-database":
+            return {"ok": True, "database": state.last_database}
+        if op == "stats":
+            stats = node.stats
+            return {"ok": True, "stats": {
+                "runs": stats.runs,
+                "traced_observations": stats.traced_observations,
+                "failures_reported": stats.failures_reported,
+                "patches_applied": stats.patches_applied,
+            }}
+        if op == "debug-state":
+            # Test/console introspection: the registry footprint the
+            # refcounting satellites bound.
+            return {"ok": True,
+                    "capture_cells": sorted(state.captures),
+                    "capture_refs": {key: value for key, value
+                                     in sorted(state.capture_refs.items())},
+                    "installed_patches": sorted(state.installed)}
+        if op == "inject-fault":
+            state.fault = {"mode": request["mode"],
+                           "op": request.get("at", "*"),
+                           "seconds": request.get("seconds", 3600)}
+            return {"ok": True}
+        if op == "shutdown":
+            return {"ok": True, "bye": True}
+        return {"ok": False, "error": f"unknown op {op!r}"}
+
+    while True:
+        try:
+            raw = channel.recv_frame()
+        except ChannelError:
+            break
+        try:
+            request = wire.decode(raw)
+            op = request.get("op", "?")
+        except wire.WireError:
+            request, op = {"op": "?"}, "?"
+
+        fault = state.fault
+        armed = fault is not None and fault["op"] in ("*", op)
+        if armed:
+            state.fault = None
+            if fault["mode"] == "crash":
+                os._exit(_INJECTED_CRASH_EXIT)
+            if fault["mode"] == "hang":
+                time.sleep(fault["seconds"])
+                continue  # never answers; the server times out first
+            if fault["mode"] == "garbage":
+                try:
+                    channel.send_frame(b"\xffnot json\x00")
+                except ChannelError:
+                    break
+                continue
+            if fault["mode"] == "hollow":
+                # Decodable JSON, protocol-shaped, missing every field
+                # the command's reply must carry.
+                try:
+                    channel.send_frame(wire.encode({"ok": True}))
+                except ChannelError:
+                    break
+                continue
+            # Wire-level faults (stall-mid-write, slow-loris,
+            # disconnect-mid-frame) corrupt the *delivery* of a genuine
+            # reply, so fall through to handle the command normally.
+
+        try:
+            response = handle(request)
+        except Exception as error:  # noqa: BLE001 - reported to the server
+            response = {"ok": False,
+                        "error": f"{type(error).__name__}: {error}"}
+
+        # Postlude: attach everything the server must fold back.
+        new_messages = bus.log[state.bus_cursor:]
+        state.bus_cursor = len(bus.log)
+        response["bus"] = [{"sender": m.sender, "recipient": m.recipient,
+                            "kind": m.kind, "payload": m.payload}
+                           for m in new_messages]
+        # Each entry's canonical size, computed here in the worker (the
+        # entries serialize identically standalone and inside the reply
+        # frame), so the server can attribute reply-frame bytes per kind
+        # without re-encoding the largest payloads on its gather path.
+        response["bus_sizes"] = [len(wire.encode(entry))
+                                 for entry in response["bus"]]
+        fired: dict[str, int] = {}
+        for patch in list(state.installed.values()) + state.trial_patches:
+            current = getattr(patch, "fired", 0)
+            delta = current - state.reported_fired.get(patch.patch_id, 0)
+            if delta:
+                fired[str(patch.patch_id)] = delta
+                state.reported_fired[patch.patch_id] = current
+        for patch in state.trial_patches:
+            # Trial patches are done after this report; drop their
+            # watermarks so worker state stays bounded over long lives.
+            state.reported_fired.pop(patch.patch_id, None)
+        state.trial_patches = []
+        response["fired"] = fired
+        # Drain in place: installed taps hold a reference to this list.
+        response["events"] = list(state.events)
+        state.events.clear()
+        try:
+            encoded = wire.encode(response)
+            if armed and fault["mode"] in ("stall-mid-write", "slow-loris",
+                                           "disconnect-mid-frame"):
+                _send_faulted_reply(channel, fault["mode"], encoded,
+                                    float(fault["seconds"]))
+            else:
+                channel.send_frame(encoded)
+        except ChannelError:
+            break
+        if response.get("bye"):
+            break
+    channel.close()
+
+
+# ---------------------------------------------------------------------------
+# Server side
+# ---------------------------------------------------------------------------
+
+class ChannelMember:
+    """Server-side proxy for one worker over a :class:`FramedChannel`.
+
+    Implements the same handle API as
+    :class:`~repro.community.members.LocalMember`.  Commands are posted
+    without waiting (`post`), replies collected FIFO (`collect`), and up
+    to :attr:`pipeline_depth` commands may be in flight at once — the
+    worker's command loop answers them in order, so replies correlate by
+    position.  Waiting is delegated to the transport, which pumps every
+    sibling channel while this member's reply is awaited.
+    """
+
+    def __init__(self, transport: "ChannelTransport", name: str,
+                 binary: Binary, channel: FramedChannel | None,
+                 process=None):
+        self._transport = transport
+        self.name = name
+        self.binary = binary
+        self.channel = channel
+        self.process = process
+        self.alive = channel is not None
+        #: FIFO of (op, posted_at) for in-flight commands.
+        self._pending: deque[tuple[str, float]] = deque()
+        #: When the previous reply completed — each pipelined command's
+        #: hang clock starts when the worker could have started it, not
+        #: when it was posted behind a queue.
+        self._last_reply_at = _monotonic()
+        self.pipeline_depth = transport.pipeline_depth
+        self._trial_patches: list[Patch] = []
+        #: Patch ids this member's installs registered on the ledger;
+        #: dropping the member releases them, so a casualty holding
+        #: patches cannot pin ledger entries forever.
+        self._ledger_ids: list[int] = []
+
+    # -- low-level protocol --------------------------------------------
+
+    @property
+    def pending_ops(self) -> int:
+        return len(self._pending)
+
+    def has_capacity(self) -> bool:
+        return self.alive and len(self._pending) < self.pipeline_depth
+
+    def post(self, op: str, **payload) -> None:
+        """Send one command without waiting for the reply."""
+        if not self.alive:
+            raise MemberFailure(self.name, "crash", "member already dropped")
+        if len(self._pending) >= self.pipeline_depth:
+            raise CommunityError(
+                f"member {self.name} pipeline full "
+                f"({self.pipeline_depth} commands in flight); collect a "
+                f"reply first")
+        request = {"op": op, **payload}
+        encoded = wire.encode(request)
+        try:
+            frame_size = self.channel.send_frame(
+                encoded, timeout=self._transport.frame_deadline)
+        except ChannelTimeout as error:
+            self._fail("hang", op, str(error), cause=error)
+        except ChannelError as error:
+            self._fail("crash", op, str(error), cause=error)
+        # Log only after a successful write, with the frame's exact
+        # on-wire byte count; the request dict is owned by this call, so
+        # no defensive copy is needed.
+        self._transport.deliver(Message(
+            sender="server", recipient=self.name, kind=f"cmd:{op}",
+            payload=request, encoded_size=len(encoded),
+            frame_size=frame_size))
+        self._pending.append((op, _monotonic()))
+
+    def collect(self) -> dict:
+        """Wait for the oldest in-flight reply; fold its side effects."""
+        assert self._pending, "no command in flight"
+        op, posted_at = self._pending.popleft()
+        timeout = self._transport.timeout_for(op)
+        # A pipelined command's budget starts when its predecessor's
+        # reply landed (the earliest the worker could have begun it).
+        base = max(posted_at, self._last_reply_at)
+        remaining = timeout - (_monotonic() - base)
+        try:
+            raw = self._transport._await_reply(self, remaining)
+        except ChannelTimeout as error:
+            self._fail("hang", op, str(error), cause=error)
+        except ChannelClosed as error:
+            if self.process is not None and not self._process_alive():
+                self._fail("crash", op, "worker process died", cause=error)
+            self._fail("crash", op, str(error), cause=error)
+        except ChannelError as error:
+            # Protocol-level surprises (e.g. an oversized frame header)
+            # mean the member's byte stream cannot be trusted.
+            self._fail("malformed", op, str(error), cause=error)
+        self._last_reply_at = _monotonic()
+        try:
+            response = wire.decode(raw)
+        except wire.WireError as error:
+            self._fail("malformed", op, str(error), cause=error)
+        # Replay member-originated messages (failure notifications,
+        # invariant uploads) onto the server transport, then fold
+        # observation/fired state into the canonical patches.  Any
+        # structural surprise in a decoded reply is a malformed member,
+        # same as undecodable bytes.
+        frame_size = _HEADER.size + len(raw)
+        replayed_bytes = 0
+        try:
+            # Every genuine worker reply carries the postlude fields;
+            # their absence means the reply did not come from the
+            # command loop and the member's state cannot be trusted.
+            # Member-originated messages ride piggyback on the reply;
+            # pop them so each byte is accounted exactly once — under
+            # its own kind for the replayed messages (with the
+            # worker-computed canonical size, byte-identical to the
+            # entry's slice of the reply frame), under reply:<op> for
+            # the rest of the frame.
+            sizes = response.pop("bus_sizes")
+            entries = response.pop("bus")
+            for entry, entry_size in zip(entries, sizes, strict=True):
+                # Freshly decoded off the channel: already an
+                # independent copy, deliver without re-serializing.
+                replayed_bytes += int(entry_size)
+                self._transport.deliver(Message(
+                    sender=entry["sender"], recipient=entry["recipient"],
+                    kind=entry["kind"], payload=entry["payload"],
+                    frame_size=int(entry_size)))
+            ledger = self._transport.ledger
+            for event in response["events"]:
+                ledger.fold_observation(int(event[0]), bool(event[1]))
+            for patch_id, delta in response["fired"].items():
+                ledger.fold_fired(int(patch_id), int(delta))
+        except (TypeError, KeyError, ValueError, IndexError,
+                AttributeError) as error:
+            self._fail("malformed", op, str(error), cause=error)
+        self._transport.deliver(Message(
+            sender=self.name, recipient="server", kind=f"reply:{op}",
+            payload=response, frame_size=frame_size - replayed_bytes))
+        if response.get("ok") is not True:
+            self._fail("error", op, str(response.get("error",
+                                                     "unspecified")))
+        return response
+
+    def _expect(self, op: str, extract):
+        """Pull fields out of a reply; a reply missing what the protocol
+        promises drops the member as malformed."""
+        try:
+            return extract()
+        except (KeyError, TypeError, ValueError, IndexError,
+                wire.WireError) as error:
+            self._fail("malformed", op, str(error), cause=error)
+
+    def call(self, op: str, **payload) -> dict:
+        self.post(op, **payload)
+        return self.collect()
+
+    def _process_alive(self) -> bool:
+        return self.process is not None and self.process.is_alive()
+
+    def _drop(self, reason: str, op: str, detail: str) -> None:
+        self.alive = False
+        self._pending.clear()
+        # Release this casualty's holds on the canonical patch ledger;
+        # survivors holding the same patches keep the entries live.
+        ledger = self._transport.ledger
+        for patch_id in self._ledger_ids:
+            ledger.release(patch_id)
+        self._ledger_ids = []
+        self._transport.dropped.append(
+            DroppedMember(name=self.name, reason=reason, op=op,
+                          detail=detail))
+        self._terminate()
+
+    def _fail(self, reason: str, op: str, detail: str,
+              cause: BaseException | None = None) -> typing.NoReturn:
+        """Drop this member and raise the matching MemberFailure — one
+        place, so the recorded drop and the raised exception can never
+        diverge."""
+        self._drop(reason, op, detail)
+        raise MemberFailure(self.name, reason, detail) from cause
+
+    def _terminate(self) -> None:
+        if self.process is not None:
+            try:
+                if self.process.is_alive():
+                    self.process.terminate()
+                self.process.join(timeout=1)
+                if self.process.is_alive():
+                    # A SIGSTOPped worker leaves SIGTERM pending until
+                    # someone SIGCONTs it; SIGKILL works regardless.
+                    self.process.kill()
+                    self.process.join(timeout=5)
+            except (OSError, ValueError):  # pragma: no cover - teardown
+                pass
+        if self.channel is not None:
+            self.channel.close()
+
+    # -- member handle API ---------------------------------------------
+
+    def start_learn_shard(self, pages: list[bytes],
+                          procedures: set[int] | None,
+                          pair_scope: str) -> None:
+        self.post("learn-shard",
+                  procedures=(None if procedures is None
+                              else sorted(procedures)),
+                  pair_scope=pair_scope,
+                  pages=[page.hex() for page in pages])
+
+    def finish_learn_shard(self):
+        from repro.learning.database import InvariantDatabase
+
+        mark = len(self._transport.log)
+        response = self.collect()
+        upload = None
+        for message in self._transport.log[mark:]:
+            if message.kind == "invariant-upload" and \
+                    message.sender == self.name:
+                upload = message.payload
+        if upload is None:
+            self._fail("malformed", "learn-shard",
+                       "no invariant upload in reply")
+        return self._expect("learn-shard", lambda: (
+            InvariantDatabase.from_dict(upload),
+            int(response["observations"])))
+
+    def run(self, payload: bytes) -> RunResult:
+        response = self.call("run", payload=payload.hex())
+        return self._expect("run", lambda:
+                            wire.run_result_from_dict(response["result"]))
+
+    def probe(self, payload: bytes) -> RunResult:
+        self.start_probe(payload)
+        return self.finish_probe()
+
+    def start_probe(self, payload: bytes) -> None:
+        self.post("probe", payload=payload.hex())
+
+    def finish_probe(self) -> RunResult:
+        response = self.collect()
+        return self._expect("probe", lambda:
+                            wire.run_result_from_dict(response["result"]))
+
+    def install_patch(self, patch: Patch) -> None:
+        self._transport.ledger.register(patch)
+        self._ledger_ids.append(patch.patch_id)
+        self.call("install-patch", patch=wire.patch_to_dict(patch))
+
+    def remove_patch(self, patch: Patch) -> None:
+        self.call("remove-patch", patch_id=patch.patch_id)
+        if patch.patch_id in self._ledger_ids:
+            self._ledger_ids.remove(patch.patch_id)
+        self._transport.ledger.unregister(patch)
+
+    def applied_patches(self) -> list[dict]:
+        response = self.call("applied-patches")
+        return self._expect("applied-patches",
+                            lambda: list(response["patches"]))
+
+    def start_evaluate_candidate(self, patches: list[Patch],
+                                 payload: bytes) -> None:
+        for patch in patches:
+            self._transport.ledger.register(patch)
+        self._trial_patches = list(patches)
+        try:
+            self.post("evaluate-candidate",
+                      patches=[wire.patch_to_dict(patch)
+                               for patch in patches],
+                      payload=payload.hex())
+        except MemberFailure:
+            for patch in self._trial_patches:
+                self._transport.ledger.unregister(patch)
+            self._trial_patches = []
+            raise
+
+    def finish_evaluate_candidate(self) -> RunResult:
+        try:
+            response = self.collect()
+        finally:
+            for patch in self._trial_patches:
+                self._transport.ledger.unregister(patch)
+            self._trial_patches = []
+        return self._expect("evaluate-candidate", lambda:
+                            wire.run_result_from_dict(response["result"]))
+
+    def stats(self):
+        from repro.community.node import NodeStats
+
+        response = self.call("stats")
+        return self._expect("stats",
+                            lambda: NodeStats(**response["stats"]))
+
+    def report_database(self):
+        """Console query: the member's most recently learned shard
+        database (None if it has not learned yet)."""
+        from repro.learning.database import InvariantDatabase
+
+        response = self.call("report-database")
+        return self._expect("report-database", lambda: (
+            None if response["database"] is None
+            else InvariantDatabase.from_dict(response["database"])))
+
+    def inject_fault(self, mode: str, at: str = "*",
+                     seconds: float = 3600.0) -> None:
+        """Test hook: arm a one-shot fault in the worker, triggered by
+        the next command whose op matches *at*.
+
+        Modes: ``crash`` (the process dies), ``hang`` (sleeps past the
+        timeout without a byte), ``garbage`` (undecodable reply bytes),
+        ``hollow`` (decodable reply missing the protocol's fields),
+        ``stall-mid-write`` (writes half the reply frame, then SIGSTOPs
+        itself — the wedged-mid-write scenario), ``slow-loris`` (writes
+        the reply in trickled chunks, *seconds* apart, so the frame
+        never completes within the deadline), ``disconnect-mid-frame``
+        (writes half the frame and drops the connection)."""
+        self.call("inject-fault", mode=mode, at=at, seconds=seconds)
+
+    def shutdown(self) -> None:
+        # Only attempt the polite protocol when the channel is idle; a
+        # member mid-command (e.g. teardown after an aborted scatter) is
+        # simply terminated.
+        if self.alive and not self._pending:
+            try:
+                self.call("shutdown")
+            except MemberFailure:
+                pass
+        self.alive = False
+        self._terminate()
+
+
+class ChannelTransport:
+    """Shared base for channel transports, with bus-compatible accounting.
+
+    Exposes the same ``subscribe``/``send``/``log``/``bytes_by_kind``
+    API as :class:`MessageBus` (every command, reply, and replayed
+    member message is logged, with both its canonical payload size and
+    its true on-wire frame attribution), plus the worker pool
+    management, the per-op deadline table, and the reply multiplexer
+    that overlaps the server's work with in-flight member runs.
+    """
+
+    def __init__(self, timeout: float = 60.0, learn_timeout: float = 300.0,
+                 run_timeout: float | None = None,
+                 frame_deadline: float = 30.0, pipeline_depth: int = 4):
+        self.timeout = timeout
+        self.learn_timeout = learn_timeout
+        # Run-style ops execute whole episodes inside the worker
+        # (evaluate-candidate applies trial patches and runs the full
+        # input); racing them against the short control-op timeout
+        # drops healthy-but-slow members, so they get their own row in
+        # the deadline table.  An explicit table, not a prefix match: a
+        # future `learn-profile` op must make a deliberate choice here
+        # rather than silently inheriting the five-minute budget.
+        self.run_timeout = learn_timeout if run_timeout is None \
+            else run_timeout
+        self.op_timeouts: dict[str, float] = {
+            "learn-shard": self.learn_timeout,
+            "evaluate-candidate": self.run_timeout,
+            "run": self.run_timeout,
+            "probe": self.run_timeout,
+        }
+        self.frame_deadline = frame_deadline
+        self.pipeline_depth = pipeline_depth
+        self._bus = MessageBus()
+        self.ledger = PatchLedger()
+        self.members: list[ChannelMember] = []
+        self.dropped: list[DroppedMember] = []
+        self._closed = False
+
+    # -- bus-compatible accounting -------------------------------------
+
+    @property
+    def log(self) -> list[Message]:
+        return self._bus.log
+
+    def subscribe(self, name: str, handler) -> None:
+        self._bus.subscribe(name, handler)
+
+    def send(self, sender: str, recipient: str, kind: str,
+             payload: dict) -> Message:
+        return self._bus.send(sender, recipient, kind, payload)
+
+    def deliver(self, message: Message) -> Message:
+        return self._bus.deliver(message)
+
+    def bytes_by_kind(self) -> dict[str, int]:
+        return self._bus.bytes_by_kind()
+
+    def count_by_kind(self) -> dict[str, int]:
+        return self._bus.count_by_kind()
+
+    def channel_bytes_by_kind(self) -> dict[str, int]:
+        return self._bus.channel_bytes_by_kind()
+
+    def wire_bytes_total(self) -> int:
+        """Bytes that actually crossed the member channels (both
+        directions, length prefixes included) — the ground truth the
+        per-kind channel totals sum to on fault-free episodes (a
+        dropped member's undecodable final bytes are counted here but
+        never reached the log)."""
+        total = 0
+        for member in self.members:
+            if member.channel is not None:
+                total += member.channel.sent_bytes
+                total += member.channel.received_bytes
+        return total
+
+    def timeout_for(self, op: str) -> float:
+        """Per-op reply deadline (the explicit table; no prefix games)."""
+        return self.op_timeouts.get(op, self.timeout)
+
+    # -- reply multiplexing --------------------------------------------
+
+    def _await_reply(self, member: ChannelMember,
+                     timeout: float | None) -> bytes:
+        """Block until *member* has a complete reply frame, pumping every
+        sibling channel meanwhile.
+
+        This is what makes the scatter/gather genuinely asynchronous:
+        while the server absorbs members in deterministic dispatch
+        order, the other members' replies keep streaming into their
+        channel buffers, so a slow member never blocks reception — and
+        the server's correlation/merge work on early repliers overlaps
+        the stragglers' still-running shards.
+
+        Deadlines: *timeout* bounds time-to-first-byte of the reply;
+        once the frame starts, the channel's frame deadline bounds its
+        completion (the wedged-mid-write window).
+        """
+        channel = member.channel
+        start = _monotonic()
+        while True:
+            # Pump before evaluating any deadline (same invariant as
+            # FramedChannel.recv_frame): a reply that fully arrived in
+            # the kernel buffer while the server was busy absorbing a
+            # sibling must be surfaced, not timed out.
+            if not channel.closed:
+                channel.pump()
+            if channel.has_frame():
+                return channel.pop_frame()
+            if channel.at_eof or channel.closed:
+                raise ChannelClosed(mid_frame=bool(channel._buffer))
+            now = _monotonic()
+            frame_deadline = channel.partial_frame_deadline()
+            if frame_deadline is not None and now >= frame_deadline:
+                raise ChannelTimeout(
+                    f"reply frame stalled mid-receive (no complete frame "
+                    f"within {channel.frame_deadline:.1f}s of its first "
+                    f"byte)", mid_frame=True)
+            waits = []
+            if frame_deadline is not None:
+                waits.append(frame_deadline - now)
+            elif timeout is not None:
+                remaining = timeout - (now - start)
+                if remaining <= 0:
+                    raise ChannelTimeout(f"no reply within "
+                                         f"{max(timeout, 0.0):.1f}s")
+                waits.append(remaining)
+            # EOF'd channels are permanently select-readable with no
+            # progress to make; including one would busy-spin the wait.
+            peers = [peer.channel for peer in self.members
+                     if peer.alive and peer.channel is not None
+                     and not peer.channel.closed
+                     and not peer.channel.at_eof
+                     and (peer is member or peer.pending_ops)]
+            try:
+                readable, _, _ = select.select(
+                    peers, [], [], max(0.0, min(waits)) if waits else 1.0)
+            except (OSError, ValueError):
+                # A peer's fd died mid-select; retry against the
+                # survivors (the dead peer raises at its own collect).
+                readable = [ch for ch in peers
+                            if not ch.closed and _can_pump(ch)]
+            for ready in readable:
+                try:
+                    ready.pump()
+                except ChannelError:
+                    if ready is channel:
+                        raise
+                    # A sibling's failure surfaces when it is collected.
+
+    # -- pool management -----------------------------------------------
+
+    def spawn(self, binary: Binary, config: EnvironmentConfig | None,
+              names: list[str]) -> list[ChannelMember]:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Shut every worker down; idempotent, leaves no orphans."""
+        if self._closed:
+            return
+        self._closed = True
+        for member in self.members:
+            member.shutdown()
+
+    def __enter__(self) -> "ChannelTransport":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - interpreter teardown safety
+        try:
+            self.close()
+        except Exception:  # noqa: BLE001
+            pass
+
+
+def _can_pump(channel: FramedChannel) -> bool:
+    try:
+        channel.fileno()
+    except (OSError, ValueError):
+        return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# Socket transport (multi-host members, optional TLS)
+# ---------------------------------------------------------------------------
+
+def _client_tls_context(cafile: str | None) -> "ssl.SSLContext":
+    if ssl is None:  # pragma: no cover - stdlib always has ssl here
+        raise CommunityError("TLS requested but the ssl module is missing")
+    context = ssl.SSLContext(ssl.PROTOCOL_TLS_CLIENT)
+    # The server's (self-signed) certificate is pinned as the trust
+    # root; members connect by address, so hostname checks are off.
+    context.check_hostname = False
+    context.verify_mode = ssl.CERT_REQUIRED
+    context.load_verify_locations(cafile=cafile)
+    return context
+
+
+def _server_tls_context(certfile: str, keyfile: str) -> "ssl.SSLContext":
+    if ssl is None:  # pragma: no cover
+        raise CommunityError("TLS requested but the ssl module is missing")
+    context = ssl.SSLContext(ssl.PROTOCOL_TLS_SERVER)
+    context.load_cert_chain(certfile=certfile, keyfile=keyfile)
+    return context
+
+
+def _socket_worker_main(host: str, port: int, name: str, binary: Binary,
+                        config: EnvironmentConfig | None,
+                        cafile: str | None,
+                        frame_deadline: float) -> None:
+    """Entry point of a locally spawned socket-transport worker."""
+    channel = connect_member(host, port, name, cafile=cafile,
+                             frame_deadline=frame_deadline)
+    serve_channel(channel, name, binary, config)
+
+
+def connect_member(host: str, port: int, name: str,
+                   cafile: str | None = None,
+                   frame_deadline: float = 30.0,
+                   connect_timeout: float = 10.0) -> FramedChannel:
+    """Dial a listening community server and introduce this member.
+
+    Returns the established (optionally TLS) channel with the hello
+    frame already sent; :func:`run_member` drives the full command loop
+    for externally launched members.
+    """
+    deadline = _monotonic() + connect_timeout
+    last_error: Exception | None = None
+    sock: socket.socket | None = None
+    while _monotonic() < deadline:
+        try:
+            sock = socket.create_connection((host, port), timeout=5.0)
+            break
+        except OSError as error:
+            last_error = error
+            time.sleep(0.1)
+    if sock is None:
+        raise CommunityError(
+            f"could not reach community server at {host}:{port}: "
+            f"{last_error}")
+    if cafile is not None:
+        context = _client_tls_context(cafile)
+        sock.settimeout(frame_deadline)
+        sock = context.wrap_socket(sock)
+    channel = FramedChannel(sock, frame_deadline=frame_deadline)
+    channel.send_frame(wire.encode({"op": "hello", "name": name}),
+                       timeout=frame_deadline)
+    return channel
+
+
+def run_member(host: str, port: int, name: str, binary: Binary,
+               config: EnvironmentConfig | None = None,
+               cafile: str | None = None,
+               frame_deadline: float = 30.0,
+               connect_timeout: float = 30.0) -> None:
+    """Run one community member against a remote manager until it is
+    shut down (the ``community --connect`` CLI mode)."""
+    channel = connect_member(host, port, name, cafile=cafile,
+                             frame_deadline=frame_deadline,
+                             connect_timeout=connect_timeout)
+    serve_channel(channel, name, binary, config)
+
+
+class SocketTransport(ChannelTransport):
+    """Community members over TCP sockets, optionally TLS-wrapped.
+
+    Two membership modes:
+
+    - default: :meth:`spawn` forks one worker process per member on this
+      host; each dials the loopback listener — the same process model as
+      :class:`~repro.community.sharding.ProcessTransport` but over the
+      multi-host wire protocol.
+    - ``accept_external=True``: :meth:`spawn` launches nothing and
+      instead waits for externally started members (``python -m repro
+      community --connect``) to dial in; their hello names identify
+      them.
+
+    TLS models the paper's Node Manager <-> Management Console SSL
+    channel: pass ``certfile``/``keyfile`` and every member channel is
+    wrapped, with the server certificate pinned as the members' trust
+    root.  A member that fails the TLS handshake never joins: it is
+    recorded in :attr:`dropped` with reason ``"handshake"`` and the
+    community proceeds with the survivors.
+    """
+
+    def __init__(self, timeout: float = 60.0, learn_timeout: float = 300.0,
+                 run_timeout: float | None = None,
+                 frame_deadline: float = 30.0, pipeline_depth: int = 4,
+                 host: str = "127.0.0.1", port: int = 0,
+                 certfile: str | None = None, keyfile: str | None = None,
+                 accept_external: bool = False,
+                 spawn_timeout: float = 60.0,
+                 start_method: str = "fork",
+                 _plaintext_members: frozenset[str] = frozenset()):
+        super().__init__(timeout=timeout, learn_timeout=learn_timeout,
+                         run_timeout=run_timeout,
+                         frame_deadline=frame_deadline,
+                         pipeline_depth=pipeline_depth)
+        self.host = host
+        self.port = port
+        self.certfile = certfile
+        self.keyfile = keyfile
+        self.accept_external = accept_external
+        self.spawn_timeout = spawn_timeout
+        #: Test hook: members listed here connect *without* TLS to a
+        #: TLS server, forcing a handshake failure.
+        self._plaintext_members = frozenset(_plaintext_members)
+        try:
+            self._context = multiprocessing.get_context(start_method)
+        except ValueError:  # pragma: no cover - non-POSIX fallback
+            self._context = multiprocessing.get_context()
+        self._listener: socket.socket | None = None
+        self._server_context = None  # built once, lazily, for TLS
+
+    def listen(self) -> tuple[str, int]:
+        """Bind the member listener; returns the bound (host, port)."""
+        if self._listener is None:
+            self._listener = socket.create_server((self.host, self.port))
+            self._listener.settimeout(0.2)
+            self.port = self._listener.getsockname()[1]
+        return self.host, self.port
+
+    def _accept_one(self, deadline: float, pool_deadline: float
+                    ) -> tuple[str, FramedChannel, dict]:
+        """Accept, (optionally) TLS-wrap, and read one member's hello.
+
+        *deadline* bounds the wait for a connection attempt (spawn
+        slices it so dead workers get reaped between attempts);
+        *pool_deadline* is the full membership budget an accepted
+        connection's TLS handshake and hello may use — a slow but
+        healthy multi-host dialer must not be cut off by the reaping
+        slice.
+        """
+        assert self._listener is not None
+        last_error = "no connection attempt"
+        while _monotonic() < deadline:
+            try:
+                conn, _addr = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError as error:  # pragma: no cover - listener died
+                raise CommunityError(f"listener failed: {error}") from error
+            try:
+                if self.certfile is not None:
+                    if self._server_context is None:
+                        self._server_context = _server_tls_context(
+                            self.certfile, self.keyfile)
+                    conn.settimeout(
+                        max(0.1, pool_deadline - _monotonic()))
+                    conn = self._server_context.wrap_socket(
+                        conn, server_side=True)
+                channel = FramedChannel(conn,
+                                        frame_deadline=self.frame_deadline)
+                hello = wire.decode(channel.recv_frame(
+                    timeout=max(0.1, pool_deadline - _monotonic())))
+                if hello.get("op") != "hello" or \
+                        not isinstance(hello.get("name"), str):
+                    raise CommunityError(f"bad hello: {hello!r}")
+            except (OSError, ChannelError, wire.WireError,
+                    CommunityError) as error:
+                last_error = f"{type(error).__name__}: {error}"
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+                continue
+            return hello["name"], channel, hello
+        raise CommunityError(f"member handshake failed: {last_error}")
+
+    def spawn(self, binary: Binary, config: EnvironmentConfig | None,
+              names: list[str]) -> list[ChannelMember]:
+        if self.members:
+            raise CommunityError("transport already has a worker pool")
+        self.listen()
+        # External members rename placeholder slots to their announced
+        # hello names; work on a copy so the caller's list is untouched.
+        names = list(names)
+        processes: dict[str, object] = {}
+        if not self.accept_external:
+            for name in names:
+                cafile = self.certfile
+                if name in self._plaintext_members:
+                    cafile = None
+                process = self._context.Process(
+                    target=_socket_worker_main,
+                    args=(self.host, self.port, name, binary, config,
+                          cafile, self.frame_deadline),
+                    name=f"community-{name}", daemon=True)
+                process.start()
+                processes[name] = process
+        deadline = _monotonic() + self.spawn_timeout
+        channels: dict[str, FramedChannel] = {}
+        expected = set(names)
+        failures: dict[str, str] = {}
+        while expected - set(channels) and _monotonic() < deadline:
+            # Reap spawned workers that died before completing their
+            # handshake (failed TLS, crashed on startup): waiting out
+            # the full spawn timeout for them would stall the pool.
+            for name, process in processes.items():
+                if name not in channels and name not in failures and \
+                        not process.is_alive():
+                    failures[name] = (f"worker exited before handshake "
+                                      f"(exit code {process.exitcode})")
+            if not self.accept_external and \
+                    expected - set(channels) - set(failures) == set():
+                break
+            try:
+                name, channel, hello = self._accept_one(
+                    min(deadline, _monotonic() + 1.0), deadline)
+            except CommunityError:
+                # Keep waiting until the pool deadline; individual
+                # handshake failures were recorded by the accept loop.
+                if _monotonic() >= deadline:
+                    break
+                continue
+            if self.accept_external and name not in expected:
+                # External members name themselves; adopt the hello
+                # name in place of the next unclaimed slot.
+                unclaimed = [slot for slot in names
+                             if slot not in channels
+                             and slot not in failures]
+                if not unclaimed:
+                    channel.close()
+                    continue
+                placeholder = unclaimed[0]
+                names[names.index(placeholder)] = name
+                expected.discard(placeholder)
+                expected.add(name)
+            if name in channels:
+                channel.close()
+                continue
+            channels[name] = channel
+            # Log the hello only for adopted connections: a rejected
+            # dialer's channel never joins wire_bytes_total, so logging
+            # its frame would break the to-the-byte reconciliation.
+            self.deliver(Message(
+                sender=name, recipient="server", kind="hello",
+                payload=hello, frame_size=channel.received_bytes))
+        for name in names:
+            channel = channels.get(name)
+            member = ChannelMember(self, name, binary, channel,
+                                   process=processes.get(name))
+            self.members.append(member)
+            if channel is None:
+                detail = failures.get(
+                    name, "no connection within the spawn timeout")
+                self.dropped.append(DroppedMember(
+                    name=name, reason="handshake", op="hello",
+                    detail=detail))
+                member._terminate()
+        if not any(member.alive for member in self.members):
+            self.close()
+            raise CommunityError(
+                "no member completed the socket handshake")
+        return list(self.members)
+
+    def close(self) -> None:
+        super().close()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:  # pragma: no cover
+                pass
+            self._listener = None

@@ -6,701 +6,100 @@ never uses more than one core and "serialization" is a dictionary copy.
 This module makes the management-console/node split real:
 
 - :class:`ProcessTransport` owns one OS process per member (the paper's
-  Determina Node Manager), each running :func:`_worker_main`'s command
-  loop over a pipe.
+  Determina Node Manager), each running the shared
+  :func:`~repro.community.remote.serve_channel` command loop over an
+  anonymous socketpair carried by a deadline-framed
+  :class:`~repro.community.remote.FramedChannel`.
 - :class:`ProcessMember` is the server-side proxy implementing the same
   handle API as :class:`~repro.community.members.LocalMember`; commands
-  and replies cross the pipe as canonical JSON
+  and replies cross the channel as length-prefixed canonical JSON
   (:mod:`repro.community.wire`) and are logged on the transport with
-  their true encoded size.
-- :class:`PatchLedger` folds worker-reported state back into the
-  *canonical* server-side patch objects: check-patch observations stream
-  into the ClearView manager's sink, and repair ``fired`` deltas
-  accumulate on the very objects the manager consults for causal crash
-  blame — which is what makes the sharded community observationally
-  identical to the in-process one.
+  their true on-wire frame size.
+- :class:`~repro.community.remote.PatchLedger` folds worker-reported
+  state back into the *canonical* server-side patch objects: check-patch
+  observations stream into the ClearView manager's sink, and repair
+  ``fired`` deltas accumulate on the very objects the manager consults
+  for causal crash blame — which is what makes the sharded community
+  observationally identical to the in-process one.
 
-Failure policy: a worker that crashes (pipe EOF), hangs (no reply within
-the transport timeout), or replies with undecodable protocol is
-terminated, recorded in :attr:`ProcessTransport.dropped`, and excluded
-from further dispatch; the manager re-shards its outstanding work across
-the survivors.  Workers are daemonic and :meth:`ProcessTransport.close`
-is idempotent, so no code path leaves orphan processes behind.
-
-Known limitation: the hang timeout bounds time-to-first-byte
-(``poll``), not time-to-complete-message — a worker wedged *mid-write*
-(e.g. SIGSTOPped after a partial reply) would still stall the blocking
-``recv_bytes``.  Guarding that needs a reader thread or async pipes;
-tracked as the async-transport follow-up in the ROADMAP.
+Failure policy: a worker that crashes (channel EOF), hangs (no reply
+within the per-op deadline, *or* a reply frame that stops making
+progress within the frame deadline — a worker wedged mid-write, e.g.
+SIGSTOPped after a partial reply, is detected and dropped, not waited on
+forever), or replies with undecodable protocol is terminated (SIGKILL
+escalation included, since a stopped process shrugs off SIGTERM),
+recorded in :attr:`ProcessTransport.dropped`, and excluded from further
+dispatch; the manager re-shards its outstanding work across the
+survivors.  Workers are daemonic and :meth:`ProcessTransport.close` is
+idempotent, so no code path leaves orphan processes behind.
 """
 
 from __future__ import annotations
 
 import multiprocessing
-import os
-import time
-import typing
-from dataclasses import dataclass, field
+import socket
 
-from repro.community import wire
-from repro.community.members import MemberFailure, patch_summary
-from repro.community.transport import Message, MessageBus
-from repro.core.checks import CheckPatch, Observation
-from repro.dynamo.execution import EnvironmentConfig, RunResult
-from repro.dynamo.patches import Patch
+from repro.community.remote import (  # noqa: F401 - re-exported compat
+    ChannelMember,
+    ChannelTransport,
+    DroppedMember,
+    FramedChannel,
+    PatchLedger,
+    serve_channel,
+)
+from repro.dynamo.execution import EnvironmentConfig
 from repro.errors import CommunityError
 from repro.vm.binary import Binary
 
-if typing.TYPE_CHECKING:  # pragma: no cover
-    from multiprocessing.connection import Connection
 
-#: Exit code a worker uses for an injected crash (distinguishable from
-#: interpreter faults in test diagnostics).
-_INJECTED_CRASH_EXIT = 37
+def _worker_main(sock: socket.socket, frame_deadline: float, name: str,
+                 binary: Binary, config: EnvironmentConfig | None) -> None:
+    """Entry point of one pipe-transport worker process."""
+    serve_channel(FramedChannel(sock, frame_deadline=frame_deadline),
+                  name, binary, config)
 
 
-class PatchLedger:
-    """Canonical-object registry for patches distributed to workers.
+class ProcessMember(ChannelMember):
+    """Server-side proxy for one same-host worker process."""
 
-    Workers execute *copies* of every patch; the ledger maps a patch id
-    back to the server's original so that observation events and fired
-    counters land where the ClearView core reads them.
 
-    Entries are *refcounted* per patch id: a patch fanned out to N
-    members registers N times, and the canonical object stays resolvable
-    while any member still holds it — removing it from one member (or
-    dropping that member) must not orphan the others' observation
-    events.  The entry is freed when the last holder lets go, so the
-    ledger stays bounded across arbitrarily many patch episodes.
-    """
+class ProcessTransport(ChannelTransport):
+    """One worker process per member over anonymous socketpairs.
 
-    def __init__(self):
-        self._by_id: dict[int, Patch] = {}
-        self._refs: dict[int, int] = {}
-
-    def register(self, patch: Patch) -> None:
-        patch_id = patch.patch_id
-        self._by_id[patch_id] = patch
-        self._refs[patch_id] = self._refs.get(patch_id, 0) + 1
-
-    def unregister(self, patch: Patch) -> None:
-        self.release(patch.patch_id)
-
-    def release(self, patch_id: int) -> None:
-        """Drop one holder's reference; free the entry at zero."""
-        refs = self._refs.get(patch_id)
-        if refs is None:
-            return
-        if refs > 1:
-            self._refs[patch_id] = refs - 1
-        else:
-            del self._refs[patch_id]
-            self._by_id.pop(patch_id, None)
-
-    def live_entries(self) -> int:
-        """How many canonical patches the ledger currently retains."""
-        return len(self._by_id)
-
-    def fold_observation(self, patch_id: int, satisfied: bool) -> None:
-        patch = self._by_id.get(patch_id)
-        if isinstance(patch, CheckPatch) and patch.sink is not None:
-            patch.sink.record(Observation(
-                failure_id=patch.failure_id, invariant=patch.invariant,
-                satisfied=satisfied))
-
-    def fold_fired(self, patch_id: int, delta: int) -> None:
-        patch = self._by_id.get(patch_id)
-        if patch is not None and hasattr(patch, "fired"):
-            patch.fired += delta
-
-
-@dataclass
-class DroppedMember:
-    """One member the transport gave up on."""
-
-    name: str
-    reason: str
-    op: str
-    detail: str = ""
-
-
-# ---------------------------------------------------------------------------
-# Worker side
-# ---------------------------------------------------------------------------
-
-class _ObservationTap:
-    """Worker-local stand-in for the server's ObservationSink.
-
-    Streams ``[patch_id, satisfied]`` events, in execution order, into
-    the shared per-command event list the reply carries back.
-    """
-
-    def __init__(self, events: list, patch_id: int):
-        self._events = events
-        self._patch_id = patch_id
-
-    def record(self, observation: Observation) -> None:
-        self._events.append([self._patch_id, bool(observation.satisfied)])
-
-
-class _WorkerState:
-    """Everything a worker tracks beside its CommunityNode."""
-
-    def __init__(self):
-        #: Live patches by id (install-patch .. remove-patch window).
-        self.installed: dict[int, Patch] = {}
-        #: This command's trial patches (already withdrawn from the
-        #: node), still owed a fired-delta report in the postlude.
-        self.trial_patches: list[Patch] = []
-        self.reported_fired: dict[int, int] = {}
-        #: Capture registry for *installed* patches; trial patches use
-        #: an ephemeral registry per command, so repair waves that mint
-        #: fresh capture ids every round cannot grow this.
-        self.captures: dict[str, object] = {}
-        #: Per-capture-id refcounts over ``captures``: a capture/check
-        #: pair installed as two commands shares one cell while either
-        #: is live; removing the last holder frees the cell, so worker
-        #: registries stay bounded across many patch episodes.
-        self.capture_refs: dict[str, int] = {}
-        self.events: list = []
-        self.fault: dict | None = None
-        self.last_database: dict | None = None
-        self.bus_cursor = 0
-
-    def retain_capture(self, patch: Patch) -> None:
-        """Count an installed patch's hold on its capture cell."""
-        capture = getattr(patch, "capture", None)
-        if capture is not None:
-            capture_id = capture.capture_id
-            self.capture_refs[capture_id] = \
-                self.capture_refs.get(capture_id, 0) + 1
-
-    def release_capture(self, patch: Patch) -> None:
-        """Drop a removed patch's hold; free the cell at zero."""
-        capture = getattr(patch, "capture", None)
-        if capture is None:
-            return
-        capture_id = capture.capture_id
-        refs = self.capture_refs.get(capture_id)
-        if refs is None:
-            return
-        if refs > 1:
-            self.capture_refs[capture_id] = refs - 1
-        else:
-            del self.capture_refs[capture_id]
-            self.captures.pop(capture_id, None)
-
-
-def _decode_patch(state: _WorkerState, payload: dict,
-                  captures: dict | None = None) -> Patch:
-    patch = wire.patch_from_dict(
-        payload, state.captures if captures is None else captures,
-        sink=_ObservationTap(state.events, payload["patch_id"]))
-    # A re-decoded patch id (remove + reinstall of the same server-side
-    # patch) starts from fired=0 again; reset its reporting watermark or
-    # the next postlude would fold a spurious negative delta into the
-    # canonical counter.
-    state.reported_fired[patch.patch_id] = 0
-    return patch
-
-
-def _worker_main(conn: "Connection", name: str, binary: Binary,
-                 config: EnvironmentConfig | None) -> None:
-    """The command loop of one community member process."""
-    # Import here: under the fork start method the child inherits the
-    # parent's modules anyway, but a spawn fallback must import fresh.
-    from repro.community.node import CommunityNode
-
-    bus = MessageBus()
-    node = CommunityNode(name, binary, bus, config)
-    state = _WorkerState()
-
-    def handle(request: dict) -> dict:
-        op = request["op"]
-        if op == "ping":
-            return {"ok": True, "pid": os.getpid()}
-        if op == "learn-shard":
-            procedures = request["procedures"]
-            database, observations = node.learn_shard(
-                [bytes.fromhex(page) for page in request["pages"]],
-                None if procedures is None else set(procedures),
-                request["pair_scope"])
-            state.last_database = database.to_dict()
-            return {"ok": True, "observations": observations}
-        if op == "run":
-            result = node.run(bytes.fromhex(request["payload"]))
-            return {"ok": True, "result": wire.run_result_to_dict(result)}
-        if op == "probe":
-            result = node.environment.run(bytes.fromhex(request["payload"]))
-            return {"ok": True, "result": wire.run_result_to_dict(result)}
-        if op == "install-patch":
-            patch = _decode_patch(state, request["patch"])
-            node.apply_patch(patch)
-            state.installed[patch.patch_id] = patch
-            state.retain_capture(patch)
-            return {"ok": True}
-        if op == "remove-patch":
-            patch = state.installed.pop(request["patch_id"], None)
-            if patch is None:
-                return {"ok": False,
-                        "error": f"patch {request['patch_id']} not applied"}
-            node.remove_patch(patch)
-            # No delta can be pending: fired only moves during run-style
-            # commands, whose own replies already drained it.
-            state.reported_fired.pop(patch.patch_id, None)
-            state.release_capture(patch)
-            return {"ok": True}
-        if op == "evaluate-candidate":
-            trial_captures: dict[str, object] = {}
-            patches = [_decode_patch(state, payload, trial_captures)
-                       for payload in request["patches"]]
-            state.trial_patches = patches
-            result = node.evaluate_candidate(
-                patches, bytes.fromhex(request["payload"]))
-            return {"ok": True, "result": wire.run_result_to_dict(result)}
-        if op == "applied-patches":
-            return {"ok": True,
-                    "patches": [patch_summary(patch)
-                                for patch in node.environment.patches]}
-        if op == "report-database":
-            return {"ok": True, "database": state.last_database}
-        if op == "stats":
-            stats = node.stats
-            return {"ok": True, "stats": {
-                "runs": stats.runs,
-                "traced_observations": stats.traced_observations,
-                "failures_reported": stats.failures_reported,
-                "patches_applied": stats.patches_applied,
-            }}
-        if op == "debug-state":
-            # Test/console introspection: the registry footprint the
-            # refcounting satellites bound.
-            return {"ok": True,
-                    "capture_cells": sorted(state.captures),
-                    "capture_refs": {key: value for key, value
-                                     in sorted(state.capture_refs.items())},
-                    "installed_patches": sorted(state.installed)}
-        if op == "inject-fault":
-            state.fault = {"mode": request["mode"],
-                           "op": request.get("at", "*"),
-                           "seconds": request.get("seconds", 3600)}
-            return {"ok": True}
-        if op == "shutdown":
-            return {"ok": True, "bye": True}
-        return {"ok": False, "error": f"unknown op {op!r}"}
-
-    while True:
-        try:
-            raw = conn.recv_bytes()
-        except (EOFError, OSError):
-            break
-        try:
-            request = wire.decode(raw)
-            op = request.get("op", "?")
-        except wire.WireError:
-            request, op = {"op": "?"}, "?"
-
-        fault = state.fault
-        if fault is not None and fault["op"] in ("*", op):
-            state.fault = None
-            if fault["mode"] == "crash":
-                os._exit(_INJECTED_CRASH_EXIT)
-            if fault["mode"] == "hang":
-                time.sleep(fault["seconds"])
-                continue  # never answers; the server times out first
-            if fault["mode"] == "garbage":
-                conn.send_bytes(b"\xffnot json\x00")
-                continue
-            if fault["mode"] == "hollow":
-                # Decodable JSON, protocol-shaped, missing every field
-                # the command's reply must carry.
-                conn.send_bytes(wire.encode({"ok": True}))
-                continue
-
-        try:
-            response = handle(request)
-        except Exception as error:  # noqa: BLE001 - reported to the server
-            response = {"ok": False,
-                        "error": f"{type(error).__name__}: {error}"}
-
-        # Postlude: attach everything the server must fold back.
-        new_messages = bus.log[state.bus_cursor:]
-        state.bus_cursor = len(bus.log)
-        response["bus"] = [{"sender": m.sender, "recipient": m.recipient,
-                            "kind": m.kind, "payload": m.payload}
-                           for m in new_messages]
-        fired: dict[str, int] = {}
-        for patch in list(state.installed.values()) + state.trial_patches:
-            current = getattr(patch, "fired", 0)
-            delta = current - state.reported_fired.get(patch.patch_id, 0)
-            if delta:
-                fired[str(patch.patch_id)] = delta
-                state.reported_fired[patch.patch_id] = current
-        for patch in state.trial_patches:
-            # Trial patches are done after this report; drop their
-            # watermarks so worker state stays bounded over long lives.
-            state.reported_fired.pop(patch.patch_id, None)
-        state.trial_patches = []
-        response["fired"] = fired
-        # Drain in place: installed taps hold a reference to this list.
-        response["events"] = list(state.events)
-        state.events.clear()
-        try:
-            conn.send_bytes(wire.encode(response))
-        except (BrokenPipeError, OSError):
-            break
-        if response.get("bye"):
-            break
-    conn.close()
-
-
-# ---------------------------------------------------------------------------
-# Server side
-# ---------------------------------------------------------------------------
-
-class ProcessMember:
-    """Server-side proxy for one worker process (node-manager channel)."""
-
-    def __init__(self, transport: "ProcessTransport", name: str,
-                 binary: Binary, process, conn: "Connection"):
-        self._transport = transport
-        self.name = name
-        self.binary = binary
-        self.process = process
-        self.conn = conn
-        self.alive = True
-        self._pending: str | None = None
-        self._trial_patches: list[Patch] = []
-        #: Patch ids this member's installs registered on the ledger;
-        #: dropping the member releases them, so a casualty holding
-        #: patches cannot pin ledger entries forever.
-        self._ledger_ids: list[int] = []
-
-    # -- low-level protocol --------------------------------------------
-
-    def post(self, op: str, **payload) -> None:
-        """Send one command without waiting for the reply."""
-        if not self.alive:
-            raise MemberFailure(self.name, "crash", "member already dropped")
-        assert self._pending is None, \
-            f"member {self.name} already has {self._pending!r} in flight"
-        request = {"op": op, **payload}
-        encoded = wire.encode(request)
-        try:
-            self.conn.send_bytes(encoded)
-        except (BrokenPipeError, OSError) as error:
-            self._fail("crash", op, str(error), cause=error)
-        # Log only after a successful write, with the pipe's exact byte
-        # count; the request dict is owned by this call, so no defensive
-        # copy is needed.
-        self._transport.deliver(Message(
-            sender="server", recipient=self.name, kind=f"cmd:{op}",
-            payload=request, encoded_size=len(encoded)))
-        self._pending = op
-
-    def collect(self) -> dict:
-        """Wait for the pending command's reply; fold its side effects."""
-        assert self._pending is not None, "no command in flight"
-        op, self._pending = self._pending, None
-        timeout = self._transport.timeout_for(op)
-        try:
-            ready = self.conn.poll(timeout)
-        except (OSError, EOFError):
-            ready = False
-        if not ready:
-            if not self.process.is_alive():
-                self._fail("crash", op, "worker process died")
-            self._fail("hang", op, f"no reply within {timeout:.1f}s")
-        try:
-            raw = self.conn.recv_bytes()
-        except (EOFError, OSError) as error:
-            self._fail("crash", op, str(error), cause=error)
-        try:
-            response = wire.decode(raw)
-        except wire.WireError as error:
-            self._fail("malformed", op, str(error), cause=error)
-        # Replay member-originated messages (failure notifications,
-        # invariant uploads) onto the server transport, then fold
-        # observation/fired state into the canonical patches.  Any
-        # structural surprise in a decoded reply is a malformed member,
-        # same as undecodable bytes.
-        try:
-            # Every genuine worker reply carries the postlude fields;
-            # their absence means the reply did not come from the
-            # command loop and the member's state cannot be trusted.
-            # Member-originated messages ride piggyback on the reply;
-            # pop them so each byte is accounted exactly once — under
-            # its own kind for the replayed messages, under reply:<op>
-            # for the rest of the reply.
-            for entry in response.pop("bus"):
-                # Freshly decoded off the pipe: already an independent
-                # copy, deliver without re-serializing.
-                self._transport.deliver(Message(
-                    sender=entry["sender"], recipient=entry["recipient"],
-                    kind=entry["kind"], payload=entry["payload"]))
-            ledger = self._transport.ledger
-            for event in response["events"]:
-                ledger.fold_observation(int(event[0]), bool(event[1]))
-            for patch_id, delta in response["fired"].items():
-                ledger.fold_fired(int(patch_id), int(delta))
-        except (TypeError, KeyError, ValueError, IndexError,
-                AttributeError) as error:
-            self._fail("malformed", op, str(error), cause=error)
-        self._transport.deliver(Message(
-            sender=self.name, recipient="server", kind=f"reply:{op}",
-            payload=response))
-        if response.get("ok") is not True:
-            self._fail("error", op, str(response.get("error",
-                                                     "unspecified")))
-        return response
-
-    def _expect(self, op: str, extract):
-        """Pull fields out of a reply; a reply missing what the protocol
-        promises drops the member as malformed."""
-        try:
-            return extract()
-        except (KeyError, TypeError, ValueError, IndexError,
-                wire.WireError) as error:
-            self._fail("malformed", op, str(error), cause=error)
-
-    def call(self, op: str, **payload) -> dict:
-        self.post(op, **payload)
-        return self.collect()
-
-    def _drop(self, reason: str, op: str, detail: str) -> None:
-        self.alive = False
-        self._pending = None
-        # Release this casualty's holds on the canonical patch ledger;
-        # survivors holding the same patches keep the entries live.
-        ledger = self._transport.ledger
-        for patch_id in self._ledger_ids:
-            ledger.release(patch_id)
-        self._ledger_ids = []
-        self._transport.dropped.append(
-            DroppedMember(name=self.name, reason=reason, op=op,
-                          detail=detail))
-        self._terminate()
-
-    def _fail(self, reason: str, op: str, detail: str,
-              cause: BaseException | None = None) -> typing.NoReturn:
-        """Drop this member and raise the matching MemberFailure — one
-        place, so the recorded drop and the raised exception can never
-        diverge."""
-        self._drop(reason, op, detail)
-        raise MemberFailure(self.name, reason, detail) from cause
-
-    def _terminate(self) -> None:
-        try:
-            if self.process.is_alive():
-                self.process.terminate()
-            self.process.join(timeout=5)
-        except (OSError, ValueError):  # pragma: no cover - teardown races
-            pass
-        try:
-            self.conn.close()
-        except OSError:  # pragma: no cover
-            pass
-
-    # -- member handle API ---------------------------------------------
-
-    def start_learn_shard(self, pages: list[bytes],
-                          procedures: set[int] | None,
-                          pair_scope: str) -> None:
-        self.post("learn-shard",
-                  procedures=(None if procedures is None
-                              else sorted(procedures)),
-                  pair_scope=pair_scope,
-                  pages=[page.hex() for page in pages])
-
-    def finish_learn_shard(self):
-        from repro.learning.database import InvariantDatabase
-
-        mark = len(self._transport.log)
-        response = self.collect()
-        upload = None
-        for message in self._transport.log[mark:]:
-            if message.kind == "invariant-upload" and \
-                    message.sender == self.name:
-                upload = message.payload
-        if upload is None:
-            self._fail("malformed", "learn-shard",
-                       "no invariant upload in reply")
-        return self._expect("learn-shard", lambda: (
-            InvariantDatabase.from_dict(upload),
-            int(response["observations"])))
-
-    def run(self, payload: bytes) -> RunResult:
-        response = self.call("run", payload=payload.hex())
-        return self._expect("run", lambda:
-                            wire.run_result_from_dict(response["result"]))
-
-    def probe(self, payload: bytes) -> RunResult:
-        response = self.call("probe", payload=payload.hex())
-        return self._expect("probe", lambda:
-                            wire.run_result_from_dict(response["result"]))
-
-    def install_patch(self, patch: Patch) -> None:
-        self._transport.ledger.register(patch)
-        self._ledger_ids.append(patch.patch_id)
-        self.call("install-patch", patch=wire.patch_to_dict(patch))
-
-    def remove_patch(self, patch: Patch) -> None:
-        self.call("remove-patch", patch_id=patch.patch_id)
-        if patch.patch_id in self._ledger_ids:
-            self._ledger_ids.remove(patch.patch_id)
-        self._transport.ledger.unregister(patch)
-
-    def applied_patches(self) -> list[dict]:
-        response = self.call("applied-patches")
-        return self._expect("applied-patches",
-                            lambda: list(response["patches"]))
-
-    def start_evaluate_candidate(self, patches: list[Patch],
-                                 payload: bytes) -> None:
-        for patch in patches:
-            self._transport.ledger.register(patch)
-        self._trial_patches = list(patches)
-        try:
-            self.post("evaluate-candidate",
-                      patches=[wire.patch_to_dict(patch)
-                               for patch in patches],
-                      payload=payload.hex())
-        except MemberFailure:
-            for patch in self._trial_patches:
-                self._transport.ledger.unregister(patch)
-            self._trial_patches = []
-            raise
-
-    def finish_evaluate_candidate(self) -> RunResult:
-        try:
-            response = self.collect()
-        finally:
-            for patch in self._trial_patches:
-                self._transport.ledger.unregister(patch)
-            self._trial_patches = []
-        return self._expect("evaluate-candidate", lambda:
-                            wire.run_result_from_dict(response["result"]))
-
-    def stats(self):
-        from repro.community.node import NodeStats
-
-        response = self.call("stats")
-        return self._expect("stats",
-                            lambda: NodeStats(**response["stats"]))
-
-    def report_database(self):
-        """Console query: the member's most recently learned shard
-        database (None if it has not learned yet)."""
-        from repro.learning.database import InvariantDatabase
-
-        response = self.call("report-database")
-        return self._expect("report-database", lambda: (
-            None if response["database"] is None
-            else InvariantDatabase.from_dict(response["database"])))
-
-    def inject_fault(self, mode: str, at: str = "*",
-                     seconds: float = 3600.0) -> None:
-        """Test hook: arm a one-shot fault in the worker, triggered by
-        the next command whose op matches *at*.  Modes: ``crash`` (the
-        process dies), ``hang`` (sleeps past the timeout), ``garbage``
-        (undecodable reply bytes), ``hollow`` (decodable reply missing
-        the protocol's fields)."""
-        self.call("inject-fault", mode=mode, at=at, seconds=seconds)
-
-    def shutdown(self) -> None:
-        # Only attempt the polite protocol when the channel is idle; a
-        # member mid-command (e.g. teardown after an aborted scatter) is
-        # simply terminated.
-        if self.alive and self._pending is None:
-            try:
-                self.call("shutdown")
-            except MemberFailure:
-                pass
-        self.alive = False
-        self._terminate()
-
-
-class ProcessTransport:
-    """One worker process per member, with bus-compatible accounting.
-
-    Exposes the same ``subscribe``/``send``/``log``/``bytes_by_kind``
-    API as :class:`MessageBus` (every command, reply, and replayed member
-    message is logged with its true encoded size), plus the worker pool
-    management the sharded community needs.
+    The same deadline-framed channel protocol as
+    :class:`~repro.community.remote.SocketTransport`, minus TCP and TLS:
+    each worker inherits its end of a :func:`socket.socketpair` at fork.
     """
 
     def __init__(self, timeout: float = 60.0, learn_timeout: float = 300.0,
+                 run_timeout: float | None = None,
+                 frame_deadline: float = 30.0, pipeline_depth: int = 4,
                  start_method: str = "fork"):
-        self.timeout = timeout
-        self.learn_timeout = learn_timeout
+        super().__init__(timeout=timeout, learn_timeout=learn_timeout,
+                         run_timeout=run_timeout,
+                         frame_deadline=frame_deadline,
+                         pipeline_depth=pipeline_depth)
         try:
             self._context = multiprocessing.get_context(start_method)
         except ValueError:  # pragma: no cover - non-POSIX fallback
             self._context = multiprocessing.get_context()
-        self._bus = MessageBus()
-        self.ledger = PatchLedger()
-        self.members: list[ProcessMember] = []
-        self.dropped: list[DroppedMember] = []
-        self._closed = False
-
-    # -- bus-compatible accounting -------------------------------------
-
-    @property
-    def log(self) -> list[Message]:
-        return self._bus.log
-
-    def subscribe(self, name: str, handler) -> None:
-        self._bus.subscribe(name, handler)
-
-    def send(self, sender: str, recipient: str, kind: str,
-             payload: dict) -> Message:
-        return self._bus.send(sender, recipient, kind, payload)
-
-    def deliver(self, message: Message) -> Message:
-        return self._bus.deliver(message)
-
-    def bytes_by_kind(self) -> dict[str, int]:
-        return self._bus.bytes_by_kind()
-
-    def count_by_kind(self) -> dict[str, int]:
-        return self._bus.count_by_kind()
-
-    def timeout_for(self, op: str) -> float:
-        return self.learn_timeout if op.startswith("learn") else self.timeout
-
-    # -- pool management -----------------------------------------------
 
     def spawn(self, binary: Binary, config: EnvironmentConfig | None,
               names: list[str]) -> list[ProcessMember]:
         if self.members:
             raise CommunityError("transport already has a worker pool")
         for name in names:
-            parent_conn, child_conn = self._context.Pipe()
+            server_sock, worker_sock = socket.socketpair()
             process = self._context.Process(
-                target=_worker_main, args=(child_conn, name, binary, config),
+                target=_worker_main,
+                args=(worker_sock, self.frame_deadline, name, binary,
+                      config),
                 name=f"community-{name}", daemon=True)
             process.start()
-            child_conn.close()
-            self.members.append(ProcessMember(self, name, binary, process,
-                                              parent_conn))
+            worker_sock.close()
+            self.members.append(ProcessMember(
+                self, name, binary,
+                FramedChannel(server_sock,
+                              frame_deadline=self.frame_deadline),
+                process=process))
         return list(self.members)
-
-    def close(self) -> None:
-        """Shut every worker down; idempotent, leaves no orphans."""
-        if self._closed:
-            return
-        self._closed = True
-        for member in self.members:
-            member.shutdown()
-
-    def __enter__(self) -> "ProcessTransport":
-        return self
-
-    def __exit__(self, *_exc) -> None:
-        self.close()
-
-    def __del__(self):  # pragma: no cover - interpreter teardown safety
-        try:
-            self.close()
-        except Exception:  # noqa: BLE001
-            pass

@@ -5,13 +5,20 @@ the paper).  Messages are JSON-able dicts; the bus records every message
 with its wire size, which lets benchmarks verify the §3.1 claim that
 members upload *invariants*, never raw trace data.
 
-Two transports share this accounting API:
+Three transports share this accounting API:
 
 - :class:`MessageBus` — the in-process bus; members are simulated in the
   server's process and handlers run synchronously.
 - :class:`~repro.community.sharding.ProcessTransport` — each member runs
-  in its own OS process; commands and replies cross real pipes as
-  canonical JSON and are logged here with their actual encoded size.
+  in its own OS process; commands and replies cross anonymous
+  socketpairs as deadline-framed canonical JSON.
+- :class:`~repro.community.remote.SocketTransport` — members over TCP
+  (optionally TLS, the paper's SSL channel), same framing, same logs.
+
+Channel transports log every message twice over: its canonical payload
+encoding (``wire_size``, identical across transports for identical
+payloads) and its true on-wire frame attribution (``frame_size``, whose
+per-kind totals sum to the bytes that actually crossed the channels).
 
 Delivery is by value on both: ``send`` round-trips the payload through
 the wire codec, so an in-process subscriber can never observe a
@@ -37,10 +44,17 @@ class Message:
     #: logs do not re-serialize every payload.
     encoded_size: int | None = field(default=None, compare=False,
                                      repr=False)
+    #: Bytes this record accounts for on a *real* channel (length
+    #: prefix included; a reply frame's bytes are split exactly between
+    #: the piggybacked member messages and the ``reply:<op>`` record).
+    #: None on the in-process bus, where nothing crosses a wire.
+    frame_size: int | None = field(default=None, compare=False,
+                                   repr=False)
 
     def wire_size(self) -> int:
-        """Serialized size in bytes — exactly what the process transport
-        writes to a worker pipe for this payload."""
+        """Canonical encoded size of the payload in bytes — the
+        transport-independent measure both substrates report (identical
+        for identical payloads, wire framing overhead excluded)."""
         if self.encoded_size is None:
             self.encoded_size = len(
                 json.dumps(self.payload, separators=(",", ":"))
@@ -104,3 +118,19 @@ class MessageBus:
         for message in self.log:
             counts[message.kind] = counts.get(message.kind, 0) + 1
         return counts
+
+    def channel_bytes_by_kind(self) -> dict[str, int]:
+        """On-wire bytes per kind (records with a frame attribution).
+
+        Empty on a pure in-process bus; on a channel transport the
+        per-kind totals of a fault-free episode sum exactly to the
+        bytes that crossed the member channels (see
+        ``ChannelTransport.wire_bytes_total``; a dropped member's
+        undecodable final bytes never become log records).
+        """
+        totals: dict[str, int] = {}
+        for message in self.log:
+            if message.frame_size is not None:
+                totals[message.kind] = (totals.get(message.kind, 0)
+                                        + message.frame_size)
+        return totals

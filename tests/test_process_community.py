@@ -1,13 +1,17 @@
 """Differential equivalence + fault injection for the sharded community.
 
-The process transport (`repro.community.sharding`) must be
-*observationally identical* to the in-process simulation: seeded
-learning and full attack/repair episodes run under both transports have
-to produce bit-equal merged invariant databases, identical patch sets on
-every member, and identical repair-evaluation verdicts.  On top of that,
-a worker that crashes, hangs, or speaks garbage mid-episode must be
+The channel transports (`repro.community.sharding` over socketpairs,
+`repro.community.remote` over TCP sockets) must be *observationally
+identical* to the in-process simulation: seeded learning and full
+attack/repair episodes run under all three transports have to produce
+bit-equal merged invariant databases, identical patch sets on every
+member, and identical repair-evaluation verdicts.  On top of that, a
+worker that crashes, hangs, or speaks garbage mid-episode must be
 dropped and reported, with its work re-sharded onto the survivors — and
 no test may leave an orphan worker process behind.
+
+(`tests/test_remote_transport.py` covers the channel layer itself:
+frame deadlines, the wedged-mid-write drop, TLS, and pipelining.)
 """
 
 from __future__ import annotations
@@ -99,13 +103,20 @@ def run_episode(manager, defect="gc-collect", presentations=8):
     }
 
 
+#: The transports that cross a real channel; every differential test
+#: parametrized over this proves the *three*-way equivalence (each case
+#: is checked against a fresh in-process baseline).
+REAL_TRANSPORTS = ("process", "socket")
+
+
 class TestDifferentialEquivalence:
-    def test_learning_is_bit_equal(self, make_manager):
-        """§3.1 sharded learning: the merged databases of both transports
+    @pytest.mark.parametrize("transport", REAL_TRANSPORTS)
+    def test_learning_is_bit_equal(self, make_manager, transport):
+        """§3.1 sharded learning: the merged databases of all transports
         are byte-for-byte the same wire payload."""
         in_process = run_learning(make_manager(members=4))
         sharded = run_learning(make_manager(members=4,
-                                            transport="process"))
+                                            transport=transport))
         assert database_fingerprint(in_process.database) == \
             database_fingerprint(sharded.database)
         assert in_process.per_node_observations == \
@@ -122,13 +133,14 @@ class TestDifferentialEquivalence:
             assert database_fingerprint(in_process.database) == \
                 database_fingerprint(sharded.database), strategy
 
-    def test_full_episode_identical(self, make_manager):
-        """Detect -> check -> classify -> repair, on both transports:
+    @pytest.mark.parametrize("transport", REAL_TRANSPORTS)
+    def test_full_episode_identical(self, make_manager, transport):
+        """Detect -> check -> classify -> repair, on every transport:
         same outcomes, same manager events, same patch set on every
         member, full immunity on both."""
         in_process = run_episode(make_manager(members=4))
         sharded = run_episode(make_manager(members=4,
-                                           transport="process"))
+                                           transport=transport))
         assert in_process["fingerprint"] == sharded["fingerprint"]
         assert in_process["outcomes"] == sharded["outcomes"]
         assert in_process["outcomes"][-1] is Outcome.COMPLETED
@@ -179,9 +191,11 @@ class TestDifferentialEquivalence:
         assert database_fingerprint(reported) == \
             json.dumps(uploads[-1], separators=(",", ":"))
 
-    def test_parallel_evaluation_verdicts_identical(self, make_manager):
-        """§3.1 faster repair evaluation: both transports try the same
-        candidate wave and reach identical evaluator verdicts."""
+    @pytest.mark.parametrize("transport", REAL_TRANSPORTS)
+    def test_parallel_evaluation_verdicts_identical(self, make_manager,
+                                                    transport):
+        """§3.1 faster repair evaluation: every transport tries the same
+        candidate wave and reaches identical evaluator verdicts."""
 
         def evaluate(manager):
             run_learning(manager)
@@ -206,7 +220,7 @@ class TestDifferentialEquivalence:
             }
 
         in_process = evaluate(make_manager(members=4))
-        sharded = evaluate(make_manager(members=4, transport="process"))
+        sharded = evaluate(make_manager(members=4, transport=transport))
         assert in_process["rounds"] == sharded["rounds"] == 1
         assert in_process["verdicts"] == sharded["verdicts"]
         assert in_process["events"] == sharded["events"]
