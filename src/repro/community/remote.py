@@ -1192,6 +1192,16 @@ def _can_pump(channel: FramedChannel) -> bool:
 # Socket transport (multi-host members, optional TLS)
 # ---------------------------------------------------------------------------
 
+def _disable_nagle(sock: socket.socket) -> None:
+    """Pipelined commands are many small frames sent back-to-back;
+    Nagle would hold each behind the previous unacked segment (~40ms
+    with delayed ACKs), erasing the pipelining win over TCP."""
+    try:
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    except OSError:  # pragma: no cover - non-TCP sockets
+        pass
+
+
 def _client_tls_context(cafile: str | None) -> "ssl.SSLContext":
     if ssl is None:  # pragma: no cover - stdlib always has ssl here
         raise CommunityError("TLS requested but the ssl module is missing")
@@ -1246,6 +1256,7 @@ def connect_member(host: str, port: int, name: str,
         raise CommunityError(
             f"could not reach community server at {host}:{port}: "
             f"{last_error}")
+    _disable_nagle(sock)
     if cafile is not None:
         context = _client_tls_context(cafile)
         sock.settimeout(frame_deadline)
@@ -1348,6 +1359,7 @@ class SocketTransport(ChannelTransport):
                 continue
             except OSError as error:  # pragma: no cover - listener died
                 raise CommunityError(f"listener failed: {error}") from error
+            _disable_nagle(conn)
             try:
                 if self.certfile is not None:
                     if self._server_context is None:
