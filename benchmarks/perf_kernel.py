@@ -160,6 +160,36 @@ def measure_config(binary, label: str, pages: list[bytes],
                        steps=best_steps, seconds=best_seconds)
 
 
+def measure_once(label: str) -> dict:
+    """One timed pass over the full workload, as a plain dict.
+
+    The single-pass building block ``run_bench.py --compare`` drives in
+    a subprocess per (tree, configuration, repeat): the subprocess pays
+    image build and cache warm-up *outside* the timed region, emits one
+    JSON record on stdout, and exits — so old- and new-tree passes can
+    be interleaved for paired sampling.
+    """
+    binary = build_browser().stripped()
+    pages = evaluation_pages()
+    CPU(binary)  # warm shared decode/threaded caches outside the timing
+    environment = _build_environment(binary, label)
+    steps = 0
+    started = time.perf_counter()
+    for page in pages:
+        result = environment.run(page)
+        steps += result.steps
+        if not result.succeeded:
+            raise RuntimeError(
+                f"workload page failed under {label}: {result.detail}")
+    seconds = time.perf_counter() - started
+    return {
+        "config_label": label,
+        "steps": steps,
+        "seconds": seconds,
+        "instructions_per_sec": steps / seconds if seconds > 0 else 0.0,
+    }
+
+
 def measure_paired(binary, labels: tuple[str, ...], pages: list[bytes],
                    repeats: int = 5) -> list[BenchRecord]:
     """Measure *labels* with interleaved repeats (A, B, A, B, …).
@@ -258,7 +288,13 @@ def profile_config(label: str, top: int = 20) -> None:
     print(f"# top {top} functions by cumulative time, config={label}")
     print(f"# trace coverage: {traced}/{steps} instructions retired "
           f"inside trace runs ({100.0 * traced / max(steps, 1):.1f}%)")
-    stats.print_stats(top)
+    obs = binary._obs_stats
+    if obs and (obs["hits"] or obs["compiles"]):
+        lookups = obs["hits"] + obs["compiles"]
+        print(f"# shared observed tables: {obs['hits']}/{lookups} "
+              f"lookups hit a run another instance compiled "
+              f"({100.0 * obs['hits'] / lookups:.1f}% hit rate, "
+              f"{obs['compiles']} compiles)")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -272,9 +308,18 @@ def main(argv: list[str] | None = None) -> int:
                              "of measuring throughput")
     parser.add_argument("--top", type=int, default=20,
                         help="how many functions --profile prints")
+    parser.add_argument("--once", metavar="LABEL", choices=CONFIG_LABELS,
+                        help="one timed pass of the given configuration, "
+                             "emitted as a JSON record on stdout (the "
+                             "run_bench --compare building block)")
     args = parser.parse_args(argv)
     if args.profile:
         profile_config(args.profile, top=args.top)
+        return 0
+    if args.once:
+        import json
+
+        print(json.dumps(measure_once(args.once)))
         return 0
     for record in run_kernel_bench():
         print(record.as_dict())

@@ -27,6 +27,12 @@ and fails — exit status 1 — if throughput regressed more than
 that configuration.  It never writes to the trajectory file.  The
 tier-1 wrapper honours ``SKIP_PERF_GATE=1`` for hardware unrelated to
 the recorded trajectory.
+
+``--compare REF`` is how a perf *claim* should be made: it checks
+*REF* out into a throwaway worktree and interleaves old/new timed
+passes (A, B, A, B, …) per configuration, so machine drift lands on
+both trees equally and the reported ratio is a paired sample rather
+than a record-vs-record delta.  Pick configs with ``--configs``.
 """
 
 from __future__ import annotations
@@ -86,11 +92,29 @@ def load_trajectory(path: pathlib.Path = TRAJECTORY) -> list[dict]:
     return json.loads(text)
 
 
+def normalise_record(record: dict) -> dict:
+    """Guarantee the core numeric fields on a trajectory record.
+
+    Every record carries ``steps``, ``seconds``, and
+    ``instructions_per_sec`` so trend tooling can parse the file with
+    one schema.  Latency-shaped records (the community-wave entries)
+    surface their wall-clock as ``seconds`` and zero for the throughput
+    fields they do not measure — zero, not absent, so a plot reads
+    "measured nothing" rather than crashing on a missing key.
+    """
+    if "seconds" not in record and "pipelined_seconds" in record:
+        record["seconds"] = record["pipelined_seconds"]
+    record.setdefault("seconds", 0.0)
+    record.setdefault("steps", 0)
+    record.setdefault("instructions_per_sec", 0.0)
+    return record
+
+
 def append_records(records: list[dict],
                    path: pathlib.Path = TRAJECTORY) -> None:
     """Append *records* to the trajectory file (a JSON array)."""
     trajectory = load_trajectory(path)
-    trajectory.extend(records)
+    trajectory.extend(normalise_record(record) for record in records)
     path.write_text(json.dumps(trajectory, indent=2) + "\n")
 
 
@@ -145,6 +169,73 @@ def check_regression() -> int:
     return 0
 
 
+def compare_against(ref: str, labels: tuple[str, ...],
+                    repeats: int = 5) -> int:
+    """Interleaved old/new A/B comparison against git *ref*.
+
+    Record-vs-record deltas on this trajectory are polluted by machine
+    drift (see :data:`REGRESSION_TOLERANCE`); a perf claim should come
+    from *paired* samples instead.  This checks *ref* out into a
+    throwaway git worktree and, per repeat and configuration, runs one
+    timed pass in each tree back to back (``perf_kernel.py --once`` in
+    a subprocess, with ``PYTHONPATH`` pointing at the respective
+    ``src``) — every machine phase is handed to both trees equally, and
+    best-of-N compares like with like.  The current tree's harness
+    drives both sides, so both measure exactly the same workload the
+    same way.  Never writes to the trajectory file.
+    """
+    import tempfile
+
+    worktree = tempfile.mkdtemp(prefix="repro-bench-compare-")
+    try:
+        subprocess.run(
+            ["git", "worktree", "add", "--detach", worktree, ref],
+            cwd=REPO_ROOT, check=True, capture_output=True, text=True)
+    except subprocess.CalledProcessError as error:
+        print(f"--compare: cannot check out {ref!r}: "
+              f"{error.stderr.strip()}")
+        return 1
+    harness = REPO_ROOT / "benchmarks" / "perf_kernel.py"
+    sources = {"old": pathlib.Path(worktree) / "src",
+               "new": REPO_ROOT / "src"}
+    import os
+
+    best: dict[tuple[str, str], dict] = {}
+    try:
+        for repeat in range(repeats):
+            for label in labels:
+                for side, src in sources.items():
+                    env = dict(os.environ)
+                    env["PYTHONPATH"] = str(src)
+                    run = subprocess.run(
+                        [sys.executable, str(harness), "--once", label],
+                        env=env, check=True, capture_output=True,
+                        text=True)
+                    record = json.loads(run.stdout.strip().splitlines()[-1])
+                    key = (side, label)
+                    if key not in best or record["instructions_per_sec"] \
+                            > best[key]["instructions_per_sec"]:
+                        best[key] = record
+    except subprocess.CalledProcessError as error:
+        print(f"--compare: measurement subprocess failed:\n"
+              f"{error.stderr}")
+        return 1
+    finally:
+        subprocess.run(["git", "worktree", "remove", "--force", worktree],
+                       cwd=REPO_ROOT, capture_output=True)
+    print(f"paired comparison vs {ref} "
+          f"(interleaved best-of-{repeats}, full workload):")
+    for label in labels:
+        old = best[("old", label)]
+        new = best[("new", label)]
+        ratio = new["instructions_per_sec"] / \
+            max(old["instructions_per_sec"], 1e-9)
+        print(f"{label:>10}: {old['instructions_per_sec']:>12,.1f} -> "
+              f"{new['instructions_per_sec']:>12,.1f} instr/sec "
+              f"({ratio:.2f}x)")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         description="Measure kernel instructions/sec and append to "
@@ -162,10 +253,25 @@ def main(argv: list[str] | None = None) -> int:
                              "regression in the bare or learning "
                              "config vs the last committed records; "
                              "never writes")
+    parser.add_argument("--compare", metavar="REF",
+                        help="interleaved old/new A/B paired-sample "
+                             "comparison against a git ref (per repeat "
+                             "and config, one timed pass in each tree "
+                             "back to back); never writes")
+    parser.add_argument("--configs", default="bare,learning",
+                        help="comma-separated configs for --compare "
+                             "(default: bare,learning)")
+    parser.add_argument("--repeats", type=int, default=5,
+                        help="paired repeats for --compare (default 5)")
     args = parser.parse_args(argv)
 
     if args.check:
         return check_regression()
+    if args.compare:
+        labels = tuple(label.strip()
+                       for label in args.configs.split(",") if label.strip())
+        return compare_against(args.compare, labels,
+                               repeats=args.repeats)
 
     commit = current_commit()
     timestamp = datetime.now(timezone.utc).isoformat(timespec="seconds")

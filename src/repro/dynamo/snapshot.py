@@ -39,11 +39,18 @@ from repro.vm.binary import Binary
 from repro.vm.isa import INSTRUCTION_SIZE
 
 #: File-layout version; bump on incompatible format changes.
-SCHEMA_VERSION = 1
+#: v2 added the required ``edge_profile`` field (observed-run trace
+#: heat: the per-entry successor histograms hottest-successor trace
+#: selection reads), so warm-started learning members skip
+#: re-formation.
+SCHEMA_VERSION = 2
 
 #: Execution-kernel generation; bump when block or trace semantics
-#: change in ways that invalidate captured state.
-ENGINE_VERSION = "superblock-trace-1"
+#: change in ways that invalidate captured state.  ``-2``: trace paths
+#: are selected hottest-successor (with monomorphic-stability gating
+#: across indirect transfers), so paths recorded by a ``-1`` kernel may
+#: pin a cold successor chain.
+ENGINE_VERSION = "superblock-trace-2"
 
 
 def snapshot_to_dict(cache, binary: Binary | None = None) -> dict:
@@ -57,6 +64,7 @@ def snapshot_to_dict(cache, binary: Binary | None = None) -> dict:
               for block in block_map.blocks.values()]
     profile = binary._trace_profile or {}
     paths = binary._trace_paths or {}
+    edges = binary._edge_profile or {}
     return {
         "schema": SCHEMA_VERSION,
         "engine": ENGINE_VERSION,
@@ -67,6 +75,10 @@ def snapshot_to_dict(cache, binary: Binary | None = None) -> dict:
                           for pc, count in sorted(profile.items())},
         "trace_paths": {str(pc): (list(path) if path else False)
                         for pc, path in sorted(paths.items())},
+        "edge_profile": {str(pc): {str(successor): count
+                                   for successor, count
+                                   in sorted(successors.items())}
+                         for pc, successors in sorted(edges.items())},
     }
 
 
@@ -87,6 +99,7 @@ def snapshot_from_dict(payload: dict, binary: Binary
         cached = payload["cached"]
         profile = payload["trace_profile"]
         paths = payload["trace_paths"]
+        edges = payload["edge_profile"]
     except (TypeError, KeyError) as error:
         raise SnapshotError(f"snapshot is missing field {error}") \
             from error
@@ -125,6 +138,12 @@ def snapshot_from_dict(payload: dict, binary: Binary
         for pc, path in paths.items():
             binary._trace_paths.setdefault(
                 int(pc), tuple(path) if path else False)
+        if binary._edge_profile is None:
+            binary._edge_profile = {}
+        for pc, successors in edges.items():
+            binary._edge_profile.setdefault(
+                int(pc), {int(successor): int(count)
+                          for successor, count in successors.items()})
     except (TypeError, ValueError, KeyError,
             InvalidInstruction) as error:
         # InvalidInstruction covers a digest-valid file whose block

@@ -21,12 +21,26 @@ The engine has two intake paths with identical semantics:
 - :meth:`InferenceEngine.observe_record` digests one flat raw snapshot
   (:mod:`repro.vm.observe` record) through a per-pc *compiled plan* that
   pre-binds every statistics object the record touches — no Variable
-  construction, no hashing, no dict probes on the hot path.  Plans are
-  invalidated (and lazily recompiled) whenever a new variable appears
-  anywhere, since new variables join existing pcs' candidate-pair sets;
-  records whose conditional-slot presence pattern deviates from the plan
-  fall back to :meth:`observe`, which keeps both paths exactly
-  state-equal.
+  construction, no hashing, no dict probes on the hot path.  A plan is
+  invalidated (popped, its lazy counters settled) exactly when a new
+  variable materialises at one of its partner pcs — it joins that plan's
+  candidate-pair set — via a reverse watcher index rather than a global
+  epoch, and recompiles on its next record; records whose
+  conditional-slot presence pattern deviates from the plan fall back to
+  :meth:`observe`, which keeps both paths exactly state-equal.  Only the
+  slots :mod:`repro.vm.observe` can actually emit as ``None`` (a
+  faulting load's value, value/target on an empty stack) carry presence
+  checks — for every other instruction the plan's ``presence`` is None
+  and the digest skips the test entirely.  Pair maintenance, the
+  digest's dominant cost, runs over per-direction value vectors with a
+  C-level ``max``/``min`` falsification test and lazy sample counters
+  (see :class:`_PairGroup`).
+- :meth:`InferenceEngine.observe_batch` is the batched front end's
+  entry: the same compiled digest fused with the per-record front-end
+  bookkeeping (activation markers, procedure attribution, the partial
+  tracing filter) in a single loop with every engine attribute hoisted
+  to a local — no per-record method call, no per-record ``self``
+  traffic.
 
 ``finalize()`` produces an :class:`~repro.learning.database.InvariantDatabase`.
 """
@@ -34,6 +48,7 @@ The engine has two intake paths with identical semantics:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from operator import attrgetter
 
 from repro.cfg.discovery import ProcedureDatabase
 from repro.learning.database import InvariantDatabase
@@ -48,7 +63,7 @@ from repro.learning.invariants import (
 from repro.learning.pointers import PointerClassifier, disqualifies_pointer
 from repro.learning.variables import EXCLUDED_SLOTS, Variable
 from repro.vm.hooks import OperandObservation
-from repro.vm.isa import to_signed
+from repro.vm.isa import Opcode, to_signed
 from repro.vm.observe import observation_from_record, operand_layout
 
 #: Multiplier/offset for the order-sensitive value-sequence fingerprint.
@@ -56,8 +71,24 @@ _FNV_PRIME = 1099511628211
 _FNV_OFFSET = 14695981039346656037
 _FNV_MASK = (1 << 64) - 1
 
+#: The only slots an extractor record can carry as ``None`` (see
+#: :mod:`repro.vm.observe`): a faulting load's value, the value/target
+#: of a POP/RET on an empty stack.  Plans check presence for exactly
+#: these — every other slot is unconditionally present by construction.
+_CONDITIONAL_SLOTS = {
+    Opcode.LOAD: ("value",), Opcode.LOADB: ("value",),
+    Opcode.POP: ("value",), Opcode.RET: ("target",),
+}
 
-@dataclass
+_UNSET = object()
+
+#: C-level projection of a partner vector onto its current values (the
+#: pair loops feed it straight into ``max``/``min`` with no Python-level
+#: frame per element).
+_LAST_SIGNED = attrgetter("last_signed")
+
+
+@dataclass(slots=True)
 class _VariableStats:
     """Running statistics for one variable."""
 
@@ -73,6 +104,9 @@ class _VariableStats:
     #: Fast-path mirror of ``PointerClassifier._not_pointer`` membership
     #: (the canonical set still drives :meth:`finalize`).
     not_pointer: bool = False
+    #: The variable these statistics belong to (set at creation); lets
+    #: compiled plans carry bare ``(index, stats)`` slot entries.
+    variable: "Variable | None" = None
 
     def update(self, value: int) -> None:
         signed = to_signed(value)
@@ -92,31 +126,81 @@ class _VariableStats:
         self.last_signed = signed
 
 
+class _PairGroup:
+    """Alive less-than candidates for one computed slot of one plan.
+
+    The digest loop's dominant cost is pair maintenance, so the alive
+    pairs are kept as *aligned value vectors* per direction: a record's
+    value falsifies some forward pair (partner <= target) iff the max
+    of the partners' current values exceeds it, and some reverse pair
+    (target <= partner) iff the min falls below it — one C-level
+    ``max``/``min`` over ``map(attrgetter, ...)`` instead of a Python
+    branch per pair.  ``target`` is the computed slot's own statistics
+    object: the slot loop runs first, so its ``last_signed`` *is* this
+    record's value, already sign-converted.  The common
+    no-falsification outcome then costs a single lazy counter bump
+    (``fwd_count``/``rev_count``), folded into each alive pair's
+    ``samples`` at materialization; the rare falsifying record walks
+    the vectors, settles the falsified pairs, and compacts the
+    survivors.  Dead directions leave their vector entirely, so
+    long-falsified pairs cost nothing per record.
+    """
+
+    __slots__ = ("target", "fwd_stats", "fwd_pairs", "fwd_count",
+                 "rev_stats", "rev_pairs", "rev_count")
+
+    def __init__(self, target, fwd_stats, fwd_pairs, rev_stats,
+                 rev_pairs):
+        self.target = target
+        self.fwd_stats = fwd_stats
+        self.fwd_pairs = fwd_pairs
+        self.fwd_count = 0
+        self.rev_stats = rev_stats
+        self.rev_pairs = rev_pairs
+        self.rev_count = 0
+
+
 class _PcPlan:
     """Compiled digest for one instruction address.
 
     ``slot_entries``/``pair_groups`` pre-bind the statistics objects a
-    record at this pc updates; ``required``/``absent`` encode the
-    conditional-slot presence pattern the plan was compiled for (records
-    deviating from it take the dict-path fallback).  Indices are record
-    positions (``record[0]`` is the pc, ``record[-1]`` the esp).
+    record at this pc updates; ``presence`` encodes the
+    conditional-slot pattern the plan was compiled for as a
+    ``(required indexes, absent indexes)`` pair over the slots that can
+    actually be ``None`` (records deviating from it take the dict-path
+    fallback) — or ``None`` when the instruction has no conditional
+    slots, which skips the test entirely.  Indices are record positions
+    (``record[0]`` is the pc, ``record[-1]`` the esp).  ``samples`` and
+    the pair groups' counters accumulate lazily and are folded into the
+    engine's canonical state by
+    :meth:`InferenceEngine._materialize_plan` (on recompile, fallback,
+    and finalize), so a plan must never be discarded unmaterialized.
+    A plan stays installed until a variable materialises at one of its
+    frozen partner pcs, which pops and settles it eagerly
+    (:meth:`InferenceEngine._variable_created`).
     """
 
-    __slots__ = ("epoch", "slot_entries", "pair_groups", "required",
-                 "absent")
+    __slots__ = ("pc", "slot_entries", "pair_groups",
+                 "presence", "samples", "sp")
 
-    def __init__(self, epoch, slot_entries, pair_groups, required,
-                 absent):
-        self.epoch = epoch
+    def __init__(self, pc, slot_entries, pair_groups, presence):
+        self.pc = pc
         self.slot_entries = slot_entries
         self.pair_groups = pair_groups
-        self.required = required
-        self.absent = absent
+        self.presence = presence
+        self.samples = 0
+        self.sp = None
 
 
-@dataclass
+@dataclass(slots=True)
 class _PairStats:
-    """Running statistics for one ordered candidate pair (left <= right)."""
+    """Running statistics for one ordered candidate pair (left <= right).
+
+    On the compiled batch path ``samples`` may lag the true count: a
+    plan's :class:`_PairGroup` counts non-falsifying co-observations
+    lazily and folds them in when the pair falsifies, the plan
+    recompiles, or the engine finalizes (see
+    :meth:`InferenceEngine._materialize_plan`)."""
 
     samples: int = 0
     falsified: bool = False
@@ -130,7 +214,7 @@ class _PairStats:
             self.samples += 1
 
 
-@dataclass
+@dataclass(slots=True)
 class _SPStats:
     """Stack-pointer delta tracking for one instruction."""
 
@@ -181,11 +265,29 @@ class InferenceEngine:
         self._partner_cache: dict[int, list[int]] = {}
         #: Compiled per-pc digest plans for the batched intake path.
         self._plans: dict[int, _PcPlan] = {}
-        #: Bumped whenever a new variable materialises anywhere: new
-        #: variables join existing pcs' candidate-pair sets, so every
-        #: plan pairing against them must recompile.
-        self._epoch = 0
+        #: Exact plan invalidation: ``_pair_watchers`` maps a partner
+        #: pc to the plan pcs whose candidate-pair sets draw on it (the
+        #: partner relation itself is frozen per pc, so the reverse
+        #: index is too); a variable materialising at a pc pops exactly
+        #: the watching plans (settling their lazy counters), which
+        #: recompile on their next record instead of every plan
+        #: everywhere recompiling.
+        self._pair_watchers: dict[int, set[int]] = {}
         self.observations = 0
+
+    def _variable_created(self, pc: int) -> None:
+        """A new variable materialised at *pc*: plans pairing against
+        this pc must recompile to include it in their candidate sets.
+        They are popped (and their lazy counters settled) right here, so
+        the record digest needs no per-record dirty check — a missing
+        plan is the only invalidation signal."""
+        watchers = self._pair_watchers.get(pc)
+        if watchers:
+            plans = self._plans
+            for watcher_pc in watchers:
+                plan = plans.pop(watcher_pc, None)
+                if plan is not None:
+                    self._materialize_plan(plan)
 
     # ------------------------------------------------------------------
     # Observation intake
@@ -206,9 +308,10 @@ class InferenceEngine:
             stats = self._variables.get(variable)
             if stats is None:
                 stats = _VariableStats()
+                stats.variable = variable
                 self._variables[variable] = stats
                 self._pc_variables.setdefault(pc, []).append(variable)
-                self._epoch += 1
+                self._variable_created(pc)
             stats.update(value)
             self.pointer_classifier.observe(variable, value)
 
@@ -284,23 +387,24 @@ class InferenceEngine:
         twin, state-equal by construction (and pinned by tests)."""
         pc = record[0]
         plan = self._plans.get(pc)
-        if plan is None or plan.epoch != self._epoch:
+        if plan is None:
             plan = self._compile_plan(pc, record)
             self._plans[pc] = plan
-        for index in plan.required:
-            if record[index] is None:
-                return self._observe_fallback(record, procedure_entry,
-                                              sp_entry)
-        for index in plan.absent:
-            if record[index] is not None:
-                return self._observe_fallback(record, procedure_entry,
-                                              sp_entry)
+        presence = plan.presence
+        if presence is not None:
+            for index in presence[0]:
+                if record[index] is None:
+                    return self._observe_fallback(
+                        record, procedure_entry, sp_entry)
+            for index in presence[1]:
+                if record[index] is not None:
+                    return self._observe_fallback(
+                        record, procedure_entry, sp_entry)
         self.observations += 1
-        samples = self._pc_samples
-        samples[pc] = samples.get(pc, 0) + 1
+        plan.samples += 1
 
         classifier = self.pointer_classifier
-        for index, variable, stats in plan.slot_entries:
+        for index, stats in plan.slot_entries:
             value = record[index]
             signed = value - 0x100000000 if value >= 0x80000000 else value
             if stats.count == 0:
@@ -318,31 +422,33 @@ class InferenceEngine:
                                  * _FNV_PRIME) & _FNV_MASK
             if not stats.not_pointer and disqualifies_pointer(signed):
                 stats.not_pointer = True
-                classifier.disqualify(variable)
+                classifier.disqualify(stats.variable)
             stats.last = value
             stats.last_signed = signed
 
-        for index, entries in plan.pair_groups:
-            value = record[index]
-            signed = value - 0x100000000 if value >= 0x80000000 else value
-            for other_stats, forward, reverse in entries:
-                other_signed = other_stats.last_signed
-                if not forward.falsified:
-                    if other_signed > signed:
-                        forward.falsified = True
-                    else:
-                        forward.samples += 1
-                if not reverse.falsified:
-                    if signed > other_signed:
-                        reverse.falsified = True
-                    else:
-                        reverse.samples += 1
+        for group in plan.pair_groups:
+            signed = group.target.last_signed
+            stats_list = group.fwd_stats
+            if stats_list:
+                if max(map(_LAST_SIGNED, stats_list)) > signed:
+                    self._falsify_forward(group, signed)
+                else:
+                    group.fwd_count += 1
+            stats_list = group.rev_stats
+            if stats_list:
+                if min(map(_LAST_SIGNED, stats_list)) < signed:
+                    self._falsify_reverse(group, signed)
+                else:
+                    group.rev_count += 1
 
         if sp_entry is not None and procedure_entry is not None:
-            sp_stats = self._sp.get(pc)
+            sp_stats = plan.sp
             if sp_stats is None:
-                sp_stats = _SPStats()
-                self._sp[pc] = sp_stats
+                sp_stats = self._sp.get(pc)
+                if sp_stats is None:
+                    sp_stats = _SPStats()
+                    self._sp[pc] = sp_stats
+                plan.sp = sp_stats
             delta = (record[-1] - sp_entry) & 0xFFFFFFFF
             if delta >= 0x80000000:
                 delta -= 0x100000000
@@ -352,18 +458,223 @@ class InferenceEngine:
                 sp_stats.constant = False
             sp_stats.samples += 1
 
+    def observe_batch(self, records: list, activations: list,
+                      make_activation, entry_cache: dict,
+                      procedure_of, traced_set) -> tuple[int, int]:
+        """Digest one buffered stretch of raw snapshots, in order.
+
+        This is :meth:`observe_record` fused with the batched front
+        end's per-record bookkeeping — activation-marker replay
+        (``record[0] is None``), procedure attribution through the front
+        end's *entry_cache*, and the partial-tracing filter — in a
+        single loop with every per-record attribute hoisted to a local.
+        The caller owns *activations* (mutated in place, so buffer
+        boundaries never lose the call shadow) and the cache; the return
+        value is ``(traced, skipped)`` record counts for the front end's
+        accounting.  State-equality with the per-record paths is pinned
+        by the batched-vs-legacy equality tests.
+        """
+        plans = self._plans
+        plans_get = plans.get
+        compile_plan = self._compile_plan
+        fallback = self._observe_fallback
+        falsify_forward = self._falsify_forward
+        falsify_reverse = self._falsify_reverse
+        disqualify = self.pointer_classifier.disqualify
+        sp_map = self._sp
+        entry_cache_get = entry_cache.get
+        unset = _UNSET
+        one_of_limit = ONE_OF_LIMIT
+        last_signed_of = _LAST_SIGNED
+        top = activations[-1] if activations else None
+        top_entry = top.entry if top is not None else None
+        markers = 0
+        skipped = 0
+        fallbacks = 0
+        for record in records:
+            pc = record[0]
+            if pc is None:
+                # Activation marker: (None, target, esp) pushes, the
+                # (None, None, 0) twin pops.
+                markers += 1
+                if record[1] is None:
+                    if activations:
+                        activations.pop()
+                else:
+                    activations.append(make_activation(record[1],
+                                                       record[2]))
+                top = activations[-1] if activations else None
+                top_entry = top.entry if top is not None else None
+                continue
+            entry = entry_cache_get(pc, unset)
+            if entry is unset:
+                procedure = procedure_of(pc)
+                entry = procedure.entry if procedure is not None \
+                    else None
+                entry_cache[pc] = entry
+            if traced_set is not None and entry not in traced_set:
+                skipped += 1
+                continue
+            plan = plans_get(pc)
+            if plan is None:
+                plan = compile_plan(pc, record)
+                plans[pc] = plan
+            presence = plan.presence
+            if presence is not None:
+                deviates = False
+                for index in presence[0]:
+                    if record[index] is None:
+                        deviates = True
+                        break
+                if not deviates:
+                    for index in presence[1]:
+                        if record[index] is not None:
+                            deviates = True
+                            break
+                if deviates:
+                    fallbacks += 1
+                    sp_entry = top.sp_entry if (
+                        entry is not None and top_entry == entry) \
+                        else None
+                    fallback(record, entry, sp_entry)
+                    continue
+            plan.samples += 1
+
+            for index, stats in plan.slot_entries:
+                value = record[index]
+                signed = value - 0x100000000 \
+                    if value >= 0x80000000 else value
+                if stats.count == 0:
+                    stats.minimum = signed
+                elif signed < stats.minimum:
+                    stats.minimum = signed
+                stats.count += 1
+                if stats.one_of_alive:
+                    values = stats.values
+                    values.add(value)
+                    if len(values) > one_of_limit:
+                        stats.one_of_alive = False
+                        values.clear()
+                stats.fingerprint = ((stats.fingerprint ^ value)
+                                     * _FNV_PRIME) & _FNV_MASK
+                if not stats.not_pointer and (
+                        signed < 0 or 1 <= signed <= 100_000):
+                    # Inlined disqualifies_pointer (pinned equal by the
+                    # pointer-classifier tests).
+                    stats.not_pointer = True
+                    disqualify(stats.variable)
+                stats.last = value
+                stats.last_signed = signed
+
+            for group in plan.pair_groups:
+                signed = group.target.last_signed
+                stats_list = group.fwd_stats
+                if stats_list:
+                    if max(map(last_signed_of, stats_list)) > signed:
+                        falsify_forward(group, signed)
+                    else:
+                        group.fwd_count += 1
+                stats_list = group.rev_stats
+                if stats_list:
+                    if min(map(last_signed_of, stats_list)) < signed:
+                        falsify_reverse(group, signed)
+                    else:
+                        group.rev_count += 1
+
+            if top_entry == entry and entry is not None:
+                sp_stats = plan.sp
+                if sp_stats is None:
+                    sp_stats = sp_map.get(pc)
+                    if sp_stats is None:
+                        sp_stats = _SPStats()
+                        sp_map[pc] = sp_stats
+                    plan.sp = sp_stats
+                delta = (record[-1] - top.sp_entry) & 0xFFFFFFFF
+                if delta >= 0x80000000:
+                    delta -= 0x100000000
+                if sp_stats.samples == 0:
+                    sp_stats.offset = delta
+                elif sp_stats.offset != delta:
+                    sp_stats.constant = False
+                sp_stats.samples += 1
+        traced = len(records) - markers - skipped
+        self.observations += traced - fallbacks
+        return traced, skipped
+
+    def _falsify_forward(self, group: _PairGroup, signed: int) -> None:
+        """Settle the forward pairs this record falsifies and compact
+        the survivors (who each gain this record as a sample)."""
+        count = group.fwd_count
+        keep_stats: list = []
+        keep_pairs: list = []
+        for stats, pair in zip(group.fwd_stats, group.fwd_pairs):
+            if stats.last_signed > signed:
+                pair.falsified = True
+                pair.samples += count
+            else:
+                keep_stats.append(stats)
+                keep_pairs.append(pair)
+        group.fwd_stats = keep_stats
+        group.fwd_pairs = keep_pairs
+        group.fwd_count = count + 1
+
+    def _falsify_reverse(self, group: _PairGroup, signed: int) -> None:
+        count = group.rev_count
+        keep_stats: list = []
+        keep_pairs: list = []
+        for stats, pair in zip(group.rev_stats, group.rev_pairs):
+            if signed > stats.last_signed:
+                pair.falsified = True
+                pair.samples += count
+            else:
+                keep_stats.append(stats)
+                keep_pairs.append(pair)
+        group.rev_stats = keep_stats
+        group.rev_pairs = keep_pairs
+        group.rev_count = count + 1
+
+    def _materialize_plan(self, plan: _PcPlan) -> None:
+        """Fold a plan's lazy counters into the canonical engine state
+        (idempotent: every counter resets as it lands).  Must run before
+        a plan is replaced or abandoned, before the dict-path fallback
+        touches its pc, and before finalization reads the statistics."""
+        if plan.samples:
+            samples = self._pc_samples
+            pc = plan.pc
+            samples[pc] = samples.get(pc, 0) + plan.samples
+            plan.samples = 0
+        for group in plan.pair_groups:
+            count = group.fwd_count
+            if count:
+                for pair in group.fwd_pairs:
+                    pair.samples += count
+                group.fwd_count = 0
+            count = group.rev_count
+            if count:
+                for pair in group.rev_pairs:
+                    pair.samples += count
+                group.rev_count = 0
+
     def _compile_plan(self, pc: int, record: tuple) -> _PcPlan:
         """Bind the statistics objects records at *pc* update.
 
         Variables materialise here exactly as they would on a first
         legacy observation (same creation, same classifier seeding); the
         triggering record is digested through the fresh plan right after,
-        so statistics timing matches the dict path.
+        so statistics timing matches the dict path.  The plan being
+        replaced settles its lazy counters first, and the fresh pair
+        groups carry only directions still alive — already-falsified
+        pairs are permanently inert, so they drop out of the hot loop.
         """
+        old = self._plans.get(pc)
+        if old is not None:
+            self._materialize_plan(old)
         instruction = self.procedures.binary.decode_at(pc)
         names, computed = operand_layout(instruction)
+        conditional = _CONDITIONAL_SLOTS.get(instruction.opcode, ())
         variables = self._variables
         slot_entries = []
+        required = []
         absent = []
         for position, name in enumerate(names):
             index = position + 1
@@ -375,48 +686,75 @@ class InferenceEngine:
                     absent.append(index)
                     continue
                 stats = _VariableStats()
+                stats.variable = variable
                 variables[variable] = stats
                 self._pc_variables.setdefault(pc, []).append(variable)
-                self._epoch += 1
+                self._variable_created(pc)
                 self.pointer_classifier.mark_seen(variable)
-            slot_entries.append((index, variable, stats))
+            if name in conditional:
+                required.append(index)
+            slot_entries.append((index, stats))
 
         pair_groups = []
         if computed and self.pair_scope != "none":
             partners = self._partner_pcs(pc)
             if partners:
-                name_to_index = {name: position + 1
-                                 for position, name in enumerate(names)}
+                watchers = self._pair_watchers
+                for partner_pc in partners:
+                    watching = watchers.get(partner_pc)
+                    if watching is None:
+                        watchers[partner_pc] = {pc}
+                    else:
+                        watching.add(pc)
                 pc_variables = self._pc_variables
                 for slot in computed:
                     target = Variable(pc, slot)
-                    if variables.get(target) is None:
+                    target_stats = variables.get(target)
+                    if target_stats is None:
                         continue
-                    entries = []
+                    fwd_stats: list = []
+                    fwd_pairs: list = []
+                    rev_stats: list = []
+                    rev_pairs: list = []
                     for partner_pc in partners:
                         for other in pc_variables.get(partner_pc, ()):
                             if other == target:
                                 continue
-                            entries.append((variables[other],
-                                            self._pair(other, target),
-                                            self._pair(target, other)))
-                    if entries:
-                        pair_groups.append((name_to_index[slot],
-                                            tuple(entries)))
+                            other_stats = variables[other]
+                            forward = self._pair(other, target)
+                            reverse = self._pair(target, other)
+                            if not forward.falsified:
+                                fwd_stats.append(other_stats)
+                                fwd_pairs.append(forward)
+                            if not reverse.falsified:
+                                rev_stats.append(other_stats)
+                                rev_pairs.append(reverse)
+                    if fwd_stats or rev_stats:
+                        pair_groups.append(_PairGroup(
+                            target_stats, fwd_stats, fwd_pairs,
+                            rev_stats, rev_pairs))
 
-        return _PcPlan(epoch=self._epoch,
+        presence = (tuple(required), tuple(absent)) \
+            if (required or absent) else None
+        return _PcPlan(pc=pc,
                        slot_entries=tuple(slot_entries),
                        pair_groups=tuple(pair_groups),
-                       required=tuple(entry[0] for entry in slot_entries),
-                       absent=tuple(absent))
+                       presence=presence)
 
     def _observe_fallback(self, record: tuple,
                           procedure_entry: int | None,
                           sp_entry: int | None) -> None:
         """Dict-path digestion for records off the compiled plan (a
-        conditional slot appeared or vanished); any new variable bumps
-        the epoch, recompiling the plan for the next record."""
-        instruction = self.procedures.binary.decode_at(record[0])
+        conditional slot appeared or vanished); any new variable pops
+        the watching plans, and this pc recompiles on its next record.
+        The deviating pc's plan settles its lazy counters and retires
+        first: the dict path updates the canonical statistics directly,
+        which would race an outstanding counter on the same pairs."""
+        pc = record[0]
+        plan = self._plans.pop(pc, None)
+        if plan is not None:
+            self._materialize_plan(plan)
+        instruction = self.procedures.binary.decode_at(pc)
         observation = observation_from_record(instruction, record)
         self.observe(observation, procedure_entry, sp_entry)
 
@@ -426,6 +764,8 @@ class InferenceEngine:
 
     def finalize(self) -> InvariantDatabase:
         """Build the invariant database from accumulated statistics."""
+        for plan in self._plans.values():
+            self._materialize_plan(plan)
         duplicates = self._duplicate_variables() if self.deduplicate \
             else set()
         database = InvariantDatabase()

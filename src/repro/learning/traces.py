@@ -10,13 +10,16 @@ Two intake modes, identical in what the engine learns:
 
 - **batched** (the default): the front end subscribes as a
   ``lazy_operands`` hook.  The CPU snapshots raw operand tuples through
-  compiled extractors (:mod:`repro.vm.observe`), buffers them per block,
-  and delivers them in bulk at control transfers — before activation
-  shadows update, so every record digests under the activation it
-  executed in.  The front end's :meth:`observes` filter confines
-  extraction to the traced procedures *at the kernel level*: an
-  untraced instruction costs nothing at all, not even a skipped
-  callback.
+  compiled extractors (:mod:`repro.vm.observe`), buffers them, and
+  delivers them in bulk when the buffer fills.  Activation transitions
+  arrive *in-band* as markers interleaved with the observations
+  (``record[0] is None``), so the batch replays the exact call/return
+  sequence and every record digests under the activation it executed
+  in — no per-transfer flush, and the eager ``on_transfer`` /
+  ``on_return`` routes are suppressed entirely.  The front end's
+  :meth:`observes` filter confines extraction to the traced procedures
+  *at the kernel level*: an untraced instruction costs nothing at all,
+  not even a skipped callback.
 - **legacy** (``batched=False``): per-instruction ``on_operands``
   callbacks over dict-shaped observations — the original path, kept as
   the semantic reference (the equality tests pin the two against each
@@ -73,6 +76,12 @@ class TraceFrontEnd(ExecutionHook):
         self.batched = batched
         if batched:
             self.lazy_operands = True
+            # Activations replay from in-band batch markers; the eager
+            # transfer/return routes would double-count them.
+            self.suppressed_events = ("on_transfer", "on_return")
+            # Tracing everything means the kernel filter is the
+            # identity forever — let the kernel skip epoch polling.
+            self.observation_epoch_stable = traced_procedures is None
         else:
             self.wants_operands = True
         self._activations: list[_Activation] = []
@@ -83,6 +92,9 @@ class TraceFrontEnd(ExecutionHook):
         self._entry_cache_version = -1
 
     # -- activation tracking ------------------------------------------------
+    # In batched mode these eager routes are suppressed (see __init__);
+    # the same transitions replay from the in-band batch markers.  They
+    # remain the activation source for the legacy per-instruction path.
 
     def on_transfer(self, cpu: CPU, pc: int, kind: str,
                     target: int) -> None:
@@ -120,32 +132,29 @@ class TraceFrontEnd(ExecutionHook):
         return entry
 
     def on_operand_batch(self, cpu: CPU, records: list[tuple]) -> None:
-        """Digest one buffered block of raw snapshots, in order.
+        """Digest one buffered stretch of raw snapshots, in order.
 
-        Activations only change at control transfers and the CPU flushes
-        before dispatching them, so the whole batch shares one (fixed)
-        activation context.
+        Activation markers (``record[0] is None``) are interleaved with
+        the observations at exactly the points the eager ``on_transfer``
+        / ``on_return`` callbacks would have fired, so replaying them
+        keeps the call shadow bit-equal to the legacy path no matter
+        where the buffer boundaries fall.  The replay and the digest run
+        as one fused loop inside the engine
+        (:meth:`~repro.learning.inference.InferenceEngine.observe_batch`)
+        — the front end hands over its activation list (mutated in
+        place), entry cache, and tracing filter, and books the returned
+        traced/skipped counts.
         """
         procedures = self.procedures
         if procedures.version != self._entry_cache_version:
             # Discovery may have attributed previously unknown pcs.
             self._entry_cache.clear()
             self._entry_cache_version = procedures.version
-        activations = self._activations
-        top = activations[-1] if activations else None
-        top_entry = top.entry if top is not None else None
-        traced = self.traced_procedures
-        entry_of = self._entry_of
-        observe_record = self.engine.observe_record
-        for record in records:
-            entry = entry_of(record[0])
-            if traced is not None and entry not in traced:
-                self.skipped += 1
-                continue
-            sp_entry = top.sp_entry if (entry is not None and
-                                        top_entry == entry) else None
-            self.traced += 1
-            observe_record(record, entry, sp_entry)
+        traced, skipped = self.engine.observe_batch(
+            records, self._activations, _Activation, self._entry_cache,
+            procedures.procedure_of, self.traced_procedures)
+        self.traced += traced
+        self.skipped += skipped
 
     def on_operands(self, cpu: CPU,
                     observation: OperandObservation) -> None:

@@ -70,6 +70,38 @@ class Binary:
     #: launched instance inherits which heads are hot.
     _trace_profile: "dict | None" = field(
         default=None, init=False, repr=False, compare=False)
+    #: Successor histogram per run entry: entry pc -> {next pc: count}.
+    #: Drives hottest-successor trace selection and the monomorphic
+    #: stability test for chaining across indirect transfers.
+    _edge_profile: "dict | None" = field(
+        default=None, init=False, repr=False, compare=False)
+    #: Compiled operand extractors, keyed by pc (see
+    #: :func:`repro.vm.observe.build_extractor`).  Extractors bind only
+    #: instruction constants, so like runs they are compiled once per
+    #: image, not once per learning CPU.
+    _extractor_cache: "dict | None" = field(
+        default=None, init=False, repr=False, compare=False)
+    #: Shared observed (learning-mode) runs, keyed by ``(entry pc,
+    #: instruction count)``; segment ops carry the shared extractors.
+    #: Observed runs never elide barriers, so one table suffices.
+    _obs_run_cache: "dict | None" = field(
+        default=None, init=False, repr=False, compare=False)
+    #: Shared observed trace runs keyed by head pc:
+    #: ``(stitched run, member bounds)``.
+    _obs_trace_cache: "dict | None" = field(
+        default=None, init=False, repr=False, compare=False)
+    #: Filtered instances of shared observed runs/traces, keyed by
+    #: ``(id(shared shape), subscriber tuple, filter epoch)`` — the
+    #: shape is pinned forever by the caches above, so its id is a
+    #: stable key, and the subscriber tuple in the key pins the hooks.
+    #: Lets a freshly launched CPU inherit the filtering work (usually
+    #: the observe-everything identity) instead of redoing it per run.
+    _obs_instance_cache: "dict | None" = field(
+        default=None, init=False, repr=False, compare=False)
+    #: Observed-table accounting: {"hits": n, "compiles": n}, read by
+    #: the benchmark profiler to report the shared-table hit rate.
+    _obs_stats: "dict | None" = field(
+        default=None, init=False, repr=False, compare=False)
     #: Recorded trace paths: head pc -> tuple of member entry pcs (or
     #: False for heads a recording refused).  Paths are *observations*
     #: of hot control flow, not compiled code — each CPU instantiates

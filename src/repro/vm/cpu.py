@@ -52,10 +52,19 @@ run is discarded and lazily recompiled with barriers restored.
 
 Learning mode has its own loop, :meth:`CPU._run_observed`: instead of
 building a dict-shaped observation per instruction it appends compiled
-raw snapshots (:mod:`repro.vm.observe`) to a ring buffer flushed at
-control transfers, and only for the pcs its ``lazy_operands`` subscribers
-actually trace — so observation cost is confined to traced procedures at
-the kernel level, not the front end.
+raw snapshots (:mod:`repro.vm.observe`) to a ring buffer, and only for
+the pcs its ``lazy_operands`` subscribers actually trace — so
+observation cost is confined to traced procedures at the kernel level,
+not the front end.  The observed loop mirrors the bare one structurally:
+its runs and traces are anchor-blind shared shapes on the
+:class:`~repro.vm.binary.Binary` (extractors take the register file at
+call time, so nothing in a compiled observed run is CPU-specific),
+honoured per CPU through the same poison sets, and fed by the same
+shared edge profile.  The ring buffer is flushed only when it fills or
+the run ends — not per control transfer — because call/return
+transitions travel *in-band* as activation markers (``(None, target,
+esp)`` push, ``(None, None, 0)`` pop) appended by the transfer
+machinery, making digestion independent of flush boundaries.
 
 Attack semantics: a control transfer whose target lies outside the code
 segment raises :class:`~repro.errors.CodeInjectionExecuted` *at the
@@ -66,6 +75,8 @@ gaining control; with Memory Firewall attached, the monitor's
 """
 
 from __future__ import annotations
+
+import os
 
 from repro.errors import (
     CodeInjectionExecuted,
@@ -103,9 +114,15 @@ DEFAULT_MAX_STEPS = 5_000_000
 #: Hoisted for the hot operand-resolution comparisons in the handlers.
 _REG = OperandKind.REGISTER
 
-#: Flush the lazy-observation ring buffer when it reaches this size even
-#: if no control transfer has occurred (long fall-through chains).
+#: Flush the lazy-observation ring buffer when it reaches this size
+#: (the only routine flush point — transfers no longer flush; activation
+#: markers carry the call-shadow transitions in-band instead).
 _OBS_FLUSH_LIMIT = 512
+
+#: In-band activation-pop marker appended to the observation buffer by
+#: RET (``record[0] is None`` distinguishes markers from observations;
+#: the call-push twin ``(None, target, esp)`` is built in ``_transfer``).
+_OBS_RETURN_MARKER = (None, None, 0)
 
 #: Missing-key sentinel for caches whose values may be None.
 _UNSET = object()
@@ -128,6 +145,19 @@ TRACE_THRESHOLD = 16
 #: Maximum member runs in one trace (DynamoRIO-style cap; recording
 #: finalises with whatever it has when the chain reaches this length).
 TRACE_MAX_BLOCKS = 12
+
+#: Minimum share of a run's observed successors its hottest successor
+#: must hold before a trace chains across an *indirect* terminator
+#: (CALLR/JMPR) — the guarded monomorphic-inlining test.  Direct
+#: transfers need no stability: their hottest successor is hot by
+#: construction.
+_INDIRECT_STABILITY = 0.75
+
+
+def _trace_tier_enabled() -> bool:
+    """The trace-tier kill switch, read per loop entry (not at import)
+    so forked community workers and in-process tests both honour it."""
+    return os.environ.get("REPRO_TRACE_TIER", "1") != "0"
 
 
 class CPU:
@@ -188,22 +218,28 @@ class CPU:
         #: shapes over the immutable image, shared by every CPU on it.
         #: Anchors are honoured per CPU through the generation caches
         #: below (see :meth:`_refresh_generation`), re-derived whenever
-        #: ``bus.anchor_version`` moves.  The observed variants stay
-        #: per-CPU (their extractors close over CPU state) and carry
-        #: the lazy-observation epoch as a second validity dimension.
+        #: ``bus.anchor_version`` moves.  The observed variants are
+        #: shared the same way (``Binary._obs_run_cache`` /
+        #: ``_obs_trace_cache``); the per-CPU ``_compiled_obs`` /
+        #: ``_obs_traces`` dicts hold this CPU's *filtered*
+        #: instantiations (extractors dropped where its lazy
+        #: subscribers decline the pc), carrying the lazy-observation
+        #: epoch as a second validity dimension.
         self._elide_barriers = False
         self._compiled: dict[int, tuple] = {}
         self._traces: dict[int, tuple] = {}
         self._bind_tables()
         self._compiled_version = bus.anchor_version
-        self._compiled_obs: dict[int, tuple | bool] = {}
-        self._compiled_obs_version = bus.anchor_version
+        self._compiled_obs: dict[int, tuple] = {}
+        self._obs_traces: dict[int, tuple] = {}
         #: Per-CPU negative caches (pc known uncompilable / untraceable
         #: in the current anchor generation); unlike the positive
         #: tables these depend on this CPU's block registrations, so
         #: they are never shared and are dropped every generation.
         self._negative: set[int] = set()
         self._no_trace: set[int] = set()
+        self._obs_negative: set[int] = set()
+        self._no_obs_trace: set[int] = set()
         #: Per-CPU poison sets: run entries / trace heads from the
         #: shared tables that this CPU's anchors forbid entering this
         #: generation (an anchored pc lies inside their span).
@@ -213,8 +249,13 @@ class CPU:
             binary._trace_profile = {}
         if binary._trace_paths is None:
             binary._trace_paths = {}
+        if binary._edge_profile is None:
+            binary._edge_profile = {}
+        if binary._obs_stats is None:
+            binary._obs_stats = {"hits": 0, "compiles": 0}
         self._shared_profile: dict[int, int] = binary._trace_profile
         self._shared_paths: dict = binary._trace_paths
+        self._edge_profile: dict[int, dict] = binary._edge_profile
         #: Active trace recording: (head pc, [member entry pcs]).
         self._trace_recording: tuple | None = None
         #: Instructions retired inside trace runs (coverage accounting).
@@ -237,8 +278,7 @@ class CPU:
             self._flush_observations()
         self.bus.subscribe(hook)
         if hook.lazy_operands:
-            self._extractors.clear()
-            self._compiled_obs.clear()
+            self._drop_obs_caches()
 
     def remove_hook(self, hook: ExecutionHook) -> None:
         """Detach *hook* from every event."""
@@ -247,8 +287,16 @@ class CPU:
             self._flush_observations()
         self.bus.unsubscribe(hook)
         if hook.lazy_operands:
-            self._extractors.clear()
-            self._compiled_obs.clear()
+            self._drop_obs_caches()
+
+    def _drop_obs_caches(self) -> None:
+        """Forget this CPU's filtered observation state (the shared
+        tables on the binary are untouched — they are filter-blind)."""
+        self._extractors.clear()
+        self._compiled_obs.clear()
+        self._obs_traces.clear()
+        self._obs_negative.clear()
+        self._no_obs_trace.clear()
 
     # ------------------------------------------------------------------
     # Register / flag helpers
@@ -520,12 +568,16 @@ class CPU:
         if self._lazy:
             epoch = self._lazy_epoch()
             if epoch != self._obs_epoch:
-                self._extractors.clear()
-                self._compiled_obs.clear()
+                self._drop_obs_caches()
                 self._obs_epoch = epoch
             extractor = self._extractor_for(pc, instruction)
             if extractor is not None:
-                self._obs_buffer.append(extractor())
+                self._obs_buffer.append(
+                    extractor(self.registers, self.memory))
+            if len(self._obs_buffer) >= _OBS_FLUSH_LIMIT:
+                # Markers carry activation context in-band, so a flush
+                # is legal at any instruction boundary.
+                self._flush_observations()
         if redirect is not None:
             # A patch redirected control; skip the original instruction.
             # The target is validated like any dynamic transfer: a repair
@@ -629,6 +681,7 @@ class CPU:
         no_trace = self._no_trace
         poison_runs = self._poison_runs
         poison_traces = self._poison_traces
+        tracing = _trace_tier_enabled()
         max_steps = self.max_steps
         steps = self.steps
         pc = self.pc
@@ -666,8 +719,8 @@ class CPU:
                     self._refresh_generation()
                     self._trace_recording = None
                     self._compiled_version = anchor_version
-                run = traces_get(pc)
-                if run is None and pc not in no_trace:
+                run = traces_get(pc) if tracing else None
+                if run is None and tracing and pc not in no_trace:
                     run = self._adopt_trace(pc)
                 if run is not None and pc not in poison_traces:
                     is_trace = True
@@ -729,7 +782,7 @@ class CPU:
                     steps += done - 1
                     if is_trace:
                         self.trace_retired += done
-                    elif done == run[1]:
+                    elif tracing and done == run[1]:
                         self._profile_edge(entry_pc, pc)
                     continue
                 here = pc
@@ -750,13 +803,18 @@ class CPU:
         """Batched-observation loop: lazy operand subscribers only.
 
         Structurally :meth:`_run_unhooked` plus snapshot extraction: per
-        traced instruction a compiled extractor appends one raw record to
-        the ring buffer, which :meth:`_transfer` flushes to the
-        ``lazy_operands`` subscribers before any transfer hook runs (and
-        :meth:`run` flushes on exit).  Superblock runs carry an extractor
-        per op, so even learning mode escapes the fetch/dispatch loop
-        inside cached blocks; fusion is skipped here because extraction
-        is inherently per-instruction.
+        traced instruction a compiled extractor appends one raw record
+        to the ring buffer, flushed when it fills (and by :meth:`run` on
+        exit) — activation markers appended by the transfer machinery
+        carry the call-shadow transitions in-band, so flush boundaries
+        are free to batch across any number of transfers.  Observed runs
+        and traces are shared anchor-blind shapes on the binary
+        (extractors take the register file at call time); this loop
+        executes this CPU's filtered instantiations of them, honours the
+        same poison sets as the bare loop, feeds the same edge profile,
+        and retires hot loops inside guard-chained observed traces with
+        direct loop-back re-entry.  Fusion is skipped here because
+        extraction is inherently per-instruction.
         """
         bus = self.bus
         version = bus.version
@@ -764,11 +822,30 @@ class CPU:
         before_pc_get = self._before_pc.get
         after_pc = self._after_pc
         compiled = self._compiled_obs
+        traces_get = self._obs_traces.get
+        obs_negative = self._obs_negative
+        no_obs_trace = self._no_obs_trace
+        poison_runs = self._poison_runs
+        poison_traces = self._poison_traces
+        tracing = _trace_tier_enabled()
         buffer = self._obs_buffer
         buffer_append = buffer.append
+        regs = self.registers
+        memory = self.memory
         max_steps = self.max_steps
         steps = self.steps
         pc = self.pc
+        # The subscriber set is pinned for the duration of this loop
+        # (bus.version exits it on any change), so when every lazy hook
+        # declares a constant filter epoch the per-dispatch and
+        # per-segment polling below is provably redundant: validate the
+        # caches once here and skip the polls.
+        epoch_stable = all(hook.observation_epoch_stable
+                           for hook in self._lazy)
+        epoch = self._lazy_epoch()
+        if epoch != self._obs_epoch:
+            self._drop_obs_caches()
+            self._obs_epoch = epoch
         try:
             while not self.halted and bus.version == version:
                 if steps >= max_steps:
@@ -795,52 +872,97 @@ class CPU:
                             redirect = result
                 # Procedure discovery (riding the cache's probes and
                 # transfers) changes which pcs are traced; re-validate
-                # the memoised filter decisions each iteration.
-                epoch = self._lazy_epoch()
-                if epoch != self._obs_epoch:
-                    self._extractors.clear()
-                    compiled.clear()
-                    self._obs_epoch = epoch
+                # the memoised filter decisions each iteration (elided
+                # when every subscriber's epoch is constant).
+                if not epoch_stable:
+                    epoch = self._lazy_epoch()
+                    if epoch != self._obs_epoch:
+                        self._drop_obs_caches()
+                        self._obs_epoch = epoch
                 if redirect is not None:
                     # Mirror step(): the skipped instruction is still
                     # observed in its pre-redirect state.
                     extractor = self._extractor_for(pc, instruction)
                     if extractor is not None:
-                        buffer_append(extractor())
+                        buffer_append(extractor(regs, memory))
                     pc = self._transfer(pc, TransferKind.PATCH,
                                         redirect)
                     continue
                 anchor_version = bus.anchor_version
-                if anchor_version != self._compiled_obs_version:
-                    compiled.clear()
-                    self._compiled_obs_version = anchor_version
-                run = compiled.get(pc)
-                if run is None:
-                    run = self._compile_obs_run(pc) or False
-                    compiled[pc] = run
-                if run is not False and bus.version == version and \
+                if anchor_version != self._compiled_version:
+                    self._refresh_generation()
+                    self._trace_recording = None
+                    self._compiled_version = anchor_version
+                run = traces_get(pc) if tracing else None
+                if run is None and tracing and pc not in no_obs_trace:
+                    run = self._adopt_obs_trace(pc)
+                if run is not None and pc not in poison_traces:
+                    is_trace = True
+                else:
+                    is_trace = False
+                    run = compiled.get(pc)
+                    if run is None and pc not in obs_negative:
+                        shared_run = self._obs_shared_run(pc)
+                        if shared_run is None:
+                            obs_negative.add(pc)
+                        else:
+                            run = self._obs_instantiate(shared_run)
+                            compiled[pc] = run
+                    if run is not None and pc in poison_runs:
+                        run = None
+                if run is not None and bus.version == version and \
                         steps - 1 + run[1] <= max_steps:
                     entry_pc = pc
                     done = 0
+                    can_loop = anchored is None
                     try:
-                        for seg_ops, seg_count in run[0]:
-                            for extractor, op, ins_pc, ins in seg_ops:
-                                if extractor is not None:
-                                    buffer_append(extractor())
-                                pc = op(self, ins_pc, ins)
-                            done += seg_count
-                            if bus.version != version or \
-                                    bus.anchor_version != anchor_version \
-                                    or self._lazy_epoch() != epoch:
-                                break
+                        while True:
+                            for seg_ops, seg_count, guard in run[0]:
+                                if guard is not None and pc != guard:
+                                    break  # trace diverged at a boundary
+                                for extractor, op, ins_pc, ins in seg_ops:
+                                    if extractor is not None:
+                                        buffer_append(
+                                            extractor(regs, memory))
+                                    pc = op(self, ins_pc, ins)
+                                done += seg_count
+                                if bus.version != version or \
+                                        bus.anchor_version != \
+                                        anchor_version or \
+                                        not (epoch_stable or
+                                             self._lazy_epoch() ==
+                                             epoch):
+                                    break
+                            else:
+                                if can_loop and pc == entry_pc and \
+                                        not self.halted and \
+                                        bus.version == version and \
+                                        bus.anchor_version == \
+                                        anchor_version and \
+                                        (epoch_stable or
+                                         self._lazy_epoch() == epoch) \
+                                        and \
+                                        len(buffer) < _OBS_FLUSH_LIMIT \
+                                        and steps - 1 + done + run[1] \
+                                        <= max_steps:
+                                    continue  # cycle inside the run
+                            break
                     except BaseException:
-                        steps += (pc - entry_pc) // INSTRUCTION_SIZE
+                        # Observed runs never fuse, so ``ins_pc`` is the
+                        # faulting instruction; segments are contiguous
+                        # from their first op (``seg_ops[0][2]``).
+                        steps += done + \
+                            (ins_pc - seg_ops[0][2]) // INSTRUCTION_SIZE
                         raise
                     steps += done - 1
+                    if is_trace:
+                        self.trace_retired += done
+                    elif tracing and done == run[1]:
+                        self._profile_edge(entry_pc, pc)
                     continue
                 extractor = self._extractor_for(pc, instruction)
                 if extractor is not None:
-                    buffer_append(extractor())
+                    buffer_append(extractor(regs, memory))
                 here = pc
                 pc = handler(self, here, instruction)
                 if after_pc:
@@ -871,29 +993,6 @@ class CPU:
             return None
         items, index = located
         take = items[index:] if index else list(items)
-        if len(take) < 2:
-            return None
-        return take
-
-    def _take_run_anchored(self, entry_pc: int) -> list | None:
-        """Anchor-aware take for the *observed* (per-CPU) runs: stops at
-        the first anchored pc, and refuses an entry whose own
-        after-event must fire per instruction."""
-        located = self.bus.blocks.get(entry_pc)
-        if located is None:
-            return None
-        items, index = located
-        before_pc = self._before_pc
-        after_pc = self._after_pc
-        if entry_pc in after_pc:
-            return None
-        take = []
-        for position in range(index, len(items)):
-            ins_pc, instruction = items[position]
-            if position != index and (ins_pc in before_pc or
-                                      ins_pc in after_pc):
-                break  # a patch or probe splits the block here
-            take.append((ins_pc, instruction))
         if len(take) < 2:
             return None
         return take
@@ -957,19 +1056,125 @@ class CPU:
             self._poison_runs.add(entry_pc)
         return run
 
-    def _compile_obs_run(self, entry_pc: int) -> tuple | None:
-        """Compile an observed run: each op carries its extractor."""
-        take = self._take_run_anchored(entry_pc)
+    def _obs_shared_run(self, entry_pc: int) -> tuple | None:
+        """The shared observed run at *entry_pc*.
+
+        Observed runs are the anchor-blind twin of :meth:`_compile_run`
+        with one extra element per op: the shared extractor compiled for
+        that pc (extractors bind only instruction constants, so the
+        whole run shape is a pure function of the immutable image and is
+        shared per binary via ``Binary._obs_run_cache``).  Barriers are
+        never elided and ops never fuse — extraction is inherently
+        per-instruction.  Like bare runs, compilation registers the span
+        in the poison index (the same one: poisoning covers both loops)
+        and poisons locally right away when one of this CPU's current
+        anchors lands inside.
+        """
+        take = self._take_run(entry_pc)
         if take is None:
             return None
-        segments = []
-        for segment in _split_segments(take, _SEGMENT_BARRIERS):
-            ops = tuple((self._extractor_for(ins_pc, instruction),
-                         _DISPATCH[instruction.opcode], ins_pc,
-                         instruction)
-                        for ins_pc, instruction in segment)
-            segments.append((ops, len(segment)))
-        return (tuple(segments), len(take))
+        binary = self.binary
+        shared = binary._obs_run_cache
+        if shared is None:
+            shared = binary._obs_run_cache = {}
+        stats = binary._obs_stats
+        key = (entry_pc, len(take))
+        run = shared.get(key)
+        if run is None:
+            stats["compiles"] += 1
+            extractors = binary._extractor_cache
+            if extractors is None:
+                extractors = binary._extractor_cache = {}
+            segments = []
+            for segment in _split_segments(take, _SEGMENT_BARRIERS):
+                ops = []
+                for ins_pc, instruction in segment:
+                    extractor = extractors.get(ins_pc)
+                    if extractor is None:
+                        extractor = extractors[ins_pc] = \
+                            build_extractor(ins_pc, instruction)
+                    ops.append((extractor,
+                                _DISPATCH[instruction.opcode],
+                                ins_pc, instruction))
+                segments.append((tuple(ops), len(segment), None))
+            run = (tuple(segments), len(take))
+            shared[key] = run
+            spans = binary._run_spans
+            if spans is None:
+                spans = binary._run_spans = {}
+            for ins_pc, _ in take:
+                owners = spans.get(ins_pc)
+                if owners is None:
+                    spans[ins_pc] = {entry_pc}
+                else:
+                    owners.add(entry_pc)
+        else:
+            stats["hits"] += 1
+        end = entry_pc + run[1] * INSTRUCTION_SIZE
+        if (self._before_pc or self._after_pc) and \
+                self._span_anchored(entry_pc, end):
+            self._poison_runs.add(entry_pc)
+        return run
+
+    def _obs_instantiate(self, shared_run: tuple) -> tuple:
+        """This CPU's view of a shared observed run: extractors for pcs
+        the current subscribers filter out are dropped.  The filtered
+        instance is itself cached on the binary, keyed by the shared
+        shape's identity (pinned forever by the shared caches), the
+        subscriber tuple, and their filter epoch — so the per-op filter
+        walk happens once per binary, and every freshly launched CPU
+        with the same subscribers inherits the instance for the cost of
+        one dict probe."""
+        binary = self.binary
+        cache = binary._obs_instance_cache
+        if cache is None:
+            cache = binary._obs_instance_cache = {}
+        key = (id(shared_run), tuple(self.bus.lazy_operands),
+               self._lazy_epoch())
+        instance = cache.get(key)
+        if instance is None:
+            instance = self._obs_filter(shared_run)
+            cache[key] = instance
+        return instance
+
+    def _obs_filter(self, shared_run: tuple) -> tuple:
+        """Apply the current subscribers' pc filter to *shared_run*.
+        In the common observe-everything case the shared shape is
+        returned unchanged (no copy); partial filters rebuild only the
+        segments they touch."""
+        lazy = self.bus.lazy_operands
+        segments = None
+        for index, (seg_ops, seg_count, guard) in \
+                enumerate(shared_run[0]):
+            ops = None
+            for position, bound in enumerate(seg_ops):
+                if any(hook.observes(bound[2]) for hook in lazy):
+                    continue
+                if ops is None:
+                    ops = list(seg_ops)
+                ops[position] = (None,) + bound[1:]
+            if ops is not None:
+                if segments is None:
+                    segments = list(shared_run[0])
+                segments[index] = (tuple(ops), seg_count, guard)
+        if segments is None:
+            return shared_run
+        return (tuple(segments), shared_run[1])
+
+    def _obs_member(self, entry: int) -> tuple | None:
+        """The shared observed run at *entry* when it covers its whole
+        registered block (the coverage an observed trace needs to chain
+        through it); None otherwise."""
+        located = self.bus.blocks.get(entry)
+        if located is None:
+            return None
+        run = self._obs_shared_run(entry)
+        if run is None:
+            return None
+        items, index = located
+        if run[1] != len(items) - index:
+            return None
+        return run
 
     def _bind_tables(self) -> None:
         """Alias ``_compiled``/``_traces`` to the shared tables of the
@@ -1002,9 +1207,17 @@ class CPU:
         events fire.  A before-anchor at a run's own entry needs no
         poison (the outer loop dispatches it before entering the run);
         every other anchored pc inside a span does.
+
+        Observed-loop instantiations are anchor-blind exactly like the
+        bare tables (anchors act through the same poison sets), so
+        positive entries *persist* across generations; only the
+        negative verdicts — which the registration growth that bumped
+        the generation may have overtaken — are dropped and re-derived.
         """
         self._negative.clear()
         self._no_trace.clear()
+        self._obs_negative.clear()
+        self._no_obs_trace.clear()
         poison_runs = self._poison_runs
         poison_traces = self._poison_traces
         poison_runs.clear()
@@ -1057,12 +1270,26 @@ class CPU:
     def _profile_edge(self, entry_pc: int, next_pc: int) -> None:
         """Account one completed block run; drive trace recording.
 
-        Called from the fast loop whenever a plain run retires whole.
-        Heat accumulates in the per-binary profile; once a head crosses
-        :data:`TRACE_THRESHOLD` the chain of runs executed next is
-        recorded and published as that head's trace path (``False``
-        when recording refused, which also stops profiling the head).
+        Called from the fast loop and the observed loop whenever a
+        plain run retires whole.  Heat accumulates in the per-binary
+        profile, and every retirement feeds the per-binary successor
+        histogram; once a head crosses :data:`TRACE_THRESHOLD` the
+        chain of runs executed next is recorded and published as that
+        head's trace path (``False`` when recording refused, which also
+        stops profiling the head).  Recording only starts and extends
+        along *hottest* successors (:meth:`_extend_worthy`) — a trace
+        captures the dominant path through a branchy region, not
+        whichever path happened to run at the threshold crossing — and
+        chaining across an indirect transfer additionally demands a
+        stable (monomorphic-majority) observed target.  Paths are
+        shared by both tiers: the bare loop instantiates them through
+        :meth:`_build_trace`, the observed loop through
+        :meth:`_build_obs_trace`.
         """
+        edges = self._edge_profile.get(entry_pc)
+        if edges is None:
+            self._edge_profile[entry_pc] = edges = {}
+        edges[next_pc] = edges.get(next_pc, 0) + 1
         paths = self._shared_paths
         recording = self._trace_recording
         if recording is not None:
@@ -1074,14 +1301,16 @@ class CPU:
                 self._trace_recording = None
             elif next_pc == head or next_pc in chain or \
                     len(chain) >= TRACE_MAX_BLOCKS or \
+                    not self._extend_worthy(entry_pc, next_pc) or \
                     not self._trace_member(next_pc):
-                # Loop closed, chain re-entered itself, cap reached, or
-                # the next run is ineligible: publish what we have (a
-                # chain is born with two members, so it is always a
-                # valid path).
+                # Loop closed, chain re-entered itself, cap reached,
+                # the edge is off the hot path, or the next run is
+                # ineligible: publish what we have (a chain is born
+                # with two members, so it is always a valid path).
                 self._trace_recording = None
                 paths[head] = tuple(chain)
                 self._no_trace.discard(head)
+                self._no_obs_trace.discard(head)
                 return
             else:
                 chain.append(next_pc)
@@ -1097,9 +1326,37 @@ class CPU:
             # Self-looping run: the executor's loop-back already cycles
             # it in place; a one-member trace would add nothing.
             paths[entry_pc] = False
-        elif self._trace_member(next_pc):
+        elif self._extend_worthy(entry_pc, next_pc) and \
+                self._trace_member(next_pc):
             self._trace_recording = (entry_pc, [entry_pc, next_pc])
             self._no_trace.discard(entry_pc)
+            self._no_obs_trace.discard(entry_pc)
+
+    def _extend_worthy(self, from_pc: int, next_pc: int) -> bool:
+        """May a trace follow the edge ``from_pc -> next_pc``?
+
+        Only along the hottest recorded successor — trace selection is
+        hottest-successor, not first-recorded.  When the run at
+        *from_pc* ends in an indirect transfer (CALLR/JMPR) the edge
+        must additionally be *stable*: the hottest target must hold at
+        least :data:`_INDIRECT_STABILITY` of all observed successors
+        before the trace inlines across it (guarded monomorphic
+        inlining — the guard at the member boundary still validates
+        every following pass).
+        """
+        edges = self._edge_profile.get(from_pc)
+        if not edges:
+            return False
+        best = max(edges, key=edges.get)
+        if next_pc != best:
+            return False
+        located = self.bus.blocks.get(from_pc)
+        if located is not None:
+            terminator = located[0][-1][1].opcode
+            if terminator == Opcode.CALLR or terminator == Opcode.JMPR:
+                return edges[best] >= \
+                    _INDIRECT_STABILITY * sum(edges.values())
+        return True
 
     def _adopt_trace(self, pc: int) -> tuple | None:
         """Instantiate the shared trace path at *pc* against this CPU's
@@ -1156,19 +1413,98 @@ class CPU:
                     break
         return (tuple(segments), total)
 
+    def _adopt_obs_trace(self, pc: int) -> tuple | None:
+        """Instantiate the shared trace path at *pc* for the observed
+        loop; negative-caches None when absent or invalid."""
+        path = self._shared_paths.get(pc)
+        trace = self._build_obs_trace(path) if path else None
+        if trace is None:
+            self._no_obs_trace.add(pc)
+        else:
+            self._obs_traces[pc] = trace
+        return trace
+
+    def _build_obs_trace(self, path: tuple) -> tuple | None:
+        """Observed twin of :meth:`_build_trace`.
+
+        Stitches the *observed* member runs of *path* into one guarded
+        trace whose ops carry extractors.  The stitched shape and its
+        member bounds are shared per binary (``Binary._obs_trace_cache``
+        keyed by head) — like observed runs they are anchor-blind pure
+        shapes — then instantiated against this CPU's subscriber
+        filters and poison-checked against its current anchors.
+        Membership failures are *not* shared: they depend on this
+        bus's block registrations, so only the per-CPU negative cache
+        records them (cleared each generation).
+        """
+        head = path[0]
+        shared = self.binary._obs_trace_cache
+        if shared is None:
+            shared = self.binary._obs_trace_cache = {}
+        cached = shared.get(head)
+        if cached is None:
+            segments: list = []
+            bounds: list[tuple[int, int]] = []
+            total = 0
+            for position, entry in enumerate(path):
+                run = self._obs_member(entry)
+                if run is None:
+                    return None
+                seg_list, count = run
+                if position:
+                    first = seg_list[0]
+                    segments.append((first[0], first[1], entry))
+                    segments.extend(seg_list[1:])
+                else:
+                    segments.extend(seg_list)
+                bounds.append((entry, entry + count * INSTRUCTION_SIZE))
+                total += count
+            cached = ((tuple(segments), total), tuple(bounds))
+            shared[head] = cached
+            spans = self.binary._trace_spans
+            if spans is None:
+                spans = self.binary._trace_spans = {}
+            for entry, end in bounds:
+                for ins_pc in range(entry, end, INSTRUCTION_SIZE):
+                    owners = spans.get(ins_pc)
+                    if owners is None:
+                        spans[ins_pc] = {head}
+                    else:
+                        owners.add(head)
+        run, member_bounds = cached
+        if self._before_pc or self._after_pc:
+            for position, (entry, end) in enumerate(member_bounds):
+                if self._span_anchored(entry, end) or \
+                        (position and entry in self._before_pc):
+                    self._poison_traces.add(head)
+                    break
+        return self._obs_instantiate(run)
+
     # ------------------------------------------------------------------
     # Lazy operand observation plumbing
     # ------------------------------------------------------------------
 
     def _extractor_for(self, pc: int, instruction: Instruction):
-        """The memoised snapshot closure for *pc* (None = filtered)."""
+        """The memoised snapshot closure for *pc* (None = filtered).
+
+        Compiled closures bind only instruction constants and live on
+        the binary; the per-CPU cache layers the current subscribers'
+        filter verdict on top (dropped when the filter epoch moves)."""
         cache = self._extractors
         extractor = cache.get(pc, _UNSET)
         if extractor is _UNSET:
             wanted = any(hook.observes(pc)
                          for hook in self.bus.lazy_operands)
-            extractor = build_extractor(self, pc, instruction) \
-                if wanted else None
+            if wanted:
+                shared = self.binary._extractor_cache
+                if shared is None:
+                    shared = self.binary._extractor_cache = {}
+                extractor = shared.get(pc)
+                if extractor is None:
+                    extractor = shared[pc] = build_extractor(
+                        pc, instruction)
+            else:
+                extractor = None
             cache[pc] = extractor
         return extractor
 
@@ -1200,11 +1536,6 @@ class CPU:
 
     def _transfer(self, pc: int, kind: str, target: int) -> int:
         """Announce and validate a control transfer; return the target."""
-        if self._obs_buffer:
-            # Deliver buffered snapshots before any transfer subscriber
-            # runs: activation shadows update in on_transfer, so every
-            # record still digests under the activation it executed in.
-            self._flush_observations()
         subscribers = self._transfers
         if subscribers:
             if len(subscribers) == 1:
@@ -1220,6 +1551,17 @@ class CPU:
         if not memory.code_base <= target < memory.code_limit:
             raise CodeInjectionExecuted(
                 f"{kind} to non-code address {target:#x}", pc=pc)
+        if self._lazy and (kind == TransferKind.CALL or
+                           kind == TransferKind.INDIRECT_CALL):
+            # In-band activation marker: batched subscribers replay
+            # call-shadow pushes from the record stream itself, so the
+            # buffer need not flush per transfer.  Appended after
+            # validation — a rejected transfer digests nothing, exactly
+            # like the eager path.  ESP here already reflects the
+            # return-address push, matching what an on_transfer
+            # subscriber would read.
+            self._obs_buffer.append(
+                (None, target, self.registers[_ESP_]))
         return target
 
     def _push(self, value: int, pc: int) -> None:
@@ -1444,6 +1786,11 @@ class CPU:
         if subscribers:
             for hook in tuple(subscribers):
                 hook.on_return(self, pc, target)
+        if self._lazy:
+            # In-band activation pop marker (the call-push twin lives
+            # in _transfer); appended after the return validated and
+            # announced, matching the eager on_return ordering.
+            self._obs_buffer.append(_OBS_RETURN_MARKER)
         return next_pc
 
     def _op_enter(self, pc: int, ins: Instruction) -> int:

@@ -87,17 +87,24 @@ class ExecutionHook:
     #: Set True to receive *batched* raw operand snapshots instead of
     #: per-instruction :class:`OperandObservation` records: the CPU
     #: appends one flat tuple per traced instruction to a ring buffer and
-    #: delivers it via :meth:`on_operand_batch` at control transfers (and
-    #: at run exit).  Batched observation confines its cost to the pcs
-    #: :meth:`observes` admits — the CPU never builds a snapshot for a
-    #: pc every lazy subscriber filters out — which is what makes
-    #: partial tracing cheap at the kernel level rather than the
-    #: front-end level.  Note the filter is a *union* across lazy
-    #: subscribers: the batch is delivered whole to every one of them,
-    #: so a hook sharing a CPU with differently-filtered peers must
-    #: still re-filter inside :meth:`on_operand_batch` (as the trace
-    #: front end does).
+    #: delivers it via :meth:`on_operand_batch` when the buffer fills
+    #: (and at run exit / hook attach/detach).  Batched observation
+    #: confines its cost to the pcs :meth:`observes` admits — the CPU
+    #: never builds a snapshot for a pc every lazy subscriber filters
+    #: out — which is what makes partial tracing cheap at the kernel
+    #: level rather than the front-end level.  Note the filter is a
+    #: *union* across lazy subscribers: the batch is delivered whole to
+    #: every one of them, so a hook sharing a CPU with
+    #: differently-filtered peers must still re-filter inside
+    #: :meth:`on_operand_batch` (as the trace front end does).
     lazy_operands = False
+
+    #: Method names (e.g. ``"on_transfer"``) this hook overrides but
+    #: does not want event-routed.  Lets a batched front end keep its
+    #: live callbacks for the legacy mode while staying entirely out of
+    #: the hot dispatch lists when the same information arrives in-band
+    #: (activation markers in the operand batch).
+    suppressed_events: tuple = ()
 
     #: Set True for hooks whose ``before_instruction``/``after_instruction``
     #: interest is confined to specific addresses.  Anchored hooks are kept
@@ -140,12 +147,30 @@ class ExecutionHook:
         CPU re-asks; return a constant when answers never change."""
         return 0
 
+    #: Set True when :meth:`observation_epoch` is a *constant* for this
+    #: hook's whole lifetime (e.g. a front end tracing every procedure:
+    #: its filter is the identity no matter what discovery learns).
+    #: The observed-run kernel polls the epoch on every dispatch and
+    #: every trace segment to catch filter changes mid-run; when every
+    #: lazy subscriber declares stability it elides that polling
+    #: entirely.  Leave False when in doubt — it is purely an
+    #: optimisation hint and False is always correct.
+    observation_epoch_stable = False
+
     def on_operand_batch(self, cpu: "CPU", records: list[tuple]) -> None:
         """Receives buffered raw operand snapshots, in execution order.
 
         Each record is ``(pc, value..., esp)`` laid out per
         :func:`repro.vm.observe.operand_layout`; absent conditional slots
         (a faulting load, an empty stack) carry ``None``.
+
+        Interleaved with the snapshots are *activation markers*,
+        recognised by ``record[0] is None``: ``(None, target, esp)``
+        marks a call entering *target* with the stack pointer at *esp*,
+        and ``(None, None, 0)`` marks a return.  They carry the
+        call-shadow transitions in-band, so digestion is independent of
+        where the CPU chose to flush — batches may now span any number
+        of control transfers.
         """
 
     def on_store(self, cpu: "CPU", pc: int, address: int, size: int,
@@ -244,9 +269,12 @@ class HookBus:
         self.hooks.append(hook)
         base = ExecutionHook
         cls = type(hook)
+        suppressed = hook.suppressed_events
         for method, event in _EVENT_ROUTES:
             if hook.pc_anchored and event in ("before", "after"):
                 continue  # routed per-pc via anchor()
+            if method in suppressed:
+                continue  # overridden for another intake mode only
             if getattr(cls, method) is not getattr(base, method):
                 getattr(self, event).append(hook)
         if hook.wants_operands:

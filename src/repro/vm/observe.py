@@ -5,9 +5,12 @@
 but far too slow to pay on every instruction of a learning run.  This
 module is its compiled twin: :func:`operand_layout` names the slots an
 opcode observes (a pure function of the decoded instruction), and
-:func:`build_extractor` compiles, per (cpu, pc), a closure that snapshots
+:func:`build_extractor` compiles, per pc, a closure that snapshots
 exactly those values into one flat tuple ``(pc, value..., esp)`` with all
-instruction constants pre-bound.
+instruction constants pre-bound.  The machine state is *not* pre-bound:
+an extractor takes ``(registers, memory)`` at call time, so one compiled
+extractor serves every CPU ever launched on the binary (they are shared
+per image via ``Binary._extractor_cache``, like superblock runs).
 
 The two representations are interconvertible:
 :func:`observation_from_record` rebuilds the dict form from a record, and
@@ -34,9 +37,15 @@ from repro.vm.isa import (
     Register,
     to_signed,
 )
+from repro.vm.memory import Memory
 
 _ESP = int(Register.ESP)
 _REG = OperandKind.REGISTER
+
+#: Unbound readers, so load extractors pay one call instead of a
+#: per-call attribute probe on the memory they are handed.
+_READ_WORD = Memory.read_word
+_READ_BYTE = Memory.read_byte
 
 #: Binary ALU opcodes sharing the (src, dst_in, dst) observation shape.
 _BINARY_ALU = (Opcode.ADD, Opcode.SUB, Opcode.MUL, Opcode.DIV,
@@ -116,15 +125,16 @@ def observation_from_record(instruction: Instruction,
                               computed=computed)
 
 
-def build_extractor(cpu, pc: int, instruction: Instruction):
-    """Compile a zero-argument snapshot closure for (cpu, pc).
+def build_extractor(pc: int, instruction: Instruction):
+    """Compile a snapshot closure for the instruction at *pc*.
 
-    The closure reads the current machine state and returns
-    ``(pc, value..., esp)`` per :func:`operand_layout`; it never raises
-    (conditional slots degrade to ``None``, like ``observe_operands``).
+    The closure has the signature ``extract(regs, memory)``: it reads
+    the machine state it is handed and returns ``(pc, value..., esp)``
+    per :func:`operand_layout`; it never raises (conditional slots
+    degrade to ``None``, like ``observe_operands``).  Binding no CPU
+    state makes the compiled form a pure function of the immutable
+    image, shareable across every CPU on the binary.
     """
-    regs = cpu.registers
-    memory = cpu.memory
     op = instruction.opcode
     a = instruction.a
     b = instruction.b
@@ -133,57 +143,57 @@ def build_extractor(cpu, pc: int, instruction: Instruction):
 
     if op == Opcode.MOV:
         if b_is_reg:
-            def extract():
+            def extract(regs, memory):
                 value = regs[b]
                 return (pc, value, value, regs[_ESP])
         else:
             src = b
             dst = b & WORD_MASK
 
-            def extract():
+            def extract(regs, memory):
                 return (pc, src, dst, regs[_ESP])
         return extract
 
     if op in _BINARY_ALU:
         alu = _ALU_FUNCS[op]
         if b_is_reg:
-            def extract():
+            def extract(regs, memory):
                 left = regs[a]
                 right = regs[b]
                 return (pc, right, left, alu(left, right), regs[_ESP])
         else:
-            def extract():
+            def extract(regs, memory):
                 left = regs[a]
                 return (pc, b, left, alu(left, b), regs[_ESP])
         return extract
 
     if op in (Opcode.NEG, Opcode.NOT):
         if op == Opcode.NEG:
-            def extract():
+            def extract(regs, memory):
                 value = regs[a]
                 return (pc, value, -value & WORD_MASK, regs[_ESP])
         else:
-            def extract():
+            def extract(regs, memory):
                 value = regs[a]
                 return (pc, value, ~value & WORD_MASK, regs[_ESP])
         return extract
 
     if op in (Opcode.LOAD, Opcode.LOADB):
-        read = memory.read_word if op == Opcode.LOAD else memory.read_byte
+        read = _READ_WORD if op == Opcode.LOAD else _READ_BYTE
         if b == ABSOLUTE_BASE:
             address = c & WORD_MASK
 
-            def extract():
+            def extract(regs, memory):
                 try:
-                    value = read(address)
+                    value = read(memory, address)
                 except MemoryFault:
                     value = None
                 return (pc, address, value, regs[_ESP])
         else:
-            def extract():
+            def extract(regs, memory):
                 address = (regs[b] + c) & WORD_MASK
                 try:
-                    value = read(address)
+                    value = read(memory, address)
                 except MemoryFault:
                     value = None
                 return (pc, address, value, regs[_ESP])
@@ -193,10 +203,10 @@ def build_extractor(cpu, pc: int, instruction: Instruction):
         if b == ABSOLUTE_BASE:
             address = c & WORD_MASK
 
-            def extract():
+            def extract(regs, memory):
                 return (pc, address, regs[_ESP])
         else:
-            def extract():
+            def extract(regs, memory):
                 return (pc, (regs[b] + c) & WORD_MASK, regs[_ESP])
         return extract
 
@@ -204,60 +214,46 @@ def build_extractor(cpu, pc: int, instruction: Instruction):
         if a == ABSOLUTE_BASE:
             address = c & WORD_MASK
 
-            def extract():
+            def extract(regs, memory):
                 return (pc, address, regs[b], regs[_ESP])
         else:
-            def extract():
+            def extract(regs, memory):
                 return (pc, (regs[a] + c) & WORD_MASK, regs[b],
                         regs[_ESP])
         return extract
 
     if op in (Opcode.CMP, Opcode.TEST):
         if b_is_reg:
-            def extract():
+            def extract(regs, memory):
                 return (pc, regs[a], regs[b], regs[_ESP])
         else:
-            def extract():
+            def extract(regs, memory):
                 return (pc, regs[a], b, regs[_ESP])
         return extract
 
     if op in (Opcode.PUSH, Opcode.ALLOC, Opcode.OUT, Opcode.OUTB):
         if b_is_reg:
-            def extract():
+            def extract(regs, memory):
                 return (pc, regs[b], regs[_ESP])
         else:
-            def extract():
+            def extract(regs, memory):
                 return (pc, b, regs[_ESP])
         return extract
 
-    if op == Opcode.POP:
-        stack_top = memory.stack_top
-        read_word = memory.read_word
-
-        def extract():
+    if op in (Opcode.POP, Opcode.RET):
+        def extract(regs, memory):
             esp = regs[_ESP]
-            if esp + WORD_SIZE <= stack_top:
-                return (pc, read_word(esp), esp)
+            if esp + WORD_SIZE <= memory.stack_top:
+                return (pc, _READ_WORD(memory, esp), esp)
             return (pc, None, esp)
         return extract
 
     if op in (Opcode.CALLR, Opcode.JMPR, Opcode.FREE):
-        def extract():
+        def extract(regs, memory):
             return (pc, regs[a], regs[_ESP])
         return extract
 
-    if op == Opcode.RET:
-        stack_top = memory.stack_top
-        read_word = memory.read_word
-
-        def extract():
-            esp = regs[_ESP]
-            if esp + WORD_SIZE <= stack_top:
-                return (pc, read_word(esp), esp)
-            return (pc, None, esp)
-        return extract
-
     # Direct jumps/calls, ENTER, LEAVE, HALT, NOP: esp only.
-    def extract():
+    def extract(regs, memory):
         return (pc, regs[_ESP])
     return extract

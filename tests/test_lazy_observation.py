@@ -66,6 +66,18 @@ class TestDatabaseEquality:
         assert fast.observations == slow.observations
         assert _canonical(fast.database) == _canonical(slow.database)
 
+    def test_trace_tier_differential_on_webbrowse(self, browser,
+                                                  monkeypatch):
+        """Learning with the observed trace tier enabled must produce a
+        bit-equal invariant database to the tier disabled (the tier is
+        an execution strategy, not a semantic change)."""
+        pages = evaluation_pages()[:8]
+        hot = learn(browser, pages, batched=True)
+        monkeypatch.setenv("REPRO_TRACE_TIER", "0")
+        cold = learn(browser, pages, batched=True)
+        assert hot.observations == cold.observations
+        assert _canonical(hot.database) == _canonical(cold.database)
+
     def test_step_loop_feeds_batched_front_end(self, browser):
         """A granular hook forces the full step loop; the batched front
         end must still observe everything, identically."""
@@ -150,7 +162,8 @@ class TestExtractorParity:
             def on_operands(self, hook_cpu, observation):
                 pc = observation.pc
                 instruction = hook_cpu.fetch(pc)
-                record = build_extractor(hook_cpu, pc, instruction)()
+                record = build_extractor(pc, instruction)(
+                    hook_cpu.registers, hook_cpu.memory)
                 rebuilt = observation_from_record(instruction, record)
                 assert rebuilt == observation, \
                     f"mismatch at {pc:#x}: {rebuilt} != {observation}"
@@ -175,7 +188,8 @@ class TestExtractorParity:
         for index in range(3):
             pc = index * INSTRUCTION_SIZE
             instruction = cpu.fetch(pc)
-            record = build_extractor(cpu, pc, instruction)()
+            record = build_extractor(pc, instruction)(
+                cpu.registers, cpu.memory)
             rebuilt = observation_from_record(instruction, record)
             assert rebuilt == cpu.observe_operands(pc, instruction)
             if instruction.opcode.name in ("POP", "RET"):
@@ -185,16 +199,17 @@ class TestExtractorParity:
 
 
 class TestBatchDelivery:
-    def test_batches_flushed_at_transfers_in_order(self):
-        """Records arrive in execution order, flushed no later than the
-        next control transfer."""
+    def test_batches_deliver_in_order_across_transfers(self):
+        """Records arrive in execution order; transfers no longer force
+        a flush, so a short run delivers one batch at exit."""
         received = []
 
         class Collector(ExecutionHook):
             lazy_operands = True
 
             def on_operand_batch(self, cpu, records):
-                received.append([record[0] for record in records])
+                received.append([record[0] for record in records
+                                 if record[0] is not None])
 
         binary = assemble("""
         main:
@@ -210,8 +225,49 @@ class TestBatchDelivery:
         cpu.run()
         flat = [pc for batch in received for pc in batch]
         assert flat == [index * INSTRUCTION_SIZE for index in range(5)]
-        # The jump flushed everything up to and including itself.
-        assert received[0][-1] == 2 * INSTRUCTION_SIZE
+        # The jump did not flush: everything arrived in one exit batch.
+        assert len(received) == 1
+
+    def test_activation_markers_ride_in_band(self):
+        """Call/return transitions appear as markers interleaved with
+        the observations at exactly their execution positions."""
+        batches = []
+
+        class Collector(ExecutionHook):
+            lazy_operands = True
+
+            def on_operand_batch(self, cpu, records):
+                batches.append(list(records))
+
+        binary = assemble("""
+        main:
+            mov eax, 1
+            call helper
+            out eax
+            halt
+        helper:
+            add eax, 2
+            ret
+        """)
+        cpu = CPU(binary)
+        cpu.add_hook(Collector())
+        cpu.run()
+        records = [record for batch in batches for record in batch]
+        helper_pc = binary.symbols["helper"]
+        shapes = [(record[0], record[1] if record[0] is None else None)
+                  for record in records]
+        call_pc = INSTRUCTION_SIZE
+        ret_pc = helper_pc + INSTRUCTION_SIZE
+        pcs = [pc for pc, _ in shapes]
+        # Push marker right after the CALL's own record, pop marker
+        # right after the RET's; observations in execution order.
+        call_at = pcs.index(call_pc)
+        assert shapes[call_at + 1] == (None, helper_pc)
+        ret_at = pcs.index(ret_pc)
+        assert shapes[ret_at + 1] == (None, None)
+        observed = [pc for pc in pcs if pc is not None]
+        assert observed == [0, call_pc, helper_pc, ret_pc,
+                            2 * INSTRUCTION_SIZE, 3 * INSTRUCTION_SIZE]
 
     def test_lazy_hook_attached_mid_run_sees_only_later_pcs(self):
         """A lazy hook attached mid-run must not receive records

@@ -110,6 +110,19 @@ class TestRoundTrip:
         warm_config.load_snapshot = str(path)
         assert learn(EnvironmentConfig.full()) == learn(warm_config)
 
+    def test_edge_profile_round_trips(self, warm_snapshot):
+        """Observed-run trace heat — the successor histograms driving
+        hottest-successor selection — survives the disk round trip and
+        seeds a fresh binary's shared profile."""
+        binary, path, _ = warm_snapshot
+        assert binary._edge_profile  # warming actually recorded edges
+        payload = read_snapshot(path)
+        assert payload["schema"] == SCHEMA_VERSION
+        assert payload["edge_profile"]
+        fresh = binary.stripped()
+        load_snapshot(path, fresh)
+        assert fresh._edge_profile == binary._edge_profile
+
     def test_save_snapshot_knob_writes_after_runs(self, browser,
                                                   tmp_path):
         binary = browser.stripped()
@@ -143,6 +156,18 @@ class TestStaleRejection:
         binary, path, _ = warm_snapshot
         bad = self._tamper(path, tmp_path, engine="ancient-kernel-0")
         with pytest.raises(SnapshotError, match="engine"):
+            load_snapshot(bad, binary)
+
+    def test_v1_payload_rejected(self, warm_snapshot, tmp_path):
+        """A schema-1 file (pre-edge-profile) must be rejected, not
+        half-loaded without its trace heat."""
+        binary, path, _ = warm_snapshot
+        payload = read_snapshot(path)
+        del payload["edge_profile"]
+        payload["schema"] = 1
+        bad = tmp_path / "v1.json"
+        bad.write_text(json.dumps(payload))
+        with pytest.raises(SnapshotError, match="missing field"):
             load_snapshot(bad, binary)
 
     def test_digest_mismatch_rejected(self, warm_snapshot, tmp_path):
@@ -199,8 +224,8 @@ class TestStaleRejection:
     def test_engine_version_is_pinned(self):
         """Bumping the kernel generation must be a conscious act: this
         string gates every snapshot ever written."""
-        assert ENGINE_VERSION == "superblock-trace-1"
-        assert SCHEMA_VERSION == 1
+        assert ENGINE_VERSION == "superblock-trace-2"
+        assert SCHEMA_VERSION == 2
 
 
 class TestCommunityWarmStart:
