@@ -236,6 +236,86 @@ def compare_against(ref: str, labels: tuple[str, ...],
     return 0
 
 
+def run_churn_bench(members: int = 8, seed: int = 2009,
+                    waves: int = 3) -> dict:
+    """Fleet-churn latency bench: an 8-member socket community under a
+    seeded fault schedule.
+
+    Measures best-of-*waves* pipelined probe-wave latency in three
+    regimes — healthy, degraded (one seeded casualty evicted by the
+    heartbeat prober), and recovered (the casualty relaunched, caught
+    up on the patch ledger, and re-admitted) — plus the eviction and
+    recovery wall-clocks themselves.  Returns one latency-shaped
+    trajectory record (``config_label: community-churn``; throughput
+    fields are zeroed by :func:`normalise_record`).
+    """
+    import multiprocessing
+    import os
+    import random
+    import signal
+    import time
+
+    from repro.apps import build_browser, learning_pages
+    from repro.community import CommunityManager, SocketTransport, \
+        run_member
+
+    rng = random.Random(seed)
+    pages = learning_pages()
+    payloads = [pages[index % len(pages)] for index in range(members * 2)]
+    transport = SocketTransport(heartbeat_interval=0.5, ping_timeout=2.0)
+    manager = CommunityManager(build_browser(), members=members,
+                               transport=transport)
+    manager._owns_transport = True
+    try:
+        def wave_seconds() -> float:
+            start = time.perf_counter()
+            manager.environment.probe_many(payloads)
+            return time.perf_counter() - start
+
+        wave_seconds()  # warm-up: block discovery dominates wave one
+        healthy = min(wave_seconds() for _ in range(waves))
+
+        victim = manager.members[rng.randrange(members)]
+        os.kill(victim.process.pid, signal.SIGKILL)
+        evict_start = time.perf_counter()
+        while victim.alive and time.perf_counter() - evict_start < 30.0:
+            time.sleep(0.05)  # the background prober does the evicting
+        eviction = time.perf_counter() - evict_start
+        degraded = min(wave_seconds() for _ in range(waves))
+
+        context = multiprocessing.get_context("fork")
+        process = context.Process(
+            target=run_member,
+            args=(transport.host, transport.port, victim.name,
+                  manager.binary),
+            kwargs={"config": manager.config}, daemon=True)
+        rejoin_start = time.perf_counter()
+        process.start()
+        admitted: list = []
+        while not admitted and \
+                time.perf_counter() - rejoin_start < 30.0:
+            admitted = transport.poll_rejoins(budget=0.25)
+        recovery = time.perf_counter() - rejoin_start
+        victim.process = process
+        recovered = min(wave_seconds() for _ in range(waves))
+        return {
+            "config_label": "community-churn",
+            "transport": "socket",
+            "members": members,
+            "seed": seed,
+            "evicted": bool(not victim.alive or admitted),
+            "rejoined": bool(admitted),
+            "healthy_wave_seconds": healthy,
+            "degraded_wave_seconds": degraded,
+            "recovered_wave_seconds": recovered,
+            "eviction_seconds": eviction,
+            "recovery_seconds": recovery,
+            "seconds": healthy,
+        }
+    finally:
+        manager.close()
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         description="Measure kernel instructions/sec and append to "
@@ -263,10 +343,32 @@ def main(argv: list[str] | None = None) -> int:
                              "(default: bare,learning)")
     parser.add_argument("--repeats", type=int, default=5,
                         help="paired repeats for --compare (default 5)")
+    parser.add_argument("--churn", action="store_true",
+                        help="fleet-churn bench: 8 socket members under "
+                             "a seeded fault schedule; records wave "
+                             "latency (healthy/degraded/recovered) and "
+                             "eviction/recovery wall-clock")
     args = parser.parse_args(argv)
 
     if args.check:
         return check_regression()
+    if args.churn:
+        record = run_churn_bench()
+        record.update({"commit": current_commit(),
+                       "timestamp": datetime.now(timezone.utc)
+                       .isoformat(timespec="seconds")})
+        print(f"community-churn ({record['members']} members, seed "
+              f"{record['seed']}):")
+        for key in ("healthy_wave_seconds", "degraded_wave_seconds",
+                    "recovered_wave_seconds", "eviction_seconds",
+                    "recovery_seconds"):
+            print(f"  {key:24s} {record[key]:.3f}s")
+        if not args.dry_run:
+            append_records([record])
+            print(f"appended 1 record to {TRAJECTORY}")
+        else:
+            print("(not written to the trajectory file)")
+        return 0 if record["rejoined"] else 1
     if args.compare:
         labels = tuple(label.strip()
                        for label in args.configs.split(",") if label.strip())

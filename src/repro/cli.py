@@ -21,7 +21,11 @@ Commands
     workers, and start those members elsewhere with ``community
     --connect HOST:PORT [--name NAME]``.  ``--tls-cert``/``--tls-key``
     wrap every member channel in TLS (the paper's SSL channel); members
-    pin the server certificate via ``--tls-ca``.
+    pin the server certificate via ``--tls-ca``.  Lifecycle knobs:
+    ``--heartbeat-interval`` evicts members wedged between commands,
+    ``--min-members`` sets the quorum floor, and ``--reconnect`` (member
+    side) re-dials a lost manager with exponential backoff and catches
+    up on missed patches from the epoch-stamped ledger.
 ``snapshot``
     Save or inspect a persistent code-cache snapshot (§4.4.5
     save/restore): ``snapshot save cache.json`` warms the WebBrowse
@@ -150,7 +154,8 @@ def _cmd_member(args) -> int:
     print(f"member {name}: connecting to {host}:{port}"
           f"{' (TLS)' if args.tls_ca else ''} ...")
     try:
-        run_member(host, port, name, binary, config, cafile=args.tls_ca)
+        run_member(host, port, name, binary, config, cafile=args.tls_ca,
+                   reconnect=args.reconnect)
     except CommunityError as error:
         print(f"member {name}: {error}", file=sys.stderr)
         return 1
@@ -182,12 +187,18 @@ def _cmd_community(args) -> int:
         print(f"snapshot:          members warm-start from "
               f"{args.snapshot}")
     transport = args.transport
+    if args.heartbeat_interval is not None and \
+            args.transport == "in-process":
+        print("--heartbeat-interval requires --transport process or "
+              "socket", file=sys.stderr)
+        return 2
     if args.listen or args.tls_cert:
         if args.transport != "socket":
             print("--listen/--tls-cert require --transport socket",
                   file=sys.stderr)
             return 2
-        options = {"certfile": args.tls_cert, "keyfile": args.tls_key}
+        options = {"certfile": args.tls_cert, "keyfile": args.tls_key,
+                   "heartbeat_interval": args.heartbeat_interval}
         if args.listen:
             host, port = _parse_endpoint(args.listen)
             transport = SocketTransport(host=host, port=port,
@@ -202,9 +213,15 @@ def _cmd_community(args) -> int:
               + (f" — waiting up to {args.join_timeout:.0f}s for "
                  f"{args.members} members (community --connect)"
                  if args.listen else ""))
+    manager_options = {"min_members": args.min_members}
+    if isinstance(transport, str) and args.heartbeat_interval is not None:
+        # Transport instances (listen/TLS modes) got the interval at
+        # construction above; string transports take it via the manager.
+        manager_options["heartbeat_interval"] = args.heartbeat_interval
     try:
         with CommunityManager(binary, members=args.members, config=config,
-                              transport=transport) as manager:
+                              transport=transport,
+                              **manager_options) as manager:
             report = manager.learn_distributed(pages,
                                                strategy=args.strategy)
             print(f"transport:        {args.transport} "
@@ -231,6 +248,12 @@ def _cmd_community(args) -> int:
             for dropped in manager.dropped_members:
                 print(f"dropped member:    {dropped.name} "
                       f"({dropped.reason} during {dropped.op})")
+            status = manager.community_status()
+            if status["degraded"]:
+                print(f"community status:  DEGRADED — {status['alive']}/"
+                      f"{status['total']} members alive "
+                      f"(quorum {'held' if status['quorum'] else 'LOST'}"
+                      f", min {status['min_members']})")
             print("wire bytes by kind:")
             for kind, total in \
                     sorted(manager.bus.bytes_by_kind().items()):
@@ -283,6 +306,9 @@ def _cmd_snapshot(args) -> int:
           f"({len(payload.get('cached', []))} cached)")
     print(f"trace paths: "
           f"{sum(1 for p in payload.get('trace_paths', {}).values() if p)}")
+    if "ledger_epoch" in payload:
+        print(f"ledger epoch: {payload['ledger_epoch']} "
+              f"(community patch-ledger stamp)")
     try:
         snapshot_from_dict(payload, binary)
     except SnapshotError as error:
@@ -367,6 +393,22 @@ def build_parser() -> argparse.ArgumentParser:
     community_parser.add_argument(
         "--name", default=None,
         help="member name announced to the manager (with --connect)")
+    community_parser.add_argument(
+        "--reconnect", type=int, default=0, metavar="N",
+        help="with --connect: re-dial a lost manager connection up to "
+             "N times (exponential backoff); the rejoin hello announces "
+             "the last acknowledged patch epoch so only missed deltas "
+             "are replayed")
+    community_parser.add_argument(
+        "--heartbeat-interval", type=float, default=None, metavar="SECS",
+        help="probe idle members with pings on this interval so a "
+             "member wedged between commands is evicted within seconds "
+             "(process/socket transports)")
+    community_parser.add_argument(
+        "--min-members", type=int, default=1, metavar="N",
+        help="quorum floor: abort the episode once fewer than N "
+             "members are alive instead of degrading further "
+             "(default 1)")
     community_parser.add_argument(
         "--join-timeout", type=float, default=120.0,
         help="with --listen: seconds to wait for members to dial in")

@@ -81,6 +81,17 @@ class CommunityEnvironment:
                         for member in members]
         self.patches: list[Patch] = []
         self._next = 0
+        # The transport's patch ledger doubles as the rejoin journal:
+        # community-wide installs/removes are epoch-logged there so a
+        # dropped member can catch up on exactly what it missed.  The
+        # in-process bus has no ledger (and nothing ever rejoins).
+        self._ledger = None
+        for member in self.members:
+            ledger = getattr(getattr(member, "_transport", None),
+                             "ledger", None)
+            if ledger is not None:
+                self._ledger = ledger
+                break
 
     @property
     def binary(self) -> Binary:
@@ -112,6 +123,8 @@ class CommunityEnvironment:
         if not self.alive_members():
             raise CommunityError("no live members left to patch")
         self.patches.append(patch)
+        if self._ledger is not None:
+            self._ledger.log_install(patch)
         for member in self.alive_members():
             try:
                 member.install_patch(patch)
@@ -120,10 +133,14 @@ class CommunityEnvironment:
         if not self.alive_members():
             # Every member died during fan-out: the patch reached no one.
             self.patches.remove(patch)
+            if self._ledger is not None:
+                self._ledger.log_remove(patch)
             raise CommunityError("no live members left to patch")
 
     def remove_patch(self, patch: Patch) -> None:
         self.patches.remove(patch)
+        if self._ledger is not None:
+            self._ledger.log_remove(patch)
         for member in self.alive_members():
             try:
                 member.remove_patch(patch)
@@ -240,6 +257,12 @@ class DistributedLearningReport:
     upload_bytes: int = 0
     #: Members that failed mid-learning and had their shards redistributed.
     dropped_members: list[str] = field(default_factory=list)
+    #: True when any member was lost this episode: the merged database
+    #: still covers every shard (survivors absorbed the casualties'
+    #: work), but the community is running below strength.
+    degraded: bool = False
+    #: Live members at the end of the learning episode.
+    alive_members: int = 0
 
 
 class CommunityManager:
@@ -270,7 +293,10 @@ class CommunityManager:
                  config: EnvironmentConfig | None = None,
                  transport: "str | MessageBus | ProcessTransport | "
                             "SocketTransport | None" = None,
-                 worker_timeout: float | None = None):
+                 worker_timeout: float | None = None,
+                 min_members: int = 1,
+                 reshard_budget: int | None = None,
+                 heartbeat_interval: float | None = None):
         self.binary = binary.stripped()
         self.config = config or EnvironmentConfig.full()
         if transport is None:
@@ -278,12 +304,21 @@ class CommunityManager:
         #: The manager owns (and closes) transports it constructs;
         #: caller-provided instances manage their own lifetime.
         self._owns_transport = isinstance(transport, str)
-        if worker_timeout is not None and \
-                transport not in ("process", "socket"):
-            raise ValueError(
-                "worker_timeout only applies to transport='process' or "
-                "'socket'; configure a transport instance directly "
-                "otherwise")
+        for knob, value in (("worker_timeout", worker_timeout),
+                            ("heartbeat_interval", heartbeat_interval)):
+            if value is not None and transport not in ("process", "socket"):
+                raise ValueError(
+                    f"{knob} only applies to transport='process' or "
+                    f"'socket'; configure a transport instance directly "
+                    f"otherwise")
+        if min_members < 1:
+            raise ValueError("min_members must be at least 1")
+        #: Quorum policy: episodes raise CommunityError once fewer than
+        #: this many members are alive, instead of degrading further.
+        self.min_members = min_members
+        #: How many re-shard rounds a learning episode may spend
+        #: absorbing casualties before giving up (None = unlimited).
+        self.reshard_budget = reshard_budget
         if isinstance(transport, str):
             factory = self._TRANSPORTS.get(transport)
             if factory is None:
@@ -297,10 +332,13 @@ class CommunityManager:
                 # for *every* command, learning shards included;
                 # construct a transport instance directly to tune the
                 # per-op deadline table independently.
-                transport = factory(
-                    **({"timeout": worker_timeout,
-                        "learn_timeout": worker_timeout}
-                       if worker_timeout is not None else {}))
+                kwargs = {}
+                if worker_timeout is not None:
+                    kwargs["timeout"] = worker_timeout
+                    kwargs["learn_timeout"] = worker_timeout
+                if heartbeat_interval is not None:
+                    kwargs["heartbeat_interval"] = heartbeat_interval
+                transport = factory(**kwargs)
         self.transport = transport
         #: Accounting alias: every transport exposes the MessageBus API.
         self.bus = transport
@@ -326,6 +364,45 @@ class CommunityManager:
     def dropped_members(self) -> list:
         """Members the transport dropped (process transport only)."""
         return list(getattr(self.transport, "dropped", ()))
+
+    def _refresh_membership(self) -> list:
+        """Wave-edge lifecycle sweep: admit any members that rejoined
+        (or newly arrived) since the last wave, and run a heartbeat
+        pass so wedged-idle members are evicted *before* work is
+        scattered onto them.  Returns the members admitted."""
+        admitted = self.transport.poll_rejoins()
+        for member in admitted:
+            if member not in self.environment.members:
+                # A genuinely new arrival (accept_external), not a
+                # revival of a member the environment already tracks.
+                self.environment.members.append(member)
+        if self.transport.heartbeat_interval is not None:
+            self.transport.heartbeat()
+        return admitted
+
+    def _require_quorum(self, context: str) -> None:
+        alive = len(self.environment.alive_members())
+        if alive < self.min_members:
+            raise CommunityError(
+                f"community below quorum during {context}: {alive} live "
+                f"member(s) < min_members={self.min_members}")
+
+    def community_status(self) -> dict:
+        """Degraded-mode report: lifecycle state per member, quorum
+        health, and the transport's casualty list."""
+        states = {member.name: getattr(member, "state", "active")
+                  for member in self.environment.members}
+        alive = len(self.environment.alive_members())
+        return {
+            "members": states,
+            "alive": alive,
+            "total": len(self.environment.members),
+            "min_members": self.min_members,
+            "quorum": alive >= self.min_members,
+            "degraded": alive < len(self.environment.members),
+            "dropped": [dropped.name for dropped in
+                        getattr(self.transport, "dropped", ())],
+        }
 
     def close(self) -> None:
         """Tear down transport resources (worker processes) — only for
@@ -375,6 +452,8 @@ class CommunityManager:
         if strategy not in _STRATEGIES:
             raise ValueError(f"unknown strategy {strategy!r}; "
                              f"choose from {sorted(_STRATEGIES)}")
+        self._refresh_membership()
+        self._require_quorum("distributed learning")
         self.procedures = self.discover_procedures(pages)
         learners = self.environment.alive_members()
         if not learners:
@@ -386,6 +465,7 @@ class CommunityManager:
         merged: InvariantDatabase | None = None
         observations = {member.name: 0 for member in self.members}
         dropped: list[str] = []
+        reshard_rounds = 0
         wave = list(zip(learners, assignments))
         while wave:
             started = []
@@ -410,13 +490,22 @@ class CommunityManager:
                 # executing (their replies buffer as they arrive).
                 merged = database if merged is None \
                     else merged.merge(database)
-                observations[member.name] += traced
+                observations[member.name] = \
+                    observations.get(member.name, 0) + traced
             if not orphaned:
                 break
             survivors = self.environment.alive_members()
             if not survivors:
                 raise CommunityError(
                     "every member failed during distributed learning")
+            self._require_quorum("distributed learning")
+            reshard_rounds += 1
+            if self.reshard_budget is not None and \
+                    reshard_rounds > self.reshard_budget:
+                raise CommunityError(
+                    f"re-shard budget exhausted during distributed "
+                    f"learning ({self.reshard_budget} round(s) allowed, "
+                    f"casualties: {sorted(set(dropped))})")
             redistributed = partition_round_robin(orphaned, len(survivors))
             wave = [(member, shard)
                     for member, shard in zip(survivors, redistributed)
@@ -429,13 +518,16 @@ class CommunityManager:
                 "every member failed during distributed learning")
         self.database = merged
         upload_bytes = self.bus.bytes_by_kind().get("invariant-upload", 0)
-        per_node = [observations[member.name] for member in self.members]
+        per_node = [observations.get(member.name, 0)
+                    for member in self.members]
         return DistributedLearningReport(
             database=merged, procedures=self.procedures,
             per_node_observations=per_node,
             full_observations=sum(per_node),
             upload_bytes=upload_bytes,
-            dropped_members=dropped)
+            dropped_members=dropped,
+            degraded=bool(dropped),
+            alive_members=len(self.environment.alive_members()))
 
     def adopt_model(self, database: InvariantDatabase,
                     procedures: ProcedureDatabase) -> None:
@@ -461,6 +553,8 @@ class CommunityManager:
         if self.clearview is None:
             self.protect()
         assert self.clearview is not None
+        self._refresh_membership()
+        self._require_quorum("attack presentation")
         return self.clearview.run(page)
 
     def immune_members(self, page: bytes) -> int:
@@ -468,6 +562,8 @@ class CommunityManager:
         that were never attacked should all survive (Protection Without
         Exposure).  The probes go out as one concurrent wave on the
         channel transports."""
+        self._refresh_membership()
+        self._require_quorum("immunity probe")
         return sum(1 for result in self.environment.probe_wave(page)
                    if result.outcome is Outcome.COMPLETED)
 
@@ -540,6 +636,8 @@ class CommunityManager:
         rounds = 0
         queue = list(session.evaluator.ranking())
         while queue:
+            self._refresh_membership()
+            self._require_quorum("parallel repair evaluation")
             members = self.environment.alive_members()
             if not members:
                 raise CommunityError(

@@ -39,10 +39,14 @@ class MemberFailure(CommunityError):
     ``reason`` is one of ``"crash"`` (worker process died or its
     channel closed), ``"hang"`` (no reply within the per-op deadline,
     or a reply frame that failed to complete within the frame
-    deadline — the wedged-mid-write case), ``"malformed"`` (reply was
-    not decodable protocol), ``"handshake"`` (a socket member never
-    established its — possibly TLS — channel), or ``"error"`` (worker
-    reported a command failure).
+    deadline — the wedged-mid-write case; a worker wedged *between*
+    commands is caught the same way by the heartbeat prober's ping
+    deadline), ``"malformed"`` (reply was not decodable protocol),
+    ``"handshake"`` (a socket member never established its — possibly
+    TLS — channel), or ``"error"`` (worker reported a command
+    failure).  A dropped socket member is not necessarily gone for
+    good: it may reconnect and be re-admitted through the transport's
+    rejoin path (``SocketTransport.poll_rejoins``).
     """
 
     def __init__(self, member: str, reason: str, detail: str = ""):
@@ -77,6 +81,9 @@ class LocalMember:
     def __init__(self, node: CommunityNode):
         self.node = node
         self.alive = True
+        #: Lifecycle parity with ChannelMember: an in-process member is
+        #: born active and can neither wedge nor rejoin.
+        self.state = "active"
         self._learned: tuple[InvariantDatabase, int] | None = None
         self._evaluated: RunResult | None = None
         self._probed: RunResult | None = None

@@ -39,6 +39,20 @@ escalated to SIGKILL (a SIGSTOPped worker ignores SIGTERM until
 continued), and :meth:`ChannelTransport.close` is idempotent, so no code
 path leaves orphan processes behind.
 
+Member lifecycle (``joining → active → suspect → dropped → rejoining``):
+beyond the reactive failure policy above, the transport carries an
+active liveness layer.  When ``heartbeat_interval`` is set, a background
+prober pings every *idle* channel on that interval (``ping`` has its own
+row in the deadline table), so a worker that wedges *between* commands
+is evicted within roughly ``heartbeat_interval + ping_timeout`` seconds
+instead of poisoning the next wave.  Dropped socket members are not
+gone for good: the server's :class:`PatchLedger` journals every
+community-wide install/remove under a monotonically increasing *epoch*,
+members announce their last acknowledged epoch in an epoch-stamped
+hello, and :meth:`SocketTransport.poll_rejoins` re-admits a
+reconnecting (or newly arriving) member after replaying exactly the
+net ledger deltas it missed — see :meth:`PatchLedger.deltas_since`.
+
 Accounting: every frame that crosses a channel is logged with its true
 on-wire size (``Message.frame_size``, length prefix included).  A reply
 frame's bytes are attributed exactly once — replayed piggyback bus
@@ -58,6 +72,7 @@ import select
 import signal
 import socket
 import struct
+import threading
 import time
 import typing
 from collections import deque
@@ -335,11 +350,26 @@ class PatchLedger:
     dropping that member) must not orphan the others' observation
     events.  The entry is freed when the last holder lets go, so the
     ledger stays bounded across arbitrarily many patch episodes.
+
+    The ledger is also the community's *rejoin journal*: every
+    community-wide install/remove is logged under a monotonically
+    increasing epoch (:meth:`log_install` / :meth:`log_remove`), members
+    acknowledge epochs as they process stamped commands, and a member
+    that reconnects after a drop replays exactly
+    :meth:`deltas_since` its last acknowledged epoch — net, so an
+    install/remove pair that came and went entirely while it was gone
+    replays to nothing.  :meth:`compact` forgets cancelled pairs no
+    possible rejoiner still needs.
     """
 
     def __init__(self):
         self._by_id: dict[int, Patch] = {}
         self._refs: dict[int, int] = {}
+        #: Monotonic counter of community-wide install/remove events.
+        self.epoch = 0
+        #: Epoch-stamped journal: ``(epoch, "install"|"remove",
+        #: patch_id, patch-or-None)`` in event order.
+        self.history: list[tuple[int, str, int, Patch | None]] = []
 
     def register(self, patch: Patch) -> None:
         patch_id = patch.patch_id
@@ -375,6 +405,84 @@ class PatchLedger:
         patch = self._by_id.get(patch_id)
         if patch is not None and hasattr(patch, "fired"):
             patch.fired += delta
+
+    # -- rejoin journal ------------------------------------------------
+
+    def log_install(self, patch: Patch) -> int:
+        """Journal a community-wide install; returns its epoch."""
+        self.epoch += 1
+        self.history.append((self.epoch, "install", patch.patch_id, patch))
+        return self.epoch
+
+    def log_remove(self, patch: Patch) -> int:
+        """Journal a community-wide remove; returns its epoch."""
+        self.epoch += 1
+        self.history.append((self.epoch, "remove", patch.patch_id, None))
+        return self.epoch
+
+    def deltas_since(self, epoch: int) -> tuple[list[int], list[Patch]]:
+        """Net replay for a member whose last acknowledged epoch is
+        *epoch*: ``(patch ids to remove, patches to install)``.
+
+        Net means an install the window later removed is skipped
+        entirely, and a remove of a patch installed *within* the window
+        cancels that pending install instead of being replayed (the
+        member never saw it).  Removes are ordered before installs so a
+        patch id removed-and-reinstalled across the window replays
+        correctly.
+        """
+        pending: dict[int, Patch] = {}
+        removes: list[int] = []
+        for entry_epoch, op, patch_id, patch in self.history:
+            if entry_epoch <= epoch:
+                continue
+            if op == "install":
+                pending[patch_id] = patch
+            elif patch_id in pending:
+                del pending[patch_id]
+            else:
+                removes.append(patch_id)
+        return removes, list(pending.values())
+
+    def live_at(self, epoch: int) -> list[Patch]:
+        """The community-wide live patch set as of *epoch*, in install
+        order (what a member caught up to that epoch holds)."""
+        live: dict[int, Patch] = {}
+        for entry_epoch, op, patch_id, patch in self.history:
+            if entry_epoch > epoch:
+                break
+            if op == "install":
+                live[patch_id] = patch
+            else:
+                live.pop(patch_id, None)
+        return list(live.values())
+
+    def compact(self, floor: int) -> None:
+        """Forget install/remove pairs whose remove is at or below
+        *floor* — no possible rejoiner needs them replayed.
+
+        Safe when *floor* is at most every member's acknowledged epoch:
+        a member acked past the remove already processed both events,
+        and a fresh member (hello epoch 0) never saw the install, so
+        the cancelled pair nets to nothing for it anyway.  Keeps the
+        journal bounded across arbitrarily many patch episodes.
+        """
+        doomed: set[int] = set()
+        open_installs: dict[int, list[int]] = {}
+        for index, entry in enumerate(self.history):
+            epoch, op, patch_id, _patch = entry
+            if op == "install":
+                open_installs.setdefault(patch_id, []).append(index)
+                continue
+            stack = open_installs.get(patch_id)
+            install_index = stack.pop() if stack else None
+            if install_index is not None and epoch <= floor:
+                doomed.add(install_index)
+                doomed.add(index)
+        if doomed:
+            self.history = [entry for index, entry
+                            in enumerate(self.history)
+                            if index not in doomed]
 
 
 @dataclass
@@ -429,6 +537,19 @@ class _WorkerState:
         self.fault: dict | None = None
         self.last_database: dict | None = None
         self.bus_cursor = 0
+        #: Last install/remove epoch this worker acknowledged; echoed in
+        #: ping replies and announced in the reconnect hello so the
+        #: server replays exactly the missed ledger deltas.
+        self.patch_epoch = 0
+        #: Armed by the ``wedge-idle`` fault: SIGSTOP *after* the next
+        #: reply is fully on the wire, i.e. with no command in flight —
+        #: the wedge only the heartbeat prober can notice.
+        self.wedge_after_reply = False
+        #: The worker's node and bus, attached by :func:`serve_channel`
+        #: on first use and reused across reconnects, so a rejoining
+        #: member keeps its learned state and warm caches.
+        self.node = None
+        self.bus = None
 
     def retain_capture(self, patch: Patch) -> None:
         """Count an installed patch's hold on its capture cell."""
@@ -497,25 +618,37 @@ def _send_faulted_reply(channel: FramedChannel, mode: str,
 
 
 def serve_channel(channel: FramedChannel, name: str, binary: Binary,
-                  config: EnvironmentConfig | None) -> None:
+                  config: EnvironmentConfig | None,
+                  state: _WorkerState | None = None
+                  ) -> tuple[_WorkerState, str]:
     """The command loop of one community member process.
 
     Channel-generic: the process transport runs it over an anonymous
     socketpair, the socket transport over a (possibly TLS) TCP
     connection — one loop, so the transports cannot drift apart.
+
+    Passing a previous call's *state* resumes the same worker session
+    (node, installed patches, acknowledged epoch) on a fresh channel —
+    the reconnect path of :func:`run_member`.  Returns ``(state,
+    reason)`` where *reason* is ``"shutdown"`` after a polite bye and
+    ``"channel-error"`` when the connection was lost.
     """
     # Import here: under the fork start method the child inherits the
     # parent's modules anyway, but a spawn fallback must import fresh.
     from repro.community.node import CommunityNode
 
-    bus = MessageBus()
-    node = CommunityNode(name, binary, bus, config)
-    state = _WorkerState()
+    if state is None:
+        state = _WorkerState()
+        state.bus = MessageBus()
+        state.node = CommunityNode(name, binary, state.bus, config)
+    bus = state.bus
+    node = state.node
 
     def handle(request: dict) -> dict:
         op = request["op"]
         if op == "ping":
-            return {"ok": True, "pid": os.getpid()}
+            return {"ok": True, "pid": os.getpid(),
+                    "epoch": state.patch_epoch}
         if op == "learn-shard":
             procedures = request["procedures"]
             database, observations = node.learn_shard(
@@ -535,6 +668,9 @@ def serve_channel(channel: FramedChannel, name: str, binary: Binary,
             node.apply_patch(patch)
             state.installed[patch.patch_id] = patch
             state.retain_capture(patch)
+            epoch = request.get("epoch")
+            if epoch is not None:
+                state.patch_epoch = int(epoch)
             return {"ok": True}
         if op == "remove-patch":
             patch = state.installed.pop(request["patch_id"], None)
@@ -546,7 +682,32 @@ def serve_channel(channel: FramedChannel, name: str, binary: Binary,
             # commands, whose own replies already drained it.
             state.reported_fired.pop(patch.patch_id, None)
             state.release_capture(patch)
+            epoch = request.get("epoch")
+            if epoch is not None:
+                state.patch_epoch = int(epoch)
             return {"ok": True}
+        if op == "catch-up":
+            # Rejoin replay: the net ledger deltas since this worker's
+            # acknowledged epoch, removes strictly before installs.
+            removes, installs, epoch = wire.catch_up_from_dict(request)
+            missing = [patch_id for patch_id in removes
+                       if patch_id not in state.installed]
+            if missing:
+                return {"ok": False,
+                        "error": f"catch-up removes unheld patches "
+                                 f"{missing}"}
+            for patch_id in removes:
+                patch = state.installed.pop(patch_id)
+                node.remove_patch(patch)
+                state.reported_fired.pop(patch_id, None)
+                state.release_capture(patch)
+            for payload in installs:
+                patch = _decode_patch(state, payload)
+                node.apply_patch(patch)
+                state.installed[patch.patch_id] = patch
+                state.retain_capture(patch)
+            state.patch_epoch = epoch
+            return {"ok": True, "installed": sorted(state.installed)}
         if op == "evaluate-candidate":
             trial_captures: dict[str, object] = {}
             patches = [_decode_patch(state, payload, trial_captures)
@@ -578,6 +739,12 @@ def serve_channel(channel: FramedChannel, name: str, binary: Binary,
                                      in sorted(state.capture_refs.items())},
                     "installed_patches": sorted(state.installed)}
         if op == "inject-fault":
+            if request["mode"] == "wedge-idle":
+                # SIGSTOP only after this reply is fully delivered: the
+                # worker wedges *between* commands, invisible to every
+                # reply deadline — exactly what heartbeat probing is for.
+                state.wedge_after_reply = True
+                return {"ok": True}
             state.fault = {"mode": request["mode"],
                            "op": request.get("at", "*"),
                            "seconds": request.get("seconds", 3600)}
@@ -586,6 +753,7 @@ def serve_channel(channel: FramedChannel, name: str, binary: Binary,
             return {"ok": True, "bye": True}
         return {"ok": False, "error": f"unknown op {op!r}"}
 
+    reason = "channel-error"
     while True:
         try:
             raw = channel.recv_frame()
@@ -668,9 +836,14 @@ def serve_channel(channel: FramedChannel, name: str, binary: Binary,
                 channel.send_frame(encoded)
         except ChannelError:
             break
+        if state.wedge_after_reply:
+            state.wedge_after_reply = False
+            os.kill(os.getpid(), signal.SIGSTOP)
         if response.get("bye"):
+            reason = "shutdown"
             break
     channel.close()
+    return state, reason
 
 
 # ---------------------------------------------------------------------------
@@ -698,6 +871,17 @@ class ChannelMember:
         self.channel = channel
         self.process = process
         self.alive = channel is not None
+        #: Lifecycle state: ``joining → active → suspect → dropped →
+        #: rejoining → active``.  ``suspect`` is transient while a
+        #: heartbeat ping is outstanding; ``rejoining`` while a
+        #: reconnected member replays its ledger catch-up.
+        self.state = "active" if channel is not None else "joining"
+        #: Last patch-ledger epoch this member acknowledged (0 = none);
+        #: a rejoin replays the deltas after this point.
+        self.acked_epoch = 0
+        #: When this member last completed traffic; the heartbeat
+        #: prober only pings channels idle longer than its interval.
+        self.last_activity = _monotonic()
         #: FIFO of (op, posted_at) for in-flight commands.
         self._pending: deque[tuple[str, float]] = deque()
         #: When the previous reply completed — each pipelined command's
@@ -722,6 +906,10 @@ class ChannelMember:
 
     def post(self, op: str, **payload) -> None:
         """Send one command without waiting for the reply."""
+        with self._transport._channel_lock:
+            self._post_locked(op, **payload)
+
+    def _post_locked(self, op: str, **payload) -> None:
         if not self.alive:
             raise MemberFailure(self.name, "crash", "member already dropped")
         if len(self._pending) >= self.pipeline_depth:
@@ -746,9 +934,14 @@ class ChannelMember:
             payload=request, encoded_size=len(encoded),
             frame_size=frame_size))
         self._pending.append((op, _monotonic()))
+        self.last_activity = _monotonic()
 
     def collect(self) -> dict:
         """Wait for the oldest in-flight reply; fold its side effects."""
+        with self._transport._channel_lock:
+            return self._collect_locked()
+
+    def _collect_locked(self) -> dict:
         assert self._pending, "no command in flight"
         op, posted_at = self._pending.popleft()
         timeout = self._transport.timeout_for(op)
@@ -769,6 +962,7 @@ class ChannelMember:
             # mean the member's byte stream cannot be trusted.
             self._fail("malformed", op, str(error), cause=error)
         self._last_reply_at = _monotonic()
+        self.last_activity = self._last_reply_at
         try:
             response = wire.decode(raw)
         except wire.WireError as error:
@@ -814,6 +1008,8 @@ class ChannelMember:
         if response.get("ok") is not True:
             self._fail("error", op, str(response.get("error",
                                                      "unspecified")))
+        if self.state == "suspect":
+            self.state = "active"
         return response
 
     def _expect(self, op: str, extract):
@@ -834,6 +1030,7 @@ class ChannelMember:
 
     def _drop(self, reason: str, op: str, detail: str) -> None:
         self.alive = False
+        self.state = "dropped"
         self._pending.clear()
         # Release this casualty's holds on the canonical patch ledger;
         # survivors holding the same patches keep the entries live.
@@ -869,6 +1066,27 @@ class ChannelMember:
                 pass
         if self.channel is not None:
             self.channel.close()
+
+    def adopt_channel(self, channel: FramedChannel, process=None) -> None:
+        """Revive a dropped (or never-joined) member on a fresh channel.
+
+        The rejoin path: the old process handle and channel are reaped
+        first, then the member restarts its protocol clocks in state
+        ``rejoining`` — it is only re-admitted to dispatch once the
+        transport's ledger catch-up completes and flips it to
+        ``active``.
+        """
+        if self.alive:
+            raise CommunityError(
+                f"member {self.name} is still connected")
+        self._terminate()
+        self.channel = channel
+        self.process = process
+        self.alive = True
+        self.state = "rejoining"
+        self._pending.clear()
+        self._last_reply_at = _monotonic()
+        self.last_activity = _monotonic()
 
     # -- member handle API ---------------------------------------------
 
@@ -916,15 +1134,21 @@ class ChannelMember:
                             wire.run_result_from_dict(response["result"]))
 
     def install_patch(self, patch: Patch) -> None:
-        self._transport.ledger.register(patch)
+        ledger = self._transport.ledger
+        ledger.register(patch)
         self._ledger_ids.append(patch.patch_id)
-        self.call("install-patch", patch=wire.patch_to_dict(patch))
+        self.call("install-patch", patch=wire.patch_to_dict(patch),
+                  epoch=ledger.epoch)
+        self.acked_epoch = ledger.epoch
 
     def remove_patch(self, patch: Patch) -> None:
-        self.call("remove-patch", patch_id=patch.patch_id)
+        ledger = self._transport.ledger
+        self.call("remove-patch", patch_id=patch.patch_id,
+                  epoch=ledger.epoch)
         if patch.patch_id in self._ledger_ids:
             self._ledger_ids.remove(patch.patch_id)
-        self._transport.ledger.unregister(patch)
+        ledger.unregister(patch)
+        self.acked_epoch = ledger.epoch
 
     def applied_patches(self) -> list[dict]:
         response = self.call("applied-patches")
@@ -986,7 +1210,10 @@ class ChannelMember:
         itself — the wedged-mid-write scenario), ``slow-loris`` (writes
         the reply in trickled chunks, *seconds* apart, so the frame
         never completes within the deadline), ``disconnect-mid-frame``
-        (writes half the frame and drops the connection)."""
+        (writes half the frame and drops the connection),
+        ``wedge-idle`` (SIGSTOPs *after* delivering this command's
+        reply, with nothing in flight — only heartbeat probing can
+        evict it)."""
         self.call("inject-fault", mode=mode, at=at, seconds=seconds)
 
     def shutdown(self) -> None:
@@ -1015,7 +1242,9 @@ class ChannelTransport:
 
     def __init__(self, timeout: float = 60.0, learn_timeout: float = 300.0,
                  run_timeout: float | None = None,
-                 frame_deadline: float = 30.0, pipeline_depth: int = 4):
+                 frame_deadline: float = 30.0, pipeline_depth: int = 4,
+                 heartbeat_interval: float | None = None,
+                 ping_timeout: float | None = None):
         self.timeout = timeout
         self.learn_timeout = learn_timeout
         # Run-style ops execute whole episodes inside the worker
@@ -1032,14 +1261,33 @@ class ChannelTransport:
             "evaluate-candidate": self.run_timeout,
             "run": self.run_timeout,
             "probe": self.run_timeout,
+            # The liveness probe is deliberately cheap: a
+            # healthy-but-busy member is never pinged (the prober skips
+            # channels with commands in flight), so a ping that does not
+            # answer promptly is a wedged-idle worker.  Defaults to the
+            # control-op deadline; heartbeat users tighten it so
+            # eviction lands within seconds.
+            "ping": ping_timeout if ping_timeout is not None else timeout,
         }
         self.frame_deadline = frame_deadline
         self.pipeline_depth = pipeline_depth
+        #: Probe idle channels every this many seconds (None = no
+        #: heartbeat thread; explicit ``heartbeat(force=True)`` still
+        #: works for deterministic tests and wave-edge sweeps).
+        self.heartbeat_interval = heartbeat_interval
+        self.ping_timeout = self.op_timeouts["ping"]
         self._bus = MessageBus()
         self.ledger = PatchLedger()
         self.members: list[ChannelMember] = []
         self.dropped: list[DroppedMember] = []
         self._closed = False
+        #: Serialises channel traffic between the server thread and the
+        #: heartbeat prober.  Re-entrant: a heartbeat wave posts and
+        #: collects pings while holding it, and the server's own nested
+        #: post/collect pairs stay atomic with respect to the prober.
+        self._channel_lock = threading.RLock()
+        self._heartbeat_stop = threading.Event()
+        self._heartbeat_thread: threading.Thread | None = None
 
     # -- bus-compatible accounting -------------------------------------
 
@@ -1082,6 +1330,97 @@ class ChannelTransport:
     def timeout_for(self, op: str) -> float:
         """Per-op reply deadline (the explicit table; no prefix games)."""
         return self.op_timeouts.get(op, self.timeout)
+
+    # -- member lifecycle ----------------------------------------------
+
+    def heartbeat(self, force: bool = False) -> list[str]:
+        """Ping idle members; evict the ones that fail to answer.
+
+        Only members with no command in flight are probed (a busy
+        member proves liveness with its own replies, and a ping posted
+        behind a long-running command would race that command's
+        deadline).  Pings are posted to every candidate first and
+        collected after, so N suspects cost one ``ping_timeout``, not
+        N.  ``force`` probes all idle members regardless of how
+        recently they spoke.  Returns the names evicted this wave.
+        """
+        evicted: list[str] = []
+        with self._channel_lock:
+            interval = self.heartbeat_interval
+            now = _monotonic()
+            suspects: list[ChannelMember] = []
+            for member in self.members:
+                if not member.alive or member.pending_ops:
+                    continue
+                if not force and (interval is None or
+                                  now - member.last_activity < interval):
+                    continue
+                member.state = "suspect"
+                try:
+                    member.post("ping")
+                except MemberFailure:
+                    evicted.append(member.name)
+                    continue
+                suspects.append(member)
+            for member in suspects:
+                try:
+                    response = member.collect()
+                except MemberFailure:
+                    evicted.append(member.name)
+                    continue
+                epoch = response.get("epoch")
+                if isinstance(epoch, int) and not isinstance(epoch, bool):
+                    member.acked_epoch = epoch
+            if evicted:
+                self._compact_ledger()
+        return evicted
+
+    def start_heartbeat(self) -> None:
+        """Start the background prober (no-op without an interval)."""
+        if self.heartbeat_interval is None or self._closed or \
+                self._heartbeat_thread is not None:
+            return
+        self._heartbeat_thread = threading.Thread(
+            target=self._heartbeat_loop, name="community-heartbeat",
+            daemon=True)
+        self._heartbeat_thread.start()
+
+    def _heartbeat_loop(self) -> None:
+        # Wake at half the interval so a member idle for exactly one
+        # interval is probed within ~1.5 intervals worst case.
+        while not self._heartbeat_stop.wait(self.heartbeat_interval / 2.0):
+            if self._closed:
+                break
+            # Never queue behind a busy server: in-flight commands have
+            # their own deadlines, and a blocking acquire here would
+            # stack stale probes behind a long learn wave.
+            if not self._channel_lock.acquire(blocking=False):
+                continue
+            try:
+                self.heartbeat()
+            except Exception:  # noqa: BLE001 - prober must never die
+                pass
+            finally:
+                self._channel_lock.release()
+
+    def poll_rejoins(self, budget: float = 0.0) -> list["ChannelMember"]:
+        """Admit reconnecting members (socket transport only)."""
+        return []
+
+    def _compact_ledger(self) -> None:
+        """Forget journal pairs no member could still need replayed.
+
+        The floor is the smallest acknowledged epoch across members
+        (fresh members announce epoch 0, which is always
+        compaction-safe — see :meth:`PatchLedger.compact`); members
+        that never acknowledged an epoch hold no patches and impose no
+        floor.
+        """
+        floor = self.ledger.epoch
+        for member in self.members:
+            if member.acked_epoch > 0:
+                floor = min(floor, member.acked_epoch)
+        self.ledger.compact(floor)
 
     # -- reply multiplexing --------------------------------------------
 
@@ -1164,6 +1503,11 @@ class ChannelTransport:
         if self._closed:
             return
         self._closed = True
+        self._heartbeat_stop.set()
+        thread = self._heartbeat_thread
+        if thread is not None and thread is not threading.current_thread():
+            thread.join(timeout=5.0)
+        self._heartbeat_thread = None
         for member in self.members:
             member.shutdown()
 
@@ -1235,12 +1579,15 @@ def _socket_worker_main(host: str, port: int, name: str, binary: Binary,
 def connect_member(host: str, port: int, name: str,
                    cafile: str | None = None,
                    frame_deadline: float = 30.0,
-                   connect_timeout: float = 10.0) -> FramedChannel:
+                   connect_timeout: float = 10.0,
+                   epoch: int = 0) -> FramedChannel:
     """Dial a listening community server and introduce this member.
 
-    Returns the established (optionally TLS) channel with the hello
-    frame already sent; :func:`run_member` drives the full command loop
-    for externally launched members.
+    Returns the established (optionally TLS) channel with the
+    epoch-stamped hello frame already sent (*epoch* is the member's
+    last acknowledged ledger epoch — 0 for a fresh process);
+    :func:`run_member` drives the full command loop for externally
+    launched members.
     """
     deadline = _monotonic() + connect_timeout
     last_error: Exception | None = None
@@ -1262,7 +1609,7 @@ def connect_member(host: str, port: int, name: str,
         sock.settimeout(frame_deadline)
         sock = context.wrap_socket(sock)
     channel = FramedChannel(sock, frame_deadline=frame_deadline)
-    channel.send_frame(wire.encode({"op": "hello", "name": name}),
+    channel.send_frame(wire.encode(wire.hello_to_dict(name, epoch)),
                        timeout=frame_deadline)
     return channel
 
@@ -1271,13 +1618,44 @@ def run_member(host: str, port: int, name: str, binary: Binary,
                config: EnvironmentConfig | None = None,
                cafile: str | None = None,
                frame_deadline: float = 30.0,
-               connect_timeout: float = 30.0) -> None:
+               connect_timeout: float = 30.0,
+               reconnect: int = 0, backoff: float = 0.5,
+               backoff_cap: float = 30.0) -> None:
     """Run one community member against a remote manager until it is
-    shut down (the ``community --connect`` CLI mode)."""
-    channel = connect_member(host, port, name, cafile=cafile,
-                             frame_deadline=frame_deadline,
-                             connect_timeout=connect_timeout)
-    serve_channel(channel, name, binary, config)
+    shut down (the ``community --connect`` CLI mode).
+
+    ``reconnect`` is how many times a lost server connection is
+    re-dialed, with exponential backoff starting at *backoff* seconds
+    and capped at *backoff_cap*.  A reconnect keeps the worker session
+    (node state, installed patches, warm caches) and announces the last
+    acknowledged ledger epoch in its hello, so the server replays only
+    the patch deltas this member actually missed.  A polite shutdown
+    from the server always ends the loop.
+    """
+    state: _WorkerState | None = None
+    attempts_left = reconnect
+    delay = backoff
+    while True:
+        try:
+            channel = connect_member(
+                host, port, name, cafile=cafile,
+                frame_deadline=frame_deadline,
+                connect_timeout=connect_timeout,
+                epoch=0 if state is None else state.patch_epoch)
+        except CommunityError:
+            if attempts_left <= 0:
+                raise
+            attempts_left -= 1
+            time.sleep(delay)
+            delay = min(delay * 2.0, backoff_cap)
+            continue
+        state, reason = serve_channel(channel, name, binary, config,
+                                      state=state)
+        if reason == "shutdown" or attempts_left <= 0:
+            return
+        attempts_left -= 1
+        time.sleep(delay)
+        delay = min(delay * 2.0, backoff_cap)
 
 
 class SocketTransport(ChannelTransport):
@@ -1305,6 +1683,8 @@ class SocketTransport(ChannelTransport):
     def __init__(self, timeout: float = 60.0, learn_timeout: float = 300.0,
                  run_timeout: float | None = None,
                  frame_deadline: float = 30.0, pipeline_depth: int = 4,
+                 heartbeat_interval: float | None = None,
+                 ping_timeout: float | None = None,
                  host: str = "127.0.0.1", port: int = 0,
                  certfile: str | None = None, keyfile: str | None = None,
                  accept_external: bool = False,
@@ -1314,7 +1694,9 @@ class SocketTransport(ChannelTransport):
         super().__init__(timeout=timeout, learn_timeout=learn_timeout,
                          run_timeout=run_timeout,
                          frame_deadline=frame_deadline,
-                         pipeline_depth=pipeline_depth)
+                         pipeline_depth=pipeline_depth,
+                         heartbeat_interval=heartbeat_interval,
+                         ping_timeout=ping_timeout)
         self.host = host
         self.port = port
         self.certfile = certfile
@@ -1330,6 +1712,9 @@ class SocketTransport(ChannelTransport):
             self._context = multiprocessing.get_context()
         self._listener: socket.socket | None = None
         self._server_context = None  # built once, lazily, for TLS
+        # Stashed at spawn: what a brand-new member admitted through
+        # poll_rejoins is constructed with.
+        self._binary: Binary | None = None
 
     def listen(self) -> tuple[str, int]:
         """Bind the member listener; returns the bound (host, port)."""
@@ -1391,6 +1776,7 @@ class SocketTransport(ChannelTransport):
               names: list[str]) -> list[ChannelMember]:
         if self.members:
             raise CommunityError("transport already has a worker pool")
+        self._binary = binary
         self.listen()
         # External members rename placeholder slots to their announced
         # hello names; work on a copy so the caller's list is untouched.
@@ -1467,12 +1853,92 @@ class SocketTransport(ChannelTransport):
                 self.dropped.append(DroppedMember(
                     name=name, reason="handshake", op="hello",
                     detail=detail))
+                member.state = "dropped"
                 member._terminate()
         if not any(member.alive for member in self.members):
             self.close()
             raise CommunityError(
                 "no member completed the socket handshake")
+        self.start_heartbeat()
         return list(self.members)
+
+    def poll_rejoins(self, budget: float = 0.0) -> list[ChannelMember]:
+        """Admit reconnecting or newly arriving members.
+
+        Non-blocking by default (*budget* seconds of accept patience).
+        A hello whose name matches a dropped member revives that member
+        in place; an unknown name is admitted as a brand-new member
+        only in ``accept_external`` mode; a duplicate of a live member
+        is refused.  Every admission replays the net patch-ledger
+        deltas since the hello's acknowledged epoch before the member
+        returns to dispatch (state ``rejoining → active``).  Returns
+        the members (re-)admitted by this call.
+        """
+        if self._listener is None or self._closed:
+            return []
+        admitted: list[ChannelMember] = []
+        deadline = _monotonic() + budget
+        with self._channel_lock:
+            while True:
+                try:
+                    readable, _, _ = select.select(
+                        [self._listener], [], [],
+                        max(0.0, deadline - _monotonic()))
+                except (OSError, ValueError):  # pragma: no cover
+                    break
+                if not readable:
+                    break
+                try:
+                    name, channel, hello = self._accept_one(
+                        _monotonic() + 1.0,
+                        _monotonic() + max(budget, self.frame_deadline))
+                except CommunityError:
+                    continue
+                try:
+                    _name, epoch = wire.hello_from_dict(hello)
+                except wire.WireError:
+                    channel.close()
+                    continue
+                member = next((peer for peer in self.members
+                               if peer.name == name), None)
+                if member is not None and member.alive:
+                    channel.close()
+                    continue
+                if member is None:
+                    if not self.accept_external or self._binary is None:
+                        channel.close()
+                        continue
+                    member = ChannelMember(self, name, self._binary, None)
+                    self.members.append(member)
+                member.adopt_channel(channel)
+                self.deliver(Message(
+                    sender=name, recipient="server", kind="hello",
+                    payload=hello, frame_size=channel.received_bytes))
+                try:
+                    self._catch_up(member, epoch)
+                except MemberFailure:
+                    continue
+                admitted.append(member)
+            if admitted:
+                self._compact_ledger()
+        return admitted
+
+    def _catch_up(self, member: ChannelMember, epoch: int) -> None:
+        """Replay the net ledger deltas since *epoch*, then re-admit."""
+        ledger = self.ledger
+        removes, installs = ledger.deltas_since(epoch)
+        # After catch-up the member holds the whole live set; register
+        # those holds *before* the command so a drop mid-replay releases
+        # exactly them and survivors' refcounts stay intact.
+        live = ledger.live_at(ledger.epoch)
+        for patch in live:
+            ledger.register(patch)
+        member._ledger_ids = [patch.patch_id for patch in live]
+        member.call("catch-up", **wire.catch_up_to_dict(
+            removes, [wire.patch_to_dict(patch) for patch in installs],
+            ledger.epoch))
+        member.acked_epoch = ledger.epoch
+        member.state = "active"
 
     def close(self) -> None:
         super().close()

@@ -74,11 +74,15 @@ class ProcessTransport(ChannelTransport):
     def __init__(self, timeout: float = 60.0, learn_timeout: float = 300.0,
                  run_timeout: float | None = None,
                  frame_deadline: float = 30.0, pipeline_depth: int = 4,
+                 heartbeat_interval: float | None = None,
+                 ping_timeout: float | None = None,
                  start_method: str = "fork"):
         super().__init__(timeout=timeout, learn_timeout=learn_timeout,
                          run_timeout=run_timeout,
                          frame_deadline=frame_deadline,
-                         pipeline_depth=pipeline_depth)
+                         pipeline_depth=pipeline_depth,
+                         heartbeat_interval=heartbeat_interval,
+                         ping_timeout=ping_timeout)
         try:
             self._context = multiprocessing.get_context(start_method)
         except ValueError:  # pragma: no cover - non-POSIX fallback
@@ -102,4 +106,5 @@ class ProcessTransport(ChannelTransport):
                 FramedChannel(server_sock,
                               frame_deadline=self.frame_deadline),
                 process=process))
+        self.start_heartbeat()
         return list(self.members)

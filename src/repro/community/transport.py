@@ -103,6 +103,23 @@ class MessageBus:
     def close(self) -> None:
         """Nothing to tear down for the in-process bus."""
 
+    # -- member-lifecycle parity -------------------------------------------
+
+    #: In-process members cannot wedge between commands; there is no
+    #: prober to configure.  (Plain class attribute, not a field.)
+    heartbeat_interval = None
+
+    def heartbeat(self, force: bool = False) -> list[str]:
+        """Lifecycle parity with the channel transports: simulated
+        members run in the server's own interpreter and cannot wedge
+        idle, so a heartbeat wave never evicts anyone."""
+        return []
+
+    def poll_rejoins(self, budget: float = 0.0) -> list:
+        """Lifecycle parity: the in-process bus has no listener for
+        members to dial, so no one ever rejoins."""
+        return []
+
     # -- accounting ---------------------------------------------------------
 
     def bytes_by_kind(self) -> dict[str, int]:

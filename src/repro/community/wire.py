@@ -74,6 +74,70 @@ def decode(raw: bytes) -> dict:
 
 
 # ---------------------------------------------------------------------------
+# Membership (hello / rejoin catch-up)
+# ---------------------------------------------------------------------------
+
+def hello_to_dict(name: str, epoch: int = 0) -> dict:
+    """The epoch-stamped hello a member introduces itself with.
+
+    ``epoch`` is the member's last *acknowledged* patch-ledger epoch:
+    0 for a fresh process (nothing installed), the epoch stamped on the
+    last install/remove command it processed for a member reconnecting
+    with state intact.  The server replays exactly the ledger deltas
+    after this epoch before re-admitting the member.
+    """
+    return {"op": "hello", "name": name, "epoch": int(epoch)}
+
+
+def hello_from_dict(payload: dict) -> tuple[str, int]:
+    """Validate a hello frame; returns ``(name, acked epoch)``."""
+    if not isinstance(payload, dict) or payload.get("op") != "hello":
+        raise WireError(f"not a hello frame: {payload!r}")
+    name = payload.get("name")
+    if not isinstance(name, str) or not name:
+        raise WireError(f"hello without a member name: {payload!r}")
+    epoch = payload.get("epoch", 0)
+    if isinstance(epoch, bool) or not isinstance(epoch, int) or epoch < 0:
+        raise WireError(f"bad hello epoch {epoch!r}")
+    return name, epoch
+
+
+def catch_up_to_dict(removes: list[int], installs: list[dict],
+                     epoch: int) -> dict:
+    """The ledger-delta payload a rejoining member replays.
+
+    ``removes`` are patch ids the member still holds that the community
+    has since withdrawn; ``installs`` are wire-form patches
+    (:func:`patch_to_dict`) it missed; ``epoch`` is the ledger epoch the
+    member acknowledges by applying them.  Removes are ordered before
+    installs — a remove can only refer to a pre-rejoin install, while an
+    install may reuse a just-freed patch id.
+    """
+    return {"removes": [int(patch_id) for patch_id in removes],
+            "installs": list(installs), "epoch": int(epoch)}
+
+
+def catch_up_from_dict(payload: dict) -> tuple[list[int], list[dict], int]:
+    """Validate a catch-up command; returns (removes, installs, epoch)."""
+    try:
+        removes = payload["removes"]
+        installs = payload["installs"]
+        epoch = payload["epoch"]
+    except (KeyError, TypeError) as error:
+        raise WireError(f"malformed catch-up payload: {error}") from error
+    if not isinstance(removes, list) or not isinstance(installs, list):
+        raise WireError("catch-up removes/installs must be lists")
+    if not all(isinstance(patch_id, int) and not isinstance(patch_id, bool)
+               for patch_id in removes):
+        raise WireError("catch-up removes must be integer patch ids")
+    if isinstance(epoch, bool) or not isinstance(epoch, int) or epoch < 0:
+        raise WireError(f"bad catch-up epoch {epoch!r}")
+    if not all(isinstance(entry, dict) for entry in installs):
+        raise WireError("catch-up installs must be patch payloads")
+    return removes, installs, epoch
+
+
+# ---------------------------------------------------------------------------
 # Run results
 # ---------------------------------------------------------------------------
 

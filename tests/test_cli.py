@@ -77,3 +77,32 @@ class TestSnapshotCommand:
         assert main(["snapshot", "info",
                      str(tmp_path / "missing.json")]) == 1
         assert "unreadable snapshot" in capsys.readouterr().err
+
+
+class TestLifecycleFlags:
+    def test_heartbeat_interval_requires_channel_transport(self, capsys):
+        assert main(["community", "--heartbeat-interval", "0.5"]) == 2
+        err = capsys.readouterr().err
+        assert "--heartbeat-interval requires" in err
+
+    def test_lifecycle_flags_parse(self):
+        args = build_parser().parse_args(
+            ["community", "--transport", "process",
+             "--heartbeat-interval", "0.5", "--min-members", "2",
+             "--reconnect", "3"])
+        assert args.heartbeat_interval == 0.5
+        assert args.min_members == 2
+        assert args.reconnect == 3
+
+    def test_stamped_snapshot_info_shows_ledger_epoch(self, capsys,
+                                                      tmp_path):
+        import json
+
+        path = tmp_path / "cache.json"
+        assert main(["snapshot", "save", str(path)]) == 0
+        capsys.readouterr()
+        payload = json.loads(path.read_text())
+        payload["ledger_epoch"] = 4
+        path.write_text(json.dumps(payload))
+        assert main(["snapshot", "info", str(path)]) == 0
+        assert "ledger epoch: 4" in capsys.readouterr().out

@@ -296,3 +296,87 @@ class TestCommunityWarmStart:
         warm_config = EnvironmentConfig.full()
         warm_config.load_snapshot = str(path)
         assert episode(EnvironmentConfig.full()) == episode(warm_config)
+
+
+class TestCrashSafeSave:
+    """``save_snapshot`` writes via a temp file + ``os.replace``: a
+    writer killed mid-save can never leave a truncated snapshot where a
+    valid one stood."""
+
+    def test_failed_replace_preserves_the_prior_snapshot(
+            self, warm_snapshot, monkeypatch):
+        import os
+
+        binary, path, cache = warm_snapshot
+        before = path.read_bytes()
+
+        def exploding_replace(src, dst):
+            raise OSError("simulated crash mid-rename")
+
+        monkeypatch.setattr(os, "replace", exploding_replace)
+        with pytest.raises(OSError, match="mid-rename"):
+            save_snapshot(path, cache, binary)
+        monkeypatch.undo()
+        # The prior snapshot is byte-for-byte intact, still loads, and
+        # the aborted attempt left no temp litter behind.
+        assert path.read_bytes() == before
+        load_snapshot(path, binary)
+        assert [stray.name for stray in path.parent.iterdir()] == \
+            [path.name]
+
+    def test_truncated_temp_sibling_never_shadows_the_snapshot(
+            self, warm_snapshot):
+        """A writer killed between temp-write and rename leaves only a
+        ``.tmp`` sibling; readers of the real path are unaffected."""
+        binary, path, _ = warm_snapshot
+        stray = path.parent / (path.name + ".dead1234.tmp")
+        stray.write_bytes(path.read_bytes()[:37])  # truncated mid-JSON
+        block_map, cached = load_snapshot(path, binary)
+        assert cached  # the real snapshot loaded, whole
+        with pytest.raises(SnapshotError):
+            read_snapshot(stray)  # the litter itself is rejected
+
+    def test_save_overwrites_atomically_in_place(self, warm_snapshot):
+        binary, path, cache = warm_snapshot
+        inode_before = path.stat().st_ino
+        save_snapshot(path, cache, binary)
+        assert path.stat().st_ino != inode_before  # rename, not rewrite
+        load_snapshot(path, binary)
+
+
+class TestLedgerEpochStamp:
+    """Optional community patch-ledger stamping of snapshots."""
+
+    def test_round_trip_and_accessor(self, warm_snapshot):
+        from repro.dynamo.snapshot import snapshot_ledger_epoch
+
+        binary, path, cache = warm_snapshot
+        stamped = path.parent / "stamped.json"
+        save_snapshot(stamped, cache, binary, ledger_epoch=5)
+        payload = read_snapshot(stamped)
+        assert payload["ledger_epoch"] == 5
+        assert snapshot_ledger_epoch(payload) == 5
+        load_snapshot(stamped, binary)  # still validates
+
+    def test_unstamped_snapshots_omit_the_field(self, warm_snapshot):
+        from repro.dynamo.snapshot import snapshot_ledger_epoch
+
+        _, path, _ = warm_snapshot
+        payload = read_snapshot(path)
+        assert "ledger_epoch" not in payload
+        assert snapshot_ledger_epoch(payload) == 0
+
+    def test_invalid_epochs_are_rejected(self, warm_snapshot):
+        from repro.dynamo.snapshot import snapshot_from_dict
+
+        binary, path, cache = warm_snapshot
+        with pytest.raises(SnapshotError, match="ledger_epoch"):
+            save_snapshot(path.parent / "bad.json", cache, binary,
+                          ledger_epoch=-1)
+        with pytest.raises(SnapshotError, match="ledger_epoch"):
+            save_snapshot(path.parent / "bad.json", cache, binary,
+                          ledger_epoch=True)
+        payload = read_snapshot(path)
+        payload["ledger_epoch"] = "seven"
+        with pytest.raises(SnapshotError, match="ledger_epoch"):
+            snapshot_from_dict(payload, binary)

@@ -240,3 +240,49 @@ class TestWireSizeAccounting:
             for message in log:
                 assert message.wire_size() == \
                     len(wire.encode(message.payload))
+
+
+class TestLifecycleCodecs:
+    """The epoch-stamped hello and the rejoin catch-up payload."""
+
+    def test_hello_round_trip(self):
+        payload = wire.hello_to_dict("node-3", epoch=17)
+        assert wire.hello_from_dict(payload) == ("node-3", 17)
+        fresh = wire.hello_to_dict("node-3")
+        assert wire.hello_from_dict(fresh) == ("node-3", 0)
+
+    @pytest.mark.parametrize("mutation", (
+        {"op": "run"},              # wrong op
+        {"name": ""},               # empty name
+        {"name": 7},                # non-string name
+        {"epoch": -1},              # negative epoch
+        {"epoch": True},            # bool is not an int here
+        {"epoch": "3"},             # stringly typed epoch
+    ))
+    def test_malformed_hellos_are_rejected(self, mutation):
+        payload = wire.hello_to_dict("node-0", epoch=2)
+        payload.update(mutation)
+        with pytest.raises(wire.WireError):
+            wire.hello_from_dict(payload)
+
+    def test_catch_up_round_trip(self):
+        installs = [{"type": "CheckPatch", "pc": 8}]
+        payload = wire.catch_up_to_dict([4, 9], installs, epoch=6)
+        removes, replayed, epoch = wire.catch_up_from_dict(payload)
+        assert removes == [4, 9]
+        assert replayed == installs
+        assert epoch == 6
+
+    @pytest.mark.parametrize("mutation", (
+        {"removes": 4},             # not a list
+        {"removes": ["4"]},         # stringly typed ids
+        {"installs": {}},           # not a list
+        {"installs": [7]},          # entries must be dicts
+        {"epoch": -2},
+        {"epoch": None},
+    ))
+    def test_malformed_catch_up_is_rejected(self, mutation):
+        payload = wire.catch_up_to_dict([1], [], epoch=3)
+        payload.update(mutation)
+        with pytest.raises(wire.WireError):
+            wire.catch_up_from_dict(payload)
