@@ -128,6 +128,68 @@ def _build_environment(binary, label: str) -> ManagedEnvironment:
     raise ValueError(f"unknown configuration label: {label}")
 
 
+#: Fixed iteration count of the calibration busy-loop.  ~10-20ms of
+#: pure-interpreter arithmetic: long enough to ride the same machine
+#: phase as the kernel pass it is interleaved with, short enough to be
+#: free next to one.
+CAL_ITERATIONS = 200_000
+
+
+def calibration_pass() -> float:
+    """Machine-speed reference: ops/sec of a fixed busy-loop.
+
+    The dev runner's wall-clock swings ~25% between sittings
+    (thermal/neighbour phases), and a stored record cannot be paired
+    against a fresh run across that.  A calibration pass interleaved
+    with every kernel sample measures the *machine* on the same
+    CPython substrate; the gate judges kernel throughput per
+    calibration op, so machine-wide drift divides out and what
+    remains is the kernel's own regression."""
+    started = time.perf_counter()
+    total = 0
+    for i in range(CAL_ITERATIONS):
+        total += i
+    return CAL_ITERATIONS / (time.perf_counter() - started)
+
+
+def _timed_pass(binary, label: str, pages: list[bytes]) -> dict:
+    """One timed pass of *label* over *pages*: a single sample."""
+    environment = _build_environment(binary, label)
+    steps = 0
+    started = time.perf_counter()
+    for page in pages:
+        result = environment.run(page)
+        steps += result.steps
+        if not result.succeeded:
+            raise RuntimeError(
+                f"workload page failed under {label}: {result.detail}")
+    seconds = time.perf_counter() - started
+    return {"instructions_per_sec": steps / seconds if seconds > 0
+            else 0.0, "steps": steps, "seconds": seconds}
+
+
+def measure_samples(binary, label: str, pages: list[bytes],
+                    repeats: int = 5,
+                    calibrate: bool = False) -> list[dict]:
+    """All *repeats* timed passes of one configuration, in run order.
+
+    The perf version system stores the whole distribution (see
+    ``perfvc.profiles``): a single collapsed point cannot be told
+    apart from the machine's mood later, a distribution can.  With
+    *calibrate*, each kernel pass is followed by a
+    :func:`calibration_pass` sharing its machine phase, recorded as
+    ``calibration_ops_per_sec`` — the denominator the gate uses to
+    divide machine drift out of cross-sitting comparisons.
+    """
+    samples = []
+    for _ in range(repeats):
+        sample = _timed_pass(binary, label, pages)
+        if calibrate:
+            sample["calibration_ops_per_sec"] = calibration_pass()
+        samples.append(sample)
+    return samples
+
+
 def measure_config(binary, label: str, pages: list[bytes],
                    repeats: int = 5) -> BenchRecord:
     """Run the page workload *repeats* times; report the best rate.
@@ -138,26 +200,11 @@ def measure_config(binary, label: str, pages: list[bytes],
     single-core runners this trajectory is recorded on, best-of-3
     still shows ~10% run-to-run spread; best-of-5 is stable to ~1%.
     """
-    best_rate = 0.0
-    best_steps = 0
-    best_seconds = 0.0
-    for _ in range(repeats):
-        environment = _build_environment(binary, label)
-        steps = 0
-        started = time.perf_counter()
-        for page in pages:
-            result = environment.run(page)
-            steps += result.steps
-            if not result.succeeded:
-                raise RuntimeError(
-                    f"workload page failed under {label}: {result.detail}")
-        seconds = time.perf_counter() - started
-        rate = steps / seconds if seconds > 0 else 0.0
-        if rate > best_rate:
-            best_rate, best_steps, best_seconds = rate, steps, seconds
+    best = max(measure_samples(binary, label, pages, repeats=repeats),
+               key=lambda sample: sample["instructions_per_sec"])
     return BenchRecord(config_label=label,
-                       instructions_per_sec=best_rate,
-                       steps=best_steps, seconds=best_seconds)
+                       instructions_per_sec=best["instructions_per_sec"],
+                       steps=best["steps"], seconds=best["seconds"])
 
 
 def measure_once(label: str) -> dict:
@@ -190,51 +237,58 @@ def measure_once(label: str) -> dict:
     }
 
 
-def measure_paired(binary, labels: tuple[str, ...], pages: list[bytes],
-                   repeats: int = 5) -> list[BenchRecord]:
-    """Measure *labels* with interleaved repeats (A, B, A, B, …).
+def measure_paired_samples(binary, labels: tuple[str, ...],
+                           pages: list[bytes], repeats: int = 5,
+                           calibrate: bool = False
+                           ) -> dict[str, list[dict]]:
+    """Interleaved repeats (A, B, A, B, …), all samples kept.
 
     Configurations whose *ratio* is the claim (warm vs cold-short) must
     not each get their own measurement window: wall-clock on shared
     runners drifts between phases, and two back-to-back windows can
     skew a ratio by ±20%.  Interleaving hands every machine phase to
-    both configurations equally; best-of-N then compares like with
-    like.
+    both configurations equally, and sample *i* of each label shares a
+    phase — the pairing ``perfvc.stats.paired_permutation_p`` needs.
     """
-    best: dict[str, tuple[float, int, float]] = {}
+    samples: dict[str, list[dict]] = {label: [] for label in labels}
     for _ in range(repeats):
         for label in labels:
-            environment = _build_environment(binary, label)
-            steps = 0
-            started = time.perf_counter()
-            for page in pages:
-                result = environment.run(page)
-                steps += result.steps
-                if not result.succeeded:
-                    raise RuntimeError(f"workload page failed under "
-                                       f"{label}: {result.detail}")
-            seconds = time.perf_counter() - started
-            rate = steps / seconds if seconds > 0 else 0.0
-            if label not in best or rate > best[label][0]:
-                best[label] = (rate, steps, seconds)
-    return [BenchRecord(config_label=label,
-                        instructions_per_sec=best[label][0],
-                        steps=best[label][1], seconds=best[label][2])
-            for label in labels]
+            sample = _timed_pass(binary, label, pages)
+            if calibrate:
+                sample["calibration_ops_per_sec"] = calibration_pass()
+            samples[label].append(sample)
+    return samples
 
 
-def run_kernel_bench(quick: bool = False,
-                     labels: tuple[str, ...] = CONFIG_LABELS
-                     ) -> list[BenchRecord]:
-    """Measure every configuration on the WebBrowse workload.
+def measure_paired(binary, labels: tuple[str, ...], pages: list[bytes],
+                   repeats: int = 5) -> list[BenchRecord]:
+    """Best-of view over :func:`measure_paired_samples`."""
+    samples = measure_paired_samples(binary, labels, pages,
+                                     repeats=repeats)
+    records = []
+    for label in labels:
+        best = max(samples[label],
+                   key=lambda sample: sample["instructions_per_sec"])
+        records.append(BenchRecord(
+            config_label=label,
+            instructions_per_sec=best["instructions_per_sec"],
+            steps=best["steps"], seconds=best["seconds"]))
+    return records
 
-    ``quick`` trims the workload (fewer pages, one repeat) to a smoke
-    test cheap enough for the tier-1 flow; the trajectory file should be
-    fed from full runs.
+
+def run_kernel_profiles(quick: bool = False, repeats: int = 5,
+                        labels: tuple[str, ...] = CONFIG_LABELS
+                        ) -> list[dict]:
+    """Measure every configuration, keeping the full distributions.
+
+    Returns one ``{config, kind, samples, steps}`` dict per label —
+    the measurement half of a ``perfvc`` profile record (the caller
+    stamps commit/timestamp/env).  ``quick`` trims the workload (fewer
+    pages, one repeat) to a smoke test cheap enough for the tier-1
+    flow; the trajectory file should be fed from full runs.
     """
     binary = build_browser().stripped()
     pages = evaluation_pages()
-    repeats = 5
     if quick:
         pages = pages[:5]
         repeats = 1
@@ -242,20 +296,56 @@ def run_kernel_bench(quick: bool = False,
     # region, so the first measured configuration is not charged the
     # one-time image decode the others then inherit for free.
     CPU(binary)
-    records = []
-    paired = [label for label in labels
-              if label in ("cold-short", "warm")]
+    measured: dict[str, list[dict]] = {}
+    paired = tuple(label for label in labels
+                   if label in ("cold-short", "warm"))
     for label in labels:
         if label in paired:
             continue
-        records.append(measure_config(binary, label, pages,
-                                      repeats=repeats))
+        measured[label] = measure_samples(binary, label, pages,
+                                          repeats=repeats,
+                                          calibrate=True)
     if paired:
         # The warm/cold-short *ratio* is the claim; interleave their
         # repeats so wall-clock drift cancels out of it.
         short = short_run_pages() if not quick else pages
-        records.extend(measure_paired(binary, tuple(paired), short,
-                                      repeats=repeats))
+        measured.update(measure_paired_samples(binary, paired, short,
+                                               repeats=repeats,
+                                               calibrate=True))
+    profiles = []
+    for label in labels:
+        samples = measured[label]
+        metrics = {
+            "instructions_per_sec":
+                [sample["instructions_per_sec"] for sample in samples],
+            "seconds": [sample["seconds"] for sample in samples],
+        }
+        if "calibration_ops_per_sec" in samples[0]:
+            metrics["calibration_ops_per_sec"] = \
+                [sample["calibration_ops_per_sec"]
+                 for sample in samples]
+        profiles.append({
+            "config": label,
+            "kind": "throughput",
+            "samples": metrics,
+            "steps": samples[0]["steps"],
+        })
+    return profiles
+
+
+def run_kernel_bench(quick: bool = False,
+                     labels: tuple[str, ...] = CONFIG_LABELS
+                     ) -> list[BenchRecord]:
+    """Best-of view over :func:`run_kernel_profiles`."""
+    records = []
+    for profile in run_kernel_profiles(quick=quick, labels=labels):
+        rates = profile["samples"]["instructions_per_sec"]
+        index = max(range(len(rates)), key=rates.__getitem__)
+        records.append(BenchRecord(
+            config_label=profile["config"],
+            instructions_per_sec=rates[index],
+            steps=profile["steps"],
+            seconds=profile["samples"]["seconds"][index]))
     return records
 
 

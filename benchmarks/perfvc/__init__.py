@@ -1,0 +1,44 @@
+"""perfvc — a lightweight performance version system for the repo.
+
+The perf trajectory in ``BENCH_kernel.json`` started life as an
+append-only list of best-of-5 points; a single point per commit cannot
+distinguish a kernel regression from the runner's mood (the dev
+machine's wall-clock swings ~25% between minutes).  Borrowing Perun's
+"performance version system" shape (per-commit profiles + degradation
+checks + postprocessing), this package upgrades the trajectory to:
+
+- :mod:`perfvc.profiles` — versioned *distribution* profile records
+  (all repeat samples, summary statistics, environment fingerprint)
+  plus an in-place migrator for legacy single-point records and strict
+  schema validation;
+- :mod:`perfvc.stats` — paired and two-sample permutation tests (no
+  scipy) and a noise-calibrated minimum-effect threshold, so both the
+  CI gate and ``--compare`` report "statistically significant AND at
+  least the calibrated effect size" rather than a flat tolerance;
+- :mod:`perfvc.report` — the trend view over the trajectory (text
+  table and JSON) with degradation annotations.
+
+``benchmarks/run_bench.py`` is the command-line front end.
+"""
+
+from __future__ import annotations
+
+from perfvc.profiles import (  # noqa: F401
+    SCHEMA_VERSION,
+    ProfileSchemaError,
+    environment_fingerprint,
+    make_profile,
+    migrate_record,
+    migrate_trajectory,
+    validate_record,
+)
+from perfvc.report import render_report, report_json  # noqa: F401
+from perfvc.stats import (  # noqa: F401
+    GateVerdict,
+    PairedVerdict,
+    calibrated_min_effect,
+    gate_verdict,
+    paired_permutation_p,
+    paired_verdict,
+    two_sample_permutation_p,
+)

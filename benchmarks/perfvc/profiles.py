@@ -1,0 +1,284 @@
+"""Versioned distribution-profile records for the perf trajectory.
+
+Schema version 2 replaces the legacy single-point records (best-of-5
+collapsed to one number) with *distribution* profiles: every repeat
+sample is kept, summarised, and stamped with an environment
+fingerprint, so later commits can run statistics against the record
+instead of eyeballing a point.  One record:
+
+.. code-block:: json
+
+    {"schema": 2,
+     "config": "bare",                  // one key; legacy "config_label"
+     "kind": "throughput",              // or "latency"
+     "commit": "...", "timestamp": "...", "quick": false,
+     "steps": 71974,
+     "samples": {"instructions_per_sec": [...], "seconds": [...]},
+     "summary": {"instructions_per_sec": {"count":5, "min":..., "max":...,
+                 "median":..., "iqr":...}, "seconds": {...}},
+     "env":     {"python": "3.11.7", "platform": "linux", "cpus": 1,
+                 "load_1m": 0.42},
+     "extra":   {}}                     // bench-specific payload
+
+Latency-shaped records (community wave/churn benches) use
+``kind: "latency"``, sample ``seconds`` only, and keep their
+bench-specific measurements under ``extra`` — explicit shape instead
+of the old zero-filled throughput fields.
+
+:func:`migrate_record` lifts a legacy record into this schema in
+place-compatible form (the one known sample becomes a length-1
+distribution, ``env`` marks the record as migrated);
+:func:`validate_record` is strict — unknown or missing fields raise
+:class:`ProfileSchemaError` — so the trajectory cannot silently drift
+into a third dialect.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import platform as platform_module
+import sys
+
+from perfvc import stats
+
+SCHEMA_VERSION = 2
+
+#: Exactly the keys a v2 record may carry.
+_TOP_LEVEL_REQUIRED = frozenset(
+    {"schema", "config", "kind", "commit", "timestamp", "samples",
+     "summary", "env"})
+_TOP_LEVEL_OPTIONAL = frozenset({"quick", "steps", "extra"})
+
+#: Exactly the keys the environment fingerprint may carry.
+_ENV_KEYS = frozenset({"python", "platform", "cpus", "load_1m",
+                       "migrated"})
+
+_KINDS = ("throughput", "latency")
+
+#: Summary statistics stored per metric (see ``stats.summarise``).
+_SUMMARY_KEYS = frozenset({"count", "min", "max", "median", "iqr"})
+
+#: Legacy top-level keys that map onto v2 core fields; everything else
+#: on a legacy record is bench-specific payload and migrates to
+#: ``extra``.
+_LEGACY_CORE = frozenset(
+    {"config_label", "commit", "timestamp", "quick", "steps",
+     "seconds", "instructions_per_sec"})
+
+
+class ProfileSchemaError(ValueError):
+    """A trajectory record does not conform to the profile schema."""
+
+
+def environment_fingerprint() -> dict:
+    """The machine context a fresh profile is stamped with: enough to
+    explain an outlier record later (different interpreter, loaded
+    box) without trying to be a full system inventory."""
+    try:
+        load_1m = round(os.getloadavg()[0], 2)
+    except (OSError, AttributeError):  # pragma: no cover - esoteric OS
+        load_1m = 0.0
+    return {
+        "python": platform_module.python_version(),
+        "platform": sys.platform,
+        "cpus": os.cpu_count() or 1,
+        "load_1m": load_1m,
+    }
+
+
+def make_profile(config: str, kind: str, samples: dict,
+                 commit: str, timestamp: str, quick: bool = False,
+                 steps: int | None = None, extra: dict | None = None,
+                 env: dict | None = None) -> dict:
+    """Assemble (and validate) one v2 profile record."""
+    record = {
+        "schema": SCHEMA_VERSION,
+        "config": config,
+        "kind": kind,
+        "commit": commit,
+        "timestamp": timestamp,
+        "quick": bool(quick),
+        "samples": {metric: [float(value) for value in values]
+                    for metric, values in samples.items()},
+        "summary": {metric: stats.summarise(values)
+                    for metric, values in samples.items()},
+        "env": env if env is not None else environment_fingerprint(),
+    }
+    if steps is not None:
+        record["steps"] = int(steps)
+    if extra:
+        record["extra"] = extra
+    validate_record(record)
+    return record
+
+
+def validate_record(record: dict) -> None:
+    """Strict schema check; raises :class:`ProfileSchemaError`.
+
+    Unknown top-level or env keys fail, as do missing required fields,
+    a bad kind, empty/mismatched sample lists, or summary blocks that
+    disagree with the samples they summarise."""
+    if not isinstance(record, dict):
+        raise ProfileSchemaError(f"record is {type(record).__name__}, "
+                                 f"not an object")
+    keys = set(record)
+    missing = _TOP_LEVEL_REQUIRED - keys
+    if missing:
+        raise ProfileSchemaError(
+            f"record missing required fields: {sorted(missing)}")
+    unknown = keys - _TOP_LEVEL_REQUIRED - _TOP_LEVEL_OPTIONAL
+    if unknown:
+        raise ProfileSchemaError(
+            f"record carries unknown fields: {sorted(unknown)} "
+            f"(bench-specific payload belongs under 'extra')")
+    if record["schema"] != SCHEMA_VERSION:
+        raise ProfileSchemaError(
+            f"unsupported schema version {record['schema']!r} "
+            f"(expected {SCHEMA_VERSION})")
+    if record["kind"] not in _KINDS:
+        raise ProfileSchemaError(f"unknown kind {record['kind']!r} "
+                                 f"(expected one of {_KINDS})")
+    if not isinstance(record["config"], str) or not record["config"]:
+        raise ProfileSchemaError("config must be a non-empty string")
+    samples = record["samples"]
+    if not isinstance(samples, dict) or not samples:
+        raise ProfileSchemaError("samples must be a non-empty object "
+                                 "of metric -> list")
+    if "seconds" not in samples:
+        raise ProfileSchemaError("samples must include 'seconds'")
+    if record["kind"] == "throughput" and \
+            "instructions_per_sec" not in samples:
+        raise ProfileSchemaError("throughput records must sample "
+                                 "'instructions_per_sec'")
+    counts = set()
+    for metric, values in samples.items():
+        if not isinstance(values, list) or not values or \
+                not all(isinstance(value, (int, float))
+                        and not isinstance(value, bool)
+                        for value in values):
+            raise ProfileSchemaError(
+                f"samples[{metric!r}] must be a non-empty list of "
+                f"numbers")
+        counts.add(len(values))
+    if len(counts) != 1:
+        raise ProfileSchemaError(
+            f"sample lists disagree on repeat count: {sorted(counts)}")
+    summary = record["summary"]
+    if not isinstance(summary, dict) or set(summary) != set(samples):
+        raise ProfileSchemaError(
+            "summary must cover exactly the sampled metrics")
+    for metric, block in summary.items():
+        if not isinstance(block, dict) or \
+                set(block) != _SUMMARY_KEYS:
+            raise ProfileSchemaError(
+                f"summary[{metric!r}] must carry exactly "
+                f"{sorted(_SUMMARY_KEYS)}")
+        if block["count"] != len(samples[metric]):
+            raise ProfileSchemaError(
+                f"summary[{metric!r}] count {block['count']} != "
+                f"{len(samples[metric])} samples")
+    env = record["env"]
+    if not isinstance(env, dict):
+        raise ProfileSchemaError("env must be an object")
+    unknown_env = set(env) - _ENV_KEYS
+    if unknown_env:
+        raise ProfileSchemaError(
+            f"env carries unknown fields: {sorted(unknown_env)}")
+    for field, kind_check in (("commit", str), ("timestamp", str)):
+        if not isinstance(record[field], kind_check):
+            raise ProfileSchemaError(
+                f"{field} must be {kind_check.__name__}")
+    if "quick" in record and not isinstance(record["quick"], bool):
+        raise ProfileSchemaError("quick must be a boolean")
+    if "steps" in record and (not isinstance(record["steps"], int)
+                              or isinstance(record["steps"], bool)):
+        raise ProfileSchemaError("steps must be an integer")
+    if "extra" in record and not isinstance(record["extra"], dict):
+        raise ProfileSchemaError("extra must be an object")
+
+
+def migrate_record(record: dict) -> dict:
+    """Lift one legacy record to the v2 profile schema.
+
+    Already-v2 records pass through validated and untouched (the
+    migrator is idempotent).  A legacy record's single known
+    measurement becomes a length-1 distribution; its ``config_label``
+    becomes ``config`` (the key normalisation the rest of the tooling
+    reads); every bench-specific field moves under ``extra``; and the
+    environment fingerprint is ``{"migrated": true}`` — the machine
+    context of a pre-schema record is unknowable, and pretending
+    otherwise would poison noise calibration."""
+    if record.get("schema") == SCHEMA_VERSION:
+        validate_record(record)
+        return record
+    if "config_label" not in record:
+        raise ProfileSchemaError(
+            f"legacy record has no config_label: "
+            f"{sorted(record)[:8]}")
+    rate = float(record.get("instructions_per_sec", 0.0))
+    kind = "throughput" if rate > 0 else "latency"
+    samples = {"seconds": [float(record.get("seconds", 0.0))]}
+    if kind == "throughput":
+        samples["instructions_per_sec"] = [rate]
+    extra = {key: value for key, value in record.items()
+             if key not in _LEGACY_CORE}
+    return make_profile(
+        config=record["config_label"], kind=kind, samples=samples,
+        commit=str(record.get("commit", "unknown")),
+        timestamp=str(record.get("timestamp", "")),
+        quick=bool(record.get("quick", False)),
+        steps=int(record.get("steps", 0)),
+        extra=extra or None, env={"migrated": True})
+
+
+def migrate_trajectory(records: list[dict]) -> tuple[list[dict], int]:
+    """Migrate a whole trajectory; returns (records, how many legacy
+    records were lifted)."""
+    migrated = []
+    lifted = 0
+    for record in records:
+        if record.get("schema") != SCHEMA_VERSION:
+            lifted += 1
+        migrated.append(migrate_record(record))
+    return migrated, lifted
+
+
+def load_trajectory(path: pathlib.Path) -> list[dict]:
+    """Raw trajectory records (empty if the file does not exist)."""
+    if not path.exists():
+        return []
+    text = path.read_text().strip()
+    if not text:
+        return []
+    records = json.loads(text)
+    if not isinstance(records, list):
+        raise ProfileSchemaError(
+            f"{path} must hold a JSON array of records")
+    return records
+
+
+def load_profiles(path: pathlib.Path) -> list[dict]:
+    """Trajectory records lifted to the v2 schema (in memory only —
+    the file is rewritten only by an explicit ``migrate``)."""
+    migrated, _ = migrate_trajectory(load_trajectory(path))
+    return migrated
+
+
+def write_trajectory(path: pathlib.Path, records: list[dict]) -> None:
+    """Validate and write the full trajectory file."""
+    for record in records:
+        validate_record(record)
+    path.write_text(json.dumps(records, indent=2) + "\n")
+
+
+def last_profile(records: list[dict], config: str,
+                 full_only: bool = True) -> dict | None:
+    """The most recent profile for *config* (skipping quick records
+    unless *full_only* is false)."""
+    for record in reversed(records):
+        if record["config"] == config and \
+                (not full_only or not record.get("quick")):
+            return record
+    return None

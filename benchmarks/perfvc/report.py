@@ -1,0 +1,131 @@
+"""Trend view over the perf trajectory: per-config trajectories across
+commits, with degradation annotations.
+
+At 30+ records the raw JSON stops being legible; ``run_bench.py
+report`` renders one row per (config, record) in commit order, the
+median (with spread when the record carries a distribution), and the
+step from the previous record of the same config — annotated
+``degraded``/``improved`` only when the step clears the same
+noise-calibrated threshold the gate uses, so the table does not cry
+wolf on machine drift.
+"""
+
+from __future__ import annotations
+
+from perfvc import stats
+
+#: Metric a trajectory row is judged on, per record kind.  Throughput
+#: regresses downward, latency regresses upward.
+_PRIMARY = {"throughput": "instructions_per_sec", "latency": "seconds"}
+
+
+def _primary_samples(record: dict) -> list[float]:
+    return record["samples"][_PRIMARY[record["kind"]]]
+
+
+def trajectory_rows(records: list[dict],
+                    configs: tuple[str, ...] | None = None,
+                    include_quick: bool = False) -> list[dict]:
+    """One analysed row per record, grouped by config in append order.
+
+    Each row carries the record's median primary metric, its spread,
+    the relative change vs the previous record of the same config, the
+    calibrated threshold for that comparison, and a trend annotation
+    (``degraded``/``improved``/empty)."""
+    rows = []
+    previous: dict[str, dict] = {}
+    for record in records:
+        if record.get("quick") and not include_quick:
+            continue
+        config = record["config"]
+        if configs and config not in configs:
+            continue
+        samples = _primary_samples(record)
+        current_median = stats.median(samples)
+        row = {
+            "config": config,
+            "kind": record["kind"],
+            "metric": _PRIMARY[record["kind"]],
+            "commit": record["commit"],
+            "timestamp": record["timestamp"],
+            "median": current_median,
+            "repeats": len(samples),
+            "spread": stats.relative_spread(samples),
+            "migrated": bool(record["env"].get("migrated")),
+            "change": None,
+            "threshold": None,
+            "trend": "",
+        }
+        last = previous.get(config)
+        if last is not None and last["median"] > 0:
+            change = current_median / last["median"] - 1.0
+            threshold = stats.calibrated_min_effect(
+                [samples, last["samples"]])
+            # Throughput: down is bad.  Latency: up is bad.
+            if record["kind"] == "latency":
+                change = -change
+            row["change"] = change
+            row["threshold"] = threshold
+            if change <= -threshold:
+                row["trend"] = "degraded"
+            elif change >= threshold:
+                row["trend"] = "improved"
+        previous[config] = {"median": current_median,
+                            "samples": samples}
+        rows.append(row)
+    return rows
+
+
+def report_json(records: list[dict],
+                configs: tuple[str, ...] | None = None) -> dict:
+    """The report as a JSON-shaped object (``report --json``)."""
+    rows = trajectory_rows(records, configs)
+    return {
+        "configs": sorted({row["config"] for row in rows}),
+        "rows": rows,
+    }
+
+
+def render_report(records: list[dict],
+                  configs: tuple[str, ...] | None = None) -> str:
+    """The report as a plain-text table, one section per config."""
+    rows = trajectory_rows(records, configs)
+    if not rows:
+        return "perf report: no records"
+    lines = []
+    order: list[str] = []
+    for row in rows:
+        if row["config"] not in order:
+            order.append(row["config"])
+    for config in order:
+        config_rows = [row for row in rows if row["config"] == config]
+        metric = config_rows[0]["metric"]
+        lines.append(f"## {config} ({metric})")
+        headers = ["commit", "median", "n", "spread", "change", "trend"]
+        table = [headers, ["-" * len(header) for header in headers]]
+        for row in config_rows:
+            if metric == "seconds":
+                value = f"{row['median']:.4f}s"
+            else:
+                value = f"{row['median']:,.0f}"
+            change = "" if row["change"] is None \
+                else f"{row['change']:+.1%}"
+            spread = f"{row['spread']:.1%}" if row["repeats"] > 1 \
+                else "point"
+            table.append([row["commit"][:12], value,
+                          str(row["repeats"]), spread, change,
+                          row["trend"]])
+        widths = [max(len(line[i]) for line in table)
+                  for i in range(len(headers))]
+        for line in table:
+            lines.append("  ".join(
+                cell.ljust(width)
+                for cell, width in zip(line, widths)).rstrip())
+        lines.append("")
+    degraded = [row for row in rows if row["trend"] == "degraded"]
+    lines.append(f"{len(rows)} records, {len(degraded)} degradation "
+                 f"step(s)"
+                 + (": " + ", ".join(
+                     f"{row['config']}@{row['commit'][:12]}"
+                     for row in degraded) if degraded else ""))
+    return "\n".join(lines)

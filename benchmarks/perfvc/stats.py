@@ -1,0 +1,329 @@
+"""Paired-sample statistics for the perf version system (no scipy).
+
+Two situations need a verdict:
+
+- ``run_bench.py --compare REF`` interleaves old/new timed passes
+  (A, B, A, B, ...), so per-repeat *pairs* share a machine phase:
+  :func:`paired_permutation_p` is an exact sign-flip permutation test
+  over the per-pair log-ratios (exhaustive up to 16 pairs, seeded
+  Monte Carlo beyond).
+- ``run_bench.py --check`` compares fresh samples against the sample
+  distribution stored in the last committed profile record.  Those
+  come from different sittings, so the pairing is lost:
+  :func:`two_sample_permutation_p` is a label-shuffle permutation test
+  on the difference of medians.
+
+Significance alone is not a regression: on a quiet machine a 1% drop
+can be wildly significant.  :func:`calibrated_min_effect` turns the
+observed run-to-run spread into a minimum effect size, and a verdict
+flags a regression only when it is *both* statistically significant
+*and* at least that large.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from itertools import product
+
+#: One-sided significance level.  The --compare default of 5 paired
+#: repeats bounds the sign-flip p-value below at 1/2^5 = 0.03125, so
+#: alpha must sit above that for the test to have any power at the
+#: default repeat count.
+ALPHA = 0.05
+
+#: Effect-size floor: drops smaller than this are never flagged, no
+#: matter how significant — they are below what a reader of the
+#: trajectory would call a regression.
+EFFECT_FLOOR = 0.05
+
+#: The calibrated threshold is ``max(floor, k * relative spread)``:
+#: a regression must clear the observed run-to-run noise band with
+#: room to spare.
+NOISE_MULTIPLIER = 2.0
+
+#: Profile records need at least this many samples for the two-sample
+#: test to have resolution; thinner records (the migrated legacy
+#: best-of-5 points) fall back to a wide effect-only check.
+MIN_GATE_SAMPLES = 4
+
+#: Legacy fallback tolerance for single-point records — the flat gate
+#: this package replaces, kept only for records that predate
+#: distribution profiles.
+LEGACY_TOLERANCE = 0.30
+
+
+def median(samples: list[float]) -> float:
+    """The sample median (mean of the middle pair for even counts)."""
+    if not samples:
+        raise ValueError("median of no samples")
+    ordered = sorted(samples)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def quantile(samples: list[float], q: float) -> float:
+    """Linear-interpolation quantile (the numpy default method)."""
+    if not samples:
+        raise ValueError("quantile of no samples")
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    position = q * (len(ordered) - 1)
+    low = math.floor(position)
+    high = math.ceil(position)
+    fraction = position - low
+    return ordered[low] * (1 - fraction) + ordered[high] * fraction
+
+
+def iqr(samples: list[float]) -> float:
+    """The interquartile range, the spread statistic profiles store."""
+    return quantile(samples, 0.75) - quantile(samples, 0.25)
+
+
+def relative_spread(samples: list[float]) -> float:
+    """IQR over median: the run-to-run noise of a sample set, as a
+    fraction of its typical value.  Degenerate sets report zero."""
+    if len(samples) < 2:
+        return 0.0
+    centre = median(samples)
+    if centre == 0:
+        return 0.0
+    return abs(iqr(samples) / centre)
+
+
+def summarise(samples: list[float]) -> dict:
+    """The summary block a profile record stores per metric."""
+    return {
+        "count": len(samples),
+        "min": min(samples),
+        "max": max(samples),
+        "median": median(samples),
+        "iqr": iqr(samples) if len(samples) > 1 else 0.0,
+    }
+
+
+def calibrated_min_effect(sample_sets: list[list[float]],
+                          floor: float = EFFECT_FLOOR,
+                          k: float = NOISE_MULTIPLIER) -> float:
+    """The minimum relative drop that counts as a regression.
+
+    Calibrated from the *observed* noise: the worst relative spread
+    across the participating sample sets, times *k*, but never below
+    *floor*.  A machine whose best-of runs wobble 10% cannot support a
+    6% regression claim; a quiet machine should not flag 1% blips."""
+    noise = max((relative_spread(samples) for samples in sample_sets
+                 if len(samples) >= 2), default=0.0)
+    return max(floor, k * noise)
+
+
+def paired_permutation_p(old: list[float], new: list[float],
+                         draws: int = 4096, seed: int = 2009) -> float:
+    """One-sided sign-flip permutation p-value that *new* is slower.
+
+    *old* and *new* are per-repeat throughput samples from interleaved
+    passes; pair i of each shared a machine phase.  The statistic is
+    the mean per-pair log-ratio ``log(new_i / old_i)`` — under the null
+    (no true difference) each pair's ratio is as likely inverted, so
+    the reference distribution flips signs.  Exhaustive for up to 16
+    pairs (65536 flips), seeded Monte Carlo beyond.  The returned
+    p-value includes the identity permutation, so it is never zero.
+    """
+    if len(old) != len(new):
+        raise ValueError(f"paired test needs equal-length samples, "
+                         f"got {len(old)} vs {len(new)}")
+    if not old:
+        raise ValueError("paired test of no samples")
+    ratios = []
+    for before, after in zip(old, new):
+        if before <= 0 or after <= 0:
+            raise ValueError("paired test needs positive samples")
+        ratios.append(math.log(after / before))
+    # New slower means lower throughput: the alternative is a mean
+    # log-ratio below zero, so count permutations at least as extreme
+    # on the low side.
+    observed = sum(ratios)
+    count = len(ratios)
+    if count <= 16:
+        at_least = total = 0
+        for signs in product((1.0, -1.0), repeat=count):
+            stat = sum(sign * ratio for sign, ratio in zip(signs, ratios))
+            total += 1
+            if stat <= observed + 1e-12:
+                at_least += 1
+        return at_least / total
+    rng = random.Random(seed)
+    at_least = 1  # the identity permutation
+    for _ in range(draws):
+        stat = sum(ratio if rng.random() < 0.5 else -ratio
+                   for ratio in ratios)
+        if stat <= observed + 1e-12:
+            at_least += 1
+    return at_least / (draws + 1)
+
+
+def two_sample_permutation_p(recorded: list[float], fresh: list[float],
+                             draws: int = 4096,
+                             seed: int = 2009) -> float:
+    """One-sided label-shuffle permutation p-value that *fresh* is
+    slower than *recorded*.
+
+    The gate's test: recorded and fresh samples come from different
+    sittings, so no pairing exists.  The statistic is
+    ``median(fresh) - median(recorded)``; under the null the labels
+    are exchangeable, so shuffling them builds the reference
+    distribution.  Exhaustive over label assignments when there are at
+    most ~12 samples total, seeded Monte Carlo beyond.  Includes the
+    identity assignment, so never zero.
+    """
+    if not recorded or not fresh:
+        raise ValueError("two-sample test of no samples")
+    pooled = list(recorded) + list(fresh)
+    n_fresh = len(fresh)
+    observed = median(fresh) - median(recorded)
+    total_n = len(pooled)
+    if total_n <= 12:
+        from itertools import combinations
+
+        at_least = total = 0
+        for picks in combinations(range(total_n), n_fresh):
+            chosen = set(picks)
+            group_fresh = [pooled[i] for i in range(total_n)
+                           if i in chosen]
+            group_rec = [pooled[i] for i in range(total_n)
+                         if i not in chosen]
+            total += 1
+            if median(group_fresh) - median(group_rec) \
+                    <= observed + 1e-12:
+                at_least += 1
+        return at_least / total
+    rng = random.Random(seed)
+    at_least = 1  # the identity assignment
+    for _ in range(draws):
+        shuffled = pooled[:]
+        rng.shuffle(shuffled)
+        stat = median(shuffled[:n_fresh]) - median(shuffled[n_fresh:])
+        if stat <= observed + 1e-12:
+            at_least += 1
+    return at_least / (draws + 1)
+
+
+@dataclass
+class PairedVerdict:
+    """The --compare verdict for one configuration."""
+
+    config: str
+    old_median: float
+    new_median: float
+    ratio: float          #: new/old median throughput (>1 is faster)
+    p_value: float        #: one-sided, new slower than old
+    effect: float         #: relative drop, 1 - ratio (negative = gain)
+    min_effect: float     #: calibrated threshold the drop must clear
+    pairs: int
+    regressed: bool       #: significant AND effect >= min_effect
+
+    def describe(self) -> str:
+        verdict = "REGRESSED" if self.regressed else (
+            "improved" if -self.effect >= self.min_effect
+            and self.p_value > 1 - ALPHA else "no significant change")
+        return (f"{self.ratio:.3f}x (p={self.p_value:.4f}, "
+                f"effect {self.effect:+.1%} vs calibrated "
+                f"threshold {self.min_effect:.1%}, "
+                f"{self.pairs} pairs): {verdict}")
+
+
+def paired_verdict(config: str, old: list[float], new: list[float],
+                   alpha: float = ALPHA,
+                   floor: float = EFFECT_FLOOR,
+                   k: float = NOISE_MULTIPLIER) -> PairedVerdict:
+    """Judge an interleaved old/new sample set: a regression must be
+    statistically significant *and* clear the noise-calibrated minimum
+    effect."""
+    old_median = median(old)
+    new_median = median(new)
+    ratio = new_median / old_median if old_median > 0 else 0.0
+    p_value = paired_permutation_p(old, new)
+    # Calibrate on the per-pair ratios, not the marginal spreads: the
+    # shared machine phase that dominates marginal noise is exactly
+    # what interleaving cancels, and charging the threshold for it
+    # would throw the pairing's power away.
+    pair_ratios = [after / before for before, after in zip(old, new)]
+    min_effect = calibrated_min_effect([pair_ratios],
+                                       floor=floor, k=k)
+    effect = 1.0 - ratio
+    return PairedVerdict(
+        config=config, old_median=old_median, new_median=new_median,
+        ratio=ratio, p_value=p_value, effect=effect,
+        min_effect=min_effect, pairs=len(old),
+        regressed=(p_value < alpha and effect >= min_effect))
+
+
+@dataclass
+class GateVerdict:
+    """The --check verdict for one gated configuration."""
+
+    config: str
+    recorded_median: float
+    measured_median: float
+    p_value: float | None  #: None when the record is single-point
+    effect: float          #: relative drop vs the record
+    min_effect: float
+    regressed: bool
+    detail: str
+
+    def describe(self) -> str:
+        significance = "single-point record, effect-only fallback" \
+            if self.p_value is None else f"p={self.p_value:.4f}"
+
+        def fmt(value: float) -> str:
+            # Raw rates are ~1e5-1e6; calibration-normalised ones ~1e-1.
+            return f"{value:,.0f}" if value >= 1000 else f"{value:.4f}"
+
+        return (f"{fmt(self.measured_median)} vs recorded "
+                f"{fmt(self.recorded_median)} "
+                f"(effect {self.effect:+.1%}, threshold "
+                f"{self.min_effect:.1%}, {significance})")
+
+
+def gate_verdict(config: str, recorded: list[float],
+                 fresh: list[float], alpha: float = ALPHA,
+                 floor: float = EFFECT_FLOOR,
+                 k: float = NOISE_MULTIPLIER,
+                 legacy_tolerance: float = LEGACY_TOLERANCE
+                 ) -> GateVerdict:
+    """Judge fresh gate samples against a recorded distribution.
+
+    With a real recorded distribution (>= :data:`MIN_GATE_SAMPLES`
+    samples) the gate demands the drop be statistically significant
+    (two-sample permutation) *and* at least the calibrated minimum
+    effect.  Migrated single-point legacy records carry no spread, so
+    the gate falls back to an effect-only check against
+    *legacy_tolerance* — exactly the old flat gate, confined to
+    records that predate distribution profiles."""
+    recorded_median = median(recorded)
+    measured_median = median(fresh)
+    effect = 1.0 - (measured_median / recorded_median
+                    if recorded_median > 0 else 0.0)
+    if len(recorded) < MIN_GATE_SAMPLES:
+        regressed = effect >= legacy_tolerance
+        return GateVerdict(
+            config=config, recorded_median=recorded_median,
+            measured_median=measured_median, p_value=None,
+            effect=effect, min_effect=legacy_tolerance,
+            regressed=regressed,
+            detail="legacy single-point record: effect-only check at "
+                   f"{legacy_tolerance:.0%}; append a fresh "
+                   "distribution record to arm the statistical gate")
+    p_value = two_sample_permutation_p(recorded, fresh)
+    min_effect = calibrated_min_effect([recorded, fresh],
+                                       floor=floor, k=k)
+    regressed = p_value < alpha and effect >= min_effect
+    return GateVerdict(
+        config=config, recorded_median=recorded_median,
+        measured_median=measured_median, p_value=p_value,
+        effect=effect, min_effect=min_effect, regressed=regressed,
+        detail="statistical gate: significant AND >= calibrated "
+               "effect")

@@ -1,44 +1,58 @@
-"""Perf-trajectory entry point: measure the kernel, append to the log.
+"""Perf version system entry point: measure, gate, compare, report.
 
-Runs the :mod:`perf_kernel` harness and appends one record per
-configuration to ``BENCH_kernel.json`` at the repo root, so the file
-accumulates a per-commit performance history (a Perun-style performance
-version log)::
+Runs the :mod:`perf_kernel` harness and appends one *distribution
+profile* per configuration to ``BENCH_kernel.json`` at the repo root
+(a Perun-style performance version log — see ``perfvc/``).  Every
+record stores all repeat samples, summary statistics, and an
+environment fingerprint under a versioned schema::
 
-    {"commit": "...", "timestamp": "...", "config_label": "bare",
-     "instructions_per_sec": ..., "steps": ...}
+    {"schema": 2, "config": "bare", "kind": "throughput",
+     "commit": "...", "timestamp": "...",
+     "samples": {"instructions_per_sec": [...], "seconds": [...]},
+     "summary": {...}, "env": {"python": "...", "cpus": 1, ...}}
 
 Usage (from the repo root)::
 
-    PYTHONPATH=src python benchmarks/run_bench.py            # full run
-    PYTHONPATH=src python benchmarks/run_bench.py --quick    # smoke mode
-    PYTHONPATH=src python benchmarks/run_bench.py --dry-run  # no write
+    PYTHONPATH=src python benchmarks/run_bench.py              # full run
+    PYTHONPATH=src python benchmarks/run_bench.py --repeats 9  # deeper
+    PYTHONPATH=src python benchmarks/run_bench.py --quick      # smoke
+    PYTHONPATH=src python benchmarks/run_bench.py report       # trend
+    PYTHONPATH=src python benchmarks/run_bench.py migrate      # schema
 
 ``--quick`` trims the workload to a few pages and one repeat — cheap
 enough for the tier-1 flow — and by default does *not* write to the
 trajectory file (quick numbers are noisy; pass ``--write`` to force).
 
 ``--check`` is the CI perf gate: it measures the gated configurations
-(``bare``, ``learning``, and ``warm`` — best-of-5 run-to-run variance,
-see ``perf_kernel.measure_config``) on the *full* workload (the quick
-workload is too warm-up-dominated to compare against full-run records)
-and fails — exit status 1 — if throughput regressed more than
-:data:`REGRESSION_TOLERANCE` against the last committed full record for
-that configuration.  It never writes to the trajectory file.  The
-tier-1 wrapper honours ``SKIP_PERF_GATE=1`` for hardware unrelated to
-the recorded trajectory.
+(``bare``, ``learning``, and ``warm``) on the *full* workload and
+fails — exit status 1 — only when the drop against the last committed
+profile is **statistically significant** (two-sample permutation test
+against the recorded distribution) **and** at least the
+noise-calibrated minimum effect (``perfvc.stats.gate_verdict``).  The
+old flat 30% tolerance survives only as the fallback for migrated
+single-point legacy records, which carry no distribution to test
+against.  ``--check`` never writes.  The tier-1 wrapper honours
+``SKIP_PERF_GATE=1`` for hardware unrelated to the recorded
+trajectory.
 
 ``--compare REF`` is how a perf *claim* should be made: it checks
 *REF* out into a throwaway worktree and interleaves old/new timed
 passes (A, B, A, B, …) per configuration, so machine drift lands on
-both trees equally and the reported ratio is a paired sample rather
-than a record-vs-record delta.  Pick configs with ``--configs``.
+both trees equally, then judges the per-repeat *pairs* with an exact
+sign-flip permutation test plus the calibrated effect threshold.  Pick
+configs with ``--configs``.
+
+``report`` renders the per-config trajectory across commits (text
+table, or JSON with ``--json``) with degradation annotations;
+``migrate`` lifts legacy single-point records to the profile schema in
+place.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import pathlib
 import subprocess
 import sys
@@ -48,21 +62,16 @@ if __package__ in (None, ""):
     # Allow `python benchmarks/run_bench.py` without install.
     sys.path.insert(0, str(pathlib.Path(__file__).parent))
 from perf_kernel import (  # noqa: E402
-    measure_config,
-    run_kernel_bench,
+    measure_samples,
+    run_kernel_profiles,
     short_run_pages,
 )
+from perfvc import profiles as perf_profiles  # noqa: E402
+from perfvc import report as perf_report  # noqa: E402
+from perfvc import stats as perf_stats  # noqa: E402
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 TRAJECTORY = REPO_ROOT / "BENCH_kernel.json"
-
-#: --check fails when a gated config drops below (1 - this) x record.
-#: Widened from 0.20 once the dev runner's wall-clock was characterised
-#: as swinging ~25% between minutes (thermal/neighbour phases): the
-#: gate must catch real kernel regressions, not the machine's mood.
-#: Genuine perf work should quote same-sitting interleaved A/B runs,
-#: not record-vs-record deltas (see ROADMAP, perf discipline).
-REGRESSION_TOLERANCE = 0.30
 
 #: Configurations the CI gate holds to the trajectory.  ``learning``
 #: joined once its best-of-5 variance was characterised (~1%);
@@ -83,52 +92,33 @@ def current_commit() -> str:
 
 
 def load_trajectory(path: pathlib.Path = TRAJECTORY) -> list[dict]:
-    """The accumulated perf records (empty if the log does not exist)."""
-    if not path.exists():
-        return []
-    text = path.read_text().strip()
-    if not text:
-        return []
-    return json.loads(text)
+    """The raw trajectory records (empty if the log does not exist)."""
+    return perf_profiles.load_trajectory(path)
 
 
-def normalise_record(record: dict) -> dict:
-    """Guarantee the core numeric fields on a trajectory record.
+def append_profiles(records: list[dict],
+                    path: pathlib.Path = TRAJECTORY) -> None:
+    """Append v2 profile *records* to the trajectory file.
 
-    Every record carries ``steps``, ``seconds``, and
-    ``instructions_per_sec`` so trend tooling can parse the file with
-    one schema.  Latency-shaped records (the community-wave entries)
-    surface their wall-clock as ``seconds`` and zero for the throughput
-    fields they do not measure — zero, not absent, so a plot reads
-    "measured nothing" rather than crashing on a missing key.
-    """
-    if "seconds" not in record and "pipelined_seconds" in record:
-        record["seconds"] = record["pipelined_seconds"]
-    record.setdefault("seconds", 0.0)
-    record.setdefault("steps", 0)
-    record.setdefault("instructions_per_sec", 0.0)
-    return record
+    Any legacy records still in the file are lifted on the way through
+    (the writer keeps the invariant that the file on disk is always
+    uniformly schema-v2 after a write)."""
+    trajectory, _ = perf_profiles.migrate_trajectory(
+        load_trajectory(path))
+    trajectory.extend(records)
+    perf_profiles.write_trajectory(path, trajectory)
 
 
-def append_records(records: list[dict],
-                   path: pathlib.Path = TRAJECTORY) -> None:
-    """Append *records* to the trajectory file (a JSON array)."""
-    trajectory = load_trajectory(path)
-    trajectory.extend(normalise_record(record) for record in records)
-    path.write_text(json.dumps(trajectory, indent=2) + "\n")
+def last_full_record(config: str = "bare") -> dict | None:
+    """The most recent non-quick profile for *config* (migrated in
+    memory if the file predates the schema)."""
+    return perf_profiles.last_profile(
+        perf_profiles.load_profiles(TRAJECTORY), config)
 
 
-def last_full_record(config_label: str = "bare") -> dict | None:
-    """The most recent non-quick trajectory record for *config_label*."""
-    for record in reversed(load_trajectory()):
-        if record.get("config_label") == config_label and \
-                not record.get("quick"):
-            return record
-    return None
-
-
-def check_regression() -> int:
-    """The CI perf gate: fail on >20% regression in any gated config."""
+def check_regression(repeats: int = 5) -> int:
+    """The CI perf gate: statistically significant AND at least the
+    calibrated minimum effect (see ``perfvc.stats.gate_verdict``)."""
     records = {label: last_full_record(label) for label in GATED_CONFIGS}
     if not any(records.values()):
         print("perf gate: no committed full records; nothing to "
@@ -146,44 +136,82 @@ def check_regression() -> int:
             print(f"perf gate: no committed full {label} record; "
                   f"skipping that config (pass)")
             continue
-        # Same workload and best-of-5 methodology as the records we
-        # compare against (the warm config runs its short-run slice).
+        # Same workload as the records we compare against (the warm
+        # config runs its short-run slice).
         pages = short_run_pages() if label == "warm" \
             else evaluation_pages()
-        measured = measure_config(binary, label, pages, repeats=5)
-        floor = record["instructions_per_sec"] * \
-            (1 - REGRESSION_TOLERANCE)
-        verdict = "OK" if measured.instructions_per_sec >= floor \
-            else "FAIL"
-        print(f"perf gate [{verdict}]: {label} "
-              f"{measured.instructions_per_sec:,.0f} instr/sec vs "
-              f"recorded {record['instructions_per_sec']:,.0f} "
-              f"(commit {record['commit'][:12]}, floor {floor:,.0f})")
-        if verdict == "FAIL":
+        recorded_cal = record["samples"].get("calibration_ops_per_sec")
+
+        def judged(samples: list[dict]) -> list[float]:
+            """The sample list the gate statistics run on: kernel rate
+            per *sitting-median* calibration op when the record stores
+            the calibration reference, raw instr/sec otherwise (legacy
+            records).  Dividing by the sitting's median — not each
+            sample's own calibration reading — cancels the machine-wide
+            drift between sittings (what the calibration is for)
+            without injecting the busy-loop's own per-sample noise into
+            the spread the threshold calibrates on."""
+            if not recorded_cal:
+                return [sample["instructions_per_sec"]
+                        for sample in samples]
+            sitting = perf_stats.median(
+                [sample["calibration_ops_per_sec"]
+                 for sample in samples])
+            return [sample["instructions_per_sec"] / sitting
+                    for sample in samples]
+
+        if recorded_cal:
+            sitting = perf_stats.median(recorded_cal)
+            recorded = [rate / sitting for rate in
+                        record["samples"]["instructions_per_sec"]]
+        else:
+            recorded = record["samples"]["instructions_per_sec"]
+        fresh = measure_samples(binary, label, pages, repeats=repeats,
+                                calibrate=bool(recorded_cal))
+        fresh_judged = judged(fresh)
+        verdict = perf_stats.gate_verdict(label, recorded, fresh_judged)
+        if verdict.regressed:
+            # Confirmation pass: even calibration-normalised rates
+            # carry some cross-sitting residue.  Re-measure and judge
+            # the pooled fresh samples (the second batch normalised by
+            # its own sitting median) — a transient phase widens the
+            # pooled spread (raising the calibrated threshold) or
+            # lifts the median; a genuine regression confirms tightly.
+            print(f"perf gate: {label} suspect "
+                  f"({verdict.describe()}); confirming with a second "
+                  f"sitting")
+            confirm = measure_samples(binary, label, pages,
+                                      repeats=repeats,
+                                      calibrate=bool(recorded_cal))
+            fresh_judged += judged(confirm)
+            fresh += confirm
+            verdict = perf_stats.gate_verdict(label, recorded,
+                                              fresh_judged)
+        status = "FAIL" if verdict.regressed else "OK"
+        raw_median = perf_stats.median(
+            [sample["instructions_per_sec"] for sample in fresh])
+        unit = "machine-normalised" if recorded_cal else "raw"
+        print(f"perf gate [{status}]: {label} ({unit}) "
+              f"{verdict.describe()} [fresh raw median "
+              f"{raw_median:,.0f} instr/sec, commit "
+              f"{record['commit'][:12]}]")
+        if verdict.regressed:
             failures += 1
     if failures:
-        print(f"perf gate: regression exceeds "
-              f"{REGRESSION_TOLERANCE:.0%}; if intentional, append a "
-              f"fresh record via `python benchmarks/run_bench.py`")
+        print("perf gate: statistically significant regression beyond "
+              "the calibrated threshold; if intentional, append a "
+              "fresh record via `python benchmarks/run_bench.py`")
         return 1
     return 0
 
 
-def compare_against(ref: str, labels: tuple[str, ...],
-                    repeats: int = 5) -> int:
-    """Interleaved old/new A/B comparison against git *ref*.
+class CompareError(RuntimeError):
+    """A --compare step (checkout or measurement) failed."""
 
-    Record-vs-record deltas on this trajectory are polluted by machine
-    drift (see :data:`REGRESSION_TOLERANCE`); a perf claim should come
-    from *paired* samples instead.  This checks *ref* out into a
-    throwaway git worktree and, per repeat and configuration, runs one
-    timed pass in each tree back to back (``perf_kernel.py --once`` in
-    a subprocess, with ``PYTHONPATH`` pointing at the respective
-    ``src``) — every machine phase is handed to both trees equally, and
-    best-of-N compares like with like.  The current tree's harness
-    drives both sides, so both measure exactly the same workload the
-    same way.  Never writes to the trajectory file.
-    """
+
+def add_compare_worktree(ref: str) -> pathlib.Path:
+    """Check *ref* out into a throwaway git worktree; returns its path
+    (caller must :func:`remove_compare_worktree` it)."""
     import tempfile
 
     worktree = tempfile.mkdtemp(prefix="repro-bench-compare-")
@@ -192,47 +220,93 @@ def compare_against(ref: str, labels: tuple[str, ...],
             ["git", "worktree", "add", "--detach", worktree, ref],
             cwd=REPO_ROOT, check=True, capture_output=True, text=True)
     except subprocess.CalledProcessError as error:
-        print(f"--compare: cannot check out {ref!r}: "
-              f"{error.stderr.strip()}")
-        return 1
-    harness = REPO_ROOT / "benchmarks" / "perf_kernel.py"
-    sources = {"old": pathlib.Path(worktree) / "src",
-               "new": REPO_ROOT / "src"}
-    import os
+        pathlib.Path(worktree).rmdir()
+        raise CompareError(f"cannot check out {ref!r}: "
+                           f"{error.stderr.strip()}") from error
+    return pathlib.Path(worktree)
 
-    best: dict[tuple[str, str], dict] = {}
+
+def remove_compare_worktree(worktree: pathlib.Path) -> None:
+    """Drop a worktree created by :func:`add_compare_worktree`."""
+    subprocess.run(["git", "worktree", "remove", "--force",
+                    str(worktree)],
+                   cwd=REPO_ROOT, capture_output=True)
+
+
+def subprocess_once(src: pathlib.Path, label: str) -> dict:
+    """One timed pass of *label* in a subprocess whose ``PYTHONPATH``
+    points at *src* (``perf_kernel.py --once``); the --compare
+    measurement building block."""
+    harness = REPO_ROOT / "benchmarks" / "perf_kernel.py"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(src)
     try:
-        for repeat in range(repeats):
-            for label in labels:
-                for side, src in sources.items():
-                    env = dict(os.environ)
-                    env["PYTHONPATH"] = str(src)
-                    run = subprocess.run(
-                        [sys.executable, str(harness), "--once", label],
-                        env=env, check=True, capture_output=True,
-                        text=True)
-                    record = json.loads(run.stdout.strip().splitlines()[-1])
-                    key = (side, label)
-                    if key not in best or record["instructions_per_sec"] \
-                            > best[key]["instructions_per_sec"]:
-                        best[key] = record
+        run = subprocess.run(
+            [sys.executable, str(harness), "--once", label],
+            env=env, check=True, capture_output=True, text=True)
     except subprocess.CalledProcessError as error:
-        print(f"--compare: measurement subprocess failed:\n"
-              f"{error.stderr}")
+        raise CompareError(f"measurement subprocess failed for "
+                           f"{label}:\n{error.stderr}") from error
+    return json.loads(run.stdout.strip().splitlines()[-1])
+
+
+def collect_interleaved(sources: dict[str, pathlib.Path],
+                        labels: tuple[str, ...], repeats: int,
+                        runner=subprocess_once
+                        ) -> dict[tuple[str, str], list[dict]]:
+    """Interleaved paired sampling: per repeat and label, one timed
+    pass per source back to back, so sample *i* of every side shares a
+    machine phase.  Returns all samples keyed by (side, label)."""
+    samples: dict[tuple[str, str], list[dict]] = {
+        (side, label): [] for side in sources for label in labels}
+    for _ in range(repeats):
+        for label in labels:
+            for side, src in sources.items():
+                samples[(side, label)].append(runner(src, label))
+    return samples
+
+
+def compare_against(ref: str, labels: tuple[str, ...],
+                    repeats: int = 5, runner=subprocess_once) -> int:
+    """Interleaved old/new A/B comparison against git *ref*.
+
+    Record-vs-record deltas on this trajectory are polluted by machine
+    drift; a perf claim should come from *paired* samples instead.
+    This checks *ref* out into a throwaway git worktree and, per
+    repeat and configuration, runs one timed pass in each tree back to
+    back (``perf_kernel.py --once`` in a subprocess, with
+    ``PYTHONPATH`` pointing at the respective ``src``) — every machine
+    phase is handed to both trees equally.  The per-repeat pairs are
+    then judged with the exact sign-flip permutation test plus the
+    noise-calibrated effect threshold (``perfvc.stats``).  The current
+    tree's harness drives both sides, so both measure exactly the same
+    workload the same way.  Never writes to the trajectory file.
+    """
+    try:
+        worktree = add_compare_worktree(ref)
+    except CompareError as error:
+        print(f"--compare: {error}")
+        return 1
+    sources = {"old": worktree / "src", "new": REPO_ROOT / "src"}
+    try:
+        samples = collect_interleaved(sources, labels, repeats,
+                                      runner=runner)
+    except CompareError as error:
+        print(f"--compare: {error}")
         return 1
     finally:
-        subprocess.run(["git", "worktree", "remove", "--force", worktree],
-                       cwd=REPO_ROOT, capture_output=True)
+        remove_compare_worktree(worktree)
     print(f"paired comparison vs {ref} "
-          f"(interleaved best-of-{repeats}, full workload):")
+          f"(interleaved, {repeats} pairs per config):")
     for label in labels:
-        old = best[("old", label)]
-        new = best[("new", label)]
-        ratio = new["instructions_per_sec"] / \
-            max(old["instructions_per_sec"], 1e-9)
-        print(f"{label:>10}: {old['instructions_per_sec']:>12,.1f} -> "
-              f"{new['instructions_per_sec']:>12,.1f} instr/sec "
-              f"({ratio:.2f}x)")
+        old = [record["instructions_per_sec"]
+               for record in samples[("old", label)]]
+        new = [record["instructions_per_sec"]
+               for record in samples[("new", label)]]
+        verdict = perf_stats.paired_verdict(label, old, new)
+        print(f"{label:>10}: {verdict.old_median:>12,.1f} -> "
+              f"{verdict.new_median:>12,.1f} instr/sec "
+              f"{verdict.describe()}")
     return 0
 
 
@@ -245,12 +319,11 @@ def run_churn_bench(members: int = 8, seed: int = 2009,
     regimes — healthy, degraded (one seeded casualty evicted by the
     heartbeat prober), and recovered (the casualty relaunched, caught
     up on the patch ledger, and re-admitted) — plus the eviction and
-    recovery wall-clocks themselves.  Returns one latency-shaped
-    trajectory record (``config_label: community-churn``; throughput
-    fields are zeroed by :func:`normalise_record`).
+    recovery wall-clocks themselves.  Returns one legacy-shaped
+    latency record (the caller lifts it to a profile via
+    ``perfvc.profiles.migrate_record``).
     """
     import multiprocessing
-    import os
     import random
     import signal
     import time
@@ -316,10 +389,41 @@ def run_churn_bench(members: int = 8, seed: int = 2009,
         manager.close()
 
 
+def migrate_trajectory_file(path: pathlib.Path | None = None) -> int:
+    """Lift every legacy record in the trajectory file to the profile
+    schema, in place.  Returns how many records were migrated."""
+    path = TRAJECTORY if path is None else path
+    records = load_trajectory(path)
+    migrated, lifted = perf_profiles.migrate_trajectory(records)
+    if lifted:
+        perf_profiles.write_trajectory(path, migrated)
+    print(f"migrate: {lifted} legacy record(s) lifted to schema "
+          f"v{perf_profiles.SCHEMA_VERSION}, "
+          f"{len(migrated) - lifted} already current")
+    return lifted
+
+
+def render_trajectory_report(as_json: bool = False,
+                             configs: tuple[str, ...] | None = None
+                             ) -> str:
+    """The trend view over the whole trajectory file."""
+    records = perf_profiles.load_profiles(TRAJECTORY)
+    if as_json:
+        return json.dumps(perf_report.report_json(records, configs),
+                          indent=2)
+    return perf_report.render_report(records, configs)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
-        description="Measure kernel instructions/sec and append to "
-                    "BENCH_kernel.json")
+        description="Measure kernel instructions/sec and append "
+                    "distribution profiles to BENCH_kernel.json")
+    parser.add_argument("command", nargs="?",
+                        choices=("report", "migrate"),
+                        help="report: render the per-config trajectory "
+                             "with degradation annotations; migrate: "
+                             "lift legacy records to the profile "
+                             "schema in place")
     parser.add_argument("--quick", action="store_true",
                         help="smoke mode: few pages, one repeat, "
                              "no write unless --write")
@@ -329,20 +433,27 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--dry-run", action="store_true",
                         help="measure and print, never write")
     parser.add_argument("--check", action="store_true",
-                        help="CI perf gate: fail (exit 1) on >20%% "
-                             "regression in the bare or learning "
-                             "config vs the last committed records; "
-                             "never writes")
+                        help="CI perf gate: fail (exit 1) when a gated "
+                             "config's drop vs its recorded "
+                             "distribution is statistically "
+                             "significant AND at least the calibrated "
+                             "minimum effect; never writes")
     parser.add_argument("--compare", metavar="REF",
                         help="interleaved old/new A/B paired-sample "
-                             "comparison against a git ref (per repeat "
-                             "and config, one timed pass in each tree "
-                             "back to back); never writes")
+                             "comparison against a git ref, judged by "
+                             "a sign-flip permutation test; never "
+                             "writes")
     parser.add_argument("--configs", default="bare,learning",
-                        help="comma-separated configs for --compare "
-                             "(default: bare,learning)")
+                        help="comma-separated configs for --compare / "
+                             "report filter (default: bare,learning; "
+                             "report defaults to all)")
     parser.add_argument("--repeats", type=int, default=5,
-                        help="paired repeats for --compare (default 5)")
+                        help="samples per config: full-run profile "
+                             "distribution size, --check fresh "
+                             "samples, and --compare pairs "
+                             "(default 5)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the report as JSON")
     parser.add_argument("--churn", action="store_true",
                         help="fleet-churn bench: 8 socket members under "
                              "a seeded fault schedule; records wave "
@@ -350,25 +461,39 @@ def main(argv: list[str] | None = None) -> int:
                              "eviction/recovery wall-clock")
     args = parser.parse_args(argv)
 
+    if args.command == "migrate":
+        migrate_trajectory_file()
+        return 0
+    if args.command == "report":
+        configs = None
+        if args.configs != parser.get_default("configs"):
+            configs = tuple(label.strip() for label in
+                            args.configs.split(",") if label.strip())
+        print(render_trajectory_report(as_json=args.json,
+                                       configs=configs))
+        return 0
     if args.check:
-        return check_regression()
+        return check_regression(repeats=args.repeats)
     if args.churn:
-        record = run_churn_bench()
-        record.update({"commit": current_commit(),
-                       "timestamp": datetime.now(timezone.utc)
-                       .isoformat(timespec="seconds")})
-        print(f"community-churn ({record['members']} members, seed "
-              f"{record['seed']}):")
+        legacy = run_churn_bench()
+        print(f"community-churn ({legacy['members']} members, seed "
+              f"{legacy['seed']}):")
         for key in ("healthy_wave_seconds", "degraded_wave_seconds",
                     "recovered_wave_seconds", "eviction_seconds",
                     "recovery_seconds"):
-            print(f"  {key:24s} {record[key]:.3f}s")
+            print(f"  {key:24s} {legacy[key]:.3f}s")
+        rejoined = legacy["rejoined"]
+        legacy.update({"commit": current_commit(),
+                       "timestamp": datetime.now(timezone.utc)
+                       .isoformat(timespec="seconds")})
         if not args.dry_run:
-            append_records([record])
+            record = perf_profiles.migrate_record(legacy)
+            record["env"] = perf_profiles.environment_fingerprint()
+            append_profiles([record])
             print(f"appended 1 record to {TRAJECTORY}")
         else:
             print("(not written to the trajectory file)")
-        return 0 if record["rejoined"] else 1
+        return 0 if rejoined else 1
     if args.compare:
         labels = tuple(label.strip()
                        for label in args.configs.split(",") if label.strip())
@@ -378,25 +503,32 @@ def main(argv: list[str] | None = None) -> int:
     commit = current_commit()
     timestamp = datetime.now(timezone.utc).isoformat(timespec="seconds")
     records = []
-    for bench in run_kernel_bench(quick=args.quick):
-        record = {"commit": commit, "timestamp": timestamp,
-                  "quick": args.quick}
-        record.update(bench.as_dict())
+    for measured in run_kernel_profiles(quick=args.quick,
+                                        repeats=args.repeats):
+        record = perf_profiles.make_profile(
+            config=measured["config"], kind=measured["kind"],
+            samples=measured["samples"], commit=commit,
+            timestamp=timestamp, quick=args.quick,
+            steps=measured["steps"])
         records.append(record)
-        print(f"{record['config_label']:>10}: "
-              f"{record['instructions_per_sec']:>12,.1f} instr/sec "
-              f"({record['steps']} steps in {record['seconds']:.3f}s)")
-    rates = {record["config_label"]: record["instructions_per_sec"]
-             for record in records}
-    if rates.get("cold-short") and rates.get("warm"):
+        rates = measured["samples"]["instructions_per_sec"]
+        summary = record["summary"]["instructions_per_sec"]
+        print(f"{record['config']:>10}: {summary['median']:>12,.1f} "
+              f"instr/sec median (best {max(rates):,.1f}, "
+              f"IQR {summary['iqr']:,.1f}, n={len(rates)}, "
+              f"{record['steps']} steps)")
+    medians = {record["config"]:
+               record["summary"]["instructions_per_sec"]["median"]
+               for record in records}
+    if medians.get("cold-short") and medians.get("warm"):
         print(f"  warm/cold-short: "
-              f"{rates['warm'] / rates['cold-short']:.2f}x "
+              f"{medians['warm'] / medians['cold-short']:.2f}x "
               f"(§4.4.5 snapshot warm-start vs cold launches, "
-              f"short-run workload)")
+              f"short-run workload, interleaved medians)")
 
     should_write = not args.dry_run and (not args.quick or args.write)
     if should_write:
-        append_records(records)
+        append_profiles(records)
         print(f"appended {len(records)} records to {TRAJECTORY}")
     else:
         print("(not written to the trajectory file)")

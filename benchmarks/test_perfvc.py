@@ -1,0 +1,339 @@
+"""The perf version system: schema validation, legacy migration,
+profile round-trips (pinned by golden fixtures), statistics, and the
+trend report.
+
+Run with ``pytest benchmarks/test_perfvc.py`` (benchmarks are not in
+the tier-1 testpaths; the perf *gate* is wired into tier-1 by
+``tests/test_event_kernel.py``).
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+import pathlib
+
+import pytest
+from perfvc import profiles, report, stats
+
+FIXTURES = pathlib.Path(__file__).parent / "fixtures"
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def good_record(**overrides) -> dict:
+    record = profiles.make_profile(
+        config="bare", kind="throughput",
+        samples={"instructions_per_sec": [100.0, 110.0, 105.0],
+                 "seconds": [1.0, 0.9, 0.95]},
+        commit="deadbeef", timestamp="2026-08-08T00:00:00+00:00",
+        steps=71974)
+    record.update(overrides)
+    return record
+
+
+class TestSchemaValidation:
+    def test_good_record_passes(self):
+        profiles.validate_record(good_record())
+
+    def test_missing_required_field_fails(self):
+        record = good_record()
+        del record["samples"]
+        with pytest.raises(profiles.ProfileSchemaError,
+                           match="missing required"):
+            profiles.validate_record(record)
+
+    def test_unknown_top_level_field_fails(self):
+        # The legacy wart this schema kills: bench-specific keys
+        # sprinkled at top level instead of under `extra`.
+        with pytest.raises(profiles.ProfileSchemaError,
+                           match="unknown fields.*members"):
+            profiles.validate_record(good_record(members=8))
+
+    def test_legacy_config_label_key_fails(self):
+        # `config` is the one normalised key; a record trying to
+        # reintroduce `config_label` is rejected, not silently read.
+        with pytest.raises(profiles.ProfileSchemaError,
+                           match="unknown fields.*config_label"):
+            profiles.validate_record(good_record(config_label="bare"))
+
+    def test_unknown_env_key_fails(self):
+        record = good_record()
+        record["env"] = dict(record["env"], hostname="leaky")
+        with pytest.raises(profiles.ProfileSchemaError,
+                           match="env carries unknown"):
+            profiles.validate_record(record)
+
+    def test_unknown_kind_fails(self):
+        with pytest.raises(profiles.ProfileSchemaError,
+                           match="unknown kind"):
+            profiles.validate_record(good_record(kind="vibes"))
+
+    def test_wrong_schema_version_fails(self):
+        with pytest.raises(profiles.ProfileSchemaError,
+                           match="unsupported schema"):
+            profiles.validate_record(good_record(schema=1))
+
+    def test_mismatched_sample_lengths_fail(self):
+        record = good_record()
+        record["samples"]["seconds"] = [1.0]
+        with pytest.raises(profiles.ProfileSchemaError,
+                           match="disagree on repeat count"):
+            profiles.validate_record(record)
+
+    def test_summary_count_mismatch_fails(self):
+        record = good_record()
+        record["summary"]["seconds"]["count"] = 7
+        with pytest.raises(profiles.ProfileSchemaError,
+                           match="count"):
+            profiles.validate_record(record)
+
+    def test_throughput_needs_rate_samples(self):
+        record = good_record()
+        del record["samples"]["instructions_per_sec"]
+        del record["summary"]["instructions_per_sec"]
+        with pytest.raises(profiles.ProfileSchemaError,
+                           match="instructions_per_sec"):
+            profiles.validate_record(record)
+
+
+class TestMigration:
+    LEGACY_THROUGHPUT = {
+        "commit": "abc123", "timestamp": "2026-07-28T01:10:00+00:00",
+        "quick": False, "config_label": "bare",
+        "instructions_per_sec": 151198.1, "steps": 71974,
+        "seconds": 0.476}
+    LEGACY_LATENCY = {
+        "config_label": "community-churn", "transport": "socket",
+        "members": 8, "seed": 2009, "evicted": True, "rejoined": True,
+        "healthy_wave_seconds": 0.0556, "seconds": 0.0556,
+        "commit": "abc123", "timestamp": "2026-08-08T01:12:24+00:00",
+        "steps": 0, "instructions_per_sec": 0.0}
+
+    def test_throughput_record_lifts(self):
+        record = profiles.migrate_record(dict(self.LEGACY_THROUGHPUT))
+        profiles.validate_record(record)
+        assert record["config"] == "bare"
+        assert "config_label" not in record
+        assert record["kind"] == "throughput"
+        assert record["samples"]["instructions_per_sec"] == [151198.1]
+        assert record["summary"]["seconds"]["median"] == 0.476
+        assert record["env"] == {"migrated": True}
+
+    def test_latency_record_moves_payload_to_extra(self):
+        record = profiles.migrate_record(dict(self.LEGACY_LATENCY))
+        profiles.validate_record(record)
+        assert record["kind"] == "latency"
+        assert "instructions_per_sec" not in record["samples"]
+        assert record["extra"]["healthy_wave_seconds"] == 0.0556
+        assert record["extra"]["transport"] == "socket"
+
+    def test_migration_is_idempotent(self):
+        once = profiles.migrate_record(dict(self.LEGACY_THROUGHPUT))
+        twice = profiles.migrate_record(copy.deepcopy(once))
+        assert once == twice
+
+    def test_record_without_config_label_is_rejected(self):
+        with pytest.raises(profiles.ProfileSchemaError,
+                           match="no config_label"):
+            profiles.migrate_record({"seconds": 1.0})
+
+    def test_migrate_trajectory_counts(self):
+        records = [dict(self.LEGACY_THROUGHPUT),
+                   profiles.migrate_record(dict(self.LEGACY_LATENCY))]
+        migrated, lifted = profiles.migrate_trajectory(records)
+        assert lifted == 1
+        assert len(migrated) == 2
+        for record in migrated:
+            profiles.validate_record(record)
+
+
+class TestGoldenRoundTrip:
+    """write -> migrate legacy -> read -> report, pinned by fixtures."""
+
+    def test_legacy_fixture_migrates_to_golden(self):
+        legacy = json.loads(
+            (FIXTURES / "legacy_trajectory.json").read_text())
+        golden = json.loads(
+            (FIXTURES / "migrated_trajectory.json").read_text())
+        migrated, lifted = profiles.migrate_trajectory(legacy)
+        assert lifted == len(legacy) == 5
+        assert migrated == golden
+
+    def test_round_trip_through_file(self, tmp_path):
+        golden = json.loads(
+            (FIXTURES / "migrated_trajectory.json").read_text())
+        path = tmp_path / "trajectory.json"
+        profiles.write_trajectory(path, golden)
+        assert profiles.load_profiles(path) == golden
+
+    def test_migrate_in_file_then_read(self, tmp_path):
+        legacy = (FIXTURES / "legacy_trajectory.json").read_text()
+        path = tmp_path / "trajectory.json"
+        path.write_text(legacy)
+        loaded = profiles.load_profiles(path)  # in-memory lift
+        migrated, lifted = profiles.migrate_trajectory(
+            profiles.load_trajectory(path))
+        assert lifted == 5
+        profiles.write_trajectory(path, migrated)
+        again, lifted_again = profiles.migrate_trajectory(
+            profiles.load_trajectory(path))
+        assert lifted_again == 0
+        assert again == loaded
+
+    def test_report_over_golden_fixture(self):
+        golden = json.loads(
+            (FIXTURES / "migrated_trajectory.json").read_text())
+        rendered = report.render_report(golden)
+        # The fixture's bare trajectory ends on a 21% drop between
+        # single-point records — annotated as a degradation step.
+        assert "## bare (instructions_per_sec)" in rendered
+        assert "## community-churn (seconds)" in rendered
+        assert "degraded" in rendered
+        assert "5 records, 1 degradation step(s)" in rendered
+        payload = report.report_json(golden)
+        assert sorted(payload["configs"]) == [
+            "bare", "community-churn", "community-wave-process"]
+        bare_rows = [row for row in payload["rows"]
+                     if row["config"] == "bare"]
+        assert [row["trend"] for row in bare_rows] == \
+            ["", "improved", "degraded"]
+        assert all(row["migrated"] for row in payload["rows"])
+
+    def test_committed_trajectory_is_fully_migrated(self):
+        """The real BENCH_kernel.json: every record validates against
+        the v2 schema, all 25 legacy records were lifted, and each
+        gated config has at least one true distribution record (so the
+        statistical gate is armed, not in legacy fallback)."""
+        records = profiles.load_trajectory(
+            REPO_ROOT / "BENCH_kernel.json")
+        for record in records:
+            profiles.validate_record(record)
+        assert sum(1 for record in records
+                   if record["env"].get("migrated")) == 25
+        for config in ("bare", "learning", "warm"):
+            last = profiles.last_profile(records, config)
+            assert last is not None
+            assert last["summary"]["instructions_per_sec"]["count"] \
+                >= stats.MIN_GATE_SAMPLES
+
+
+class TestStats:
+    def test_median_and_iqr(self):
+        assert stats.median([3.0, 1.0, 2.0]) == 2.0
+        assert stats.median([4.0, 1.0, 2.0, 3.0]) == 2.5
+        assert stats.iqr([1.0, 2.0, 3.0, 4.0, 5.0]) == 2.0
+
+    def test_relative_spread_degenerate(self):
+        assert stats.relative_spread([5.0]) == 0.0
+        assert stats.relative_spread([0.0, 0.0]) == 0.0
+
+    def test_paired_p_all_slower_is_min(self):
+        # Every pair slower: only the identity sign assignment is as
+        # extreme, so p = 1 / 2^n exactly.
+        old = [100.0, 101.0, 102.0, 103.0, 104.0]
+        new = [90.0, 91.0, 92.0, 93.0, 94.0]
+        assert stats.paired_permutation_p(old, new) == \
+            pytest.approx(1 / 32)
+
+    def test_paired_p_no_change_is_large(self):
+        old = [100.0, 101.0, 99.0, 100.5, 100.2]
+        new = [100.1, 100.9, 99.1, 100.4, 100.3]
+        assert stats.paired_permutation_p(old, new) > stats.ALPHA
+
+    def test_paired_p_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError, match="equal-length"):
+            stats.paired_permutation_p([1.0], [1.0, 2.0])
+
+    def test_two_sample_p_detects_shift(self):
+        # Complete 5-vs-5 separation: the median statistic's coarse
+        # granularity bounds p at 6/252, comfortably under alpha.
+        recorded = [100.0, 102.0, 98.0, 101.0, 99.0]
+        fresh = [80.0, 82.0, 78.0, 81.0, 79.0]
+        assert stats.two_sample_permutation_p(recorded, fresh) == \
+            pytest.approx(6 / 252)
+        assert stats.two_sample_permutation_p(recorded, fresh) \
+            < stats.ALPHA
+
+    def test_calibrated_min_effect_floor(self):
+        quiet = [[100.0, 100.1, 99.9, 100.05]]
+        assert stats.calibrated_min_effect(quiet) == \
+            stats.EFFECT_FLOOR
+
+    def test_calibrated_min_effect_scales_with_noise(self):
+        noisy = [[100.0, 120.0, 85.0, 110.0, 90.0]]
+        threshold = stats.calibrated_min_effect(noisy)
+        assert threshold > stats.EFFECT_FLOOR
+        assert threshold == pytest.approx(
+            stats.NOISE_MULTIPLIER * stats.relative_spread(noisy[0]))
+
+    def test_gate_verdict_legacy_fallback(self):
+        # A migrated single-point record cannot support a statistical
+        # verdict; the gate falls back to the old flat tolerance and
+        # says so.
+        verdict = stats.gate_verdict("bare", [100.0],
+                                     [80.0, 81.0, 79.0, 80.5, 79.5])
+        assert verdict.p_value is None
+        assert not verdict.regressed
+        assert verdict.min_effect == stats.LEGACY_TOLERANCE
+        assert "legacy" in verdict.detail
+        beyond = stats.gate_verdict("bare", [100.0],
+                                    [60.0, 61.0, 59.0, 60.5, 59.5])
+        assert beyond.regressed
+
+    def test_gate_verdict_significant_but_tiny_passes(self):
+        # Wildly significant 2% drop on a quiet machine: below the
+        # effect floor, so not a regression.
+        recorded = [100.0, 100.1, 99.9, 100.05, 100.02]
+        fresh = [98.0, 98.1, 97.9, 98.05, 98.02]
+        verdict = stats.gate_verdict("bare", recorded, fresh)
+        assert verdict.p_value < stats.ALPHA
+        assert not verdict.regressed
+
+
+class TestRunBenchCli:
+    """The run_bench.py command surface over a scratch trajectory."""
+
+    def test_append_profiles_lifts_legacy_in_file(self, tmp_path):
+        import run_bench
+
+        path = tmp_path / "trajectory.json"
+        path.write_text(
+            (FIXTURES / "legacy_trajectory.json").read_text())
+        run_bench.append_profiles([good_record()], path=path)
+        records = profiles.load_trajectory(path)
+        assert len(records) == 6
+        for record in records:
+            profiles.validate_record(record)
+
+    def test_report_command_renders(self, capsys, monkeypatch,
+                                    tmp_path):
+        import run_bench
+
+        path = tmp_path / "trajectory.json"
+        golden = (FIXTURES / "migrated_trajectory.json").read_text()
+        path.write_text(golden)
+        monkeypatch.setattr(run_bench, "TRAJECTORY", path)
+        assert run_bench.main(["report"]) == 0
+        out = capsys.readouterr().out
+        assert "## bare (instructions_per_sec)" in out
+        assert "degradation step" in out
+        assert run_bench.main(["report", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["configs"]
+
+    def test_migrate_command_in_place(self, capsys, monkeypatch,
+                                      tmp_path):
+        import run_bench
+
+        path = tmp_path / "trajectory.json"
+        path.write_text(
+            (FIXTURES / "legacy_trajectory.json").read_text())
+        monkeypatch.setattr(run_bench, "TRAJECTORY", path)
+        assert run_bench.main(["migrate"]) == 0
+        assert "5 legacy record(s)" in capsys.readouterr().out
+        migrated = json.loads(path.read_text())
+        assert migrated == json.loads(
+            (FIXTURES / "migrated_trajectory.json").read_text())
+        # Second run: nothing left to lift.
+        assert run_bench.main(["migrate"]) == 0
+        assert "0 legacy record(s)" in capsys.readouterr().out

@@ -1,0 +1,155 @@
+"""Seeded self-test for the statistical regression detector.
+
+Two obligations, per the perf version system's charter:
+
+- **Power**: an injected slowdown of the size the gate promises to
+  catch (>= 15%) must be flagged — both on synthetic seeded noise
+  draws (deterministic) and on a real calibrated busy-loop workload
+  (actual wall-clock, interleaved pairs).
+- **False-positive guard**: across 20 seeded no-change noise draws,
+  nothing may be flagged.  The old flat 30% gate was widened *because*
+  machine noise kept tripping it; the statistical gate must not
+  reintroduce that failure mode.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+import pytest
+from perfvc import stats
+
+#: Seeds for the no-change false-positive guard.
+SEEDS = range(20)
+
+#: Relative run-to-run noise of the synthetic machine, chosen to match
+#: the characterised dev runner (~25% peak-to-peak wall-clock swing,
+#: shared between interleaved pairs, plus small per-run jitter).
+PHASE_NOISE = 0.12
+JITTER = 0.02
+
+
+def synthetic_pairs(seed: int, pairs: int = 10, base: float = 1000.0,
+                    slowdown: float = 0.0
+                    ) -> tuple[list[float], list[float]]:
+    """Interleaved throughput samples from a simulated noisy machine.
+
+    Pair *i* shares a machine phase (that is what interleaving buys),
+    each run adds independent jitter, and *slowdown* is the injected
+    true effect on the "new" side."""
+    rng = random.Random(seed)
+    old, new = [], []
+    for _ in range(pairs):
+        phase = 1.0 + rng.uniform(-PHASE_NOISE, PHASE_NOISE)
+        old.append(base * phase * (1 + rng.uniform(-JITTER, JITTER)))
+        new.append(base * phase * (1.0 - slowdown)
+                   * (1 + rng.uniform(-JITTER, JITTER)))
+    return old, new
+
+
+def synthetic_samples(seed: int, count: int = 5, base: float = 1000.0,
+                      noise: float = 0.04,
+                      slowdown: float = 0.0) -> list[float]:
+    """One sitting's unpaired samples (the gate's two-sample shape)."""
+    rng = random.Random(seed)
+    return [base * (1.0 - slowdown) * (1 + rng.uniform(-noise, noise))
+            for _ in range(count)]
+
+
+class TestPairedDetector:
+    def test_injected_slowdown_is_flagged_across_seeds(self):
+        for seed in SEEDS:
+            old, new = synthetic_pairs(seed, slowdown=0.15)
+            verdict = stats.paired_verdict("bare", old, new)
+            assert verdict.regressed, \
+                f"seed {seed}: 15% injected slowdown not flagged " \
+                f"({verdict.describe()})"
+
+    def test_no_change_never_flagged_across_seeds(self):
+        flagged = [seed for seed in SEEDS
+                   if stats.paired_verdict(
+                       "bare", *synthetic_pairs(seed)).regressed]
+        assert not flagged, \
+            f"false positives on no-change draws: seeds {flagged}"
+
+    def test_threshold_calibrates_on_pair_ratios_not_phase_noise(self):
+        # The 12% shared machine phase dominates the marginal spread,
+        # but pairing cancels it: the calibrated threshold must come
+        # from the per-pair ratio spread (a few %), not the marginal
+        # spread — otherwise the pairing's power is thrown away.
+        for seed in SEEDS:
+            old, new = synthetic_pairs(seed)
+            verdict = stats.paired_verdict("bare", old, new)
+            marginal = stats.calibrated_min_effect([old, new])
+            assert verdict.min_effect < 0.15
+            assert verdict.min_effect <= marginal
+
+
+class TestGateDetector:
+    def test_injected_slowdown_is_flagged_across_seeds(self):
+        # Recorded and fresh sittings with a 20% true shift between
+        # them and modest within-sitting noise: flagged every time.
+        for seed in SEEDS:
+            recorded = synthetic_samples(seed)
+            fresh = synthetic_samples(seed + 1000, slowdown=0.20)
+            verdict = stats.gate_verdict("bare", recorded, fresh)
+            assert verdict.regressed, \
+                f"seed {seed}: 20% shift not flagged " \
+                f"({verdict.describe()})"
+
+    def test_no_change_never_flagged_across_seeds(self):
+        flagged = [seed for seed in SEEDS
+                   if stats.gate_verdict(
+                       "bare", synthetic_samples(seed),
+                       synthetic_samples(seed + 1000)).regressed]
+        assert not flagged, \
+            f"false positives on no-change draws: seeds {flagged}"
+
+
+class TestBusyLoopWorkload:
+    """The detector against real wall-clock: a calibrated busy-loop
+    plays the kernel, a 30% longer loop plays the regressed kernel."""
+
+    @staticmethod
+    def _calibrate(target_seconds: float = 0.002) -> int:
+        iterations = 10_000
+        while True:
+            started = time.perf_counter()
+            total = 0
+            for i in range(iterations):
+                total += i
+            elapsed = time.perf_counter() - started
+            if elapsed >= target_seconds or iterations >= 10_000_000:
+                return iterations
+            iterations *= 2
+
+    @staticmethod
+    def _rate(iterations: int) -> float:
+        started = time.perf_counter()
+        total = 0
+        for i in range(iterations):
+            total += i
+        return iterations / (time.perf_counter() - started)
+
+    @pytest.mark.slow
+    def test_injected_busy_loop_slowdown_is_flagged(self):
+        base = self._calibrate()
+        slow = int(base * 1.30)
+        old, new = [], []
+        for _ in range(10):  # interleaved: pair shares machine phase
+            old.append(self._rate(base))
+            # The slow side retires the same "work" (base iterations'
+            # worth) in slow-loop time: a true ~23% throughput drop.
+            new.append(self._rate(slow) * base / slow)
+        verdict = stats.paired_verdict("busy-loop", old, new)
+        assert verdict.regressed, verdict.describe()
+        assert verdict.effect > 0.15
+
+    @pytest.mark.slow
+    def test_unchanged_busy_loop_not_flagged(self):
+        base = self._calibrate()
+        old = [self._rate(base) for _ in range(10)]
+        new = [self._rate(base) for _ in range(10)]
+        verdict = stats.paired_verdict("busy-loop", old, new)
+        assert not verdict.regressed, verdict.describe()

@@ -326,8 +326,10 @@ class TestBenchSmoke:
                "set SKIP_PERF_GATE=1 on unrelated hardware")
     def test_run_bench_check_gate(self):
         """The CI perf gate: the current tree must hold the committed
-        bare-config throughput within the regression tolerance, and the
-        gate must never touch the trajectory file."""
+        throughput distributions — a failure requires a statistically
+        significant drop at least the noise-calibrated minimum effect
+        (perfvc.stats.gate_verdict) — and the gate must never touch
+        the trajectory file."""
         repo_root = pathlib.Path(__file__).resolve().parent.parent
         bench = repo_root / "benchmarks" / "run_bench.py"
         trajectory = repo_root / "BENCH_kernel.json"
@@ -340,5 +342,9 @@ class TestBenchSmoke:
         assert completed.returncode == 0, \
             completed.stdout + completed.stderr
         assert "perf gate" in completed.stdout
+        # The statistical gate reports its evidence, not a flat
+        # tolerance: effect vs calibrated threshold, significance.
+        assert "effect" in completed.stdout
+        assert "threshold" in completed.stdout
         after = trajectory.read_text() if trajectory.exists() else None
         assert before == after
