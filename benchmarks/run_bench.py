@@ -119,6 +119,10 @@ def last_full_record(config: str = "bare") -> dict | None:
 def check_regression(repeats: int = 5) -> int:
     """The CI perf gate: statistically significant AND at least the
     calibrated minimum effect (see ``perfvc.stats.gate_verdict``)."""
+    if os.environ.get("SKIP_PERF_GATE"):
+        print("perf gate: SKIP_PERF_GATE set — skipped (hardware "
+              "unrelated to the recorded trajectory)")
+        return 0
     records = {label: last_full_record(label) for label in GATED_CONFIGS}
     if not any(records.values()):
         print("perf gate: no committed full records; nothing to "

@@ -254,6 +254,22 @@ def _cmd_community(args) -> int:
                       f"{status['total']} members alive "
                       f"(quorum {'held' if status['quorum'] else 'LOST'}"
                       f", min {status['min_members']})")
+            health = status["patch_health"]
+            print(f"patch health:      {health['watched']} watched, "
+                  f"{health['bad']} bad, {health['toxic']} toxic, "
+                  f"{health['blacklisted']} blacklisted, "
+                  f"{health['revocations']} revocation(s)")
+            for record in health["records"]:
+                if record["status"] == "healthy":
+                    continue
+                print(f"  [{record['status']:11s}] {record['key']} — "
+                      f"{record['successes']}s/{record['crashes']}c/"
+                      f"{record['expiries']}e/"
+                      f"{record['detector_firings']}f, "
+                      f"{record['member_kills']} member kill(s)")
+            if status["revived"]:
+                print(f"revived members:   "
+                      + ", ".join(status["revived"]))
             print("wire bytes by kind:")
             for kind, total in \
                     sorted(manager.bus.bytes_by_kind().items()):

@@ -51,9 +51,11 @@ from repro.dynamo.execution import (
     Outcome,
     RunResult,
 )
+from repro.dynamo.guardrails import PatchHealthLedger, TOXIC_KILLS
 from repro.dynamo.patches import Patch
 from repro.errors import CommunityError
 from repro.learning.database import InvariantDatabase
+from repro.learning.quarantine import QuarantineBuffer
 from repro.vm.binary import Binary
 
 _STRATEGIES = {
@@ -146,6 +148,32 @@ class CommunityEnvironment:
                 member.remove_patch(patch)
             except MemberFailure:
                 continue
+
+    def revoke_patch(self, patch: Patch) -> int:
+        """Fleet-wide revocation: withdraw *patch* from every live
+        member in one wave, idempotently.
+
+        Unlike :meth:`remove_patch`, a member that no longer holds the
+        patch (joined after its install wave, or already caught up past
+        its removal) simply acknowledges — a revocation must never cost
+        members.  Returns how many members actually held the patch.
+        """
+        if patch in self.patches:
+            self.patches.remove(patch)
+            if self._ledger is not None:
+                self._ledger.log_remove(patch)
+        held = 0
+        for member in self.alive_members():
+            revoke = getattr(member, "revoke_patch", None)
+            try:
+                if revoke is not None:
+                    held += 1 if revoke(patch) else 0
+                else:  # pragma: no cover - all handles implement revoke
+                    member.remove_patch(patch)
+                    held += 1
+            except MemberFailure:
+                continue
+        return held
 
     def clear_patches(self, predicate=None) -> int:
         victims = [patch for patch in self.patches
@@ -263,6 +291,11 @@ class DistributedLearningReport:
     degraded: bool = False
     #: Live members at the end of the learning episode.
     alive_members: int = 0
+    #: §3.1 delayed incorporation: True when the merged database went
+    #: into quarantine instead of the live model (it is released into
+    #: the model only after aging out clean — see
+    #: :class:`~repro.learning.quarantine.QuarantineBuffer`).
+    quarantined: bool = False
 
 
 class CommunityManager:
@@ -296,7 +329,8 @@ class CommunityManager:
                  worker_timeout: float | None = None,
                  min_members: int = 1,
                  reshard_budget: int | None = None,
-                 heartbeat_interval: float | None = None):
+                 heartbeat_interval: float | None = None,
+                 quarantine_ticks: int = 0):
         self.binary = binary.stripped()
         self.config = config or EnvironmentConfig.full()
         if transport is None:
@@ -355,6 +389,16 @@ class CommunityManager:
         self.database: InvariantDatabase | None = None
         self.procedures: ProcedureDatabase | None = None
         self.clearview: ClearView | None = None
+        #: §3.1 delayed incorporation: with ``quarantine_ticks > 0``,
+        #: post-bootstrap learning episodes sit in quarantine until
+        #: they age out clean (clean attacks tick the buffer; a
+        #: detector firing discards everything pending).
+        self.quarantine = QuarantineBuffer(
+            quarantine_ticks=quarantine_ticks) \
+            if quarantine_ticks > 0 else None
+        #: Members relaunched after a patch-induced casualty (toxic
+        #: candidate containment): the member was not at fault.
+        self.revived: list[str] = []
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -389,10 +433,14 @@ class CommunityManager:
 
     def community_status(self) -> dict:
         """Degraded-mode report: lifecycle state per member, quorum
-        health, and the transport's casualty list."""
+        health, the transport's casualty list, and the patch-health
+        ledger's surveillance summary."""
         states = {member.name: getattr(member, "state", "active")
                   for member in self.environment.members}
         alive = len(self.environment.alive_members())
+        health = (self.clearview.guardrails.report()
+                  if self.clearview is not None
+                  else PatchHealthLedger().report())
         return {
             "members": states,
             "alive": alive,
@@ -402,6 +450,8 @@ class CommunityManager:
             "degraded": alive < len(self.environment.members),
             "dropped": [dropped.name for dropped in
                         getattr(self.transport, "dropped", ())],
+            "patch_health": health,
+            "revived": list(self.revived),
         }
 
     def close(self) -> None:
@@ -516,7 +566,16 @@ class CommunityManager:
             # shard (nothing orphaned to re-distribute).
             raise CommunityError(
                 "every member failed during distributed learning")
-        self.database = merged
+        quarantined = False
+        if self.quarantine is not None and self.database is not None:
+            # §3.1 delayed incorporation: the community already has a
+            # live model, so this episode's invariants sit in quarantine
+            # until they age out clean (clean attacks tick the buffer; a
+            # detector firing discards them).
+            self.quarantine.submit(merged, source="learn-distributed")
+            quarantined = True
+        else:
+            self.database = merged
         upload_bytes = self.bus.bytes_by_kind().get("invariant-upload", 0)
         per_node = [observations.get(member.name, 0)
                     for member in self.members]
@@ -527,7 +586,8 @@ class CommunityManager:
             upload_bytes=upload_bytes,
             dropped_members=dropped,
             degraded=bool(dropped),
-            alive_members=len(self.environment.alive_members()))
+            alive_members=len(self.environment.alive_members()),
+            quarantined=quarantined)
 
     def adopt_model(self, database: InvariantDatabase,
                     procedures: ProcedureDatabase) -> None:
@@ -549,13 +609,41 @@ class CommunityManager:
         return self.clearview
 
     def attack(self, page: bytes) -> RunResult:
-        """Present an attack page to the community (round-robin member)."""
+        """Present an attack page to the community (round-robin member).
+
+        Post-deployment surveillance rides along: the core attributes
+        the run's terminal event to deployed patches by proximity
+        (:meth:`~repro.core.clearview.ClearView.run` folds it into the
+        patch-health ledger), and the §3.1 quarantine buffer — when
+        armed — ticks on clean completions and discards on detector
+        firings.  Member losses are *not* charged here: a member can
+        die for reasons that have nothing to do with the deployed
+        patch (churn, injected faults), and transport-level churn must
+        stay invisible to the repair decisions — candidate-induced
+        kills are charged where they can be retried and confirmed, in
+        :meth:`evaluate_candidates_in_parallel`.
+        """
         if self.clearview is None:
             self.protect()
         assert self.clearview is not None
         self._refresh_membership()
         self._require_quorum("attack presentation")
-        return self.clearview.run(page)
+        result = self.clearview.run(page)
+        if self.quarantine is not None:
+            if result.outcome is Outcome.FAILURE:
+                self.quarantine.report_undesirable_event()
+            elif result.outcome is Outcome.COMPLETED:
+                for ready in self.quarantine.tick():
+                    self._absorb_quarantined(ready)
+        return result
+
+    def _absorb_quarantined(self, database: InvariantDatabase) -> None:
+        """Fold a quarantine-released learning episode into the live
+        model (the protecting core sees it immediately)."""
+        self.database = database if self.database is None \
+            else self.database.merge(database)
+        if self.clearview is not None:
+            self.clearview.database = self.database
 
     def immune_members(self, page: bytes) -> int:
         """How many members survive *page* right now — patched members
@@ -619,8 +707,16 @@ class CommunityManager:
         community tries N candidate repairs per attack wave instead of 1.
         On the process transport the wave is dispatched to every member
         before any verdict is collected, so candidates genuinely run
-        concurrently.  A member that fails mid-trial is dropped and its
-        candidate returns to the front of the queue.
+        concurrently.
+
+        Toxic-candidate containment: a member that fails mid-trial is
+        dropped and its candidate returns to the front of the queue, to
+        be retried on a *different* member before the candidate is
+        charged — a single casualty may be the member's fault.  A
+        candidate that kills :data:`~repro.dynamo.guardrails.TOXIC_KILLS`
+        members is marked toxic in the patch-health ledger, blacklisted
+        out of the evaluator, and its victims relaunched on transports
+        that support respawn (the members were not at fault).
         """
         assert self.clearview is not None
         session = self.clearview.sessions.get(failure_pc)
@@ -628,13 +724,40 @@ class CommunityManager:
             raise RuntimeError("no repair evaluation in progress for "
                                f"{failure_pc:#x}")
         # Take over from the sequential evaluator: withdraw whatever trial
-        # repair it had distributed before farming out the candidates.
-        for patch in list(session.current_patches):
-            self.environment.remove_patch(patch)
-        session.current_patches = []
-        session.current_repair = None
+        # repair it had distributed before farming out the candidates
+        # (the core's removal path, so surveillance is unwound too).
+        self.clearview._remove_current_patches(session)
+        guardrails = self.clearview.guardrails
         rounds = 0
-        queue = list(session.evaluator.ranking())
+        queue = [scored for scored in session.evaluator.ranking()
+                 if not scored.blacklisted]
+        #: id(scored) -> member handles this candidate killed.
+        kills: dict[int, list] = {}
+
+        def charge_kill(member, scored) -> bool:
+            """Attribute a casualty; returns True if the candidate
+            should be retried (not yet toxic)."""
+            key = scored.candidate.description
+            victims = kills.setdefault(id(scored), [])
+            victims.append(member)
+            guardrails.record_member_kill(key, [member.name],
+                                          failure_id=session.failure_id)
+            if len(victims) < TOXIC_KILLS:
+                return True
+            # Toxic: eject from the pool for good and make amends to
+            # the members it took down.
+            session.evaluator.record_failure(scored)
+            session.evaluator.blacklist(scored)
+            guardrails.record_toxic(key, failure_id=session.failure_id)
+            self.clearview.events.append(
+                f"candidate-toxic {session.failure_id}: {key}")
+            respawn = getattr(self.transport, "respawn", None)
+            if respawn is not None:
+                for victim in victims:
+                    if not victim.alive and respawn(victim):
+                        self.revived.append(victim.name)
+            return False
+
         while queue:
             self._refresh_membership()
             self._require_quorum("parallel repair evaluation")
@@ -642,18 +765,36 @@ class CommunityManager:
             if not members:
                 raise CommunityError(
                     "no live members left to evaluate repairs")
-            wave, queue = queue[:len(members)], queue[len(members):]
+            # Greedy best-ranked-first pairing, steering each retried
+            # candidate away from members it already killed (best
+            # effort: with every live member a prior victim, progress
+            # beats avoidance).
+            free = list(members)
+            wave: list[tuple] = []
+            deferred = []
+            for scored in queue:
+                if not free:
+                    deferred.append(scored)
+                    continue
+                victims = {victim.name
+                           for victim in kills.get(id(scored), ())}
+                choice = next((member for member in free
+                               if member.name not in victims), free[0])
+                free.remove(choice)
+                wave.append((choice, scored))
+            queue = deferred
             rounds += 1
             trials = []
-            failed = []  # dispatch + gather casualties (any order)
-            for member, scored in zip(members, wave):
+            retry = []   # casualties to requeue (candidate not charged)
+            for member, scored in wave:
                 patches = build_repair_patch(
                     self.binary, scored.candidate, session.failure_id,
                     database=self.database)
                 try:
                     member.start_evaluate_candidate(patches, page)
                 except MemberFailure:
-                    failed.append(scored)
+                    if charge_kill(member, scored):
+                        retry.append(scored)
                     continue
                 trials.append((member, scored))
             winner = None
@@ -661,7 +802,8 @@ class CommunityManager:
                 try:
                     result = member.finish_evaluate_candidate()
                 except MemberFailure:
-                    failed.append(scored)
+                    if charge_kill(member, scored):
+                        retry.append(scored)
                     continue
                 success = (result.outcome is Outcome.COMPLETED or
                            (result.outcome is Outcome.FAILURE and
@@ -676,10 +818,11 @@ class CommunityManager:
                 else:
                     session.evaluator.record_failure(scored)
             # Requeue casualties in their original ranking (wave) order.
-            queue[:0] = [scored for scored in wave
-                         if any(scored is victim for victim in failed)]
+            queue[:0] = [scored for _, scored in wave
+                         if any(scored is victim for victim in retry)]
             if winner is not None:
-                # Distribute the winner community-wide.
+                # Distribute the winner community-wide and open its
+                # post-deployment surveillance record.
                 patches = build_repair_patch(
                     self.binary, winner.candidate, session.failure_id,
                     database=self.database)
@@ -690,5 +833,8 @@ class CommunityManager:
                 session.current_repair = winner
                 session.current_patches = patches
                 session.state = SessionState.PATCHED
+                guardrails.watch(winner.candidate.description,
+                                 session.failure_id, patches,
+                                 failure_pc=failure_pc)
                 return rounds
         return rounds

@@ -135,6 +135,14 @@ class LocalMember:
     def remove_patch(self, patch: Patch) -> None:
         self.node.remove_patch(patch)
 
+    def revoke_patch(self, patch: Patch) -> bool:
+        """Idempotent removal for revocation waves; returns whether the
+        member actually held the patch."""
+        if patch not in self.node.environment.patches:
+            return False
+        self.node.remove_patch(patch)
+        return True
+
     def applied_patches(self) -> list[dict]:
         return [patch_summary(patch)
                 for patch in self.node.environment.patches]

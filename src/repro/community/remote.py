@@ -686,6 +686,21 @@ def serve_channel(channel: FramedChannel, name: str, binary: Binary,
             if epoch is not None:
                 state.patch_epoch = int(epoch)
             return {"ok": True}
+        if op == "revoke-patch":
+            # Fleet-wide revocation: idempotent by design.  A member
+            # that never held the patch (joined after its wave, or
+            # already caught up past its removal) acknowledges instead
+            # of erroring — a revocation wave must never cost members.
+            patch = state.installed.pop(request["patch_id"], None)
+            held = patch is not None
+            if held:
+                node.remove_patch(patch)
+                state.reported_fired.pop(patch.patch_id, None)
+                state.release_capture(patch)
+            epoch = request.get("epoch")
+            if epoch is not None:
+                state.patch_epoch = int(epoch)
+            return {"ok": True, "held": held}
         if op == "catch-up":
             # Rejoin replay: the net ledger deltas since this worker's
             # acknowledged epoch, removes strictly before installs.
@@ -1150,6 +1165,24 @@ class ChannelMember:
         ledger.unregister(patch)
         self.acked_epoch = ledger.epoch
 
+    def revoke_patch(self, patch: Patch) -> bool:
+        """Idempotent removal for revocation waves.
+
+        Unlike :meth:`remove_patch`, a member that does not hold the
+        patch acknowledges (``held`` False) instead of being dropped
+        as errored.  Returns whether the member actually held it.
+        """
+        ledger = self._transport.ledger
+        response = self.call("revoke-patch", patch_id=patch.patch_id,
+                             epoch=ledger.epoch)
+        held = bool(response.get("held"))
+        if held:
+            if patch.patch_id in self._ledger_ids:
+                self._ledger_ids.remove(patch.patch_id)
+            ledger.unregister(patch)
+        self.acked_epoch = ledger.epoch
+        return held
+
     def applied_patches(self) -> list[dict]:
         response = self.call("applied-patches")
         return self._expect("applied-patches",
@@ -1498,6 +1531,31 @@ class ChannelTransport:
               names: list[str]) -> list[ChannelMember]:
         raise NotImplementedError
 
+    def respawn(self, member: "ChannelMember",
+                timeout: float | None = None) -> bool:
+        """Relaunch a dropped member's worker process, if the transport
+        can (a member lost to a patch-induced crash or hang is not the
+        member's fault — toxic-candidate containment revives it).
+        Returns True once the member is back in dispatch."""
+        return False
+
+    def _catch_up(self, member: "ChannelMember", epoch: int) -> None:
+        """Replay the net ledger deltas since *epoch*, then re-admit."""
+        ledger = self.ledger
+        removes, installs = ledger.deltas_since(epoch)
+        # After catch-up the member holds the whole live set; register
+        # those holds *before* the command so a drop mid-replay releases
+        # exactly them and survivors' refcounts stay intact.
+        live = ledger.live_at(ledger.epoch)
+        for patch in live:
+            ledger.register(patch)
+        member._ledger_ids = [patch.patch_id for patch in live]
+        member.call("catch-up", **wire.catch_up_to_dict(
+            removes, [wire.patch_to_dict(patch) for patch in installs],
+            ledger.epoch))
+        member.acked_epoch = ledger.epoch
+        member.state = "active"
+
     def close(self) -> None:
         """Shut every worker down; idempotent, leaves no orphans."""
         if self._closed:
@@ -1715,6 +1773,11 @@ class SocketTransport(ChannelTransport):
         # Stashed at spawn: what a brand-new member admitted through
         # poll_rejoins is constructed with.
         self._binary: Binary | None = None
+        self._config: EnvironmentConfig | None = None
+        #: Respawned worker processes awaiting their rejoin handshake,
+        #: by member name; adopted by :meth:`poll_rejoins` so the
+        #: member owns (and can reap) its fresh process handle.
+        self._pending_respawns: dict[str, object] = {}
 
     def listen(self) -> tuple[str, int]:
         """Bind the member listener; returns the bound (host, port)."""
@@ -1777,6 +1840,7 @@ class SocketTransport(ChannelTransport):
         if self.members:
             raise CommunityError("transport already has a worker pool")
         self._binary = binary
+        self._config = config
         self.listen()
         # External members rename placeholder slots to their announced
         # hello names; work on a copy so the caller's list is untouched.
@@ -1910,7 +1974,8 @@ class SocketTransport(ChannelTransport):
                         continue
                     member = ChannelMember(self, name, self._binary, None)
                     self.members.append(member)
-                member.adopt_channel(channel)
+                member.adopt_channel(
+                    channel, process=self._pending_respawns.pop(name, None))
                 self.deliver(Message(
                     sender=name, recipient="server", kind="hello",
                     payload=hello, frame_size=channel.received_bytes))
@@ -1923,22 +1988,46 @@ class SocketTransport(ChannelTransport):
                 self._compact_ledger()
         return admitted
 
-    def _catch_up(self, member: ChannelMember, epoch: int) -> None:
-        """Replay the net ledger deltas since *epoch*, then re-admit."""
-        ledger = self.ledger
-        removes, installs = ledger.deltas_since(epoch)
-        # After catch-up the member holds the whole live set; register
-        # those holds *before* the command so a drop mid-replay releases
-        # exactly them and survivors' refcounts stay intact.
-        live = ledger.live_at(ledger.epoch)
-        for patch in live:
-            ledger.register(patch)
-        member._ledger_ids = [patch.patch_id for patch in live]
-        member.call("catch-up", **wire.catch_up_to_dict(
-            removes, [wire.patch_to_dict(patch) for patch in installs],
-            ledger.epoch))
-        member.acked_epoch = ledger.epoch
-        member.state = "active"
+    def respawn(self, member: ChannelMember,
+                timeout: float | None = None) -> bool:
+        """Relaunch a dropped loopback worker under its old name.
+
+        Only spawned (loopback) members can be relaunched — externally
+        started members own their lifecycle and rejoin on their own via
+        :meth:`poll_rejoins`.  The fresh process dials the listener and
+        is admitted through the ordinary rejoin path (hello epoch 0,
+        full live-set catch-up).
+        """
+        if self.accept_external or self._binary is None or \
+                self._listener is None or self._closed:
+            return False
+        if member.alive or member not in self.members:
+            return member.alive
+        cafile = self.certfile
+        if member.name in self._plaintext_members:
+            cafile = None
+        process = self._context.Process(
+            target=_socket_worker_main,
+            args=(self.host, self.port, member.name, self._binary,
+                  self._config, cafile, self.frame_deadline),
+            name=f"community-{member.name}", daemon=True)
+        process.start()
+        self._pending_respawns[member.name] = process
+        budget = self.spawn_timeout if timeout is None else timeout
+        deadline = _monotonic() + budget
+        while not member.alive and _monotonic() < deadline:
+            self.poll_rejoins(budget=0.2)
+            if not process.is_alive() and not member.alive:
+                break
+        leftover = self._pending_respawns.pop(member.name, None)
+        if leftover is not None and not member.alive:
+            # The fresh worker never completed its handshake; reap it.
+            try:
+                leftover.terminate()
+                leftover.join(timeout=5)
+            except (OSError, ValueError):  # pragma: no cover - teardown
+                pass
+        return member.alive
 
     def close(self) -> None:
         super().close()

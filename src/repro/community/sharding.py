@@ -87,24 +87,55 @@ class ProcessTransport(ChannelTransport):
             self._context = multiprocessing.get_context(start_method)
         except ValueError:  # pragma: no cover - non-POSIX fallback
             self._context = multiprocessing.get_context()
+        # Stashed at spawn so a member lost to a patch-induced fault
+        # can be relaunched under its old name (see :meth:`respawn`).
+        self._binary: Binary | None = None
+        self._config: EnvironmentConfig | None = None
+
+    def _launch(self, name: str) -> tuple[FramedChannel, object]:
+        server_sock, worker_sock = socket.socketpair()
+        process = self._context.Process(
+            target=_worker_main,
+            args=(worker_sock, self.frame_deadline, name, self._binary,
+                  self._config),
+            name=f"community-{name}", daemon=True)
+        process.start()
+        worker_sock.close()
+        channel = FramedChannel(server_sock,
+                                frame_deadline=self.frame_deadline)
+        return channel, process
 
     def spawn(self, binary: Binary, config: EnvironmentConfig | None,
               names: list[str]) -> list[ProcessMember]:
         if self.members:
             raise CommunityError("transport already has a worker pool")
+        self._binary = binary
+        self._config = config
         for name in names:
-            server_sock, worker_sock = socket.socketpair()
-            process = self._context.Process(
-                target=_worker_main,
-                args=(worker_sock, self.frame_deadline, name, binary,
-                      config),
-                name=f"community-{name}", daemon=True)
-            process.start()
-            worker_sock.close()
+            channel, process = self._launch(name)
             self.members.append(ProcessMember(
-                self, name, binary,
-                FramedChannel(server_sock,
-                              frame_deadline=self.frame_deadline),
-                process=process))
+                self, name, binary, channel, process=process))
         self.start_heartbeat()
         return list(self.members)
+
+    def respawn(self, member: ChannelMember,
+                timeout: float | None = None) -> bool:
+        """Relaunch a dropped member as a fresh worker process.
+
+        The new process starts with nothing installed (hello epoch 0
+        semantics); the full live patch set is replayed through the
+        ledger catch-up before the member returns to dispatch.
+        """
+        if self._binary is None or self._closed or \
+                member not in self.members:
+            return False
+        if member.alive:
+            return True
+        channel, process = self._launch(member.name)
+        member.adopt_channel(channel, process=process)
+        try:
+            self._catch_up(member, 0)
+        except CommunityError:
+            return False
+        self._compact_ledger()
+        return True

@@ -44,7 +44,7 @@ from repro.core.repair import (
     SkipCallRepair,
 )
 from repro.dynamo.execution import Outcome, RunResult
-from repro.dynamo.patches import Patch
+from repro.dynamo.patches import JumpPatch, Patch, PokePatch
 from repro.learning.invariants import invariant_from_dict
 from repro.learning.variables import Variable
 
@@ -153,6 +153,9 @@ def run_result_to_dict(result: RunResult) -> dict:
         "call_sites": list(result.call_sites),
         "interrupted_pc": result.interrupted_pc,
         "stats": dict(result.stats),
+        # JSON objects key by string; decode restores the int patch ids.
+        "patch_proximity": {str(patch_id): distance for patch_id, distance
+                            in result.patch_proximity.items()},
     }
 
 
@@ -169,6 +172,9 @@ def run_result_from_dict(payload: dict) -> RunResult:
             call_sites=tuple(payload.get("call_sites", ())),
             interrupted_pc=payload.get("interrupted_pc"),
             stats=dict(payload.get("stats", {})),
+            patch_proximity={
+                int(patch_id): int(distance) for patch_id, distance
+                in payload.get("patch_proximity", {}).items()},
         )
     except (KeyError, ValueError, TypeError) as error:
         raise WireError(f"malformed run result: {error}") from error
@@ -185,6 +191,10 @@ _PATCH_TYPES = {
     "set-from-variable": SetFromVariableRepair,
     "skip-call": SkipCallRepair,
     "return-from-procedure": ReturnFromProcedureRepair,
+    # Generic primitives (no invariant): distributable so the chaos
+    # harness's adversarial repairs reach real worker processes.
+    "jump": JumpPatch,
+    "poke": PokePatch,
 }
 _TYPE_BY_CLASS = {cls: name for name, cls in _PATCH_TYPES.items()}
 
@@ -211,6 +221,13 @@ def patch_to_dict(patch: Patch) -> dict:
     if isinstance(patch, CapturePatch):
         payload["variable"] = str(patch.variable)
         payload["capture_id"] = patch.capture.capture_id
+        return payload
+    if isinstance(patch, JumpPatch):
+        payload["target"] = patch.target
+        return payload
+    if isinstance(patch, PokePatch):
+        payload["address"] = patch.address
+        payload["value"] = patch.value
         return payload
     payload["invariant"] = patch.invariant.to_dict()
     payload["capture_id"] = (patch.capture.capture_id
@@ -259,6 +276,11 @@ def patch_from_dict(payload: dict, captures: dict[str, ValueCapture],
             return CapturePatch(
                 variable=Variable.parse(payload["variable"]),
                 capture=capture_cell(payload["capture_id"]), **base)
+        if kind == "jump":
+            return JumpPatch(target=payload["target"], **base)
+        if kind == "poke":
+            return PokePatch(address=payload["address"],
+                             value=payload["value"], **base)
         invariant = invariant_from_dict(payload["invariant"])
         capture = capture_cell(payload.get("capture_id"))
         if kind == "check":

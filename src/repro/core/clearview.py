@@ -47,6 +47,7 @@ from repro.core.repair import (
     generate_candidate_repairs,
 )
 from repro.dynamo.execution import ManagedEnvironment, Outcome, RunResult
+from repro.dynamo.guardrails import REVOCATION_BLACKLIST, PatchHealthLedger
 from repro.dynamo.patches import Patch
 from repro.learning.database import InvariantDatabase
 from repro.learning.invariants import Invariant, LessThan, LowerBound, OneOf
@@ -160,6 +161,13 @@ class ClearView:
         self.sink = ObservationSink()
         #: Log of (event, session failure_id) strings, for reports/tests.
         self.events: list[str] = []
+        #: Post-deployment surveillance: §2.6 scoring continues after a
+        #: repair is selected (see :mod:`repro.dynamo.guardrails`).
+        self.guardrails = PatchHealthLedger()
+        #: Sessions demoted during the current run's outcome dispatch —
+        #: guardrail enforcement must not charge the same terminal
+        #: event twice when the rotation re-selected the same repair.
+        self._demoted_this_run: set[int] = set()
 
     # ------------------------------------------------------------------
     # Main entry point
@@ -182,6 +190,11 @@ class ClearView:
 
         self._fold_observations(result)
         self._attribute_check_time(result, checking_at_start, elapsed)
+        # Post-deployment surveillance: attribute this run's terminal
+        # event to the patches whose anchors executed near it, *before*
+        # the outcome dispatch can rotate the watch set.
+        self.guardrails.observe_run(result)
+        self._demoted_this_run.clear()
 
         if result.outcome is Outcome.COMPLETED:
             self._on_completed(evaluating_at_start, elapsed)
@@ -190,6 +203,7 @@ class ClearView:
             self._on_failure(result, evaluating_at_start, elapsed)
         else:  # CRASH (or COMPROMISED, impossible under Memory Firewall)
             self._on_crash(evaluating_at_start, elapsed, fired_at_start)
+        self.enforce_guardrails(elapsed)
         return result
 
     def _fired_counts(self) -> dict[int, int]:
@@ -371,7 +385,13 @@ class ClearView:
     def _apply_best_repair(self, session: FailureSession) -> None:
         assert session.evaluator is not None
         best = session.evaluator.best()
-        assert best is not None
+        if best is None:
+            # Every candidate is blacklisted (revoked twice or toxic):
+            # the session is out of viable repairs for this model.
+            self._remove_current_patches(session)
+            session.state = SessionState.EXHAUSTED
+            self.events.append(f"repairs-exhausted {session.failure_id}")
+            return
         if session.current_repair is best and session.current_patches:
             return  # already applied
         install_start = time.perf_counter()
@@ -383,14 +403,27 @@ class ClearView:
             self.environment.install_patch(patch)
         session.current_repair = best
         session.current_patches = patches
+        self.guardrails.watch(best.candidate.description,
+                              session.failure_id, patches,
+                              failure_pc=session.failure_pc)
         session.times.install_repairs += time.perf_counter() - install_start
         self.events.append(
             f"repair-applied {session.failure_id}: "
             f"{best.candidate.description}")
 
     def _remove_current_patches(self, session: FailureSession) -> None:
+        if session.current_repair is not None:
+            self.guardrails.unwatch(
+                session.current_repair.candidate.description)
+        # A community environment withdraws patches with its idempotent
+        # fleet-wide revoke (one wave, no member dropped over a patch it
+        # no longer holds); a single managed instance removes directly.
+        revoke = getattr(self.environment, "revoke_patch", None)
         for patch in session.current_patches:
-            self.environment.remove_patch(patch)
+            if revoke is not None:
+                revoke(patch)
+            else:
+                self.environment.remove_patch(patch)
         session.current_patches = []
         session.current_repair = None
 
@@ -409,13 +442,64 @@ class ClearView:
                        elapsed: float) -> None:
         assert session.evaluator is not None
         assert session.current_repair is not None
-        session.evaluator.record_failure(session.current_repair)
+        scored = session.current_repair
+        key = scored.candidate.description
+        was_deployed = session.state is SessionState.PATCHED
+        session.evaluator.record_failure(scored)
         session.times.unsuccessful_repair_runs += elapsed
         session.unsuccessful_runs += 1
-        self.events.append(f"repair-failed {session.failure_id}: "
-                           f"{session.current_repair.candidate.description}")
+        self._demoted_this_run.add(session.failure_pc)
+        self.events.append(f"repair-failed {session.failure_id}: {key}")
+        if was_deployed:
+            # A *deployed* repair turning bad is a fleet-wide
+            # revocation: the rotation below withdraws it from every
+            # member.  Flap damping: revoked twice → blacklisted, so
+            # the community never oscillates between two half-working
+            # repairs.
+            scored.revocations += 1
+            self.guardrails.record_revocation(key)
+            self.events.append(f"repair-revoked {session.failure_id}: "
+                               f"{key}")
+            if scored.revocations >= REVOCATION_BLACKLIST:
+                session.evaluator.blacklist(scored)
+                self.guardrails.record_blacklist(key)
+                self.events.append(
+                    f"repair-blacklisted {session.failure_id}: {key}")
         session.state = SessionState.EVALUATING
         self._apply_best_repair(session)
+
+    def enforce_guardrails(self, elapsed: float = 0.0) -> list[str]:
+        """Demote repairs whose health record turned bad (§2.6 cont'd).
+
+        Drains the surveillance ledger's newly-bad records; a record
+        still matching its session's current repair demotes it exactly
+        as a directly observed failure would — revocation counting,
+        flap damping, and rotation to the next candidate included.
+        Records whose repair was already rotated away (the core causal
+        path got there first) are left alone.  Returns the keys of the
+        repairs demoted here.
+        """
+        revoked: list[str] = []
+        for record in self.guardrails.newly_bad():
+            session = None
+            if record.failure_pc is not None:
+                session = self.sessions.get(record.failure_pc)
+            if session is None:
+                session = next(
+                    (candidate for candidate in self.sessions.values()
+                     if candidate.failure_id == record.failure_id), None)
+            if session is None or session.current_repair is None:
+                continue
+            if session.failure_pc in self._demoted_this_run:
+                continue  # the causal path already charged this event
+            if session.current_repair.candidate.description != record.key:
+                continue
+            if session.state not in (SessionState.EVALUATING,
+                                     SessionState.PATCHED):
+                continue
+            self._repair_failed(session, elapsed)
+            revoked.append(record.key)
+        return revoked
 
     # ------------------------------------------------------------------
     # Observation folding

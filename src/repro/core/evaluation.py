@@ -28,6 +28,12 @@ class ScoredRepair:
     candidate: CandidateRepair
     successes: int = 0
     failures: int = 0
+    #: Times this repair was withdrawn fleet-wide *after* deployment
+    #: (post-deployment surveillance turned its health record bad).
+    revocations: int = 0
+    #: Flap damping / toxic containment: a blacklisted repair is never
+    #: selected again this session, no matter its score.
+    blacklisted: bool = False
 
     @property
     def score(self) -> int:
@@ -65,10 +71,21 @@ class RepairEvaluator:
         return len(self.scored)
 
     def best(self) -> ScoredRepair | None:
-        """The repair to apply now: highest score, §2.6 tie-breaks."""
-        if not self.scored:
+        """The repair to apply now: highest score, §2.6 tie-breaks.
+
+        Blacklisted repairs (revoked twice, or toxic to community
+        members) are never selected; returns None once every candidate
+        is blacklisted — the session is out of viable repairs.
+        """
+        eligible = [repair for repair in self.scored
+                    if not repair.blacklisted]
+        if not eligible:
             return None
-        return min(self.scored, key=ScoredRepair.sort_key)
+        return min(eligible, key=ScoredRepair.sort_key)
+
+    def blacklist(self, repair: ScoredRepair) -> None:
+        """Permanently exclude *repair* from selection this session."""
+        repair.blacklisted = True
 
     def record_success(self, repair: ScoredRepair) -> None:
         repair.successes += 1

@@ -18,6 +18,7 @@ flow to make it true.  The repair menu follows the paper exactly:
 from __future__ import annotations
 
 import enum
+import typing
 from dataclasses import dataclass, field
 
 from repro.dynamo.patches import Patch
@@ -205,6 +206,12 @@ class CandidateRepair:
     #: Factory detail: the concrete enforcement value, if any.
     value: int | None = None
     description: str = ""
+    #: Optional custom compiler ``(binary, candidate, failure_id,
+    #: database) -> list[Patch]`` overriding the standard §2.5 menu —
+    #: server-side only (never serialized); used by the adversarial
+    #: chaos harness to inject arbitrary patch bodies into the pool.
+    builder: "typing.Callable | None" = \
+        field(default=None, repr=False, compare=False)
 
     def priority(self) -> tuple:
         """Static tie-break key (§2.6): earlier instructions first (lower
@@ -281,6 +288,8 @@ def build_repair_patch(binary: Binary, candidate: CandidateRepair,
     For two-variable invariants the result includes the auxiliary capture
     patch.  ``database`` supplies sp-offset invariants for return repairs.
     """
+    if candidate.builder is not None:
+        return candidate.builder(binary, candidate, failure_id, database)
     invariant = candidate.invariant
     pc = invariant.check_pc
     instruction = binary.decode_at(pc)

@@ -9,7 +9,14 @@ from repro.dynamo.execution import (
     Outcome,
     RunResult,
 )
-from repro.dynamo.patches import Patch, PatchManager
+from repro.dynamo.guardrails import PatchHealthLedger, PatchHealthRecord
+from repro.dynamo.patches import (
+    PROXIMITY_WINDOW,
+    JumpPatch,
+    Patch,
+    PatchManager,
+    PokePatch,
+)
 from repro.dynamo.snapshot import (
     ENGINE_VERSION,
     SCHEMA_VERSION,
@@ -22,6 +29,7 @@ __all__ = [
     "BLOCK_BUILD_COST", "CachePlugin", "CodeCache",
     "MAX_INPUT_BYTES", "EnvironmentConfig", "ManagedEnvironment",
     "Outcome", "RunResult",
-    "Patch", "PatchManager",
+    "Patch", "PatchManager", "JumpPatch", "PokePatch",
+    "PROXIMITY_WINDOW", "PatchHealthLedger", "PatchHealthRecord",
     "ENGINE_VERSION", "SCHEMA_VERSION", "load_snapshot", "save_snapshot",
 ]

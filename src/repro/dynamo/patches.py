@@ -33,6 +33,12 @@ if typing.TYPE_CHECKING:  # pragma: no cover
 
 _patch_ids = itertools.count(1)
 
+#: Post-deployment surveillance window (§2.6 continued after deployment):
+#: a terminal event — crash, detector firing, deadline expiry — is
+#: attributed to a patch only if the patch's anchor executed within this
+#: many instructions of the end of the run.
+PROXIMITY_WINDOW = 50
+
 
 @dataclass
 class Patch:
@@ -61,6 +67,40 @@ class Patch:
         raise NotImplementedError
 
 
+@dataclass
+class JumpPatch(Patch):
+    """Unconditionally redirect control from the anchor to ``target``.
+
+    A generic control-transfer primitive: the anchored instruction is
+    skipped and execution resumes at ``target``.  ``target == pc`` spins
+    forever — the adversarial loop-forever repair the chaos harness uses
+    to exercise hang containment.
+    """
+
+    target: int = 0
+
+    def execute(self, cpu: CPU, instruction: Instruction) -> int | None:
+        return self.target
+
+
+@dataclass
+class PokePatch(Patch):
+    """Write ``value`` into guest memory at ``address`` when executed.
+
+    A generic state-mutation primitive; the chaos harness uses it as the
+    memory-corrupting adversarial repair.  The write goes through the
+    patch (trusted instrumentation) path, so corruption manifests later
+    as guest misbehaviour rather than at the write itself.
+    """
+
+    address: int = 0
+    value: int = 0
+
+    def execute(self, cpu: CPU, instruction: Instruction) -> int | None:
+        cpu.memory.write_word(self.address, self.value)
+        return None
+
+
 class PatchManager(ExecutionHook):
     """Applies/removes patches to a running application.
 
@@ -83,6 +123,11 @@ class PatchManager(ExecutionHook):
         self._bus = None
         #: Count of patch executions, for overhead accounting.
         self.executions = 0
+        #: Step count (``cpu.steps``) at each patch's most recent
+        #: execution, for post-deployment proximity attribution
+        #: (:mod:`repro.dynamo.guardrails`).  Only touched at anchor
+        #: pcs, so tracking is free everywhere else.
+        self.last_executed_step: dict[int, int] = {}
 
     # -- bus wiring -----------------------------------------------------
 
@@ -144,6 +189,21 @@ class PatchManager(ExecutionHook):
         """Snapshot of currently applied patches."""
         return list(self._applied.values())
 
+    def executed_near(self, end_steps: int,
+                      window: int = PROXIMITY_WINDOW) -> dict[int, int]:
+        """Patches whose anchor executed within *window* steps of the end.
+
+        Returns ``{patch_id: distance}`` where distance is how many
+        instructions before ``end_steps`` the patch last executed —
+        the raw material for post-deployment blame attribution.
+        """
+        near: dict[int, int] = {}
+        for patch_id, step in self.last_executed_step.items():
+            distance = end_steps - step
+            if 0 <= distance <= window:
+                near[patch_id] = distance
+        return near
+
     def _eject(self, pc: int) -> None:
         if self.code_cache is not None:
             self.code_cache.eject_containing(pc)
@@ -156,8 +216,10 @@ class PatchManager(ExecutionHook):
         if not patches:
             return None
         redirect: int | None = None
+        steps = cpu.steps
         for patch in list(patches):
             self.executions += 1
+            self.last_executed_step[patch.patch_id] = steps
             result = patch.execute(cpu, instruction)
             if result is not None:
                 redirect = result
@@ -168,8 +230,10 @@ class PatchManager(ExecutionHook):
         patches = self._after_by_pc.get(pc)
         if not patches:
             return
+        steps = cpu.steps
         for patch in list(patches):
             self.executions += 1
+            self.last_executed_step[patch.patch_id] = steps
             result = patch.execute(cpu, instruction)
             if result is not None:
                 # The instruction has executed; redirecting means steering

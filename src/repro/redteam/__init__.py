@@ -1,5 +1,11 @@
-"""Red Team exercise: exploits, attack driver, outcome scoring."""
+"""Red Team exercise: exploits, attack driver, outcome scoring, chaos."""
 
+from repro.redteam.chaos import (
+    CHAOS_KINDS,
+    adversarial_candidates,
+    inject_adversaries,
+    is_adversarial,
+)
 from repro.redteam.exercise import AttackResult, RedTeamExercise
 from repro.redteam.exploits import Exploit, all_exploits, exploit
 from repro.redteam.scoring import (
@@ -11,5 +17,6 @@ from repro.redteam.scoring import (
 __all__ = [
     "AttackResult", "RedTeamExercise", "Exploit", "all_exploits",
     "exploit", "DisplayComparison", "compare_displays",
-    "reference_outputs",
+    "reference_outputs", "CHAOS_KINDS", "adversarial_candidates",
+    "inject_adversaries", "is_adversarial",
 ]

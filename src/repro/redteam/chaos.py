@@ -1,0 +1,166 @@
+"""Adversarial-patch chaos harness.
+
+The repair search (§2.5-2.6) assumes every candidate in the pool was
+produced in good faith by the repair generator.  This module drops that
+assumption: it manufactures *faulty* candidate repairs — the kinds of
+patches a buggy generator, a corrupted invariant database, or a
+malicious proposer (§5) could inject — and slips them ahead of the
+legitimate candidates so the lifecycle machinery has to survive them:
+
+- ``wrong-value``: a real set-value enforcement wired to a garbage
+  constant, so the "repair" corrupts register state exactly when the
+  invariant it guards is violated;
+- ``wrong-pc``: an unconditional control transfer to a shifted address,
+  skipping instructions the application needed;
+- ``loop-forever``: a jump whose target is its own anchor — the run
+  spins until the instruction budget (in-process members) or the
+  worker's command deadline (channel members, which are *killed* and
+  must be contained and revived) puts it down;
+- ``wild-write``: a stray word written into the globals segment on
+  every pass through the anchor, the classic memory corruptor whose
+  damage surfaces far from the write.
+
+All four compile through :attr:`CandidateRepair.builder`, so they flow
+through the standard evaluation pipeline (ranking, §3.1 parallel
+evaluation, wire distribution) without special cases; ``is_adversarial``
+lets tests and reports tell them apart afterwards.  Generation is
+seeded and the candidates carry ``correlation_rank=-1``, so every chaos
+run tries the adversaries *first*, deterministically — convergence to a
+legitimate never-failed repair is then the strongest possible claim.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.evaluation import RepairEvaluator, ScoredRepair
+from repro.core.repair import CandidateRepair, RepairAction, SetValueRepair
+from repro.dynamo.patches import JumpPatch, Patch, PokePatch
+from repro.learning.invariants import Invariant
+from repro.learning.variables import slot_placement, writable_register
+from repro.vm.binary import Binary
+from repro.vm.isa import INSTRUCTION_SIZE
+from repro.vm.memory import Memory
+
+#: Description prefix identifying a manufactured faulty candidate.
+CHAOS_MARKER = "chaos:"
+
+#: The adversarial kinds, in the order :func:`adversarial_candidates`
+#: emits them.
+CHAOS_KINDS = ("wrong-value", "wrong-pc", "loop-forever", "wild-write")
+
+
+def is_adversarial(candidate: CandidateRepair) -> bool:
+    """True if *candidate* came out of this harness."""
+    return candidate.description.startswith(CHAOS_MARKER)
+
+
+# ---------------------------------------------------------------------------
+# Builders (CandidateRepair.builder bodies)
+# ---------------------------------------------------------------------------
+
+def _wrong_value(garbage: int):
+    def build(binary: Binary, candidate: CandidateRepair, failure_id: str,
+              database) -> list[Patch]:
+        invariant = candidate.invariant
+        pc = invariant.check_pc
+        instruction = binary.decode_at(pc)
+        variable = invariant.variables()[0]
+        register = writable_register(instruction, variable.slot)
+        if register is None:
+            # Not register-backed: corrupt state through memory instead
+            # so the candidate stays faulty rather than becoming a no-op.
+            return [PokePatch(pc=pc, failure_id=failure_id,
+                              address=Memory.DATA_BASE, value=garbage,
+                              description=candidate.description)]
+        return [SetValueRepair(
+            pc=pc, failure_id=failure_id, invariant=invariant,
+            action=RepairAction.SET_VALUE, target_register=register,
+            value=garbage, when=slot_placement(instruction, variable.slot),
+            description=candidate.description)]
+    return build
+
+
+def _wrong_pc(offset: int):
+    def build(binary: Binary, candidate: CandidateRepair, failure_id: str,
+              database) -> list[Patch]:
+        # Deliberately *misaligned*: instructions sit on INSTRUCTION_SIZE
+        # boundaries, so this lands mid-instruction — a genuinely wrong
+        # target (an aligned skip can accidentally equal a legitimate
+        # skip-call repair).
+        pc = candidate.invariant.check_pc
+        target = pc + offset * INSTRUCTION_SIZE + INSTRUCTION_SIZE // 2
+        return [JumpPatch(pc=pc, failure_id=failure_id, target=target,
+                          description=candidate.description)]
+    return build
+
+
+def _loop_forever():
+    def build(binary: Binary, candidate: CandidateRepair, failure_id: str,
+              database) -> list[Patch]:
+        pc = candidate.invariant.check_pc
+        return [JumpPatch(pc=pc, failure_id=failure_id, target=pc,
+                          description=candidate.description)]
+    return build
+
+
+def _wild_write(address: int, garbage: int):
+    def build(binary: Binary, candidate: CandidateRepair, failure_id: str,
+              database) -> list[Patch]:
+        pc = candidate.invariant.check_pc
+        return [PokePatch(pc=pc, failure_id=failure_id, address=address,
+                          value=garbage,
+                          description=candidate.description)]
+    return build
+
+
+# ---------------------------------------------------------------------------
+# Generation and injection
+# ---------------------------------------------------------------------------
+
+def adversarial_candidates(invariant: Invariant, seed: int = 0,
+                           kinds: tuple[str, ...] = CHAOS_KINDS
+                           ) -> list[CandidateRepair]:
+    """Seeded faulty candidates anchored on *invariant*'s check pc.
+
+    Deterministic in ``seed``: same seed, same candidates, same
+    descriptions — the chaos suites are differential like everything
+    else.  ``correlation_rank=-1`` outranks every legitimate candidate
+    (rank 0 and up), so a fresh evaluator tries these first.
+    """
+    rng = random.Random(seed)
+    candidates: list[CandidateRepair] = []
+    for variant, kind in enumerate(kinds):
+        garbage = rng.randrange(0x1000, 0xFFFF)
+        if kind == "wrong-value":
+            builder = _wrong_value(garbage)
+        elif kind == "wrong-pc":
+            builder = _wrong_pc(rng.randrange(2, 5))
+        elif kind == "loop-forever":
+            builder = _loop_forever()
+        elif kind == "wild-write":
+            address = Memory.DATA_BASE + rng.randrange(0, 0x400) * 4
+            builder = _wild_write(address, garbage)
+        else:
+            raise ValueError(f"unknown chaos kind {kind!r}")
+        candidates.append(CandidateRepair(
+            invariant=invariant, action=RepairAction.SET_VALUE,
+            correlation_rank=-1, variant=variant,
+            description=f"{CHAOS_MARKER} {kind} seed={seed} v{variant}",
+            builder=builder))
+    return candidates
+
+
+def inject_adversaries(evaluator: RepairEvaluator,
+                       candidates: list[CandidateRepair]
+                       ) -> list[ScoredRepair]:
+    """Slip *candidates* into a live evaluator's pool.
+
+    Returns the freshly scored entries (never-failed, so their
+    ``correlation_rank=-1`` places them ahead of every legitimate
+    candidate in the ranking).
+    """
+    scored = [ScoredRepair(candidate=candidate)
+              for candidate in candidates]
+    evaluator.scored[0:0] = scored
+    return scored

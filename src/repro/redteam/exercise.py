@@ -61,6 +61,9 @@ class AttackResult:
     run_outcomes: list[Outcome] = field(default_factory=list)
     sessions: list[FailureSession] = field(default_factory=list)
     clearview: ClearView | None = None
+    #: Post-deployment surveillance summary (the patch-health ledger's
+    #: :meth:`~repro.dynamo.guardrails.PatchHealthLedger.report`).
+    patch_health: dict = field(default_factory=dict)
 
     @property
     def patched(self) -> bool:
@@ -153,6 +156,7 @@ class RedTeamExercise:
                 break
         result.sessions = sorted(clearview.sessions.values(),
                                  key=lambda session: session.failure_pc)
+        result.patch_health = clearview.guardrails.report()
         return result
 
     def attack_all(self, max_presentations: int = 30

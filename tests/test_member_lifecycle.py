@@ -411,6 +411,10 @@ class TestGracefulDegradation:
             "members": {"node-0": "active", "node-1": "active"},
             "alive": 2, "total": 2, "min_members": 1,
             "quorum": True, "degraded": False, "dropped": [],
+            "patch_health": {"watched": 0, "bad": 0, "toxic": 0,
+                             "blacklisted": 0, "revocations": 0,
+                             "records": []},
+            "revived": [],
         }
 
 

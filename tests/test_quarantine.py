@@ -69,3 +69,72 @@ class TestQuarantine:
         buffer.report_undesirable_event()
         buffer.submit(_database(9))
         assert len(buffer.tick()) == 1
+
+
+class TestManagerQuarantineWiring:
+    """The buffer wired into the community lifecycle: post-bootstrap
+    learning episodes quarantine, detector firings discard them, clean
+    attack presentations age them into the live model."""
+
+    def _manager(self, browser, ticks=2):
+        from repro.community import CommunityManager
+        return CommunityManager(browser, members=2,
+                                quarantine_ticks=ticks)
+
+    def test_bootstrap_learning_goes_live(self, browser):
+        from repro.apps import learning_pages
+        manager = self._manager(browser)
+        try:
+            report = manager.learn_distributed(learning_pages())
+            assert not report.quarantined
+            assert manager.database is report.database
+            assert manager.quarantine.pending_count == 0
+        finally:
+            manager.close()
+
+    def test_second_episode_quarantined(self, browser):
+        from repro.apps import learning_pages
+        manager = self._manager(browser)
+        try:
+            manager.learn_distributed(learning_pages())
+            live = manager.database
+            report = manager.learn_distributed(learning_pages())
+            assert report.quarantined
+            assert manager.quarantine.pending_count == 1
+            assert manager.database is live  # untouched until release
+        finally:
+            manager.close()
+
+    def test_detector_firing_discards_pending(self, browser):
+        from repro.apps import learning_pages
+        from repro.redteam import exploit
+        manager = self._manager(browser)
+        try:
+            manager.learn_distributed(learning_pages())
+            manager.learn_distributed(learning_pages())
+            manager.protect()
+            result = manager.attack(exploit("mm-reuse-1").page())
+            assert result.outcome.value == "failure"
+            assert manager.quarantine.discarded == 1
+            assert manager.quarantine.pending_count == 0
+        finally:
+            manager.close()
+
+    def test_clean_attacks_release_into_live_model(self, browser):
+        from repro.apps import learning_pages
+        manager = self._manager(browser, ticks=2)
+        try:
+            manager.learn_distributed(learning_pages())
+            manager.learn_distributed(learning_pages())
+            manager.protect()
+            benign = learning_pages()[0]
+            assert manager.attack(benign).outcome.value == "completed"
+            assert manager.quarantine.pending_count == 1
+            assert manager.attack(benign).outcome.value == "completed"
+            assert manager.quarantine.released == 1
+            assert manager.quarantine.pending_count == 0
+            # Released episode folded into the live model and visible to
+            # the protecting core immediately.
+            assert manager.clearview.database is manager.database
+        finally:
+            manager.close()

@@ -210,3 +210,75 @@ class TestScoring:
         evaluator.record_failure(first)
         assert evaluator.best().candidate.invariant.check_pc == 0x20
         assert evaluator.counts() == (0, 2)
+
+
+class TestLateFailureProperties:
+    """Property-style sweeps over the §2.6 never-failed tier.
+
+    The strict-tier claim the lifecycle machinery leans on: *any*
+    failure — however late, however many successes preceded it —
+    permanently demotes a repair below every candidate that has never
+    failed, and selection immediately moves off the demoted repair.
+    """
+
+    def _candidate(self, pc):
+        return CandidateRepair(
+            invariant=LowerBound(variable=Variable(pc, "dst"), bound=0),
+            action=RepairAction.SET_VALUE)
+
+    def _pool(self, size=6):
+        return RepairEvaluator([self._candidate(pc=0x10 * (i + 1))
+                                for i in range(size)])
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_late_failure_demotes_below_every_never_failed(self, seed):
+        import random
+        rng = random.Random(seed)
+        evaluator = self._pool()
+        deployed = evaluator.best()
+        # An arbitrarily long healthy deployment...
+        for _ in range(rng.randrange(1, 50)):
+            evaluator.record_success(deployed)
+        assert evaluator.best() is deployed
+        # ...then one late failure (post-deployment surveillance).
+        evaluator.record_failure(deployed)
+        ranking = evaluator.ranking()
+        demoted_at = ranking.index(deployed)
+        for scored in ranking[:demoted_at]:
+            assert scored.never_failed
+        for scored in evaluator.scored:
+            if scored is not deployed and scored.never_failed:
+                assert ranking.index(scored) < demoted_at, \
+                    "a never-failed candidate ranks below the failed one"
+        # Selection re-triggers: best() moves off the demoted repair.
+        assert evaluator.best() is not deployed
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_successes_never_resurrect_above_fresh_candidates(self, seed):
+        import random
+        rng = random.Random(seed)
+        evaluator = self._pool()
+        victim = evaluator.best()
+        evaluator.record_failure(victim)
+        # However many successes accumulate afterwards...
+        for _ in range(rng.randrange(1, 100)):
+            evaluator.record_success(victim)
+        # ...an untried (never-failed) candidate still outranks it.
+        assert evaluator.best() is not victim
+        assert evaluator.best().never_failed
+
+    def test_blacklisted_repair_is_never_selected(self):
+        evaluator = self._pool(size=3)
+        victim = evaluator.best()
+        for _ in range(100):
+            evaluator.record_success(victim)
+        evaluator.blacklist(victim)
+        assert evaluator.best() is not victim
+        # ranking() still lists it (diagnostics), best() never picks it.
+        assert victim in evaluator.ranking()
+
+    def test_all_blacklisted_yields_no_repair(self):
+        evaluator = self._pool(size=3)
+        for scored in evaluator.scored:
+            evaluator.blacklist(scored)
+        assert evaluator.best() is None
