@@ -292,8 +292,8 @@ def gate_verdict(config: str, recorded: list[float],
                  fresh: list[float], alpha: float = ALPHA,
                  floor: float = EFFECT_FLOOR,
                  k: float = NOISE_MULTIPLIER,
-                 legacy_tolerance: float = LEGACY_TOLERANCE
-                 ) -> GateVerdict:
+                 legacy_tolerance: float = LEGACY_TOLERANCE,
+                 kind: str = "throughput") -> GateVerdict:
     """Judge fresh gate samples against a recorded distribution.
 
     With a real recorded distribution (>= :data:`MIN_GATE_SAMPLES`
@@ -302,11 +302,23 @@ def gate_verdict(config: str, recorded: list[float],
     effect.  Migrated single-point legacy records carry no spread, so
     the gate falls back to an effect-only check against
     *legacy_tolerance* — exactly the old flat gate, confined to
-    records that predate distribution profiles."""
+    records that predate distribution profiles.
+
+    *kind* sets the regression direction: ``"throughput"`` samples
+    regress when fresh is *lower* (instr/sec), ``"latency"`` samples
+    (the community churn/wave records, in seconds) regress when fresh
+    is *higher*.  In both cases ``effect`` is the relative slowdown —
+    positive means worse — so thresholds read the same way."""
+    if kind not in ("throughput", "latency"):
+        raise ValueError(f"unknown gate kind: {kind!r}")
     recorded_median = median(recorded)
     measured_median = median(fresh)
-    effect = 1.0 - (measured_median / recorded_median
-                    if recorded_median > 0 else 0.0)
+    if kind == "latency":
+        effect = (measured_median / recorded_median - 1.0
+                  if recorded_median > 0 else 0.0)
+    else:
+        effect = 1.0 - (measured_median / recorded_median
+                        if recorded_median > 0 else 0.0)
     if len(recorded) < MIN_GATE_SAMPLES:
         regressed = effect >= legacy_tolerance
         return GateVerdict(
@@ -317,7 +329,14 @@ def gate_verdict(config: str, recorded: list[float],
             detail="legacy single-point record: effect-only check at "
                    f"{legacy_tolerance:.0%}; append a fresh "
                    "distribution record to arm the statistical gate")
-    p_value = two_sample_permutation_p(recorded, fresh)
+    if kind == "latency":
+        # The two-sample test's alternative is "fresh lower"; latency
+        # regression is "fresh higher", so judge the negated samples.
+        p_value = two_sample_permutation_p(
+            [-sample for sample in recorded],
+            [-sample for sample in fresh])
+    else:
+        p_value = two_sample_permutation_p(recorded, fresh)
     min_effect = calibrated_min_effect([recorded, fresh],
                                        floor=floor, k=k)
     regressed = p_value < alpha and effect >= min_effect

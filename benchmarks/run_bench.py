@@ -24,7 +24,10 @@ enough for the tier-1 flow — and by default does *not* write to the
 trajectory file (quick numbers are noisy; pass ``--write`` to force).
 
 ``--check`` is the CI perf gate: it measures the gated configurations
-(``bare``, ``learning``, and ``warm``) on the *full* workload and
+(``bare``, ``learning``, and ``warm``) on the *full* workload — plus
+the community latency configs (``community-churn`` and the two
+``community-wave-*`` records, judged in the latency direction: fresh
+*higher* regresses) — and
 fails — exit status 1 — only when the drop against the last committed
 profile is **statistically significant** (two-sample permutation test
 against the recorded distribution) **and** at least the
@@ -79,6 +82,14 @@ TRAJECTORY = REPO_ROOT / "BENCH_kernel.json"
 #: fail loudly.  The remaining config (MF+HG+SS) tracks bare closely
 #: enough that gating it separately would only add cost.
 GATED_CONFIGS = ("bare", "learning", "warm")
+
+#: Community latency records promoted to first-class gated configs
+#: (previously record-only).  These are seconds-per-wave, so the gate
+#: judges them with ``kind="latency"`` — fresh *higher* regresses.
+#: The committed records are single-point, so until a distribution
+#: record lands they run under the legacy effect-only fallback.
+GATED_LATENCY_CONFIGS = ("community-churn", "community-wave-process",
+                         "community-wave-socket")
 
 
 def current_commit() -> str:
@@ -201,12 +212,79 @@ def check_regression(repeats: int = 5) -> int:
               f"{record['commit'][:12]}]")
         if verdict.regressed:
             failures += 1
+    for label in GATED_LATENCY_CONFIGS:
+        record = last_full_record(label)
+        if record is None:
+            print(f"perf gate: no committed {label} record; skipping "
+                  f"that config (pass)")
+            continue
+        recorded = record["samples"]["seconds"]
+        fresh = measure_wave_samples(label, repeats=repeats)
+        verdict = perf_stats.gate_verdict(label, recorded, fresh,
+                                          kind="latency")
+        if verdict.regressed:
+            # Millisecond-scale waves ride scheduler phases; like the
+            # throughput gate, confirm a suspect verdict with a second
+            # sitting (a fresh community) before failing.
+            print(f"perf gate: {label} suspect "
+                  f"({verdict.describe()}); confirming with a second "
+                  f"sitting")
+            fresh += measure_wave_samples(label, repeats=repeats)
+            verdict = perf_stats.gate_verdict(label, recorded, fresh,
+                                              kind="latency")
+        status = "FAIL" if verdict.regressed else "OK"
+        print(f"perf gate [{status}]: {label} (latency, seconds) "
+              f"{verdict.describe()} [commit {record['commit'][:12]}]")
+        if verdict.regressed:
+            failures += 1
     if failures:
         print("perf gate: statistically significant regression beyond "
               "the calibrated threshold; if intentional, append a "
               "fresh record via `python benchmarks/run_bench.py`")
         return 1
     return 0
+
+
+#: Measurement protocol per gated latency config: transport, members,
+#: reuse_cache, and the per-sample best-of wave count.  Members and
+#: cache policy match how each committed record was measured (the wave
+#: benches warm with ``reuse_cache``; the churn bench rediscovers
+#: blocks per probe).  Every sample is a best-of-3 wave — a single
+#: ~30ms wave rides whatever scheduler phase it lands on, and
+#: interference only ever makes a wave slower, so best-of is the same
+#: defence ``measure_config`` uses for throughput.
+_WAVE_PROTOCOLS = {
+    "community-wave-process": ("process", 4, True, 3),
+    "community-wave-socket": ("socket", 4, True, 3),
+    "community-churn": ("socket", 8, False, 3),
+}
+
+
+def measure_wave_samples(label: str, repeats: int = 5) -> list[float]:
+    """Fresh probe-wave latency samples (seconds) for one gated
+    community config: one warm-up wave, then *repeats* best-of waves
+    over a 16-probe payload set on live worker processes."""
+    import time
+
+    from repro.apps import build_browser, learning_pages
+    from repro.community import CommunityManager
+    from repro.dynamo import EnvironmentConfig
+
+    transport, members, reuse, waves = _WAVE_PROTOCOLS[label]
+    pages = learning_pages()
+    payloads = [pages[index % len(pages)] for index in range(16)]
+    with CommunityManager(build_browser(), members=members,
+                          config=EnvironmentConfig(reuse_cache=reuse),
+                          transport=transport) as manager:
+
+        def wave_seconds() -> float:
+            started = time.perf_counter()
+            manager.environment.probe_many(payloads)
+            return time.perf_counter() - started
+
+        wave_seconds()  # warm-up: block discovery dominates wave one
+        return [min(wave_seconds() for _ in range(waves))
+                for _ in range(repeats)]
 
 
 class CompareError(RuntimeError):
@@ -311,6 +389,23 @@ def compare_against(ref: str, labels: tuple[str, ...],
         print(f"{label:>10}: {verdict.old_median:>12,.1f} -> "
               f"{verdict.new_median:>12,.1f} instr/sec "
               f"{verdict.describe()}")
+        # Learning configs carry their observation-record counts; a
+        # pruning claim is a record-count reduction, stated next to
+        # the throughput verdict it buys.
+        old_obs = [record["observations"]
+                   for record in samples[("old", label)]
+                   if "observations" in record]
+        new_obs = [record["observations"]
+                   for record in samples[("new", label)]
+                   if "observations" in record]
+        if old_obs and new_obs:
+            old_median = perf_stats.median(old_obs)
+            new_median = perf_stats.median(new_obs)
+            change = new_median / old_median - 1.0 \
+                if old_median else 0.0
+            print(f"{'':>10}  observation records "
+                  f"{old_median:,.0f} -> {new_median:,.0f} "
+                  f"({change:+.1%})")
     return 0
 
 

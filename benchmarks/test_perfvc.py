@@ -289,6 +289,47 @@ class TestStats:
         assert verdict.p_value < stats.ALPHA
         assert not verdict.regressed
 
+    def test_gate_verdict_latency_direction(self):
+        # Latency samples (seconds per wave) regress when fresh is
+        # *higher*; a clear separated slowdown must flag, a speedup
+        # must not.
+        recorded = [0.030, 0.031, 0.029, 0.0305, 0.0295]
+        slower = [0.040, 0.041, 0.039, 0.0405, 0.0395]
+        verdict = stats.gate_verdict("community-wave-process",
+                                     recorded, slower, kind="latency")
+        assert verdict.p_value < stats.ALPHA
+        assert verdict.effect == pytest.approx(1 / 3, abs=0.01)
+        assert verdict.regressed
+        faster = [0.020, 0.021, 0.019, 0.0205, 0.0195]
+        improved = stats.gate_verdict("community-wave-process",
+                                      recorded, faster, kind="latency")
+        assert improved.effect < 0
+        assert not improved.regressed
+        # Throughput direction on the same numbers would call the
+        # slowdown an improvement — the kind switch is load-bearing.
+        inverted = stats.gate_verdict("community-wave-process",
+                                      recorded, slower)
+        assert inverted.effect < 0
+
+    def test_gate_verdict_latency_legacy_fallback(self):
+        # The committed community records are single-point: the gate
+        # must fall back to the flat tolerance, in the latency
+        # direction.
+        within = stats.gate_verdict(
+            "community-churn", [0.050],
+            [0.060, 0.061, 0.059, 0.0605, 0.0595], kind="latency")
+        assert within.p_value is None
+        assert not within.regressed
+        beyond = stats.gate_verdict(
+            "community-churn", [0.050],
+            [0.070, 0.071, 0.069, 0.0705, 0.0695], kind="latency")
+        assert beyond.regressed
+        assert beyond.effect >= stats.LEGACY_TOLERANCE
+
+    def test_gate_verdict_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="kind"):
+            stats.gate_verdict("bare", [1.0], [1.0], kind="memory")
+
 
 class TestRunBenchCli:
     """The run_bench.py command surface over a scratch trajectory."""

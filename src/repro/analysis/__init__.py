@@ -1,0 +1,55 @@
+"""Static dataflow analysis over the MiniX86 CFG.
+
+Two consumers sit on the shared framework (worklist solvers, liveness,
+constant/stack-pointer propagation, write-region summaries):
+
+- :mod:`repro.analysis.vetting` — pre-deployment patch vetting, so
+  statically-unsafe repair candidates are ejected before any community
+  member runs them;
+- :mod:`repro.analysis.pruning` — static observation pruning, dropping
+  provably-constant operand records from the learning extraction plan
+  while reproducing their statistics exactly.
+"""
+
+from repro.analysis.constprop import (
+    ProcedureAnalysis,
+    Summary,
+    compute_summaries,
+)
+from repro.analysis.liveness import Liveness
+from repro.analysis.pruning import (
+    PruningPlan,
+    build_pruning_plan,
+    scout_pruning_plan,
+)
+from repro.analysis.regions import WriteRegions, write_regions
+from repro.analysis.vetting import (
+    RULE_ALIGNMENT,
+    RULE_CLOBBER,
+    RULE_PROGRESS,
+    RULE_VALUE,
+    RULE_WRITE_REGION,
+    VetFinding,
+    VetReport,
+    Vetter,
+)
+
+__all__ = [
+    "Liveness",
+    "ProcedureAnalysis",
+    "PruningPlan",
+    "RULE_ALIGNMENT",
+    "RULE_CLOBBER",
+    "RULE_PROGRESS",
+    "RULE_VALUE",
+    "RULE_WRITE_REGION",
+    "Summary",
+    "VetFinding",
+    "VetReport",
+    "Vetter",
+    "WriteRegions",
+    "build_pruning_plan",
+    "compute_summaries",
+    "scout_pruning_plan",
+    "write_regions",
+]

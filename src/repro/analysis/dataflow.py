@@ -1,0 +1,111 @@
+"""Generic worklist dataflow solver over :class:`ProcedureCFG` blocks.
+
+The analyses in this package (liveness, constant/stack-pointer
+propagation, write-region summaries) all share one shape: a fact per
+basic block, a transfer function across the block's instructions, and a
+join at control-flow merges, iterated to a fixpoint.  This module is
+that shape, direction-agnostic.
+
+Facts must be immutable values with structural equality (frozensets,
+tuples); transfer functions must return fresh facts, never mutate their
+argument.  Unreachable blocks keep the fact ``None`` — consumers treat
+``None`` as "no information" (the block never executes on any path from
+the entry, so any claim about it is vacuous).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable
+
+from repro.cfg.graph import ProcedureCFG
+from repro.dynamo.blocks import BasicBlock
+
+
+def intraprocedural_edges(cfg: ProcedureCFG) -> dict[int, list[int]]:
+    """Successor map restricted to blocks inside *cfg* (edges leaving
+    the procedure — tail jumps into foreign code — are dropped; the
+    consumers account for them explicitly where they matter)."""
+    return {start: [target for target in cfg.edges.get(start, ())
+                    if target in cfg.blocks]
+            for start in cfg.blocks}
+
+
+def predecessor_map(edges: dict[int, list[int]]) -> dict[int, list[int]]:
+    """Invert a successor map."""
+    predecessors: dict[int, list[int]] = {start: [] for start in edges}
+    for start, targets in edges.items():
+        for target in targets:
+            predecessors[target].append(start)
+    return predecessors
+
+
+def escaping_successors(cfg: ProcedureCFG, block: BasicBlock) -> list[int]:
+    """Static successor targets of *block* that leave the procedure."""
+    return [target for target in block.successor_targets()
+            if target not in cfg.blocks]
+
+
+def solve_forward(cfg: ProcedureCFG, entry_fact,
+                  transfer: Callable[[BasicBlock, object], object],
+                  join: Callable[[object, object], object]
+                  ) -> dict[int, object]:
+    """Forward fixpoint: block-start -> fact at block *entry*.
+
+    ``transfer(block, fact)`` maps a block-entry fact to the block-exit
+    fact; ``join(a, b)`` merges facts at a control-flow merge.  Blocks
+    unreachable from the entry keep ``None``.
+    """
+    edges = intraprocedural_edges(cfg)
+    facts: dict[int, object] = {start: None for start in cfg.blocks}
+    facts[cfg.entry] = entry_fact
+    worklist: deque[int] = deque([cfg.entry])
+    queued = {cfg.entry}
+    while worklist:
+        start = worklist.popleft()
+        queued.discard(start)
+        out = transfer(cfg.blocks[start], facts[start])
+        for successor in edges[start]:
+            current = facts[successor]
+            merged = out if current is None else join(current, out)
+            if merged != current:
+                facts[successor] = merged
+                if successor not in queued:
+                    queued.add(successor)
+                    worklist.append(successor)
+    return facts
+
+
+def solve_backward(cfg: ProcedureCFG,
+                   exit_fact: Callable[[BasicBlock], object],
+                   transfer: Callable[[BasicBlock, object], object],
+                   join: Callable[[object, object], object],
+                   bottom) -> dict[int, object]:
+    """Backward fixpoint: block-start -> fact at block *entry*.
+
+    ``exit_fact(block)`` seeds the fact *after* a block for its
+    escaping control flow (returns, halts, indirect jumps, edges out of
+    the procedure); blocks with intra-procedure successors additionally
+    join those successors' entry facts.  ``bottom`` is the identity of
+    ``join`` (e.g. the empty frozenset for liveness).
+    """
+    edges = intraprocedural_edges(cfg)
+    predecessors = predecessor_map(edges)
+    facts: dict[int, object] = {start: bottom for start in cfg.blocks}
+    worklist: deque[int] = deque(cfg.blocks)
+    queued = set(cfg.blocks)
+    while worklist:
+        start = worklist.popleft()
+        queued.discard(start)
+        block = cfg.blocks[start]
+        out = exit_fact(block)
+        for successor in edges[start]:
+            out = join(out, facts[successor])
+        new_fact = transfer(block, out)
+        if new_fact != facts[start]:
+            facts[start] = new_fact
+            for predecessor in predecessors[start]:
+                if predecessor not in queued:
+                    queued.add(predecessor)
+                    worklist.append(predecessor)
+    return facts

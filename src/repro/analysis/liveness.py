@@ -1,0 +1,164 @@
+"""Backward register liveness over a procedure CFG.
+
+Used by the patch vetter's clobber rule: a repair patch must not write
+a register that is *live* at its anchor (some path reads it before the
+next write), except the register it exists to enforce.  The analysis
+errs on the side of liveness — calls are assumed to read every
+register, control flow that leaves the procedure (indirect jumps,
+truncated blocks falling into foreign code) keeps everything live, and
+returns keep the result/frame/stack registers live for the caller.  A
+register this analysis calls *dead* is therefore genuinely dead.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.dataflow import solve_backward
+from repro.cfg.graph import ProcedureCFG
+from repro.dynamo.blocks import BasicBlock
+from repro.vm.assembler import ABSOLUTE_BASE
+from repro.vm.isa import (
+    CONDITIONAL_JUMPS,
+    Instruction,
+    Opcode,
+    OperandKind,
+    Register,
+)
+
+ALL_REGISTERS: frozenset[int] = frozenset(range(len(Register)))
+
+#: Live after a RET, for the caller: the result (EAX), the restored
+#: frame pointer, and the stack pointer itself.
+_RETURN_LIVE = frozenset({int(Register.EAX), int(Register.EBP),
+                          int(Register.ESP)})
+
+_ESP = int(Register.ESP)
+_EBP = int(Register.EBP)
+_EAX = int(Register.EAX)
+
+_BINARY_ALU = frozenset({
+    Opcode.ADD, Opcode.SUB, Opcode.MUL, Opcode.DIV, Opcode.AND,
+    Opcode.OR, Opcode.XOR, Opcode.SHL, Opcode.SHR, Opcode.SAR})
+
+
+def uses_and_defs(instruction: Instruction
+                  ) -> tuple[frozenset[int], frozenset[int]]:
+    """(registers read, registers written) by one instruction.
+
+    Conservative in the liveness-preserving direction: calls read
+    everything and define nothing (the callee's clobbers must not kill
+    liveness across the call site).
+    """
+    op = instruction.opcode
+    b_reg = {instruction.b} \
+        if instruction.b_kind == OperandKind.REGISTER else set()
+    if op == Opcode.MOV:
+        return frozenset(b_reg), frozenset({instruction.a})
+    if op in _BINARY_ALU:
+        return frozenset({instruction.a} | b_reg), \
+            frozenset({instruction.a})
+    if op in (Opcode.NEG, Opcode.NOT):
+        return frozenset({instruction.a}), frozenset({instruction.a})
+    if op in (Opcode.LOAD, Opcode.LOADB, Opcode.LEA):
+        base = set() if instruction.b == ABSOLUTE_BASE \
+            else {instruction.b}
+        return frozenset(base), frozenset({instruction.a})
+    if op in (Opcode.STORE, Opcode.STOREB):
+        base = set() if instruction.a == ABSOLUTE_BASE \
+            else {instruction.a}
+        return frozenset(base | {instruction.b}), frozenset()
+    if op in (Opcode.CMP, Opcode.TEST):
+        return frozenset({instruction.a} | b_reg), frozenset()
+    if op == Opcode.PUSH:
+        return frozenset(b_reg | {_ESP}), frozenset({_ESP})
+    if op == Opcode.POP:
+        return frozenset({_ESP}), frozenset({instruction.a, _ESP})
+    if op in (Opcode.CALL, Opcode.CALLR):
+        return ALL_REGISTERS, frozenset()
+    if op == Opcode.JMPR:
+        return frozenset({instruction.a}), frozenset()
+    if op == Opcode.RET:
+        return frozenset({_ESP}), frozenset()
+    if op == Opcode.ENTER:
+        return frozenset({_ESP, _EBP}), frozenset({_ESP, _EBP})
+    if op == Opcode.LEAVE:
+        return frozenset({_EBP}), frozenset({_ESP, _EBP})
+    if op == Opcode.ALLOC:
+        return frozenset(b_reg), frozenset({_EAX})
+    if op == Opcode.FREE:
+        return frozenset({instruction.a}), frozenset()
+    if op in (Opcode.OUT, Opcode.OUTB):
+        return frozenset(b_reg), frozenset()
+    # JMP, conditional jumps, HALT, NOP: flags only.
+    return frozenset(), frozenset()
+
+
+def _block_exit_fact(cfg: ProcedureCFG):
+    def exit_fact(block: BasicBlock) -> frozenset[int]:
+        if block.truncated:
+            # Falls into foreign code: everything may be read there.
+            return ALL_REGISTERS
+        op = block.terminator.opcode
+        if op == Opcode.RET:
+            return _RETURN_LIVE
+        if op == Opcode.JMPR:
+            return ALL_REGISTERS
+        if op == Opcode.HALT:
+            return frozenset()
+        # Direct jumps/branches whose target left the procedure.
+        targets = block.successor_targets()
+        if op in CONDITIONAL_JUMPS or op == Opcode.JMP:
+            if any(target not in cfg.blocks for target in targets):
+                return ALL_REGISTERS
+        return frozenset()
+    return exit_fact
+
+
+def _transfer(block: BasicBlock,
+              live_out: frozenset[int]) -> frozenset[int]:
+    live = set(live_out)
+    for pc, instruction in reversed(block.instructions):
+        uses, defs = uses_and_defs(instruction)
+        live -= defs
+        live |= uses
+    return frozenset(live)
+
+
+class Liveness:
+    """Per-instruction register liveness for one procedure."""
+
+    def __init__(self, cfg: ProcedureCFG):
+        self.cfg = cfg
+        self._block_in = solve_backward(
+            cfg, _block_exit_fact(cfg), _transfer,
+            lambda a, b: a | b, frozenset())
+        self._exit_fact = _block_exit_fact(cfg)
+        self._per_pc: dict[int, tuple[frozenset[int],
+                                      frozenset[int]]] = {}
+
+    def _materialize_block(self, block: BasicBlock) -> None:
+        live = self._exit_fact(block)
+        for successor in self.cfg.edges.get(block.start, ()):
+            if successor in self.cfg.blocks:
+                live = live | self._block_in[successor]
+        for pc, instruction in reversed(block.instructions):
+            live_out = frozenset(live)
+            uses, defs = uses_and_defs(instruction)
+            live = (live - defs) | uses
+            self._per_pc[pc] = (frozenset(live), live_out)
+
+    def _lookup(self, pc: int) -> tuple[frozenset[int], frozenset[int]]:
+        if pc not in self._per_pc:
+            block = self.cfg.block_of(pc)
+            if block is None:
+                # Not in this procedure: everything may be live.
+                return (ALL_REGISTERS, ALL_REGISTERS)
+            self._materialize_block(block)
+        return self._per_pc[pc]
+
+    def live_in(self, pc: int) -> frozenset[int]:
+        """Registers live immediately *before* the instruction at pc."""
+        return self._lookup(pc)[0]
+
+    def live_out(self, pc: int) -> frozenset[int]:
+        """Registers live immediately *after* the instruction at pc."""
+        return self._lookup(pc)[1]

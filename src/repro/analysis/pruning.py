@@ -1,0 +1,436 @@
+"""Static observation pruning: drop provably-constant records.
+
+The learning front end observes every instruction of every traced
+procedure.  Many operand slots are *statically constant* — immediate
+moves, address computations over constant bases, arithmetic over
+constants — so their dynamic records carry no information the CFG does
+not already hold.  This module proves those slots constant with
+:mod:`repro.analysis.constprop`, removes their pcs from the extraction
+plan at the kernel level (the CPU never snapshots them), and after the
+run *injects* the statistics the records would have produced straight
+into the inference engine, so the final invariant database is equal to
+the unpruned run's — including sample counts.
+
+The injection needs the dynamic execution counts the pruned records
+would have carried.  Every pruned block keeps one **sentinel** pc
+observed; because a basic block has no internal control transfers, the
+block executes as a unit and the sentinel's per-pc sample count ``N``
+(and its activation-matched sp-sample count ``M``) are exactly the
+counts of every pruned pc in the block.
+
+Pruning decisions:
+
+- **Tier B (whole block)**: every slot of every slotful pc in the block
+  is proved constant (and ESP is proved at a known entry-relative delta
+  when the procedure is ever call-entered, so sp-offset statistics can
+  be injected).  All pcs except the sentinel are pruned, and the
+  block's less-than candidate pairs — constant against constant — are
+  injected with their exact co-observation counts.  Loads, pops and
+  returns read memory the analysis does not track, so blocks containing
+  them are never Tier B.
+- **Tier A (individual)**: in blocks that fail Tier B, esp-only records
+  (direct jumps, calls, ENTER/LEAVE, NOP) are pruned individually when
+  their ESP is proved (they carry no variables, so no pair bookkeeping
+  is disturbed).
+
+Soundness gates: a procedure is skipped entirely when static control
+flow can enter it anywhere but its entry (a foreign jump into the
+middle would carry states the per-procedure analysis never saw), when
+it shares instructions with another discovered procedure, or — for the
+whole image — when any indirect jump exists (a JMPR can land anywhere).
+Calls are fine: they enter at entries, and the activation markers the
+sp statistics key on are emitted by the CPU independently of
+extraction.  The scout pass that sizes the plan runs the same workload
+as the learning pass, which the harness already requires to be
+deterministic and fault-free ("normal executions"); a run that faults
+mid-block would break the block-uniform count assumption along with
+the §3.1 clean-learning contract itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.constprop import (
+    TOP,
+    ProcedureAnalysis,
+    compute_summaries,
+    eval_address,
+    eval_alu,
+)
+from repro.cfg.discovery import DiscoveryPlugin, ProcedureDatabase
+from repro.dynamo.blocks import BasicBlock
+from repro.dynamo.code_cache import CachePlugin
+from repro.dynamo.execution import EnvironmentConfig, ManagedEnvironment
+from repro.learning.inference import (
+    _FNV_MASK,
+    _FNV_OFFSET,
+    _FNV_PRIME,
+    _PairStats,
+    _SPStats,
+    _VariableStats,
+    InferenceEngine,
+)
+from repro.learning.pointers import disqualifies_pointer
+from repro.learning.variables import Variable
+from repro.vm.binary import Binary
+from repro.vm.hooks import ExecutionHook, TransferKind
+from repro.vm.isa import (
+    WORD_MASK,
+    Instruction,
+    Opcode,
+    OperandKind,
+    Register,
+    to_signed,
+)
+from repro.vm.observe import _ALU_FUNCS, operand_layout
+
+_ESP = int(Register.ESP)
+_REG = OperandKind.REGISTER
+_REGISTER_COUNT = len(Register)
+
+
+# ---------------------------------------------------------------------------
+# Abstract record evaluation (mirrors repro.vm.observe extractors)
+# ---------------------------------------------------------------------------
+
+def _record_values(state: tuple, instruction: Instruction) -> list:
+    """Abstract value of each record slot, in :func:`operand_layout`
+    order — the static twin of :func:`~repro.vm.observe.build_extractor`
+    (which snapshots *pre*-state, like the analysis)."""
+    op = instruction.opcode
+    a = instruction.a
+    b = instruction.b
+    if instruction.b_kind == _REG:
+        operand_b = state[b] if b < _REGISTER_COUNT else TOP
+    else:
+        operand_b = ("const", b & WORD_MASK)
+    if op == Opcode.MOV:
+        return [operand_b, operand_b]
+    if op in _ALU_FUNCS:
+        left = state[a]
+        return [operand_b, left, eval_alu(op, left, operand_b)]
+    if op in (Opcode.NEG, Opcode.NOT):
+        value = state[a]
+        if value is not TOP and value[0] == "const":
+            result = -value[1] & WORD_MASK if op == Opcode.NEG \
+                else ~value[1] & WORD_MASK
+            return [value, ("const", result)]
+        return [value, TOP]
+    if op in (Opcode.LOAD, Opcode.LOADB):
+        # The loaded value comes from untracked memory: never provable.
+        return [eval_address(state, b, instruction.c), TOP]
+    if op == Opcode.LEA:
+        return [eval_address(state, b, instruction.c)]
+    if op in (Opcode.STORE, Opcode.STOREB):
+        source = state[b] if b < _REGISTER_COUNT else TOP
+        return [eval_address(state, a, instruction.c), source]
+    if op in (Opcode.CMP, Opcode.TEST):
+        return [state[a], operand_b]
+    if op in (Opcode.PUSH, Opcode.ALLOC, Opcode.OUT, Opcode.OUTB):
+        return [operand_b]
+    if op in (Opcode.POP, Opcode.RET):
+        return [TOP]  # read from the stack: untracked memory
+    if op in (Opcode.CALLR, Opcode.JMPR, Opcode.FREE):
+        return [state[a]]
+    return []
+
+
+# ---------------------------------------------------------------------------
+# Plan representation
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class _PrunedPc:
+    pc: int
+    #: (slot name, constant record value) per layout slot; empty for
+    #: esp-only records.
+    slots: tuple[tuple[str, int], ...]
+    #: Proved entry-relative ESP delta (None when the procedure is
+    #: never call-entered, so no sp statistics exist to reproduce).
+    sp_delta: int | None
+
+
+@dataclass
+class _BlockPlan:
+    sentinel: int
+    pruned: list[_PrunedPc]
+    #: Statically-holding less-than candidate pairs among the block's
+    #: slotful variables (only populated for Tier-B blocks, where every
+    #: participating value is a known constant).
+    pairs: list[tuple[Variable, Variable]]
+
+
+@dataclass
+class PruningPlan:
+    """Which pcs to stop observing, and how to reconstruct their
+    statistics afterwards."""
+
+    pruned_pcs: frozenset[int]
+    blocks: list[_BlockPlan]
+    procedures_analyzed: int = 0
+    procedures_skipped: int = 0
+    _fingerprints: dict[tuple[int, int], int] = field(
+        default_factory=dict, repr=False)
+
+    def _chain_fingerprint(self, value: int, count: int) -> int:
+        """FNV fingerprint of *value* observed *count* times (memoised
+        with incremental extension — blocks sharing constants and
+        execution counts are the common case)."""
+        key = (value, count)
+        cached = self._fingerprints.get(key)
+        if cached is not None:
+            return cached
+        start, fingerprint = 0, _FNV_OFFSET
+        for (cached_value, cached_count), cached_fp \
+                in self._fingerprints.items():
+            if cached_value == value and start < cached_count <= count:
+                start, fingerprint = cached_count, cached_fp
+        for _ in range(count - start):
+            fingerprint = ((fingerprint ^ value) * _FNV_PRIME) & _FNV_MASK
+        self._fingerprints[key] = fingerprint
+        return fingerprint
+
+    def establish(self, engine: InferenceEngine) -> None:
+        """Inject the pruned records' statistics into *engine*.
+
+        Must run after the learning workload and before
+        ``engine.finalize()``.  Reads each block's execution count from
+        its sentinel, then replays exactly the statistics the dynamic
+        records would have accumulated; finalize's deduplication,
+        pointer suppression and pair filtering then apply to the
+        injected state identically to an unpruned run's.
+        """
+        for plan in list(engine._plans.values()):
+            engine._materialize_plan(plan)
+        classifier = engine.pointer_classifier
+        for block in self.blocks:
+            count = engine._pc_samples.get(block.sentinel, 0)
+            if count == 0:
+                continue  # the block never executed
+            sp_source = engine._sp.get(block.sentinel)
+            matched = sp_source.samples if sp_source is not None else 0
+            for pruned in block.pruned:
+                engine._pc_samples[pruned.pc] = count
+                if matched and pruned.sp_delta is not None:
+                    engine._sp[pruned.pc] = _SPStats(
+                        offset=pruned.sp_delta, constant=True,
+                        samples=matched)
+                for slot, value in pruned.slots:
+                    variable = Variable(pruned.pc, slot)
+                    stats = _VariableStats()
+                    stats.variable = variable
+                    stats.count = count
+                    signed = to_signed(value)
+                    stats.minimum = signed
+                    stats.values = {value}
+                    stats.fingerprint = self._chain_fingerprint(value,
+                                                                count)
+                    stats.last = value
+                    stats.last_signed = signed
+                    engine._variables[variable] = stats
+                    engine._pc_variables.setdefault(
+                        pruned.pc, []).append(variable)
+                    engine._variable_created(pruned.pc)
+                    classifier.mark_seen(variable)
+                    if disqualifies_pointer(signed):
+                        stats.not_pointer = True
+                        classifier.disqualify(variable)
+            for left, right in block.pairs:
+                engine._pairs[(left, right)] = _PairStats(
+                    samples=count, falsified=False)
+
+
+# ---------------------------------------------------------------------------
+# Plan construction
+# ---------------------------------------------------------------------------
+
+def _dirty_entries(procedures: ProcedureDatabase) -> set[int]:
+    """Procedures the per-procedure analysis cannot vouch for."""
+    dirty: set[int] = set()
+    entries = set(procedures.procedures)
+    for entry, cfg in procedures.procedures.items():
+        for block in cfg.blocks.values():
+            if not block.truncated and \
+                    block.terminator.opcode == Opcode.JMPR:
+                # An indirect jump can land anywhere: give up globally.
+                return entries
+        for pc in cfg.instruction_addresses():
+            owner = procedures.procedure_of(pc)
+            if owner is not None and owner.entry != entry:
+                # Overlapping procedures share this instruction; records
+                # at it mix both procedures' states.
+                dirty.add(entry)
+                dirty.add(owner.entry)
+        for block in cfg.blocks.values():
+            for target in block.successor_targets():
+                if target in cfg.blocks:
+                    continue
+                owner = procedures.procedure_of(target)
+                if owner is not None and target != owner.entry:
+                    # Foreign control enters mid-procedure.
+                    dirty.add(owner.entry)
+    return dirty
+
+
+def _plan_block(analysis: ProcedureAnalysis, block: BasicBlock,
+                call_entered: bool,
+                executed_pcs: set[int]) -> _BlockPlan | None:
+    if block.start not in executed_pcs:
+        return None
+    entries = []
+    for pc, instruction in block.instructions:
+        state = analysis.state_at(pc)
+        names, computed = operand_layout(instruction)
+        values = None
+        delta = None
+        if state is not None:
+            esp = state[_ESP]
+            if esp is not TOP and esp[0] == "sp":
+                delta = esp[1]
+            if names:
+                abstract = _record_values(state, instruction)
+                if all(v is not TOP and v[0] == "const"
+                       for v in abstract):
+                    values = [v[1] for v in abstract]
+            else:
+                values = []
+        entries.append((pc, names, computed, values, delta))
+
+    def prunable(entry) -> bool:
+        _, _, _, values, delta = entry
+        if values is None:
+            return False
+        return not call_entered or delta is not None
+
+    slotful = [entry for entry in entries if entry[1]]
+    tier_b = all(prunable(entry) for entry in slotful)
+    candidates = {entry[0] for entry in entries if prunable(entry)
+                  and (tier_b or not entry[1])}
+    unpruned = [entry[0] for entry in entries
+                if entry[0] not in candidates]
+    if unpruned:
+        sentinel = unpruned[0]
+    else:
+        # Everything is provable: keep the cheapest record back as the
+        # block's execution counter (esp-only records carry no values).
+        esp_only = [entry[0] for entry in entries if not entry[1]]
+        sentinel = esp_only[0] if esp_only else entries[0][0]
+        candidates.discard(sentinel)
+    if not candidates:
+        return None
+
+    pruned = [
+        _PrunedPc(pc=pc,
+                  slots=tuple(zip(names, values)) if names else (),
+                  sp_delta=delta if call_entered else None)
+        for pc, names, computed, values, delta in entries
+        if pc in candidates]
+
+    pairs: list[tuple[Variable, Variable]] = []
+    if tier_b and any(entry.slots for entry in pruned):
+        # Enumerate the block's less-than candidates exactly as the
+        # engine would have: each computed slot pairs against every
+        # variable at an earlier slotful pc of the block, in both
+        # directions; a constant-vs-constant pair survives iff the
+        # inequality holds (a falsified pair never reaches the
+        # database, so it is simply omitted).
+        constant_of = {}
+        for pc, names, computed, values, delta in slotful:
+            for name, value in zip(names, values):
+                constant_of[Variable(pc, name)] = value
+        for index, (pc, names, computed, values, delta) \
+                in enumerate(slotful):
+            for slot in computed:
+                target = Variable(pc, slot)
+                target_signed = to_signed(constant_of[target])
+                for earlier_pc, earlier_names, _, earlier_values, _ \
+                        in slotful[:index]:
+                    for other_name in earlier_names:
+                        other = Variable(earlier_pc, other_name)
+                        other_signed = to_signed(constant_of[other])
+                        if other_signed <= target_signed:
+                            pairs.append((other, target))
+                        if target_signed <= other_signed:
+                            pairs.append((target, other))
+    return _BlockPlan(sentinel=sentinel, pruned=pruned, pairs=pairs)
+
+
+def build_pruning_plan(procedures: ProcedureDatabase,
+                       executed_pcs: set[int],
+                       call_targets: set[int]) -> PruningPlan:
+    """Compute the pruning plan for *procedures* given a scout run's
+    executed instructions and observed dynamic call targets."""
+    summaries = compute_summaries(procedures.procedures)
+    dirty = _dirty_entries(procedures)
+    blocks: list[_BlockPlan] = []
+    pruned_pcs: set[int] = set()
+    analyzed = 0
+    for entry in procedures.entries():
+        if entry in dirty:
+            continue
+        analyzed += 1
+        cfg = procedures.procedures[entry]
+        analysis = ProcedureAnalysis(cfg, summaries)
+        call_entered = entry in call_targets
+        for start in sorted(cfg.blocks):
+            plan = _plan_block(analysis, cfg.blocks[start],
+                               call_entered, executed_pcs)
+            if plan is not None:
+                blocks.append(plan)
+                pruned_pcs.update(entry.pc for entry in plan.pruned)
+    return PruningPlan(pruned_pcs=frozenset(pruned_pcs), blocks=blocks,
+                       procedures_analyzed=analyzed,
+                       procedures_skipped=len(dirty))
+
+
+# ---------------------------------------------------------------------------
+# Scout pass
+# ---------------------------------------------------------------------------
+
+class _ExecutedRecorder(CachePlugin):
+    """Records every instruction address that becomes executable."""
+
+    def __init__(self):
+        self.pcs: set[int] = set()
+
+    def on_block_build(self, cache, block) -> None:
+        self.pcs.update(block.addresses())
+
+    def on_block_restore(self, cache, block) -> None:
+        self.pcs.update(block.addresses())
+
+
+class _CallTargetRecorder(ExecutionHook):
+    """Records dynamic call targets (the procedures that acquire
+    activations, hence sp-offset statistics)."""
+
+    def __init__(self):
+        self.targets: set[int] = set()
+
+    def on_transfer(self, cpu, pc, kind, target) -> None:
+        if kind in (TransferKind.CALL, TransferKind.INDIRECT_CALL):
+            self.targets.add(target)
+
+
+def scout_pruning_plan(binary: Binary, payloads: list[bytes],
+                       config: EnvironmentConfig | None = None
+                       ) -> PruningPlan:
+    """Run the learning workload once *without* tracing to discover
+    procedures, executed blocks and call targets, then build the plan.
+
+    The scout costs one untraced pass of the workload; the learning
+    pass then observes strictly fewer records.  Deterministic workloads
+    (the harness's contract) make the scout's coverage exact.
+    """
+    procedures = ProcedureDatabase(binary)
+    environment = ManagedEnvironment(binary,
+                                     config or EnvironmentConfig.full())
+    environment.cache_plugins.append(DiscoveryPlugin(procedures))
+    recorder = _ExecutedRecorder()
+    environment.cache_plugins.append(recorder)
+    calls = _CallTargetRecorder()
+    environment.extra_hooks.append(calls)
+    for payload in payloads:
+        environment.run(payload)
+    return build_pruning_plan(procedures, recorder.pcs, calls.targets)

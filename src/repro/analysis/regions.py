@@ -1,0 +1,76 @@
+"""Per-procedure write-region summaries for poke vetting.
+
+Summarises where a procedure's reachable STORE/STOREB instructions can
+write, in the memory layout's terms: exact global words (absolute or
+constant-address stores into the data segment), the stack (stores
+through stack-pointer-derived bases), and the heap (stores through
+ALLOC-derived or unknown pointers).  Unknown-pointer stores are
+classified heap-or-stack, never globals: a legitimate program that
+writes a global does so through an absolute or constant address in this
+ISA (the assembler has no global-pointer arithmetic idiom), so a
+``PokePatch`` aimed at a data-segment word the procedure never
+addresses exactly is a wild write.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.constprop import (
+    HEAP,
+    TOP,
+    ProcedureAnalysis,
+    eval_address,
+)
+from repro.vm.isa import WORD_SIZE, Opcode
+
+
+@dataclass
+class WriteRegions:
+    """Where one procedure's stores can land."""
+
+    #: Exact byte addresses of absolute/constant-address stores (each
+    #: store contributes its full word or byte span).
+    exact_addresses: set[int] = field(default_factory=set)
+    writes_stack: bool = False
+    writes_heap: bool = False
+    #: A reachable store through a pointer the analysis cannot place:
+    #: could be heap or stack, never an unaddressed global.
+    writes_unknown: bool = False
+
+    def to_dict(self) -> dict:
+        return {
+            "exact_addresses": sorted(self.exact_addresses),
+            "writes_stack": self.writes_stack,
+            "writes_heap": self.writes_heap,
+            "writes_unknown": self.writes_unknown,
+        }
+
+
+def write_regions(analysis: ProcedureAnalysis) -> WriteRegions:
+    """Summarise the reachable stores of *analysis*'s procedure."""
+    regions = WriteRegions()
+    for block in analysis.cfg.blocks.values():
+        if analysis.block_in.get(block.start) is None:
+            continue  # unreachable
+        for pc, instruction in block.instructions:
+            if instruction.opcode not in (Opcode.STORE, Opcode.STOREB):
+                continue
+            state = analysis.state_at(pc)
+            span = WORD_SIZE if instruction.opcode == Opcode.STORE \
+                else 1
+            address = eval_address(state, instruction.a,
+                                   instruction.c) \
+                if state is not None else TOP
+            if address is TOP:
+                regions.writes_unknown = True
+            elif address[0] == "const":
+                regions.exact_addresses.update(
+                    range(address[1], address[1] + span))
+            elif address[0] == "sp":
+                regions.writes_stack = True
+            elif address == HEAP:
+                regions.writes_heap = True
+            else:  # ebp0-relative: the caller's frame — stack
+                regions.writes_stack = True
+    return regions

@@ -71,3 +71,38 @@ def compute_dominators(entry: int,
 def strict_dominators(dominators: dict[int, set[int]]) -> dict[int, set[int]]:
     """Drop the reflexive element from each dominator set."""
     return {node: doms - {node} for node, doms in dominators.items()}
+
+
+def natural_loops(entry: int,
+                  successors: dict[int, list[int]]) -> dict[int, set[int]]:
+    """Natural loops of the graph, keyed by loop header.
+
+    A back edge is an edge ``u -> v`` where *v* dominates *u*; the
+    natural loop of that edge is *v* plus every node that can reach *u*
+    without passing through *v*.  Back edges sharing a header merge into
+    one loop body.  Returns ``header -> body`` (the body includes the
+    header).  Nodes unreachable from *entry* contribute nothing.
+    """
+    dominators = compute_dominators(entry, successors)
+    predecessors: dict[int, list[int]] = {node: [] for node in dominators}
+    for node in dominators:
+        for successor in successors.get(node, []):
+            if successor in dominators:
+                predecessors[successor].append(node)
+
+    loops: dict[int, set[int]] = {}
+    for node, doms in dominators.items():
+        for target in successors.get(node, []):
+            if target not in doms:
+                continue  # not a back edge
+            header = target
+            body = loops.setdefault(header, {header})
+            # Walk backwards from the latch, stopping at the header.
+            worklist = [node]
+            while worklist:
+                member = worklist.pop()
+                if member in body:
+                    continue
+                body.add(member)
+                worklist.extend(predecessors.get(member, []))
+    return loops

@@ -10,6 +10,11 @@ Commands
     ClearView event log and maintainer report.
 ``learn``
     Run the learning suite and print invariant statistics.
+``analyze``
+    Static dataflow report over a learned application image: per-
+    procedure CFG shape, natural loops, stack-discipline summaries and
+    write regions, plus the pre-deployment vet lint (``--vet`` exits
+    nonzero on any finding — the CI fleet-lint gate).
 ``community``
     Stand up an application community (in-process, process-sharded, or
     socket members with optional TLS), learn distributed, drive one
@@ -76,6 +81,75 @@ def _cmd_learn(args) -> int:
     print(f"invariants:   {len(database)}")
     for kind, count in sorted(database.counts_by_kind().items()):
         print(f"  {kind:12s} {count}")
+    return 0
+
+
+def _cmd_analyze(args) -> int:
+    """Static dataflow report: CFG shape, loops, write regions, and the
+    pre-deployment vet lint over a learned application image."""
+    import json
+
+    from repro.analysis import Vetter, compute_summaries, write_regions
+    from repro.analysis.constprop import ProcedureAnalysis
+    from repro.analysis.dataflow import intraprocedural_edges
+    from repro.cfg.dominators import natural_loops
+    from repro.learning import learn
+
+    if args.app == "mailserver":
+        from repro.apps.mailserver import build_mailserver, normal_messages
+        binary, workload = build_mailserver(), normal_messages()
+    else:
+        from repro.apps import build_browser, learning_pages
+        binary, workload = build_browser(), learning_pages()
+
+    stripped = binary.stripped()
+    learned = learn(stripped, workload)
+    procedures = learned.procedures
+    vetter = Vetter(stripped, procedures)
+    summaries = compute_summaries(procedures.procedures)
+
+    report = {"app": args.app, "procedures": []}
+    for entry in procedures.entries():
+        cfg = procedures.procedures[entry]
+        analysis = ProcedureAnalysis(cfg, summaries)
+        regions = write_regions(analysis)
+        loops = natural_loops(entry, intraprocedural_edges(cfg))
+        summary = summaries[entry]
+        report["procedures"].append({
+            "entry": entry,
+            "blocks": len(cfg.blocks),
+            "loops": sorted(loops),
+            "balanced": summary.balanced,
+            "preserves_ebp": summary.preserves_ebp,
+            "writes": regions.to_dict(),
+        })
+    vet = vetter.vet_binary()
+    report["vet"] = vet.to_dict()
+
+    if args.json:
+        print(json.dumps(report, indent=2))
+    else:
+        print(f"app:        {args.app}")
+        print(f"procedures: {len(report['procedures'])}")
+        for proc in report["procedures"]:
+            loops = (f" loops@{','.join(hex(h) for h in proc['loops'])}"
+                     if proc["loops"] else "")
+            writes = proc["writes"]
+            spans = len(writes["exact_addresses"])
+            flags = "".join(flag for flag, on in (
+                ("s", writes["writes_stack"]),
+                ("h", writes["writes_heap"]),
+                ("?", writes["writes_unknown"])) if on)
+            print(f"  {proc['entry']:#8x}: {proc['blocks']:3d} blocks, "
+                  f"{'balanced' if proc['balanced'] else 'unbalanced'}"
+                  f", writes[{spans} exact {flags or '-'}]{loops}")
+        verdict = "clean" if vet.accepted else \
+            f"{len(vet.findings)} finding(s)"
+        print(f"vet:        {verdict}")
+        for finding in vet.findings:
+            print(f"  {finding.rule} @ {finding.pc:#x}: {finding.detail}")
+    if args.vet and not vet.accepted:
+        return 1
     return 0
 
 
@@ -371,6 +445,20 @@ def build_parser() -> argparse.ArgumentParser:
     learn_parser.add_argument("--expanded", action="store_true",
                               help="use the expanded learning suite")
     learn_parser.set_defaults(handler=_cmd_learn)
+
+    analyze_parser = commands.add_parser(
+        "analyze",
+        help="static dataflow report and pre-deployment vet lint")
+    analyze_parser.add_argument(
+        "--app", choices=("browser", "mailserver"), default="browser",
+        help="application image to analyze (default browser)")
+    analyze_parser.add_argument(
+        "--vet", action="store_true",
+        help="exit nonzero if the vet lint reports any finding")
+    analyze_parser.add_argument(
+        "--json", action="store_true",
+        help="emit the full report as JSON")
+    analyze_parser.set_defaults(handler=_cmd_analyze)
 
     attack_parser = commands.add_parser(
         "attack", help="drive one exploit against protected WebBrowse")

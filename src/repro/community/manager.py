@@ -731,6 +731,29 @@ class CommunityManager:
         rounds = 0
         queue = [scored for scored in session.evaluator.ranking()
                  if not scored.blacklisted]
+        if self.clearview.config.static_vetting:
+            # Pre-deployment vetting: eject statically-unsafe candidates
+            # here, before the wave is even formed — they cost zero
+            # member kills and zero evaluation rounds.
+            admitted = []
+            for scored in queue:
+                report = self.clearview.vet_candidate(
+                    scored.candidate, session.failure_id)
+                if report.accepted:
+                    admitted.append(scored)
+                    continue
+                key = scored.candidate.description
+                rules = tuple(dict.fromkeys(
+                    finding.rule for finding in report.findings))
+                session.evaluator.record_failure(scored)
+                session.evaluator.blacklist(scored)
+                guardrails.record_vetoed(key,
+                                         failure_id=session.failure_id,
+                                         rules=rules)
+                self.clearview.events.append(
+                    f"candidate-vetoed {session.failure_id}: {key} "
+                    f"[{', '.join(rules)}]")
+            queue = admitted
         #: id(scored) -> member handles this candidate killed.
         kills: dict[int, list] = {}
 

@@ -70,6 +70,11 @@ class ClearViewConfig:
     #: Failures with checks in place before classification (§3.2: checks
     #: are removed on the second such notification).
     check_failures_required: int = 2
+    #: Vet each candidate's compiled patches with the static dataflow
+    #: analyzer before deployment (:mod:`repro.analysis.vetting`);
+    #: statically-unsafe candidates are blacklisted without ever running
+    #: on a member.  Disable to exercise the dynamic-only backstop.
+    static_vetting: bool = True
 
 
 @dataclass
@@ -164,6 +169,7 @@ class ClearView:
         #: Post-deployment surveillance: §2.6 scoring continues after a
         #: repair is selected (see :mod:`repro.dynamo.guardrails`).
         self.guardrails = PatchHealthLedger()
+        self._vetter = None
         #: Sessions demoted during the current run's outcome dispatch —
         #: guardrail enforcement must not charge the same terminal
         #: event twice when the rotation re-selected the same repair.
@@ -382,12 +388,57 @@ class ClearView:
         self._apply_best_repair(session)
         session.state = SessionState.EVALUATING
 
+    @property
+    def vetter(self):
+        """Lazily-built static patch vetter (shared dataflow caches)."""
+        if self._vetter is None:
+            from repro.analysis.vetting import Vetter
+            self._vetter = Vetter(self.environment.binary,
+                                  self.procedures)
+        return self._vetter
+
+    def vet_candidate(self, candidate: CandidateRepair,
+                      failure_id: str = ""):
+        """Compile *candidate* and run the static vetter over it."""
+        patches = build_repair_patch(
+            self.environment.binary, candidate, failure_id,
+            database=self.database)
+        return self.vetter.vet(patches,
+                               description=candidate.description)
+
+    def _veto(self, session: FailureSession, scored: ScoredRepair,
+              report) -> None:
+        """Blacklist a statically-unsafe candidate before deployment."""
+        assert session.evaluator is not None
+        key = scored.candidate.description
+        rules = tuple(dict.fromkeys(
+            finding.rule for finding in report.findings))
+        session.evaluator.record_failure(scored)
+        session.evaluator.blacklist(scored)
+        self.guardrails.record_vetoed(key, session.failure_id,
+                                      rules=rules)
+        self.events.append(
+            f"repair-vetoed {session.failure_id}: {key} "
+            f"[{', '.join(rules)}]")
+
     def _apply_best_repair(self, session: FailureSession) -> None:
         assert session.evaluator is not None
-        best = session.evaluator.best()
+        while True:
+            best = session.evaluator.best()
+            if best is not None and self.config.static_vetting:
+                vet_start = time.perf_counter()
+                report = self.vet_candidate(best.candidate,
+                                            session.failure_id)
+                session.times.build_repairs += \
+                    time.perf_counter() - vet_start
+                if not report.accepted:
+                    self._veto(session, best, report)
+                    continue  # rotate to the next-best candidate
+            break
         if best is None:
-            # Every candidate is blacklisted (revoked twice or toxic):
-            # the session is out of viable repairs for this model.
+            # Every candidate is blacklisted (revoked twice, toxic, or
+            # vetoed): the session is out of viable repairs for this
+            # model.
             self._remove_current_patches(session)
             session.state = SessionState.EXHAUSTED
             self.events.append(f"repairs-exhausted {session.failure_id}")

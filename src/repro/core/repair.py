@@ -113,6 +113,9 @@ class SetValueRepair(RepairPatch):
         cpu.set_register(self.target_register, self.value)
         return None
 
+    def register_writes(self) -> frozenset[int]:
+        return frozenset({self.target_register})
+
 
 @dataclass
 class SetFromVariableRepair(RepairPatch):
@@ -131,6 +134,9 @@ class SetFromVariableRepair(RepairPatch):
         source = values[right] if self.adjust_left else values[left]
         cpu.set_register(self.target_register, source)
         return None
+
+    def register_writes(self) -> frozenset[int]:
+        return frozenset({self.target_register})
 
 
 @dataclass
@@ -177,6 +183,10 @@ class ReturnFromProcedureRepair(RepairPatch):
         cpu.set_register(Register.EAX, 0)
         return return_address
 
+    def register_writes(self) -> frozenset[int]:
+        return frozenset({int(Register.ESP), int(Register.EBP),
+                          int(Register.EAX)})
+
     def _entry_sp(self, cpu: CPU) -> int | None:
         if self.sp_offset is not None:
             return (cpu.registers[Register.ESP] - self.sp_offset) \
@@ -212,6 +222,11 @@ class CandidateRepair:
     #: chaos harness to inject arbitrary patch bodies into the pool.
     builder: "typing.Callable | None" = \
         field(default=None, repr=False, compare=False)
+    #: The adversarial kind a chaos-manufactured candidate embodies
+    #: (None for legitimate candidates) — lets tests and reports align
+    #: a vet verdict with the fault it should have caught.
+    chaos_kind: str | None = field(default=None, repr=False,
+                                   compare=False)
 
     def priority(self) -> tuple:
         """Static tie-break key (§2.6): earlier instructions first (lower

@@ -72,6 +72,10 @@ class PatchHealthRecord:
     revocations: int = 0
     blacklisted: bool = False
     toxic: bool = False
+    #: Rejected by the static vetter before any member ran it.
+    vetoed: bool = False
+    #: The vetting rules that rejected it (e.g. ``"progress"``).
+    veto_rules: tuple[str, ...] = ()
     #: Set once the record first turns bad, so the ledger reports each
     #: verdict exactly once.
     reported_bad: bool = False
@@ -85,6 +89,8 @@ class PatchHealthRecord:
 
     @property
     def status(self) -> str:
+        if self.vetoed:
+            return "vetoed"
         if self.toxic:
             return "toxic"
         if self.blacklisted:
@@ -111,6 +117,8 @@ class PatchHealthRecord:
             "revocations": self.revocations,
             "blacklisted": self.blacklisted,
             "toxic": self.toxic,
+            "vetoed": self.vetoed,
+            "veto_rules": list(self.veto_rules),
         }
 
 
@@ -214,6 +222,23 @@ class PatchHealthLedger:
         if record is not None:
             record.blacklisted = True
 
+    def record_vetoed(self, key: str, failure_id: str = "",
+                      rules: tuple[str, ...] = ()) -> None:
+        """The static vetter rejected this candidate pre-deployment.
+
+        Unlike toxicity, a veto costs *zero* member kills: the candidate
+        never reaches a member.  It is blacklisted all the same so the
+        evaluator never retries it.
+        """
+        record = self.records.get(key)
+        if record is None:
+            record = PatchHealthRecord(key=key, failure_id=failure_id)
+            self.records[key] = record
+        record.vetoed = True
+        record.veto_rules = tuple(dict.fromkeys(
+            record.veto_rules + tuple(rules)))
+        record.blacklisted = True
+
     def record_toxic(self, key: str, failure_id: str = "") -> None:
         record = self.records.get(key)
         if record is None:
@@ -245,6 +270,7 @@ class PatchHealthLedger:
             "toxic": sum(1 for r in self.records.values() if r.toxic),
             "blacklisted": sum(1 for r in self.records.values()
                                if r.blacklisted),
+            "vetoed": sum(1 for r in self.records.values() if r.vetoed),
             "revocations": sum(r.revocations
                                for r in self.records.values()),
             "records": records,

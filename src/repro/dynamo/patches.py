@@ -66,6 +66,14 @@ class Patch:
         """Run the patch body just before *instruction*. May redirect."""
         raise NotImplementedError
 
+    def register_writes(self) -> frozenset[int]:
+        """Registers this patch may write when it fires.
+
+        The static vetter's clobber rule checks these against liveness
+        at the anchor; subclasses that mutate register state override.
+        """
+        return frozenset()
+
 
 @dataclass
 class JumpPatch(Patch):

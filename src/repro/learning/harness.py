@@ -7,6 +7,13 @@ error-free, and runs that do *not* complete normally are excluded from the
 model's accounting (§3.1: "it is important to discard any invariants from
 executions with errors" — callers supply clean learning inputs, and the
 harness reports any run that failed so it can be investigated).
+
+With ``prune=True`` the harness first runs a *scout* pass of the same
+workload without tracing (:mod:`repro.analysis.pruning`): the static
+analyzer proves operand slots constant over the discovered CFG, those
+pcs are removed from the extraction plan at the kernel level, and after
+the learning runs the proved statistics are injected back into the
+engine before finalize — same database, fewer records.
 """
 
 from __future__ import annotations
@@ -35,6 +42,9 @@ class LearningResult:
     runs: list[RunResult] = field(default_factory=list)
     excluded_runs: int = 0
     observations: int = 0
+    #: Instruction addresses the static pruner removed from the
+    #: extraction plan (0 when pruning was off or proved nothing).
+    pruned_pcs: int = 0
 
 
 def learn(binary: Binary, payloads: list[bytes],
@@ -42,25 +52,40 @@ def learn(binary: Binary, payloads: list[bytes],
           pair_scope: str = "block",
           deduplicate: bool = True,
           traced_procedures: set[int] | None = None,
-          batched: bool = True) -> LearningResult:
+          batched: bool = True,
+          prune: bool = False) -> LearningResult:
     """Learn a model of *binary*'s normal behaviour from *payloads*.
 
     Each payload is one "normal execution" (e.g. one web page load).
     Runs that do not complete normally are counted in ``excluded_runs``.
     ``batched`` selects the kernel-level batched observation path (the
     default) or the per-instruction callback path; both produce the same
-    database.
+    database.  ``prune`` enables static observation pruning (full-trace
+    batched learning only — the injected pair statistics assume block
+    pair scope and a whole-binary trace).
     """
+    if prune and (pair_scope != "block" or not batched
+                  or traced_procedures is not None):
+        raise ValueError(
+            "prune=True requires pair_scope='block', batched=True and "
+            "full tracing (traced_procedures=None)")
     stripped = binary.stripped()
+
+    plan = None
+    if prune:
+        from repro.analysis.pruning import scout_pruning_plan
+        plan = scout_pruning_plan(stripped, payloads, config=config)
+
     procedures = ProcedureDatabase(stripped)
     engine = InferenceEngine(procedures, pair_scope=pair_scope,
                              deduplicate=deduplicate)
     environment = ManagedEnvironment(stripped,
                                      config or EnvironmentConfig.full())
     environment.cache_plugins.append(DiscoveryPlugin(procedures))
-    front_end = TraceFrontEnd(engine, procedures,
-                              traced_procedures=traced_procedures,
-                              batched=batched)
+    front_end = TraceFrontEnd(
+        engine, procedures, traced_procedures=traced_procedures,
+        batched=batched,
+        pruned_pcs=plan.pruned_pcs if plan is not None else frozenset())
     environment.extra_hooks.append(front_end)
 
     runs: list[RunResult] = []
@@ -70,7 +95,11 @@ def learn(binary: Binary, payloads: list[bytes],
         runs.append(result)
         if result.outcome is not Outcome.COMPLETED:
             excluded += 1
+    if plan is not None:
+        plan.establish(engine)
     return LearningResult(database=engine.finalize(),
                           procedures=procedures, runs=runs,
                           excluded_runs=excluded,
-                          observations=engine.observations)
+                          observations=engine.observations,
+                          pruned_pcs=len(plan.pruned_pcs)
+                          if plan is not None else 0)

@@ -64,15 +64,23 @@ class TraceFrontEnd(ExecutionHook):
     batched:
         Use the batched kernel-level observation path (default); pass
         False for the per-instruction callback path.
+    pruned_pcs:
+        Instruction addresses the static pruner proved redundant
+        (:mod:`repro.analysis.pruning`); their extractors are never
+        compiled, so the records simply do not exist.  The set is fixed
+        for the front end's lifetime, so the kernel filter stays
+        epoch-stable.
     """
 
     def __init__(self, engine: InferenceEngine,
                  procedures: ProcedureDatabase,
                  traced_procedures: set[int] | None = None,
-                 batched: bool = True):
+                 batched: bool = True,
+                 pruned_pcs: frozenset[int] = frozenset()):
         self.engine = engine
         self.procedures = procedures
         self.traced_procedures = traced_procedures
+        self.pruned_pcs = pruned_pcs
         self.batched = batched
         if batched:
             self.lazy_operands = True
@@ -81,6 +89,8 @@ class TraceFrontEnd(ExecutionHook):
             self.suppressed_events = ("on_transfer", "on_return")
             # Tracing everything means the kernel filter is the
             # identity forever — let the kernel skip epoch polling.
+            # (The pruned set is fixed at construction, so it never
+            # perturbs epoch stability.)
             self.observation_epoch_stable = traced_procedures is None
         else:
             self.wants_operands = True
@@ -109,7 +119,10 @@ class TraceFrontEnd(ExecutionHook):
     # -- kernel-level observation filter --------------------------------------
 
     def observes(self, pc: int) -> bool:
-        """Partial tracing at the CPU: snapshot only traced procedures."""
+        """Partial tracing at the CPU: snapshot only traced procedures
+        (minus statically pruned instructions)."""
+        if pc in self.pruned_pcs:
+            return False
         if self.traced_procedures is None:
             return True
         procedure = self.procedures.procedure_of(pc)

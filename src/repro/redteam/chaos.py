@@ -23,7 +23,9 @@ legitimate candidates so the lifecycle machinery has to survive them:
 All four compile through :attr:`CandidateRepair.builder`, so they flow
 through the standard evaluation pipeline (ranking, §3.1 parallel
 evaluation, wire distribution) without special cases; ``is_adversarial``
-lets tests and reports tell them apart afterwards.  Generation is
+and the per-candidate ``chaos_kind`` tag let tests and reports tell
+them apart afterwards (and check a vet verdict against the fault it
+should have caught).  Generation is
 seeded and the candidates carry ``correlation_rank=-1``, so every chaos
 run tries the adversaries *first*, deterministically — convergence to a
 legitimate never-failed repair is then the strongest possible claim.
@@ -147,7 +149,7 @@ def adversarial_candidates(invariant: Invariant, seed: int = 0,
             invariant=invariant, action=RepairAction.SET_VALUE,
             correlation_rank=-1, variant=variant,
             description=f"{CHAOS_MARKER} {kind} seed={seed} v{variant}",
-            builder=builder))
+            builder=builder, chaos_kind=kind))
     return candidates
 
 

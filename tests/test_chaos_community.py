@@ -20,6 +20,7 @@ import pytest
 
 from repro.apps import learning_pages
 from repro.community import CommunityManager
+from repro.core.clearview import ClearViewConfig
 from repro.dynamo import EnvironmentConfig, Outcome
 from repro.redteam import (
     adversarial_candidates,
@@ -68,9 +69,15 @@ def normalized_patch_sets(manager) -> list[list[dict]]:
 
 def drive_to_evaluation(manager, defect="mm-reuse-1"):
     """Learn, protect, and attack until a repair session is evaluating;
-    returns (failure_pc, attack page)."""
+    returns (failure_pc, attack page).
+
+    Static vetting is disabled so these suites keep exercising the
+    *dynamic* containment path (toxic kills, revival, revocation waves)
+    — with the vetter on, the adversaries never reach a member at all
+    (that pipeline is pinned by ``test_static_vetting.py``).
+    """
     manager.learn_distributed(learning_pages())
-    manager.protect()
+    manager.protect(ClearViewConfig(static_vetting=False))
     attack = exploit(defect)
     failure_pc = None
     for _ in range(3):

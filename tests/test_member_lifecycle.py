@@ -412,8 +412,8 @@ class TestGracefulDegradation:
             "alive": 2, "total": 2, "min_members": 1,
             "quorum": True, "degraded": False, "dropped": [],
             "patch_health": {"watched": 0, "bad": 0, "toxic": 0,
-                             "blacklisted": 0, "revocations": 0,
-                             "records": []},
+                             "blacklisted": 0, "vetoed": 0,
+                             "revocations": 0, "records": []},
             "revived": [],
         }
 
